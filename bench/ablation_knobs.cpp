@@ -1,0 +1,79 @@
+/// Ablation over the accelerator's design knobs: starting from the final
+/// banked configuration (Section III-D), each optimization is disabled in
+/// isolation to measure its individual contribution — the design-choice
+/// ablation DESIGN.md calls out.  The full ladder (`opt_ladder`) shows the
+/// paper's cumulative story; this shows the marginal one.
+///
+/// Usage: ablation_knobs [--csv] [--degree 7] [--elements 4096]
+
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "fpga/accelerator.hpp"
+
+using namespace semfpga;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const int degree = static_cast<int>(cli.get_int("degree", 7));
+  const auto elements = static_cast<std::size_t>(cli.get_int("elements", 4096));
+
+  struct Variant {
+    const char* name;
+    fpga::KernelConfig config;
+  };
+  const fpga::KernelConfig full = fpga::KernelConfig::banked(degree);
+
+  auto without_banking = full;
+  without_banking.allocation = fpga::MemAllocation::kInterleaved;
+  auto without_ii1 = full;
+  without_ii1.force_ii1 = false;
+  auto without_split = full;
+  without_split.split_gxyz = false;
+  auto without_unroll = full;
+  without_unroll.unroll = 1;
+  auto odd_unroll = full;
+  odd_unroll.unroll = 4;  // arbitration demo when 4 does not divide N+1
+
+  const Variant variants[] = {
+      {"full (banked preset)", full},
+      {"- memory banking", without_banking},
+      {"- forced II=1", without_ii1},
+      {"- split gxyz", without_split},
+      {"- unroll (T=1)", without_unroll},
+      {"unroll=4 regardless", odd_unroll},
+  };
+
+  Table table("Design-knob ablation, N = " + std::to_string(degree) + ", " +
+              std::to_string(elements) + " elements (mechanistic model, no "
+              "measured fixtures)");
+  table.set_header({"Variant", "T", "II", "arb", "GFLOP/s", "DOF/cycle",
+                    "vs full", "bound"});
+
+  double full_gflops = 0.0;
+  for (const Variant& v : variants) {
+    fpga::SemAccelerator acc(fpga::stratix10_gx2800(), v.config);
+    acc.set_use_measured_calibration(false);
+    const fpga::RunStats s = acc.estimate_steady(elements);
+    if (&v == &variants[0]) {
+      full_gflops = s.gflops;
+    }
+    table.add_row({v.name, Table::fmt_int(acc.report().t_design),
+                   Table::fmt_int(acc.report().ii),
+                   Table::fmt(acc.report().arbitration_stall, 1),
+                   Table::fmt(s.gflops, 1), Table::fmt(s.dofs_per_cycle, 2),
+                   Table::fmt(s.gflops / full_gflops, 2) + "x",
+                   s.bound == fpga::RunBound::kMemory ? "memory" : "compute"});
+  }
+
+  if (cli.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print_text(std::cout);
+    std::cout << "\nEach row disables one optimization from the final design.  The\n"
+                 "arbitration column shows the 2x stall when gxyz is left\n"
+                 "interleaved or the unroll does not divide N+1.\n";
+  }
+  return 0;
+}

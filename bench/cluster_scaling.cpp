@@ -1,0 +1,95 @@
+/// Strong scaling of the distributed CG iteration over clusters of
+/// accelerators — extending the paper's single-device comparison to its
+/// own deployment context (Noctua is an FPGA cluster).  One table per
+/// device class: FPGA (simulated GX2800) and V100 GPU (platform model),
+/// both behind a 100 Gb/s, 1.5 us network.
+///
+/// Usage: cluster_scaling [--csv] [--degree 7] [--elements 16384]
+
+#include <cmath>
+#include <iostream>
+
+#include "arch/cluster_model.hpp"
+#include "arch/platform_model.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "fpga/accelerator.hpp"
+#include "kernels/ax.hpp"
+
+using namespace semfpga;
+
+namespace {
+
+void print_scaling(const char* label, const sem::BoxMeshSpec& spec,
+                   const arch::DeviceKernelTime& kernel, bool csv) {
+  const arch::NetworkSpec network;
+  const std::vector<int> ranks = {1, 2, 4, 8, 16, 32};
+  const auto points = arch::strong_scaling(spec, kernel, network, ranks);
+
+  Table table(std::string("Strong scaling of one CG iteration — ") + label);
+  table.set_header({"ranks", "Ax (us)", "halo (us)", "allreduce (us)", "iter (us)",
+                    "speedup", "efficiency"});
+  for (const arch::ScalingPoint& p : points) {
+    table.add_row({Table::fmt_int(p.ranks), Table::fmt(p.ax_seconds * 1e6, 1),
+                   Table::fmt(p.halo_seconds * 1e6, 1),
+                   Table::fmt(p.allreduce_seconds * 1e6, 1),
+                   Table::fmt(p.iteration_seconds * 1e6, 1),
+                   Table::fmt(p.speedup, 2), Table::fmt_pct(p.efficiency, 1)});
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print_text(std::cout);
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const int degree = static_cast<int>(cli.get_int("degree", 7));
+  const auto elements = cli.get_int("elements", 16384);
+  const bool csv = cli.has("csv");
+
+  // Global box sized to `elements` with a z-extent divisible by the rank
+  // counts swept below.
+  sem::BoxMeshSpec spec;
+  spec.degree = degree;
+  spec.nelz = 32;
+  spec.nelx = spec.nely =
+      std::max(1, static_cast<int>(std::lround(std::sqrt(
+                      static_cast<double>(elements) / spec.nelz))));
+  const std::int64_t total =
+      static_cast<std::int64_t>(spec.nelx) * spec.nely * spec.nelz;
+
+  std::cout << "Global problem: N=" << degree << ", " << total << " elements ("
+            << spec.nelx << "x" << spec.nely << "x" << spec.nelz << ")\n\n";
+
+  const fpga::SemAccelerator acc(fpga::stratix10_gx2800(),
+                                 fpga::KernelConfig::banked(degree));
+  print_scaling("Stratix 10 GX2800 cluster", spec,
+                [&acc](std::int64_t n) {
+                  return acc.estimate(static_cast<std::size_t>(n)).seconds;
+                },
+                csv);
+
+  const arch::PlatformModel& v100 = arch::platform_by_name("NVIDIA Tesla V100 PCIe");
+  print_scaling("V100 cluster", spec,
+                [&v100, degree](std::int64_t n) {
+                  const double gf = v100.gflops(degree, static_cast<std::size_t>(n));
+                  const double flops = static_cast<double>(
+                      kernels::ax_flops(degree + 1, static_cast<std::size_t>(n)));
+                  return flops / (gf * 1e9);
+                },
+                csv);
+
+  if (!csv) {
+    std::cout << "The GPU cluster starts ~10x faster per iteration but loses\n"
+                 "efficiency sooner: its per-rank kernel time falls into the\n"
+                 "network latency floor first.  The FPGA cluster's lower\n"
+                 "single-device rate keeps it compute-dominated to higher rank\n"
+                 "counts — the cluster-level echo of the paper's bandwidth story.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,158 @@
+/// Host-CPU microbenchmarks of the Ax kernel variants (google-benchmark).
+/// This is the "Nekbone CPU reference" leg of the evaluation, runnable on
+/// whatever CPU hosts this repository; absolute numbers will differ from
+/// the paper's Xeon/i9/ThunderX2, the variant ordering and the
+/// degree-dependence are the point.
+
+#include <benchmark/benchmark.h>
+
+#include "common/aligned.hpp"
+#include "common/rng.hpp"
+#include "kernels/ax.hpp"
+#include "kernels/helmholtz.hpp"
+#include "sem/geometry.hpp"
+
+namespace semfpga {
+namespace {
+
+/// Synthetic element-shaped operands (mesh validity is irrelevant to FLOPs).
+struct BenchData {
+  BenchData(int degree, std::size_t n_elements) : ref(degree) {
+    const std::size_t ppe = ref.points_per_element();
+    const std::size_t n = n_elements * ppe;
+    u.resize(n);
+    w.assign(n, 0.0);
+    g.resize(n * sem::kGeomComponents);
+    mass.resize(n);
+    SplitMix64 rng(7);
+    for (double& v : u) {
+      v = rng.uniform(-1.0, 1.0);
+    }
+    for (double& v : g) {
+      v = rng.uniform(0.1, 1.0);
+    }
+    for (double& v : mass) {
+      v = rng.uniform(0.1, 1.0);
+    }
+    args.u = u;
+    args.w = w;
+    args.g = g;
+    args.dx = std::span<const double>(ref.deriv().d.data(), ref.deriv().d.size());
+    args.dxt = std::span<const double>(ref.deriv().dt.data(), ref.deriv().dt.size());
+    args.n1d = ref.n1d();
+    args.n_elements = n_elements;
+  }
+  sem::ReferenceElement ref;
+  aligned_vector<double> u, w, g, mass;
+  kernels::AxArgs args;
+};
+
+/// Elements chosen so each degree touches ~16 MB (out-of-cache streaming).
+std::size_t elements_for(int degree) {
+  const std::size_t ppe = static_cast<std::size_t>(degree + 1) * (degree + 1) *
+                          (degree + 1);
+  return std::max<std::size_t>(8, (16u << 20) / (8 * ppe * 8));
+}
+
+void report(benchmark::State& state, int n1d, std::size_t n_elements) {
+  const double flops = static_cast<double>(kernels::ax_flops(n1d, n_elements));
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      flops * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+  state.counters["DOFs"] = static_cast<double>(n_elements) * n1d * n1d * n1d;
+}
+
+void BM_AxReference(benchmark::State& state) {
+  const int degree = static_cast<int>(state.range(0));
+  BenchData data(degree, elements_for(degree));
+  for (auto _ : state) {
+    kernels::ax_reference(data.args);
+    benchmark::DoNotOptimize(data.w.data());
+  }
+  report(state, data.args.n1d, data.args.n_elements);
+}
+BENCHMARK(BM_AxReference)->Arg(3)->Arg(7)->Arg(11)->Arg(15);
+
+void BM_AxFixed(benchmark::State& state) {
+  const int degree = static_cast<int>(state.range(0));
+  BenchData data(degree, elements_for(degree));
+  for (auto _ : state) {
+    kernels::ax_fixed(data.args);
+    benchmark::DoNotOptimize(data.w.data());
+  }
+  report(state, data.args.n1d, data.args.n_elements);
+}
+BENCHMARK(BM_AxFixed)->Arg(1)->Arg(3)->Arg(5)->Arg(7)->Arg(9)->Arg(11)->Arg(13)->Arg(15);
+
+void BM_AxMxm(benchmark::State& state) {
+  const int degree = static_cast<int>(state.range(0));
+  BenchData data(degree, elements_for(degree));
+  for (auto _ : state) {
+    kernels::ax_mxm(data.args);
+    benchmark::DoNotOptimize(data.w.data());
+  }
+  report(state, data.args.n1d, data.args.n_elements);
+}
+BENCHMARK(BM_AxMxm)->Arg(3)->Arg(7)->Arg(11)->Arg(15);
+
+void BM_AxSoa(benchmark::State& state) {
+  const int degree = static_cast<int>(state.range(0));
+  BenchData data(degree, elements_for(degree));
+  // Split the interleaved factors once, outside the timed region.
+  const std::size_t n = data.u.size();
+  std::array<aligned_vector<double>, sem::kGeomComponents> split;
+  for (int c = 0; c < sem::kGeomComponents; ++c) {
+    auto& v = split[static_cast<std::size_t>(c)];
+    v.resize(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      v[p] = data.g[p * sem::kGeomComponents + c];
+    }
+  }
+  kernels::AxSoaArgs soa;
+  soa.u = data.u;
+  soa.w = data.w;
+  for (int c = 0; c < sem::kGeomComponents; ++c) {
+    soa.g[static_cast<std::size_t>(c)] = split[static_cast<std::size_t>(c)];
+  }
+  soa.dx = data.args.dx;
+  soa.dxt = data.args.dxt;
+  soa.n1d = data.args.n1d;
+  soa.n_elements = data.args.n_elements;
+  for (auto _ : state) {
+    kernels::ax_soa(soa);
+    benchmark::DoNotOptimize(data.w.data());
+  }
+  report(state, data.args.n1d, data.args.n_elements);
+}
+BENCHMARK(BM_AxSoa)->Arg(7)->Arg(15);
+
+void BM_AxOmp(benchmark::State& state) {
+  const int degree = static_cast<int>(state.range(0));
+  BenchData data(degree, elements_for(degree));
+  for (auto _ : state) {
+    kernels::ax_omp(data.args);
+    benchmark::DoNotOptimize(data.w.data());
+  }
+  report(state, data.args.n1d, data.args.n_elements);
+}
+BENCHMARK(BM_AxOmp)->Arg(7)->Arg(15);
+
+void BM_Helmholtz(benchmark::State& state) {
+  const int degree = static_cast<int>(state.range(0));
+  BenchData data(degree, elements_for(degree));
+  kernels::HelmholtzArgs h;
+  h.ax = data.args;
+  h.mass = data.mass;
+  h.lambda = 1.0;
+  for (auto _ : state) {
+    kernels::helmholtz_reference(h);
+    benchmark::DoNotOptimize(data.w.data());
+  }
+  report(state, data.args.n1d, data.args.n_elements);
+}
+BENCHMARK(BM_Helmholtz)->Arg(7)->Arg(15);
+
+}  // namespace
+}  // namespace semfpga
+
+BENCHMARK_MAIN();

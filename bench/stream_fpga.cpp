@@ -1,0 +1,61 @@
+/// Effective external-memory bandwidth of the FPGA board model as a
+/// function of per-stream burst size and allocation policy — the
+/// STREAM-for-FPGA observation (paper Section V-B, citing [42]) that
+/// explains the small-N model error: small bursts see a fraction of peak.
+/// Usage: stream_fpga [--csv]
+
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "fpga/memory.hpp"
+#include "fpga/paper_data.hpp"
+
+using namespace semfpga;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const fpga::MemorySpec spec = fpga::stratix10_gx2800().memory;
+  const fpga::ExternalMemoryModel banked(spec, fpga::MemAllocation::kBanked);
+  const fpga::ExternalMemoryModel inter(spec, fpga::MemAllocation::kInterleaved);
+
+  Table sweep("Effective bandwidth vs burst size (Stratix 10 GX2800, 8 streams)");
+  sweep.set_header({"burst (B)", "banked eff", "banked GB/s", "interleaved eff",
+                    "interleaved GB/s"});
+  for (double burst : {64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0,
+                       16384.0, 32768.0, 65536.0}) {
+    const double be = banked.steady_efficiency(burst, 8);
+    const double ie = inter.steady_efficiency(burst, 8);
+    sweep.add_row({Table::fmt(burst, 0), Table::fmt(be, 3),
+                   Table::fmt(be * spec.peak_gbs, 1), Table::fmt(ie, 3),
+                   Table::fmt(ie * spec.peak_gbs, 1)});
+  }
+
+  Table kernels_t("Per-kernel effective bandwidth (model vs Table-I-derived measured)");
+  kernels_t.set_header({"N", "element burst (B)", "model eff", "measured eff",
+                        "model GB/s", "measured GB/s"});
+  for (int degree : {1, 3, 5, 7, 9, 11, 13, 15}) {
+    const int n1d = degree + 1;
+    const double burst = static_cast<double>(n1d) * n1d * n1d * 8.0;
+    const double model_eff = banked.kernel_efficiency(n1d);
+    const double measured = fpga::measured_memory_efficiency(degree);
+    kernels_t.add_row({Table::fmt_int(degree), Table::fmt(burst, 0),
+                       Table::fmt(model_eff, 3), Table::fmt(measured, 3),
+                       Table::fmt(model_eff * spec.peak_gbs, 1),
+                       Table::fmt(measured * spec.peak_gbs, 1)});
+  }
+
+  if (cli.has("csv")) {
+    sweep.print_csv(std::cout);
+    kernels_t.print_csv(std::cout);
+  } else {
+    sweep.print_text(std::cout);
+    std::cout << '\n';
+    kernels_t.print_text(std::cout);
+    std::cout << "\nMeasured efficiency is derived from Table I (DOFs/cycle x fmax /\n"
+                 "(B/64)); the mechanistic burst model explains the trend while the\n"
+                 "odd rows (T=2 kernels) sit below it — the board under-supplies\n"
+                 "half-rate demand streams, the paper's 'input dependent bandwidth'.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+/// Reproduces Table I: synthesis and performance of the eight
+/// SEM-accelerators on the Stratix 10 GX2800 at 4096 elements.
+///
+/// Two columns per quantity where applicable: the paper's published value
+/// and this reproduction's (simulated/modelled) value.  fmax is the
+/// paper's measured clock (placement noise is not derivable); utilisation
+/// and power come from the synthesis/power models; throughput from the
+/// calibrated simulator.  Usage: table1_synthesis [--csv] [--elements N]
+/// [--pure-model] (--pure-model disables the measured fmax/bandwidth
+/// fixture and runs the mechanistic models alone).
+
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "fpga/accelerator.hpp"
+
+using namespace semfpga;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto elements = static_cast<std::size_t>(cli.get_int("elements", 4096));
+  const bool pure_model = cli.has("pure-model");
+
+  Table table("Table I — SEM-accelerator synthesis & performance (Stratix 10 GX2800, " +
+              std::to_string(elements) + " elements)" +
+              (pure_model ? " [pure model, no measured fixtures]" : ""));
+  table.set_header({"N", "fmax", "logic", "regs", "BRAM", "DSP", "Power(W)",
+                    "GFLOP/s", "GF/s/W", "DOF/cyc", "err%", "paper:GF", "paper:DOF/c",
+                    "paper:W", "paper:err%"});
+
+  for (int degree : {1, 3, 5, 7, 9, 11, 13, 15}) {
+    fpga::SemAccelerator acc(fpga::stratix10_gx2800(),
+                             fpga::KernelConfig::banked(degree));
+    acc.set_use_measured_calibration(!pure_model);
+    const fpga::SynthesisReport& rep = acc.report();
+    const fpga::RunStats s = acc.estimate_steady(elements);
+    const double t_design = rep.t_design;
+    const double err_pct = (t_design - s.dofs_per_cycle) / t_design * 100.0;
+
+    const auto row = fpga::paper_table1_row(degree);
+    table.add_row({Table::fmt_int(degree), Table::fmt(s.clock_mhz, 0),
+                   Table::fmt_pct(rep.util_alms, 0), Table::fmt_pct(rep.util_regs, 0),
+                   Table::fmt_pct(rep.util_brams, 0), Table::fmt_pct(rep.util_dsps, 0),
+                   Table::fmt(s.power_w, 1), Table::fmt(s.gflops, 1),
+                   Table::fmt(s.gflops_per_w, 2), Table::fmt(s.dofs_per_cycle, 2),
+                   Table::fmt(err_pct, 1),
+                   row ? Table::fmt(row->gflops, 1) : "-",
+                   row ? Table::fmt(row->dofs_per_cycle, 2) : "-",
+                   row ? Table::fmt(row->power_w, 1) : "-",
+                   row ? Table::fmt(row->model_error_pct, 1) : "-"});
+  }
+
+  if (cli.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print_text(std::cout);
+    std::cout << "\nNotes: fmax = measured Table I clock unless --pure-model;\n"
+                 "utilisation/power from the calibrated synthesis and power models;\n"
+                 "err% = (T_design - T_measured)/T_design, the paper's model error.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+/// Reproduces Table II: overview of the evaluated systems with derived
+/// Byte/FLOP.  Usage: table2_systems [--csv]
+
+#include <iostream>
+
+#include "arch/systems.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+using namespace semfpga;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+
+  Table table("Table II — Overview of selected systems");
+  table.set_header({"Type", "Architecture", "Tech(nm)", "Peak(GFLOP/s)", "BW(GB/s)",
+                    "TDP(W)", "Byte/FLOP", "Freq(MHz)", "Release"});
+  arch::SystemType last = arch::SystemType::kFpga;
+  bool first = true;
+  for (const arch::SystemSpec& s : arch::table2_systems()) {
+    if (!first && s.type != last) {
+      table.add_separator();
+    }
+    first = false;
+    last = s.type;
+    table.add_row({arch::system_type_name(s.type), s.name, Table::fmt_int(s.tech_nm),
+                   Table::fmt(s.peak_gflops, 1), Table::fmt(s.mem_bw_gbs, 1),
+                   Table::fmt(s.tdp_w, 0), Table::fmt(s.byte_per_flop(), 3),
+                   Table::fmt(s.freq_mhz, 0), Table::fmt_int(s.release_year)});
+  }
+
+  if (cli.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print_text(std::cout);
+    std::cout << "\nNote: the FPGA peak is the paper's model-derived optimistic bound "
+                 "at 400 MHz (its Table II footnote *).\n";
+  }
+  return 0;
+}

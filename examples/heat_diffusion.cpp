@@ -1,0 +1,122 @@
+/// Time-dependent heat diffusion — the kind of workload the paper's CFD
+/// motivation boils down to once a time integrator wraps the elliptic
+/// solve.  Implicit Euler for
+///     u_t = kappa lap(u)   on (0,1)^3,  u = 0 on the boundary,
+/// gives one Helmholtz solve per step:
+///     (M + dt kappa A) u^{n+1} = M u^n
+/// which this example evaluates with the BK5-style Helmholtz operator and
+/// solves with Chebyshev-preconditioned CG.  The numerical decay rate of
+/// the fundamental mode is compared against the analytic exp(-3 pi^2
+/// kappa t).
+///
+/// Usage: heat_diffusion [--degree 6] [--nel 2] [--steps 20] [--dt 2e-3]
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "kernels/helmholtz.hpp"
+#include "solver/cg.hpp"
+#include "solver/chebyshev.hpp"
+
+int main(int argc, char** argv) {
+  using namespace semfpga;
+  const Cli cli(argc, argv);
+  const int degree = static_cast<int>(cli.get_int("degree", 6));
+  const int nel = static_cast<int>(cli.get_int("nel", 2));
+  const int steps = static_cast<int>(cli.get_int("steps", 20));
+  const double dt = cli.get_double("dt", 2e-3);
+  const double kappa = cli.get_double("kappa", 1.0);
+  constexpr double kPi = 3.14159265358979323846;
+
+  sem::BoxMeshSpec spec;
+  spec.degree = degree;
+  spec.nelx = spec.nely = spec.nelz = nel;
+  const sem::Mesh mesh = sem::box_mesh(spec);
+  solver::PoissonSystem system(mesh);
+  const std::size_t n = system.n_local();
+
+  // Implicit-Euler operator: w = A u + (1/(dt kappa)) M u, scaled so the
+  // stiffness part keeps its conditioning.  The solve below handles
+  // (A + sigma M) u^{n+1} = sigma M u^n with sigma = 1/(dt kappa).
+  const double sigma = 1.0 / (dt * kappa);
+  system.set_local_operator([&system, sigma](std::span<const double> u,
+                                             std::span<double> w) {
+    kernels::HelmholtzArgs args;
+    args.ax.u = u;
+    args.ax.w = w;
+    args.ax.g = std::span<const double>(system.geom().g.data(), system.geom().g.size());
+    args.ax.dx = std::span<const double>(system.ref().deriv().d.data(),
+                                         system.ref().deriv().d.size());
+    args.ax.dxt = std::span<const double>(system.ref().deriv().dt.data(),
+                                          system.ref().deriv().dt.size());
+    args.ax.n1d = system.ref().n1d();
+    args.ax.n_elements = system.geom().n_elements;
+    args.mass = std::span<const double>(system.geom().mass.data(),
+                                        system.geom().mass.size());
+    args.lambda = sigma;
+    kernels::helmholtz_reference(args);
+  });
+
+  // Initial condition: the fundamental mode (decays at exactly 3 pi^2).
+  aligned_vector<double> u(n);
+  system.sample(
+      [kPi](double x, double y, double z) {
+        return std::sin(kPi * x) * std::sin(kPi * y) * std::sin(kPi * z);
+      },
+      std::span<double>(u.data(), n));
+  for (std::size_t p = 0; p < n; ++p) {
+    u[p] *= system.mask()[p];
+  }
+
+  const solver::ChebyshevPreconditioner precond(system, 3);
+  solver::CgOptions options;
+  options.tolerance = 1e-12;
+  options.max_iterations = 500;
+  options.preconditioner = [&precond](std::span<const double> r, std::span<double> z) {
+    precond.apply(r, z);
+  };
+
+  auto peak = [&u]() {
+    double m = 0.0;
+    for (double v : u) {
+      m = std::max(m, std::abs(v));
+    }
+    return m;
+  };
+
+  std::printf("implicit-Euler heat equation, N=%d, %d^3 elements, dt=%.1e, "
+              "kappa=%.1f\n\n",
+              degree, nel, dt, kappa);
+  std::printf("%6s %14s %14s %10s %8s\n", "step", "peak u", "analytic", "ratio",
+              "CG its");
+
+  aligned_vector<double> rhs(n), b(n);
+  const double u0 = peak();
+  int total_iterations = 0;
+  for (int s = 1; s <= steps; ++s) {
+    // b = mask(QQ^T(sigma M u^n)).
+    for (std::size_t p = 0; p < n; ++p) {
+      rhs[p] = sigma * u[p];
+    }
+    system.assemble_rhs(std::span<const double>(rhs.data(), n),
+                        std::span<double>(b.data(), n));
+    const solver::CgResult r = solver::solve_cg(
+        system, std::span<const double>(b.data(), n), std::span<double>(u.data(), n),
+        options);
+    total_iterations += r.iterations;
+
+    const double t = s * dt;
+    // Implicit Euler's discrete decay per step is 1/(1 + dt kappa 3 pi^2).
+    const double discrete =
+        u0 * std::pow(1.0 / (1.0 + dt * kappa * 3.0 * kPi * kPi), s);
+    const double analytic = u0 * std::exp(-3.0 * kPi * kPi * kappa * t);
+    std::printf("%6d %14.6e %14.6e %10.4f %8d\n", s, peak(), analytic,
+                peak() / discrete, r.iterations);
+  }
+  std::printf("\nThe ratio column compares against the implicit-Euler discrete\n"
+              "decay (exact for the fundamental mode): it stays at 1.0000 to\n"
+              "solver tolerance.  Total CG iterations: %d.\n",
+              total_iterations);
+  return 0;
+}

@@ -1,0 +1,74 @@
+/// Solves the 3-D Poisson problem of paper Section II end-to-end:
+///     -lap(u) = f  on (0,1)^3,  u = 0 on the boundary,
+/// with the manufactured solution u = sin(pi x) sin(pi y) sin(pi z), and
+/// prints a p-refinement convergence table demonstrating spectral accuracy
+/// — the property that makes high polynomial degrees (and hence the
+/// paper's accelerator) worthwhile.
+///
+/// Usage: poisson_solve [--nel 2] [--max-degree 10] [--deformed]
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "solver/cg.hpp"
+
+int main(int argc, char** argv) {
+  using namespace semfpga;
+  const Cli cli(argc, argv);
+  const int nel = static_cast<int>(cli.get_int("nel", 2));
+  const int max_degree = static_cast<int>(cli.get_int("max-degree", 10));
+  const bool deformed = cli.has("deformed");
+  constexpr double kPi = 3.14159265358979323846;
+
+  std::printf("p-convergence of the SEM Poisson solve on a %dx%dx%d %s mesh\n\n", nel,
+              nel, nel, deformed ? "sine-deformed" : "uniform");
+  std::printf("%4s %10s %8s %12s %14s\n", "N", "DOFs", "iters", "residual",
+              "max error");
+
+  for (int degree = 2; degree <= max_degree; ++degree) {
+    sem::BoxMeshSpec spec;
+    spec.degree = degree;
+    spec.nelx = spec.nely = spec.nelz = nel;
+    if (deformed) {
+      spec.deformation = sem::Deformation::kSine;
+      spec.deformation_amplitude = 0.03;
+    }
+    const sem::Mesh mesh = sem::box_mesh(spec);
+    solver::PoissonSystem system(mesh);
+
+    const std::size_t n = system.n_local();
+    aligned_vector<double> f(n), b(n), x(n, 0.0);
+    system.sample(
+        [kPi](double px, double py, double pz) {
+          return 3.0 * kPi * kPi * std::sin(kPi * px) * std::sin(kPi * py) *
+                 std::sin(kPi * pz);
+        },
+        std::span<double>(f.data(), n));
+    system.assemble_rhs(std::span<const double>(f.data(), n),
+                        std::span<double>(b.data(), n));
+
+    solver::CgOptions options;
+    options.tolerance = 1e-12;
+    options.max_iterations = 2000;
+    const solver::CgResult result = solver::solve_cg(
+        system, std::span<const double>(b.data(), n), std::span<double>(x.data(), n),
+        options);
+
+    aligned_vector<double> exact(n);
+    system.sample(
+        [kPi](double px, double py, double pz) {
+          return std::sin(kPi * px) * std::sin(kPi * py) * std::sin(kPi * pz);
+        },
+        std::span<double>(exact.data(), n));
+    double err = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      err = std::max(err, std::abs(x[p] - exact[p]));
+    }
+    std::printf("%4d %10zu %8d %12.3e %14.6e\n", degree, n, result.iterations,
+                result.final_residual, err);
+  }
+  std::printf("\nThe error column falls exponentially in N until it hits the CG\n"
+              "tolerance floor — spectral convergence.\n");
+  return 0;
+}

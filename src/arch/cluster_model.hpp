@@ -1,0 +1,50 @@
+#pragma once
+/// \file cluster_model.hpp
+/// Strong-scaling model for clusters of accelerators running the SEM CG
+/// solve — an extension of the paper's single-device study to its own
+/// deployment context (Noctua is an FPGA cluster; Nek5000 runs at scale).
+///
+/// Per CG iteration each rank performs: one Ax on its slab, the halo
+/// exchange with its slab neighbours, and two global reductions.  The
+/// model composes a per-device kernel-time function with a latency/
+/// bandwidth network (log2 tree allreduce) and reports time, speedup and
+/// parallel efficiency.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "solver/partition.hpp"
+
+namespace semfpga::arch {
+
+/// Interconnect description (per link, MPI-like).
+struct NetworkSpec {
+  double latency_us = 1.5;      ///< per-message latency
+  double bandwidth_gbs = 12.5;  ///< per-link bandwidth (100 Gb/s default)
+};
+
+/// Seconds one device needs for an Ax apply on `n_elements` elements.
+using DeviceKernelTime = std::function<double(std::int64_t n_elements)>;
+
+/// One point of a strong-scaling curve.
+struct ScalingPoint {
+  int ranks = 1;
+  double ax_seconds = 0.0;        ///< slowest rank's kernel time
+  double halo_seconds = 0.0;      ///< neighbour exchange
+  double allreduce_seconds = 0.0; ///< two dot-product reductions
+  double iteration_seconds = 0.0;
+  double speedup = 1.0;           ///< vs the 1-rank iteration time
+  double efficiency = 1.0;        ///< speedup / ranks
+};
+
+/// Strong-scaling sweep of one CG iteration over rank counts.
+/// \param spec     global problem (box mesh)
+/// \param kernel   per-device Ax time
+/// \param network  interconnect
+/// \param rank_counts  rank counts to evaluate (each <= spec.nelz)
+[[nodiscard]] std::vector<ScalingPoint> strong_scaling(
+    const sem::BoxMeshSpec& spec, const DeviceKernelTime& kernel,
+    const NetworkSpec& network, const std::vector<int>& rank_counts);
+
+}  // namespace semfpga::arch

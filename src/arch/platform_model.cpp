@@ -1,0 +1,109 @@
+#include "arch/platform_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "kernels/ax.hpp"
+
+namespace semfpga::arch {
+
+PlatformModel::PlatformModel(SystemSpec spec, PlatformTuning tuning)
+    : spec_(std::move(spec)), tuning_(tuning) {
+  SEMFPGA_CHECK(spec_.peak_gflops > 0.0 && spec_.mem_bw_gbs > 0.0,
+                "platform spec must have positive limits");
+}
+
+double PlatformModel::asymptotic_gflops(int degree) const {
+  SEMFPGA_CHECK(degree >= 1, "degree must be at least 1");
+  const int n1d = degree + 1;
+  const double intensity = kernels::ax_intensity(n1d);
+  const double over7 = std::max(0, degree - 7);
+
+  const double ce = std::max(0.02, tuning_.compute_eff - tuning_.compute_eff_slope * over7);
+  const double be = std::max(0.02, tuning_.bw_eff - tuning_.bw_eff_slope * over7);
+
+  double p = std::min(spec_.peak_gflops * ce, spec_.mem_bw_gbs * be * intensity);
+  if (degree > tuning_.rolloff_degree) {
+    p *= std::pow(tuning_.rolloff_per_degree, degree - tuning_.rolloff_degree);
+  }
+  return p;
+}
+
+double PlatformModel::gflops(int degree, std::size_t n_elements) const {
+  SEMFPGA_CHECK(n_elements > 0, "element count must be positive");
+  const int n1d = degree + 1;
+  const double bytes = static_cast<double>(n_elements) * n1d * n1d * n1d *
+                       kernels::ax_bytes_per_dof();
+  const double s_half = tuning_.ramp_mbytes * 1e6;
+  return asymptotic_gflops(degree) * bytes / (bytes + s_half);
+}
+
+double PlatformModel::roofline_gflops(int degree) const {
+  const double intensity = kernels::ax_intensity(degree + 1);
+  return std::min(spec_.peak_gflops, spec_.mem_bw_gbs * intensity);
+}
+
+double PlatformModel::power_w(int degree, std::size_t n_elements) const {
+  const double p = gflops(degree, n_elements);
+  const double flops_frac = p / spec_.peak_gflops;
+  const double intensity = kernels::ax_intensity(degree + 1);
+  const double bw_frac = (p / intensity) / spec_.mem_bw_gbs;
+  const double util = std::clamp(std::max(flops_frac, bw_frac), 0.0, 1.0);
+  return spec_.tdp_w * (tuning_.idle_frac + (1.0 - tuning_.idle_frac) * util);
+}
+
+double PlatformModel::gflops_per_w(int degree, std::size_t n_elements) const {
+  return gflops(degree, n_elements) / power_w(degree, n_elements);
+}
+
+const std::vector<PlatformModel>& paper_platforms() {
+  // Tuning calibration (EXPERIMENTS.md "platform models"): anchored on the
+  // ratios the paper states at 4096 elements — e.g. FPGA(N=15) = 211.3
+  // beats Xeon/i9/TX2/K80 by 1.17/1.89/2.34/1.87x and trails RTX/P100/
+  // V100/A100 by 0.86/4.3/6.41/8.43x; Tesla peaks of 1.3/1.9/2.3 TFLOP/s;
+  // the CPUs' RAPL draw sits near TDP when busy; the K80's NVML draw on
+  // this memory-bound kernel is far below its 300 W TDP (the paper finds
+  // it beats the FPGA's power efficiency at N=7).
+  static const std::vector<PlatformModel> platforms = [] {
+    std::vector<PlatformModel> v;
+    // CPUs: bandwidth-bound with Nekbone's measured sustained fractions;
+    // RAPL package power sits near TDP when all cores run the kernel.
+    v.emplace_back(system_by_name("Intel Xeon Gold 6130"),
+                   PlatformTuning{/*ce=*/0.35, /*ce_slope=*/0.0, /*be=*/0.572,
+                                  /*be_slope=*/0.0169, 99, 1.0,
+                                  /*ramp_mb=*/0.8, /*idle=*/0.90});
+    v.emplace_back(system_by_name("Intel i9-10920X"),
+                   PlatformTuning{0.35, 0.0, 0.848, 0.050, 99, 1.0, 0.6, 0.90});
+    // ThunderX2: ample bandwidth, weak FP pipes -> compute-bound.
+    v.emplace_back(system_by_name("Marvell ThunderX2"),
+                   PlatformTuning{0.180, 0.0009, 0.50, 0.0, 99, 1.0, 0.8, 0.90});
+    // GPUs: the [40] kernel rides the bandwidth roof near its tuned
+    // degrees and is "only optimized for relevant polynomial degrees":
+    // be declines with N and Tesla cards roll off beyond N=11.  The K80's
+    // NVML draw on this memory-bound kernel is far below its dual-die TDP.
+    v.emplace_back(system_by_name("NVIDIA Tesla K80"),
+                   PlatformTuning{0.30, 0.0, 0.245, 0.0124, 99, 1.0, 6.0, 0.04});
+    v.emplace_back(system_by_name("NVIDIA Tesla P100 SXM2"),
+                   PlatformTuning{0.60, 0.0, 0.969, 0.0635, 11, 0.955, 8.0, 0.50});
+    v.emplace_back(system_by_name("NVIDIA RTX 2060 Super"),
+                   PlatformTuning{1.087, 0.0, 0.75, 0.0, 99, 1.0, 6.0, 0.50});
+    v.emplace_back(system_by_name("NVIDIA Tesla V100 PCIe"),
+                   PlatformTuning{0.60, 0.0, 0.950, 0.0245, 11, 0.887, 8.0, 0.50});
+    v.emplace_back(system_by_name("NVIDIA A100 PCIe"),
+                   PlatformTuning{0.60, 0.0, 0.811, 0.0550, 11, 0.988, 10.0, 0.50});
+    return v;
+  }();
+  return platforms;
+}
+
+const PlatformModel& platform_by_name(const std::string& name) {
+  for (const PlatformModel& p : paper_platforms()) {
+    if (p.spec().name == name) {
+      return p;
+    }
+  }
+  SEMFPGA_CHECK(false, "no platform model for: " + name);
+}
+
+}  // namespace semfpga::arch

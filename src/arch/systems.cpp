@@ -1,0 +1,40 @@
+#include "arch/systems.hpp"
+
+#include "common/check.hpp"
+
+namespace semfpga::arch {
+
+const char* system_type_name(SystemType t) noexcept {
+  switch (t) {
+    case SystemType::kFpga: return "FPGA";
+    case SystemType::kCpu: return "CPU";
+    case SystemType::kGpu: return "GPU";
+  }
+  return "unknown";
+}
+
+const std::vector<SystemSpec>& table2_systems() {
+  static const std::vector<SystemSpec> systems = {
+      {"Stratix GX 2800", SystemType::kFpga, 14, 500.0, 76.8, 225.0, 400.0, 2016},
+      {"Intel Xeon Gold 6130", SystemType::kCpu, 14, 1075.0, 128.0, 125.0, 2100.0, 2017},
+      {"Intel i9-10920X", SystemType::kCpu, 14, 921.0, 76.8, 165.0, 3500.0, 2019},
+      {"Marvell ThunderX2", SystemType::kCpu, 16, 512.0, 170.0, 180.0, 2000.0, 2018},
+      {"NVIDIA Tesla K80", SystemType::kGpu, 28, 1371.0, 240.0, 300.0, 562.0, 2014},
+      {"NVIDIA Tesla P100 SXM2", SystemType::kGpu, 16, 5304.0, 732.2, 300.0, 1328.0, 2016},
+      {"NVIDIA RTX 2060 Super", SystemType::kGpu, 12, 224.4, 448.0, 175.0, 1470.0, 2019},
+      {"NVIDIA Tesla V100 PCIe", SystemType::kGpu, 12, 7066.0, 897.0, 250.0, 1245.0, 2017},
+      {"NVIDIA A100 PCIe", SystemType::kGpu, 7, 9746.0, 1555.0, 250.0, 765.0, 2020},
+  };
+  return systems;
+}
+
+const SystemSpec& system_by_name(const std::string& name) {
+  for (const SystemSpec& s : table2_systems()) {
+    if (s.name == name) {
+      return s;
+    }
+  }
+  SEMFPGA_CHECK(false, "unknown system: " + name);
+}
+
+}  // namespace semfpga::arch

@@ -1,0 +1,38 @@
+#pragma once
+/// \file systems.hpp
+/// The evaluation systems of the paper's Table II.
+
+#include <string>
+#include <vector>
+
+namespace semfpga::arch {
+
+enum class SystemType { kFpga, kCpu, kGpu };
+
+[[nodiscard]] const char* system_type_name(SystemType t) noexcept;
+
+/// One row of Table II.
+struct SystemSpec {
+  std::string name;
+  SystemType type = SystemType::kCpu;
+  int tech_nm = 0;
+  double peak_gflops = 0.0;   ///< double-precision peak
+  double mem_bw_gbs = 0.0;
+  double tdp_w = 0.0;
+  double freq_mhz = 0.0;
+  int release_year = 0;
+
+  /// Derived metric reported in Table II.
+  [[nodiscard]] double byte_per_flop() const noexcept {
+    return mem_bw_gbs / peak_gflops;
+  }
+};
+
+/// All nine Table II systems, in the paper's order.  The FPGA's peak is the
+/// paper's model-derived optimistic bound at 400 MHz (its footnote *).
+[[nodiscard]] const std::vector<SystemSpec>& table2_systems();
+
+/// Lookup by name; throws std::invalid_argument if absent.
+[[nodiscard]] const SystemSpec& system_by_name(const std::string& name);
+
+}  // namespace semfpga::arch

@@ -1,0 +1,62 @@
+#pragma once
+/// \file aligned.hpp
+/// Cache-line / SIMD-register aligned storage.
+///
+/// SEM element data is streamed through tight tensor-contraction loops; a
+/// 64-byte aligned allocation keeps vector loads split-free and matches the
+/// alignment HLS tools assume for wide external-memory bursts.
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace semfpga {
+
+inline constexpr std::size_t kDefaultAlignment = 64;
+
+/// Minimal C++17 aligned allocator usable with std::vector.
+template <class T, std::size_t Alignment = kDefaultAlignment>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Alignment >= alignof(T), "alignment too small for T");
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment must be a power of two");
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  explicit AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    void* p = std::aligned_alloc(Alignment, round_up(n * sizeof(T)));
+    if (p == nullptr) {
+      throw std::bad_alloc();
+    }
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) { return true; }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) { return false; }
+
+ private:
+  /// std::aligned_alloc requires the size to be a multiple of the alignment.
+  static std::size_t round_up(std::size_t bytes) noexcept {
+    return (bytes + Alignment - 1) / Alignment * Alignment;
+  }
+};
+
+/// Vector with 64-byte aligned storage; the workhorse container for fields.
+template <class T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace semfpga

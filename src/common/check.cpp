@@ -1,0 +1,11 @@
+#include "common/check.hpp"
+
+namespace semfpga {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& message) {
+  throw std::invalid_argument(std::string(file) + ":" + std::to_string(line) +
+                              ": check `" + expr + "` failed: " + message);
+}
+
+}  // namespace semfpga

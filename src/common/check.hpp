@@ -1,0 +1,29 @@
+#pragma once
+/// \file check.hpp
+/// Precondition / invariant checking used across the library.
+///
+/// Following the C++ Core Guidelines (I.6 "Prefer Expects() for expressing
+/// preconditions"), we centralise argument validation in one macro that
+/// throws std::invalid_argument with file/line context.  Checks stay enabled
+/// in release builds: every entry point of the library is cheap relative to
+/// the work it guards.
+
+#include <stdexcept>
+#include <string>
+
+namespace semfpga {
+
+/// Builds the exception message for a failed check; out-of-line so the
+/// macro expansion stays small.
+[[noreturn]] void throw_check_failure(const char* expr, const char* file, int line,
+                                      const std::string& message);
+
+}  // namespace semfpga
+
+/// Validates a precondition; throws std::invalid_argument on failure.
+#define SEMFPGA_CHECK(expr, message)                                        \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::semfpga::throw_check_failure(#expr, __FILE__, __LINE__, (message)); \
+    }                                                                       \
+  } while (false)

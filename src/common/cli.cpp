@@ -1,0 +1,67 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace semfpga {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    Flag flag;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flag.name = arg.substr(0, eq);
+      flag.value = arg.substr(eq + 1);
+      flag.has_value = true;
+    } else {
+      flag.name = arg;
+      // `--name value` form: consume the next token if it is not a flag.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        flag.value = argv[++i];
+        flag.has_value = true;
+      }
+    }
+    flags_.push_back(std::move(flag));
+  }
+}
+
+const Cli::Flag* Cli::find(const std::string& name) const {
+  for (const Flag& f : flags_) {
+    if (f.name == name) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+bool Cli::has(const std::string& name) const { return find(name) != nullptr; }
+
+std::string Cli::get(const std::string& name, const std::string& fallback) const {
+  const Flag* f = find(name);
+  return (f != nullptr && f->has_value) ? f->value : fallback;
+}
+
+long long Cli::get_int(const std::string& name, long long fallback) const {
+  const Flag* f = find(name);
+  if (f == nullptr || !f->has_value) {
+    return fallback;
+  }
+  return std::strtoll(f->value.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const Flag* f = find(name);
+  if (f == nullptr || !f->has_value) {
+    return fallback;
+  }
+  return std::strtod(f->value.c_str(), nullptr);
+}
+
+}  // namespace semfpga

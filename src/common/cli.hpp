@@ -1,0 +1,43 @@
+#pragma once
+/// \file cli.hpp
+/// Tiny flag parser shared by the bench/example binaries.
+///
+/// Supports `--name=value` and `--name value` forms plus boolean switches.
+/// Deliberately minimal: the binaries take a handful of numeric knobs.
+
+#include <string>
+#include <vector>
+
+namespace semfpga {
+
+/// Parsed command line: flags plus positional arguments.
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// True if `--name` was passed (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Value of `--name`, or `fallback` when absent.
+  [[nodiscard]] std::string get(const std::string& name, const std::string& fallback) const;
+  [[nodiscard]] long long get_int(const std::string& name, long long fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string value;
+    bool has_value = false;
+  };
+  [[nodiscard]] const Flag* find(const std::string& name) const;
+
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace semfpga

@@ -1,0 +1,51 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic, seedable random number generation.
+///
+/// Tests and workload generators need reproducible randomness that does not
+/// depend on the standard library's distribution implementations (which may
+/// differ across platforms).  SplitMix64 is tiny, fast, and has a full
+/// 2^64 period per stream.
+
+#include <cstdint>
+
+namespace semfpga {
+
+/// SplitMix64 generator (Steele, Lea, Flood 2014).  Deterministic across
+/// platforms, unlike std::mt19937 + std::uniform_real_distribution.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  constexpr std::uint64_t next_u64() noexcept {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    // 53 random mantissa bits scaled into [0,1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, bound).  Uses rejection-free multiply-shift;
+  /// bias is < 2^-32 for bound < 2^32, immaterial for test workloads.
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace semfpga

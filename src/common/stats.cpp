@@ -1,0 +1,77 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace semfpga {
+
+Summary summarize(std::span<const double> values) noexcept {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) {
+    return s;
+  }
+  s.min = values[0];
+  s.max = values[0];
+  double sum = 0.0;
+  for (double v : values) {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double acc = 0.0;
+    for (double v : values) {
+      const double d = v - s.mean;
+      acc += d * d;
+    }
+    s.stddev = std::sqrt(acc / static_cast<double>(values.size() - 1));
+  }
+  return s;
+}
+
+double rel_error(double a, double b, double floor) noexcept {
+  const double scale = std::max({std::abs(a), std::abs(b), floor});
+  return std::abs(a - b) / scale;
+}
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) noexcept {
+  const std::size_t n = std::min(a.size(), b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+double max_rel_diff(std::span<const double> a, std::span<const double> b,
+                    double floor) noexcept {
+  const std::size_t n = std::min(a.size(), b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    m = std::max(m, rel_error(a[i], b[i], floor));
+  }
+  return m;
+}
+
+double norm2(std::span<const double> v) noexcept {
+  double acc = 0.0;
+  for (double x : v) {
+    acc += x * x;
+  }
+  return std::sqrt(acc);
+}
+
+double dot(std::span<const double> a, std::span<const double> b) noexcept {
+  const std::size_t n = std::min(a.size(), b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+}  // namespace semfpga

@@ -1,0 +1,40 @@
+#pragma once
+/// \file stats.hpp
+/// Small statistics helpers shared by tests and benchmark harnesses.
+
+#include <cstddef>
+#include <span>
+
+namespace semfpga {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+};
+
+/// Computes summary statistics; empty input yields a zeroed Summary.
+[[nodiscard]] Summary summarize(std::span<const double> values) noexcept;
+
+/// |a - b| / max(|a|, |b|, floor): symmetric relative error with an absolute
+/// floor so comparisons near zero do not blow up.
+[[nodiscard]] double rel_error(double a, double b, double floor = 1e-300) noexcept;
+
+/// Maximum absolute difference between two equally-sized sequences.
+[[nodiscard]] double max_abs_diff(std::span<const double> a, std::span<const double> b) noexcept;
+
+/// Maximum relative difference (rel_error element-wise) between sequences.
+[[nodiscard]] double max_rel_diff(std::span<const double> a, std::span<const double> b,
+                                  double floor = 1e-12) noexcept;
+
+/// Euclidean norm. Uses a scaled accumulation to avoid overflow for large
+/// fields; adequate for verification use.
+[[nodiscard]] double norm2(std::span<const double> v) noexcept;
+
+/// Dot product (plain left-to-right accumulation).
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b) noexcept;
+
+}  // namespace semfpga

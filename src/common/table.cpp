@@ -1,0 +1,136 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace semfpga {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::set_header(std::vector<std::string> header) {
+  SEMFPGA_CHECK(rows_.empty(), "set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  SEMFPGA_CHECK(row.size() <= header_.size() || header_.empty(),
+                "row has more cells than the header");
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void Table::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string Table::fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::fmt_int(long long value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", value);
+  return buf;
+}
+
+std::string Table::fmt_pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string Table::fmt_si(double value, int precision) {
+  static constexpr const char* suffix[] = {"", "k", "M", "G", "T", "P"};
+  int idx = 0;
+  double v = value;
+  while (std::abs(v) >= 1000.0 && idx < 5) {
+    v /= 1000.0;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%s", precision, v, suffix[idx]);
+  return buf;
+}
+
+std::string Table::fmt_exp(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+  return buf;
+}
+
+void Table::print_text(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto account = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) {
+      widths.resize(cells.size(), 0);
+    }
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  account(header_);
+  for (const Row& r : rows_) {
+    if (!r.separator) {
+      account(r.cells);
+    }
+  }
+
+  std::size_t total = 0;
+  for (std::size_t w : widths) {
+    total += w + 2;
+  }
+  total = std::max<std::size_t>(total, title_.size());
+
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      os << c;
+      for (std::size_t pad = c.size(); pad < widths[i] + 2; ++pad) {
+        os << ' ';
+      }
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) {
+    os << title_ << '\n';
+  }
+  os << std::string(total, '=') << '\n';
+  if (!header_.empty()) {
+    print_cells(header_);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const Row& r : rows_) {
+    if (r.separator) {
+      os << std::string(total, '-') << '\n';
+    } else {
+      print_cells(r.cells);
+    }
+  }
+  os << std::string(total, '=') << '\n';
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto print_cells = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) {
+        os << ',';
+      }
+      os << cells[i];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    print_cells(header_);
+  }
+  for (const Row& r : rows_) {
+    if (!r.separator) {
+      print_cells(r.cells);
+    }
+  }
+}
+
+}  // namespace semfpga

@@ -1,0 +1,56 @@
+#pragma once
+/// \file table.hpp
+/// Aligned-column text tables for the benchmark harnesses.
+///
+/// Every bench binary reproduces a table or figure from the paper; this
+/// printer keeps their output uniform (fixed-width columns, optional CSV
+/// emission so series can be re-plotted).
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace semfpga {
+
+/// Column-aligned table that can render as text or CSV.
+class Table {
+ public:
+  /// \param title printed above the table (text mode only).
+  explicit Table(std::string title);
+
+  /// Sets the header row.  Must be called before any add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a row; it may have fewer cells than the header (padded empty).
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator at the current position.
+  void add_separator();
+
+  /// Number formatting helpers used by benches.
+  [[nodiscard]] static std::string fmt(double value, int precision = 2);
+  [[nodiscard]] static std::string fmt_int(long long value);
+  [[nodiscard]] static std::string fmt_pct(double fraction, int precision = 1);
+  [[nodiscard]] static std::string fmt_si(double value, int precision = 2);
+  [[nodiscard]] static std::string fmt_exp(double value, int precision = 3);
+
+  /// Renders with aligned columns.
+  void print_text(std::ostream& os) const;
+
+  /// Renders as CSV (separators skipped).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t n_rows() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace semfpga

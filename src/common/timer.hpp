@@ -1,0 +1,27 @@
+#pragma once
+/// \file timer.hpp
+/// Monotonic wall-clock timer for benchmark measurement.
+
+#include <chrono>
+
+namespace semfpga {
+
+/// Steady-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace semfpga

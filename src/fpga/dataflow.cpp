@@ -1,0 +1,119 @@
+#include "fpga/dataflow.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "model/kernel_cost.hpp"
+
+namespace semfpga::fpga {
+
+PipelineShape pipeline_shape(const DeviceSpec& device, const KernelConfig& config,
+                             const SynthesisReport& report, double clock_mhz,
+                             double memory_efficiency) {
+  SEMFPGA_CHECK(clock_mhz > 0.0, "clock must be positive");
+  SEMFPGA_CHECK(memory_efficiency > 0.0 && memory_efficiency <= 1.0,
+                "memory efficiency must be in (0, 1]");
+  const model::KernelCost cost = config_cost(config);
+  const double dofs = static_cast<double>(cost.points_per_element());
+
+  // Effective external-memory words per kernel cycle, split between the
+  // load and store streams by their traffic shares.
+  const double bytes_per_cycle =
+      memory_efficiency * device.memory.peak_bytes_per_sec() / (clock_mhz * 1e6);
+  const double words_per_cycle = bytes_per_cycle / 8.0;
+
+  PipelineShape shape;
+  shape.load_cycles =
+      dofs * static_cast<double>(cost.loads_per_dof) / words_per_cycle;
+  shape.store_cycles =
+      dofs * static_cast<double>(cost.writes_per_dof) / words_per_cycle;
+  const double dof_per_cycle =
+      report.pipelined
+          ? static_cast<double>(report.t_design) /
+                (static_cast<double>(report.ii) * report.arbitration_stall)
+          : 1.0 / 600.0;  // unpipelined baseline: ~600 cycles per DOF
+  shape.compute_cycles = dofs / dof_per_cycle;
+  // Fill: FP pipeline depth times the number of chained stages.
+  shape.fill_cycles = 300.0;
+  shape.buffer_slots = 2;
+  return shape;
+}
+
+DataflowResult simulate_dataflow(const PipelineShape& shape, std::size_t n_elements) {
+  SEMFPGA_CHECK(n_elements > 0, "element count must be positive");
+  SEMFPGA_CHECK(shape.buffer_slots >= 1, "need at least one buffer slot");
+
+  // Event-level simulation.  The external-memory channel serves one
+  // request at a time (loads and stores arbitrate for it); the compute
+  // unit runs one element at a time; `buffer_slots` bounds how far loads
+  // run ahead of compute.  When a load and a store are both pending, the
+  // channel serves whichever became ready first (ties drain the store).
+  const auto slots = static_cast<std::size_t>(shape.buffer_slots);
+  constexpr double kInf = 1e300;
+
+  double mem_free = 0.0;
+  double compute_free = shape.fill_cycles;
+  double last_store_done = 0.0;
+
+  double load_busy = 0.0;
+  double compute_busy = 0.0;
+  double store_busy = 0.0;
+
+  std::vector<double> compute_done(n_elements, 0.0);
+  std::size_t next_load = 0;
+  std::size_t next_store = 0;
+
+  while (next_store < n_elements) {
+    // When may the next load / the next store claim the channel?
+    double load_ready = kInf;
+    if (next_load < n_elements) {
+      load_ready = mem_free;
+      if (next_load >= slots) {
+        load_ready = std::max(load_ready, compute_done[next_load - slots]);
+      }
+    }
+    double store_ready = kInf;
+    if (next_store < next_load) {  // its compute has been scheduled
+      store_ready = std::max(mem_free, compute_done[next_store]);
+    }
+
+    if (store_ready <= load_ready) {
+      mem_free = store_ready + shape.store_cycles;
+      last_store_done = mem_free;
+      store_busy += shape.store_cycles;
+      ++next_store;
+    } else {
+      const double load_done = load_ready + shape.load_cycles;
+      mem_free = load_done;
+      load_busy += shape.load_cycles;
+      // Schedule this element's compute as soon as data and unit allow.
+      const double start = std::max(load_done, compute_free);
+      compute_done[next_load] = start + shape.compute_cycles;
+      compute_free = compute_done[next_load];
+      compute_busy += shape.compute_cycles;
+      ++next_load;
+    }
+  }
+
+  DataflowResult result;
+  result.total_cycles = last_store_done;
+  result.load_busy = load_busy / result.total_cycles;
+  result.compute_busy = compute_busy / result.total_cycles;
+  result.store_busy = store_busy / result.total_cycles;
+  const double mem_share = result.load_busy + result.store_busy;
+  result.bottleneck = mem_share > result.compute_busy ? "memory" : "compute";
+  return result;
+}
+
+double closed_form_cycles(const PipelineShape& shape, std::size_t n_elements) {
+  // Steady state: each element costs the slower of (a) its share of the
+  // serialised memory channel and (b) the compute stage; plus the fill and
+  // the first element's un-overlapped load.
+  const double memory = shape.load_cycles + shape.store_cycles;
+  const double per_element = std::max(memory, shape.compute_cycles);
+  return shape.fill_cycles + shape.load_cycles +
+         per_element * static_cast<double>(n_elements);
+}
+
+}  // namespace semfpga::fpga

@@ -1,0 +1,83 @@
+#include "fpga/device.hpp"
+
+namespace semfpga::fpga {
+
+model::DeviceEnvelope DeviceSpec::envelope(double clock_mhz) const {
+  model::DeviceEnvelope env;
+  env.name = name;
+  env.total = total;
+  env.base = base;
+  env.op_cost = op_cost;
+  env.bram_per_lane = bram_per_lane;
+  env.bandwidth_bytes = memory.peak_bytes_per_sec();
+  env.clock_hz = (clock_mhz > 0.0 ? clock_mhz : projection_clock_mhz) * 1e6;
+  return env;
+}
+
+namespace {
+
+/// Shared R_base calibration: the 520N board-support shell plus kernel
+/// control consumes ~200.9k ALMs and ~600k registers (DESIGN.md section 5);
+/// the BRAM base covers the shell's DMA/interleave FIFOs.
+model::ResourceVector shell_base() {
+  return model::ResourceVector{/*alms=*/200900.0, /*registers=*/600000.0,
+                               /*dsps=*/0.0, /*brams=*/500.0};
+}
+
+}  // namespace
+
+DeviceSpec stratix10_gx2800() {
+  DeviceSpec d;
+  d.name = "Stratix 10 GX2800";
+  d.total = model::ResourceVector{933120.0, 3732480.0, 5760.0, 11721.0};
+  d.base = shell_base();
+  d.op_cost = model::soft_fp64_cost();
+  d.memory = MemorySpec{/*peak_gbs=*/76.8, /*n_banks=*/4, /*controller_mhz=*/300.0,
+                        /*bus_bits=*/512, /*invocation_overhead_us=*/30.0};
+  return d;
+}
+
+DeviceSpec agilex_027() {
+  DeviceSpec d;
+  d.name = "Agilex 027";
+  d.total = model::ResourceVector{912800.0, 3651200.0, 8736.0, 13272.0};
+  d.base = shell_base();
+  d.op_cost = model::soft_fp64_cost();
+  d.memory = MemorySpec{153.6, 8, 300.0, 512, 30.0};
+  return d;
+}
+
+DeviceSpec stratix10_10m() {
+  DeviceSpec d;
+  d.name = "Stratix 10M";
+  // "factor 3.6x larger [logic] than our current FPGA, has 5.7k DSP blocks".
+  d.total = model::ResourceVector{3359232.0, 13436928.0, 5700.0, 12950.0};
+  d.base = shell_base();
+  d.op_cost = model::soft_fp64_cost();
+  d.memory = MemorySpec{306.0, 8, 300.0, 512, 30.0};
+  return d;
+}
+
+DeviceSpec stratix10_10m_enhanced() {
+  DeviceSpec d = stratix10_10m();
+  d.name = "Stratix 10M enhanced";
+  d.total.dsps = 8700.0;
+  // "increase the external bandwidth to 600 GB/s (on par with NVIDIA P100)";
+  // 614.4 GB/s = 2x the 10M's 307.2, matching the paper's round numbers.
+  d.memory.peak_gbs = 614.4;
+  return d;
+}
+
+DeviceSpec ideal_cfd_fpga() {
+  DeviceSpec d;
+  d.name = "Ideal CFD FPGA";
+  // "6.2 million ALMs ... 20k DSPs ... 12.9k BRAMs ... 1.2 TB/s"; the DSPs
+  // are double-precision-hardened per the paper's concluding suggestion.
+  d.total = model::ResourceVector{6200000.0, 24800000.0, 20000.0, 12900.0};
+  d.base = shell_base();
+  d.op_cost = model::hardened_fp64_cost();
+  d.memory = MemorySpec{1228.8, 16, 300.0, 512, 30.0};
+  return d;
+}
+
+}  // namespace semfpga::fpga

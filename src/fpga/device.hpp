@@ -1,0 +1,65 @@
+#pragma once
+/// \file device.hpp
+/// FPGA device descriptions.
+///
+/// The paper evaluates on a Bittware 520N (Stratix 10 GX2800, four DDR4
+/// banks) and projects onto an Agilex 027, a Stratix 10M (plus an "enhanced"
+/// what-if variant) and a hypothetical "ideal" CFD FPGA (Section V-D).
+/// All five are provided as presets.
+
+#include <string>
+
+#include "model/resources.hpp"
+#include "model/throughput.hpp"
+
+namespace semfpga::fpga {
+
+/// External memory system of a board.
+struct MemorySpec {
+  double peak_gbs = 0.0;        ///< peak bandwidth, GB/s
+  int n_banks = 4;              ///< independent external banks
+  double controller_mhz = 300;  ///< memory-controller clock
+  int bus_bits = 512;           ///< per-bank bus width per controller cycle
+  double invocation_overhead_us = 30.0;  ///< kernel launch + pipeline fill
+
+  [[nodiscard]] double peak_bytes_per_sec() const noexcept { return peak_gbs * 1e9; }
+};
+
+/// A device + board, with everything the synthesis and performance models
+/// need.
+struct DeviceSpec {
+  std::string name;
+  model::ResourceVector total;  ///< ALMs / registers / DSPs / M20Ks
+  model::ResourceVector base;   ///< R_base: board shell + kernel control
+  model::FpOpCost op_cost;      ///< per-FP-op implementation cost
+  double bram_per_lane = 16.0;  ///< extra M20K per DOF/cycle lane
+  double fmax_ceiling_mhz = 480.0;
+  double projection_clock_mhz = 300.0;  ///< the paper assumes 300 MHz
+  MemorySpec memory;
+
+  /// View of this device for the Section IV model, at the given kernel
+  /// clock (0 = use projection_clock_mhz).
+  [[nodiscard]] model::DeviceEnvelope envelope(double clock_mhz = 0.0) const;
+};
+
+/// The evaluation platform: Stratix 10 GX2800 on a Bittware 520N.
+/// 933,120 ALMs / 5,760 DSPs / 11,721 M20Ks; 4x DDR4-2400 banks, 512-bit
+/// controllers at 300 MHz -> 76.8 GB/s.
+[[nodiscard]] DeviceSpec stratix10_gx2800();
+
+/// Intel Agilex 027 coupled with 153.6 GB/s external memory ("similar to
+/// what Marvell ThunderX2 has").
+[[nodiscard]] DeviceSpec agilex_027();
+
+/// Stratix 10M (ASIC-prototyping device): 3.6x the logic, 5.7k DSPs,
+/// coupled with 306 GB/s memory.
+[[nodiscard]] DeviceSpec stratix10_10m();
+
+/// The paper's what-if 10M: 8.7k DSPs and ~600 GB/s memory.
+[[nodiscard]] DeviceSpec stratix10_10m_enhanced();
+
+/// The hypothetical device that beats an A100: 6.2M ALMs, 20k
+/// double-precision-hardened DSPs, 12.9k BRAMs, 1.2 TB/s.
+[[nodiscard]] DeviceSpec ideal_cfd_fpga();
+
+}  // namespace semfpga::fpga

@@ -1,0 +1,38 @@
+#include "fpga/kernel_config.hpp"
+
+namespace semfpga::fpga {
+
+KernelConfig KernelConfig::baseline(int degree) {
+  KernelConfig c;
+  c.degree = degree;
+  c.validate();
+  return c;
+}
+
+KernelConfig KernelConfig::locality(int degree) {
+  KernelConfig c = baseline(degree);
+  c.cache_in_bram = true;
+  c.split_gxyz = true;
+  // The dot-product loops are fully unrolled (ILP) but only one DOF lane is
+  // active; the compiler still schedules the loop at II=2 (Section III-C).
+  c.unroll = 1;
+  return c;
+}
+
+KernelConfig KernelConfig::ii1(int degree) {
+  KernelConfig c = locality(degree);
+  c.force_ii1 = true;
+  // With II=1 the design can afford two DOF lanes before the interleaved
+  // memory system saturates.
+  c.unroll = 2;
+  return c;
+}
+
+KernelConfig KernelConfig::banked(int degree) {
+  KernelConfig c = ii1(degree);
+  c.allocation = MemAllocation::kBanked;
+  c.unroll = 0;  // auto: largest feasible under resources and bandwidth
+  return c;
+}
+
+}  // namespace semfpga::fpga

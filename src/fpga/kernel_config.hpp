@@ -1,0 +1,61 @@
+#pragma once
+/// \file kernel_config.hpp
+/// HLS kernel configuration: the optimization knobs of paper Section III.
+///
+/// Each preset corresponds to one rung of the paper's optimization ladder:
+///   baseline  -> III-A  (0.025 GFLOP/s at N=7)
+///   locality  -> III-B  (BRAM caching, gxyz splitting, unrolled dots; ~10)
+///   ii1       -> III-C  (#pragma ii 1; ~60)
+///   banked    -> III-D  (per-array bank allocation; 109)
+
+#include "common/check.hpp"
+
+namespace semfpga::fpga {
+
+/// External-memory allocation policy (Section III-D).
+enum class MemAllocation {
+  kInterleaved,  ///< default: data striped across all banks
+  kBanked,       ///< each array pinned to one bank
+};
+
+/// Which operator the accelerator implements.
+enum class KernelKind {
+  kPoisson,    ///< the paper's Ax (Listing 1)
+  kHelmholtz,  ///< BK5-style: one extra geometric factor (mass term)
+};
+
+/// One accelerator variant.
+struct KernelConfig {
+  int degree = 7;
+  KernelKind kind = KernelKind::kPoisson;
+
+  /// III-B: preload u/gxyz/D into BRAM scratchpads.
+  bool cache_in_bram = false;
+  /// III-B: split gxyz into six streams (removes BRAM arbitration).
+  bool split_gxyz = false;
+  /// Unroll factor T (DOF lanes).  0 = auto (largest feasible).
+  int unroll = 1;
+  /// III-C: force initiation interval 1 (#pragma ii 1).
+  bool force_ii1 = false;
+  /// III-D allocation policy.
+  MemAllocation allocation = MemAllocation::kInterleaved;
+  /// III-E: host-side padding points per direction.
+  int pad = 0;
+
+  [[nodiscard]] int n1d() const noexcept { return degree + 1; }
+  [[nodiscard]] int padded_n1d() const noexcept { return degree + 1 + pad; }
+
+  void validate() const {
+    SEMFPGA_CHECK(degree >= 1, "degree must be at least 1");
+    SEMFPGA_CHECK(unroll >= 0, "unroll must be non-negative (0 = auto)");
+    SEMFPGA_CHECK(pad >= 0, "padding must be non-negative");
+  }
+
+  /// Section III ladder presets.
+  [[nodiscard]] static KernelConfig baseline(int degree);
+  [[nodiscard]] static KernelConfig locality(int degree);
+  [[nodiscard]] static KernelConfig ii1(int degree);
+  [[nodiscard]] static KernelConfig banked(int degree);
+};
+
+}  // namespace semfpga::fpga

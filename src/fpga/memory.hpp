@@ -1,0 +1,50 @@
+#pragma once
+/// \file memory.hpp
+/// External-memory behaviour model.
+///
+/// Captures the three memory effects the paper reports:
+///  * interleaved allocation cannot reach peak bandwidth (Section III-D,
+///    citing Zohouri's "Memory Controller Wall");
+///  * banked allocation approaches peak, with an efficiency that depends on
+///    the per-element burst size (the paper's Section V-B "input dependent
+///    bandwidth" explains the small-N model error);
+///  * small total transfers pay a fixed invocation/pipeline-fill overhead,
+///    which produces the problem-size ramp of Fig 1.
+
+#include <cstddef>
+
+#include "fpga/device.hpp"
+#include "fpga/kernel_config.hpp"
+
+namespace semfpga::fpga {
+
+/// Effective-bandwidth model for one device + allocation policy.
+class ExternalMemoryModel {
+ public:
+  ExternalMemoryModel(MemorySpec spec, MemAllocation allocation);
+
+  /// Steady-state efficiency (fraction of peak) when streaming elements of
+  /// `burst_bytes` per array with `n_streams` concurrent masters.
+  [[nodiscard]] double steady_efficiency(double burst_bytes, int n_streams) const;
+
+  /// Steady-state efficiency for the degree-N Poisson kernel (8 streams,
+  /// per-element bursts of (N+1)^3 doubles).
+  [[nodiscard]] double kernel_efficiency(int n1d) const;
+
+  /// Seconds to move `total_bytes` at the kernel's steady efficiency,
+  /// including the invocation overhead (the Fig 1 ramp).
+  [[nodiscard]] double transfer_seconds(double total_bytes, int n1d) const;
+
+  /// DOFs per second the memory system can feed the degree-N kernel
+  /// (steady state): eff * B / 64.
+  [[nodiscard]] double dof_rate(int n1d) const;
+
+  [[nodiscard]] const MemorySpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] MemAllocation allocation() const noexcept { return allocation_; }
+
+ private:
+  MemorySpec spec_;
+  MemAllocation allocation_;
+};
+
+}  // namespace semfpga::fpga

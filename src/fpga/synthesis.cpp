@@ -1,0 +1,99 @@
+#include "fpga/synthesis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace semfpga::fpga {
+
+model::KernelCost config_cost(const KernelConfig& config) {
+  config.validate();
+  // Padding runs the pipeline at the padded size; the cost measure follows.
+  return config.kind == KernelKind::kHelmholtz
+             ? model::helmholtz_cost(config.degree + config.pad)
+             : model::poisson_cost(config.degree + config.pad);
+}
+
+double bram_usage(int n1d, int t_lanes, bool cache_in_bram) {
+  if (!cache_in_bram) {
+    // Only the shur/shus/shut work arrays live on chip (Section III-A).
+    const double bytes = 3.0 * n1d * n1d * n1d * 8.0;
+    return std::ceil(bytes / 2560.0);  // one M20K stores 20 kbit = 2560 B
+  }
+  // Calibrated against Table I's BRAM column: capacity for ~10 element
+  // arrays, double-buffered, plus port replication per lane.  The linear
+  // fit in (N+1)^3 (DESIGN.md section 5) absorbs the replication the HLS
+  // tool adds for wide parallel access.
+  const double volume = static_cast<double>(n1d) * n1d * n1d;
+  return 1.838 * volume + 16.0 * t_lanes;
+}
+
+double fmax_model_mhz(const DeviceSpec& device, double util_alms) {
+  // Placement-noise-free trend: high utilisation lengthens routes.  The
+  // published Table I clocks scatter around this line by +-60 MHz.
+  const double f = device.fmax_ceiling_mhz - 280.0 * std::clamp(util_alms, 0.0, 1.0);
+  return std::max(f, 120.0);
+}
+
+SynthesisReport synthesize(const DeviceSpec& device, const KernelConfig& config) {
+  config.validate();
+  const model::KernelCost cost = config_cost(config);
+  const int n1d = config.padded_n1d();
+
+  SynthesisReport report;
+
+  // --- Pipeline structure -------------------------------------------------
+  if (!config.cache_in_bram) {
+    // Section III-A baseline: in-order instructions, no DOF pipelining; the
+    // serial FP dependence chain dominates (latency ~8 cycles per FP op in
+    // the chain) with narrow non-coalesced accesses stalling it further.
+    report.pipelined = false;
+    report.ii = 1;
+    report.t_design = 1;
+  } else {
+    report.pipelined = true;
+    // Intel's compiler schedules the loop at II=2 unless forced (III-C).
+    report.ii = config.force_ii1 ? 1 : 2;
+    report.t_design = config.unroll;
+  }
+
+  // Arbitration: unrolling by T with N+1 not divisible by T serialises the
+  // shur/shus/shut BRAM ports (Section III-B); un-split gxyz arbitrates its
+  // six interleaved readers the same way.
+  report.arbitration_stall = 1.0;
+  if (report.t_design >= 2 && n1d % std::max(report.t_design, 1) != 0) {
+    report.arbitration_stall *= 2.0;
+  }
+  if (config.cache_in_bram && !config.split_gxyz) {
+    report.arbitration_stall *= 2.0;
+  }
+
+  // --- Auto unroll (banked preset) ----------------------------------------
+  if (config.unroll == 0) {
+    // Largest power-of-two lane count within resources and bandwidth, with
+    // T | N+1 so no arbitration is incurred (the paper's design rule).
+    model::DeviceEnvelope env = device.envelope(device.projection_clock_mhz);
+    const model::Throughput t =
+        model::max_throughput(cost, env, model::UnrollPolicy::kInnerDim);
+    report.t_design = t.t_design;
+    report.limiter = t.limiter;
+  }
+
+  // --- Resources -----------------------------------------------------------
+  const double lanes = report.pipelined ? static_cast<double>(report.t_design) : 1.0;
+  model::ResourceVector used =
+      device.base + model::compute_resources(cost, device.op_cost, lanes, 0.0);
+  used.brams += bram_usage(n1d, report.t_design, config.cache_in_bram);
+  report.used = used;
+  report.util_alms = used.alms / device.total.alms;
+  report.util_regs = used.registers / device.total.registers;
+  report.util_dsps = used.dsps / device.total.dsps;
+  report.util_brams = used.brams / device.total.brams;
+  report.fits = used.fits_within(device.total);
+
+  report.fmax_mhz = fmax_model_mhz(device, report.util_alms);
+  return report;
+}
+
+}  // namespace semfpga::fpga

@@ -1,0 +1,51 @@
+#pragma once
+/// \file synthesis.hpp
+/// HLS synthesis model: resource usage, fmax and pipeline structure.
+///
+/// Estimates what Intel's OpenCL-for-FPGA flow would report for a kernel
+/// configuration on a device, following the paper's resource formulation
+/// R_tot = R_base(N) + T (C_add R_add + C_mult R_mult) plus a BRAM capacity
+/// term calibrated against Table I.  fmax is modelled as a smooth function
+/// of logic utilisation — real fmax has placement noise, which the paper's
+/// measured column (fpga::paper_table1) captures instead.
+
+#include "fpga/device.hpp"
+#include "fpga/kernel_config.hpp"
+#include "model/kernel_cost.hpp"
+#include "model/throughput.hpp"
+
+namespace semfpga::fpga {
+
+/// What the "compile" produces.
+struct SynthesisReport {
+  model::ResourceVector used;   ///< including the base partition
+  double util_alms = 0.0;       ///< fractions of the device totals
+  double util_regs = 0.0;
+  double util_dsps = 0.0;
+  double util_brams = 0.0;
+  bool fits = true;
+
+  double fmax_mhz = 0.0;        ///< smooth utilisation-based estimate
+  int t_design = 1;             ///< instantiated DOF lanes
+  int ii = 1;                   ///< initiation interval of the main loop
+  double arbitration_stall = 1.0;  ///< >1 when BRAM arbitration bites
+  bool pipelined = true;        ///< false for the unpipelined baseline
+  model::Limiter limiter = model::Limiter::kUnroll;
+};
+
+/// Cost model entry points: the kernel cost evaluated at the padded size.
+[[nodiscard]] model::KernelCost config_cost(const KernelConfig& config);
+
+/// Runs the synthesis model.
+[[nodiscard]] SynthesisReport synthesize(const DeviceSpec& device,
+                                         const KernelConfig& config);
+
+/// BRAM blocks consumed by the element-local arrays at degree N with T
+/// lanes: capacity plus port-replication, calibrated against Table I
+/// (DESIGN.md section 5).  Exposed for tests.
+[[nodiscard]] double bram_usage(int n1d, int t_lanes, bool cache_in_bram);
+
+/// Smooth fmax estimate from logic utilisation (fraction in [0,1]).
+[[nodiscard]] double fmax_model_mhz(const DeviceSpec& device, double util_alms);
+
+}  // namespace semfpga::fpga

@@ -1,0 +1,190 @@
+#include "kernels/ax.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace semfpga::kernels {
+namespace {
+
+/// Shared element body used by the reference and OpenMP variants.
+/// Work arrays are caller-provided so the hot loop never allocates.
+inline void ax_element_body(const double* u, double* w, const double* g,
+                            const double* dx, const double* dxt, int nx,
+                            double* shur, double* shus, double* shut) {
+  const std::size_t n = static_cast<std::size_t>(nx);
+  // Gradient phase: (r,s,t)-derivatives, then contraction with G.
+  for (int k = 0; k < nx; ++k) {
+    for (int j = 0; j < nx; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        const std::size_t ij = static_cast<std::size_t>(i) + n * j;
+        const std::size_t ijk = ij + n * n * k;
+        double rtmp = 0.0;
+        double stmp = 0.0;
+        double ttmp = 0.0;
+        for (int l = 0; l < nx; ++l) {
+          rtmp += dx[static_cast<std::size_t>(i) * n + l] *
+                  u[static_cast<std::size_t>(l) + n * j + n * n * k];
+          stmp += dx[static_cast<std::size_t>(j) * n + l] *
+                  u[static_cast<std::size_t>(i) + n * l + n * n * k];
+          ttmp += dx[static_cast<std::size_t>(k) * n + l] *
+                  u[static_cast<std::size_t>(i) + n * j + n * n * l];
+        }
+        const double* gp = g + ijk * sem::kGeomComponents;
+        shur[ijk] = gp[sem::kGrr] * rtmp + gp[sem::kGrs] * stmp + gp[sem::kGrt] * ttmp;
+        shus[ijk] = gp[sem::kGrs] * rtmp + gp[sem::kGss] * stmp + gp[sem::kGst] * ttmp;
+        shut[ijk] = gp[sem::kGrt] * rtmp + gp[sem::kGst] * stmp + gp[sem::kGtt] * ttmp;
+      }
+    }
+  }
+  // Divergence phase: w = D^T shur + D^T shus + D^T shut per direction.
+  for (int k = 0; k < nx; ++k) {
+    for (int j = 0; j < nx; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        const std::size_t ijk = static_cast<std::size_t>(i) + n * j + n * n * k;
+        double acc = 0.0;
+        for (int l = 0; l < nx; ++l) {
+          acc += dxt[static_cast<std::size_t>(i) * n + l] *
+                 shur[static_cast<std::size_t>(l) + n * j + n * n * k];
+          acc += dxt[static_cast<std::size_t>(j) * n + l] *
+                 shus[static_cast<std::size_t>(i) + n * l + n * n * k];
+          acc += dxt[static_cast<std::size_t>(k) * n + l] *
+                 shut[static_cast<std::size_t>(i) + n * j + n * n * l];
+        }
+        w[ijk] = acc;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void AxArgs::validate() const {
+  SEMFPGA_CHECK(n1d >= 2, "n1d must be at least 2 (degree >= 1)");
+  const std::size_t ppe = static_cast<std::size_t>(n1d) * n1d * n1d;
+  const std::size_t n = n_elements * ppe;
+  SEMFPGA_CHECK(u.size() == n, "u has the wrong size");
+  SEMFPGA_CHECK(w.size() == n, "w has the wrong size");
+  SEMFPGA_CHECK(g.size() == n * sem::kGeomComponents, "g has the wrong size");
+  SEMFPGA_CHECK(dx.size() == static_cast<std::size_t>(n1d) * n1d, "dx has the wrong size");
+  SEMFPGA_CHECK(dxt.size() == static_cast<std::size_t>(n1d) * n1d, "dxt has the wrong size");
+}
+
+void AxSoaArgs::validate() const {
+  SEMFPGA_CHECK(n1d >= 2, "n1d must be at least 2 (degree >= 1)");
+  const std::size_t ppe = static_cast<std::size_t>(n1d) * n1d * n1d;
+  const std::size_t n = n_elements * ppe;
+  SEMFPGA_CHECK(u.size() == n, "u has the wrong size");
+  SEMFPGA_CHECK(w.size() == n, "w has the wrong size");
+  for (const auto& comp : g) {
+    SEMFPGA_CHECK(comp.size() == n, "a geometric component has the wrong size");
+  }
+  SEMFPGA_CHECK(dx.size() == static_cast<std::size_t>(n1d) * n1d, "dx has the wrong size");
+  SEMFPGA_CHECK(dxt.size() == static_cast<std::size_t>(n1d) * n1d, "dxt has the wrong size");
+}
+
+void ax_reference(const AxArgs& args) {
+  args.validate();
+  const std::size_t ppe = static_cast<std::size_t>(args.n1d) * args.n1d * args.n1d;
+  std::vector<double> shur(ppe);
+  std::vector<double> shus(ppe);
+  std::vector<double> shut(ppe);
+  for (std::size_t e = 0; e < args.n_elements; ++e) {
+    ax_element_body(args.u.data() + e * ppe, args.w.data() + e * ppe,
+                    args.g.data() + e * ppe * sem::kGeomComponents, args.dx.data(),
+                    args.dxt.data(), args.n1d, shur.data(), shus.data(), shut.data());
+  }
+}
+
+void ax_soa(const AxSoaArgs& args) {
+  args.validate();
+  const int nx = args.n1d;
+  const std::size_t n = static_cast<std::size_t>(nx);
+  const std::size_t ppe = n * n * n;
+  std::vector<double> shur(ppe);
+  std::vector<double> shus(ppe);
+  std::vector<double> shut(ppe);
+
+  for (std::size_t e = 0; e < args.n_elements; ++e) {
+    const double* u = args.u.data() + e * ppe;
+    double* w = args.w.data() + e * ppe;
+    const double* grr = args.g[sem::kGrr].data() + e * ppe;
+    const double* grs = args.g[sem::kGrs].data() + e * ppe;
+    const double* grt = args.g[sem::kGrt].data() + e * ppe;
+    const double* gss = args.g[sem::kGss].data() + e * ppe;
+    const double* gst = args.g[sem::kGst].data() + e * ppe;
+    const double* gtt = args.g[sem::kGtt].data() + e * ppe;
+
+    for (int k = 0; k < nx; ++k) {
+      for (int j = 0; j < nx; ++j) {
+        for (int i = 0; i < nx; ++i) {
+          const std::size_t ijk = static_cast<std::size_t>(i) + n * j + n * n * k;
+          double rtmp = 0.0;
+          double stmp = 0.0;
+          double ttmp = 0.0;
+          for (int l = 0; l < nx; ++l) {
+            rtmp += args.dx[static_cast<std::size_t>(i) * n + l] * u[l + n * j + n * n * k];
+            stmp += args.dx[static_cast<std::size_t>(j) * n + l] * u[i + n * l + n * n * k];
+            ttmp += args.dx[static_cast<std::size_t>(k) * n + l] * u[i + n * j + n * n * l];
+          }
+          shur[ijk] = grr[ijk] * rtmp + grs[ijk] * stmp + grt[ijk] * ttmp;
+          shus[ijk] = grs[ijk] * rtmp + gss[ijk] * stmp + gst[ijk] * ttmp;
+          shut[ijk] = grt[ijk] * rtmp + gst[ijk] * stmp + gtt[ijk] * ttmp;
+        }
+      }
+    }
+    for (int k = 0; k < nx; ++k) {
+      for (int j = 0; j < nx; ++j) {
+        for (int i = 0; i < nx; ++i) {
+          const std::size_t ijk = static_cast<std::size_t>(i) + n * j + n * n * k;
+          double acc = 0.0;
+          for (int l = 0; l < nx; ++l) {
+            acc += args.dxt[static_cast<std::size_t>(i) * n + l] * shur[l + n * j + n * n * k];
+            acc += args.dxt[static_cast<std::size_t>(j) * n + l] * shus[i + n * l + n * n * k];
+            acc += args.dxt[static_cast<std::size_t>(k) * n + l] * shut[i + n * j + n * n * l];
+          }
+          w[ijk] = acc;
+        }
+      }
+    }
+  }
+}
+
+void ax_omp(const AxArgs& args) {
+  args.validate();
+  const std::size_t ppe = static_cast<std::size_t>(args.n1d) * args.n1d * args.n1d;
+#if defined(SEMFPGA_HAVE_OPENMP)
+#pragma omp parallel
+  {
+    std::vector<double> shur(ppe);
+    std::vector<double> shus(ppe);
+    std::vector<double> shut(ppe);
+#pragma omp for schedule(static)
+    for (long long e = 0; e < static_cast<long long>(args.n_elements); ++e) {
+      const std::size_t eo = static_cast<std::size_t>(e) * ppe;
+      ax_element_body(args.u.data() + eo, args.w.data() + eo,
+                      args.g.data() + eo * sem::kGeomComponents, args.dx.data(),
+                      args.dxt.data(), args.n1d, shur.data(), shus.data(), shut.data());
+    }
+  }
+#else
+  ax_reference(args);
+#endif
+}
+
+void ax_single_element(const sem::ReferenceElement& ref, const sem::GeomFactors& gf,
+                       std::size_t element, std::span<const double> u,
+                       std::span<double> w) {
+  SEMFPGA_CHECK(element < gf.n_elements, "element index out of range");
+  const std::size_t ppe = ref.points_per_element();
+  SEMFPGA_CHECK(u.size() == ppe && w.size() == ppe, "field views must cover one element");
+  std::vector<double> shur(ppe);
+  std::vector<double> shus(ppe);
+  std::vector<double> shut(ppe);
+  ax_element_body(u.data(), w.data(),
+                  gf.g.data() + element * ppe * sem::kGeomComponents,
+                  ref.deriv().d.data(), ref.deriv().dt.data(), ref.n1d(), shur.data(),
+                  shus.data(), shut.data());
+}
+
+}  // namespace semfpga::kernels

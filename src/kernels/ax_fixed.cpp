@@ -1,0 +1,91 @@
+#include <cstddef>
+#include <vector>
+
+#include "kernels/ax.hpp"
+
+namespace semfpga::kernels {
+namespace {
+
+/// Compile-time-size element body.  With NX a constant the compiler fully
+/// unrolls the l-contractions and vectorises the i-loop — the CPU analogue
+/// of the paper's HLS `#pragma unroll` on the dot-product loops.
+template <int NX>
+void ax_element_fixed(const double* __restrict u, double* __restrict w,
+                      const double* __restrict g, const double* __restrict dx,
+                      const double* __restrict dxt, double* __restrict shur,
+                      double* __restrict shus, double* __restrict shut) {
+  constexpr std::size_t n = NX;
+  for (int k = 0; k < NX; ++k) {
+    for (int j = 0; j < NX; ++j) {
+      for (int i = 0; i < NX; ++i) {
+        const std::size_t ijk = static_cast<std::size_t>(i) + n * j + n * n * k;
+        double rtmp = 0.0;
+        double stmp = 0.0;
+        double ttmp = 0.0;
+        for (int l = 0; l < NX; ++l) {
+          rtmp += dx[static_cast<std::size_t>(i) * n + l] * u[l + n * j + n * n * k];
+          stmp += dx[static_cast<std::size_t>(j) * n + l] * u[i + n * l + n * n * k];
+          ttmp += dx[static_cast<std::size_t>(k) * n + l] * u[i + n * j + n * n * l];
+        }
+        const double* gp = g + ijk * sem::kGeomComponents;
+        shur[ijk] = gp[sem::kGrr] * rtmp + gp[sem::kGrs] * stmp + gp[sem::kGrt] * ttmp;
+        shus[ijk] = gp[sem::kGrs] * rtmp + gp[sem::kGss] * stmp + gp[sem::kGst] * ttmp;
+        shut[ijk] = gp[sem::kGrt] * rtmp + gp[sem::kGst] * stmp + gp[sem::kGtt] * ttmp;
+      }
+    }
+  }
+  for (int k = 0; k < NX; ++k) {
+    for (int j = 0; j < NX; ++j) {
+      for (int i = 0; i < NX; ++i) {
+        const std::size_t ijk = static_cast<std::size_t>(i) + n * j + n * n * k;
+        double acc = 0.0;
+        for (int l = 0; l < NX; ++l) {
+          acc += dxt[static_cast<std::size_t>(i) * n + l] * shur[l + n * j + n * n * k];
+          acc += dxt[static_cast<std::size_t>(j) * n + l] * shus[i + n * l + n * n * k];
+          acc += dxt[static_cast<std::size_t>(k) * n + l] * shut[i + n * j + n * n * l];
+        }
+        w[ijk] = acc;
+      }
+    }
+  }
+}
+
+template <int NX>
+void ax_all_fixed(const AxArgs& args) {
+  constexpr std::size_t ppe = static_cast<std::size_t>(NX) * NX * NX;
+  std::vector<double> shur(ppe);
+  std::vector<double> shus(ppe);
+  std::vector<double> shut(ppe);
+  for (std::size_t e = 0; e < args.n_elements; ++e) {
+    ax_element_fixed<NX>(args.u.data() + e * ppe, args.w.data() + e * ppe,
+                         args.g.data() + e * ppe * sem::kGeomComponents, args.dx.data(),
+                         args.dxt.data(), shur.data(), shus.data(), shut.data());
+  }
+}
+
+}  // namespace
+
+void ax_fixed(const AxArgs& args) {
+  args.validate();
+  switch (args.n1d) {
+    case 2: ax_all_fixed<2>(args); return;
+    case 3: ax_all_fixed<3>(args); return;
+    case 4: ax_all_fixed<4>(args); return;
+    case 5: ax_all_fixed<5>(args); return;
+    case 6: ax_all_fixed<6>(args); return;
+    case 7: ax_all_fixed<7>(args); return;
+    case 8: ax_all_fixed<8>(args); return;
+    case 9: ax_all_fixed<9>(args); return;
+    case 10: ax_all_fixed<10>(args); return;
+    case 11: ax_all_fixed<11>(args); return;
+    case 12: ax_all_fixed<12>(args); return;
+    case 13: ax_all_fixed<13>(args); return;
+    case 14: ax_all_fixed<14>(args); return;
+    case 15: ax_all_fixed<15>(args); return;
+    case 16: ax_all_fixed<16>(args); return;
+    case 17: ax_all_fixed<17>(args); return;
+    default: ax_reference(args); return;
+  }
+}
+
+}  // namespace semfpga::kernels

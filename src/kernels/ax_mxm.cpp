@@ -1,0 +1,57 @@
+#include <vector>
+
+#include "kernels/ax.hpp"
+#include "kernels/mxm.hpp"
+
+namespace semfpga::kernels {
+
+/// Nekbone-structured Ax: local_grad3 (three mxm shapes), pointwise
+/// geometric contraction, local_grad3_t (three transposed mxm shapes).
+/// Mathematically identical to ax_reference; floating-point results differ
+/// only by summation order within each contraction.
+void ax_mxm(const AxArgs& args) {
+  args.validate();
+  const std::size_t n = static_cast<std::size_t>(args.n1d);
+  const std::size_t n2 = n * n;
+  const std::size_t ppe = n2 * n;
+
+  std::vector<double> ur(ppe);
+  std::vector<double> us(ppe);
+  std::vector<double> ut(ppe);
+
+  for (std::size_t e = 0; e < args.n_elements; ++e) {
+    const double* u = args.u.data() + e * ppe;
+    double* w = args.w.data() + e * ppe;
+    const double* g = args.g.data() + e * ppe * sem::kGeomComponents;
+
+    // --- local_grad3: ur = du/dr, us = du/ds, ut = du/dt ------------------
+    // r-derivative: one (n^2 x n) * (n x n) product against D^T.
+    mxm(u, n2, args.dxt.data(), n, ur.data(), n);
+    // s-derivative: per-k slab (n x n) products with D on the left.
+    for (std::size_t k = 0; k < n; ++k) {
+      mxm(args.dx.data(), n, u + k * n2, n, us.data() + k * n2, n);
+    }
+    // t-derivative: one (n x n) * (n x n^2) product with D on the left.
+    mxm(args.dx.data(), n, u, n, ut.data(), n2);
+
+    // --- geometric contraction, in place --------------------------------
+    for (std::size_t p = 0; p < ppe; ++p) {
+      const double* gp = g + p * sem::kGeomComponents;
+      const double r = ur[p];
+      const double s = us[p];
+      const double t = ut[p];
+      ur[p] = gp[sem::kGrr] * r + gp[sem::kGrs] * s + gp[sem::kGrt] * t;
+      us[p] = gp[sem::kGrs] * r + gp[sem::kGss] * s + gp[sem::kGst] * t;
+      ut[p] = gp[sem::kGrt] * r + gp[sem::kGst] * s + gp[sem::kGtt] * t;
+    }
+
+    // --- local_grad3_t: w = D_r^T ur + D_s^T us + D_t^T ut ----------------
+    mxm(ur.data(), n2, args.dx.data(), n, w, n);
+    for (std::size_t k = 0; k < n; ++k) {
+      mxm_acc(args.dxt.data(), n, us.data() + k * n2, n, w + k * n2, n);
+    }
+    mxm_acc(args.dxt.data(), n, ut.data(), n, w, n2);
+  }
+}
+
+}  // namespace semfpga::kernels

@@ -1,0 +1,25 @@
+#include "kernels/helmholtz.hpp"
+
+#include "common/check.hpp"
+
+namespace semfpga::kernels {
+
+void HelmholtzArgs::validate() const {
+  ax.validate();
+  SEMFPGA_CHECK(mass.size() == ax.u.size(), "mass factor has the wrong size");
+  SEMFPGA_CHECK(lambda >= 0.0, "lambda must be non-negative to keep the operator SPD");
+}
+
+void helmholtz_reference(const HelmholtzArgs& args) {
+  args.validate();
+  // Stiffness part into w, then the mass term accumulated on top.  A single
+  // fused pass would save one sweep over w; kept separate for clarity — the
+  // benchmarked variants live in the FPGA/CPU kernel paths.
+  ax_reference(args.ax);
+  const std::size_t n = args.ax.u.size();
+  for (std::size_t p = 0; p < n; ++p) {
+    args.ax.w[p] += args.lambda * args.mass[p] * args.ax.u[p];
+  }
+}
+
+}  // namespace semfpga::kernels

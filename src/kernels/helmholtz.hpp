@@ -1,0 +1,36 @@
+#pragma once
+/// \file helmholtz.hpp
+/// BK5-style Helmholtz operator: stiffness plus a mass term.
+///
+/// The paper notes (Section II) that CEED's bake-off kernel BK5 "closely
+/// resembles the local Poisson operator, but also considers one more
+/// geometric factor".  That extra factor is the quadrature-weighted mass
+/// term; the resulting operator is
+///     w = D^T G D u + lambda * M u,    M = diag(w_ijk |det J|)
+/// which is what Nek5000's Helmholtz solves use.
+
+#include <span>
+
+#include "kernels/ax.hpp"
+
+namespace semfpga::kernels {
+
+/// Operands of the Helmholtz (BK5-style) operator.
+struct HelmholtzArgs {
+  AxArgs ax;                      ///< stiffness operands
+  std::span<const double> mass;   ///< 7th geometric factor, w_ijk |det J| per DOF
+  double lambda = 1.0;            ///< mass-term coefficient (lambda >= 0 keeps SPD)
+
+  void validate() const;
+};
+
+/// Reference implementation: one fused pass over the elements.
+void helmholtz_reference(const HelmholtzArgs& args);
+
+/// FLOPs per DOF: the Ax cost plus one multiply and one fused add-multiply
+/// for the mass term (12(N+1) + 17 when counting mul+add separately).
+[[nodiscard]] constexpr std::int64_t helmholtz_flops_per_dof(int n1d) noexcept {
+  return ax_flops_per_dof(n1d) + 2;
+}
+
+}  // namespace semfpga::kernels

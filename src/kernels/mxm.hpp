@@ -1,0 +1,51 @@
+#pragma once
+/// \file mxm.hpp
+/// Small dense matrix-multiply helpers in the Nekbone style.
+///
+/// Nekbone's Ax is written as calls to `mxm` (its hand-tuned small
+/// matrix-matrix multiply); the kernel is "composed of a large number of
+/// small matrix-matrix multiplications and tensor operations" (paper
+/// Section I).  kernels::ax_mxm reproduces that exact structure:
+/// local_grad3 / local_grad3_t around the geometric contraction.
+
+#include <cstddef>
+
+namespace semfpga::kernels {
+
+/// C(n1 x n3) = A(n1 x n2) * B(n2 x n3), all row-major, C overwritten.
+/// The loop order (i, l, j) streams B and C rows with unit stride — the
+/// same schedule Nekbone's generated mxm variants use.
+inline void mxm(const double* __restrict a, std::size_t n1, const double* __restrict b,
+                std::size_t n2, double* __restrict c, std::size_t n3) {
+  for (std::size_t i = 0; i < n1; ++i) {
+    double* ci = c + i * n3;
+    for (std::size_t j = 0; j < n3; ++j) {
+      ci[j] = 0.0;
+    }
+    for (std::size_t l = 0; l < n2; ++l) {
+      const double ail = a[i * n2 + l];
+      const double* bl = b + l * n3;
+      for (std::size_t j = 0; j < n3; ++j) {
+        ci[j] += ail * bl[j];
+      }
+    }
+  }
+}
+
+/// C += A * B (accumulating variant used by the divergence phase).
+inline void mxm_acc(const double* __restrict a, std::size_t n1,
+                    const double* __restrict b, std::size_t n2, double* __restrict c,
+                    std::size_t n3) {
+  for (std::size_t i = 0; i < n1; ++i) {
+    double* ci = c + i * n3;
+    for (std::size_t l = 0; l < n2; ++l) {
+      const double ail = a[i * n2 + l];
+      const double* bl = b + l * n3;
+      for (std::size_t j = 0; j < n3; ++j) {
+        ci[j] += ail * bl[j];
+      }
+    }
+  }
+}
+
+}  // namespace semfpga::kernels

@@ -1,0 +1,27 @@
+#include "model/kernel_cost.hpp"
+
+#include "common/check.hpp"
+
+namespace semfpga::model {
+
+KernelCost poisson_cost(int degree) {
+  SEMFPGA_CHECK(degree >= 1, "polynomial degree must be at least 1");
+  KernelCost c;
+  c.degree = degree;
+  const std::int64_t n1d = degree + 1;
+  c.adds_per_dof = 6 * n1d + 6;
+  c.mults_per_dof = 6 * n1d + 9;
+  c.loads_per_dof = 7;   // 6x gxyz + 1x u (after full on-chip reuse of u)
+  c.writes_per_dof = 1;  // w
+  return c;
+}
+
+KernelCost helmholtz_cost(int degree) {
+  KernelCost c = poisson_cost(degree);
+  c.adds_per_dof += 1;   // w += lambda * mass * u
+  c.mults_per_dof += 2;  // lambda * mass, then * u
+  c.loads_per_dof += 1;  // the 7th geometric factor (mass)
+  return c;
+}
+
+}  // namespace semfpga::model

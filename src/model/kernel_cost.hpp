@@ -1,0 +1,45 @@
+#pragma once
+/// \file kernel_cost.hpp
+/// The paper's per-DOF cost and traffic measures (Section IV).
+///
+///   C(N) = (adds, mults) = (6(N+1)+6, 6(N+1)+9)
+///   Q(N) = (loads, writes) = (7, 1)
+///   I(N) = (12(N+1)+15) / (8 * sizeof(double))    [FLOP/byte]
+
+#include <cstdint>
+
+namespace semfpga::model {
+
+/// Per-DOF cost of a streaming SEM kernel.
+struct KernelCost {
+  int degree = 0;             ///< polynomial degree N
+  std::int64_t adds_per_dof = 0;
+  std::int64_t mults_per_dof = 0;
+  std::int64_t loads_per_dof = 0;
+  std::int64_t writes_per_dof = 0;
+
+  [[nodiscard]] int n1d() const noexcept { return degree + 1; }
+  [[nodiscard]] std::int64_t points_per_element() const noexcept {
+    const std::int64_t n = n1d();
+    return n * n * n;
+  }
+  [[nodiscard]] std::int64_t flops_per_dof() const noexcept {
+    return adds_per_dof + mults_per_dof;
+  }
+  [[nodiscard]] std::int64_t bytes_per_dof() const noexcept {
+    return 8 * (loads_per_dof + writes_per_dof);
+  }
+  /// Operational intensity in FLOP/byte.
+  [[nodiscard]] double intensity() const noexcept {
+    return static_cast<double>(flops_per_dof()) / static_cast<double>(bytes_per_dof());
+  }
+};
+
+/// The local Poisson operator Ax of Listing 1.
+[[nodiscard]] KernelCost poisson_cost(int degree);
+
+/// BK5-style Helmholtz: one extra geometric factor -> one more load per DOF
+/// and a fused multiply-add of the mass term.
+[[nodiscard]] KernelCost helmholtz_cost(int degree);
+
+}  // namespace semfpga::model

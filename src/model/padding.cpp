@@ -1,0 +1,46 @@
+#include "model/padding.hpp"
+
+#include "common/check.hpp"
+
+namespace semfpga::model {
+
+PaddingOption evaluate_padding(int degree, int pad, const DeviceEnvelope& device,
+                               UnrollPolicy policy) {
+  SEMFPGA_CHECK(degree >= 1, "degree must be at least 1");
+  SEMFPGA_CHECK(pad >= 0, "padding must be non-negative");
+
+  PaddingOption opt;
+  opt.pad = pad;
+  opt.padded_n1d = degree + 1 + pad;
+
+  const KernelCost unpadded = poisson_cost(degree);
+  const KernelCost padded = poisson_cost(degree + pad);
+
+  const Throughput t1 = max_throughput(unpadded, device, policy);
+  const Throughput t2 = max_throughput(padded, device, policy);
+  opt.t_unpadded = t1.t_design;
+  opt.t_padded = t2.t_design;
+
+  const double ratio = static_cast<double>(opt.padded_n1d) /
+                       static_cast<double>(degree + 1);
+  opt.compute_overhead = ratio * ratio * ratio;
+
+  // Useful-DOF rate: effective padded throughput deflated by the overhead.
+  opt.speedup = (t2.t_effective / opt.compute_overhead) / t1.t_effective;
+  return opt;
+}
+
+PaddingOption best_padding(int degree, int max_pad, const DeviceEnvelope& device,
+                           UnrollPolicy policy) {
+  SEMFPGA_CHECK(max_pad >= 0, "max_pad must be non-negative");
+  PaddingOption best = evaluate_padding(degree, 0, device, policy);
+  for (int pad = 1; pad <= max_pad; ++pad) {
+    const PaddingOption opt = evaluate_padding(degree, pad, device, policy);
+    if (opt.speedup > best.speedup) {
+      best = opt;
+    }
+  }
+  return best;
+}
+
+}  // namespace semfpga::model

@@ -1,0 +1,38 @@
+#pragma once
+/// \file padding.hpp
+/// The paper's padding analysis (Sections III-E and IV).
+///
+/// When N+1 is not divisible by a convenient power of two, the host can pad
+/// each element to N2+1 = N+1+p points so a wider unroll T2 applies without
+/// BRAM arbitration.  The extra compute grows as the cube of the size
+/// ratio; the paper's gain expression is
+///     gain = ((N+1) / (N+1+p))^3 * (T2 / T1)
+/// and "for most degrees, in particular small ones, padding would simply
+/// decrease the performance".
+
+#include "model/throughput.hpp"
+
+namespace semfpga::model {
+
+/// Outcome of padding degree N to degree N+pad.
+struct PaddingOption {
+  int pad = 0;            ///< extra GLL points per direction
+  int padded_n1d = 0;     ///< N+1+pad
+  int t_unpadded = 0;     ///< feasible unroll at N+1
+  int t_padded = 0;       ///< feasible unroll at N+1+pad
+  double compute_overhead = 1.0;  ///< ((N+1+p)/(N+1))^3
+  double speedup = 1.0;   ///< net effect on useful-DOF throughput
+};
+
+/// Evaluates padding by `pad` points on `device` (resource/bandwidth bounds
+/// are re-evaluated at the padded size).
+[[nodiscard]] PaddingOption evaluate_padding(int degree, int pad,
+                                             const DeviceEnvelope& device,
+                                             UnrollPolicy policy);
+
+/// The best padding (possibly 0) among pad in [0, max_pad].
+[[nodiscard]] PaddingOption best_padding(int degree, int max_pad,
+                                         const DeviceEnvelope& device,
+                                         UnrollPolicy policy);
+
+}  // namespace semfpga::model

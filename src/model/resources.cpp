@@ -1,0 +1,29 @@
+#include "model/resources.hpp"
+
+namespace semfpga::model {
+
+FpOpCost soft_fp64_cost() {
+  FpOpCost c;
+  c.name = "soft-fp64";
+  c.add = ResourceVector{/*alms=*/950.0, /*registers=*/1800.0, /*dsps=*/0.0, /*brams=*/0.0};
+  c.mult = ResourceVector{/*alms=*/550.0, /*registers=*/1200.0, /*dsps=*/4.0, /*brams=*/0.0};
+  return c;
+}
+
+FpOpCost hardened_fp64_cost() {
+  FpOpCost c;
+  c.name = "hardened-fp64";
+  c.add = ResourceVector{/*alms=*/100.0, /*registers=*/200.0, /*dsps=*/0.5, /*brams=*/0.0};
+  c.mult = ResourceVector{/*alms=*/100.0, /*registers=*/200.0, /*dsps=*/0.5, /*brams=*/0.0};
+  return c;
+}
+
+FpOpCost soft_fp32_cost() {
+  FpOpCost c;
+  c.name = "fp32";
+  c.add = ResourceVector{/*alms=*/60.0, /*registers=*/120.0, /*dsps=*/0.5, /*brams=*/0.0};
+  c.mult = ResourceVector{/*alms=*/60.0, /*registers=*/120.0, /*dsps=*/0.5, /*brams=*/0.0};
+  return c;
+}
+
+}  // namespace semfpga::model

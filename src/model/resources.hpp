@@ -1,0 +1,78 @@
+#pragma once
+/// \file resources.hpp
+/// FPGA resource vectors and per-operation implementation costs.
+///
+/// Paper Section IV: "we introduce the resource measure related to the
+/// amount of Digital Signal Processors (DSP), logic in the form of
+/// Adaptable Logic Modules (ALM), as well as the amount of shared memory in
+/// the form of BRAM".  R_add / R_mult are "the number of DSPs and ALMs
+/// necessary to implement a multiplication or an add on our FPGA",
+/// empirically calibrated.
+
+#include <string>
+
+namespace semfpga::model {
+
+/// Quantities of each FPGA resource type.  Stored as doubles: per-operation
+/// costs are averages over a synthesized design and need not be integral.
+struct ResourceVector {
+  double alms = 0.0;
+  double registers = 0.0;
+  double dsps = 0.0;
+  double brams = 0.0;  ///< M20K blocks
+
+  friend ResourceVector operator+(ResourceVector a, const ResourceVector& b) {
+    a.alms += b.alms;
+    a.registers += b.registers;
+    a.dsps += b.dsps;
+    a.brams += b.brams;
+    return a;
+  }
+  friend ResourceVector operator-(ResourceVector a, const ResourceVector& b) {
+    a.alms -= b.alms;
+    a.registers -= b.registers;
+    a.dsps -= b.dsps;
+    a.brams -= b.brams;
+    return a;
+  }
+  friend ResourceVector operator*(double s, ResourceVector v) {
+    v.alms *= s;
+    v.registers *= s;
+    v.dsps *= s;
+    v.brams *= s;
+    return v;
+  }
+
+  /// True when every component fits inside `budget`.
+  [[nodiscard]] bool fits_within(const ResourceVector& budget) const noexcept {
+    return alms <= budget.alms && registers <= budget.registers &&
+           dsps <= budget.dsps && brams <= budget.brams;
+  }
+};
+
+/// Resources of one double-precision floating-point operation instance.
+struct FpOpCost {
+  ResourceVector add;
+  ResourceVector mult;
+  std::string name;
+};
+
+/// Stratix-10-class soft FP64: the adder is pure soft logic; the multiplier
+/// chains four 27x18/27x27 DSP stages plus normalisation logic.  ALM counts
+/// are calibrated against the paper's Table I (see DESIGN.md section 5);
+/// they sit in the range Intel's FP IP reports for Stratix 10.
+[[nodiscard]] FpOpCost soft_fp64_cost();
+
+/// Hypothetical hardened FP64 DSP blocks — the paper's concluding
+/// suggestion ("specialize their DSP blocks to double-precision ...
+/// would reduce the pressure on the logic").  One fused mult+add per block:
+/// half a block per operation, token ALM glue.
+[[nodiscard]] FpOpCost hardened_fp64_cost();
+
+/// Stratix 10 hardened single-precision: each variable-precision DSP block
+/// natively performs one FP32 multiply-add ("similar to how Intel
+/// specialized DSP blocks to single-precision", Section V-D).  Used by the
+/// precision-ablation study of the paper's footnote 6.
+[[nodiscard]] FpOpCost soft_fp32_cost();
+
+}  // namespace semfpga::model

@@ -1,0 +1,27 @@
+#include "model/roofline.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace semfpga::model {
+
+double roofline_flops(double intensity_flop_per_byte, double peak_flops,
+                      double bandwidth_bytes) {
+  SEMFPGA_CHECK(intensity_flop_per_byte >= 0.0, "intensity must be non-negative");
+  SEMFPGA_CHECK(peak_flops >= 0.0 && bandwidth_bytes >= 0.0,
+                "platform limits must be non-negative");
+  return std::min(peak_flops, intensity_flop_per_byte * bandwidth_bytes);
+}
+
+double ridge_intensity(double peak_flops, double bandwidth_bytes) {
+  SEMFPGA_CHECK(bandwidth_bytes > 0.0, "bandwidth must be positive");
+  return peak_flops / bandwidth_bytes;
+}
+
+bool is_memory_bound(double intensity_flop_per_byte, double peak_flops,
+                     double bandwidth_bytes) {
+  return intensity_flop_per_byte * bandwidth_bytes < peak_flops;
+}
+
+}  // namespace semfpga::model

@@ -1,0 +1,20 @@
+#pragma once
+/// \file roofline.hpp
+/// The classical roofline model (Williams et al. 2009), used by the paper
+/// to relate operational intensity to attainable performance on every
+/// platform (Fig 2 and Fig 3 plot rooflines alongside measurements).
+
+namespace semfpga::model {
+
+/// Attainable FLOP/s: min(peak_flops, intensity * bandwidth).
+[[nodiscard]] double roofline_flops(double intensity_flop_per_byte,
+                                    double peak_flops, double bandwidth_bytes);
+
+/// The ridge point: intensity where the memory and compute roofs meet.
+[[nodiscard]] double ridge_intensity(double peak_flops, double bandwidth_bytes);
+
+/// True when a kernel with this intensity is memory-bound on the platform.
+[[nodiscard]] bool is_memory_bound(double intensity_flop_per_byte, double peak_flops,
+                                   double bandwidth_bytes);
+
+}  // namespace semfpga::model

@@ -1,0 +1,104 @@
+#include "model/throughput.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace semfpga::model {
+
+const char* limiter_name(Limiter l) noexcept {
+  switch (l) {
+    case Limiter::kBandwidth: return "bandwidth";
+    case Limiter::kLogic: return "logic";
+    case Limiter::kRegisters: return "registers";
+    case Limiter::kDsp: return "dsp";
+    case Limiter::kBram: return "bram";
+    case Limiter::kUnroll: return "unroll";
+  }
+  return "unknown";
+}
+
+int feasible_unroll(int n1d, double bound, UnrollPolicy policy) {
+  SEMFPGA_CHECK(n1d >= 2, "n1d must be at least 2");
+  if (bound < 1.0) {
+    return 1;
+  }
+  const long long volume = static_cast<long long>(n1d) * n1d * n1d;
+  int best = 1;
+  for (long long t = 1; t <= static_cast<long long>(bound); t *= 2) {
+    const bool divides =
+        policy == UnrollPolicy::kInnerDim ? (n1d % t == 0) : (volume % t == 0);
+    if (divides) {
+      best = static_cast<int>(t);
+    }
+  }
+  return best;
+}
+
+ResourceVector compute_resources(const KernelCost& cost, const FpOpCost& op_cost,
+                                 double t, double bram_per_lane) {
+  ResourceVector r = t * (static_cast<double>(cost.adds_per_dof) * op_cost.add +
+                          static_cast<double>(cost.mults_per_dof) * op_cost.mult);
+  r.brams += t * bram_per_lane;
+  return r;
+}
+
+Throughput max_throughput(const KernelCost& cost, const DeviceEnvelope& device,
+                          UnrollPolicy policy) {
+  SEMFPGA_CHECK(device.clock_hz > 0.0, "device clock must be positive");
+  SEMFPGA_CHECK(device.bandwidth_bytes > 0.0, "device bandwidth must be positive");
+
+  Throughput t;
+  // T_B = B / (bytes-per-DOF * f); the paper's 8 S with S = sizeof(double).
+  t.t_bandwidth = device.bandwidth_bytes /
+                  (static_cast<double>(cost.bytes_per_dof()) * device.clock_hz);
+
+  const ResourceVector avail = device.total - device.base;
+  const ResourceVector per_lane = compute_resources(cost, device.op_cost, 1.0,
+                                                    device.bram_per_lane);
+  auto bound = [](double available, double per) {
+    if (per <= 0.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return std::max(0.0, available) / per;
+  };
+  t.t_alm = bound(avail.alms, per_lane.alms);
+  t.t_reg = bound(avail.registers, per_lane.registers);
+  t.t_dsp = bound(avail.dsps, per_lane.dsps);
+  t.t_bram = bound(avail.brams, per_lane.brams);
+  t.t_resource = std::min({t.t_alm, t.t_reg, t.t_dsp, t.t_bram});
+
+  const double envelope = std::min(t.t_resource, t.t_bandwidth);
+  t.t_design = feasible_unroll(cost.n1d(), envelope, policy);
+  t.t_effective = std::min(static_cast<double>(t.t_design), t.t_bandwidth);
+
+  // Attribute the limiter: what stopped the next power of two?
+  const double next = 2.0 * t.t_design;
+  if (t.t_effective < t.t_design) {
+    t.limiter = Limiter::kBandwidth;
+  } else if (feasible_unroll(cost.n1d(), 8.0 * envelope, policy) == t.t_design) {
+    // Even with 8x the envelope the unroll could not grow: divisibility.
+    t.limiter = Limiter::kUnroll;
+  } else if (t.t_bandwidth < next) {
+    t.limiter = Limiter::kBandwidth;
+  } else if (t.t_alm < next) {
+    t.limiter = Limiter::kLogic;
+  } else if (t.t_dsp < next) {
+    t.limiter = Limiter::kDsp;
+  } else if (t.t_bram < next) {
+    t.limiter = Limiter::kBram;
+  } else if (t.t_reg < next) {
+    t.limiter = Limiter::kRegisters;
+  } else {
+    t.limiter = Limiter::kUnroll;
+  }
+  return t;
+}
+
+double peak_flops(const KernelCost& cost, const Throughput& t, double clock_hz) {
+  return static_cast<double>(cost.flops_per_dof()) * t.t_effective * clock_hz;
+}
+
+}  // namespace semfpga::model

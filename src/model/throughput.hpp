@@ -1,0 +1,81 @@
+#pragma once
+/// \file throughput.hpp
+/// The paper's throughput / peak-performance model (Section IV).
+///
+/// T_B       = B / (8 S f)                      [DOFs per cycle the memory feeds]
+/// R_comp(N) = T (C_add R_add + C_mult R_mult)  [resources consumed by compute]
+/// T_max     = min(R_max / R_perT, T_B)         subject to unroll constraints
+/// P_max(N)  = (12(N+1)+15) T_max f
+///
+/// Two refinements over the paper's formulas, both derived from its own
+/// projections (see DESIGN.md section 5):
+///  * the *design* throughput (pipes instantiated) is the power-of-two floor
+///    of the resource/bandwidth envelope, per the paper's constraint
+///    "T = 2^k, N+1 mod T = 0";
+///  * the *effective* throughput is min(T_design, T_B): memory starvation is
+///    continuous, it does not quantise to powers of two.
+
+#include <string>
+
+#include "model/kernel_cost.hpp"
+#include "model/resources.hpp"
+
+namespace semfpga::model {
+
+/// Unroll-feasibility policy for the design throughput.
+enum class UnrollPolicy {
+  /// T = 2^k and T | (N+1): single-dimension unroll, what the synthesized
+  /// Table I kernels do (arbitration-free access to shur/shus/shut).
+  kInnerDim,
+  /// T = 2^k and T | (N+1)^3: unrolling may span j/k planes, used by the
+  /// paper's future-device projections (T up to 64 at N=7).
+  kMultiDim,
+};
+
+/// Model-level description of a device + memory system.
+struct DeviceEnvelope {
+  std::string name;
+  ResourceVector total;        ///< full device resources
+  ResourceVector base;         ///< static partition + kernel control (R_base)
+  FpOpCost op_cost;            ///< per-FP-operation implementation cost
+  double bram_per_lane = 16.0; ///< extra M20K per DOF/cycle lane (banking)
+  double bandwidth_bytes = 0;  ///< external memory bandwidth, bytes/s
+  double clock_hz = 300e6;     ///< kernel clock f
+};
+
+/// Which constraint decided the throughput.
+enum class Limiter { kBandwidth, kLogic, kRegisters, kDsp, kBram, kUnroll };
+
+[[nodiscard]] const char* limiter_name(Limiter l) noexcept;
+
+/// Full throughput breakdown for one kernel on one device.
+struct Throughput {
+  double t_bandwidth = 0.0;  ///< T_B, DOFs/cycle the memory can feed
+  double t_alm = 0.0;        ///< logic-bound DOFs/cycle
+  double t_reg = 0.0;
+  double t_dsp = 0.0;
+  double t_bram = 0.0;
+  double t_resource = 0.0;   ///< min over resource bounds
+  int t_design = 0;          ///< instantiated pipes after the unroll policy
+  double t_effective = 0.0;  ///< min(t_design, t_bandwidth)
+  Limiter limiter = Limiter::kBandwidth;
+};
+
+/// Largest unroll T satisfying `policy` with T <= bound (>= 1).
+[[nodiscard]] int feasible_unroll(int n1d, double bound, UnrollPolicy policy);
+
+/// Evaluates the Section IV model for `cost` on `device`.
+[[nodiscard]] Throughput max_throughput(const KernelCost& cost,
+                                        const DeviceEnvelope& device,
+                                        UnrollPolicy policy);
+
+/// Peak performance P_max in FLOP/s given a throughput breakdown.
+[[nodiscard]] double peak_flops(const KernelCost& cost, const Throughput& t,
+                                double clock_hz);
+
+/// Resources the compute pipes consume at throughput T (R_comp).
+[[nodiscard]] ResourceVector compute_resources(const KernelCost& cost,
+                                               const FpOpCost& op_cost, double t,
+                                               double bram_per_lane);
+
+}  // namespace semfpga::model

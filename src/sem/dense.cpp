@@ -1,0 +1,138 @@
+#include "sem/dense.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace semfpga::sem {
+namespace {
+
+/// Entry (m, p) of the direction-`a` discrete gradient: nonzero only when
+/// p differs from m in coordinate `a` alone.  m and p are (i,j,k) triples.
+struct TensorPoint {
+  int i, j, k;
+};
+
+}  // namespace
+
+std::vector<double> assemble_local_matrix(const ReferenceElement& ref,
+                                          const GeomFactors& gf, std::size_t element) {
+  SEMFPGA_CHECK(element < gf.n_elements, "element index out of range");
+  const int n1d = ref.n1d();
+  const std::size_t ppe = ref.points_per_element();
+  const auto& d = ref.deriv().d;
+
+  std::vector<double> a(ppe * ppe, 0.0);
+
+  // Component of G for a direction pair (da, db), symmetric storage.
+  auto gcomp = [](int da, int db) {
+    static constexpr int map[3][3] = {{kGrr, kGrs, kGrt}, {kGrs, kGss, kGst}, {kGrt, kGst, kGtt}};
+    return map[da][db];
+  };
+
+  for (int mk = 0; mk < n1d; ++mk) {
+    for (int mj = 0; mj < n1d; ++mj) {
+      for (int mi = 0; mi < n1d; ++mi) {
+        const std::size_t m = ref.index(mi, mj, mk);
+        for (int da = 0; da < 3; ++da) {
+          for (int db = 0; db < 3; ++db) {
+            const double gval = gf.at(element, m, gcomp(da, db));
+            // p runs over the support of (D_a)_{m,.}: vary coordinate da.
+            for (int lp = 0; lp < n1d; ++lp) {
+              TensorPoint p{mi, mj, mk};
+              double dap = 0.0;
+              switch (da) {
+                case 0:
+                  p.i = lp;
+                  dap = d[static_cast<std::size_t>(mi) * n1d + lp];
+                  break;
+                case 1:
+                  p.j = lp;
+                  dap = d[static_cast<std::size_t>(mj) * n1d + lp];
+                  break;
+                default:
+                  p.k = lp;
+                  dap = d[static_cast<std::size_t>(mk) * n1d + lp];
+                  break;
+              }
+              const std::size_t pi = ref.index(p.i, p.j, p.k);
+              for (int lq = 0; lq < n1d; ++lq) {
+                TensorPoint q{mi, mj, mk};
+                double dbq = 0.0;
+                switch (db) {
+                  case 0:
+                    q.i = lq;
+                    dbq = d[static_cast<std::size_t>(mi) * n1d + lq];
+                    break;
+                  case 1:
+                    q.j = lq;
+                    dbq = d[static_cast<std::size_t>(mj) * n1d + lq];
+                    break;
+                  default:
+                    q.k = lq;
+                    dbq = d[static_cast<std::size_t>(mk) * n1d + lq];
+                    break;
+                }
+                const std::size_t qi = ref.index(q.i, q.j, q.k);
+                a[pi * ppe + qi] += dap * gval * dbq;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return a;
+}
+
+std::vector<double> dense_apply(const std::vector<double>& a, const std::vector<double>& x) {
+  const std::size_t n = x.size();
+  SEMFPGA_CHECK(a.size() == n * n, "matrix/vector size mismatch");
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      acc += a[i * n + j] * x[j];
+    }
+    y[i] = acc;
+  }
+  return y;
+}
+
+std::vector<double> local_diagonal(const ReferenceElement& ref, const GeomFactors& gf,
+                                   std::size_t element) {
+  SEMFPGA_CHECK(element < gf.n_elements, "element index out of range");
+  const int n1d = ref.n1d();
+  const std::size_t ppe = ref.points_per_element();
+  const auto& d = ref.deriv().d;
+
+  std::vector<double> diag(ppe, 0.0);
+  for (int k = 0; k < n1d; ++k) {
+    for (int j = 0; j < n1d; ++j) {
+      for (int i = 0; i < n1d; ++i) {
+        const std::size_t m = ref.index(i, j, k);
+        double acc = 0.0;
+        // Same-direction terms: sum over the quadrature line through m.
+        for (int l = 0; l < n1d; ++l) {
+          const double dli = d[static_cast<std::size_t>(l) * n1d + i];
+          const double dlj = d[static_cast<std::size_t>(l) * n1d + j];
+          const double dlk = d[static_cast<std::size_t>(l) * n1d + k];
+          acc += gf.at(element, ref.index(l, j, k), kGrr) * dli * dli;
+          acc += gf.at(element, ref.index(i, l, k), kGss) * dlj * dlj;
+          acc += gf.at(element, ref.index(i, j, l), kGtt) * dlk * dlk;
+        }
+        // Cross terms collapse to the diagonal D entries at m.
+        const double dii = d[static_cast<std::size_t>(i) * n1d + i];
+        const double djj = d[static_cast<std::size_t>(j) * n1d + j];
+        const double dkk = d[static_cast<std::size_t>(k) * n1d + k];
+        acc += 2.0 * gf.at(element, m, kGrs) * dii * djj;
+        acc += 2.0 * gf.at(element, m, kGrt) * dii * dkk;
+        acc += 2.0 * gf.at(element, m, kGst) * djj * dkk;
+        diag[m] = acc;
+      }
+    }
+  }
+  return diag;
+}
+
+}  // namespace semfpga::sem

@@ -1,0 +1,35 @@
+#pragma once
+/// \file dense.hpp
+/// Dense assembly of the local stiffness matrix — verification only.
+///
+/// The paper stresses that forming A^e explicitly is prohibitively expensive
+/// in production (Section II); we assemble it anyway for small N as an
+/// independent oracle against which every matrix-free kernel is checked.
+
+#include <cstddef>
+#include <vector>
+
+#include "sem/geometry.hpp"
+#include "sem/reference_element.hpp"
+
+namespace semfpga::sem {
+
+/// Row-major dense matrix of one element's local Poisson operator,
+/// size points_per_element() squared.  Assembled from the textbook triple
+/// sum A_pq = sum_m sum_ab (D_a)_mp G_ab(m) (D_b)_mq — a code path fully
+/// independent from the streaming kernels.
+[[nodiscard]] std::vector<double> assemble_local_matrix(const ReferenceElement& ref,
+                                                        const GeomFactors& gf,
+                                                        std::size_t element);
+
+/// Dense mat-vec helper for tests: y = A x.
+[[nodiscard]] std::vector<double> dense_apply(const std::vector<double>& a,
+                                              const std::vector<double>& x);
+
+/// Diagonal of the local Poisson matrix, computed analytically (used by the
+/// Jacobi preconditioner).  Matches assemble_local_matrix's diagonal.
+[[nodiscard]] std::vector<double> local_diagonal(const ReferenceElement& ref,
+                                                 const GeomFactors& gf,
+                                                 std::size_t element);
+
+}  // namespace semfpga::sem

@@ -1,0 +1,57 @@
+#include "sem/deriv_matrix.hpp"
+
+#include "common/check.hpp"
+#include "sem/legendre.hpp"
+
+namespace semfpga::sem {
+
+DerivMatrix deriv_matrix(const GllRule& rule) {
+  const int n1d = rule.n_points();
+  const int n = n1d - 1;
+  DerivMatrix dm;
+  dm.n1d = n1d;
+  dm.d.assign(static_cast<std::size_t>(n1d) * n1d, 0.0);
+  dm.dt.assign(static_cast<std::size_t>(n1d) * n1d, 0.0);
+
+  std::vector<double> ln(n1d);
+  for (int i = 0; i < n1d; ++i) {
+    ln[i] = legendre(n, rule.nodes[i]);
+  }
+
+  for (int i = 0; i < n1d; ++i) {
+    for (int j = 0; j < n1d; ++j) {
+      double v = 0.0;
+      if (i != j) {
+        v = ln[i] / (ln[j] * (rule.nodes[i] - rule.nodes[j]));
+      } else if (i == 0) {
+        v = -0.25 * n * (n + 1.0);
+      } else if (i == n) {
+        v = 0.25 * n * (n + 1.0);
+      }
+      dm.d[static_cast<std::size_t>(i) * n1d + j] = v;
+    }
+  }
+  for (int i = 0; i < n1d; ++i) {
+    for (int j = 0; j < n1d; ++j) {
+      dm.dt[static_cast<std::size_t>(i) * n1d + j] =
+          dm.d[static_cast<std::size_t>(j) * n1d + i];
+    }
+  }
+  return dm;
+}
+
+std::vector<double> apply_matrix(const DerivMatrix& dm, const std::vector<double>& f) {
+  SEMFPGA_CHECK(static_cast<int>(f.size()) == dm.n1d,
+                "sample count must match the matrix dimension");
+  std::vector<double> out(f.size(), 0.0);
+  for (int i = 0; i < dm.n1d; ++i) {
+    double acc = 0.0;
+    for (int j = 0; j < dm.n1d; ++j) {
+      acc += dm.d[static_cast<std::size_t>(i) * dm.n1d + j] * f[j];
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+}  // namespace semfpga::sem

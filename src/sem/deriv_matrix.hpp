@@ -1,0 +1,34 @@
+#pragma once
+/// \file deriv_matrix.hpp
+/// Spectral differentiation matrix on the GLL points.
+///
+/// D[i][j] = l'_j(x_i) where l_j is the Lagrange cardinal polynomial of the
+/// GLL node set: applying D to nodal values differentiates the interpolant.
+/// This is the `dx` / `dxt` pair streamed into the paper's accelerator
+/// (Listing 1).
+
+#include <vector>
+
+#include "sem/gll.hpp"
+
+namespace semfpga::sem {
+
+/// Row-major dense (N+1) x (N+1) differentiation matrix plus its transpose.
+struct DerivMatrix {
+  int n1d = 0;              ///< number of GLL points per direction (N+1)
+  std::vector<double> d;    ///< d[i*n1d + j] = l'_j(x_i)
+  std::vector<double> dt;   ///< transpose: dt[i*n1d + j] = d[j*n1d + i]
+
+  [[nodiscard]] double at(int i, int j) const { return d[static_cast<std::size_t>(i) * n1d + j]; }
+};
+
+/// Builds the GLL differentiation matrix for the given rule using the
+/// classical closed form
+///   D_ij = L_N(x_i) / (L_N(x_j) (x_i - x_j))      (i != j)
+///   D_00 = -N(N+1)/4,  D_NN = +N(N+1)/4,  D_ii = 0 otherwise.
+[[nodiscard]] DerivMatrix deriv_matrix(const GllRule& rule);
+
+/// Applies D to samples: (Df)_i = sum_j D_ij f_j.
+[[nodiscard]] std::vector<double> apply_matrix(const DerivMatrix& dm, const std::vector<double>& f);
+
+}  // namespace semfpga::sem

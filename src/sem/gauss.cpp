@@ -1,0 +1,63 @@
+#include "sem/gauss.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "sem/legendre.hpp"
+
+namespace semfpga::sem {
+
+GaussRule gauss_rule(int n_points) {
+  SEMFPGA_CHECK(n_points >= 1, "a Gauss rule needs at least one point");
+  GaussRule rule;
+  rule.nodes.resize(static_cast<std::size_t>(n_points));
+  rule.weights.resize(static_cast<std::size_t>(n_points));
+
+  constexpr double kPi = 3.14159265358979323846;
+  for (int i = 0; i < n_points; ++i) {
+    // Tricomi's asymptotic root estimate seeds Newton on L_n.
+    double x = std::cos(kPi * (i + 0.75) / (n_points + 0.5));
+    for (int it = 0; it < 64; ++it) {
+      const auto [l, d] = legendre_deriv(n_points, x);
+      const double step = l / d;
+      x -= step;
+      if (std::abs(step) < 1e-15) {
+        break;
+      }
+    }
+    // Store ascending.
+    const auto idx = static_cast<std::size_t>(n_points - 1 - i);
+    rule.nodes[idx] = x;
+    const auto [l, d] = legendre_deriv(n_points, x);
+    (void)l;
+    rule.weights[idx] = 2.0 / ((1.0 - x * x) * d * d);
+  }
+
+  // Enforce exact antisymmetry of the node set.
+  for (int i = 0; i < n_points / 2; ++i) {
+    const auto a = static_cast<std::size_t>(i);
+    const auto b = static_cast<std::size_t>(n_points - 1 - i);
+    const double s = 0.5 * (rule.nodes[a] - rule.nodes[b]);
+    rule.nodes[a] = s;
+    rule.nodes[b] = -s;
+    const double w = 0.5 * (rule.weights[a] + rule.weights[b]);
+    rule.weights[a] = w;
+    rule.weights[b] = w;
+  }
+  if (n_points % 2 == 1) {
+    rule.nodes[static_cast<std::size_t>(n_points / 2)] = 0.0;
+  }
+  return rule;
+}
+
+double integrate(const GaussRule& rule, const std::vector<double>& f_at_nodes) {
+  SEMFPGA_CHECK(f_at_nodes.size() == rule.nodes.size(),
+                "sample count must match the number of quadrature nodes");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < f_at_nodes.size(); ++i) {
+    acc += rule.weights[i] * f_at_nodes[i];
+  }
+  return acc;
+}
+
+}  // namespace semfpga::sem

@@ -1,0 +1,32 @@
+#pragma once
+/// \file gauss.hpp
+/// Gauss–Legendre quadrature (interior nodes, no endpoints).
+///
+/// CEED's BK5 — which the paper cites as the closest bake-off kernel to
+/// its operator — evaluates the integrand at Gauss points rather than the
+/// GLL nodes.  This rule plus the interpolation operators of interp.hpp
+/// provide that variant of the substrate.  An n-point Gauss rule
+/// integrates polynomials of degree <= 2n - 1 exactly (two orders more
+/// than GLL at equal point count).
+
+#include <vector>
+
+namespace semfpga::sem {
+
+/// A 1-D Gauss–Legendre rule on [-1, 1].
+struct GaussRule {
+  std::vector<double> nodes;    ///< ascending, strictly inside (-1, 1)
+  std::vector<double> weights;  ///< positive, sum == 2
+
+  [[nodiscard]] int n_points() const noexcept { return static_cast<int>(nodes.size()); }
+};
+
+/// Computes the n-point Gauss–Legendre rule: nodes are the roots of L_n,
+/// weights w_i = 2 / ((1 - x_i^2) L'_n(x_i)^2).
+/// \pre n_points >= 1.
+[[nodiscard]] GaussRule gauss_rule(int n_points);
+
+/// Integrates samples f(nodes[i]) against the rule.
+[[nodiscard]] double integrate(const GaussRule& rule, const std::vector<double>& f_at_nodes);
+
+}  // namespace semfpga::sem

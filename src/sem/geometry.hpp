@@ -1,0 +1,66 @@
+#pragma once
+/// \file geometry.hpp
+/// Geometric factors for the local Poisson operator.
+///
+/// Paper Section II: the matrix-free operator is w = D^T G D u per element,
+/// where G holds, at every quadrature node, the symmetric 3x3 tensor
+///   G = w_ijk |det J| J^{-1} J^{-T}
+/// (J = d(x,y,z)/d(r,s,t)).  Six unique entries per DOF are stored — this is
+/// the `gxyz` stream of Listing 1, with the paper's interleaved layout
+/// gxyz[c + 6*ijk] and c in {rr, rs, rt, ss, st, tt}.
+
+#include <array>
+#include <cstddef>
+
+#include "common/aligned.hpp"
+#include "sem/mesh.hpp"
+#include "sem/reference_element.hpp"
+
+namespace semfpga::sem {
+
+/// Index of each unique entry of the symmetric geometric tensor.
+enum GeomComponent : int {
+  kGrr = 0,
+  kGrs = 1,
+  kGrt = 2,
+  kGss = 3,
+  kGst = 4,
+  kGtt = 5,
+};
+inline constexpr int kGeomComponents = 6;
+
+/// Geometric factors of every element of a mesh.
+struct GeomFactors {
+  int n1d = 0;
+  std::size_t n_elements = 0;
+  std::size_t ppe = 0;  ///< points per element
+
+  /// Interleaved layout (the paper's): g[(e*ppe + ijk)*6 + c].
+  aligned_vector<double> g;
+
+  /// Quadrature mass factor w_ijk * |det J| per DOF (used by the BK5-style
+  /// Helmholtz variant and by right-hand-side assembly): [e*ppe + ijk].
+  aligned_vector<double> mass;
+
+  /// Raw Jacobian determinant per DOF (diagnostics / mesh validity checks).
+  aligned_vector<double> jac_det;
+
+  [[nodiscard]] double at(std::size_t e, std::size_t ijk, int c) const noexcept {
+    return g[(e * ppe + ijk) * kGeomComponents + static_cast<std::size_t>(c)];
+  }
+};
+
+/// Computes geometric factors from nodal coordinates.  Derivatives of the
+/// coordinate fields are taken with the spectral differentiation matrix, so
+/// curved (deformed) elements are handled exactly up to interpolation order.
+/// \throws std::invalid_argument if any nodal Jacobian determinant is <= 0.
+[[nodiscard]] GeomFactors geometric_factors(const Mesh& mesh, const ReferenceElement& ref);
+
+/// Splits the interleaved `g` stream into 6 per-component arrays
+/// (structure-of-arrays).  This mirrors the paper's Section III-B
+/// optimization, where splitting `gxyz` into six vectors removes BRAM
+/// arbitration; on CPU it enables unit-stride vector loads.
+[[nodiscard]] std::array<aligned_vector<double>, kGeomComponents> split_geom(
+    const GeomFactors& gf);
+
+}  // namespace semfpga::sem

@@ -1,0 +1,68 @@
+#include "sem/gll.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "sem/legendre.hpp"
+
+namespace semfpga::sem {
+
+GllRule gll_rule(int n_points) {
+  SEMFPGA_CHECK(n_points >= 2, "a GLL rule needs at least the two endpoints");
+  const int n = n_points - 1;  // polynomial degree N
+
+  GllRule rule;
+  rule.nodes.resize(n_points);
+  rule.weights.resize(n_points);
+
+  rule.nodes[0] = -1.0;
+  rule.nodes[n] = 1.0;
+
+  // Interior nodes: roots of L'_N.  Chebyshev–Gauss–Lobatto points are
+  // excellent starting guesses; Newton converges quadratically.
+  constexpr double kPi = 3.14159265358979323846;
+  for (int i = 1; i < n; ++i) {
+    double x = -std::cos(kPi * static_cast<double>(i) / static_cast<double>(n));
+    for (int it = 0; it < 64; ++it) {
+      const auto [l, d] = legendre_deriv(n, x);
+      (void)l;
+      const double d2 = legendre_second_deriv(n, x);
+      const double step = d / d2;
+      x -= step;
+      if (std::abs(step) < 1e-15) {
+        break;
+      }
+    }
+    rule.nodes[i] = x;
+  }
+
+  // Enforce exact antisymmetry: average x_i with -x_{N-i}.  The analytic
+  // node set is symmetric about zero; Newton gives each side independently.
+  for (int i = 0; i <= n / 2; ++i) {
+    const double s = 0.5 * (rule.nodes[i] - rule.nodes[n - i]);
+    rule.nodes[i] = s;
+    rule.nodes[n - i] = -s;
+  }
+  if (n % 2 == 0) {
+    rule.nodes[n / 2] = 0.0;
+  }
+
+  const double scale = 2.0 / (static_cast<double>(n) * (static_cast<double>(n) + 1.0));
+  for (int i = 0; i <= n; ++i) {
+    const double ln = legendre(n, rule.nodes[i]);
+    rule.weights[i] = scale / (ln * ln);
+  }
+  return rule;
+}
+
+double integrate(const GllRule& rule, const std::vector<double>& f_at_nodes) {
+  SEMFPGA_CHECK(f_at_nodes.size() == rule.nodes.size(),
+                "sample count must match the number of quadrature nodes");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < f_at_nodes.size(); ++i) {
+    acc += rule.weights[i] * f_at_nodes[i];
+  }
+  return acc;
+}
+
+}  // namespace semfpga::sem

@@ -1,0 +1,32 @@
+#pragma once
+/// \file gll.hpp
+/// Gauss–Lobatto–Legendre (GLL) quadrature rules.
+///
+/// A polynomial degree N element uses N+1 GLL points per direction
+/// (paper Section II).  The points are the roots of (1 - x^2) L'_N(x) and
+/// the weights are w_i = 2 / (N (N+1) L_N(x_i)^2).  The rule integrates
+/// polynomials of degree <= 2N - 1 exactly.
+
+#include <vector>
+
+namespace semfpga::sem {
+
+/// A 1-D GLL quadrature rule on [-1, 1].
+struct GllRule {
+  std::vector<double> nodes;    ///< ascending, nodes.front() == -1, back() == +1
+  std::vector<double> weights;  ///< positive, sum == 2
+
+  [[nodiscard]] int n_points() const noexcept { return static_cast<int>(nodes.size()); }
+  [[nodiscard]] int degree() const noexcept { return n_points() - 1; }
+};
+
+/// Computes the GLL rule with `n_points` points (degree N = n_points - 1).
+/// \pre n_points >= 2 (a Lobatto rule always contains both endpoints).
+/// Nodes are found by Newton iteration on L'_N with Chebyshev–Lobatto
+/// starting guesses; converges to ~1 ulp in < 10 iterations for N <= 64.
+[[nodiscard]] GllRule gll_rule(int n_points);
+
+/// Integrates samples f(nodes[i]) against the rule: sum_i w_i f_i.
+[[nodiscard]] double integrate(const GllRule& rule, const std::vector<double>& f_at_nodes);
+
+}  // namespace semfpga::sem

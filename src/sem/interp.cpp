@@ -1,0 +1,72 @@
+#include "sem/interp.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace semfpga::sem {
+
+std::vector<double> barycentric_weights(const std::vector<double>& points) {
+  const std::size_t n = points.size();
+  SEMFPGA_CHECK(n >= 2, "need at least two interpolation points");
+  std::vector<double> w(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        const double d = points[i] - points[j];
+        SEMFPGA_CHECK(d != 0.0, "interpolation points must be distinct");
+        w[i] /= d;
+      }
+    }
+  }
+  return w;
+}
+
+InterpMatrix interp_matrix(const std::vector<double>& from, const std::vector<double>& to) {
+  const auto wb = barycentric_weights(from);
+  InterpMatrix im;
+  im.n_from = static_cast<int>(from.size());
+  im.n_to = static_cast<int>(to.size());
+  im.j.assign(from.size() * to.size(), 0.0);
+
+  for (std::size_t t = 0; t < to.size(); ++t) {
+    // Exact hit: the row is a unit vector (barycentric form would divide
+    // by zero).
+    bool exact = false;
+    for (std::size_t s = 0; s < from.size(); ++s) {
+      if (to[t] == from[s]) {
+        im.j[t * from.size() + s] = 1.0;
+        exact = true;
+        break;
+      }
+    }
+    if (exact) {
+      continue;
+    }
+    double denom = 0.0;
+    for (std::size_t s = 0; s < from.size(); ++s) {
+      denom += wb[s] / (to[t] - from[s]);
+    }
+    for (std::size_t s = 0; s < from.size(); ++s) {
+      im.j[t * from.size() + s] = (wb[s] / (to[t] - from[s])) / denom;
+    }
+  }
+  return im;
+}
+
+std::vector<double> interpolate(const InterpMatrix& im, const std::vector<double>& f) {
+  SEMFPGA_CHECK(static_cast<int>(f.size()) == im.n_from,
+                "sample count must match the interpolation source size");
+  std::vector<double> out(static_cast<std::size_t>(im.n_to), 0.0);
+  for (int t = 0; t < im.n_to; ++t) {
+    double acc = 0.0;
+    for (int s = 0; s < im.n_from; ++s) {
+      acc += im.at(t, s) * f[static_cast<std::size_t>(s)];
+    }
+    out[static_cast<std::size_t>(t)] = acc;
+  }
+  return out;
+}
+
+}  // namespace semfpga::sem

@@ -1,0 +1,39 @@
+#pragma once
+/// \file interp.hpp
+/// Lagrange interpolation between nodal sets.
+///
+/// Builds the rectangular operator J with J[i][j] = l_j(y_i): applying J
+/// to nodal values on the source points evaluates their interpolant at the
+/// target points.  Used to move fields between GLL and Gauss grids (the
+/// CEED BK5 layout) and for solution evaluation at arbitrary points.
+/// Implemented in barycentric form for numerical stability at high order.
+
+#include <vector>
+
+namespace semfpga::sem {
+
+/// Dense row-major interpolation matrix: rows = targets, cols = sources.
+struct InterpMatrix {
+  int n_from = 0;
+  int n_to = 0;
+  std::vector<double> j;  ///< j[t * n_from + s] = l_s(target_t)
+
+  [[nodiscard]] double at(int t, int s) const {
+    return j[static_cast<std::size_t>(t) * n_from + s];
+  }
+};
+
+/// Builds the interpolation operator from `from` points to `to` points.
+/// \pre `from` has >= 2 distinct points.  Target points may coincide with
+/// source points (rows become unit vectors).
+[[nodiscard]] InterpMatrix interp_matrix(const std::vector<double>& from,
+                                         const std::vector<double>& to);
+
+/// Applies the operator: out[t] = sum_s J[t][s] f[s].
+[[nodiscard]] std::vector<double> interpolate(const InterpMatrix& im,
+                                              const std::vector<double>& f);
+
+/// Barycentric weights of a point set (exposed for tests).
+[[nodiscard]] std::vector<double> barycentric_weights(const std::vector<double>& points);
+
+}  // namespace semfpga::sem

@@ -1,0 +1,63 @@
+#include "sem/legendre.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace semfpga::sem {
+
+double legendre(int n, double x) {
+  SEMFPGA_CHECK(n >= 0, "polynomial order must be non-negative");
+  if (n == 0) {
+    return 1.0;
+  }
+  if (n == 1) {
+    return x;
+  }
+  // Bonnet recurrence: (k+1) L_{k+1} = (2k+1) x L_k - k L_{k-1}.
+  double lm1 = 1.0;
+  double l = x;
+  for (int k = 1; k < n; ++k) {
+    const double lp1 = ((2.0 * k + 1.0) * x * l - k * lm1) / (k + 1.0);
+    lm1 = l;
+    l = lp1;
+  }
+  return l;
+}
+
+std::pair<double, double> legendre_deriv(int n, double x) {
+  SEMFPGA_CHECK(n >= 0, "polynomial order must be non-negative");
+  if (n == 0) {
+    return {1.0, 0.0};
+  }
+  double lm1 = 1.0;
+  double l = x;
+  double dm1 = 0.0;
+  double d = 1.0;
+  for (int k = 1; k < n; ++k) {
+    const double lp1 = ((2.0 * k + 1.0) * x * l - k * lm1) / (k + 1.0);
+    // Derivative recurrence: L'_{k+1} = L'_{k-1} + (2k+1) L_k.
+    const double dp1 = dm1 + (2.0 * k + 1.0) * l;
+    lm1 = l;
+    l = lp1;
+    dm1 = d;
+    d = dp1;
+  }
+  return {l, d};
+}
+
+double legendre_second_deriv(int n, double x) {
+  SEMFPGA_CHECK(n >= 0, "polynomial order must be non-negative");
+  const double one_minus_x2 = 1.0 - x * x;
+  if (std::abs(one_minus_x2) < 1e-12) {
+    // Limit at the endpoints from the Gegenbauer representation:
+    // L''_n(±1) = (±1)^n (n-1) n (n+1) (n+2) / 8.
+    const double sign = (x > 0.0 || n % 2 == 0) ? 1.0 : -1.0;
+    const double nn = static_cast<double>(n);
+    return sign * (nn - 1.0) * nn * (nn + 1.0) * (nn + 2.0) / 8.0;
+  }
+  const auto [l, d] = legendre_deriv(n, x);
+  return (2.0 * x * d - n * (n + 1.0) * l) / one_minus_x2;
+}
+
+}  // namespace semfpga::sem

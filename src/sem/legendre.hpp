@@ -1,0 +1,26 @@
+#pragma once
+/// \file legendre.hpp
+/// Legendre polynomial evaluation on [-1, 1].
+///
+/// The SEM basis (paper Section II) is built from the Nth-order Legendre
+/// polynomial L_N interpolated at the Gauss–Lobatto–Legendre points; this
+/// header provides L_N, L'_N, and L''_N via the standard three-term
+/// recurrence and the Legendre ODE.
+
+#include <utility>
+
+namespace semfpga::sem {
+
+/// Value of the Legendre polynomial L_n(x).
+/// \pre n >= 0, |x| may be any real (recurrence is valid on all of R).
+[[nodiscard]] double legendre(int n, double x);
+
+/// Value and first derivative (L_n(x), L'_n(x)) in one pass.
+[[nodiscard]] std::pair<double, double> legendre_deriv(int n, double x);
+
+/// Second derivative L''_n(x) using the Legendre differential equation
+/// (1 - x^2) L'' = 2 x L' - n (n+1) L.  Valid for |x| != 1; at x = ±1 the
+/// limit value n(n+1)(n(n+1)-2)/8 * (±1)^n is returned.
+[[nodiscard]] double legendre_second_deriv(int n, double x);
+
+}  // namespace semfpga::sem

@@ -1,0 +1,12 @@
+#include "sem/reference_element.hpp"
+
+#include "common/check.hpp"
+
+namespace semfpga::sem {
+
+ReferenceElement::ReferenceElement(int degree)
+    : degree_(degree), rule_(gll_rule(degree + 1)), deriv_(deriv_matrix(rule_)) {
+  SEMFPGA_CHECK(degree >= 1, "polynomial degree must be at least 1");
+}
+
+}  // namespace semfpga::sem

@@ -1,0 +1,54 @@
+#pragma once
+/// \file reference_element.hpp
+/// The 3-D reference element [-1,1]^3 at polynomial degree N.
+///
+/// Bundles the GLL rule and the differentiation matrix and provides the
+/// tensor-index helpers used throughout the library.  The paper calls the
+/// (N+1)^3 nodal values of an element its Degrees of Freedom (DOFs).
+
+#include <cstddef>
+
+#include "sem/deriv_matrix.hpp"
+#include "sem/gll.hpp"
+
+namespace semfpga::sem {
+
+/// Reference element: nodes, weights and derivative operator at degree N.
+class ReferenceElement {
+ public:
+  /// \pre degree >= 1.
+  explicit ReferenceElement(int degree);
+
+  [[nodiscard]] int degree() const noexcept { return degree_; }
+  /// Number of GLL points per direction, N+1.
+  [[nodiscard]] int n1d() const noexcept { return rule_.n_points(); }
+  /// DOFs per element, (N+1)^3.
+  [[nodiscard]] std::size_t points_per_element() const noexcept {
+    const auto n = static_cast<std::size_t>(n1d());
+    return n * n * n;
+  }
+
+  [[nodiscard]] const GllRule& rule() const noexcept { return rule_; }
+  [[nodiscard]] const DerivMatrix& deriv() const noexcept { return deriv_; }
+
+  /// Flattened tensor index (i fastest, k slowest) — the layout of
+  /// Listing 1 in the paper: ijk = i + j*(N+1) + k*(N+1)^2.
+  [[nodiscard]] std::size_t index(int i, int j, int k) const noexcept {
+    const auto n = static_cast<std::size_t>(n1d());
+    return static_cast<std::size_t>(i) + n * (static_cast<std::size_t>(j) + n * k);
+  }
+
+  /// Quadrature weight of node (i,j,k) on the reference element.
+  [[nodiscard]] double weight3d(int i, int j, int k) const noexcept {
+    return rule_.weights[static_cast<std::size_t>(i)] *
+           rule_.weights[static_cast<std::size_t>(j)] *
+           rule_.weights[static_cast<std::size_t>(k)];
+  }
+
+ private:
+  int degree_;
+  GllRule rule_;
+  DerivMatrix deriv_;
+};
+
+}  // namespace semfpga::sem

@@ -1,0 +1,101 @@
+#include "solver/cg.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "kernels/ax.hpp"
+
+namespace semfpga::solver {
+
+CgResult solve_cg(const PoissonSystem& system, std::span<const double> b,
+                  std::span<double> x, const CgOptions& options) {
+  const std::size_t n = system.n_local();
+  SEMFPGA_CHECK(b.size() == n && x.size() == n, "vector sizes must match the system");
+  SEMFPGA_CHECK(options.max_iterations >= 0, "max_iterations must be non-negative");
+
+  const auto& diag = system.jacobi_diagonal();
+
+  aligned_vector<double> r(n);
+  aligned_vector<double> z(n);
+  aligned_vector<double> p(n);
+  aligned_vector<double> w(n);
+
+  CgResult result;
+  const int n1d = system.ref().n1d();
+  const std::int64_t ax_cost = kernels::ax_flops(n1d, system.geom().n_elements);
+  // Vector updates per iteration: 2 axpy + 1 xpay (6n) + 2 dots (4n) + precond (n).
+  const std::int64_t vec_cost = 11 * static_cast<std::int64_t>(n);
+
+  // r = b - A x   (x may carry an initial guess)
+  system.apply(x, std::span<double>(w.data(), n));
+  result.flops += ax_cost;
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = b[i] - w[i];
+  }
+
+  auto precondition = [&](const aligned_vector<double>& in, aligned_vector<double>& out) {
+    if (options.preconditioner) {
+      options.preconditioner(std::span<const double>(in.data(), n),
+                             std::span<double>(out.data(), n));
+    } else if (options.use_jacobi) {
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = in[i] / diag[i];
+      }
+    } else {
+      out = in;
+    }
+  };
+
+  precondition(r, z);
+  double rho = system.weighted_dot(std::span<const double>(r.data(), n),
+                                   std::span<const double>(z.data(), n));
+  p = z;
+
+  double res_norm = std::sqrt(std::abs(system.weighted_dot(
+      std::span<const double>(r.data(), n), std::span<const double>(r.data(), n))));
+  if (options.record_history) {
+    result.residual_history.push_back(res_norm);
+  }
+  result.final_residual = res_norm;
+  if (res_norm <= options.tolerance) {
+    result.converged = true;
+    return result;
+  }
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    system.apply(std::span<const double>(p.data(), n), std::span<double>(w.data(), n));
+    const double pw = system.weighted_dot(std::span<const double>(p.data(), n),
+                                          std::span<const double>(w.data(), n));
+    SEMFPGA_CHECK(pw > 0.0, "operator lost positive definiteness (check mesh/mask)");
+    const double alpha = rho / pw;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * w[i];
+    }
+    result.flops += ax_cost + vec_cost;
+    result.iterations = it + 1;
+
+    res_norm = std::sqrt(std::abs(system.weighted_dot(
+        std::span<const double>(r.data(), n), std::span<const double>(r.data(), n))));
+    if (options.record_history) {
+      result.residual_history.push_back(res_norm);
+    }
+    result.final_residual = res_norm;
+    if (res_norm <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    precondition(r, z);
+    const double rho_new = system.weighted_dot(std::span<const double>(r.data(), n),
+                                               std::span<const double>(z.data(), n));
+    const double beta = rho_new / rho;
+    rho = rho_new;
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = z[i] + beta * p[i];
+    }
+  }
+  return result;
+}
+
+}  // namespace semfpga::solver

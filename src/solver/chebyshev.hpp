@@ -1,0 +1,51 @@
+#pragma once
+/// \file chebyshev.hpp
+/// Chebyshev-accelerated Jacobi preconditioning.
+///
+/// The paper's introduction lists "preconditioners" among the SEM solver
+/// phases that are acceleration candidates; Nek5000's multigrid smoothers
+/// are Chebyshev–Jacobi sweeps of exactly this form.  The preconditioner
+/// applies a fixed-degree Chebyshev polynomial of the Jacobi-scaled
+/// operator, which is SPD on the masked subspace and therefore safe
+/// inside CG.
+
+#include <cstdint>
+#include <span>
+
+#include "solver/poisson_system.hpp"
+
+namespace semfpga::solver {
+
+/// Estimates the largest eigenvalue of D^{-1} A on the masked subspace by
+/// power iteration with multiplicity-weighted norms.
+/// \return the Rayleigh-quotient estimate after `iterations` steps.
+[[nodiscard]] double estimate_lambda_max(const PoissonSystem& system, int iterations,
+                                         std::uint64_t seed = 1234);
+
+/// Fixed-degree Chebyshev smoother around the Jacobi-preconditioned
+/// operator, usable as the CG preconditioner.
+class ChebyshevPreconditioner {
+ public:
+  /// \param order number of Chebyshev steps per application (>= 1)
+  /// \param lambda_max upper spectral bound of D^{-1}A (0 = estimate via
+  ///        power iteration with 30 steps)
+  /// \param eig_safety multiplier on the estimated bound (> 1 keeps the
+  ///        polynomial positive on the full spectrum)
+  ChebyshevPreconditioner(const PoissonSystem& system, int order,
+                          double lambda_max = 0.0, double eig_safety = 1.1);
+
+  /// z = P^{-1} r.  r must be continuous and masked.
+  void apply(std::span<const double> r, std::span<double> z) const;
+
+  [[nodiscard]] int order() const noexcept { return order_; }
+  [[nodiscard]] double lambda_max() const noexcept { return lambda_max_; }
+  [[nodiscard]] double lambda_min() const noexcept { return lambda_min_; }
+
+ private:
+  const PoissonSystem& system_;
+  int order_;
+  double lambda_max_;
+  double lambda_min_;
+};
+
+}  // namespace semfpga::solver

@@ -1,0 +1,50 @@
+#include "solver/gather_scatter.hpp"
+
+#include "common/check.hpp"
+
+namespace semfpga::solver {
+
+GatherScatter::GatherScatter(const sem::Mesh& mesh)
+    : ids_(mesh.global_id()), n_global_(mesh.n_global()) {
+  multiplicity_.assign(ids_.size(), 0.0);
+  inv_multiplicity_.resize(ids_.size());
+  scratch_global_.assign(n_global_, 0.0);
+
+  std::vector<double> copies(n_global_, 0.0);
+  for (const std::int64_t id : ids_) {
+    copies[static_cast<std::size_t>(id)] += 1.0;
+  }
+  for (std::size_t p = 0; p < ids_.size(); ++p) {
+    const double m = copies[static_cast<std::size_t>(ids_[p])];
+    multiplicity_[p] = m;
+    inv_multiplicity_[p] = 1.0 / m;
+  }
+}
+
+void GatherScatter::scatter_add(std::span<const double> local,
+                                std::span<double> global) const {
+  SEMFPGA_CHECK(local.size() == ids_.size(), "local vector has the wrong size");
+  SEMFPGA_CHECK(global.size() == n_global_, "global vector has the wrong size");
+  for (double& v : global) {
+    v = 0.0;
+  }
+  for (std::size_t p = 0; p < ids_.size(); ++p) {
+    global[static_cast<std::size_t>(ids_[p])] += local[p];
+  }
+}
+
+void GatherScatter::gather(std::span<const double> global,
+                           std::span<double> local) const {
+  SEMFPGA_CHECK(local.size() == ids_.size(), "local vector has the wrong size");
+  SEMFPGA_CHECK(global.size() == n_global_, "global vector has the wrong size");
+  for (std::size_t p = 0; p < ids_.size(); ++p) {
+    local[p] = global[static_cast<std::size_t>(ids_[p])];
+  }
+}
+
+void GatherScatter::qqt(std::span<double> local) const {
+  scatter_add(local, scratch_global_);
+  gather(scratch_global_, local);
+}
+
+}  // namespace semfpga::solver

@@ -1,0 +1,63 @@
+#pragma once
+/// \file gather_scatter.hpp
+/// Direct-stiffness summation (the Q Q^T of SEM).
+///
+/// Neighbouring elements share face/edge/corner nodes.  SEM solvers keep
+/// element-local copies of every DOF; continuity is enforced by the
+/// gather–scatter operator Q Q^T, which sums the local copies of each
+/// global DOF and redistributes the sum.  This is Nek5000's `dssum` and one
+/// of the "complex gather-scatter phases" the paper mentions as a candidate
+/// for acceleration (Section I).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "sem/mesh.hpp"
+
+namespace semfpga::solver {
+
+/// Gather-scatter built from a mesh's local->global DOF map.
+class GatherScatter {
+ public:
+  explicit GatherScatter(const sem::Mesh& mesh);
+
+  /// Number of element-local DOFs (n_elements * (N+1)^3).
+  [[nodiscard]] std::size_t n_local() const noexcept { return ids_.size(); }
+  /// Number of unique global DOFs.
+  [[nodiscard]] std::size_t n_global() const noexcept { return n_global_; }
+
+  /// global = Q^T local: sums all local copies into their global DOF.
+  /// `global` is overwritten.
+  void scatter_add(std::span<const double> local, std::span<double> global) const;
+
+  /// local = Q global: copies each global value to all its local copies.
+  void gather(std::span<const double> global, std::span<double> local) const;
+
+  /// In-place direct stiffness summation: local = Q Q^T local.
+  void qqt(std::span<double> local) const;
+
+  /// Number of local copies of each local DOF's global node (>= 1).
+  [[nodiscard]] const std::vector<double>& multiplicity() const noexcept {
+    return multiplicity_;
+  }
+
+  /// 1 / multiplicity, the Nekbone `c` weight: makes local dot products
+  /// equal global dot products for continuous fields.
+  [[nodiscard]] const aligned_vector<double>& inv_multiplicity() const noexcept {
+    return inv_multiplicity_;
+  }
+
+  /// Local->global map (for tests and custom operations).
+  [[nodiscard]] const std::vector<std::int64_t>& ids() const noexcept { return ids_; }
+
+ private:
+  std::vector<std::int64_t> ids_;
+  std::size_t n_global_ = 0;
+  std::vector<double> multiplicity_;
+  aligned_vector<double> inv_multiplicity_;
+  mutable aligned_vector<double> scratch_global_;
+};
+
+}  // namespace semfpga::solver

@@ -1,0 +1,33 @@
+#pragma once
+/// \file lifting.hpp
+/// Inhomogeneous Dirichlet boundary conditions by lifting.
+///
+/// PoissonSystem solves in the homogeneous space (masked DOFs pinned to
+/// zero).  For u = g on the boundary, split u = u0 + uh with u0 carrying
+/// the boundary values: solve A uh = b - A u0 in the masked space and add
+/// u0 back.  This wrapper performs the split, the modified right-hand
+/// side, the solve and the reassembly.
+
+#include <functional>
+
+#include "solver/cg.hpp"
+
+namespace semfpga::solver {
+
+/// Result of a lifted solve.
+struct LiftedSolveResult {
+  CgResult cg;                 ///< statistics of the interior solve
+};
+
+/// Solves -lap(u) = f with u = g on the domain boundary.
+/// \param system   the Poisson system (mask defines the boundary)
+/// \param f        forcing sampled at the nodes (size n_local)
+/// \param g        boundary values as a function of (x, y, z); evaluated
+///                 everywhere but only boundary nodes matter
+/// \param u        output: the full solution including boundary values
+[[nodiscard]] LiftedSolveResult solve_dirichlet(
+    const PoissonSystem& system, std::span<const double> f,
+    const std::function<double(double, double, double)>& g, std::span<double> u,
+    const CgOptions& options = {});
+
+}  // namespace semfpga::solver

@@ -1,0 +1,46 @@
+#pragma once
+/// \file nekbone.hpp
+/// Nekbone-equivalent proxy driver.
+///
+/// Nekbone (Fischer & Heisey 2013) is the thermal-hydraulics mini-app the
+/// paper uses as its CPU reference: it times a fixed number of CG
+/// iterations of the SEM Poisson solve and reports FLOP rates.  This is the
+/// same proxy in C++: box mesh, manufactured forcing, fixed-iteration CG,
+/// Nekbone-style MFLOPS accounting.
+
+#include <cstdint>
+#include <string>
+
+#include "solver/cg.hpp"
+
+namespace semfpga::solver {
+
+/// Proxy-run configuration (mirrors Nekbone's data file knobs).
+struct NekboneConfig {
+  int degree = 7;            ///< polynomial degree N (nx1 = N+1 in Nekbone)
+  int nelx = 8, nely = 8, nelz = 8;
+  int cg_iterations = 100;   ///< Nekbone runs a fixed iteration count
+  bool use_jacobi = false;   ///< Nekbone's default CG is unpreconditioned
+  sem::Deformation deformation = sem::Deformation::kNone;
+};
+
+/// Result of one proxy run.
+struct NekboneResult {
+  std::size_t n_elements = 0;
+  std::size_t n_dofs = 0;          ///< element-local DOFs
+  int iterations = 0;
+  double final_residual = 0.0;
+  double seconds = 0.0;
+  std::int64_t flops = 0;
+  double gflops = 0.0;             ///< flops / seconds / 1e9
+  double ax_gflops = 0.0;          ///< counting only the Ax kernel cost
+};
+
+/// Runs the proxy end-to-end and reports Nekbone-style numbers.
+[[nodiscard]] NekboneResult run_nekbone(const NekboneConfig& config);
+
+/// One-line human-readable summary.
+[[nodiscard]] std::string format_result(const NekboneConfig& config,
+                                        const NekboneResult& result);
+
+}  // namespace semfpga::solver

@@ -1,0 +1,55 @@
+#include "solver/partition.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace semfpga::solver {
+
+std::int64_t SlabPartition::max_halo_bytes() const noexcept {
+  std::int64_t worst = 0;
+  for (const RankSlab& r : ranks) {
+    worst = std::max(worst, r.halo_dofs * 8);
+  }
+  return worst;
+}
+
+std::int64_t SlabPartition::max_elements() const noexcept {
+  std::int64_t worst = 0;
+  for (const RankSlab& r : ranks) {
+    worst = std::max(worst, r.n_elements);
+  }
+  return worst;
+}
+
+SlabPartition partition_slabs(const sem::BoxMeshSpec& spec, int n_ranks) {
+  SEMFPGA_CHECK(n_ranks >= 1, "need at least one rank");
+  SEMFPGA_CHECK(n_ranks <= spec.nelz,
+                "cannot split more ranks than z element layers");
+
+  SlabPartition part;
+  part.spec = spec;
+  part.n_ranks = n_ranks;
+
+  const int base = spec.nelz / n_ranks;
+  const int extra = spec.nelz % n_ranks;
+  const std::int64_t per_layer =
+      static_cast<std::int64_t>(spec.nelx) * spec.nely;
+
+  int z = 0;
+  for (int r = 0; r < n_ranks; ++r) {
+    RankSlab slab;
+    slab.rank = r;
+    slab.z_begin = z;
+    slab.z_end = z + base + (r < extra ? 1 : 0);
+    z = slab.z_end;
+    slab.n_elements = per_layer * (slab.z_end - slab.z_begin);
+    const int n_interfaces = (r > 0 ? 1 : 0) + (r < n_ranks - 1 ? 1 : 0);
+    slab.halo_dofs = n_interfaces * part.plane_dofs();
+    part.ranks.push_back(slab);
+  }
+  SEMFPGA_CHECK(z == spec.nelz, "partition must cover every layer");
+  return part;
+}
+
+}  // namespace semfpga::solver

@@ -1,0 +1,52 @@
+#pragma once
+/// \file partition.hpp
+/// Slab partitioning of the structured SEM box for multi-device runs.
+///
+/// Nekbone/Nek5000 distribute elements across MPI ranks; the paper's
+/// evaluation platform (Paderborn Noctua) is itself an FPGA *cluster*.
+/// This module computes the rank-local element counts and the interface
+/// (halo) DOF surfaces a distributed CG iteration must exchange — the
+/// inputs of the arch::ClusterModel strong-scaling extension.
+
+#include <cstdint>
+#include <vector>
+
+#include "sem/mesh.hpp"
+
+namespace semfpga::solver {
+
+/// One rank's share of a z-slab partition.
+struct RankSlab {
+  int rank = 0;
+  int z_begin = 0;          ///< first element layer (inclusive)
+  int z_end = 0;            ///< past-the-end element layer
+  std::int64_t n_elements = 0;
+  /// Unique DOFs on the interface planes this rank shares with neighbours
+  /// (0, 1 or 2 planes).
+  std::int64_t halo_dofs = 0;
+};
+
+/// Slab decomposition of a box mesh along z.
+struct SlabPartition {
+  sem::BoxMeshSpec spec;
+  int n_ranks = 0;
+  std::vector<RankSlab> ranks;
+
+  /// DOFs on one internal interface plane: (nelx N + 1)(nely N + 1).
+  [[nodiscard]] std::int64_t plane_dofs() const noexcept {
+    return (static_cast<std::int64_t>(spec.nelx) * spec.degree + 1) *
+           (static_cast<std::int64_t>(spec.nely) * spec.degree + 1);
+  }
+  /// Bytes one rank sends per halo exchange (doubles, both directions
+  /// counted by the receiver).
+  [[nodiscard]] std::int64_t max_halo_bytes() const noexcept;
+  /// Largest per-rank element count (the load-imbalance driver).
+  [[nodiscard]] std::int64_t max_elements() const noexcept;
+};
+
+/// Splits `spec` into `n_ranks` z-slabs as evenly as the layer count
+/// allows (remainder layers go to the first ranks).
+/// \pre 1 <= n_ranks <= spec.nelz.
+[[nodiscard]] SlabPartition partition_slabs(const sem::BoxMeshSpec& spec, int n_ranks);
+
+}  // namespace semfpga::solver

@@ -1,0 +1,110 @@
+#include "solver/poisson_system.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "kernels/ax.hpp"
+
+namespace semfpga::solver {
+
+PoissonSystem::PoissonSystem(const sem::Mesh& mesh)
+    : mesh_(mesh),
+      ref_(mesh.degree()),
+      geom_(sem::geometric_factors(mesh, ref_)),
+      gs_(mesh) {
+  const std::size_t n = gs_.n_local();
+
+  // Dirichlet mask from the mesh's boundary flags.
+  mask_.resize(n);
+  const auto& ids = mesh.global_id();
+  const auto& bnd = mesh.boundary_flag();
+  for (std::size_t p = 0; p < n; ++p) {
+    mask_[p] = bnd[static_cast<std::size_t>(ids[p])] != 0 ? 0.0 : 1.0;
+  }
+
+  // Assembled Jacobi diagonal: local diagonals summed across elements.
+  aligned_vector<double> local_diag(n);
+  const std::size_t ppe = ref_.points_per_element();
+  for (std::size_t e = 0; e < geom_.n_elements; ++e) {
+    const auto d = sem::local_diagonal(ref_, geom_, e);
+    for (std::size_t p = 0; p < ppe; ++p) {
+      local_diag[e * ppe + p] = d[p];
+    }
+  }
+  gs_.qqt(local_diag);
+  diagonal_.resize(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    diagonal_[p] = mask_[p] != 0.0 ? local_diag[p] : 1.0;
+  }
+
+  // Default element operator: the compile-time-dispatched CPU kernel.
+  local_op_ = [this](std::span<const double> u, std::span<double> w) {
+    kernels::AxArgs args;
+    args.u = u;
+    args.w = w;
+    args.g = std::span<const double>(geom_.g.data(), geom_.g.size());
+    args.dx = std::span<const double>(ref_.deriv().d.data(), ref_.deriv().d.size());
+    args.dxt = std::span<const double>(ref_.deriv().dt.data(), ref_.deriv().dt.size());
+    args.n1d = ref_.n1d();
+    args.n_elements = geom_.n_elements;
+    kernels::ax_fixed(args);
+  };
+}
+
+void PoissonSystem::set_local_operator(LocalOperator op) {
+  SEMFPGA_CHECK(static_cast<bool>(op), "local operator must be callable");
+  local_op_ = std::move(op);
+}
+
+void PoissonSystem::apply(std::span<const double> u, std::span<double> w) const {
+  apply_unmasked(u, w);
+  for (std::size_t p = 0; p < w.size(); ++p) {
+    w[p] *= mask_[p];
+  }
+}
+
+void PoissonSystem::apply_unmasked(std::span<const double> u,
+                                   std::span<double> w) const {
+  SEMFPGA_CHECK(u.size() == n_local() && w.size() == n_local(),
+                "field views must cover the whole mesh");
+  local_op_(u, w);
+  gs_.qqt(w);
+}
+
+void PoissonSystem::assemble_rhs(std::span<const double> f_at_nodes,
+                                 std::span<double> b) const {
+  SEMFPGA_CHECK(f_at_nodes.size() == n_local() && b.size() == n_local(),
+                "field views must cover the whole mesh");
+  for (std::size_t p = 0; p < b.size(); ++p) {
+    b[p] = geom_.mass[p] * f_at_nodes[p];
+  }
+  gs_.qqt(b);
+  for (std::size_t p = 0; p < b.size(); ++p) {
+    b[p] *= mask_[p];
+  }
+}
+
+void PoissonSystem::sample(const std::function<double(double, double, double)>& f,
+                           std::span<double> out) const {
+  SEMFPGA_CHECK(out.size() == n_local(), "output view must cover the whole mesh");
+  const auto& x = mesh_.x();
+  const auto& y = mesh_.y();
+  const auto& z = mesh_.z();
+  for (std::size_t p = 0; p < out.size(); ++p) {
+    out[p] = f(x[p], y[p], z[p]);
+  }
+}
+
+double PoissonSystem::weighted_dot(std::span<const double> a,
+                                   std::span<const double> b) const {
+  SEMFPGA_CHECK(a.size() == n_local() && b.size() == n_local(),
+                "field views must cover the whole mesh");
+  const auto& c = gs_.inv_multiplicity();
+  double acc = 0.0;
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    acc += a[p] * b[p] * c[p];
+  }
+  return acc;
+}
+
+}  // namespace semfpga::solver

@@ -1,0 +1,82 @@
+#pragma once
+/// \file poisson_system.hpp
+/// The assembled (matrix-free) SEM Poisson system on a mesh.
+///
+/// Bundles everything an iterative solve needs: the reference element,
+/// geometric factors, gather–scatter, the Dirichlet mask and the Jacobi
+/// diagonal.  The operator is
+///     w = mask( Q Q^T ( A_local u ) )
+/// exactly as Nekbone applies it inside CG.
+
+#include <functional>
+#include <span>
+
+#include "common/aligned.hpp"
+#include "sem/dense.hpp"
+#include "sem/geometry.hpp"
+#include "sem/mesh.hpp"
+#include "sem/reference_element.hpp"
+#include "solver/gather_scatter.hpp"
+
+namespace semfpga::solver {
+
+/// Pluggable element-operator: applies the local Ax to all elements.
+/// Signature matches kernels::ax_* wrapped over the system's operands; the
+/// FPGA-simulated kernel plugs in through the same seam.
+using LocalOperator = std::function<void(std::span<const double> u, std::span<double> w)>;
+
+/// Matrix-free Poisson system with homogeneous Dirichlet conditions on the
+/// domain boundary.
+class PoissonSystem {
+ public:
+  /// Builds factors, gather-scatter, mask and Jacobi diagonal for `mesh`.
+  explicit PoissonSystem(const sem::Mesh& mesh);
+
+  [[nodiscard]] const sem::ReferenceElement& ref() const noexcept { return ref_; }
+  [[nodiscard]] const sem::GeomFactors& geom() const noexcept { return geom_; }
+  [[nodiscard]] const GatherScatter& gs() const noexcept { return gs_; }
+  [[nodiscard]] std::size_t n_local() const noexcept { return gs_.n_local(); }
+
+  /// Element-local Dirichlet mask: 0 on boundary DOFs, 1 elsewhere.
+  [[nodiscard]] const aligned_vector<double>& mask() const noexcept { return mask_; }
+
+  /// Assembled, masked Jacobi diagonal (1 on masked DOFs so inversion is safe).
+  [[nodiscard]] const aligned_vector<double>& jacobi_diagonal() const noexcept {
+    return diagonal_;
+  }
+
+  /// Replaces the element operator (default: kernels::ax_fixed).
+  void set_local_operator(LocalOperator op);
+
+  /// Full system operator: w = mask(QQ^T(A_local u)).  u must be continuous
+  /// (equal local copies of shared DOFs); the result is continuous.
+  void apply(std::span<const double> u, std::span<double> w) const;
+
+  /// Assembled operator without the Dirichlet mask: w = QQ^T(A_local u).
+  /// Used by boundary lifting, where the action on boundary DOFs is needed.
+  void apply_unmasked(std::span<const double> u, std::span<double> w) const;
+
+  /// Assembled right-hand side from a forcing sampled at the nodes:
+  /// b = mask(QQ^T(mass .* f)).
+  void assemble_rhs(std::span<const double> f_at_nodes, std::span<double> b) const;
+
+  /// Samples a scalar function at every local node.
+  void sample(const std::function<double(double, double, double)>& f,
+              std::span<double> out) const;
+
+  /// Multiplicity-weighted dot product (equals the global dot product for
+  /// continuous fields) — Nekbone's glsc3 with the `c` weight.
+  [[nodiscard]] double weighted_dot(std::span<const double> a,
+                                    std::span<const double> b) const;
+
+ private:
+  const sem::Mesh& mesh_;
+  sem::ReferenceElement ref_;
+  sem::GeomFactors geom_;
+  GatherScatter gs_;
+  aligned_vector<double> mask_;
+  aligned_vector<double> diagonal_;
+  LocalOperator local_op_;
+};
+
+}  // namespace semfpga::solver

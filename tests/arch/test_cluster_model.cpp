@@ -1,0 +1,96 @@
+#include "arch/cluster_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace semfpga::arch {
+namespace {
+
+sem::BoxMeshSpec big_spec() {
+  sem::BoxMeshSpec spec;
+  spec.degree = 7;
+  spec.nelx = spec.nely = 16;
+  spec.nelz = 32;
+  return spec;
+}
+
+/// A simple linear-time device: t = overhead + n * per_element.
+DeviceKernelTime linear_kernel(double overhead_s, double per_element_s) {
+  return [overhead_s, per_element_s](std::int64_t n) {
+    return overhead_s + per_element_s * static_cast<double>(n);
+  };
+}
+
+TEST(ClusterModel, PerfectScalingWithoutNetworkCosts) {
+  NetworkSpec free_net;
+  free_net.latency_us = 0.0;
+  free_net.bandwidth_gbs = 1e9;
+  const auto points = strong_scaling(big_spec(), linear_kernel(0.0, 1e-6), free_net,
+                                     {1, 2, 4, 8});
+  for (const ScalingPoint& p : points) {
+    EXPECT_NEAR(p.speedup, static_cast<double>(p.ranks), 1e-6) << p.ranks;
+    EXPECT_NEAR(p.efficiency, 1.0, 1e-6) << p.ranks;
+  }
+}
+
+TEST(ClusterModel, SpeedupIsBoundedByRanks) {
+  const NetworkSpec net;
+  const auto points = strong_scaling(big_spec(), linear_kernel(10e-6, 1e-6), net,
+                                     {1, 2, 4, 8, 16, 32});
+  for (const ScalingPoint& p : points) {
+    EXPECT_LE(p.speedup, static_cast<double>(p.ranks) + 1e-9) << p.ranks;
+    EXPECT_GT(p.speedup, 0.0);
+  }
+}
+
+TEST(ClusterModel, EfficiencyDecreasesWithRanks) {
+  const NetworkSpec net;
+  const auto points = strong_scaling(big_spec(), linear_kernel(10e-6, 1e-6), net,
+                                     {1, 2, 4, 8, 16, 32});
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i].efficiency, points[i - 1].efficiency + 1e-9)
+        << points[i].ranks;
+  }
+}
+
+TEST(ClusterModel, LatencyFloorsTheIterationTime) {
+  // With a very fast device, the iteration time at scale approaches the
+  // network terms alone.
+  NetworkSpec net;
+  net.latency_us = 5.0;
+  const auto points =
+      strong_scaling(big_spec(), linear_kernel(0.0, 1e-9), net, {1, 32});
+  const ScalingPoint& p32 = points.back();
+  EXPECT_GT(p32.allreduce_seconds + p32.halo_seconds,
+            0.9 * p32.iteration_seconds);
+}
+
+TEST(ClusterModel, HaloBytesScaleWithTheInterfaceArea) {
+  const NetworkSpec net;
+  sem::BoxMeshSpec small = big_spec();
+  small.nelx = small.nely = 4;
+  const auto big = strong_scaling(big_spec(), linear_kernel(0.0, 1e-6), net, {1, 4});
+  const auto little = strong_scaling(small, linear_kernel(0.0, 1e-6), net, {1, 4});
+  // 16x the interface area -> larger halo time.
+  EXPECT_GT(big.back().halo_seconds, little.back().halo_seconds);
+}
+
+TEST(ClusterModel, SingleRankHasNoNetworkTerms) {
+  const NetworkSpec net;
+  const auto points = strong_scaling(big_spec(), linear_kernel(1e-5, 1e-6), net, {1});
+  EXPECT_DOUBLE_EQ(points[0].halo_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(points[0].allreduce_seconds, 0.0);
+}
+
+TEST(ClusterModel, RejectsBadInputs) {
+  const NetworkSpec net;
+  EXPECT_THROW((void)strong_scaling(big_spec(), DeviceKernelTime{}, net, {1}),
+               std::invalid_argument);
+  NetworkSpec bad = net;
+  bad.bandwidth_gbs = 0.0;
+  EXPECT_THROW(
+      (void)strong_scaling(big_spec(), linear_kernel(0.0, 1e-6), bad, {1}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace semfpga::arch

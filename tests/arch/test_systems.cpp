@@ -1,0 +1,74 @@
+#include "arch/systems.hpp"
+
+#include <gtest/gtest.h>
+
+namespace semfpga::arch {
+namespace {
+
+TEST(Systems, TableHasAllNineRows) {
+  EXPECT_EQ(table2_systems().size(), 9u);
+}
+
+TEST(Systems, DerivedByteFlopMatchesTable2) {
+  // Table II prints derived Byte/FLOP; spot-check the extremes the paper
+  // highlights: the RTX 2060's 2.0 (highest) and the i9's 0.083 (lowest).
+  EXPECT_NEAR(system_by_name("NVIDIA RTX 2060 Super").byte_per_flop(), 2.0, 0.01);
+  EXPECT_NEAR(system_by_name("Intel i9-10920X").byte_per_flop(), 0.083, 0.001);
+  EXPECT_NEAR(system_by_name("Stratix GX 2800").byte_per_flop(), 0.154, 0.001);
+  EXPECT_NEAR(system_by_name("Marvell ThunderX2").byte_per_flop(), 0.33, 0.004);
+}
+
+TEST(Systems, FpgaHasTheLowestClock) {
+  const double fpga_freq = system_by_name("Stratix GX 2800").freq_mhz;
+  for (const SystemSpec& s : table2_systems()) {
+    if (s.type != SystemType::kFpga) {
+      EXPECT_GT(s.freq_mhz, fpga_freq) << s.name;
+    }
+  }
+}
+
+TEST(Systems, FpgaHasTheLowestBandwidthTiedWithI9) {
+  // Table II: the FPGA and the i9 share the 76.8 GB/s bottom.
+  const double fpga_bw = system_by_name("Stratix GX 2800").mem_bw_gbs;
+  for (const SystemSpec& s : table2_systems()) {
+    EXPECT_GE(s.mem_bw_gbs, fpga_bw) << s.name;
+  }
+  EXPECT_DOUBLE_EQ(system_by_name("Intel i9-10920X").mem_bw_gbs, fpga_bw);
+}
+
+TEST(Systems, A100LeadsInPeakAndBandwidth) {
+  const SystemSpec& a100 = system_by_name("NVIDIA A100 PCIe");
+  for (const SystemSpec& s : table2_systems()) {
+    EXPECT_LE(s.peak_gflops, a100.peak_gflops) << s.name;
+    EXPECT_LE(s.mem_bw_gbs, a100.mem_bw_gbs) << s.name;
+  }
+  EXPECT_EQ(a100.tech_nm, 7);
+  EXPECT_EQ(a100.release_year, 2020);
+}
+
+TEST(Systems, TypesArePartitioned) {
+  int fpga = 0, cpu = 0, gpu = 0;
+  for (const SystemSpec& s : table2_systems()) {
+    switch (s.type) {
+      case SystemType::kFpga: ++fpga; break;
+      case SystemType::kCpu: ++cpu; break;
+      case SystemType::kGpu: ++gpu; break;
+    }
+  }
+  EXPECT_EQ(fpga, 1);
+  EXPECT_EQ(cpu, 3);
+  EXPECT_EQ(gpu, 5);
+}
+
+TEST(Systems, LookupThrowsOnUnknownName) {
+  EXPECT_THROW((void)system_by_name("Cerebras WSE"), std::invalid_argument);
+}
+
+TEST(Systems, TypeNames) {
+  EXPECT_STREQ(system_type_name(SystemType::kFpga), "FPGA");
+  EXPECT_STREQ(system_type_name(SystemType::kCpu), "CPU");
+  EXPECT_STREQ(system_type_name(SystemType::kGpu), "GPU");
+}
+
+}  // namespace
+}  // namespace semfpga::arch

@@ -1,0 +1,51 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace semfpga {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsForm) {
+  const Cli cli = make({"--degree=7", "--elements=4096"});
+  EXPECT_EQ(cli.get_int("degree", 0), 7);
+  EXPECT_EQ(cli.get_int("elements", 0), 4096);
+}
+
+TEST(Cli, SpaceForm) {
+  const Cli cli = make({"--degree", "9"});
+  EXPECT_EQ(cli.get_int("degree", 0), 9);
+}
+
+TEST(Cli, BooleanSwitch) {
+  const Cli cli = make({"--csv"});
+  EXPECT_TRUE(cli.has("csv"));
+  EXPECT_FALSE(cli.has("verbose"));
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const Cli cli = make({});
+  EXPECT_EQ(cli.get_int("n", 5), 5);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(cli.get("s", "fallback"), "fallback");
+}
+
+TEST(Cli, PositionalArguments) {
+  const Cli cli = make({"first", "--flag=1", "second"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "first");
+  EXPECT_EQ(cli.positional()[1], "second");
+}
+
+TEST(Cli, DoubleParsing) {
+  const Cli cli = make({"--bw=76.8"});
+  EXPECT_DOUBLE_EQ(cli.get_double("bw", 0.0), 76.8);
+}
+
+}  // namespace
+}  // namespace semfpga

@@ -1,0 +1,68 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace semfpga {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  SplitMix64 rng(9);
+  double lo = 1e9, hi = -1e9;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    ASSERT_GE(v, -2.0);
+    ASSERT_LT(v, 3.0);
+  }
+  // The sample should come close to both ends.
+  EXPECT_LT(lo, -1.9);
+  EXPECT_GT(hi, 2.9);
+}
+
+TEST(Rng, MeanIsCentred) {
+  SplitMix64 rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.next_double();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowStaysBelow) {
+  SplitMix64 rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LT(rng.next_below(17), 17u);
+  }
+}
+
+}  // namespace
+}  // namespace semfpga

@@ -1,0 +1,53 @@
+#include "common/stats.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace semfpga {
+namespace {
+
+TEST(Stats, SummaryOfKnownSample) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, 1.2909944487358056, 1e-14);
+}
+
+TEST(Stats, SummaryOfEmptyAndSingleton) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const std::vector<double> one = {7.0};
+  const Summary s = summarize(one);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, RelErrorIsSymmetricAndFloored) {
+  EXPECT_DOUBLE_EQ(rel_error(10.0, 11.0), rel_error(11.0, 10.0));
+  EXPECT_NEAR(rel_error(10.0, 11.0), 1.0 / 11.0, 1e-15);
+  EXPECT_DOUBLE_EQ(rel_error(0.0, 0.0), 0.0);
+  // The floor prevents division blow-up near zero.
+  EXPECT_LE(rel_error(1e-320, 0.0, 1e-12), 1.0);
+}
+
+TEST(Stats, MaxDiffHelpers) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.0, 2.5, 2.0};
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 1.0);
+  EXPECT_NEAR(max_rel_diff(a, b), 1.0 / 3.0, 1e-15);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, a), 0.0);
+}
+
+TEST(Stats, NormAndDot) {
+  const std::vector<double> a = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+  const std::vector<double> b = {1.0, -1.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), -1.0);
+  EXPECT_DOUBLE_EQ(norm2(std::vector<double>{}), 0.0);
+}
+
+}  // namespace
+}  // namespace semfpga

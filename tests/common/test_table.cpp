@@ -1,0 +1,59 @@
+#include "common/table.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace semfpga {
+namespace {
+
+TEST(Table, TextRenderingAlignsColumns) {
+  Table t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta-long", "22"});
+  std::ostringstream os;
+  t.print_text(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta-long"), std::string::npos);
+}
+
+TEST(Table, CsvRendering) {
+  Table t("");
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_separator();
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t("x");
+  t.set_header({"a", "b", "c"});
+  t.add_row({"1"});
+  std::ostringstream os;
+  EXPECT_NO_THROW(t.print_text(os));
+}
+
+TEST(Table, HeaderAfterRowsIsRejected) {
+  Table t("x");
+  t.set_header({"a"});
+  t.add_row({"1"});
+  EXPECT_THROW(t.set_header({"b"}), std::invalid_argument);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt_int(42), "42");
+  EXPECT_EQ(Table::fmt_pct(0.725, 1), "72.5%");
+  EXPECT_EQ(Table::fmt_si(1234.0, 1), "1.2k");
+  EXPECT_EQ(Table::fmt_si(2.5e9, 1), "2.5G");
+  EXPECT_EQ(Table::fmt_si(999.0, 0), "999");
+}
+
+}  // namespace
+}  // namespace semfpga

@@ -1,0 +1,166 @@
+#include "fpga/accelerator.hpp"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sem/geometry.hpp"
+
+namespace semfpga::fpga {
+namespace {
+
+/// Real operands on a deformed mesh for functional checks.
+struct Operands {
+  explicit Operands(int degree, int nel = 2) : ref(degree) {
+    sem::BoxMeshSpec spec;
+    spec.degree = degree;
+    spec.nelx = spec.nely = spec.nelz = nel;
+    spec.deformation = sem::Deformation::kSine;
+    spec.deformation_amplitude = 0.04;
+    mesh = std::make_unique<sem::Mesh>(spec, ref);
+    gf = sem::geometric_factors(*mesh, ref);
+    const std::size_t n = mesh->n_local();
+    u.resize(n);
+    w.assign(n, 0.0);
+    SplitMix64 rng(99);
+    for (double& v : u) {
+      v = rng.uniform(-1.0, 1.0);
+    }
+  }
+  [[nodiscard]] kernels::AxArgs args() {
+    kernels::AxArgs a;
+    a.u = u;
+    a.w = w;
+    a.g = std::span<const double>(gf.g.data(), gf.g.size());
+    a.dx = std::span<const double>(ref.deriv().d.data(), ref.deriv().d.size());
+    a.dxt = std::span<const double>(ref.deriv().dt.data(), ref.deriv().dt.size());
+    a.n1d = ref.n1d();
+    a.n_elements = gf.n_elements;
+    return a;
+  }
+  sem::ReferenceElement ref;
+  std::unique_ptr<sem::Mesh> mesh;
+  sem::GeomFactors gf;
+  std::vector<double> u, w;
+};
+
+class AcceleratorFunctional : public ::testing::TestWithParam<int> {};
+
+TEST_P(AcceleratorFunctional, MatchesCpuReferenceExactly) {
+  const int degree = GetParam();
+  Operands cpu(degree);
+  Operands sim(degree);
+  kernels::ax_reference(cpu.args());
+  const SemAccelerator acc(stratix10_gx2800(), KernelConfig::banked(degree));
+  acc.run(sim.args());
+  for (std::size_t p = 0; p < cpu.w.size(); ++p) {
+    ASSERT_DOUBLE_EQ(cpu.w[p], sim.w[p]) << "dof " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, AcceleratorFunctional,
+                         ::testing::Values(1, 2, 3, 5, 7, 9));
+
+TEST(Accelerator, EveryLadderStageIsFunctionallyIdentical) {
+  const int degree = 5;
+  Operands expected(degree);
+  kernels::ax_reference(expected.args());
+  for (const KernelConfig& cfg :
+       {KernelConfig::baseline(degree), KernelConfig::locality(degree),
+        KernelConfig::ii1(degree), KernelConfig::banked(degree)}) {
+    Operands sim(degree);
+    const SemAccelerator acc(stratix10_gx2800(), cfg);
+    acc.run(sim.args());
+    for (std::size_t p = 0; p < expected.w.size(); ++p) {
+      ASSERT_DOUBLE_EQ(expected.w[p], sim.w[p]);
+    }
+  }
+}
+
+TEST(Accelerator, PaddingPreservesResults) {
+  // Section III-E host padding: block-extended operators give bitwise-equal
+  // results on the original nodes.
+  const int degree = 5;  // n1d = 6 -> pad 2 to reach 8
+  Operands expected(degree);
+  kernels::ax_reference(expected.args());
+
+  KernelConfig padded = KernelConfig::banked(degree);
+  padded.pad = 2;
+  Operands sim(degree);
+  const SemAccelerator acc(stratix10_gx2800(), padded);
+  acc.run(sim.args());
+  for (std::size_t p = 0; p < expected.w.size(); ++p) {
+    ASSERT_DOUBLE_EQ(expected.w[p], sim.w[p]) << "dof " << p;
+  }
+}
+
+TEST(Accelerator, EstimateScalesWithElements) {
+  const SemAccelerator acc(stratix10_gx2800(), KernelConfig::banked(7));
+  const RunStats small = acc.estimate(64);
+  const RunStats big = acc.estimate(8192);
+  EXPECT_LT(small.seconds, big.seconds);
+  // Larger problems amortise the invocation overhead: higher GFLOP/s.
+  EXPECT_LT(small.gflops, big.gflops);
+  // Steady-state rate bounds the achieved rate.
+  EXPECT_LE(big.dofs_per_cycle, acc.steady_dofs_per_cycle() + 1e-12);
+}
+
+TEST(Accelerator, EnergyAndPowerAreConsistent) {
+  const SemAccelerator acc(stratix10_gx2800(), KernelConfig::banked(7));
+  const RunStats s = acc.estimate(4096);
+  EXPECT_NEAR(s.energy_j, s.power_w * s.seconds, 1e-12);
+  EXPECT_NEAR(s.gflops_per_w, s.gflops / s.power_w, 1e-12);
+  EXPECT_GT(s.power_w, 60.0);
+  EXPECT_LT(s.power_w, 120.0);
+}
+
+TEST(Accelerator, MeasuredCalibrationTogglesCleanly) {
+  SemAccelerator acc(stratix10_gx2800(), KernelConfig::banked(7));
+  EXPECT_TRUE(acc.measured_calibration_active());
+  EXPECT_DOUBLE_EQ(acc.clock_mhz(), 274.0);  // Table I fmax
+  acc.set_use_measured_calibration(false);
+  EXPECT_FALSE(acc.measured_calibration_active());
+  EXPECT_NE(acc.clock_mhz(), 274.0);
+}
+
+TEST(Accelerator, NonPaperDegreesUseTheModel) {
+  // Degree 8 was never synthesized in the paper; no fixture applies.
+  const SemAccelerator acc(stratix10_gx2800(), KernelConfig::banked(8));
+  EXPECT_FALSE(acc.measured_calibration_active());
+  EXPECT_GT(acc.estimate(1024).gflops, 0.0);
+}
+
+TEST(Accelerator, OtherDevicesNeverUseTheGx2800Fixture) {
+  const SemAccelerator acc(agilex_027(), KernelConfig::banked(7));
+  EXPECT_FALSE(acc.measured_calibration_active());
+}
+
+TEST(Accelerator, BandwidthNeverExceedsBoardPeak) {
+  for (int degree : {3, 7, 11, 15}) {
+    const SemAccelerator acc(stratix10_gx2800(), KernelConfig::banked(degree));
+    const RunStats s = acc.estimate(4096);
+    EXPECT_LE(s.effective_bandwidth_gbs, 76.8 + 1e-9) << "N=" << degree;
+  }
+}
+
+TEST(Accelerator, BaselineIsOrdersOfMagnitudeSlower) {
+  const SemAccelerator baseline(stratix10_gx2800(), KernelConfig::baseline(7));
+  const SemAccelerator banked(stratix10_gx2800(), KernelConfig::banked(7));
+  const double ratio =
+      banked.estimate(4096).gflops / baseline.estimate(4096).gflops;
+  // Paper: the full ladder is worth ~4400x (0.025 -> 109 GFLOP/s).
+  EXPECT_GT(ratio, 1000.0);
+  EXPECT_LT(ratio, 20000.0);
+}
+
+TEST(Accelerator, RejectsMismatchedOperands) {
+  Operands ops(3);
+  const SemAccelerator acc(stratix10_gx2800(), KernelConfig::banked(5));
+  EXPECT_THROW(acc.run(ops.args()), std::invalid_argument);
+  const SemAccelerator ok(stratix10_gx2800(), KernelConfig::banked(3));
+  EXPECT_THROW((void)ok.estimate(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace semfpga::fpga

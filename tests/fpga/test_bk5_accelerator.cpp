@@ -1,0 +1,127 @@
+/// BK5-style Helmholtz kernel on the simulated accelerator: functional
+/// equality with the CPU reference and the expected performance shift
+/// (intensity rises, bandwidth-bound throughput drops by 8/9).
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "fpga/accelerator.hpp"
+
+namespace semfpga::fpga {
+namespace {
+
+KernelConfig bk5_config(int degree) {
+  KernelConfig cfg = KernelConfig::banked(degree);
+  cfg.kind = KernelKind::kHelmholtz;
+  return cfg;
+}
+
+struct Bk5Operands {
+  explicit Bk5Operands(int degree) : ref(degree) {
+    sem::BoxMeshSpec spec;
+    spec.degree = degree;
+    spec.nelx = spec.nely = spec.nelz = 2;
+    spec.deformation = sem::Deformation::kSine;
+    spec.deformation_amplitude = 0.03;
+    mesh = std::make_unique<sem::Mesh>(spec, ref);
+    gf = sem::geometric_factors(*mesh, ref);
+    const std::size_t n = mesh->n_local();
+    u.resize(n);
+    w.assign(n, 0.0);
+    SplitMix64 rng(31);
+    for (double& v : u) {
+      v = rng.uniform(-1.0, 1.0);
+    }
+    args.ax.u = u;
+    args.ax.w = w;
+    args.ax.g = std::span<const double>(gf.g.data(), gf.g.size());
+    args.ax.dx = std::span<const double>(ref.deriv().d.data(), ref.deriv().d.size());
+    args.ax.dxt = std::span<const double>(ref.deriv().dt.data(), ref.deriv().dt.size());
+    args.ax.n1d = ref.n1d();
+    args.ax.n_elements = gf.n_elements;
+    args.mass = std::span<const double>(gf.mass.data(), gf.mass.size());
+    args.lambda = 1.5;
+  }
+  sem::ReferenceElement ref;
+  std::unique_ptr<sem::Mesh> mesh;
+  sem::GeomFactors gf;
+  std::vector<double> u, w;
+  kernels::HelmholtzArgs args;
+};
+
+class Bk5Sweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Bk5Sweep, FunctionalMatchWithCpuReference) {
+  const int degree = GetParam();
+  Bk5Operands cpu(degree);
+  Bk5Operands sim(degree);
+  kernels::helmholtz_reference(cpu.args);
+  const SemAccelerator acc(stratix10_gx2800(), bk5_config(degree));
+  acc.run(sim.args);
+  for (std::size_t p = 0; p < cpu.w.size(); ++p) {
+    ASSERT_DOUBLE_EQ(cpu.w[p], sim.w[p]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, Bk5Sweep, ::testing::Values(2, 5, 7));
+
+TEST(Bk5Accelerator, TrafficIncludesTheSeventhFactor) {
+  const SemAccelerator poisson(stratix10_gx2800(), KernelConfig::banked(7));
+  const SemAccelerator bk5(stratix10_gx2800(), bk5_config(7));
+  const RunStats sp = poisson.estimate_steady(1024);
+  const RunStats sb = bk5.estimate_steady(1024);
+  // 72 bytes/DOF vs 64.
+  EXPECT_NEAR(sb.bytes_transferred / sp.bytes_transferred, 72.0 / 64.0, 1e-9);
+}
+
+TEST(Bk5Accelerator, ExtraStreamQuantisesTheDesignDown) {
+  // The 9th stream raises bytes/DOF to 72, so T_B drops from 4 to 3.56 —
+  // and the paper's power-of-two design rule quantises the BK5 kernel to
+  // T = 2 where the Poisson kernel builds T = 4.
+  const SemAccelerator poisson(stratix10_gx2800(), KernelConfig::banked(7));
+  const SemAccelerator bk5(stratix10_gx2800(), bk5_config(7));
+  EXPECT_EQ(poisson.report().t_design, 4);
+  EXPECT_EQ(bk5.report().t_design, 2);
+  const double ratio = bk5.estimate_steady(4096).dof_rate /
+                       poisson.estimate_steady(4096).dof_rate;
+  EXPECT_GT(ratio, 0.45);
+  EXPECT_LT(ratio, 0.95);
+}
+
+TEST(Bk5Accelerator, GflopsReflectTheQuantisationPenalty) {
+  // The extra FLOPs per DOF cannot make up for the halved lane count:
+  // GFLOP/s drops but stays within the quantisation envelope.
+  const SemAccelerator poisson(stratix10_gx2800(), KernelConfig::banked(7));
+  const SemAccelerator bk5(stratix10_gx2800(), bk5_config(7));
+  const double gp = poisson.estimate_steady(4096).gflops;
+  const double gb = bk5.estimate_steady(4096).gflops;
+  EXPECT_GT(gb, 0.45 * gp);
+  EXPECT_LT(gb, 1.0 * gp);
+}
+
+TEST(Bk5Accelerator, UsesTheModelNotTheTable1Fixture) {
+  const SemAccelerator bk5(stratix10_gx2800(), bk5_config(7));
+  EXPECT_FALSE(bk5.measured_calibration_active());
+}
+
+TEST(Bk5Accelerator, KindMismatchIsRejected) {
+  Bk5Operands ops(5);
+  const SemAccelerator poisson(stratix10_gx2800(), KernelConfig::banked(5));
+  EXPECT_THROW(poisson.run(ops.args), std::invalid_argument);
+
+  const SemAccelerator bk5(stratix10_gx2800(), bk5_config(5));
+  kernels::AxArgs plain = ops.args.ax;
+  EXPECT_THROW(bk5.run(plain), std::invalid_argument);
+}
+
+TEST(Bk5Accelerator, SynthesisCostsMoreThanPoisson) {
+  const SynthesisReport p = synthesize(stratix10_gx2800(), KernelConfig::banked(9));
+  const SynthesisReport b = synthesize(stratix10_gx2800(), bk5_config(9));
+  EXPECT_GT(b.used.alms, p.used.alms);
+  EXPECT_GT(b.used.dsps, p.used.dsps);
+}
+
+}  // namespace
+}  // namespace semfpga::fpga

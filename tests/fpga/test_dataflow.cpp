@@ -1,0 +1,129 @@
+/// Validates the closed-form cycle model against the event-level dataflow
+/// simulation — the standard cross-check for cycle-approximate models.
+
+#include "fpga/dataflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fpga/accelerator.hpp"
+#include "fpga/paper_data.hpp"
+
+namespace semfpga::fpga {
+namespace {
+
+PipelineShape shape_for(int degree, double mem_eff = 0.9) {
+  const DeviceSpec device = stratix10_gx2800();
+  const KernelConfig config = KernelConfig::banked(degree);
+  const SynthesisReport report = synthesize(device, config);
+  return pipeline_shape(device, config, report, 274.0, mem_eff);
+}
+
+class DataflowSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DataflowSweep, EventSimulationMatchesClosedForm) {
+  const PipelineShape shape = shape_for(GetParam());
+  for (std::size_t n : {16u, 256u, 4096u}) {
+    const DataflowResult sim = simulate_dataflow(shape, n);
+    const double closed = closed_form_cycles(shape, n);
+    EXPECT_NEAR(sim.total_cycles / closed, 1.0, 0.05)
+        << "N=" << GetParam() << " elements=" << n;
+  }
+}
+
+TEST_P(DataflowSweep, StageOccupanciesAreFractions) {
+  const PipelineShape shape = shape_for(GetParam());
+  const DataflowResult sim = simulate_dataflow(shape, 512);
+  EXPECT_GT(sim.load_busy, 0.0);
+  EXPECT_LE(sim.load_busy, 1.0);
+  EXPECT_GT(sim.compute_busy, 0.0);
+  EXPECT_LE(sim.compute_busy, 1.0);
+  EXPECT_GT(sim.store_busy, 0.0);
+  EXPECT_LE(sim.store_busy, 1.0);
+  // The shared memory channel cannot be more than fully busy.
+  EXPECT_LE(sim.load_busy + sim.store_busy, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, DataflowSweep, ::testing::Values(3, 7, 11, 15));
+
+TEST(Dataflow, BankedKernelsAreMemoryBottlenecked) {
+  // On the GX2800 the banked designs saturate the memory channel — the
+  // paper's central observation (T_B = 4 decides everything).
+  for (int degree : {7, 11, 15}) {
+    const DataflowResult sim = simulate_dataflow(shape_for(degree), 2048);
+    EXPECT_STREQ(sim.bottleneck, "memory") << "N=" << degree;
+    EXPECT_GT(sim.load_busy + sim.store_busy, 0.95) << "N=" << degree;
+  }
+}
+
+TEST(Dataflow, ComputeBottleneckWhenMemoryIsFast) {
+  // With a 10x faster memory the compute stage becomes the bottleneck.
+  PipelineShape shape = shape_for(7);
+  shape.load_cycles /= 10.0;
+  shape.store_cycles /= 10.0;
+  const DataflowResult sim = simulate_dataflow(shape, 2048);
+  EXPECT_STREQ(sim.bottleneck, "compute");
+  EXPECT_GT(sim.compute_busy, 0.95);
+}
+
+TEST(Dataflow, FillCostVanishesAtScale) {
+  const PipelineShape shape = shape_for(7);
+  const double small = simulate_dataflow(shape, 8).total_cycles / 8.0;
+  const double large = simulate_dataflow(shape, 8192).total_cycles / 8192.0;
+  EXPECT_GT(small, large);  // per-element cost amortises
+  EXPECT_NEAR(large, std::max(shape.load_cycles + shape.store_cycles,
+                              shape.compute_cycles),
+              0.02 * large);
+}
+
+TEST(Dataflow, SingleBufferSerialisesThePipeline) {
+  // With one buffer slot, load e+1 waits for compute e: throughput drops.
+  PipelineShape dbl = shape_for(7);
+  PipelineShape single = dbl;
+  single.buffer_slots = 1;
+  const double t2 = simulate_dataflow(dbl, 1024).total_cycles;
+  const double t1 = simulate_dataflow(single, 1024).total_cycles;
+  EXPECT_GT(t1, t2);
+}
+
+TEST(Dataflow, AgreesWithAcceleratorSteadyRateWhenMemoryBound) {
+  // Cross-validation against SemAccelerator's closed-form DOF rate at the
+  // same memory efficiency (banked model, no fixtures).
+  const DeviceSpec device = stratix10_gx2800();
+  const KernelConfig config = KernelConfig::banked(7);
+  const SynthesisReport report = synthesize(device, config);
+  const ExternalMemoryModel mem(device.memory, MemAllocation::kBanked);
+  const double eff = mem.kernel_efficiency(8);
+
+  SemAccelerator probe(device, config);
+  probe.set_use_measured_calibration(false);
+  const PipelineShape shape =
+      pipeline_shape(device, config, report, probe.clock_mhz(), eff);
+
+  const std::size_t n = 4096;
+  const DataflowResult sim = simulate_dataflow(shape, n);
+  const double dofs = static_cast<double>(n) * 512.0;
+  const double sim_dofs_per_cycle = dofs / sim.total_cycles;
+
+  const double model_dofs_per_cycle = probe.estimate_steady(n).dofs_per_cycle;
+  // The event sim serialises loads and stores on one channel; the closed
+  // form folds both into one effective bandwidth — agreement within 10%.
+  EXPECT_NEAR(sim_dofs_per_cycle / model_dofs_per_cycle, 1.0, 0.10);
+}
+
+TEST(Dataflow, RejectsBadInputs) {
+  const PipelineShape shape = shape_for(3);
+  EXPECT_THROW((void)simulate_dataflow(shape, 0), std::invalid_argument);
+  PipelineShape bad = shape;
+  bad.buffer_slots = 0;
+  EXPECT_THROW((void)simulate_dataflow(bad, 8), std::invalid_argument);
+  const DeviceSpec device = stratix10_gx2800();
+  const KernelConfig config = KernelConfig::banked(3);
+  const SynthesisReport report = synthesize(device, config);
+  EXPECT_THROW((void)pipeline_shape(device, config, report, 0.0, 0.9),
+               std::invalid_argument);
+  EXPECT_THROW((void)pipeline_shape(device, config, report, 274.0, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace semfpga::fpga

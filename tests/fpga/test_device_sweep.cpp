@@ -1,0 +1,90 @@
+/// Cross-device property sweep of the accelerator simulator, plus failure
+/// injection: undersized devices must be rejected, not mis-modelled.
+
+#include <gtest/gtest.h>
+
+#include "fpga/accelerator.hpp"
+
+namespace semfpga::fpga {
+namespace {
+
+struct DeviceCase {
+  const char* label;
+  DeviceSpec (*make)();
+};
+
+class DeviceSweep : public ::testing::TestWithParam<DeviceCase> {};
+
+TEST_P(DeviceSweep, BankedKernelsFitAndRunAtPaperDegrees) {
+  const DeviceSpec device = GetParam().make();
+  for (int degree : {3, 7, 11, 15}) {
+    const SemAccelerator acc(device, KernelConfig::banked(degree));
+    EXPECT_TRUE(acc.report().fits) << device.name << " N=" << degree;
+    const RunStats s = acc.estimate_steady(1024);
+    EXPECT_GT(s.gflops, 0.0) << device.name << " N=" << degree;
+    EXPECT_GT(s.power_w, 0.0) << device.name << " N=" << degree;
+    EXPECT_LE(s.effective_bandwidth_gbs, device.memory.peak_gbs + 1e-9)
+        << device.name << " N=" << degree;
+  }
+}
+
+TEST_P(DeviceSweep, ThroughputNeverExceedsTheBandwidthBound) {
+  const DeviceSpec device = GetParam().make();
+  for (int degree : {3, 7, 11, 15}) {
+    SemAccelerator acc(device, KernelConfig::banked(degree));
+    acc.set_use_measured_calibration(false);
+    const double peak_dof_rate =
+        device.memory.peak_bytes_per_sec() / 64.0;
+    EXPECT_LE(acc.estimate_steady(4096).dof_rate, peak_dof_rate * 1.0001)
+        << device.name << " N=" << degree;
+  }
+}
+
+TEST_P(DeviceSweep, BiggerProblemsAmortiseBetter) {
+  const DeviceSpec device = GetParam().make();
+  const SemAccelerator acc(device, KernelConfig::banked(7));
+  EXPECT_LT(acc.estimate(128).gflops, acc.estimate(8192).gflops) << device.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperDevices, DeviceSweep,
+    ::testing::Values(DeviceCase{"gx2800", &stratix10_gx2800},
+                      DeviceCase{"agilex", &agilex_027},
+                      DeviceCase{"s10m", &stratix10_10m},
+                      DeviceCase{"s10m_enh", &stratix10_10m_enhanced},
+                      DeviceCase{"ideal", &ideal_cfd_fpga}),
+    [](const ::testing::TestParamInfo<DeviceCase>& info) {
+      return info.param.label;
+    });
+
+TEST(DeviceFailure, UndersizedDeviceIsRejected) {
+  DeviceSpec tiny = stratix10_gx2800();
+  tiny.name = "tiny";
+  tiny.total.alms = tiny.base.alms + 1000.0;  // no room for any FPU
+  EXPECT_THROW(SemAccelerator(tiny, KernelConfig::banked(15)), std::invalid_argument);
+}
+
+TEST(DeviceFailure, BramStarvedDeviceIsRejected) {
+  DeviceSpec starved = stratix10_gx2800();
+  starved.name = "bram-starved";
+  starved.total.brams = 600.0;  // below the shell + any element cache
+  EXPECT_THROW(SemAccelerator(starved, KernelConfig::banked(15)),
+               std::invalid_argument);
+}
+
+TEST(DeviceFailure, SynthesisReportsNonFitWithoutThrowing) {
+  DeviceSpec tiny = stratix10_gx2800();
+  tiny.total.alms = tiny.base.alms + 1000.0;
+  const SynthesisReport report = synthesize(tiny, KernelConfig::banked(15));
+  EXPECT_FALSE(report.fits);
+}
+
+TEST(DeviceFailure, BaselineStillFitsOnTheRealDevice) {
+  // The paper's baseline consumed >50% of the device but synthesized fine.
+  const SynthesisReport report =
+      synthesize(stratix10_gx2800(), KernelConfig::baseline(7));
+  EXPECT_TRUE(report.fits);
+}
+
+}  // namespace
+}  // namespace semfpga::fpga

@@ -1,0 +1,63 @@
+#include "fpga/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace semfpga::fpga {
+namespace {
+
+TEST(Devices, Gx2800MatchesPublishedSpecs) {
+  const DeviceSpec d = stratix10_gx2800();
+  EXPECT_EQ(d.name, "Stratix 10 GX2800");
+  EXPECT_DOUBLE_EQ(d.total.alms, 933120.0);
+  EXPECT_DOUBLE_EQ(d.total.dsps, 5760.0);
+  EXPECT_DOUBLE_EQ(d.total.brams, 11721.0);
+  // 4 banks x 512 bit x 300 MHz = 76.8 GB/s (Table II).
+  EXPECT_DOUBLE_EQ(d.memory.peak_gbs, 76.8);
+  EXPECT_DOUBLE_EQ(d.memory.peak_gbs * 1e9,
+                   d.memory.n_banks * (d.memory.bus_bits / 8.0) *
+                       d.memory.controller_mhz * 1e6);
+}
+
+TEST(Devices, BaseFitsInsideEveryDevice) {
+  for (const DeviceSpec& d : {stratix10_gx2800(), agilex_027(), stratix10_10m(),
+                              stratix10_10m_enhanced(), ideal_cfd_fpga()}) {
+    EXPECT_TRUE(d.base.fits_within(d.total)) << d.name;
+    EXPECT_GT(d.memory.peak_gbs, 0.0) << d.name;
+  }
+}
+
+TEST(Devices, Stratix10MScalesLogicBy3_6x) {
+  const DeviceSpec gx = stratix10_gx2800();
+  const DeviceSpec m10 = stratix10_10m();
+  EXPECT_NEAR(m10.total.alms / gx.total.alms, 3.6, 1e-12);
+  EXPECT_NEAR(m10.total.dsps, 5700.0, 1.0);
+}
+
+TEST(Devices, EnhancedVariantOnlyChangesDspsAndBandwidth) {
+  const DeviceSpec base = stratix10_10m();
+  const DeviceSpec enh = stratix10_10m_enhanced();
+  EXPECT_DOUBLE_EQ(enh.total.alms, base.total.alms);
+  EXPECT_DOUBLE_EQ(enh.total.brams, base.total.brams);
+  EXPECT_NEAR(enh.total.dsps, 8700.0, 1.0);
+  EXPECT_GT(enh.memory.peak_gbs, base.memory.peak_gbs);
+}
+
+TEST(Devices, IdealDeviceMatchesSectionVD) {
+  // "6.2 million ALMs (factor 6x larger), has 20k DSPs ... 12.9k BRAMs
+  // (only 10% more than our current) ... 1.2 TB/s".
+  const DeviceSpec ideal = ideal_cfd_fpga();
+  EXPECT_DOUBLE_EQ(ideal.total.alms, 6.2e6);
+  EXPECT_DOUBLE_EQ(ideal.total.dsps, 20000.0);
+  EXPECT_NEAR(ideal.total.brams / stratix10_gx2800().total.brams, 1.10, 0.01);
+  EXPECT_NEAR(ideal.memory.peak_gbs, 1228.8, 0.1);
+  EXPECT_EQ(ideal.op_cost.name, "hardened-fp64");
+}
+
+TEST(Devices, EnvelopeUsesProjectionClockByDefault) {
+  const DeviceSpec d = stratix10_gx2800();
+  EXPECT_DOUBLE_EQ(d.envelope().clock_hz, 300e6);
+  EXPECT_DOUBLE_EQ(d.envelope(250.0).clock_hz, 250e6);
+}
+
+}  // namespace
+}  // namespace semfpga::fpga

@@ -1,0 +1,77 @@
+#include "fpga/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace semfpga::fpga {
+namespace {
+
+MemorySpec gx_mem() { return stratix10_gx2800().memory; }
+
+TEST(Memory, InterleavedSaturatesAtHalfPeak) {
+  // Section III-D: interleaving "seldom can reach peak bandwidth"
+  // regardless of burst size.
+  const ExternalMemoryModel mem(gx_mem(), MemAllocation::kInterleaved);
+  EXPECT_DOUBLE_EQ(mem.steady_efficiency(64.0, 8), 0.5);
+  EXPECT_DOUBLE_EQ(mem.steady_efficiency(1 << 20, 8), 0.5);
+}
+
+TEST(Memory, BankedEfficiencyGrowsWithBurstSize) {
+  const ExternalMemoryModel mem(gx_mem(), MemAllocation::kBanked);
+  double prev = 0.0;
+  for (double burst : {64.0, 512.0, 4096.0, 32768.0}) {
+    const double eff = mem.steady_efficiency(burst, 8);
+    EXPECT_GT(eff, prev);
+    prev = eff;
+  }
+  EXPECT_GT(prev, 0.95);  // large bursts approach peak
+}
+
+TEST(Memory, BankedBeatsInterleavedForKernelBursts) {
+  // The paper's III-D observation: banking wins for this access pattern
+  // (per-element bursts are >= 512 B from N=3 up).
+  const ExternalMemoryModel banked(gx_mem(), MemAllocation::kBanked);
+  const ExternalMemoryModel inter(gx_mem(), MemAllocation::kInterleaved);
+  for (int n1d : {4, 8, 12, 16}) {
+    EXPECT_GT(banked.kernel_efficiency(n1d), inter.kernel_efficiency(n1d))
+        << "n1d=" << n1d;
+  }
+}
+
+TEST(Memory, MoreStreamsPerBankCostMore) {
+  const ExternalMemoryModel mem(gx_mem(), MemAllocation::kBanked);
+  EXPECT_GT(mem.steady_efficiency(512.0, 4), mem.steady_efficiency(512.0, 16));
+}
+
+TEST(Memory, DofRateIsEfficiencyTimesPeakOver64) {
+  const ExternalMemoryModel mem(gx_mem(), MemAllocation::kBanked);
+  const double eff = mem.kernel_efficiency(8);
+  EXPECT_NEAR(mem.dof_rate(8), eff * 76.8e9 / 64.0, 1.0);
+}
+
+TEST(Memory, TransferTimeHasFixedOverhead) {
+  const ExternalMemoryModel mem(gx_mem(), MemAllocation::kBanked);
+  const double t_zero = mem.transfer_seconds(0.0, 8);
+  EXPECT_NEAR(t_zero, gx_mem().invocation_overhead_us * 1e-6, 1e-12);
+  const double t_big = mem.transfer_seconds(76.8e9, 8);  // ~1 s of data
+  EXPECT_GT(t_big, 1.0);
+}
+
+TEST(Memory, EfficiencyIsClamped) {
+  const ExternalMemoryModel mem(gx_mem(), MemAllocation::kBanked);
+  EXPECT_GE(mem.steady_efficiency(1.0, 128), 0.05);
+  EXPECT_LE(mem.steady_efficiency(1e12, 1), 1.0);
+}
+
+TEST(Memory, RejectsBadArguments) {
+  const ExternalMemoryModel mem(gx_mem(), MemAllocation::kBanked);
+  EXPECT_THROW((void)mem.steady_efficiency(0.0, 8), std::invalid_argument);
+  EXPECT_THROW((void)mem.steady_efficiency(64.0, 0), std::invalid_argument);
+  EXPECT_THROW((void)mem.transfer_seconds(-1.0, 8), std::invalid_argument);
+  MemorySpec bad = gx_mem();
+  bad.peak_gbs = 0.0;
+  EXPECT_THROW(ExternalMemoryModel(bad, MemAllocation::kBanked),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace semfpga::fpga

@@ -1,0 +1,76 @@
+/// Section III reproduction: the optimization ladder at N = 7.
+///
+/// baseline 0.025 -> ILP+locality ~10 -> II=1 ~60 -> banked 109 GFLOP/s.
+/// Endpoint stages must match closely; the middle rungs within a factor
+/// that covers the paper's loosely-specified intermediate configurations.
+
+#include <gtest/gtest.h>
+
+#include "fpga/accelerator.hpp"
+
+namespace semfpga::fpga {
+namespace {
+
+double ladder_gflops(const KernelConfig& cfg) {
+  const SemAccelerator acc(stratix10_gx2800(), cfg);
+  return acc.estimate(4096).gflops;
+}
+
+TEST(OptLadder, BaselineMatchesPaperClosely) {
+  // Paper: 0.025 GFLOP/s.
+  const double g = ladder_gflops(KernelConfig::baseline(7));
+  EXPECT_NEAR(g, 0.025, 0.01);
+}
+
+TEST(OptLadder, BaselineBandwidthMatchesPaper) {
+  // Paper: the baseline "consumed 0.014 GB/s of external memory bandwidth".
+  const SemAccelerator acc(stratix10_gx2800(), KernelConfig::baseline(7));
+  const RunStats s = acc.estimate(4096);
+  EXPECT_NEAR(s.effective_bandwidth_gbs, 0.014, 0.008);
+}
+
+TEST(OptLadder, LocalityStageNearTenGflops) {
+  const double g = ladder_gflops(KernelConfig::locality(7));
+  EXPECT_GT(g, 5.0);
+  EXPECT_LT(g, 20.0);
+}
+
+TEST(OptLadder, IiOneStageNearSixtyGflops) {
+  const double g = ladder_gflops(KernelConfig::ii1(7));
+  EXPECT_GT(g, 45.0);
+  EXPECT_LT(g, 80.0);
+}
+
+TEST(OptLadder, BankedStageMatches109) {
+  const double g = ladder_gflops(KernelConfig::banked(7));
+  EXPECT_NEAR(g, 109.0, 0.05 * 109.0);
+}
+
+TEST(OptLadder, EveryStageImproves) {
+  const double g0 = ladder_gflops(KernelConfig::baseline(7));
+  const double g1 = ladder_gflops(KernelConfig::locality(7));
+  const double g2 = ladder_gflops(KernelConfig::ii1(7));
+  const double g3 = ladder_gflops(KernelConfig::banked(7));
+  EXPECT_LT(g0, g1);
+  EXPECT_LT(g1, g2);
+  EXPECT_LT(g2, g3);
+}
+
+TEST(OptLadder, LocalityJumpIsHundredsOfX) {
+  // Paper: "we improve the performance over the baseline by 400x".
+  const double ratio =
+      ladder_gflops(KernelConfig::locality(7)) / ladder_gflops(KernelConfig::baseline(7));
+  EXPECT_GT(ratio, 150.0);
+  EXPECT_LT(ratio, 1000.0);
+}
+
+TEST(OptLadder, LadderHoldsAtOtherDegrees) {
+  for (int degree : {3, 11}) {
+    const double g0 = ladder_gflops(KernelConfig::baseline(degree));
+    const double g3 = ladder_gflops(KernelConfig::banked(degree));
+    EXPECT_GT(g3, 100.0 * g0) << "N=" << degree;
+  }
+}
+
+}  // namespace
+}  // namespace semfpga::fpga

@@ -1,0 +1,124 @@
+#include "fpga/synthesis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fpga/paper_data.hpp"
+
+namespace semfpga::fpga {
+namespace {
+
+TEST(Synthesis, BankedKernelsFitForAllPaperDegrees) {
+  const DeviceSpec gx = stratix10_gx2800();
+  for (int degree : {1, 3, 5, 7, 9, 11, 13, 15}) {
+    const SynthesisReport r = synthesize(gx, KernelConfig::banked(degree));
+    EXPECT_TRUE(r.fits) << "N=" << degree;
+    EXPECT_EQ(r.ii, 1) << "N=" << degree;
+    EXPECT_DOUBLE_EQ(r.arbitration_stall, 1.0) << "N=" << degree;
+  }
+}
+
+TEST(Synthesis, AutoUnrollMatchesTable1Design) {
+  const DeviceSpec gx = stratix10_gx2800();
+  const int degrees[8] = {1, 3, 5, 7, 9, 11, 13, 15};
+  const int expected[8] = {2, 4, 2, 4, 2, 4, 2, 4};
+  for (int i = 0; i < 8; ++i) {
+    const SynthesisReport r = synthesize(gx, KernelConfig::banked(degrees[i]));
+    EXPECT_EQ(r.t_design, expected[i]) << "N=" << degrees[i];
+  }
+}
+
+TEST(Synthesis, LogicUtilisationTracksTable1) {
+  // The resource model should land within 20 points of the published
+  // utilisation for every synthesized degree (OCR-reconstructed cells
+  // included) — Table I scatter itself is that large.
+  const DeviceSpec gx = stratix10_gx2800();
+  for (const Table1Row& row : paper_table1()) {
+    const SynthesisReport r = synthesize(gx, KernelConfig::banked(row.degree));
+    EXPECT_NEAR(r.util_alms, row.logic_frac, 0.20) << "N=" << row.degree;
+  }
+}
+
+TEST(Synthesis, BramUsageTracksTable1WithinFactorTwo) {
+  const DeviceSpec gx = stratix10_gx2800();
+  for (const Table1Row& row : paper_table1()) {
+    const SynthesisReport r = synthesize(gx, KernelConfig::banked(row.degree));
+    const double published = row.bram_frac * gx.total.brams;
+    EXPECT_GT(r.used.brams, 0.5 * published) << "N=" << row.degree;
+    EXPECT_LT(r.used.brams, 2.0 * published) << "N=" << row.degree;
+  }
+}
+
+TEST(Synthesis, RegistersTrackTable1WithinThirtyPercent) {
+  const DeviceSpec gx = stratix10_gx2800();
+  for (const Table1Row& row : paper_table1()) {
+    const SynthesisReport r = synthesize(gx, KernelConfig::banked(row.degree));
+    EXPECT_NEAR(r.used.registers / row.registers, 1.0, 0.35) << "N=" << row.degree;
+  }
+}
+
+TEST(Synthesis, ResourcesGrowMonotonicallyWithUnroll) {
+  const DeviceSpec gx = stratix10_gx2800();
+  double prev_alms = 0.0;
+  for (int unroll : {1, 2, 4}) {
+    KernelConfig cfg = KernelConfig::ii1(7);
+    cfg.unroll = unroll;
+    const SynthesisReport r = synthesize(gx, cfg);
+    EXPECT_GT(r.used.alms, prev_alms);
+    prev_alms = r.used.alms;
+  }
+}
+
+TEST(Synthesis, ArbitrationFiresWhenUnrollDoesNotDivide) {
+  const DeviceSpec gx = stratix10_gx2800();
+  // N=9 -> n1d=10: unroll 4 does not divide, stall doubles.
+  KernelConfig cfg = KernelConfig::ii1(9);
+  cfg.unroll = 4;
+  EXPECT_DOUBLE_EQ(synthesize(gx, cfg).arbitration_stall, 2.0);
+  cfg.unroll = 2;
+  EXPECT_DOUBLE_EQ(synthesize(gx, cfg).arbitration_stall, 1.0);
+}
+
+TEST(Synthesis, UnsplitGxyzArbitrates) {
+  const DeviceSpec gx = stratix10_gx2800();
+  KernelConfig cfg = KernelConfig::locality(7);
+  cfg.split_gxyz = false;
+  EXPECT_DOUBLE_EQ(synthesize(gx, cfg).arbitration_stall, 2.0);
+}
+
+TEST(Synthesis, BaselineIsUnpipelined) {
+  const DeviceSpec gx = stratix10_gx2800();
+  const SynthesisReport r = synthesize(gx, KernelConfig::baseline(7));
+  EXPECT_FALSE(r.pipelined);
+}
+
+TEST(Synthesis, ForcedIiOneHalvesTheInterval) {
+  const DeviceSpec gx = stratix10_gx2800();
+  EXPECT_EQ(synthesize(gx, KernelConfig::locality(7)).ii, 2);
+  EXPECT_EQ(synthesize(gx, KernelConfig::ii1(7)).ii, 1);
+}
+
+TEST(Synthesis, FmaxFallsWithUtilisation) {
+  const DeviceSpec gx = stratix10_gx2800();
+  const double f_low = fmax_model_mhz(gx, 0.3);
+  const double f_high = fmax_model_mhz(gx, 0.8);
+  EXPECT_GT(f_low, f_high);
+  EXPECT_GE(f_high, 120.0);
+  EXPECT_LE(f_low, gx.fmax_ceiling_mhz);
+}
+
+TEST(Synthesis, PaddedKernelCostsMore) {
+  const DeviceSpec gx = stratix10_gx2800();
+  KernelConfig padded = KernelConfig::banked(5);
+  padded.pad = 2;
+  const SynthesisReport plain = synthesize(gx, KernelConfig::banked(5));
+  const SynthesisReport pad = synthesize(gx, padded);
+  EXPECT_GT(pad.used.brams, plain.used.brams);
+}
+
+TEST(Synthesis, BramUsageWithoutCachingIsTiny) {
+  EXPECT_LT(bram_usage(8, 1, false), 10.0);
+  EXPECT_GT(bram_usage(8, 4, true), 100.0);
+}
+
+}  // namespace
+}  // namespace semfpga::fpga

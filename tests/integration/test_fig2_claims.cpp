@@ -1,0 +1,151 @@
+/// Fig 2 reproduction: the cross-architecture comparison at 4096 elements.
+/// Combines the FPGA simulator with the platform models and asserts every
+/// categorical claim the paper makes about who beats whom.
+
+#include <gtest/gtest.h>
+
+#include "arch/platform_model.hpp"
+#include "fpga/accelerator.hpp"
+#include "model/throughput.hpp"
+
+namespace semfpga {
+namespace {
+
+constexpr std::size_t kElements = 4096;
+
+double fpga_gflops(int degree) {
+  // Steady-state, matching the paper's overhead-excluded methodology.
+  const fpga::SemAccelerator acc(fpga::stratix10_gx2800(),
+                                 fpga::KernelConfig::banked(degree));
+  return acc.estimate_steady(kElements).gflops;
+}
+
+double platform_gflops(const char* name, int degree) {
+  return arch::platform_by_name(name).gflops(degree, kElements);
+}
+
+TEST(Fig2, N15FpgaBeatsAllCpusAndTheK80) {
+  // "the SEM-Accelerator reaches peak performance of 211.3 GFLOP/s,
+  // beating the Intel Xeon 6130, Intel i9-10920X, and Marvell ThunderX2 by
+  // 1.17x, 1.89x, and 2.34x ... outperforms the Kepler-class K80 by 1.87x".
+  const double fpga = fpga_gflops(15);
+  EXPECT_GT(fpga, platform_gflops("Intel Xeon Gold 6130", 15));
+  EXPECT_GT(fpga, platform_gflops("Intel i9-10920X", 15));
+  EXPECT_GT(fpga, platform_gflops("Marvell ThunderX2", 15));
+  EXPECT_GT(fpga, platform_gflops("NVIDIA Tesla K80", 15));
+  EXPECT_NEAR(fpga / platform_gflops("Intel Xeon Gold 6130", 15), 1.17, 0.15);
+  EXPECT_NEAR(fpga / platform_gflops("Intel i9-10920X", 15), 1.89, 0.25);
+  EXPECT_NEAR(fpga / platform_gflops("Marvell ThunderX2", 15), 2.34, 0.30);
+  EXPECT_NEAR(fpga / platform_gflops("NVIDIA Tesla K80", 15), 1.87, 0.25);
+}
+
+TEST(Fig2, N15FpgaTrailsTheModernGpus) {
+  // "0.86x the performance of the Turing-class RTX 2060" and "Pascal-100,
+  // Volta-100, and Ampere-100 continue to outperform ... by 4.3x, 6.41x,
+  // and 8.43x".
+  const double fpga = fpga_gflops(15);
+  EXPECT_LT(fpga, platform_gflops("NVIDIA RTX 2060 Super", 15));
+  EXPECT_NEAR(fpga / platform_gflops("NVIDIA RTX 2060 Super", 15), 0.86, 0.10);
+  EXPECT_NEAR(platform_gflops("NVIDIA Tesla P100 SXM2", 15) / fpga, 4.3, 0.6);
+  EXPECT_NEAR(platform_gflops("NVIDIA Tesla V100 PCIe", 15) / fpga, 6.41, 0.9);
+  EXPECT_NEAR(platform_gflops("NVIDIA A100 PCIe", 15) / fpga, 8.43, 1.2);
+}
+
+TEST(Fig2, N11OnlyTheXeonAmongCpusBeatsTheFpga) {
+  // "For polynomial degree 11, only the Intel Xeon 6130 is faster than our
+  // SEM-accelerator" (among the CPUs).
+  const double fpga = fpga_gflops(11);
+  EXPECT_GT(platform_gflops("Intel Xeon Gold 6130", 11), fpga);
+  EXPECT_LT(platform_gflops("Intel i9-10920X", 11), fpga);
+  EXPECT_LT(platform_gflops("Marvell ThunderX2", 11), fpga);
+}
+
+TEST(Fig2, N7OnlyTheTx2AmongCpusIsSlower) {
+  // "at N = 7, only Marvell ThunderX2 is slower than our accelerator"
+  // (among the CPUs).
+  const double fpga = fpga_gflops(7);
+  EXPECT_GT(platform_gflops("Intel Xeon Gold 6130", 7), fpga);
+  EXPECT_GT(platform_gflops("Intel i9-10920X", 7), fpga);
+  EXPECT_LT(platform_gflops("Marvell ThunderX2", 7), fpga);
+}
+
+TEST(Fig2, TeslaGpusRuleSupreme) {
+  // "The GPUs, in particular Pascal-100, Volta-100, and Ampere-100, rule
+  // supreme across all architectures for this type of application."
+  for (int degree : {7, 11, 15}) {
+    const double fpga = fpga_gflops(degree);
+    for (const char* name : {"NVIDIA Tesla P100 SXM2", "NVIDIA Tesla V100 PCIe",
+                             "NVIDIA A100 PCIe"}) {
+      EXPECT_GT(platform_gflops(name, degree), fpga) << name << " N=" << degree;
+      EXPECT_GT(platform_gflops(name, degree),
+                platform_gflops("Intel Xeon Gold 6130", degree))
+          << name << " N=" << degree;
+    }
+  }
+}
+
+TEST(Fig2, MediumSizeCrossovers) {
+  // Fig 1 (d-f): at medium sizes the FPGA "outperforms both the Intel
+  // i9-10920X and the Marvell ThunderX2 ... and also outperform the
+  // Tesla-class K80" at N=7/11.
+  const std::size_t medium = 1024;
+  const fpga::SemAccelerator acc7(fpga::stratix10_gx2800(),
+                                  fpga::KernelConfig::banked(7));
+  const double fpga7 = acc7.estimate(medium).gflops;
+  EXPECT_GT(fpga7, arch::platform_by_name("NVIDIA Tesla K80").gflops(7, medium));
+  EXPECT_GT(fpga7, arch::platform_by_name("Marvell ThunderX2").gflops(7, medium));
+}
+
+TEST(Fig2, DegreeNineUnderperformsOnTheFpga) {
+  // "The reason why degree 9 underperforms on our SEM-accelerator is that
+  // we are limited in order to avoid arbitration in how much we can unroll".
+  EXPECT_LT(fpga_gflops(9), 0.6 * fpga_gflops(7));
+  EXPECT_LT(fpga_gflops(9), platform_gflops("Intel Xeon Gold 6130", 9));
+}
+
+TEST(Fig2, FutureDevicesBeatTheirTargets) {
+  // Fig 2's right-hand group: Agilex beats all CPUs and the K80; the ideal
+  // FPGA beats the A100's measured performance.
+  const model::KernelCost cost11 = model::poisson_cost(11);
+  const model::DeviceEnvelope agilex = fpga::agilex_027().envelope(300.0);
+  const model::Throughput t_agilex =
+      model::max_throughput(cost11, agilex, model::UnrollPolicy::kMultiDim);
+  const double agilex_gf = model::peak_flops(cost11, t_agilex, 300e6) / 1e9;
+  EXPECT_GT(agilex_gf, platform_gflops("NVIDIA Tesla K80", 11));
+  EXPECT_GT(agilex_gf, platform_gflops("Intel Xeon Gold 6130", 11));
+  EXPECT_LT(agilex_gf, platform_gflops("NVIDIA Tesla P100 SXM2", 11));
+
+  const model::DeviceEnvelope ideal = fpga::ideal_cfd_fpga().envelope(300.0);
+  for (int degree : {7, 11, 15}) {
+    const model::KernelCost cost = model::poisson_cost(degree);
+    const model::Throughput t =
+        model::max_throughput(cost, ideal, model::UnrollPolicy::kMultiDim);
+    const double ideal_gf = model::peak_flops(cost, t, 300e6) / 1e9;
+    EXPECT_GT(ideal_gf, platform_gflops("NVIDIA A100 PCIe", degree))
+        << "N=" << degree;
+  }
+}
+
+TEST(Fig2, PowerEfficiencyOrderingAcrossClasses) {
+  // FPGA > all CPUs; Tesla > FPGA (the paper's summary).
+  auto fpga_eff = [](int degree) {
+    const fpga::SemAccelerator acc(fpga::stratix10_gx2800(),
+                                   fpga::KernelConfig::banked(degree));
+    return acc.estimate_steady(kElements).gflops_per_w;
+  };
+  for (int degree : {7, 11, 15}) {
+    const double eff = fpga_eff(degree);
+    for (const char* cpu :
+         {"Intel Xeon Gold 6130", "Intel i9-10920X", "Marvell ThunderX2"}) {
+      EXPECT_GT(eff, arch::platform_by_name(cpu).gflops_per_w(degree, kElements))
+          << cpu << " N=" << degree;
+    }
+    for (const char* gpu : {"NVIDIA Tesla V100 PCIe", "NVIDIA A100 PCIe"}) {
+      EXPECT_LT(eff, arch::platform_by_name(gpu).gflops_per_w(degree, kElements))
+          << gpu << " N=" << degree;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace semfpga

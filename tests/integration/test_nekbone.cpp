@@ -1,0 +1,68 @@
+#include "solver/nekbone.hpp"
+
+#include <gtest/gtest.h>
+
+namespace semfpga::solver {
+namespace {
+
+TEST(Nekbone, ProxyRunsAndReports) {
+  NekboneConfig config;
+  config.degree = 4;
+  config.nelx = config.nely = config.nelz = 2;
+  config.cg_iterations = 20;
+  const NekboneResult r = run_nekbone(config);
+  EXPECT_EQ(r.n_elements, 8u);
+  EXPECT_EQ(r.n_dofs, 8u * 125u);
+  EXPECT_EQ(r.iterations, 20);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_GT(r.gflops, 0.0);
+  EXPECT_GT(r.flops, 0);
+  EXPECT_LT(r.ax_gflops, r.gflops + 1e-9);
+}
+
+TEST(Nekbone, ResidualDropsOverIterations) {
+  NekboneConfig few;
+  few.degree = 3;
+  few.cg_iterations = 2;
+  few.nelx = few.nely = few.nelz = 2;
+  NekboneConfig many = few;
+  many.cg_iterations = 60;
+  const NekboneResult fast = run_nekbone(few);
+  const NekboneResult slow = run_nekbone(many);
+  EXPECT_LT(slow.final_residual, fast.final_residual * 1e-3);
+}
+
+TEST(Nekbone, JacobiVariantAlsoRuns) {
+  NekboneConfig config;
+  config.degree = 3;
+  config.nelx = config.nely = config.nelz = 2;
+  config.cg_iterations = 15;
+  config.use_jacobi = true;
+  const NekboneResult r = run_nekbone(config);
+  EXPECT_EQ(r.iterations, 15);
+  EXPECT_GT(r.gflops, 0.0);
+}
+
+TEST(Nekbone, DeformedMeshRun) {
+  NekboneConfig config;
+  config.degree = 3;
+  config.nelx = config.nely = config.nelz = 2;
+  config.cg_iterations = 10;
+  config.deformation = sem::Deformation::kSine;
+  const NekboneResult r = run_nekbone(config);
+  EXPECT_GT(r.gflops, 0.0);
+}
+
+TEST(Nekbone, FormatProducesReadableSummary) {
+  NekboneConfig config;
+  config.degree = 2;
+  config.nelx = config.nely = config.nelz = 2;
+  config.cg_iterations = 5;
+  const NekboneResult r = run_nekbone(config);
+  const std::string s = format_result(config, r);
+  EXPECT_NE(s.find("nekbone"), std::string::npos);
+  EXPECT_NE(s.find("GFLOP/s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace semfpga::solver

@@ -1,0 +1,125 @@
+/// End-to-end PDE verification: the full stack (mesh -> geometric factors
+/// -> kernels -> gather-scatter -> CG) solves the Poisson equation with
+/// spectral accuracy, on straight and deformed meshes.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "solver/cg.hpp"
+
+namespace semfpga {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+struct Convergence {
+  double error;
+  int iterations;
+};
+
+Convergence solve(int degree, int nel, sem::Deformation def) {
+  sem::BoxMeshSpec spec;
+  spec.degree = degree;
+  spec.nelx = spec.nely = spec.nelz = nel;
+  spec.deformation = def;
+  spec.deformation_amplitude = 0.03;
+  const sem::Mesh mesh = sem::box_mesh(spec);
+  solver::PoissonSystem system(mesh);
+
+  const std::size_t n = system.n_local();
+  aligned_vector<double> f(n), b(n), x(n, 0.0);
+  system.sample(
+      [](double px, double py, double pz) {
+        return 3.0 * kPi * kPi * std::sin(kPi * px) * std::sin(kPi * py) *
+               std::sin(kPi * pz);
+      },
+      std::span<double>(f.data(), n));
+  system.assemble_rhs(std::span<const double>(f.data(), n), std::span<double>(b.data(), n));
+
+  solver::CgOptions options;
+  options.tolerance = 1e-12;
+  options.max_iterations = 800;
+  const solver::CgResult r = solver::solve_cg(
+      system, std::span<const double>(b.data(), n), std::span<double>(x.data(), n),
+      options);
+
+  aligned_vector<double> exact(n);
+  system.sample(
+      [](double px, double py, double pz) {
+        return std::sin(kPi * px) * std::sin(kPi * py) * std::sin(kPi * pz);
+      },
+      std::span<double>(exact.data(), n));
+  double err = 0.0;
+  for (std::size_t p = 0; p < n; ++p) {
+    err = std::max(err, std::abs(x[p] - exact[p]));
+  }
+  return {err, r.iterations};
+}
+
+TEST(PoissonConvergence, PConvergenceOnUniformMesh) {
+  const double e3 = solve(3, 2, sem::Deformation::kNone).error;
+  const double e5 = solve(5, 2, sem::Deformation::kNone).error;
+  const double e7 = solve(7, 2, sem::Deformation::kNone).error;
+  // Spectral: each +2 in degree buys >= 20x accuracy here.
+  EXPECT_LT(e5, e3 / 20.0);
+  EXPECT_LT(e7, e5 / 20.0);
+  // e7 sits at the CG tolerance floor rather than the discretisation error.
+  EXPECT_LT(e7, 5e-9);
+}
+
+TEST(PoissonConvergence, HConvergenceAtFixedDegree) {
+  const double e1 = solve(2, 1, sem::Deformation::kNone).error;
+  const double e2 = solve(2, 2, sem::Deformation::kNone).error;
+  const double e3 = solve(2, 4, sem::Deformation::kNone).error;
+  EXPECT_LT(e2, e1);
+  EXPECT_LT(e3, e2);
+  // Order-(N+1) convergence in h: halving h should buy ~2^3.
+  EXPECT_LT(e3, e2 / 4.0);
+}
+
+TEST(PoissonConvergence, DeformedMeshesStaySpectral) {
+  const double sine = solve(6, 2, sem::Deformation::kSine).error;
+  const double twist = solve(6, 2, sem::Deformation::kTwist).error;
+  EXPECT_LT(sine, 1e-5);
+  EXPECT_LT(twist, 1e-5);
+}
+
+TEST(PoissonConvergence, IterationCountGrowsWithResolution) {
+  // Without a strong preconditioner, CG iterations grow with the condition
+  // number — sanity that we are genuinely solving a harder system.  The
+  // manufactured sine forcing is nearly a single eigenmode (CG converges in
+  // a handful of steps at any size), so use a rough, spectrum-rich forcing.
+  auto iterations = [](int nel) {
+    sem::BoxMeshSpec spec;
+    spec.degree = 2;
+    spec.nelx = spec.nely = spec.nelz = nel;
+    const sem::Mesh mesh = sem::box_mesh(spec);
+    solver::PoissonSystem system(mesh);
+    const std::size_t n = system.n_local();
+    aligned_vector<double> f(n), b(n), x(n, 0.0);
+    system.sample(
+        [](double px, double py, double pz) {
+          // High-frequency content at every resolvable scale.
+          return std::sin(29.0 * px) * std::cos(23.0 * py) +
+                 std::sin(17.0 * pz * px) + 0.3 * std::cos(41.0 * py * pz);
+        },
+        std::span<double>(f.data(), n));
+    system.assemble_rhs(std::span<const double>(f.data(), n),
+                        std::span<double>(b.data(), n));
+    solver::CgOptions options;
+    options.tolerance = 1e-10;
+    options.max_iterations = 500;
+    options.use_jacobi = false;
+    const solver::CgResult r = solver::solve_cg(
+        system, std::span<const double>(b.data(), n), std::span<double>(x.data(), n),
+        options);
+    return r.iterations;
+  };
+  const int i1 = iterations(2);
+  const int i2 = iterations(4);
+  EXPECT_GT(i2, i1);
+}
+
+}  // namespace
+}  // namespace semfpga

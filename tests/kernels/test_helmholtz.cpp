@@ -1,0 +1,108 @@
+#include "kernels/helmholtz.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sem/geometry.hpp"
+
+namespace semfpga::kernels {
+namespace {
+
+struct HelmWorkload {
+  explicit HelmWorkload(int degree, double lambda) : ref(degree) {
+    sem::BoxMeshSpec spec;
+    spec.degree = degree;
+    spec.nelx = spec.nely = spec.nelz = 2;
+    spec.deformation = sem::Deformation::kSine;
+    spec.deformation_amplitude = 0.03;
+    mesh = std::make_unique<sem::Mesh>(spec, ref);
+    gf = sem::geometric_factors(*mesh, ref);
+    const std::size_t n = mesh->n_local();
+    u.resize(n);
+    w.assign(n, 0.0);
+    SplitMix64 rng(3);
+    for (double& v : u) {
+      v = rng.uniform(-1.0, 1.0);
+    }
+    args.ax.u = u;
+    args.ax.w = w;
+    args.ax.g = std::span<const double>(gf.g.data(), gf.g.size());
+    args.ax.dx = std::span<const double>(ref.deriv().d.data(), ref.deriv().d.size());
+    args.ax.dxt = std::span<const double>(ref.deriv().dt.data(), ref.deriv().dt.size());
+    args.ax.n1d = ref.n1d();
+    args.ax.n_elements = gf.n_elements;
+    args.mass = std::span<const double>(gf.mass.data(), gf.mass.size());
+    args.lambda = lambda;
+  }
+
+  sem::ReferenceElement ref;
+  std::unique_ptr<sem::Mesh> mesh;
+  sem::GeomFactors gf;
+  std::vector<double> u, w;
+  HelmholtzArgs args;
+};
+
+TEST(Helmholtz, ReducesToPoissonAtLambdaZero) {
+  HelmWorkload h(3, 0.0);
+  HelmWorkload p(3, 0.0);
+  helmholtz_reference(h.args);
+  ax_reference(p.args.ax);
+  for (std::size_t i = 0; i < h.w.size(); ++i) {
+    ASSERT_DOUBLE_EQ(h.w[i], p.w[i]);
+  }
+}
+
+TEST(Helmholtz, MassTermIsAdditive) {
+  HelmWorkload h(3, 2.5);
+  HelmWorkload p(3, 0.0);
+  helmholtz_reference(h.args);
+  ax_reference(p.args.ax);
+  for (std::size_t i = 0; i < h.w.size(); ++i) {
+    const double expected = p.w[i] + 2.5 * h.gf.mass[i] * h.u[i];
+    ASSERT_NEAR(h.w[i], expected, 1e-12 * std::max(1.0, std::abs(expected)));
+  }
+}
+
+TEST(Helmholtz, ConstantsMapToMassTimesConstant) {
+  // With u = c: the stiffness part vanishes, leaving lambda * M * c.
+  HelmWorkload h(4, 1.5);
+  std::fill(h.u.begin(), h.u.end(), 2.0);
+  helmholtz_reference(h.args);
+  for (std::size_t i = 0; i < h.w.size(); ++i) {
+    ASSERT_NEAR(h.w[i], 1.5 * h.gf.mass[i] * 2.0, 1e-9);
+  }
+}
+
+TEST(Helmholtz, QuadraticFormIsStrictlyPositive) {
+  // lambda > 0 turns the PSD stiffness into a definite operator.
+  HelmWorkload h(3, 1.0);
+  helmholtz_reference(h.args);
+  double quad = 0.0;
+  for (std::size_t i = 0; i < h.u.size(); ++i) {
+    quad += h.u[i] * h.w[i];
+  }
+  EXPECT_GT(quad, 0.0);
+}
+
+TEST(Helmholtz, RejectsNegativeLambda) {
+  HelmWorkload h(2, 1.0);
+  h.args.lambda = -1.0;
+  EXPECT_THROW(helmholtz_reference(h.args), std::invalid_argument);
+}
+
+TEST(Helmholtz, RejectsWrongMassSize) {
+  HelmWorkload h(2, 1.0);
+  std::vector<double> short_mass(h.u.size() - 1, 1.0);
+  h.args.mass = short_mass;
+  EXPECT_THROW(helmholtz_reference(h.args), std::invalid_argument);
+}
+
+TEST(Helmholtz, CostAddsOneLoadAndTwoMults) {
+  EXPECT_EQ(helmholtz_flops_per_dof(8), ax_flops_per_dof(8) + 2);
+}
+
+}  // namespace
+}  // namespace semfpga::kernels

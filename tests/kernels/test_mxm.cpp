@@ -1,0 +1,115 @@
+#include "kernels/mxm.hpp"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "kernels/ax.hpp"
+#include "sem/geometry.hpp"
+
+namespace semfpga::kernels {
+namespace {
+
+TEST(Mxm, SmallKnownProduct) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50].
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {5, 6, 7, 8};
+  std::vector<double> c(4, -1.0);
+  mxm(a.data(), 2, b.data(), 2, c.data(), 2);
+  EXPECT_DOUBLE_EQ(c[0], 19.0);
+  EXPECT_DOUBLE_EQ(c[1], 22.0);
+  EXPECT_DOUBLE_EQ(c[2], 43.0);
+  EXPECT_DOUBLE_EQ(c[3], 50.0);
+}
+
+TEST(Mxm, RectangularShapes) {
+  // (2x3) * (3x4).
+  const std::vector<double> a = {1, 0, 2, 0, 1, -1};
+  const std::vector<double> b = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  std::vector<double> c(8, 0.0);
+  mxm(a.data(), 2, b.data(), 3, c.data(), 4);
+  // Row 0: a = (1, 0, 2): 1*row0 + 2*row2.
+  EXPECT_DOUBLE_EQ(c[0], 1.0 + 2.0 * 9.0);
+  EXPECT_DOUBLE_EQ(c[3], 4.0 + 2.0 * 12.0);
+  // Row 1: a = (0, 1, -1): row1 - row2.
+  EXPECT_DOUBLE_EQ(c[4], 5.0 - 9.0);
+  EXPECT_DOUBLE_EQ(c[7], 8.0 - 12.0);
+}
+
+TEST(Mxm, AccumulatingVariantAdds) {
+  const std::vector<double> a = {2.0};
+  const std::vector<double> b = {3.0};
+  std::vector<double> c = {10.0};
+  mxm_acc(a.data(), 1, b.data(), 1, c.data(), 1);
+  EXPECT_DOUBLE_EQ(c[0], 16.0);
+}
+
+TEST(Mxm, IdentityLeavesOperandUnchanged) {
+  const std::size_t n = 5;
+  std::vector<double> eye(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    eye[i * n + i] = 1.0;
+  }
+  SplitMix64 rng(3);
+  std::vector<double> b(n * n);
+  for (double& v : b) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  std::vector<double> c(n * n, 0.0);
+  mxm(eye.data(), n, b.data(), n, c.data(), n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    EXPECT_DOUBLE_EQ(c[i], b[i]);
+  }
+}
+
+/// The mxm-structured Ax must agree with the reference kernel on a
+/// deformed mesh for all paper degrees (up to summation-order rounding).
+class AxMxmSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AxMxmSweep, MatchesReferenceKernel) {
+  const int degree = GetParam();
+  sem::ReferenceElement ref(degree);
+  sem::BoxMeshSpec spec;
+  spec.degree = degree;
+  spec.nelx = spec.nely = spec.nelz = 2;
+  spec.deformation = sem::Deformation::kTwist;
+  spec.deformation_amplitude = 0.04;
+  const sem::Mesh mesh(spec, ref);
+  const sem::GeomFactors gf = sem::geometric_factors(mesh, ref);
+
+  const std::size_t n = mesh.n_local();
+  std::vector<double> u(n), w_ref(n, 0.0), w_mxm(n, 0.0);
+  SplitMix64 rng(17);
+  for (double& v : u) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+
+  AxArgs args;
+  args.u = u;
+  args.g = std::span<const double>(gf.g.data(), gf.g.size());
+  args.dx = std::span<const double>(ref.deriv().d.data(), ref.deriv().d.size());
+  args.dxt = std::span<const double>(ref.deriv().dt.data(), ref.deriv().dt.size());
+  args.n1d = ref.n1d();
+  args.n_elements = gf.n_elements;
+
+  args.w = w_ref;
+  ax_reference(args);
+  args.w = w_mxm;
+  ax_mxm(args);
+
+  double scale = 0.0;
+  for (double v : w_ref) {
+    scale = std::max(scale, std::abs(v));
+  }
+  for (std::size_t p = 0; p < n; ++p) {
+    ASSERT_NEAR(w_mxm[p], w_ref[p], 1e-12 * scale) << "dof " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, AxMxmSweep, ::testing::Values(1, 2, 3, 5, 7, 9, 11));
+
+}  // namespace
+}  // namespace semfpga::kernels

@@ -1,0 +1,195 @@
+/// Precision ablation (paper footnote 6): the FP32 kernel agrees with FP64
+/// at single-precision accuracy on one apply, but accumulates error inside
+/// an iterative solver — quantifying why the paper insists on FP64.
+
+#include "kernels/ax_f32.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "solver/cg.hpp"
+
+namespace semfpga::kernels {
+namespace {
+
+struct MixedWorkload {
+  explicit MixedWorkload(int degree) : ref(degree) {
+    sem::BoxMeshSpec spec;
+    spec.degree = degree;
+    spec.nelx = spec.nely = spec.nelz = 2;
+    spec.deformation = sem::Deformation::kSine;
+    spec.deformation_amplitude = 0.03;
+    mesh = std::make_unique<sem::Mesh>(spec, ref);
+    gf = sem::geometric_factors(*mesh, ref);
+    const std::size_t n = mesh->n_local();
+    u64.resize(n);
+    w64.assign(n, 0.0);
+    SplitMix64 rng(21);
+    for (double& v : u64) {
+      v = rng.uniform(-1.0, 1.0);
+    }
+  }
+
+  [[nodiscard]] AxArgs args64() {
+    AxArgs a;
+    a.u = u64;
+    a.w = w64;
+    a.g = std::span<const double>(gf.g.data(), gf.g.size());
+    a.dx = std::span<const double>(ref.deriv().d.data(), ref.deriv().d.size());
+    a.dxt = std::span<const double>(ref.deriv().dt.data(), ref.deriv().dt.size());
+    a.n1d = ref.n1d();
+    a.n_elements = gf.n_elements;
+    return a;
+  }
+
+  sem::ReferenceElement ref;
+  std::unique_ptr<sem::Mesh> mesh;
+  sem::GeomFactors gf;
+  std::vector<double> u64, w64;
+};
+
+class PrecisionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrecisionSweep, SingleApplyAgreesAtFp32Accuracy) {
+  MixedWorkload wl(GetParam());
+  ax_reference(wl.args64());
+
+  const auto uf = demote(wl.u64);
+  const auto gfx = demote(std::span<const double>(wl.gf.g.data(), wl.gf.g.size()));
+  const auto dxf = demote(std::span<const double>(wl.ref.deriv().d.data(),
+                                                  wl.ref.deriv().d.size()));
+  const auto dxtf = demote(std::span<const double>(wl.ref.deriv().dt.data(),
+                                                   wl.ref.deriv().dt.size()));
+  std::vector<float> wf(wl.u64.size(), 0.0f);
+  AxArgsF32 a32;
+  a32.u = uf;
+  a32.w = wf;
+  a32.g = gfx;
+  a32.dx = dxf;
+  a32.dxt = dxtf;
+  a32.n1d = wl.ref.n1d();
+  a32.n_elements = wl.gf.n_elements;
+  ax_reference_f32(a32);
+
+  // Relative error should sit near FP32 epsilon scaled by the contraction
+  // length, far above FP64 noise but well below 1e-3.
+  double scale = 0.0;
+  for (double v : wl.w64) {
+    scale = std::max(scale, std::abs(v));
+  }
+  double max_err = 0.0;
+  for (std::size_t p = 0; p < wf.size(); ++p) {
+    max_err = std::max(max_err, std::abs(wl.w64[p] - static_cast<double>(wf[p])));
+  }
+  EXPECT_LT(max_err / scale, 1e-3) << "N=" << GetParam();
+  EXPECT_GT(max_err / scale, 1e-9) << "N=" << GetParam();  // genuinely fp32
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PrecisionSweep, ::testing::Values(2, 4, 7));
+
+TEST(Precision, Fp32OperatorInCgStallsAboveFp64Floor) {
+  // Run the same CG twice: once with the FP64 kernel, once with the local
+  // operator evaluated in FP32 (operands demoted per apply).  CG's
+  // *recursive* residual converges either way (inexact-Krylov behaviour);
+  // the discriminating metric is the TRUE residual b - A x recomputed with
+  // the exact FP64 operator, which stalls at FP32 accuracy.
+  sem::BoxMeshSpec spec;
+  spec.degree = 5;
+  spec.nelx = spec.nely = spec.nelz = 2;
+  const sem::Mesh mesh = sem::box_mesh(spec);
+
+  auto run = [&mesh](bool fp32) {
+    solver::PoissonSystem system(mesh);
+    if (fp32) {
+      system.set_local_operator([&system](std::span<const double> u,
+                                          std::span<double> w) {
+        const auto uf = demote(u);
+        const auto gfx = demote(std::span<const double>(system.geom().g.data(),
+                                                        system.geom().g.size()));
+        const auto dxf = demote(std::span<const double>(
+            system.ref().deriv().d.data(), system.ref().deriv().d.size()));
+        const auto dxtf = demote(std::span<const double>(
+            system.ref().deriv().dt.data(), system.ref().deriv().dt.size()));
+        std::vector<float> wf(u.size(), 0.0f);
+        AxArgsF32 a;
+        a.u = uf;
+        a.w = wf;
+        a.g = gfx;
+        a.dx = dxf;
+        a.dxt = dxtf;
+        a.n1d = system.ref().n1d();
+        a.n_elements = system.geom().n_elements;
+        ax_reference_f32(a);
+        for (std::size_t p = 0; p < w.size(); ++p) {
+          w[p] = static_cast<double>(wf[p]);
+        }
+      });
+    }
+    const std::size_t n = system.n_local();
+    aligned_vector<double> f(n), b(n), x(n, 0.0);
+    system.sample(
+        [](double px, double py, double pz) {
+          constexpr double kPi = 3.14159265358979323846;
+          return std::sin(kPi * px) * std::sin(kPi * py) * std::sin(kPi * pz);
+        },
+        std::span<double>(f.data(), n));
+    system.assemble_rhs(std::span<const double>(f.data(), n),
+                        std::span<double>(b.data(), n));
+    solver::CgOptions options;
+    options.tolerance = 1e-13;
+    options.max_iterations = 120;
+    (void)solver::solve_cg(system, std::span<const double>(b.data(), n),
+                           std::span<double>(x.data(), n), options);
+
+    // True residual against the exact FP64 operator.
+    solver::PoissonSystem exact(mesh);
+    aligned_vector<double> ax(n);
+    exact.apply(std::span<const double>(x.data(), n), std::span<double>(ax.data(), n));
+    aligned_vector<double> r_true(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      r_true[p] = b[p] - ax[p];
+    }
+    return std::sqrt(std::abs(
+        exact.weighted_dot(std::span<const double>(r_true.data(), n),
+                           std::span<const double>(r_true.data(), n))));
+  };
+
+  const double res64 = run(false);
+  const double res32 = run(true);
+  EXPECT_LT(res64, 1e-11);
+  EXPECT_GT(res32, 1e-9);            // stalled at fp32 accuracy
+  EXPECT_GT(res32, res64 * 1e2);     // orders of magnitude apart
+}
+
+TEST(Precision, DemotePromoteRoundTrip) {
+  const std::vector<double> v = {1.0, -0.5, 3.14159265358979, 1e-30, -1e30};
+  const auto f = demote(v);
+  const auto back = promote(f);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(back[i], v[i], std::abs(v[i]) * 1e-6 + 1e-37);
+  }
+}
+
+TEST(Precision, Fp32HalvesTheStreamedBytes) {
+  EXPECT_EQ(ax_bytes_per_dof_f32(), 32);
+  EXPECT_EQ(ax_bytes_per_dof(), 64);
+}
+
+TEST(Precision, Fp32ValidationStillFires) {
+  std::vector<float> tiny(8, 0.0f);
+  AxArgsF32 bad;
+  bad.u = tiny;
+  bad.w = tiny;
+  bad.g = tiny;
+  bad.dx = tiny;
+  bad.dxt = tiny;
+  bad.n1d = 2;
+  bad.n_elements = 2;  // sizes do not cover two elements
+  EXPECT_THROW(ax_reference_f32(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace semfpga::kernels

@@ -1,0 +1,57 @@
+#include "model/kernel_cost.hpp"
+
+#include <gtest/gtest.h>
+
+namespace semfpga::model {
+namespace {
+
+TEST(KernelCost, MatchesPaperCostMeasure) {
+  // C(N) = (6(N+1)+6, 6(N+1)+9), Q(N) = (7, 1)  — paper Section IV.
+  for (int degree : {1, 3, 5, 7, 9, 11, 13, 15}) {
+    const KernelCost c = poisson_cost(degree);
+    EXPECT_EQ(c.adds_per_dof, 6 * (degree + 1) + 6);
+    EXPECT_EQ(c.mults_per_dof, 6 * (degree + 1) + 9);
+    EXPECT_EQ(c.loads_per_dof, 7);
+    EXPECT_EQ(c.writes_per_dof, 1);
+    EXPECT_EQ(c.flops_per_dof(), 12 * (degree + 1) + 15);
+    EXPECT_EQ(c.bytes_per_dof(), 64);
+  }
+}
+
+TEST(KernelCost, IntensityMatchesPaperFormula) {
+  // I(N) = (12(N+1)+15)/64.
+  EXPECT_NEAR(poisson_cost(7).intensity(), 111.0 / 64.0, 1e-15);
+  EXPECT_NEAR(poisson_cost(11).intensity(), 159.0 / 64.0, 1e-15);
+  EXPECT_NEAR(poisson_cost(15).intensity(), 207.0 / 64.0, 1e-15);
+}
+
+TEST(KernelCost, IntensityGrowsWithDegree) {
+  double prev = 0.0;
+  for (int degree = 1; degree <= 20; ++degree) {
+    const double i = poisson_cost(degree).intensity();
+    EXPECT_GT(i, prev);
+    prev = i;
+  }
+}
+
+TEST(KernelCost, PointsPerElement) {
+  EXPECT_EQ(poisson_cost(7).points_per_element(), 512);
+  EXPECT_EQ(poisson_cost(15).points_per_element(), 4096);
+}
+
+TEST(KernelCost, HelmholtzAddsTheSeventhFactor) {
+  const KernelCost p = poisson_cost(7);
+  const KernelCost h = helmholtz_cost(7);
+  EXPECT_EQ(h.loads_per_dof, p.loads_per_dof + 1);
+  EXPECT_EQ(h.adds_per_dof, p.adds_per_dof + 1);
+  EXPECT_EQ(h.mults_per_dof, p.mults_per_dof + 2);
+  EXPECT_EQ(h.bytes_per_dof(), 72);
+}
+
+TEST(KernelCost, RejectsDegreeZero) {
+  EXPECT_THROW((void)poisson_cost(0), std::invalid_argument);
+  EXPECT_THROW((void)poisson_cost(-3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace semfpga::model

@@ -1,0 +1,72 @@
+#include "model/padding.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fpga/device.hpp"
+
+namespace semfpga::model {
+namespace {
+
+DeviceEnvelope env() { return fpga::stratix10_gx2800().envelope(300.0); }
+
+TEST(Padding, OverheadIsTheCubeOfTheSizeRatio) {
+  // p = ((N+1+pad)/(N+1))^3 — paper Section IV.
+  const PaddingOption opt = evaluate_padding(5, 2, env(), UnrollPolicy::kInnerDim);
+  EXPECT_NEAR(opt.compute_overhead, std::pow(8.0 / 6.0, 3), 1e-12);
+  EXPECT_EQ(opt.padded_n1d, 8);
+}
+
+TEST(Padding, ZeroPaddingIsIdentity) {
+  const PaddingOption opt = evaluate_padding(7, 0, env(), UnrollPolicy::kInnerDim);
+  EXPECT_DOUBLE_EQ(opt.compute_overhead, 1.0);
+  EXPECT_DOUBLE_EQ(opt.speedup, 1.0);
+  EXPECT_EQ(opt.t_unpadded, opt.t_padded);
+}
+
+TEST(Padding, SmallDegreesLoseFromPadding) {
+  // "for most degrees, in particular small ones, padding would simply
+  // decrease the performance" (Section IV): padding N=1 to N=3 grows the
+  // work 8x for at most 2x the unroll.
+  const PaddingOption opt = evaluate_padding(1, 2, env(), UnrollPolicy::kInnerDim);
+  EXPECT_LT(opt.speedup, 1.0);
+}
+
+TEST(Padding, EvenGllCountsGainLittleOnTheGx2800) {
+  // The paper focuses on even N+1; for those the bandwidth bound (T_B = 4)
+  // caps any padded gain to at most marginal.
+  for (int degree : {3, 7, 11, 15}) {
+    const PaddingOption best = best_padding(degree, 4, env(), UnrollPolicy::kInnerDim);
+    EXPECT_LE(best.speedup, 1.05) << "N=" << degree;
+  }
+}
+
+TEST(Padding, OddGllCountBenefitsWhenBandwidthAllows) {
+  // On a bandwidth-rich device, padding 6 points (T<=2) to 8 points (T<=8)
+  // wins despite the (8/6)^3 overhead: 4x lanes vs 2.37x work.
+  DeviceEnvelope rich = env();
+  rich.bandwidth_bytes = 1e12;
+  const PaddingOption opt = evaluate_padding(5, 2, rich, UnrollPolicy::kInnerDim);
+  EXPECT_GT(opt.t_padded, opt.t_unpadded);
+  EXPECT_GT(opt.speedup, 1.0);
+}
+
+TEST(Padding, BestPaddingSearchesTheRange) {
+  DeviceEnvelope rich = env();
+  rich.bandwidth_bytes = 1e12;
+  const PaddingOption best = best_padding(5, 4, rich, UnrollPolicy::kInnerDim);
+  EXPECT_EQ(best.pad, 2);  // 6 -> 8 points is the sweet spot
+}
+
+TEST(Padding, RejectsBadArguments) {
+  EXPECT_THROW((void)evaluate_padding(0, 1, env(), UnrollPolicy::kInnerDim),
+               std::invalid_argument);
+  EXPECT_THROW((void)evaluate_padding(3, -1, env(), UnrollPolicy::kInnerDim),
+               std::invalid_argument);
+  EXPECT_THROW((void)best_padding(3, -2, env(), UnrollPolicy::kInnerDim),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace semfpga::model

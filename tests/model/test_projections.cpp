@@ -1,0 +1,120 @@
+/// Section V-D reproduction: the paper's future-device projections.
+///
+/// Every assertion here compares our model output against a number the
+/// paper states.  Tolerances are tight (2-5%) where our calibration matches
+/// the paper and the one known discrepancy (enhanced 10M at N=11, see
+/// EXPERIMENTS.md) is pinned at our model's value so regressions surface.
+
+#include <gtest/gtest.h>
+
+#include "fpga/device.hpp"
+#include "model/throughput.hpp"
+
+namespace semfpga::model {
+namespace {
+
+double projected_gflops(const fpga::DeviceSpec& device, int degree) {
+  const KernelCost cost = poisson_cost(degree);
+  const DeviceEnvelope env = device.envelope(300.0);
+  const Throughput t = max_throughput(cost, env, UnrollPolicy::kMultiDim);
+  return peak_flops(cost, t, env.clock_hz) / 1e9;
+}
+
+TEST(Projections, Agilex027MatchesPaper) {
+  // Paper: "estimated peak performance for Intel Agilex 027 running our
+  // SEM-accelerator is 266, 191 and 248 GFLOP/s, and the device is
+  // logic-bound."
+  const fpga::DeviceSpec agilex = fpga::agilex_027();
+  EXPECT_NEAR(projected_gflops(agilex, 7), 266.0, 0.02 * 266.0);
+  EXPECT_NEAR(projected_gflops(agilex, 11), 191.0, 0.02 * 191.0);
+  EXPECT_NEAR(projected_gflops(agilex, 15), 248.0, 0.02 * 248.0);
+}
+
+TEST(Projections, AgilexN11DipIsTheUnrollConstraint) {
+  // "Even if the device can support a throughput of, say 6, this is
+  // reduced down to 4, leading to lower performance for N = 11."
+  const DeviceEnvelope env = fpga::agilex_027().envelope(300.0);
+  const Throughput t = max_throughput(poisson_cost(11), env, UnrollPolicy::kMultiDim);
+  EXPECT_GE(t.t_resource, 5.5);
+  EXPECT_LT(t.t_resource, 8.0);
+  EXPECT_EQ(t.t_design, 4);
+}
+
+TEST(Projections, AgilexIsLogicBound) {
+  const DeviceEnvelope env = fpga::agilex_027().envelope(300.0);
+  for (int degree : {11, 15}) {
+    const Throughput t =
+        max_throughput(poisson_cost(degree), env, UnrollPolicy::kMultiDim);
+    EXPECT_LT(t.t_alm, t.t_dsp) << "N=" << degree;
+    EXPECT_LT(t.t_alm, t.t_bandwidth) << "N=" << degree;
+  }
+}
+
+TEST(Projections, Stratix10MPeaksAt382AtN11) {
+  // "The Stratix 10M ... is projected to reach only slightly higher
+  // performance than the Agilex, peaking at 382 GFlops/s at N = 11."
+  const fpga::DeviceSpec m10 = fpga::stratix10_10m();
+  EXPECT_NEAR(projected_gflops(m10, 11), 382.0, 0.02 * 382.0);
+  EXPECT_NEAR(projected_gflops(m10, 7), 266.0, 0.02 * 266.0);
+  // Known model divergence: at N=15 our envelope still admits T=8, giving
+  // ~497 GFLOP/s where the paper's text implies less than 382.  Pinned so
+  // any calibration change is visible (EXPERIMENTS.md discusses this).
+  EXPECT_NEAR(projected_gflops(m10, 15), 497.0, 0.03 * 497.0);
+}
+
+TEST(Projections, Enhanced10MReachesPaperTargetsAtN7AndN15) {
+  // "with 8.7k DSPs ... and increase the external bandwidth to 600 GB/s,
+  // then the modeled performance would be up to 1.06, 1.53, and 0.99
+  // TFLOP/s" — our calibration reproduces N=7 and N=15 exactly; at N=11
+  // our resource model binds at T=16 (0.76 TF), a documented discrepancy.
+  const fpga::DeviceSpec enhanced = fpga::stratix10_10m_enhanced();
+  EXPECT_NEAR(projected_gflops(enhanced, 7), 1060.0, 0.02 * 1060.0);
+  EXPECT_NEAR(projected_gflops(enhanced, 15), 990.0, 0.02 * 990.0);
+  EXPECT_NEAR(projected_gflops(enhanced, 11), 763.0, 0.03 * 763.0);
+}
+
+TEST(Projections, IdealFpgaBeatsTheA100Numbers) {
+  // "a theoretical peak performance of 2.1, 3, 3.97 TFLOP/s, rivaling the
+  // roofline for the A100 based on its 1555 GB/s bandwidth."
+  const fpga::DeviceSpec ideal = fpga::ideal_cfd_fpga();
+  EXPECT_NEAR(projected_gflops(ideal, 7), 2130.0, 0.03 * 2130.0);
+  EXPECT_NEAR(projected_gflops(ideal, 11), 3050.0, 0.03 * 3050.0);
+  EXPECT_NEAR(projected_gflops(ideal, 15), 3970.0, 0.03 * 3970.0);
+}
+
+TEST(Projections, IdealFpgaIsMemoryBound) {
+  // "The final performance for such hypothetical FPGA would, exactly like
+  // the A100, be memory bound."
+  const DeviceEnvelope env = fpga::ideal_cfd_fpga().envelope(300.0);
+  for (int degree : {7, 11, 15}) {
+    const Throughput t =
+        max_throughput(poisson_cost(degree), env, UnrollPolicy::kMultiDim);
+    EXPECT_EQ(t.t_design, 64) << "N=" << degree;
+    EXPECT_LT(t.t_bandwidth, t.t_resource) << "N=" << degree;
+  }
+}
+
+TEST(Projections, IdealFpgaBramBudgetIsSufficient) {
+  // The paper sizes the ideal device with only 10% more BRAM than the
+  // GX2800 — BRAM must not be the limiter at T=64.
+  const DeviceEnvelope env = fpga::ideal_cfd_fpga().envelope(300.0);
+  const Throughput t = max_throughput(poisson_cost(15), env, UnrollPolicy::kMultiDim);
+  EXPECT_GT(t.t_bram, 64.0);
+}
+
+TEST(Projections, OrderingAcrossDevicesIsMonotone) {
+  // Each projected device dominates its predecessor at every anchor degree
+  // (Agilex <= 10M <= enhanced 10M <= ideal).
+  for (int degree : {7, 11, 15}) {
+    const double agilex = projected_gflops(fpga::agilex_027(), degree);
+    const double m10 = projected_gflops(fpga::stratix10_10m(), degree);
+    const double enh = projected_gflops(fpga::stratix10_10m_enhanced(), degree);
+    const double ideal = projected_gflops(fpga::ideal_cfd_fpga(), degree);
+    EXPECT_LE(agilex, m10 * 1.0001) << "N=" << degree;
+    EXPECT_LE(m10, enh * 1.0001) << "N=" << degree;
+    EXPECT_LE(enh, ideal * 1.0001) << "N=" << degree;
+  }
+}
+
+}  // namespace
+}  // namespace semfpga::model

@@ -1,0 +1,55 @@
+#include "model/roofline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/kernel_cost.hpp"
+
+namespace semfpga::model {
+namespace {
+
+TEST(Roofline, MemoryBoundRegion) {
+  // Below the ridge, performance is intensity * bandwidth.
+  EXPECT_DOUBLE_EQ(roofline_flops(1.0, 1e12, 100e9), 100e9);
+  EXPECT_TRUE(is_memory_bound(1.0, 1e12, 100e9));
+}
+
+TEST(Roofline, ComputeBoundRegion) {
+  EXPECT_DOUBLE_EQ(roofline_flops(100.0, 1e12, 100e9), 1e12);
+  EXPECT_FALSE(is_memory_bound(100.0, 1e12, 100e9));
+}
+
+TEST(Roofline, RidgePoint) {
+  EXPECT_DOUBLE_EQ(ridge_intensity(1e12, 100e9), 10.0);
+  const double at_ridge = roofline_flops(10.0, 1e12, 100e9);
+  EXPECT_DOUBLE_EQ(at_ridge, 1e12);
+}
+
+TEST(Roofline, SemKernelIsMemoryBoundOnEveryPaperPlatform) {
+  // I(N) <= 207/64 ~ 3.23 FLOP/byte; every Table II system needs > 4
+  // FLOP/byte to leave the memory roof (e.g. A100: 9746/1555 = 6.3).
+  struct P {
+    double peak_gflops, bw_gbs;
+  };
+  const P platforms[] = {{1075, 128}, {921, 76.8}, {5304, 732.2},
+                         {7066, 897}, {9746, 1555}, {1371, 240}};
+  const double intensity = poisson_cost(15).intensity();
+  for (const P& p : platforms) {
+    EXPECT_TRUE(is_memory_bound(intensity, p.peak_gflops * 1e9, p.bw_gbs * 1e9));
+  }
+}
+
+TEST(Roofline, Gx2800RooflineAtPaperDegrees) {
+  // The FPGA roofline at 76.8 GB/s: I(N) * B.
+  EXPECT_NEAR(roofline_flops(poisson_cost(7).intensity(), 500e9, 76.8e9) / 1e9,
+              111.0 / 64.0 * 76.8, 1e-9);
+  EXPECT_NEAR(roofline_flops(poisson_cost(15).intensity(), 500e9, 76.8e9) / 1e9,
+              207.0 / 64.0 * 76.8, 1e-9);
+}
+
+TEST(Roofline, RejectsNegativeInputs) {
+  EXPECT_THROW((void)roofline_flops(-1.0, 1e9, 1e9), std::invalid_argument);
+  EXPECT_THROW((void)ridge_intensity(1e9, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace semfpga::model

@@ -1,0 +1,133 @@
+#include "model/throughput.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fpga/device.hpp"
+
+namespace semfpga::model {
+namespace {
+
+DeviceEnvelope gx2800_env() { return fpga::stratix10_gx2800().envelope(300.0); }
+
+TEST(Throughput, BandwidthBoundMatchesPaperTmax4) {
+  // T_B = 76.8e9 / (64 * 300e6) = 4 DOFs/cycle: "our performance model
+  // which for this FPGA gives Tmax = 4".
+  const Throughput t = max_throughput(poisson_cost(7), gx2800_env(),
+                                      UnrollPolicy::kInnerDim);
+  EXPECT_NEAR(t.t_bandwidth, 4.0, 1e-12);
+  EXPECT_EQ(t.t_design, 4);
+  EXPECT_NEAR(t.t_effective, 4.0, 1e-12);
+}
+
+TEST(Throughput, DesignThroughputTable1Pattern) {
+  // The paper's synthesized kernels use T = largest power of two dividing
+  // N+1, capped by T_B = 4: N=1,5,9,13 -> 2; N=3,7,11,15 -> 4.
+  const DeviceEnvelope env = gx2800_env();
+  const int expected[8] = {2, 4, 2, 4, 2, 4, 2, 4};
+  const int degrees[8] = {1, 3, 5, 7, 9, 11, 13, 15};
+  for (int i = 0; i < 8; ++i) {
+    const Throughput t =
+        max_throughput(poisson_cost(degrees[i]), env, UnrollPolicy::kInnerDim);
+    EXPECT_EQ(t.t_design, expected[i]) << "N=" << degrees[i];
+  }
+}
+
+TEST(Throughput, Gx2800IsBandwidthLimitedNotResourceLimited) {
+  // Table I shows the GX2800 fits all eight kernels; the envelope must
+  // allow more lanes than the memory feeds for every degree.
+  const DeviceEnvelope env = gx2800_env();
+  for (int degree : {1, 3, 5, 7, 9, 11, 13, 15}) {
+    const Throughput t =
+        max_throughput(poisson_cost(degree), env, UnrollPolicy::kInnerDim);
+    EXPECT_GT(t.t_resource, t.t_bandwidth) << "N=" << degree;
+  }
+}
+
+TEST(Throughput, PeakFlopsIdentity) {
+  // P_max = (12(N+1)+15) * T * f.
+  const DeviceEnvelope env = gx2800_env();
+  const KernelCost cost = poisson_cost(7);
+  const Throughput t = max_throughput(cost, env, UnrollPolicy::kInnerDim);
+  EXPECT_NEAR(peak_flops(cost, t, 300e6), 111.0 * 4.0 * 300e6, 1.0);
+}
+
+TEST(FeasibleUnroll, InnerDimRequiresDivisibility) {
+  // n1d = 6: powers of two dividing 6 are {1, 2}.
+  EXPECT_EQ(feasible_unroll(6, 64.0, UnrollPolicy::kInnerDim), 2);
+  // n1d = 8: 1,2,4,8.
+  EXPECT_EQ(feasible_unroll(8, 64.0, UnrollPolicy::kInnerDim), 8);
+  EXPECT_EQ(feasible_unroll(8, 7.9, UnrollPolicy::kInnerDim), 4);
+  // n1d = 10: {1, 2}.
+  EXPECT_EQ(feasible_unroll(10, 100.0, UnrollPolicy::kInnerDim), 2);
+}
+
+TEST(FeasibleUnroll, MultiDimUsesTheCubeVolume) {
+  // n1d = 12: (N+1)^3 = 1728 = 2^6 * 27 -> up to 64 lanes.
+  EXPECT_EQ(feasible_unroll(12, 1000.0, UnrollPolicy::kMultiDim), 64);
+  EXPECT_EQ(feasible_unroll(12, 63.0, UnrollPolicy::kMultiDim), 32);
+  // n1d = 8: 512 = 2^9 -> up to 512.
+  EXPECT_EQ(feasible_unroll(8, 100.0, UnrollPolicy::kMultiDim), 64);
+  // n1d = 10: 1000 = 2^3 * 125 -> up to 8.
+  EXPECT_EQ(feasible_unroll(10, 100.0, UnrollPolicy::kMultiDim), 8);
+}
+
+TEST(FeasibleUnroll, AlwaysAtLeastOne) {
+  EXPECT_EQ(feasible_unroll(7, 0.2, UnrollPolicy::kInnerDim), 1);
+  EXPECT_EQ(feasible_unroll(7, 100.0, UnrollPolicy::kInnerDim), 1);  // odd n1d
+}
+
+TEST(Throughput, DesignIsQuantisedBelowTheBandwidthBound) {
+  // T_B = 2.083: the design quantises down to 2 lanes and runs at 2, not
+  // at the fractional memory bound.
+  DeviceEnvelope env = gx2800_env();
+  env.bandwidth_bytes = 40e9;  // T_B = 2.083
+  const Throughput t = max_throughput(poisson_cost(7), env, UnrollPolicy::kInnerDim);
+  EXPECT_NEAR(t.t_bandwidth, 2.0833333, 1e-6);
+  EXPECT_EQ(t.t_design, 2);
+  EXPECT_NEAR(t.t_effective, 2.0, 1e-12);
+  EXPECT_LE(t.t_effective, t.t_bandwidth + 1e-12);
+}
+
+TEST(Throughput, ResourceBoundScalesWithDegree) {
+  // Higher N costs more per lane, so the resource-bound T shrinks.
+  const DeviceEnvelope env = gx2800_env();
+  double prev = 1e30;
+  for (int degree : {3, 7, 11, 15}) {
+    const Throughput t =
+        max_throughput(poisson_cost(degree), env, UnrollPolicy::kInnerDim);
+    EXPECT_LT(t.t_alm, prev);
+    prev = t.t_alm;
+  }
+}
+
+TEST(Throughput, HardenedFp64RemovesTheLogicWall) {
+  DeviceEnvelope soft = gx2800_env();
+  DeviceEnvelope hard = soft;
+  hard.op_cost = hardened_fp64_cost();
+  const KernelCost cost = poisson_cost(15);
+  const Throughput ts = max_throughput(cost, soft, UnrollPolicy::kMultiDim);
+  const Throughput th = max_throughput(cost, hard, UnrollPolicy::kMultiDim);
+  EXPECT_GT(th.t_alm, 5.0 * ts.t_alm);
+}
+
+TEST(Throughput, RejectsNonPositiveClockOrBandwidth) {
+  DeviceEnvelope env = gx2800_env();
+  env.clock_hz = 0.0;
+  EXPECT_THROW((void)max_throughput(poisson_cost(7), env, UnrollPolicy::kInnerDim),
+               std::invalid_argument);
+  env = gx2800_env();
+  env.bandwidth_bytes = 0.0;
+  EXPECT_THROW((void)max_throughput(poisson_cost(7), env, UnrollPolicy::kInnerDim),
+               std::invalid_argument);
+}
+
+TEST(Throughput, LimiterNamesAreStable) {
+  EXPECT_STREQ(limiter_name(Limiter::kBandwidth), "bandwidth");
+  EXPECT_STREQ(limiter_name(Limiter::kLogic), "logic");
+  EXPECT_STREQ(limiter_name(Limiter::kDsp), "dsp");
+  EXPECT_STREQ(limiter_name(Limiter::kBram), "bram");
+  EXPECT_STREQ(limiter_name(Limiter::kUnroll), "unroll");
+}
+
+}  // namespace
+}  // namespace semfpga::model

@@ -1,0 +1,112 @@
+#include "sem/deriv_matrix.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace semfpga::sem {
+namespace {
+
+class DerivSweep : public ::testing::TestWithParam<int> {
+ protected:
+  DerivSweep() : rule_(gll_rule(GetParam())), dm_(deriv_matrix(rule_)) {}
+  GllRule rule_;
+  DerivMatrix dm_;
+};
+
+TEST_P(DerivSweep, DifferentiatesPolynomialsExactly) {
+  // D is exact for any polynomial representable in the nodal basis (deg <= N).
+  const int n = rule_.n_points() - 1;
+  for (int d = 0; d <= n; ++d) {
+    std::vector<double> f(rule_.nodes.size());
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      f[i] = std::pow(rule_.nodes[i], d);
+    }
+    const auto df = apply_matrix(dm_, f);
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      const double exact = d == 0 ? 0.0 : d * std::pow(rule_.nodes[i], d - 1);
+      EXPECT_NEAR(df[i], exact, 1e-10 * std::max(1.0, std::abs(exact)))
+          << "degree " << d << " node " << i;
+    }
+  }
+}
+
+TEST_P(DerivSweep, RowSumsVanish) {
+  // D applied to a constant gives zero: rows sum to zero.
+  for (int i = 0; i < dm_.n1d; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < dm_.n1d; ++j) {
+      sum += dm_.at(i, j);
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-11) << "row " << i;
+  }
+}
+
+TEST_P(DerivSweep, CornerEntriesMatchClosedForm) {
+  const int n = dm_.n1d - 1;
+  EXPECT_NEAR(dm_.at(0, 0), -0.25 * n * (n + 1.0), 1e-12);
+  EXPECT_NEAR(dm_.at(n, n), 0.25 * n * (n + 1.0), 1e-12);
+}
+
+TEST_P(DerivSweep, CentroSymmetry) {
+  // GLL differentiation matrices satisfy D[i][j] = -D[N-i][N-j].
+  const int n = dm_.n1d - 1;
+  for (int i = 0; i <= n; ++i) {
+    for (int j = 0; j <= n; ++j) {
+      EXPECT_NEAR(dm_.at(i, j), -dm_.at(n - i, n - j), 1e-11);
+    }
+  }
+}
+
+TEST_P(DerivSweep, TransposeIsConsistent) {
+  for (int i = 0; i < dm_.n1d; ++i) {
+    for (int j = 0; j < dm_.n1d; ++j) {
+      EXPECT_DOUBLE_EQ(dm_.dt[static_cast<std::size_t>(i) * dm_.n1d + j], dm_.at(j, i));
+    }
+  }
+}
+
+TEST_P(DerivSweep, SummationByParts) {
+  // W D + (W D)^T = B with B = diag(-1, 0, ..., 0, 1): the discrete analogue
+  // of integration by parts, the property that makes D^T G D symmetric.
+  const int n1d = dm_.n1d;
+  for (int i = 0; i < n1d; ++i) {
+    for (int j = 0; j < n1d; ++j) {
+      const double lhs = rule_.weights[static_cast<std::size_t>(i)] * dm_.at(i, j) +
+                         rule_.weights[static_cast<std::size_t>(j)] * dm_.at(j, i);
+      double expected = 0.0;
+      if (i == 0 && j == 0) {
+        expected = -1.0;
+      } else if (i == n1d - 1 && j == n1d - 1) {
+        expected = 1.0;
+      }
+      EXPECT_NEAR(lhs, expected, 1e-11) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, DerivSweep, ::testing::Range(2, 18));
+
+TEST(DerivMatrix, ApplyChecksSize) {
+  const GllRule rule = gll_rule(5);
+  const DerivMatrix dm = deriv_matrix(rule);
+  EXPECT_THROW((void)apply_matrix(dm, std::vector<double>(4, 0.0)), std::invalid_argument);
+}
+
+TEST(DerivMatrix, DifferentiatesSineAccuratelyAtHighOrder) {
+  // Spectral accuracy: at 16 points the derivative of sin on [-1,1] is
+  // accurate to ~1e-12.
+  const GllRule rule = gll_rule(16);
+  const DerivMatrix dm = deriv_matrix(rule);
+  std::vector<double> f(rule.nodes.size());
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    f[i] = std::sin(rule.nodes[i]);
+  }
+  const auto df = apply_matrix(dm, f);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    EXPECT_NEAR(df[i], std::cos(rule.nodes[i]), 1e-11);
+  }
+}
+
+}  // namespace
+}  // namespace semfpga::sem

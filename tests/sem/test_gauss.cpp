@@ -1,0 +1,100 @@
+#include "sem/gauss.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sem/gll.hpp"
+
+namespace semfpga::sem {
+namespace {
+
+TEST(Gauss, OnePointRuleIsMidpoint) {
+  const GaussRule rule = gauss_rule(1);
+  ASSERT_EQ(rule.n_points(), 1);
+  EXPECT_NEAR(rule.nodes[0], 0.0, 1e-15);
+  EXPECT_NEAR(rule.weights[0], 2.0, 1e-15);
+}
+
+TEST(Gauss, TwoPointKnownNodes) {
+  const GaussRule rule = gauss_rule(2);
+  EXPECT_NEAR(rule.nodes[0], -1.0 / std::sqrt(3.0), 1e-14);
+  EXPECT_NEAR(rule.nodes[1], 1.0 / std::sqrt(3.0), 1e-14);
+  EXPECT_NEAR(rule.weights[0], 1.0, 1e-14);
+  EXPECT_NEAR(rule.weights[1], 1.0, 1e-14);
+}
+
+TEST(Gauss, ThreePointKnownNodes) {
+  const GaussRule rule = gauss_rule(3);
+  EXPECT_NEAR(rule.nodes[0], -std::sqrt(0.6), 1e-14);
+  EXPECT_NEAR(rule.nodes[1], 0.0, 1e-15);
+  EXPECT_NEAR(rule.weights[0], 5.0 / 9.0, 1e-14);
+  EXPECT_NEAR(rule.weights[1], 8.0 / 9.0, 1e-14);
+}
+
+class GaussSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GaussSweep, NodesAreInteriorSortedSymmetric) {
+  const GaussRule rule = gauss_rule(GetParam());
+  const int n = rule.n_points();
+  for (int i = 0; i < n; ++i) {
+    EXPECT_GT(rule.nodes[i], -1.0);
+    EXPECT_LT(rule.nodes[i], 1.0);
+    EXPECT_NEAR(rule.nodes[i], -rule.nodes[n - 1 - i], 1e-15);
+    EXPECT_NEAR(rule.weights[i], rule.weights[n - 1 - i], 1e-14);
+    if (i > 0) {
+      EXPECT_LT(rule.nodes[i - 1], rule.nodes[i]);
+    }
+  }
+}
+
+TEST_P(GaussSweep, IntegratesUpToDegreeTwoNMinusOne) {
+  const GaussRule rule = gauss_rule(GetParam());
+  const int exact_degree = 2 * rule.n_points() - 1;
+  for (int d = 0; d <= exact_degree; ++d) {
+    std::vector<double> f(rule.nodes.size());
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      f[i] = std::pow(rule.nodes[i], d);
+    }
+    const double exact = (d % 2 == 0) ? 2.0 / (d + 1.0) : 0.0;
+    EXPECT_NEAR(integrate(rule, f), exact, 1e-12) << "degree " << d;
+  }
+}
+
+TEST_P(GaussSweep, WeightsSumToTwo) {
+  const GaussRule rule = gauss_rule(GetParam());
+  double sum = 0.0;
+  for (double w : rule.weights) {
+    EXPECT_GT(w, 0.0);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 2.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GaussSweep, ::testing::Range(1, 17));
+
+TEST(Gauss, BeatsGllByTwoOrders) {
+  // At equal point count, Gauss integrates two polynomial degrees more
+  // than GLL exactly: check the first degree GLL misses.
+  const int n = 6;
+  const GaussRule gauss = gauss_rule(n);
+  const GllRule gll = gll_rule(n);
+  const int d = 2 * n - 2;  // beyond GLL (2n-3), within Gauss (2n-1)
+  std::vector<double> fg(gauss.nodes.size()), fl(gll.nodes.size());
+  for (std::size_t i = 0; i < fg.size(); ++i) {
+    fg[i] = std::pow(gauss.nodes[i], d);
+  }
+  for (std::size_t i = 0; i < fl.size(); ++i) {
+    fl[i] = std::pow(gll.nodes[i], d);
+  }
+  const double exact = 2.0 / (d + 1.0);
+  EXPECT_NEAR(integrate(gauss, fg), exact, 1e-13);
+  EXPECT_GT(std::abs(integrate(gll, fl) - exact), 1e-6);
+}
+
+TEST(Gauss, RejectsZeroPoints) {
+  EXPECT_THROW(gauss_rule(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace semfpga::sem

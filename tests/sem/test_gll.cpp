@@ -1,0 +1,125 @@
+#include "sem/gll.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace semfpga::sem {
+namespace {
+
+TEST(Gll, TwoPointRuleIsTrapezoid) {
+  const GllRule rule = gll_rule(2);
+  ASSERT_EQ(rule.n_points(), 2);
+  EXPECT_DOUBLE_EQ(rule.nodes[0], -1.0);
+  EXPECT_DOUBLE_EQ(rule.nodes[1], 1.0);
+  EXPECT_DOUBLE_EQ(rule.weights[0], 1.0);
+  EXPECT_DOUBLE_EQ(rule.weights[1], 1.0);
+}
+
+TEST(Gll, ThreePointRuleIsSimpson) {
+  const GllRule rule = gll_rule(3);
+  EXPECT_NEAR(rule.nodes[1], 0.0, 1e-15);
+  EXPECT_NEAR(rule.weights[0], 1.0 / 3.0, 1e-14);
+  EXPECT_NEAR(rule.weights[1], 4.0 / 3.0, 1e-14);
+  EXPECT_NEAR(rule.weights[2], 1.0 / 3.0, 1e-14);
+}
+
+TEST(Gll, FourPointKnownNodes) {
+  // Interior nodes of the 4-point rule: +-1/sqrt(5).
+  const GllRule rule = gll_rule(4);
+  EXPECT_NEAR(rule.nodes[1], -1.0 / std::sqrt(5.0), 1e-14);
+  EXPECT_NEAR(rule.nodes[2], 1.0 / std::sqrt(5.0), 1e-14);
+  EXPECT_NEAR(rule.weights[0], 1.0 / 6.0, 1e-14);
+  EXPECT_NEAR(rule.weights[1], 5.0 / 6.0, 1e-14);
+}
+
+TEST(Gll, FivePointKnownNodes) {
+  // Interior nodes: 0 and +-sqrt(3/7).
+  const GllRule rule = gll_rule(5);
+  EXPECT_NEAR(rule.nodes[1], -std::sqrt(3.0 / 7.0), 1e-14);
+  EXPECT_NEAR(rule.nodes[2], 0.0, 1e-15);
+  EXPECT_NEAR(rule.weights[0], 0.1, 1e-14);
+  EXPECT_NEAR(rule.weights[1], 49.0 / 90.0, 1e-14);
+  EXPECT_NEAR(rule.weights[2], 32.0 / 45.0, 1e-14);
+}
+
+class GllSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GllSweep, NodesAreSortedAndSymmetric) {
+  const GllRule rule = gll_rule(GetParam());
+  const int n = rule.n_points();
+  EXPECT_DOUBLE_EQ(rule.nodes.front(), -1.0);
+  EXPECT_DOUBLE_EQ(rule.nodes.back(), 1.0);
+  for (int i = 1; i < n; ++i) {
+    EXPECT_LT(rule.nodes[i - 1], rule.nodes[i]);
+  }
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(rule.nodes[i], -rule.nodes[n - 1 - i], 1e-15);
+    EXPECT_NEAR(rule.weights[i], rule.weights[n - 1 - i], 1e-13);
+  }
+}
+
+TEST_P(GllSweep, WeightsArePositiveAndSumToTwo) {
+  const GllRule rule = gll_rule(GetParam());
+  double sum = 0.0;
+  for (double w : rule.weights) {
+    EXPECT_GT(w, 0.0);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 2.0, 1e-12);
+}
+
+TEST_P(GllSweep, IntegratesPolynomialsExactly) {
+  // A GLL rule with n points integrates degree <= 2n-3 exactly.
+  const GllRule rule = gll_rule(GetParam());
+  const int exact_degree = 2 * rule.n_points() - 3;
+  for (int d = 0; d <= exact_degree; ++d) {
+    std::vector<double> f(rule.nodes.size());
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      f[i] = std::pow(rule.nodes[i], d);
+    }
+    const double exact = (d % 2 == 0) ? 2.0 / (d + 1.0) : 0.0;
+    EXPECT_NEAR(integrate(rule, f), exact, 1e-11) << "degree " << d;
+  }
+}
+
+TEST_P(GllSweep, DoesNotIntegrateDegreeTwoNMinusTwo) {
+  // x^(2n-2) is beyond the exactness window: the rule must err.  The
+  // analytic quadrature error decays super-exponentially with n and drops
+  // below double-precision noise around n = 17.
+  if (GetParam() >= 17) {
+    GTEST_SKIP() << "quadrature error below double-precision resolution";
+  }
+  const GllRule rule = gll_rule(GetParam());
+  const int d = 2 * rule.n_points() - 2;
+  std::vector<double> f(rule.nodes.size());
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    f[i] = std::pow(rule.nodes[i], d);
+  }
+  const double exact = 2.0 / (d + 1.0);
+  EXPECT_GT(std::abs(integrate(rule, f) - exact), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GllSweep, ::testing::Range(2, 20));
+
+TEST(Gll, HighOrderStillConverges) {
+  const GllRule rule = gll_rule(64);
+  double sum = 0.0;
+  for (double w : rule.weights) {
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 2.0, 1e-10);
+}
+
+TEST(Gll, RejectsDegenerateRules) {
+  EXPECT_THROW(gll_rule(0), std::invalid_argument);
+  EXPECT_THROW(gll_rule(1), std::invalid_argument);
+}
+
+TEST(Gll, IntegrateChecksSampleCount) {
+  const GllRule rule = gll_rule(4);
+  EXPECT_THROW((void)integrate(rule, std::vector<double>(3, 1.0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace semfpga::sem

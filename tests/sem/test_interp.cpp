@@ -1,0 +1,111 @@
+#include "sem/interp.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sem/gauss.hpp"
+#include "sem/gll.hpp"
+
+namespace semfpga::sem {
+namespace {
+
+TEST(Interp, ReproducesPolynomialsExactly) {
+  // Interpolating from n points is exact for polynomials of degree < n.
+  const GllRule gll = gll_rule(6);
+  const GaussRule gauss = gauss_rule(6);
+  const InterpMatrix im = interp_matrix(gll.nodes, gauss.nodes);
+  for (int d = 0; d <= 5; ++d) {
+    std::vector<double> f(gll.nodes.size());
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      f[i] = std::pow(gll.nodes[i], d);
+    }
+    const auto g = interpolate(im, f);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      EXPECT_NEAR(g[i], std::pow(gauss.nodes[i], d), 1e-12) << "degree " << d;
+    }
+  }
+}
+
+TEST(Interp, RowsSumToOne) {
+  // Partition of unity: interpolating the constant 1 gives 1 everywhere.
+  const GllRule gll = gll_rule(9);
+  const std::vector<double> targets = {-0.95, -0.3, 0.01, 0.5, 0.777};
+  const InterpMatrix im = interp_matrix(gll.nodes, targets);
+  for (int t = 0; t < im.n_to; ++t) {
+    double sum = 0.0;
+    for (int s = 0; s < im.n_from; ++s) {
+      sum += im.at(t, s);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-13);
+  }
+}
+
+TEST(Interp, ExactHitGivesUnitRow) {
+  const GllRule gll = gll_rule(5);
+  const std::vector<double> targets = {gll.nodes[2]};
+  const InterpMatrix im = interp_matrix(gll.nodes, targets);
+  for (int s = 0; s < im.n_from; ++s) {
+    EXPECT_DOUBLE_EQ(im.at(0, s), s == 2 ? 1.0 : 0.0);
+  }
+}
+
+TEST(Interp, GllToGaussRoundTripIsExactForPolynomials) {
+  // GLL(n) -> Gauss(n) -> GLL(n) is exact on polynomials of degree < n
+  // (both directions are exact interpolations of the same polynomial).
+  const GllRule gll = gll_rule(7);
+  const GaussRule gauss = gauss_rule(7);
+  const InterpMatrix fwd = interp_matrix(gll.nodes, gauss.nodes);
+  const InterpMatrix bwd = interp_matrix(gauss.nodes, gll.nodes);
+  std::vector<double> f(gll.nodes.size());
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    f[i] = 1.0 - 2.0 * gll.nodes[i] + 3.0 * std::pow(gll.nodes[i], 5);
+  }
+  const auto back = interpolate(bwd, interpolate(fwd, f));
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    EXPECT_NEAR(back[i], f[i], 1e-12);
+  }
+}
+
+TEST(Interp, SpectralAccuracyForSmoothFunctions) {
+  // Interpolating sin(3x) from GLL points converges spectrally: going from
+  // 10 to 18 points must gain many orders of magnitude.
+  auto max_error = [](int n_points) {
+    const GllRule gll = gll_rule(n_points);
+    std::vector<double> f(gll.nodes.size());
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      f[i] = std::sin(3.0 * gll.nodes[i]);
+    }
+    const std::vector<double> targets = {-0.81, -0.33, 0.12, 0.47, 0.93};
+    const InterpMatrix im = interp_matrix(gll.nodes, targets);
+    const auto vals = interpolate(im, f);
+    double err = 0.0;
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      err = std::max(err, std::abs(vals[t] - std::sin(3.0 * targets[t])));
+    }
+    return err;
+  };
+  const double e10 = max_error(10);
+  const double e18 = max_error(18);
+  EXPECT_LT(e18, 1e-4 * e10);
+  EXPECT_LT(e18, 1e-12);
+}
+
+TEST(Interp, BarycentricWeightsAlternateInSign) {
+  const GllRule gll = gll_rule(8);
+  const auto w = barycentric_weights(gll.nodes);
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    EXPECT_LT(w[i - 1] * w[i], 0.0) << "weights must alternate";
+  }
+}
+
+TEST(Interp, RejectsDegenerateInput) {
+  EXPECT_THROW((void)barycentric_weights({0.5}), std::invalid_argument);
+  EXPECT_THROW((void)barycentric_weights({0.5, 0.5}), std::invalid_argument);
+  const InterpMatrix im = interp_matrix({-1.0, 1.0}, {0.0});
+  EXPECT_THROW((void)interpolate(im, std::vector<double>{1.0, 2.0, 3.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace semfpga::sem

@@ -1,0 +1,88 @@
+#include "sem/legendre.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace semfpga::sem {
+namespace {
+
+TEST(Legendre, LowOrdersMatchClosedForms) {
+  const double xs[] = {-1.0, -0.7, -0.3, 0.0, 0.2, 0.5, 0.9, 1.0};
+  for (double x : xs) {
+    EXPECT_DOUBLE_EQ(legendre(0, x), 1.0);
+    EXPECT_DOUBLE_EQ(legendre(1, x), x);
+    EXPECT_NEAR(legendre(2, x), 0.5 * (3.0 * x * x - 1.0), 1e-14);
+    EXPECT_NEAR(legendre(3, x), 0.5 * (5.0 * x * x * x - 3.0 * x), 1e-14);
+    EXPECT_NEAR(legendre(4, x), 0.125 * (35.0 * std::pow(x, 4) - 30.0 * x * x + 3.0),
+                1e-13);
+  }
+}
+
+TEST(Legendre, EndpointValues) {
+  // L_n(1) = 1 and L_n(-1) = (-1)^n for every order.
+  for (int n = 0; n <= 24; ++n) {
+    EXPECT_NEAR(legendre(n, 1.0), 1.0, 1e-12) << "n=" << n;
+    EXPECT_NEAR(legendre(n, -1.0), (n % 2 == 0) ? 1.0 : -1.0, 1e-12) << "n=" << n;
+  }
+}
+
+TEST(Legendre, ParityInX) {
+  for (int n = 0; n <= 12; ++n) {
+    for (double x : {0.1, 0.35, 0.77}) {
+      const double sign = (n % 2 == 0) ? 1.0 : -1.0;
+      EXPECT_NEAR(legendre(n, -x), sign * legendre(n, x), 1e-13) << "n=" << n;
+    }
+  }
+}
+
+TEST(Legendre, DerivativeMatchesFiniteDifference) {
+  const double h = 1e-6;
+  for (int n = 1; n <= 16; ++n) {
+    for (double x : {-0.8, -0.25, 0.0, 0.4, 0.85}) {
+      const auto [l, d] = legendre_deriv(n, x);
+      EXPECT_NEAR(l, legendre(n, x), 1e-13);
+      const double fd = (legendre(n, x + h) - legendre(n, x - h)) / (2.0 * h);
+      EXPECT_NEAR(d, fd, 1e-5 * std::max(1.0, std::abs(fd))) << "n=" << n << " x=" << x;
+    }
+  }
+}
+
+TEST(Legendre, DerivativeEndpointIdentity) {
+  // L'_n(+-1) = (+-1)^(n-1) n(n+1)/2.
+  for (int n = 1; n <= 16; ++n) {
+    const double expected = 0.5 * n * (n + 1.0);
+    EXPECT_NEAR(legendre_deriv(n, 1.0).second, expected, 1e-9 * expected) << "n=" << n;
+    const double sign = (n % 2 == 1) ? 1.0 : -1.0;
+    EXPECT_NEAR(legendre_deriv(n, -1.0).second, sign * expected, 1e-9 * expected)
+        << "n=" << n;
+  }
+}
+
+TEST(Legendre, SecondDerivativeSatisfiesOde) {
+  // (1 - x^2) L'' - 2x L' + n(n+1) L = 0 away from the endpoints.
+  for (int n = 0; n <= 14; ++n) {
+    for (double x : {-0.9, -0.4, 0.15, 0.6}) {
+      const auto [l, d] = legendre_deriv(n, x);
+      const double dd = legendre_second_deriv(n, x);
+      const double residual = (1.0 - x * x) * dd - 2.0 * x * d + n * (n + 1.0) * l;
+      EXPECT_NEAR(residual, 0.0, 1e-9 * std::max(1.0, std::abs(dd))) << "n=" << n;
+    }
+  }
+}
+
+TEST(Legendre, SecondDerivativeEndpointLimit) {
+  // L''_n(1) = (n-1)n(n+1)(n+2)/8.
+  for (int n = 2; n <= 12; ++n) {
+    const double expected = (n - 1.0) * n * (n + 1.0) * (n + 2.0) / 8.0;
+    EXPECT_NEAR(legendre_second_deriv(n, 1.0), expected, 1e-9 * expected) << "n=" << n;
+  }
+}
+
+TEST(Legendre, RejectsNegativeOrder) {
+  EXPECT_THROW((void)legendre(-1, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)legendre_deriv(-2, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace semfpga::sem

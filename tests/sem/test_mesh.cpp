@@ -1,0 +1,137 @@
+#include "sem/mesh.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace semfpga::sem {
+namespace {
+
+BoxMeshSpec small_spec(int degree, Deformation def = Deformation::kNone) {
+  BoxMeshSpec spec;
+  spec.degree = degree;
+  spec.nelx = 2;
+  spec.nely = 3;
+  spec.nelz = 2;
+  spec.deformation = def;
+  spec.deformation_amplitude = 0.04;
+  return spec;
+}
+
+TEST(Mesh, CountsAreConsistent) {
+  const Mesh mesh = box_mesh(small_spec(3));
+  EXPECT_EQ(mesh.n_elements(), 12u);
+  EXPECT_EQ(mesh.points_per_element(), 64u);
+  EXPECT_EQ(mesh.n_local(), 768u);
+  // Global lattice: (2*3+1)(3*3+1)(2*3+1) = 7*10*7.
+  EXPECT_EQ(mesh.n_global(), 490u);
+}
+
+TEST(Mesh, CoordinatesSpanTheBox) {
+  const Mesh mesh = box_mesh(small_spec(4));
+  const auto [xmin, xmax] = std::minmax_element(mesh.x().begin(), mesh.x().end());
+  const auto [ymin, ymax] = std::minmax_element(mesh.y().begin(), mesh.y().end());
+  const auto [zmin, zmax] = std::minmax_element(mesh.z().begin(), mesh.z().end());
+  EXPECT_DOUBLE_EQ(*xmin, 0.0);
+  EXPECT_DOUBLE_EQ(*xmax, 1.0);
+  EXPECT_DOUBLE_EQ(*ymin, 0.0);
+  EXPECT_DOUBLE_EQ(*ymax, 1.0);
+  EXPECT_DOUBLE_EQ(*zmin, 0.0);
+  EXPECT_DOUBLE_EQ(*zmax, 1.0);
+}
+
+TEST(Mesh, GlobalIdsAreInRange) {
+  const Mesh mesh = box_mesh(small_spec(2));
+  for (const std::int64_t id : mesh.global_id()) {
+    ASSERT_GE(id, 0);
+    ASSERT_LT(static_cast<std::size_t>(id), mesh.n_global());
+  }
+}
+
+TEST(Mesh, EveryGlobalIdIsTouched) {
+  const Mesh mesh = box_mesh(small_spec(2));
+  std::vector<int> touched(mesh.n_global(), 0);
+  for (const std::int64_t id : mesh.global_id()) {
+    touched[static_cast<std::size_t>(id)] = 1;
+  }
+  EXPECT_EQ(std::count(touched.begin(), touched.end(), 1),
+            static_cast<long>(mesh.n_global()));
+}
+
+class MeshDeformations : public ::testing::TestWithParam<Deformation> {};
+
+TEST_P(MeshDeformations, SharedNodesHaveIdenticalCoordinates) {
+  // Continuity: every local copy of a global DOF must sit at the same
+  // physical point, even on deformed meshes.
+  const Mesh mesh = box_mesh(small_spec(3, GetParam()));
+  std::map<std::int64_t, std::array<double, 3>> seen;
+  for (std::size_t p = 0; p < mesh.n_local(); ++p) {
+    const std::int64_t id = mesh.global_id()[p];
+    const std::array<double, 3> coords = {mesh.x()[p], mesh.y()[p], mesh.z()[p]};
+    const auto [it, inserted] = seen.emplace(id, coords);
+    if (!inserted) {
+      EXPECT_NEAR(it->second[0], coords[0], 1e-13);
+      EXPECT_NEAR(it->second[1], coords[1], 1e-13);
+      EXPECT_NEAR(it->second[2], coords[2], 1e-13);
+    }
+  }
+}
+
+TEST_P(MeshDeformations, BoundaryNodesStayOnTheBoundary) {
+  // All deformations fix the box surface, so boundary-flagged nodes must
+  // lie exactly on a face.
+  const Mesh mesh = box_mesh(small_spec(3, GetParam()));
+  const auto& bnd = mesh.boundary_flag();
+  for (std::size_t p = 0; p < mesh.n_local(); ++p) {
+    if (bnd[static_cast<std::size_t>(mesh.global_id()[p])] == 0) {
+      continue;
+    }
+    const double x = mesh.x()[p];
+    const double y = mesh.y()[p];
+    const double z = mesh.z()[p];
+    const bool on_face = std::abs(x) < 1e-12 || std::abs(x - 1.0) < 1e-12 ||
+                         std::abs(y) < 1e-12 || std::abs(y - 1.0) < 1e-12 ||
+                         std::abs(z) < 1e-12 || std::abs(z - 1.0) < 1e-12;
+    EXPECT_TRUE(on_face) << "node at (" << x << "," << y << "," << z << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDeformations, MeshDeformations,
+                         ::testing::Values(Deformation::kNone, Deformation::kSine,
+                                           Deformation::kTwist));
+
+TEST(Mesh, DeformationMovesInteriorNodes) {
+  const Mesh plain = box_mesh(small_spec(3, Deformation::kNone));
+  const Mesh warped = box_mesh(small_spec(3, Deformation::kSine));
+  double max_move = 0.0;
+  for (std::size_t p = 0; p < plain.n_local(); ++p) {
+    max_move = std::max(max_move, std::abs(plain.x()[p] - warped.x()[p]));
+  }
+  EXPECT_GT(max_move, 1e-3);
+}
+
+TEST(Mesh, BoundaryFlagsCountMatchesSurfaceLattice) {
+  const Mesh mesh = box_mesh(small_spec(2));
+  // 7x7x5 lattice at degree 2 on a (2,3,2) element box: surface nodes =
+  // total - interior = 5*7*5 ... compute directly: dims (5,7,5).
+  const long nx = 5, ny = 7, nz = 5;
+  const long interior = (nx - 2) * (ny - 2) * (nz - 2);
+  const auto& bnd = mesh.boundary_flag();
+  EXPECT_EQ(std::count(bnd.begin(), bnd.end(), 1),
+            nx * ny * nz - interior);
+}
+
+TEST(Mesh, RejectsBadSpecs) {
+  BoxMeshSpec bad = small_spec(3);
+  bad.nelx = 0;
+  EXPECT_THROW(box_mesh(bad), std::invalid_argument);
+  bad = small_spec(3);
+  bad.x1 = bad.x0;
+  EXPECT_THROW(box_mesh(bad), std::invalid_argument);
+  bad = small_spec(0);
+  EXPECT_THROW(box_mesh(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace semfpga::sem

@@ -1,0 +1,189 @@
+#include "solver/cg.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "kernels/ax.hpp"
+
+namespace semfpga::solver {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+sem::Mesh make_mesh(int degree, int nel, sem::Deformation def = sem::Deformation::kNone) {
+  sem::BoxMeshSpec spec;
+  spec.degree = degree;
+  spec.nelx = spec.nely = spec.nelz = nel;
+  spec.deformation = def;
+  spec.deformation_amplitude = 0.03;
+  return sem::box_mesh(spec);
+}
+
+/// Solves -lap(u) = f with u = sin(pi x) sin(pi y) sin(pi z) manufactured.
+struct ManufacturedSolve {
+  explicit ManufacturedSolve(int degree, int nel,
+                             sem::Deformation def = sem::Deformation::kNone,
+                             CgOptions options = {})
+      : mesh(make_mesh(degree, nel, def)), system(mesh) {
+    const std::size_t n = system.n_local();
+    aligned_vector<double> f(n);
+    system.sample(
+        [](double x, double y, double z) {
+          return 3.0 * kPi * kPi * std::sin(kPi * x) * std::sin(kPi * y) *
+                 std::sin(kPi * z);
+        },
+        std::span<double>(f.data(), n));
+    aligned_vector<double> b(n);
+    system.assemble_rhs(std::span<const double>(f.data(), n),
+                        std::span<double>(b.data(), n));
+    x.assign(n, 0.0);
+    result = solve_cg(system, std::span<const double>(b.data(), n),
+                      std::span<double>(x.data(), n), options);
+  }
+
+  /// Max-norm error against the analytic solution.
+  [[nodiscard]] double error() const {
+    const std::size_t n = system.n_local();
+    aligned_vector<double> exact(n);
+    system.sample(
+        [](double px, double py, double pz) {
+          return std::sin(kPi * px) * std::sin(kPi * py) * std::sin(kPi * pz);
+        },
+        std::span<double>(exact.data(), n));
+    double err = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      err = std::max(err, std::abs(x[p] - exact[p]));
+    }
+    return err;
+  }
+
+  sem::Mesh mesh;
+  PoissonSystem system;
+  aligned_vector<double> x;
+  CgResult result;
+};
+
+TEST(Cg, ConvergesOnManufacturedProblem) {
+  CgOptions options;
+  options.tolerance = 1e-10;
+  options.max_iterations = 400;
+  ManufacturedSolve solve(4, 2, sem::Deformation::kNone, options);
+  EXPECT_TRUE(solve.result.converged);
+  EXPECT_LT(solve.result.final_residual, 1e-10);
+  EXPECT_LT(solve.error(), 5e-4);
+}
+
+TEST(Cg, SpectralConvergenceWithDegree) {
+  // Error drops by orders of magnitude as N rises — the defining property
+  // of SEM and the reason high-order degrees matter (paper Section II).
+  CgOptions options;
+  options.tolerance = 1e-12;
+  options.max_iterations = 600;
+  const double e2 = ManufacturedSolve(2, 2, sem::Deformation::kNone, options).error();
+  const double e4 = ManufacturedSolve(4, 2, sem::Deformation::kNone, options).error();
+  const double e6 = ManufacturedSolve(6, 2, sem::Deformation::kNone, options).error();
+  EXPECT_LT(e4, e2 * 0.05);
+  EXPECT_LT(e6, e4 * 0.05);
+  EXPECT_LT(e6, 1e-7);
+}
+
+TEST(Cg, ConvergesOnDeformedMesh) {
+  CgOptions options;
+  options.tolerance = 1e-10;
+  options.max_iterations = 600;
+  ManufacturedSolve solve(5, 2, sem::Deformation::kSine, options);
+  EXPECT_TRUE(solve.result.converged);
+  // The deformed domain is still the unit cube with zero BCs, so the same
+  // manufactured solution applies; accuracy is spectral.
+  EXPECT_LT(solve.error(), 1e-4);
+}
+
+TEST(Cg, ResidualHistoryIsRecordedAndTrendsDown) {
+  CgOptions options;
+  options.tolerance = 1e-10;
+  options.max_iterations = 300;
+  options.record_history = true;
+  ManufacturedSolve solve(3, 2, sem::Deformation::kNone, options);
+  const auto& h = solve.result.residual_history;
+  ASSERT_GT(h.size(), 3u);
+  EXPECT_LT(h.back(), h.front() * 1e-6);
+}
+
+TEST(Cg, JacobiPreconditioningDoesNotBreakConvergence) {
+  CgOptions plain;
+  plain.use_jacobi = false;
+  plain.tolerance = 1e-10;
+  plain.max_iterations = 500;
+  CgOptions jacobi = plain;
+  jacobi.use_jacobi = true;
+  ManufacturedSolve a(3, 3, sem::Deformation::kNone, plain);
+  ManufacturedSolve b(3, 3, sem::Deformation::kNone, jacobi);
+  EXPECT_TRUE(a.result.converged);
+  EXPECT_TRUE(b.result.converged);
+  EXPECT_LT(a.error(), 1e-3);
+  EXPECT_LT(b.error(), 1e-3);
+}
+
+TEST(Cg, ZeroRhsGivesZeroSolution) {
+  const sem::Mesh mesh = make_mesh(3, 2);
+  const PoissonSystem system(mesh);
+  const std::size_t n = system.n_local();
+  aligned_vector<double> b(n, 0.0), x(n, 0.0);
+  const CgResult r = solve_cg(system, std::span<const double>(b.data(), n),
+                              std::span<double>(x.data(), n));
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+  for (double v : x) {
+    ASSERT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(Cg, HonoursIterationCap) {
+  CgOptions options;
+  options.max_iterations = 3;
+  options.tolerance = 0.0;
+  ManufacturedSolve solve(3, 2, sem::Deformation::kNone, options);
+  EXPECT_EQ(solve.result.iterations, 3);
+  EXPECT_FALSE(solve.result.converged);
+}
+
+TEST(Cg, FlopAccountingIsPlausible) {
+  CgOptions options;
+  options.max_iterations = 10;
+  options.tolerance = 0.0;
+  ManufacturedSolve solve(3, 2, sem::Deformation::kNone, options);
+  // At least 11 Ax applications (initial residual + 10 iterations).
+  const std::int64_t ax_flops = kernels::ax_flops(4, solve.mesh.n_elements());
+  EXPECT_GE(solve.result.flops, 11 * ax_flops);
+  EXPECT_LT(solve.result.flops, 13 * ax_flops + 12 * 11 * 4096);
+}
+
+TEST(Cg, InitialGuessIsHonoured) {
+  // Solving from the exact solution should converge immediately.
+  CgOptions options;
+  options.tolerance = 1e-8;
+  options.max_iterations = 200;
+  ManufacturedSolve first(4, 2, sem::Deformation::kNone, options);
+  ASSERT_TRUE(first.result.converged);
+
+  const std::size_t n = first.system.n_local();
+  aligned_vector<double> f(n);
+  first.system.sample(
+      [](double x, double y, double z) {
+        return 3.0 * kPi * kPi * std::sin(kPi * x) * std::sin(kPi * y) *
+               std::sin(kPi * z);
+      },
+      std::span<double>(f.data(), n));
+  aligned_vector<double> b(n);
+  first.system.assemble_rhs(std::span<const double>(f.data(), n),
+                            std::span<double>(b.data(), n));
+  aligned_vector<double> x = first.x;
+  const CgResult again = solve_cg(first.system, std::span<const double>(b.data(), n),
+                                  std::span<double>(x.data(), n), options);
+  EXPECT_LE(again.iterations, 2);
+}
+
+}  // namespace
+}  // namespace semfpga::solver

@@ -1,0 +1,178 @@
+#include "solver/chebyshev.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "solver/cg.hpp"
+
+namespace semfpga::solver {
+namespace {
+
+sem::Mesh make_mesh(int degree, int nel) {
+  sem::BoxMeshSpec spec;
+  spec.degree = degree;
+  spec.nelx = spec.nely = spec.nelz = nel;
+  return sem::box_mesh(spec);
+}
+
+/// Builds a continuous masked random vector.
+aligned_vector<double> random_field(const PoissonSystem& system, std::uint64_t seed) {
+  const std::size_t n = system.n_local();
+  aligned_vector<double> v(n);
+  SplitMix64 rng(seed);
+  std::vector<double> global(system.gs().n_global());
+  for (double& g : global) {
+    g = rng.uniform(-1.0, 1.0);
+  }
+  system.gs().gather(global, std::span<double>(v.data(), n));
+  for (std::size_t p = 0; p < n; ++p) {
+    v[p] *= system.mask()[p];
+  }
+  return v;
+}
+
+TEST(PowerIteration, EstimateIsStableAndPositive) {
+  const sem::Mesh mesh = make_mesh(4, 2);
+  const PoissonSystem system(mesh);
+  const double l1 = estimate_lambda_max(system, 20, 1);
+  const double l2 = estimate_lambda_max(system, 40, 2);
+  EXPECT_GT(l1, 0.0);
+  // More iterations (different seed) must agree within a few percent.
+  EXPECT_NEAR(l1 / l2, 1.0, 0.05);
+}
+
+TEST(PowerIteration, BoundsRandomRayleighQuotients) {
+  // lambda_max must dominate the Rayleigh quotient of any vector.
+  const sem::Mesh mesh = make_mesh(3, 2);
+  const PoissonSystem system(mesh);
+  const double lmax = estimate_lambda_max(system, 40);
+  const std::size_t n = system.n_local();
+  aligned_vector<double> av(n), dv(n);
+  for (std::uint64_t seed : {7u, 8u, 9u}) {
+    const auto v = random_field(system, seed);
+    system.apply(std::span<const double>(v.data(), n), std::span<double>(av.data(), n));
+    for (std::size_t p = 0; p < n; ++p) {
+      dv[p] = system.jacobi_diagonal()[p] * v[p];
+    }
+    const double rq = system.weighted_dot(std::span<const double>(v.data(), n),
+                                          std::span<const double>(av.data(), n)) /
+                      system.weighted_dot(std::span<const double>(v.data(), n),
+                                          std::span<const double>(dv.data(), n));
+    EXPECT_LE(rq, lmax * 1.02) << "seed " << seed;
+  }
+}
+
+TEST(Chebyshev, PreconditionerIsSymmetric) {
+  // (r1, P^{-1} r2)_c == (r2, P^{-1} r1)_c — required for CG.
+  const sem::Mesh mesh = make_mesh(3, 2);
+  const PoissonSystem system(mesh);
+  const ChebyshevPreconditioner precond(system, 4);
+  const std::size_t n = system.n_local();
+  const auto r1 = random_field(system, 11);
+  const auto r2 = random_field(system, 12);
+  aligned_vector<double> z1(n), z2(n);
+  precond.apply(std::span<const double>(r1.data(), n), std::span<double>(z1.data(), n));
+  precond.apply(std::span<const double>(r2.data(), n), std::span<double>(z2.data(), n));
+  const double a = system.weighted_dot(std::span<const double>(r1.data(), n),
+                                       std::span<const double>(z2.data(), n));
+  const double b = system.weighted_dot(std::span<const double>(r2.data(), n),
+                                       std::span<const double>(z1.data(), n));
+  EXPECT_NEAR(a, b, 1e-10 * std::max(std::abs(a), 1.0));
+}
+
+TEST(Chebyshev, PreconditionerIsPositiveDefinite) {
+  const sem::Mesh mesh = make_mesh(3, 2);
+  const PoissonSystem system(mesh);
+  const ChebyshevPreconditioner precond(system, 3);
+  const std::size_t n = system.n_local();
+  for (std::uint64_t seed : {21u, 22u, 23u}) {
+    const auto r = random_field(system, seed);
+    aligned_vector<double> z(n);
+    precond.apply(std::span<const double>(r.data(), n), std::span<double>(z.data(), n));
+    EXPECT_GT(system.weighted_dot(std::span<const double>(r.data(), n),
+                                  std::span<const double>(z.data(), n)),
+              0.0)
+        << "seed " << seed;
+  }
+}
+
+TEST(Chebyshev, HigherOrderIsABetterSolverPerApplication) {
+  // One application of an order-k smoother reduces the residual of A z = r
+  // roughly geometrically in k.  Low orders are non-monotone (the short
+  // polynomial overshoots mid-spectrum), so compare well-separated orders.
+  const sem::Mesh mesh = make_mesh(3, 2);
+  const PoissonSystem system(mesh);
+  const std::size_t n = system.n_local();
+  const auto r = random_field(system, 33);
+  double first = 0.0;
+  double prev = 1e300;
+  for (int order : {1, 6, 12}) {
+    const ChebyshevPreconditioner precond(system, order);
+    aligned_vector<double> z(n), az(n);
+    precond.apply(std::span<const double>(r.data(), n), std::span<double>(z.data(), n));
+    system.apply(std::span<const double>(z.data(), n), std::span<double>(az.data(), n));
+    aligned_vector<double> res(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      res[p] = r[p] - az[p];
+    }
+    const double norm = std::sqrt(std::abs(system.weighted_dot(
+        std::span<const double>(res.data(), n), std::span<const double>(res.data(), n))));
+    EXPECT_LT(norm, prev) << "order " << order;
+    if (order == 1) {
+      first = norm;
+    }
+    prev = norm;
+  }
+  EXPECT_LT(prev, 0.1 * first);  // order 12 crushes the residual
+}
+
+TEST(Chebyshev, AcceleratesCgOverJacobi) {
+  const sem::Mesh mesh = make_mesh(4, 3);
+  const PoissonSystem system(mesh);
+  const std::size_t n = system.n_local();
+
+  // Spectrum-rich RHS.
+  aligned_vector<double> f(n), b(n);
+  system.sample(
+      [](double x, double y, double z) {
+        return std::sin(23.0 * x) + std::cos(19.0 * y * z) + x * x - y;
+      },
+      std::span<double>(f.data(), n));
+  system.assemble_rhs(std::span<const double>(f.data(), n), std::span<double>(b.data(), n));
+
+  auto iterations = [&](const CgOptions& options) {
+    aligned_vector<double> x(n, 0.0);
+    const CgResult r = solve_cg(system, std::span<const double>(b.data(), n),
+                                std::span<double>(x.data(), n), options);
+    EXPECT_TRUE(r.converged);
+    return r.iterations;
+  };
+
+  CgOptions jacobi;
+  jacobi.tolerance = 1e-10;
+  jacobi.max_iterations = 600;
+  CgOptions cheby = jacobi;
+  const ChebyshevPreconditioner precond(system, 4);
+  cheby.preconditioner = [&precond](std::span<const double> r, std::span<double> z) {
+    precond.apply(r, z);
+  };
+
+  const int it_jacobi = iterations(jacobi);
+  const int it_cheby = iterations(cheby);
+  // Each Chebyshev application costs ~4 operator applies, so it must cut
+  // the iteration count by well over 2x to be interesting — it does.
+  EXPECT_LT(it_cheby * 2, it_jacobi);
+}
+
+TEST(Chebyshev, RejectsBadParameters) {
+  const sem::Mesh mesh = make_mesh(2, 1);
+  const PoissonSystem system(mesh);
+  EXPECT_THROW(ChebyshevPreconditioner(system, 0), std::invalid_argument);
+  EXPECT_THROW(ChebyshevPreconditioner(system, 3, 10.0, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)estimate_lambda_max(system, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace semfpga::solver

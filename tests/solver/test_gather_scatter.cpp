@@ -1,0 +1,136 @@
+#include "solver/gather_scatter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace semfpga::solver {
+namespace {
+
+sem::Mesh make_mesh(int degree, int nel = 2) {
+  sem::BoxMeshSpec spec;
+  spec.degree = degree;
+  spec.nelx = spec.nely = spec.nelz = nel;
+  return sem::box_mesh(spec);
+}
+
+TEST(GatherScatter, MultiplicityOfCornerSharedNodes) {
+  // On a 2x2x2 element mesh the centre vertex is shared by 8 elements.
+  const sem::Mesh mesh = make_mesh(2);
+  const GatherScatter gs(mesh);
+  double max_mult = 0.0;
+  for (double m : gs.multiplicity()) {
+    max_mult = std::max(max_mult, m);
+  }
+  EXPECT_DOUBLE_EQ(max_mult, 8.0);
+}
+
+TEST(GatherScatter, UnsharedNodesHaveMultiplicityOne) {
+  // A node has multiplicity 1 iff it avoids every internal interface plane.
+  // Per dimension the 2x2x2-element degree-3 mesh has a 7-node lattice with
+  // one internal plane, leaving 6 non-shared indices: 6^3 = 216 nodes.
+  const sem::Mesh mesh = make_mesh(3);
+  const GatherScatter gs(mesh);
+  long ones = 0;
+  for (double m : gs.multiplicity()) {
+    if (m == 1.0) {
+      ++ones;
+    }
+  }
+  EXPECT_EQ(ones, 216);
+}
+
+TEST(GatherScatter, ScatterOfOnesGivesMultiplicity) {
+  const sem::Mesh mesh = make_mesh(2);
+  const GatherScatter gs(mesh);
+  std::vector<double> local(gs.n_local(), 1.0);
+  std::vector<double> global(gs.n_global(), -1.0);
+  gs.scatter_add(local, global);
+  // Gathering the scattered ones returns each node's multiplicity.
+  std::vector<double> back(gs.n_local());
+  gs.gather(global, back);
+  for (std::size_t p = 0; p < back.size(); ++p) {
+    EXPECT_DOUBLE_EQ(back[p], gs.multiplicity()[p]);
+  }
+}
+
+TEST(GatherScatter, QqtOnContinuousFieldScalesByMultiplicity) {
+  const sem::Mesh mesh = make_mesh(3);
+  const GatherScatter gs(mesh);
+  // Build a continuous field by gathering a random global vector.
+  SplitMix64 rng(5);
+  std::vector<double> global(gs.n_global());
+  for (double& v : global) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  std::vector<double> local(gs.n_local());
+  gs.gather(global, local);
+  std::vector<double> qqt_local = local;
+  gs.qqt(qqt_local);
+  for (std::size_t p = 0; p < local.size(); ++p) {
+    ASSERT_NEAR(qqt_local[p], gs.multiplicity()[p] * local[p], 1e-12);
+  }
+}
+
+TEST(GatherScatter, QqtOutputIsContinuous) {
+  const sem::Mesh mesh = make_mesh(2);
+  const GatherScatter gs(mesh);
+  SplitMix64 rng(6);
+  std::vector<double> local(gs.n_local());
+  for (double& v : local) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  gs.qqt(local);
+  // All local copies of a global DOF must agree after QQ^T.
+  std::vector<double> value(gs.n_global(), 0.0);
+  std::vector<char> seen(gs.n_global(), 0);
+  for (std::size_t p = 0; p < local.size(); ++p) {
+    const auto id = static_cast<std::size_t>(gs.ids()[p]);
+    if (seen[id] == 0) {
+      value[id] = local[p];
+      seen[id] = 1;
+    } else {
+      ASSERT_DOUBLE_EQ(local[p], value[id]);
+    }
+  }
+}
+
+TEST(GatherScatter, WeightedDotEqualsGlobalDot) {
+  // sum_local a*b/mult == sum_global a*b for continuous fields — the
+  // property Nekbone's glsc3 relies on.
+  const sem::Mesh mesh = make_mesh(3);
+  const GatherScatter gs(mesh);
+  SplitMix64 rng(7);
+  std::vector<double> ga(gs.n_global()), gb(gs.n_global());
+  for (std::size_t i = 0; i < ga.size(); ++i) {
+    ga[i] = rng.uniform(-1.0, 1.0);
+    gb[i] = rng.uniform(-1.0, 1.0);
+  }
+  std::vector<double> la(gs.n_local()), lb(gs.n_local());
+  gs.gather(ga, la);
+  gs.gather(gb, lb);
+
+  double global_dot = 0.0;
+  for (std::size_t i = 0; i < ga.size(); ++i) {
+    global_dot += ga[i] * gb[i];
+  }
+  double weighted = 0.0;
+  const auto& c = gs.inv_multiplicity();
+  for (std::size_t p = 0; p < la.size(); ++p) {
+    weighted += la[p] * lb[p] * c[p];
+  }
+  EXPECT_NEAR(weighted, global_dot, 1e-10 * std::abs(global_dot));
+}
+
+TEST(GatherScatter, SizeChecks) {
+  const sem::Mesh mesh = make_mesh(1);
+  const GatherScatter gs(mesh);
+  std::vector<double> wrong(3, 0.0);
+  std::vector<double> global(gs.n_global(), 0.0);
+  EXPECT_THROW(gs.scatter_add(wrong, global), std::invalid_argument);
+  std::vector<double> local(gs.n_local(), 0.0);
+  EXPECT_THROW(gs.gather(wrong, local), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace semfpga::solver

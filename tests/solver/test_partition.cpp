@@ -1,0 +1,69 @@
+#include "solver/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace semfpga::solver {
+namespace {
+
+sem::BoxMeshSpec spec_of(int degree, int nelx, int nely, int nelz) {
+  sem::BoxMeshSpec spec;
+  spec.degree = degree;
+  spec.nelx = nelx;
+  spec.nely = nely;
+  spec.nelz = nelz;
+  return spec;
+}
+
+TEST(Partition, CoversEveryLayerExactlyOnce) {
+  const SlabPartition part = partition_slabs(spec_of(7, 4, 4, 13), 4);
+  int z = 0;
+  std::int64_t total = 0;
+  for (const RankSlab& r : part.ranks) {
+    EXPECT_EQ(r.z_begin, z);
+    EXPECT_GT(r.z_end, r.z_begin);
+    z = r.z_end;
+    total += r.n_elements;
+  }
+  EXPECT_EQ(z, 13);
+  EXPECT_EQ(total, 4LL * 4 * 13);
+}
+
+TEST(Partition, RemainderLayersGoToTheFirstRanks) {
+  const SlabPartition part = partition_slabs(spec_of(3, 2, 2, 10), 4);
+  // 10 layers over 4 ranks: 3, 3, 2, 2.
+  EXPECT_EQ(part.ranks[0].z_end - part.ranks[0].z_begin, 3);
+  EXPECT_EQ(part.ranks[1].z_end - part.ranks[1].z_begin, 3);
+  EXPECT_EQ(part.ranks[2].z_end - part.ranks[2].z_begin, 2);
+  EXPECT_EQ(part.ranks[3].z_end - part.ranks[3].z_begin, 2);
+  EXPECT_EQ(part.max_elements(), 3LL * 2 * 2);
+}
+
+TEST(Partition, PlaneDofsMatchTheGllLattice) {
+  const SlabPartition part = partition_slabs(spec_of(7, 4, 6, 8), 2);
+  // (4*7+1)(6*7+1) = 29 * 43.
+  EXPECT_EQ(part.plane_dofs(), 29LL * 43);
+}
+
+TEST(Partition, HaloCountsByPosition) {
+  const SlabPartition part = partition_slabs(spec_of(2, 3, 3, 6), 3);
+  const std::int64_t plane = part.plane_dofs();
+  EXPECT_EQ(part.ranks[0].halo_dofs, plane);      // one neighbour
+  EXPECT_EQ(part.ranks[1].halo_dofs, 2 * plane);  // two neighbours
+  EXPECT_EQ(part.ranks[2].halo_dofs, plane);
+  EXPECT_EQ(part.max_halo_bytes(), 2 * plane * 8);
+}
+
+TEST(Partition, SingleRankHasNoHalo) {
+  const SlabPartition part = partition_slabs(spec_of(5, 2, 2, 4), 1);
+  ASSERT_EQ(part.ranks.size(), 1u);
+  EXPECT_EQ(part.ranks[0].halo_dofs, 0);
+  EXPECT_EQ(part.max_halo_bytes(), 0);
+}
+
+TEST(Partition, RejectsInvalidRankCounts) {
+  EXPECT_THROW((void)partition_slabs(spec_of(3, 2, 2, 4), 0), std::invalid_argument);
+  EXPECT_THROW((void)partition_slabs(spec_of(3, 2, 2, 4), 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace semfpga::solver

@@ -1,0 +1,158 @@
+#include "solver/poisson_system.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace semfpga::solver {
+namespace {
+
+sem::Mesh make_mesh(int degree, sem::Deformation def = sem::Deformation::kNone) {
+  sem::BoxMeshSpec spec;
+  spec.degree = degree;
+  spec.nelx = spec.nely = spec.nelz = 2;
+  spec.deformation = def;
+  spec.deformation_amplitude = 0.04;
+  return sem::box_mesh(spec);
+}
+
+TEST(PoissonSystem, MaskZeroesExactlyTheBoundary) {
+  const sem::Mesh mesh = make_mesh(3);
+  const PoissonSystem system(mesh);
+  const auto& mask = system.mask();
+  const auto& bnd = mesh.boundary_flag();
+  for (std::size_t p = 0; p < mask.size(); ++p) {
+    const bool on_boundary = bnd[static_cast<std::size_t>(mesh.global_id()[p])] != 0;
+    EXPECT_DOUBLE_EQ(mask[p], on_boundary ? 0.0 : 1.0);
+  }
+}
+
+TEST(PoissonSystem, OperatorOutputIsMaskedAndContinuous) {
+  const sem::Mesh mesh = make_mesh(2, sem::Deformation::kSine);
+  const PoissonSystem system(mesh);
+  const std::size_t n = system.n_local();
+  aligned_vector<double> u(n), w(n);
+  SplitMix64 rng(11);
+  for (double& v : u) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  system.apply(std::span<const double>(u.data(), n), std::span<double>(w.data(), n));
+  // Masked DOFs are zero.
+  for (std::size_t p = 0; p < n; ++p) {
+    if (system.mask()[p] == 0.0) {
+      ASSERT_DOUBLE_EQ(w[p], 0.0);
+    }
+  }
+  // Continuity: shared DOFs agree.
+  std::vector<double> value(system.gs().n_global(), 0.0);
+  std::vector<char> seen(system.gs().n_global(), 0);
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto id = static_cast<std::size_t>(system.gs().ids()[p]);
+    if (seen[id] == 0) {
+      value[id] = w[p];
+      seen[id] = 1;
+    } else {
+      ASSERT_DOUBLE_EQ(w[p], value[id]);
+    }
+  }
+}
+
+class SystemSymmetry : public ::testing::TestWithParam<sem::Deformation> {};
+
+TEST_P(SystemSymmetry, AssembledOperatorIsSymmetricInWeightedDot) {
+  const sem::Mesh mesh = make_mesh(3, GetParam());
+  const PoissonSystem system(mesh);
+  const std::size_t n = system.n_local();
+  aligned_vector<double> u(n), v(n), au(n), av(n);
+  // Build continuous masked inputs.
+  SplitMix64 rng(13);
+  std::vector<double> gu(system.gs().n_global()), gv(system.gs().n_global());
+  for (std::size_t i = 0; i < gu.size(); ++i) {
+    gu[i] = rng.uniform(-1.0, 1.0);
+    gv[i] = rng.uniform(-1.0, 1.0);
+  }
+  system.gs().gather(gu, std::span<double>(u.data(), n));
+  system.gs().gather(gv, std::span<double>(v.data(), n));
+  for (std::size_t p = 0; p < n; ++p) {
+    u[p] *= system.mask()[p];
+    v[p] *= system.mask()[p];
+  }
+  system.apply(std::span<const double>(u.data(), n), std::span<double>(au.data(), n));
+  system.apply(std::span<const double>(v.data(), n), std::span<double>(av.data(), n));
+  const double uav = system.weighted_dot(std::span<const double>(u.data(), n),
+                                         std::span<const double>(av.data(), n));
+  const double vau = system.weighted_dot(std::span<const double>(v.data(), n),
+                                         std::span<const double>(au.data(), n));
+  EXPECT_NEAR(uav, vau, 1e-9 * std::max(1.0, std::abs(uav)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Deformations, SystemSymmetry,
+                         ::testing::Values(sem::Deformation::kNone,
+                                           sem::Deformation::kSine,
+                                           sem::Deformation::kTwist));
+
+TEST(PoissonSystem, JacobiDiagonalIsPositive) {
+  const sem::Mesh mesh = make_mesh(4, sem::Deformation::kSine);
+  const PoissonSystem system(mesh);
+  for (double d : system.jacobi_diagonal()) {
+    ASSERT_GT(d, 0.0);
+  }
+}
+
+TEST(PoissonSystem, RhsAssemblyMatchesQuadrature) {
+  // For f = 1 the assembled rhs at an interior DOF is its total mass
+  // (sum of w|J| over all local copies).
+  const sem::Mesh mesh = make_mesh(2);
+  const PoissonSystem system(mesh);
+  const std::size_t n = system.n_local();
+  aligned_vector<double> f(n, 1.0), b(n);
+  system.assemble_rhs(std::span<const double>(f.data(), n), std::span<double>(b.data(), n));
+
+  aligned_vector<double> mass_sum(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    mass_sum[p] = system.geom().mass[p];
+  }
+  system.gs().qqt(std::span<double>(mass_sum.data(), n));
+  for (std::size_t p = 0; p < n; ++p) {
+    if (system.mask()[p] != 0.0) {
+      ASSERT_NEAR(b[p], mass_sum[p], 1e-13);
+    } else {
+      ASSERT_DOUBLE_EQ(b[p], 0.0);
+    }
+  }
+}
+
+TEST(PoissonSystem, CustomLocalOperatorIsUsed) {
+  const sem::Mesh mesh = make_mesh(2);
+  PoissonSystem system(mesh);
+  bool called = false;
+  system.set_local_operator([&called](std::span<const double> u, std::span<double> w) {
+    called = true;
+    for (std::size_t p = 0; p < w.size(); ++p) {
+      w[p] = 2.0 * u[p];
+    }
+  });
+  const std::size_t n = system.n_local();
+  aligned_vector<double> u(n, 1.0), w(n);
+  system.apply(std::span<const double>(u.data(), n), std::span<double>(w.data(), n));
+  EXPECT_TRUE(called);
+}
+
+TEST(PoissonSystem, SampleEvaluatesCoordinates) {
+  const sem::Mesh mesh = make_mesh(2);
+  const PoissonSystem system(mesh);
+  const std::size_t n = system.n_local();
+  aligned_vector<double> s(n);
+  system.sample([](double x, double y, double z) { return x + 10.0 * y + 100.0 * z; },
+                std::span<double>(s.data(), n));
+  for (std::size_t p = 0; p < n; ++p) {
+    const double expected =
+        mesh.x()[p] + 10.0 * mesh.y()[p] + 100.0 * mesh.z()[p];
+    ASSERT_DOUBLE_EQ(s[p], expected);
+  }
+}
+
+}  // namespace
+}  // namespace semfpga::solver
