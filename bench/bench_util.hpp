@@ -1,0 +1,62 @@
+#pragma once
+/// \file bench_util.hpp
+/// Shared helpers for the CPU-side Ax benchmarks: synthetic operand setup
+/// and the warm-up-then-repeat timing protocol.  Kept in one place so
+/// cpu_microbench and opt_ladder measure with an identical protocol and
+/// their numbers stay comparable.
+
+#include <cstddef>
+
+#include "common/aligned.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "kernels/ax_dispatch.hpp"
+#include "sem/reference_element.hpp"
+
+namespace semfpga::bench {
+
+/// Synthetic element-shaped operands (mesh validity is irrelevant to FLOPs).
+struct AxOperands {
+  AxOperands(int degree, std::size_t n_elements) : ref(degree) {
+    const std::size_t ppe = ref.points_per_element();
+    const std::size_t n = n_elements * ppe;
+    u.resize(n);
+    w.assign(n, 0.0);
+    g.resize(n * sem::kGeomComponents);
+    SplitMix64 rng(7);
+    for (double& v : u) {
+      v = rng.uniform(-1.0, 1.0);
+    }
+    for (double& v : g) {
+      v = rng.uniform(0.1, 1.0);
+    }
+    args.u = u;
+    args.w = w;
+    args.g = g;
+    args.dx = std::span<const double>(ref.deriv().d.data(), ref.deriv().d.size());
+    args.dxt = std::span<const double>(ref.deriv().dt.data(), ref.deriv().dt.size());
+    args.n1d = ref.n1d();
+    args.n_elements = n_elements;
+  }
+  sem::ReferenceElement ref;
+  aligned_vector<double> u, w, g;
+  kernels::AxArgs args;
+};
+
+/// Times one (variant, threads) configuration: one untimed warm-up apply
+/// (pages, caches, OpenMP pool), then repeat until `min_time` accumulates;
+/// returns mean seconds per apply.
+inline double time_apply(kernels::AxVariant variant, const kernels::AxArgs& args,
+                         int threads, double min_time) {
+  const kernels::AxExecPolicy policy{threads};
+  kernels::ax_run(variant, args, policy);
+  Timer timer;
+  int iters = 0;
+  do {
+    kernels::ax_run(variant, args, policy);
+    ++iters;
+  } while (timer.seconds() < min_time);
+  return timer.seconds() / iters;
+}
+
+}  // namespace semfpga::bench

@@ -1,158 +1,173 @@
-/// Host-CPU microbenchmarks of the Ax kernel variants (google-benchmark).
-/// This is the "Nekbone CPU reference" leg of the evaluation, runnable on
-/// whatever CPU hosts this repository; absolute numbers will differ from
-/// the paper's Xeon/i9/ThunderX2, the variant ordering and the
-/// degree-dependence are the point.
+/// Host-CPU microbenchmark of the Ax execution engine: variant x
+/// thread-count sweep over the paper's degrees.  This is the "Nekbone CPU
+/// reference" leg of the evaluation, runnable on whatever CPU hosts this
+/// repository; absolute numbers differ from the paper's Xeon/i9/ThunderX2,
+/// the variant ordering and the scaling are the point.
+///
+/// Usage:
+///   cpu_microbench [--degrees 3,7,9] [--elements 512] [--threads 1,2,4]
+///                  [--min-time 0.2] [--json BENCH_cpu.json] [--smoke]
+///
+/// Every (variant, degree, threads) cell reports seconds per apply,
+/// GFLOP/s, speedup over the serial reference kernel, and the maximum
+/// relative deviation from ax_reference on the same operands (a live
+/// parity check: anything above ~1e-12 is a bug, not noise).
+/// --json writes the whole sweep as a machine-readable report
+/// (see BENCH_cpu.json at the repository root for the checked-in format);
+/// --smoke shrinks the sweep to a few-second perf-regression canary.
 
-#include <benchmark/benchmark.h>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
 
-#include "common/aligned.hpp"
-#include "common/rng.hpp"
-#include "kernels/ax.hpp"
-#include "kernels/helmholtz.hpp"
-#include "sem/geometry.hpp"
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/parallel.hpp"
 
 namespace semfpga {
 namespace {
 
-/// Synthetic element-shaped operands (mesh validity is irrelevant to FLOPs).
-struct BenchData {
-  BenchData(int degree, std::size_t n_elements) : ref(degree) {
-    const std::size_t ppe = ref.points_per_element();
-    const std::size_t n = n_elements * ppe;
-    u.resize(n);
-    w.assign(n, 0.0);
-    g.resize(n * sem::kGeomComponents);
-    mass.resize(n);
-    SplitMix64 rng(7);
-    for (double& v : u) {
-      v = rng.uniform(-1.0, 1.0);
-    }
-    for (double& v : g) {
-      v = rng.uniform(0.1, 1.0);
-    }
-    for (double& v : mass) {
-      v = rng.uniform(0.1, 1.0);
-    }
-    args.u = u;
-    args.w = w;
-    args.g = g;
-    args.dx = std::span<const double>(ref.deriv().d.data(), ref.deriv().d.size());
-    args.dxt = std::span<const double>(ref.deriv().dt.data(), ref.deriv().dt.size());
-    args.n1d = ref.n1d();
-    args.n_elements = n_elements;
-  }
-  sem::ReferenceElement ref;
-  aligned_vector<double> u, w, g, mass;
-  kernels::AxArgs args;
+struct Cell {
+  std::string variant;
+  int degree = 0;
+  int n1d = 0;
+  std::size_t elements = 0;
+  int threads = 0;
+  double seconds = 0.0;
+  double gflops = 0.0;
+  double speedup = 0.0;      ///< vs serial reference at the same degree
+  double max_rel_err = 0.0;  ///< vs ax_reference on identical operands
 };
 
-/// Elements chosen so each degree touches ~16 MB (out-of-cache streaming).
-std::size_t elements_for(int degree) {
-  const std::size_t ppe = static_cast<std::size_t>(degree + 1) * (degree + 1) *
-                          (degree + 1);
-  return std::max<std::size_t>(8, (16u << 20) / (8 * ppe * 8));
-}
-
-void report(benchmark::State& state, int n1d, std::size_t n_elements) {
-  const double flops = static_cast<double>(kernels::ax_flops(n1d, n_elements));
-  state.counters["GFLOP/s"] = benchmark::Counter(
-      flops * static_cast<double>(state.iterations()) / 1e9,
-      benchmark::Counter::kIsRate);
-  state.counters["DOFs"] = static_cast<double>(n_elements) * n1d * n1d * n1d;
-}
-
-void BM_AxReference(benchmark::State& state) {
-  const int degree = static_cast<int>(state.range(0));
-  BenchData data(degree, elements_for(degree));
-  for (auto _ : state) {
-    kernels::ax_reference(data.args);
-    benchmark::DoNotOptimize(data.w.data());
+double max_rel_err(std::span<const double> got, std::span<const double> want) {
+  double scale = 0.0;
+  for (const double v : want) {
+    scale = std::max(scale, std::abs(v));
   }
-  report(state, data.args.n1d, data.args.n_elements);
-}
-BENCHMARK(BM_AxReference)->Arg(3)->Arg(7)->Arg(11)->Arg(15);
-
-void BM_AxFixed(benchmark::State& state) {
-  const int degree = static_cast<int>(state.range(0));
-  BenchData data(degree, elements_for(degree));
-  for (auto _ : state) {
-    kernels::ax_fixed(data.args);
-    benchmark::DoNotOptimize(data.w.data());
+  double err = 0.0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    err = std::max(err, std::abs(got[i] - want[i]));
   }
-  report(state, data.args.n1d, data.args.n_elements);
+  return scale > 0.0 ? err / scale : err;
 }
-BENCHMARK(BM_AxFixed)->Arg(1)->Arg(3)->Arg(5)->Arg(7)->Arg(9)->Arg(11)->Arg(13)->Arg(15);
 
-void BM_AxMxm(benchmark::State& state) {
-  const int degree = static_cast<int>(state.range(0));
-  BenchData data(degree, elements_for(degree));
-  for (auto _ : state) {
-    kernels::ax_mxm(data.args);
-    benchmark::DoNotOptimize(data.w.data());
-  }
-  report(state, data.args.n1d, data.args.n_elements);
-}
-BENCHMARK(BM_AxMxm)->Arg(3)->Arg(7)->Arg(11)->Arg(15);
-
-void BM_AxSoa(benchmark::State& state) {
-  const int degree = static_cast<int>(state.range(0));
-  BenchData data(degree, elements_for(degree));
-  // Split the interleaved factors once, outside the timed region.
-  const std::size_t n = data.u.size();
-  std::array<aligned_vector<double>, sem::kGeomComponents> split;
-  for (int c = 0; c < sem::kGeomComponents; ++c) {
-    auto& v = split[static_cast<std::size_t>(c)];
-    v.resize(n);
-    for (std::size_t p = 0; p < n; ++p) {
-      v[p] = data.g[p * sem::kGeomComponents + c];
+std::vector<int> parse_int_list(const std::string& flag, const std::string& csv) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok = csv.substr(pos, comma == std::string::npos ? csv.size() - pos
+                                                                       : comma - pos);
+    if (!tok.empty()) {
+      try {
+        out.push_back(std::stoi(tok));
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "--%s: '%s' is not an integer\n", flag.c_str(),
+                     tok.c_str());
+        std::exit(2);
+      }
     }
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
   }
-  kernels::AxSoaArgs soa;
-  soa.u = data.u;
-  soa.w = data.w;
-  for (int c = 0; c < sem::kGeomComponents; ++c) {
-    soa.g[static_cast<std::size_t>(c)] = split[static_cast<std::size_t>(c)];
+  if (out.empty()) {
+    std::fprintf(stderr, "--%s: expected a comma-separated integer list\n", flag.c_str());
+    std::exit(2);
   }
-  soa.dx = data.args.dx;
-  soa.dxt = data.args.dxt;
-  soa.n1d = data.args.n1d;
-  soa.n_elements = data.args.n_elements;
-  for (auto _ : state) {
-    kernels::ax_soa(soa);
-    benchmark::DoNotOptimize(data.w.data());
-  }
-  report(state, data.args.n1d, data.args.n_elements);
+  return out;
 }
-BENCHMARK(BM_AxSoa)->Arg(7)->Arg(15);
 
-void BM_AxOmp(benchmark::State& state) {
-  const int degree = static_cast<int>(state.range(0));
-  BenchData data(degree, elements_for(degree));
-  for (auto _ : state) {
-    kernels::ax_omp(data.args);
-    benchmark::DoNotOptimize(data.w.data());
+void write_json(std::FILE* f, const std::vector<Cell>& cells, std::size_t elements,
+                double min_time) {
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"cpu_microbench\",\n");
+  std::fprintf(f, "  \"elements\": %zu,\n", elements);
+  std::fprintf(f, "  \"min_time_s\": %g,\n", min_time);
+  std::fprintf(f, "  \"hardware_threads\": %d,\n", hardware_threads());
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(f,
+                 "    {\"variant\": \"%s\", \"degree\": %d, \"n1d\": %d, "
+                 "\"elements\": %zu, \"threads\": %d, \"seconds_per_apply\": %.6e, "
+                 "\"gflops\": %.3f, \"speedup_vs_reference\": %.3f, "
+                 "\"max_rel_err_vs_reference\": %.3e}%s\n",
+                 c.variant.c_str(), c.degree, c.n1d, c.elements, c.threads, c.seconds,
+                 c.gflops, c.speedup, c.max_rel_err, i + 1 < cells.size() ? "," : "");
   }
-  report(state, data.args.n1d, data.args.n_elements);
+  std::fprintf(f, "  ]\n}\n");
 }
-BENCHMARK(BM_AxOmp)->Arg(7)->Arg(15);
-
-void BM_Helmholtz(benchmark::State& state) {
-  const int degree = static_cast<int>(state.range(0));
-  BenchData data(degree, elements_for(degree));
-  kernels::HelmholtzArgs h;
-  h.ax = data.args;
-  h.mass = data.mass;
-  h.lambda = 1.0;
-  for (auto _ : state) {
-    kernels::helmholtz_reference(h);
-    benchmark::DoNotOptimize(data.w.data());
-  }
-  report(state, data.args.n1d, data.args.n_elements);
-}
-BENCHMARK(BM_Helmholtz)->Arg(7)->Arg(15);
 
 }  // namespace
 }  // namespace semfpga
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace semfpga;
+  const Cli cli(argc, argv);
+
+  const bool smoke = cli.has("smoke");
+  std::vector<int> degrees =
+      parse_int_list("degrees", cli.get("degrees", smoke ? "7" : "3,7,9"));
+  std::vector<int> threads =
+      parse_int_list("threads", cli.get("threads", smoke ? "1" : "1,2,4"));
+  const std::size_t elements =
+      static_cast<std::size_t>(cli.get_int("elements", smoke ? 64 : 512));
+  const double min_time = cli.get_double("min-time", smoke ? 0.05 : 0.2);
+
+  std::vector<Cell> cells;
+  std::printf("# cpu_microbench: %zu elements, %d hardware threads\n", elements,
+              hardware_threads());
+  std::printf("%-12s %3s %3s %8s %12s %9s %9s %12s\n", "variant", "N", "thr",
+              "elements", "s/apply", "GFLOP/s", "speedup", "max-rel-err");
+
+  for (const int degree : degrees) {
+    bench::AxOperands data(degree, elements);
+    const double flops = static_cast<double>(kernels::ax_flops(data.args.n1d, elements));
+
+    // Serial reference: the baseline every cell is normalised against, and
+    // the parity oracle for every other variant.
+    const double ref_seconds =
+        bench::time_apply(kernels::AxVariant::kReference, data.args, 1, min_time);
+    const aligned_vector<double> w_ref = data.w;
+
+    for (const kernels::AxVariant variant : kernels::kAllAxVariants) {
+      for (const int t : threads) {
+        const bool is_baseline = variant == kernels::AxVariant::kReference && t == 1;
+        Cell cell;
+        cell.variant = kernels::ax_variant_name(variant);
+        cell.degree = degree;
+        cell.n1d = data.args.n1d;
+        cell.elements = elements;
+        cell.threads = t;
+        cell.seconds = is_baseline ? ref_seconds
+                                   : bench::time_apply(variant, data.args, t, min_time);
+        cell.gflops = flops / cell.seconds / 1e9;
+        cell.speedup = ref_seconds / cell.seconds;
+        cell.max_rel_err =
+            is_baseline ? 0.0
+                        : max_rel_err(data.w, std::span<const double>(w_ref.data(),
+                                                                      w_ref.size()));
+        std::printf("%-12s %3d %3d %8zu %12.3e %9.2f %8.2fx %12.3e\n",
+                    cell.variant.c_str(), cell.degree, cell.threads, cell.elements,
+                    cell.seconds, cell.gflops, cell.speedup, cell.max_rel_err);
+        cells.push_back(cell);
+      }
+    }
+  }
+
+  if (cli.has("json")) {
+    const std::string path = cli.get("json", "BENCH_cpu.json");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return 1;
+    }
+    write_json(f, cells, elements, min_time);
+    std::fclose(f);
+    std::printf("# wrote %s\n", path.c_str());
+  }
+  return 0;
+}

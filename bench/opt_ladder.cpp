@@ -1,19 +1,43 @@
 /// Reproduces the Section III optimization narrative: baseline ->
 /// ILP+locality -> forced II=1 -> banked memory, at N = 7 (and any other
-/// degree via --degree).  Usage: opt_ladder [--csv] [--degree N]
+/// degree via --degree) — and sets the analogous *measured* CPU ladder
+/// (reference -> mxm -> mxm_blocked -> fixed -> fixed x threads) next to
+/// it, so the FPGA model is always projected against what this host
+/// actually sustains.
+///
+/// Usage: opt_ladder [--csv] [--json ladder.json] [--degree N]
+///                   [--elements 4096] [--threads 4] [--no-cpu]
 
+#include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "common/cli.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "fpga/accelerator.hpp"
 
 using namespace semfpga;
 
+namespace {
+
+struct CpuRung {
+  std::string name;
+  kernels::AxVariant variant;
+  int threads;
+  double seconds = 0.0;
+  double gflops = 0.0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const int degree = static_cast<int>(cli.get_int("degree", 7));
   const auto elements = static_cast<std::size_t>(cli.get_int("elements", 4096));
+  const int sweep_threads = static_cast<int>(cli.get_int("threads", 4));
 
   Table table("Section III optimization ladder, N = " + std::to_string(degree) + ", " +
               std::to_string(elements) + " elements");
@@ -23,18 +47,20 @@ int main(int argc, char** argv) {
   struct Stage {
     const char* name;
     fpga::KernelConfig config;
+    fpga::RunStats stats;
   };
-  const Stage stages[4] = {
-      {"III-A baseline", fpga::KernelConfig::baseline(degree)},
-      {"III-B ILP + locality", fpga::KernelConfig::locality(degree)},
-      {"III-C #pragma ii 1", fpga::KernelConfig::ii1(degree)},
-      {"III-D banked memory", fpga::KernelConfig::banked(degree)},
+  Stage stages[4] = {
+      {"III-A baseline", fpga::KernelConfig::baseline(degree), {}},
+      {"III-B ILP + locality", fpga::KernelConfig::locality(degree), {}},
+      {"III-C #pragma ii 1", fpga::KernelConfig::ii1(degree), {}},
+      {"III-D banked memory", fpga::KernelConfig::banked(degree), {}},
   };
 
   double baseline_gflops = 0.0;
   for (int i = 0; i < 4; ++i) {
     const fpga::SemAccelerator acc(fpga::stratix10_gx2800(), stages[i].config);
-    const fpga::RunStats s = acc.estimate_steady(elements);
+    stages[i].stats = acc.estimate_steady(elements);
+    const fpga::RunStats& s = stages[i].stats;
     if (i == 0) {
       baseline_gflops = s.gflops;
     }
@@ -47,11 +73,80 @@ int main(int argc, char** argv) {
                    Table::fmt(paper, 3)});
   }
 
+  // --- Measured CPU ladder: the host-side analogue of the same narrative --
+  std::vector<CpuRung> cpu_rungs;
+  if (!cli.has("no-cpu")) {
+    cpu_rungs = {
+        {"reference (serial)", kernels::AxVariant::kReference, 1},
+        {"mxm", kernels::AxVariant::kMxm, 1},
+        {"mxm_blocked", kernels::AxVariant::kMxmBlocked, 1},
+        {"fixed", kernels::AxVariant::kFixed, 1},
+        {"fixed x" + std::to_string(sweep_threads) + " threads",
+         kernels::AxVariant::kFixed, sweep_threads},
+    };
+
+    bench::AxOperands data(degree, elements);
+    const double flops = static_cast<double>(kernels::ax_flops(data.args.n1d, elements));
+    for (CpuRung& rung : cpu_rungs) {
+      rung.seconds = bench::time_apply(rung.variant, data.args, rung.threads, 0.2);
+      rung.gflops = flops / rung.seconds / 1e9;
+    }
+  }
+
+  if (cli.has("json")) {
+    const std::string path = cli.get("json", "ladder.json");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"opt_ladder\",\n  \"degree\": %d,\n", degree);
+    std::fprintf(f, "  \"elements\": %zu,\n  \"hardware_threads\": %d,\n", elements,
+                 hardware_threads());
+    std::fprintf(f, "  \"fpga_model\": [\n");
+    for (int i = 0; i < 4; ++i) {
+      const double paper = fpga::paper_opt_ladder()[static_cast<std::size_t>(i)].gflops;
+      std::fprintf(f,
+                   "    {\"stage\": \"%s\", \"gflops\": %.3f, \"dof_per_cycle\": %.3f, "
+                   "\"paper_gflops_n7\": %.3f}%s\n",
+                   stages[i].name, stages[i].stats.gflops, stages[i].stats.dofs_per_cycle,
+                   paper, i < 3 ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"cpu_measured\": [\n");
+    for (std::size_t i = 0; i < cpu_rungs.size(); ++i) {
+      const CpuRung& r = cpu_rungs[i];
+      std::fprintf(f,
+                   "    {\"stage\": \"%s\", \"variant\": \"%s\", \"threads\": %d, "
+                   "\"seconds_per_apply\": %.6e, \"gflops\": %.3f, \"speedup\": %.3f}%s\n",
+                   r.name.c_str(), kernels::ax_variant_name(r.variant), r.threads,
+                   r.seconds, r.gflops, r.gflops / cpu_rungs.front().gflops,
+                   i + 1 < cpu_rungs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+  }
+
   if (cli.has("csv")) {
     table.print_csv(std::cout);
   } else {
     table.print_text(std::cout);
     std::cout << "\nPaper narrative (N=7): 0.025 -> ~10 (400x) -> ~60 -> 109 GFLOP/s.\n";
+  }
+
+  if (!cpu_rungs.empty()) {
+    Table cpu_table("Measured CPU ladder on this host (same operand shapes)");
+    cpu_table.set_header({"Stage", "s/apply", "GFLOP/s", "speedup vs reference"});
+    for (const CpuRung& r : cpu_rungs) {
+      cpu_table.add_row({r.name, Table::fmt(r.seconds, 6), Table::fmt(r.gflops, 2),
+                         Table::fmt(r.gflops / cpu_rungs.front().gflops, 2) + "x"});
+    }
+    if (cli.has("csv")) {
+      cpu_table.print_csv(std::cout);
+    } else {
+      cpu_table.print_text(std::cout);
+    }
   }
   return 0;
 }

@@ -5,11 +5,15 @@
 /// the solver.
 ///
 /// Usage: nekbone_proxy [--degree 7] [--nel 8] [--iters 100] [--fpga]
+///                      [--threads 1] [--variant fixed]
+/// --threads 0 uses every hardware thread; --variant picks the Ax schedule
+/// (reference | mxm | mxm_blocked | fixed).
 
 #include <cstdio>
 
 #include "common/cli.hpp"
 #include "fpga/accelerator.hpp"
+#include "kernels/ax_dispatch.hpp"
 #include "solver/nekbone.hpp"
 
 int main(int argc, char** argv) {
@@ -20,6 +24,8 @@ int main(int argc, char** argv) {
   config.degree = static_cast<int>(cli.get_int("degree", 7));
   config.nelx = config.nely = config.nelz = static_cast<int>(cli.get_int("nel", 8));
   config.cg_iterations = static_cast<int>(cli.get_int("iters", 100));
+  config.threads = static_cast<int>(cli.get_int("threads", 1));
+  config.ax_variant = kernels::parse_ax_variant(cli.get("variant", "fixed"));
 
   const solver::NekboneResult result = solver::run_nekbone(config);
   std::printf("%s\n", solver::format_result(config, result).c_str());

@@ -1,0 +1,115 @@
+#pragma once
+/// \file parallel.hpp
+/// Thread-parallel execution helpers for the host hot path.
+///
+/// The paper's CPU baseline runs Nekbone one-MPI-rank-per-core; here the
+/// same element-level parallelism is expressed with OpenMP threads.  Two
+/// primitives cover every hot loop in the repository:
+///
+///  * parallel_for     — a static-schedule loop over [0, n)
+///  * chunked_reduce   — a sum reduction with a *fixed* chunk decomposition,
+///                       so the result is bitwise identical for any thread
+///                       count (partials are combined serially in chunk
+///                       order).  This keeps CG iteration counts and
+///                       residual histories independent of --threads.
+///
+/// Thread-count convention used across the library: 1 = serial, k > 1 = k
+/// OpenMP threads, 0 = all hardware threads.  Without OpenMP every call
+/// degrades to the serial loop.
+
+#include <cstddef>
+#include <vector>
+
+#if defined(SEMFPGA_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace semfpga {
+
+/// Threads available to OpenMP (1 when built without OpenMP).
+[[nodiscard]] inline int hardware_threads() noexcept {
+#if defined(SEMFPGA_HAVE_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Maps the 0-means-everything convention to a concrete positive count.
+[[nodiscard]] inline int resolve_threads(int requested) noexcept {
+  return requested > 0 ? requested : hardware_threads();
+}
+
+/// Runs fn(i) for i in [0, n), statically partitioned over `threads`.
+template <class Fn>
+void parallel_for(std::size_t n, int threads, Fn&& fn) {
+#if defined(SEMFPGA_HAVE_OPENMP)
+  const int t = resolve_threads(threads);
+  if (t > 1 && n > 1) {
+#pragma omp parallel for schedule(static) num_threads(t)
+    for (long long i = 0; i < static_cast<long long>(n); ++i) {
+      fn(static_cast<std::size_t>(i));
+    }
+    return;
+  }
+#else
+  (void)threads;
+#endif
+  for (std::size_t i = 0; i < n; ++i) {
+    fn(i);
+  }
+}
+
+/// Partitions [0, n) into `parts` near-equal contiguous ranges and runs
+/// fn(part_index, begin, end) for each in parallel.  Used where each worker
+/// wants private scratch amortised over a whole block of iterations.
+template <class Fn>
+void parallel_blocks(std::size_t n, int threads, Fn&& fn) {
+  const int t = resolve_threads(threads);
+  const std::size_t parts = static_cast<std::size_t>(t) < n ? static_cast<std::size_t>(t)
+                                                            : (n > 0 ? n : 1);
+  parallel_for(parts, threads, [&](std::size_t p) {
+    const std::size_t begin = n * p / parts;
+    const std::size_t end = n * (p + 1) / parts;
+    if (begin < end) {
+      fn(p, begin, end);
+    }
+  });
+}
+
+/// Fixed chunk length of chunked_reduce; independent of the thread count so
+/// reductions are deterministic under re-threading.
+inline constexpr std::size_t kReductionChunk = 4096;
+
+/// Sum reduction over [0, n): chunk_fn(begin, end) returns the partial sum
+/// of one fixed-size chunk; partials are accumulated serially in chunk
+/// order.  The chunk bodies may also update vectors (fused axpy+dot passes).
+template <class ChunkFn>
+[[nodiscard]] double chunked_reduce(std::size_t n, int threads, ChunkFn&& chunk_fn) {
+  if (n == 0) {
+    return 0.0;
+  }
+  const std::size_t n_chunks = (n + kReductionChunk - 1) / kReductionChunk;
+  if (n_chunks == 1 || resolve_threads(threads) <= 1) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      const std::size_t begin = c * kReductionChunk;
+      const std::size_t end = begin + kReductionChunk < n ? begin + kReductionChunk : n;
+      acc += chunk_fn(begin, end);
+    }
+    return acc;
+  }
+  std::vector<double> partial(n_chunks);
+  parallel_for(n_chunks, threads, [&](std::size_t c) {
+    const std::size_t begin = c * kReductionChunk;
+    const std::size_t end = begin + kReductionChunk < n ? begin + kReductionChunk : n;
+    partial[c] = chunk_fn(begin, end);
+  });
+  double acc = 0.0;
+  for (const double p : partial) {
+    acc += p;
+  }
+  return acc;
+}
+
+}  // namespace semfpga

@@ -3,6 +3,8 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "kernels/ax_dispatch.hpp"
+#include "kernels/ax_internal.hpp"
 
 namespace semfpga::kernels {
 namespace {
@@ -59,6 +61,22 @@ inline void ax_element_body(const double* u, double* w, const double* g,
 
 }  // namespace
 
+namespace detail {
+
+void ax_reference_range(const AxArgs& args, std::size_t e_begin, std::size_t e_end) {
+  const std::size_t ppe = static_cast<std::size_t>(args.n1d) * args.n1d * args.n1d;
+  std::vector<double> shur(ppe);
+  std::vector<double> shus(ppe);
+  std::vector<double> shut(ppe);
+  for (std::size_t e = e_begin; e < e_end; ++e) {
+    ax_element_body(args.u.data() + e * ppe, args.w.data() + e * ppe,
+                    args.g.data() + e * ppe * sem::kGeomComponents, args.dx.data(),
+                    args.dxt.data(), args.n1d, shur.data(), shus.data(), shut.data());
+  }
+}
+
+}  // namespace detail
+
 void AxArgs::validate() const {
   SEMFPGA_CHECK(n1d >= 2, "n1d must be at least 2 (degree >= 1)");
   const std::size_t ppe = static_cast<std::size_t>(n1d) * n1d * n1d;
@@ -85,15 +103,7 @@ void AxSoaArgs::validate() const {
 
 void ax_reference(const AxArgs& args) {
   args.validate();
-  const std::size_t ppe = static_cast<std::size_t>(args.n1d) * args.n1d * args.n1d;
-  std::vector<double> shur(ppe);
-  std::vector<double> shus(ppe);
-  std::vector<double> shut(ppe);
-  for (std::size_t e = 0; e < args.n_elements; ++e) {
-    ax_element_body(args.u.data() + e * ppe, args.w.data() + e * ppe,
-                    args.g.data() + e * ppe * sem::kGeomComponents, args.dx.data(),
-                    args.dxt.data(), args.n1d, shur.data(), shus.data(), shut.data());
-  }
+  detail::ax_reference_range(args, 0, args.n_elements);
 }
 
 void ax_soa(const AxSoaArgs& args) {
@@ -151,25 +161,7 @@ void ax_soa(const AxSoaArgs& args) {
 }
 
 void ax_omp(const AxArgs& args) {
-  args.validate();
-  const std::size_t ppe = static_cast<std::size_t>(args.n1d) * args.n1d * args.n1d;
-#if defined(SEMFPGA_HAVE_OPENMP)
-#pragma omp parallel
-  {
-    std::vector<double> shur(ppe);
-    std::vector<double> shus(ppe);
-    std::vector<double> shut(ppe);
-#pragma omp for schedule(static)
-    for (long long e = 0; e < static_cast<long long>(args.n_elements); ++e) {
-      const std::size_t eo = static_cast<std::size_t>(e) * ppe;
-      ax_element_body(args.u.data() + eo, args.w.data() + eo,
-                      args.g.data() + eo * sem::kGeomComponents, args.dx.data(),
-                      args.dxt.data(), args.n1d, shur.data(), shus.data(), shut.data());
-    }
-  }
-#else
-  ax_reference(args);
-#endif
+  ax_run(AxVariant::kReference, args, AxExecPolicy{/*threads=*/0});
 }
 
 void ax_single_element(const sem::ReferenceElement& ref, const sem::GeomFactors& gf,

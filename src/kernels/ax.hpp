@@ -58,12 +58,14 @@ void ax_reference(const AxArgs& args);
 /// Structure-of-arrays geometric factors; otherwise identical math.
 void ax_soa(const AxSoaArgs& args);
 
-/// OpenMP element-parallel variant (one MPI-rank-per-core in Nekbone maps
-/// to one thread per core here).  Falls back to ax_reference without OpenMP.
+/// OpenMP element-parallel reference body on all hardware threads — sugar
+/// for ax_run(AxVariant::kReference, args, {0}) (kernels/ax_dispatch.hpp).
+/// Bitwise equal to ax_reference; serial without OpenMP.
 void ax_omp(const AxArgs& args);
 
-/// Compile-time-dispatched variant: the inner contractions are unrolled for
-/// n1d in [2, 17]; out-of-range sizes fall back to ax_reference.
+/// Compile-time-dispatched variant: i-vectorised element body with the
+/// inner contractions unrolled for n1d in [2, 17] (ax_fixed_n1d<N1D>);
+/// out-of-range sizes fall back to the runtime-order body.
 void ax_fixed(const AxArgs& args);
 
 /// Nekbone-structured variant: local_grad3 / local_grad3_t expressed as

@@ -1,0 +1,78 @@
+#include "kernels/ax_dispatch.hpp"
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "kernels/ax_internal.hpp"
+
+namespace semfpga::kernels {
+
+const char* ax_variant_name(AxVariant variant) noexcept {
+  switch (variant) {
+    case AxVariant::kReference: return "reference";
+    case AxVariant::kMxm: return "mxm";
+    case AxVariant::kMxmBlocked: return "mxm_blocked";
+    case AxVariant::kFixed: return "fixed";
+  }
+  return "?";
+}
+
+AxVariant parse_ax_variant(const std::string& name) {
+  for (const AxVariant v : kAllAxVariants) {
+    if (name == ax_variant_name(v)) {
+      return v;
+    }
+  }
+  SEMFPGA_CHECK(false, "unknown Ax variant '" + name +
+                           "' (expected reference|mxm|mxm_blocked|fixed)");
+  return AxVariant::kReference;  // unreachable
+}
+
+void ax_run_range(AxVariant variant, const AxArgs& args, std::size_t e_begin,
+                  std::size_t e_end) {
+  switch (variant) {
+    case AxVariant::kReference:
+      detail::ax_reference_range(args, e_begin, e_end);
+      return;
+    case AxVariant::kMxm:
+      detail::ax_mxm_range(args, e_begin, e_end, /*blocked=*/false);
+      return;
+    case AxVariant::kMxmBlocked:
+      detail::ax_mxm_range(args, e_begin, e_end, /*blocked=*/true);
+      return;
+    case AxVariant::kFixed:
+      switch (args.n1d) {
+        case 2: ax_fixed_n1d<2>(args, e_begin, e_end); return;
+        case 3: ax_fixed_n1d<3>(args, e_begin, e_end); return;
+        case 4: ax_fixed_n1d<4>(args, e_begin, e_end); return;
+        case 5: ax_fixed_n1d<5>(args, e_begin, e_end); return;
+        case 6: ax_fixed_n1d<6>(args, e_begin, e_end); return;
+        case 7: ax_fixed_n1d<7>(args, e_begin, e_end); return;
+        case 8: ax_fixed_n1d<8>(args, e_begin, e_end); return;
+        case 9: ax_fixed_n1d<9>(args, e_begin, e_end); return;
+        case 10: ax_fixed_n1d<10>(args, e_begin, e_end); return;
+        case 11: ax_fixed_n1d<11>(args, e_begin, e_end); return;
+        case 12: ax_fixed_n1d<12>(args, e_begin, e_end); return;
+        case 13: ax_fixed_n1d<13>(args, e_begin, e_end); return;
+        case 14: ax_fixed_n1d<14>(args, e_begin, e_end); return;
+        case 15: ax_fixed_n1d<15>(args, e_begin, e_end); return;
+        case 16: ax_fixed_n1d<16>(args, e_begin, e_end); return;
+        case 17: ax_fixed_n1d<17>(args, e_begin, e_end); return;
+        default:
+          // Orders outside the instantiated range take the runtime-order body.
+          detail::ax_reference_range(args, e_begin, e_end);
+          return;
+      }
+  }
+}
+
+void ax_run(AxVariant variant, const AxArgs& args, const AxExecPolicy& policy) {
+  args.validate();
+  // Each worker runs one contiguous block of elements with private scratch;
+  // elements are independent, so any partitioning is bitwise equivalent.
+  parallel_blocks(args.n_elements, policy.threads,
+                  [&](std::size_t /*part*/, std::size_t begin, std::size_t end) {
+                    ax_run_range(variant, args, begin, end);
+                  });
+}
+
+}  // namespace semfpga::kernels

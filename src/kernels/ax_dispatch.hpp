@@ -1,0 +1,78 @@
+#pragma once
+/// \file ax_dispatch.hpp
+/// Batched execution engine for the Ax kernel variants.
+///
+/// The paper evaluates one schedule at a time (Section III's optimization
+/// ladder); the host needs the same thing as a runtime choice: pick a
+/// variant, pick a thread count, run it over the whole element batch.  This
+/// header is that seam — `ax_run` drives any variant either serially or
+/// element-parallel with per-worker scratch, and is what the solver, the
+/// benchmarks and the parity tests all call.
+///
+/// Variant ladder (slow to fast on CPU):
+///   kReference  — Listing 1 port, scalar loops (the correctness oracle)
+///   kMxm        — Nekbone's local_grad3 structure over naive mxm
+///   kMxmBlocked — same structure over the register-blocked mxm
+///   kFixed      — compile-time order dispatch, i-vectorised contractions
+///
+/// Element batches are embarrassingly parallel, so every variant produces
+/// bitwise identical results at any thread count.
+
+#include <array>
+#include <string>
+
+#include "kernels/ax.hpp"
+
+namespace semfpga::kernels {
+
+/// Which element body the execution engine runs.
+enum class AxVariant {
+  kReference,
+  kMxm,
+  kMxmBlocked,
+  kFixed,
+};
+
+inline constexpr std::array<AxVariant, 4> kAllAxVariants = {
+    AxVariant::kReference,
+    AxVariant::kMxm,
+    AxVariant::kMxmBlocked,
+    AxVariant::kFixed,
+};
+
+/// Stable lowercase name ("reference", "mxm", "mxm_blocked", "fixed").
+[[nodiscard]] const char* ax_variant_name(AxVariant variant) noexcept;
+
+/// Inverse of ax_variant_name; throws std::invalid_argument on unknown names.
+[[nodiscard]] AxVariant parse_ax_variant(const std::string& name);
+
+/// How ax_run executes the batch: 1 = serial, k > 1 = k OpenMP threads,
+/// 0 = all hardware threads.  Serial execution when built without OpenMP.
+struct AxExecPolicy {
+  int threads = 1;
+};
+
+/// Applies `variant` to the whole batch under `policy`.  All variants agree
+/// with ax_reference to ~1e-15 relative error (identical math, summation
+/// order differs per variant) and are individually deterministic for any
+/// thread count.
+void ax_run(AxVariant variant, const AxArgs& args, const AxExecPolicy& policy = {});
+
+/// Applies `variant` to the contiguous element range [e_begin, e_end) on
+/// the calling thread — the building block ax_run parallelises over.
+void ax_run_range(AxVariant variant, const AxArgs& args, std::size_t e_begin,
+                  std::size_t e_end);
+
+/// Smallest/largest polynomial-order template instantiation: n1d outside
+/// [kAxFixedMinN1d, kAxFixedMaxN1d] takes the runtime-order fallback.
+inline constexpr int kAxFixedMinN1d = 2;
+inline constexpr int kAxFixedMaxN1d = 17;
+
+/// Compile-time-order element batch: fully unrolled inner contractions,
+/// i-vectorised loads, for elements [e_begin, e_end).  Explicitly
+/// instantiated for N1D in [kAxFixedMinN1d, kAxFixedMaxN1d].
+/// \pre args.n1d == N1D.
+template <int N1D>
+void ax_fixed_n1d(const AxArgs& args, std::size_t e_begin, std::size_t e_end);
+
+}  // namespace semfpga::kernels

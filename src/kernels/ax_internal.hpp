@@ -1,0 +1,24 @@
+#pragma once
+/// \file ax_internal.hpp
+/// Element-range entry points of the Ax variant bodies.
+///
+/// Library-internal seam between the per-variant translation units and the
+/// execution engine (ax_dispatch.cpp): each function applies its variant to
+/// the contiguous element range [e_begin, e_end) on the calling thread,
+/// allocating its own scratch.  Arguments are assumed validated.
+
+#include <cstddef>
+
+#include "kernels/ax.hpp"
+
+namespace semfpga::kernels::detail {
+
+/// Listing-1 scalar body (ax.cpp).
+void ax_reference_range(const AxArgs& args, std::size_t e_begin, std::size_t e_end);
+
+/// Nekbone local_grad3 structure over naive or register-blocked mxm
+/// (ax_mxm.cpp).
+void ax_mxm_range(const AxArgs& args, std::size_t e_begin, std::size_t e_end,
+                  bool blocked);
+
+}  // namespace semfpga::kernels::detail

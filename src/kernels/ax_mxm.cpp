@@ -1,38 +1,58 @@
 #include <vector>
 
 #include "kernels/ax.hpp"
+#include "kernels/ax_internal.hpp"
 #include "kernels/mxm.hpp"
 
 namespace semfpga::kernels {
+namespace {
 
-/// Nekbone-structured Ax: local_grad3 (three mxm shapes), pointwise
-/// geometric contraction, local_grad3_t (three transposed mxm shapes).
-/// Mathematically identical to ax_reference; floating-point results differ
-/// only by summation order within each contraction.
-void ax_mxm(const AxArgs& args) {
-  args.validate();
+/// Nekbone-structured Ax over a contiguous element range: local_grad3
+/// (three mxm shapes), pointwise geometric contraction, local_grad3_t
+/// (three transposed mxm shapes).  `Blocked` routes the matrix products
+/// through the register-blocked mxm kernels; the two paths are bitwise
+/// identical (blocking only reorders rows across, not within, outputs).
+template <bool Blocked>
+void ax_mxm_range_impl(const AxArgs& args, std::size_t e_begin, std::size_t e_end) {
   const std::size_t n = static_cast<std::size_t>(args.n1d);
   const std::size_t n2 = n * n;
   const std::size_t ppe = n2 * n;
+
+  const auto product = [](const double* a, std::size_t n1, const double* b,
+                          std::size_t nn2, double* c, std::size_t n3) {
+    if constexpr (Blocked) {
+      mxm_blocked(a, n1, b, nn2, c, n3);
+    } else {
+      mxm(a, n1, b, nn2, c, n3);
+    }
+  };
+  const auto product_acc = [](const double* a, std::size_t n1, const double* b,
+                              std::size_t nn2, double* c, std::size_t n3) {
+    if constexpr (Blocked) {
+      mxm_blocked_acc(a, n1, b, nn2, c, n3);
+    } else {
+      mxm_acc(a, n1, b, nn2, c, n3);
+    }
+  };
 
   std::vector<double> ur(ppe);
   std::vector<double> us(ppe);
   std::vector<double> ut(ppe);
 
-  for (std::size_t e = 0; e < args.n_elements; ++e) {
+  for (std::size_t e = e_begin; e < e_end; ++e) {
     const double* u = args.u.data() + e * ppe;
     double* w = args.w.data() + e * ppe;
     const double* g = args.g.data() + e * ppe * sem::kGeomComponents;
 
     // --- local_grad3: ur = du/dr, us = du/ds, ut = du/dt ------------------
     // r-derivative: one (n^2 x n) * (n x n) product against D^T.
-    mxm(u, n2, args.dxt.data(), n, ur.data(), n);
+    product(u, n2, args.dxt.data(), n, ur.data(), n);
     // s-derivative: per-k slab (n x n) products with D on the left.
     for (std::size_t k = 0; k < n; ++k) {
-      mxm(args.dx.data(), n, u + k * n2, n, us.data() + k * n2, n);
+      product(args.dx.data(), n, u + k * n2, n, us.data() + k * n2, n);
     }
     // t-derivative: one (n x n) * (n x n^2) product with D on the left.
-    mxm(args.dx.data(), n, u, n, ut.data(), n2);
+    product(args.dx.data(), n, u, n, ut.data(), n2);
 
     // --- geometric contraction, in place --------------------------------
     for (std::size_t p = 0; p < ppe; ++p) {
@@ -46,12 +66,32 @@ void ax_mxm(const AxArgs& args) {
     }
 
     // --- local_grad3_t: w = D_r^T ur + D_s^T us + D_t^T ut ----------------
-    mxm(ur.data(), n2, args.dx.data(), n, w, n);
+    product(ur.data(), n2, args.dx.data(), n, w, n);
     for (std::size_t k = 0; k < n; ++k) {
-      mxm_acc(args.dxt.data(), n, us.data() + k * n2, n, w + k * n2, n);
+      product_acc(args.dxt.data(), n, us.data() + k * n2, n, w + k * n2, n);
     }
-    mxm_acc(args.dxt.data(), n, ut.data(), n, w, n2);
+    product_acc(args.dxt.data(), n, ut.data(), n, w, n2);
   }
+}
+
+}  // namespace
+
+namespace detail {
+
+void ax_mxm_range(const AxArgs& args, std::size_t e_begin, std::size_t e_end,
+                  bool blocked) {
+  if (blocked) {
+    ax_mxm_range_impl<true>(args, e_begin, e_end);
+  } else {
+    ax_mxm_range_impl<false>(args, e_begin, e_end);
+  }
+}
+
+}  // namespace detail
+
+void ax_mxm(const AxArgs& args) {
+  args.validate();
+  detail::ax_mxm_range(args, 0, args.n_elements, /*blocked=*/false);
 }
 
 }  // namespace semfpga::kernels

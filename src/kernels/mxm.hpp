@@ -48,4 +48,82 @@ inline void mxm_acc(const double* __restrict a, std::size_t n1,
   }
 }
 
+/// Rows of C computed together by the register-blocked mxm kernels.  Four
+/// C rows share every streamed B row, quartering B traffic and giving the
+/// backend four independent FMA chains per vector lane.
+inline constexpr std::size_t kMxmRowBlock = 4;
+
+namespace detail {
+
+/// Register-blocked core: C (+)= A * B with C rows processed kMxmRowBlock
+/// at a time.  `Accumulate` selects overwrite vs accumulate semantics.
+template <bool Accumulate>
+inline void mxm_blocked_impl(const double* __restrict a, std::size_t n1,
+                             const double* __restrict b, std::size_t n2,
+                             double* __restrict c, std::size_t n3) {
+  std::size_t i = 0;
+  for (; i + kMxmRowBlock <= n1; i += kMxmRowBlock) {
+    double* c0 = c + (i + 0) * n3;
+    double* c1 = c + (i + 1) * n3;
+    double* c2 = c + (i + 2) * n3;
+    double* c3 = c + (i + 3) * n3;
+    if (!Accumulate) {
+      for (std::size_t j = 0; j < n3; ++j) {
+        c0[j] = 0.0;
+        c1[j] = 0.0;
+        c2[j] = 0.0;
+        c3[j] = 0.0;
+      }
+    }
+    for (std::size_t l = 0; l < n2; ++l) {
+      const double a0 = a[(i + 0) * n2 + l];
+      const double a1 = a[(i + 1) * n2 + l];
+      const double a2 = a[(i + 2) * n2 + l];
+      const double a3 = a[(i + 3) * n2 + l];
+      const double* bl = b + l * n3;
+      for (std::size_t j = 0; j < n3; ++j) {
+        const double blj = bl[j];
+        c0[j] += a0 * blj;
+        c1[j] += a1 * blj;
+        c2[j] += a2 * blj;
+        c3[j] += a3 * blj;
+      }
+    }
+  }
+  // Remainder rows take the unblocked schedule.
+  for (; i < n1; ++i) {
+    double* ci = c + i * n3;
+    if (!Accumulate) {
+      for (std::size_t j = 0; j < n3; ++j) {
+        ci[j] = 0.0;
+      }
+    }
+    for (std::size_t l = 0; l < n2; ++l) {
+      const double ail = a[i * n2 + l];
+      const double* bl = b + l * n3;
+      for (std::size_t j = 0; j < n3; ++j) {
+        ci[j] += ail * bl[j];
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+/// C = A * B with kMxmRowBlock-row register blocking.  Identical summation
+/// order to mxm() per output entry (only the row schedule changes), so the
+/// result is bitwise equal to mxm().
+inline void mxm_blocked(const double* __restrict a, std::size_t n1,
+                        const double* __restrict b, std::size_t n2,
+                        double* __restrict c, std::size_t n3) {
+  detail::mxm_blocked_impl<false>(a, n1, b, n2, c, n3);
+}
+
+/// C += A * B, register-blocked; bitwise equal to mxm_acc().
+inline void mxm_blocked_acc(const double* __restrict a, std::size_t n1,
+                            const double* __restrict b, std::size_t n2,
+                            double* __restrict c, std::size_t n3) {
+  detail::mxm_blocked_impl<true>(a, n1, b, n2, c, n3);
+}
+
 }  // namespace semfpga::kernels

@@ -28,6 +28,12 @@ struct CgOptions {
   bool use_jacobi = true;      ///< diagonal preconditioning
   bool record_history = false; ///< keep per-iteration residual norms
   PreconditionerFn preconditioner;  ///< overrides use_jacobi when set
+  /// Worker threads for CG's own vector passes (fused axpy/dot sweeps):
+  /// -1 = inherit the system's thread count (PoissonSystem::set_threads,
+  /// which also governs the operator and gather-scatter), 1 = serial,
+  /// 0 = all hardware threads, k = k threads.  Reductions use a fixed
+  /// chunk decomposition, so iterates are bitwise identical for any value.
+  int threads = -1;
 };
 
 /// Outcome of a CG solve.

@@ -1,21 +1,34 @@
 #include "solver/gather_scatter.hpp"
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace semfpga::solver {
 
 GatherScatter::GatherScatter(const sem::Mesh& mesh)
     : ids_(mesh.global_id()), n_global_(mesh.n_global()) {
-  multiplicity_.assign(ids_.size(), 0.0);
-  inv_multiplicity_.resize(ids_.size());
-  scratch_global_.assign(n_global_, 0.0);
-
-  std::vector<double> copies(n_global_, 0.0);
+  // CSR gather schedule: counting sort of local positions by global id.
+  // positions_ ends up sorted by (global id, local position), so every
+  // per-DOF sum below has one fixed, thread-count-independent order.
+  offsets_.assign(n_global_ + 1, 0);
   for (const std::int64_t id : ids_) {
-    copies[static_cast<std::size_t>(id)] += 1.0;
+    ++offsets_[static_cast<std::size_t>(id) + 1];
   }
+  for (std::size_t g = 0; g < n_global_; ++g) {
+    offsets_[g + 1] += offsets_[g];
+  }
+  positions_.resize(ids_.size());
+  std::vector<std::int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
   for (std::size_t p = 0; p < ids_.size(); ++p) {
-    const double m = copies[static_cast<std::size_t>(ids_[p])];
+    positions_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(ids_[p])]++)] =
+        static_cast<std::int64_t>(p);
+  }
+
+  multiplicity_.resize(ids_.size());
+  inv_multiplicity_.resize(ids_.size());
+  for (std::size_t p = 0; p < ids_.size(); ++p) {
+    const std::size_t g = static_cast<std::size_t>(ids_[p]);
+    const double m = static_cast<double>(offsets_[g + 1] - offsets_[g]);
     multiplicity_[p] = m;
     inv_multiplicity_[p] = 1.0 / m;
   }
@@ -25,26 +38,42 @@ void GatherScatter::scatter_add(std::span<const double> local,
                                 std::span<double> global) const {
   SEMFPGA_CHECK(local.size() == ids_.size(), "local vector has the wrong size");
   SEMFPGA_CHECK(global.size() == n_global_, "global vector has the wrong size");
-  for (double& v : global) {
-    v = 0.0;
-  }
-  for (std::size_t p = 0; p < ids_.size(); ++p) {
-    global[static_cast<std::size_t>(ids_[p])] += local[p];
-  }
+  parallel_for(n_global_, threads_, [&](std::size_t g) {
+    double sum = 0.0;
+    for (std::int64_t k = offsets_[g]; k < offsets_[g + 1]; ++k) {
+      sum += local[static_cast<std::size_t>(positions_[static_cast<std::size_t>(k)])];
+    }
+    global[g] = sum;
+  });
 }
 
 void GatherScatter::gather(std::span<const double> global,
                            std::span<double> local) const {
   SEMFPGA_CHECK(local.size() == ids_.size(), "local vector has the wrong size");
   SEMFPGA_CHECK(global.size() == n_global_, "global vector has the wrong size");
-  for (std::size_t p = 0; p < ids_.size(); ++p) {
+  parallel_for(ids_.size(), threads_, [&](std::size_t p) {
     local[p] = global[static_cast<std::size_t>(ids_[p])];
-  }
+  });
 }
 
 void GatherScatter::qqt(std::span<double> local) const {
-  scatter_add(local, scratch_global_);
-  gather(scratch_global_, local);
+  SEMFPGA_CHECK(local.size() == ids_.size(), "local vector has the wrong size");
+  // Owner-computes: each global DOF sums its copies and writes them back.
+  // Workers own disjoint position sets, so the in-place update is race-free.
+  parallel_for(n_global_, threads_, [&](std::size_t g) {
+    const std::int64_t begin = offsets_[g];
+    const std::int64_t end = offsets_[g + 1];
+    if (end == begin + 1) {  // interior DOF: single copy, sum is a no-op
+      return;
+    }
+    double sum = 0.0;
+    for (std::int64_t k = begin; k < end; ++k) {
+      sum += local[static_cast<std::size_t>(positions_[static_cast<std::size_t>(k)])];
+    }
+    for (std::int64_t k = begin; k < end; ++k) {
+      local[static_cast<std::size_t>(positions_[static_cast<std::size_t>(k)])] = sum;
+    }
+  });
 }
 
 }  // namespace semfpga::solver

@@ -8,6 +8,13 @@
 /// global DOF and redistributes the sum.  This is Nek5000's `dssum` and one
 /// of the "complex gather-scatter phases" the paper mentions as a candidate
 /// for acceleration (Section I).
+///
+/// Execution: the constructor precomputes an owner-computes gather schedule
+/// — a CSR map from each global DOF to the local positions that copy it —
+/// so every operation is a race-free parallel sweep over global DOFs (each
+/// worker owns disjoint outputs) and nothing ever re-zeroes an O(n_global)
+/// vector.  Sums run in fixed CSR order, so results are bitwise identical
+/// for any thread count.
 
 #include <cstdint>
 #include <span>
@@ -28,14 +35,20 @@ class GatherScatter {
   /// Number of unique global DOFs.
   [[nodiscard]] std::size_t n_global() const noexcept { return n_global_; }
 
+  /// Worker threads for the sweeps: 1 = serial, 0 = all hardware threads.
+  void set_threads(int threads) noexcept { threads_ = threads; }
+  [[nodiscard]] int threads() const noexcept { return threads_; }
+
   /// global = Q^T local: sums all local copies into their global DOF.
-  /// `global` is overwritten.
+  /// `global` is overwritten (every global DOF is owner-assigned, so no
+  /// pre-zeroing pass is needed).
   void scatter_add(std::span<const double> local, std::span<double> global) const;
 
   /// local = Q global: copies each global value to all its local copies.
   void gather(std::span<const double> global, std::span<double> local) const;
 
-  /// In-place direct stiffness summation: local = Q Q^T local.
+  /// In-place direct stiffness summation: local = Q Q^T local.  One fused
+  /// owner-computes sweep; no global-size intermediate is materialised.
   void qqt(std::span<double> local) const;
 
   /// Number of local copies of each local DOF's global node (>= 1).
@@ -52,12 +65,24 @@ class GatherScatter {
   /// Local->global map (for tests and custom operations).
   [[nodiscard]] const std::vector<std::int64_t>& ids() const noexcept { return ids_; }
 
+  /// CSR gather schedule, for tests and schedule-aware backends: local
+  /// positions copying global DOF g are gather_positions()[k] for k in
+  /// [gather_offsets()[g], gather_offsets()[g + 1]).
+  [[nodiscard]] const std::vector<std::int64_t>& gather_offsets() const noexcept {
+    return offsets_;
+  }
+  [[nodiscard]] const std::vector<std::int64_t>& gather_positions() const noexcept {
+    return positions_;
+  }
+
  private:
   std::vector<std::int64_t> ids_;
   std::size_t n_global_ = 0;
+  int threads_ = 1;
   std::vector<double> multiplicity_;
   aligned_vector<double> inv_multiplicity_;
-  mutable aligned_vector<double> scratch_global_;
+  std::vector<std::int64_t> offsets_;    ///< CSR row pointers, n_global + 1
+  std::vector<std::int64_t> positions_;  ///< CSR column data, n_local
 };
 
 }  // namespace semfpga::solver

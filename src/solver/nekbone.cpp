@@ -17,6 +17,8 @@ NekboneResult run_nekbone(const NekboneConfig& config) {
   spec.deformation = config.deformation;
   const sem::Mesh mesh = sem::box_mesh(spec);
   PoissonSystem system(mesh);
+  system.set_ax_variant(config.ax_variant);
+  system.set_threads(config.threads);
 
   const std::size_t n = system.n_local();
   aligned_vector<double> f(n);
@@ -37,6 +39,7 @@ NekboneResult run_nekbone(const NekboneConfig& config) {
   options.max_iterations = config.cg_iterations;
   options.tolerance = 0.0;  // fixed iteration count, like Nekbone
   options.use_jacobi = config.use_jacobi;
+  options.threads = config.threads;
 
   Timer timer;
   const CgResult cg = solve_cg(system, std::span<const double>(b.data(), n),
@@ -59,12 +62,14 @@ NekboneResult run_nekbone(const NekboneConfig& config) {
 }
 
 std::string format_result(const NekboneConfig& config, const NekboneResult& result) {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
-                "nekbone N=%d elements=%zu dofs=%zu iters=%d res=%.3e time=%.3fs "
-                "GFLOP/s=%.2f (Ax-only %.2f)",
-                config.degree, result.n_elements, result.n_dofs, result.iterations,
-                result.final_residual, result.seconds, result.gflops, result.ax_gflops);
+                "nekbone N=%d elements=%zu dofs=%zu ax=%s threads=%d iters=%d "
+                "res=%.3e time=%.3fs GFLOP/s=%.2f (Ax-only %.2f)",
+                config.degree, result.n_elements, result.n_dofs,
+                kernels::ax_variant_name(config.ax_variant), config.threads,
+                result.iterations, result.final_residual, result.seconds,
+                result.gflops, result.ax_gflops);
   return buf;
 }
 

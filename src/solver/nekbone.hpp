@@ -22,6 +22,12 @@ struct NekboneConfig {
   int cg_iterations = 100;   ///< Nekbone runs a fixed iteration count
   bool use_jacobi = false;   ///< Nekbone's default CG is unpreconditioned
   sem::Deformation deformation = sem::Deformation::kNone;
+  /// Ax schedule for the hot path (kernels/ax_dispatch.hpp variant ladder).
+  kernels::AxVariant ax_variant = kernels::AxVariant::kFixed;
+  /// Worker threads for the whole solve (operator, gather-scatter, vector
+  /// passes): 1 = serial, 0 = all hardware threads.  The iterates are
+  /// bitwise identical for any value.
+  int threads = 1;
 };
 
 /// Result of one proxy run.

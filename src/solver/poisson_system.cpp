@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "kernels/ax.hpp"
 
 namespace semfpga::solver {
@@ -37,7 +38,18 @@ PoissonSystem::PoissonSystem(const sem::Mesh& mesh)
     diagonal_[p] = mask_[p] != 0.0 ? local_diag[p] : 1.0;
   }
 
-  // Default element operator: the compile-time-dispatched CPU kernel.
+  // Default element operator: the execution engine on the fixed-order
+  // kernel; variant and thread count stay adjustable after construction.
+  set_ax_variant(kernels::AxVariant::kFixed);
+}
+
+void PoissonSystem::set_local_operator(LocalOperator op) {
+  SEMFPGA_CHECK(static_cast<bool>(op), "local operator must be callable");
+  local_op_ = std::move(op);
+}
+
+void PoissonSystem::set_ax_variant(kernels::AxVariant variant) {
+  ax_variant_ = variant;
   local_op_ = [this](std::span<const double> u, std::span<double> w) {
     kernels::AxArgs args;
     args.u = u;
@@ -47,20 +59,18 @@ PoissonSystem::PoissonSystem(const sem::Mesh& mesh)
     args.dxt = std::span<const double>(ref_.deriv().dt.data(), ref_.deriv().dt.size());
     args.n1d = ref_.n1d();
     args.n_elements = geom_.n_elements;
-    kernels::ax_fixed(args);
+    kernels::ax_run(ax_variant_, args, kernels::AxExecPolicy{threads_});
   };
 }
 
-void PoissonSystem::set_local_operator(LocalOperator op) {
-  SEMFPGA_CHECK(static_cast<bool>(op), "local operator must be callable");
-  local_op_ = std::move(op);
+void PoissonSystem::set_threads(int threads) {
+  threads_ = threads;
+  gs_.set_threads(threads);
 }
 
 void PoissonSystem::apply(std::span<const double> u, std::span<double> w) const {
   apply_unmasked(u, w);
-  for (std::size_t p = 0; p < w.size(); ++p) {
-    w[p] *= mask_[p];
-  }
+  parallel_for(w.size(), threads_, [&](std::size_t p) { w[p] *= mask_[p]; });
 }
 
 void PoissonSystem::apply_unmasked(std::span<const double> u,
@@ -100,11 +110,13 @@ double PoissonSystem::weighted_dot(std::span<const double> a,
   SEMFPGA_CHECK(a.size() == n_local() && b.size() == n_local(),
                 "field views must cover the whole mesh");
   const auto& c = gs_.inv_multiplicity();
-  double acc = 0.0;
-  for (std::size_t p = 0; p < a.size(); ++p) {
-    acc += a[p] * b[p] * c[p];
-  }
-  return acc;
+  return chunked_reduce(a.size(), threads_, [&](std::size_t begin, std::size_t end) {
+    double acc = 0.0;
+    for (std::size_t p = begin; p < end; ++p) {
+      acc += a[p] * b[p] * c[p];
+    }
+    return acc;
+  });
 }
 
 }  // namespace semfpga::solver

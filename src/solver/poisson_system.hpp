@@ -12,6 +12,7 @@
 #include <span>
 
 #include "common/aligned.hpp"
+#include "kernels/ax_dispatch.hpp"
 #include "sem/dense.hpp"
 #include "sem/geometry.hpp"
 #include "sem/mesh.hpp"
@@ -45,8 +46,20 @@ class PoissonSystem {
     return diagonal_;
   }
 
-  /// Replaces the element operator (default: kernels::ax_fixed).
+  /// Replaces the element operator (default: the execution engine running
+  /// kernels::AxVariant::kFixed under the system's thread count).
   void set_local_operator(LocalOperator op);
+
+  /// Routes the default element operator through a specific engine variant
+  /// (kernels/ax_dispatch.hpp); discards any custom local operator.
+  void set_ax_variant(kernels::AxVariant variant);
+
+  /// Worker threads for the operator, gather-scatter and reductions:
+  /// 1 = serial, 0 = all hardware threads.  Results are bitwise identical
+  /// for any value (element partitions, owner-computes sweeps and chunked
+  /// reductions are all thread-count independent).
+  void set_threads(int threads);
+  [[nodiscard]] int threads() const noexcept { return threads_; }
 
   /// Full system operator: w = mask(QQ^T(A_local u)).  u must be continuous
   /// (equal local copies of shared DOFs); the result is continuous.
@@ -77,6 +90,8 @@ class PoissonSystem {
   aligned_vector<double> mask_;
   aligned_vector<double> diagonal_;
   LocalOperator local_op_;
+  kernels::AxVariant ax_variant_ = kernels::AxVariant::kFixed;
+  int threads_ = 1;
 };
 
 }  // namespace semfpga::solver

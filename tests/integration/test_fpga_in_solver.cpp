@@ -41,8 +41,25 @@ TEST(FpgaInSolver, SimulatedKernelReproducesCpuSolveExactly) {
   options.tolerance = 1e-10;
   options.max_iterations = 400;
 
-  // CPU solve.
+  // CPU solve.  The simulated accelerator evaluates the operator in
+  // Listing-1 (reference) order, so pin the CPU system to the same body;
+  // the default fixed/parallel operator is only equal to ~1e-15 relative.
   solver::PoissonSystem cpu_system(mesh);
+  cpu_system.set_local_operator(
+      [&](std::span<const double> u, std::span<double> w) {
+        kernels::AxArgs args;
+        args.u = u;
+        args.w = w;
+        args.g = std::span<const double>(cpu_system.geom().g.data(),
+                                         cpu_system.geom().g.size());
+        args.dx = std::span<const double>(cpu_system.ref().deriv().d.data(),
+                                          cpu_system.ref().deriv().d.size());
+        args.dxt = std::span<const double>(cpu_system.ref().deriv().dt.data(),
+                                           cpu_system.ref().deriv().dt.size());
+        args.n1d = cpu_system.ref().n1d();
+        args.n_elements = cpu_system.geom().n_elements;
+        kernels::ax_reference(args);
+      });
   aligned_vector<double> b;
   make_rhs(cpu_system, b);
   aligned_vector<double> x_cpu(cpu_system.n_local(), 0.0);

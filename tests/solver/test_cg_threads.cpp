@@ -1,0 +1,132 @@
+/// Multi-thread determinism smoke test for the fused CG path: the solver
+/// must produce the same iterates — bit for bit — at any thread count,
+/// because the element partitions, owner-computes gather-scatter sweeps and
+/// fixed-chunk reductions are all thread-count independent.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "solver/cg.hpp"
+#include "solver/nekbone.hpp"
+
+namespace semfpga::solver {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+struct Solve {
+  int iterations = 0;
+  bool converged = false;
+  double final_residual = 0.0;
+  std::vector<double> history;
+  aligned_vector<double> x;
+};
+
+Solve run_solve(int threads, bool use_jacobi) {
+  sem::BoxMeshSpec spec;
+  spec.degree = 6;
+  spec.nelx = spec.nely = spec.nelz = 3;
+  spec.deformation = sem::Deformation::kSine;
+  spec.deformation_amplitude = 0.03;
+  const sem::Mesh mesh = sem::box_mesh(spec);
+  PoissonSystem system(mesh);
+  system.set_threads(threads);
+
+  const std::size_t n = system.n_local();
+  aligned_vector<double> f(n);
+  system.sample(
+      [](double x, double y, double z) {
+        return 3.0 * kPi * kPi * std::sin(kPi * x) * std::sin(kPi * y) *
+               std::sin(kPi * z);
+      },
+      std::span<double>(f.data(), n));
+  aligned_vector<double> b(n);
+  system.assemble_rhs(std::span<const double>(f.data(), n), std::span<double>(b.data(), n));
+
+  CgOptions options;
+  options.tolerance = 1e-10;
+  options.max_iterations = 400;
+  options.use_jacobi = use_jacobi;
+  options.record_history = true;
+  options.threads = threads;
+
+  Solve out;
+  out.x.assign(n, 0.0);
+  const CgResult r = solve_cg(system, std::span<const double>(b.data(), n),
+                              std::span<double>(out.x.data(), n), options);
+  out.iterations = r.iterations;
+  out.converged = r.converged;
+  out.final_residual = r.final_residual;
+  out.history = r.residual_history;
+  return out;
+}
+
+class CgThreads : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CgThreads, RethreadingIsBitwiseDeterministic) {
+  const bool use_jacobi = GetParam();
+  const Solve serial = run_solve(1, use_jacobi);
+  ASSERT_TRUE(serial.converged);
+
+  for (const int threads : {2, 4, 0}) {  // 0 = all hardware threads
+    const Solve threaded = run_solve(threads, use_jacobi);
+    EXPECT_TRUE(threaded.converged);
+    // Iteration counts unchanged from the serial path...
+    ASSERT_EQ(threaded.iterations, serial.iterations) << threads << " threads";
+    // ...and so is every residual in the history, exactly.
+    ASSERT_EQ(threaded.history.size(), serial.history.size());
+    for (std::size_t i = 0; i < serial.history.size(); ++i) {
+      ASSERT_EQ(threaded.history[i], serial.history[i])
+          << "iteration " << i << " at " << threads << " threads";
+    }
+    ASSERT_EQ(threaded.final_residual, serial.final_residual);
+    for (std::size_t p = 0; p < serial.x.size(); ++p) {
+      ASSERT_EQ(threaded.x[p], serial.x[p]) << "solution dof " << p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Preconditioners, CgThreads, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "jacobi" : "identity";
+                         });
+
+TEST(NekboneThreads, ProxyRunIsThreadCountInvariant) {
+  NekboneConfig config;
+  config.degree = 5;
+  config.nelx = config.nely = config.nelz = 3;
+  config.cg_iterations = 25;
+
+  config.threads = 1;
+  const NekboneResult serial = run_nekbone(config);
+  config.threads = 4;
+  const NekboneResult threaded = run_nekbone(config);
+
+  EXPECT_EQ(serial.iterations, threaded.iterations);
+  EXPECT_EQ(serial.final_residual, threaded.final_residual);
+  EXPECT_EQ(serial.flops, threaded.flops);
+}
+
+TEST(NekboneVariants, EveryEngineVariantConvergesAlike) {
+  // Different variants reorder floating-point sums, so iterates differ in
+  // the last bits — but the solve must converge to the same answer.
+  NekboneConfig config;
+  config.degree = 4;
+  config.nelx = config.nely = config.nelz = 2;
+  config.cg_iterations = 40;
+
+  config.ax_variant = kernels::AxVariant::kReference;
+  const NekboneResult ref = run_nekbone(config);
+  for (const kernels::AxVariant v : kernels::kAllAxVariants) {
+    config.ax_variant = v;
+    const NekboneResult r = run_nekbone(config);
+    EXPECT_EQ(r.iterations, ref.iterations) << kernels::ax_variant_name(v);
+    EXPECT_NEAR(r.final_residual, ref.final_residual,
+                1e-8 * std::abs(ref.final_residual) + 1e-14)
+        << kernels::ax_variant_name(v);
+  }
+}
+
+}  // namespace
+}  // namespace semfpga::solver

@@ -1,0 +1,154 @@
+/// Schedule-equivalence contract of the CSR gather-scatter: the
+/// owner-computes sweeps must reproduce a naive local-order scatter/gather
+/// oracle (the seed implementation) on every mesh, and must be bitwise
+/// stable under re-threading.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "solver/gather_scatter.hpp"
+
+namespace semfpga::solver {
+namespace {
+
+sem::Mesh make_mesh(int degree, int nel) {
+  sem::BoxMeshSpec spec;
+  spec.degree = degree;
+  spec.nelx = spec.nely = spec.nelz = nel;
+  return sem::box_mesh(spec);
+}
+
+std::vector<double> random_local(const GatherScatter& gs, std::uint64_t seed) {
+  std::vector<double> v(gs.n_local());
+  SplitMix64 rng(seed);
+  for (double& x : v) {
+    x = rng.uniform(-1.0, 1.0);
+  }
+  return v;
+}
+
+/// The seed's naive schedule: zero the global vector, accumulate local
+/// copies in local-position order, copy back.
+struct NaiveOracle {
+  explicit NaiveOracle(const GatherScatter& gs) : gs(gs) {}
+
+  [[nodiscard]] std::vector<double> scatter_add(const std::vector<double>& local) const {
+    std::vector<double> global(gs.n_global(), 0.0);
+    const auto& ids = gs.ids();
+    for (std::size_t p = 0; p < ids.size(); ++p) {
+      global[static_cast<std::size_t>(ids[p])] += local[p];
+    }
+    return global;
+  }
+
+  [[nodiscard]] std::vector<double> qqt(const std::vector<double>& local) const {
+    const std::vector<double> global = scatter_add(local);
+    std::vector<double> out(local.size());
+    const auto& ids = gs.ids();
+    for (std::size_t p = 0; p < ids.size(); ++p) {
+      out[p] = global[static_cast<std::size_t>(ids[p])];
+    }
+    return out;
+  }
+
+  const GatherScatter& gs;
+};
+
+class GsSchedule : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GsSchedule, CsrStructureIsAPermutationSortedByGlobalId) {
+  const auto [degree, nel] = GetParam();
+  const sem::Mesh mesh = make_mesh(degree, nel);
+  const GatherScatter gs(mesh);
+
+  const auto& offsets = gs.gather_offsets();
+  const auto& positions = gs.gather_positions();
+  ASSERT_EQ(offsets.size(), gs.n_global() + 1);
+  ASSERT_EQ(positions.size(), gs.n_local());
+  EXPECT_EQ(offsets.front(), 0);
+  EXPECT_EQ(static_cast<std::size_t>(offsets.back()), gs.n_local());
+
+  // Every local position appears exactly once, filed under its global id.
+  std::vector<int> seen(gs.n_local(), 0);
+  for (std::size_t g = 0; g < gs.n_global(); ++g) {
+    for (std::int64_t k = offsets[g]; k < offsets[g + 1]; ++k) {
+      const auto p = static_cast<std::size_t>(positions[static_cast<std::size_t>(k)]);
+      ASSERT_LT(p, gs.n_local());
+      ASSERT_EQ(static_cast<std::size_t>(gs.ids()[p]), g);
+      ++seen[p];
+    }
+  }
+  for (std::size_t p = 0; p < gs.n_local(); ++p) {
+    ASSERT_EQ(seen[p], 1) << "local position " << p;
+  }
+}
+
+TEST_P(GsSchedule, ScatterAddMatchesNaiveOracle) {
+  const auto [degree, nel] = GetParam();
+  const sem::Mesh mesh = make_mesh(degree, nel);
+  const GatherScatter gs(mesh);
+  const NaiveOracle oracle(gs);
+
+  const std::vector<double> local = random_local(gs, 123);
+  const std::vector<double> want = oracle.scatter_add(local);
+  std::vector<double> got(gs.n_global(), -1.0);  // stale values must be overwritten
+  gs.scatter_add(local, got);
+  for (std::size_t g = 0; g < gs.n_global(); ++g) {
+    // CSR order sums copies of one DOF in ascending local position — the
+    // oracle's order too, so this is exact, not approximate.
+    ASSERT_EQ(got[g], want[g]) << "global dof " << g;
+  }
+}
+
+TEST_P(GsSchedule, QqtMatchesNaiveOracleAndIsThreadCountStable) {
+  const auto [degree, nel] = GetParam();
+  const sem::Mesh mesh = make_mesh(degree, nel);
+  GatherScatter gs(mesh);
+  const NaiveOracle oracle(gs);
+
+  const std::vector<double> local = random_local(gs, 321);
+  const std::vector<double> want = oracle.qqt(local);
+
+  for (const int threads : {1, 2, 4}) {
+    gs.set_threads(threads);
+    std::vector<double> inout = local;
+    gs.qqt(inout);
+    for (std::size_t p = 0; p < inout.size(); ++p) {
+      ASSERT_EQ(inout[p], want[p]) << "dof " << p << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST_P(GsSchedule, GatherAfterScatterAddIsQqt) {
+  const auto [degree, nel] = GetParam();
+  const sem::Mesh mesh = make_mesh(degree, nel);
+  const GatherScatter gs(mesh);
+
+  const std::vector<double> local = random_local(gs, 7);
+  std::vector<double> global(gs.n_global());
+  std::vector<double> via_global(gs.n_local());
+  gs.scatter_add(local, global);
+  gs.gather(global, via_global);
+
+  std::vector<double> inout = local;
+  gs.qqt(inout);
+  for (std::size_t p = 0; p < inout.size(); ++p) {
+    ASSERT_EQ(inout[p], via_global[p]) << "dof " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Meshes, GsSchedule,
+                         ::testing::Values(std::tuple<int, int>{2, 2},
+                                           std::tuple<int, int>{3, 3},
+                                           std::tuple<int, int>{5, 2},
+                                           std::tuple<int, int>{7, 2}),
+                         [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+                           return "N" + std::to_string(std::get<0>(info.param)) + "_nel" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+}  // namespace
+}  // namespace semfpga::solver
