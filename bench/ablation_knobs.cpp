@@ -15,7 +15,7 @@
 using namespace semfpga;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
+  const Cli cli(argc, argv, {"csv"});
   const int degree = static_cast<int>(cli.get_int("degree", 7));
   const auto elements = static_cast<std::size_t>(cli.get_int("elements", 4096));
 

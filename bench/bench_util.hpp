@@ -5,6 +5,7 @@
 /// cpu_microbench and opt_ladder measure with an identical protocol and
 /// their numbers stay comparable.
 
+#include <cmath>
 #include <cstddef>
 
 #include "common/aligned.hpp"
@@ -12,6 +13,7 @@
 #include "common/timer.hpp"
 #include "kernels/ax_dispatch.hpp"
 #include "sem/reference_element.hpp"
+#include "solver/poisson_system.hpp"
 
 namespace semfpga::bench {
 
@@ -54,6 +56,55 @@ inline double time_apply(kernels::AxVariant variant, const kernels::AxArgs& args
   int iters = 0;
   do {
     kernels::ax_run(variant, args, policy);
+    ++iters;
+  } while (timer.seconds() < min_time);
+  return timer.seconds() / iters;
+}
+
+/// Assembled-operator operands for the fused-vs-split rungs: a real box
+/// mesh (nearest cube to `target_elements`) plus its PoissonSystem, so the
+/// timed apply is the solver's actual w = mask(QQ^T(A u)) hot path with a
+/// genuine gather-scatter schedule — not just the element kernel.
+struct SystemOperands {
+  explicit SystemOperands(int degree, std::size_t target_elements)
+      : mesh(make_mesh(degree, target_elements)), system(mesh) {
+    const std::size_t n = system.n_local();
+    u.resize(n);
+    w.assign(n, 0.0);
+    SplitMix64 rng(11);
+    for (double& v : u) {
+      v = rng.uniform(-1.0, 1.0);
+    }
+  }
+  SystemOperands(const SystemOperands&) = delete;
+  SystemOperands& operator=(const SystemOperands&) = delete;
+
+  [[nodiscard]] std::size_t n_elements() const { return mesh.n_elements(); }
+
+  static sem::Mesh make_mesh(int degree, std::size_t target_elements) {
+    const int nel = static_cast<int>(
+        std::lround(std::cbrt(static_cast<double>(target_elements))));
+    sem::BoxMeshSpec spec;
+    spec.degree = degree;
+    spec.nelx = spec.nely = spec.nelz = nel > 1 ? nel : 1;
+    return sem::box_mesh(spec);
+  }
+
+  sem::Mesh mesh;
+  solver::PoissonSystem system;
+  aligned_vector<double> u, w;
+};
+
+/// Times the full assembled apply under the system's current fused/threads
+/// settings, with the same warm-up-then-repeat protocol as time_apply.
+inline double time_system_apply(SystemOperands& ops, double min_time) {
+  const std::span<const double> u(ops.u.data(), ops.u.size());
+  const std::span<double> w(ops.w.data(), ops.w.size());
+  ops.system.apply(u, w);
+  Timer timer;
+  int iters = 0;
+  do {
+    ops.system.apply(u, w);
     ++iters;
   } while (timer.seconds() < min_time);
   return timer.seconds() / iters;

@@ -14,7 +14,7 @@
 using namespace semfpga;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
+  const Cli cli(argc, argv, {"csv"});
   const auto elements = static_cast<std::size_t>(cli.get_int("elements", 4096));
 
   Table table("Poisson (Ax) vs BK5-style Helmholtz on the GX2800 accelerator, " +

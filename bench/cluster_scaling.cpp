@@ -47,7 +47,7 @@ void print_scaling(const char* label, const sem::BoxMeshSpec& spec,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
+  const Cli cli(argc, argv, {"csv"});
   const int degree = static_cast<int>(cli.get_int("degree", 7));
   const auto elements = cli.get_int("elements", 16384);
   const bool csv = cli.has("csv");

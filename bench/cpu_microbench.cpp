@@ -12,10 +12,17 @@
 /// GFLOP/s, speedup over the serial reference kernel, and the maximum
 /// relative deviation from ax_reference on the same operands (a live
 /// parity check: anything above ~1e-12 is a bug, not noise).
+///
+/// A second sweep measures the *assembled* operator w = mask(QQ^T(A u)) on
+/// a real box mesh both ways — split (fixed Ax, then qqt, then mask) and
+/// fused (qqt-in-operator sweep) — and checks the two outputs are bitwise
+/// equal; this is the fused rung BENCH_cpu.json records.
+///
 /// --json writes the whole sweep as a machine-readable report
 /// (see BENCH_cpu.json at the repository root for the checked-in format);
 /// --smoke shrinks the sweep to a few-second perf-regression canary.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -38,6 +45,20 @@ struct Cell {
   double gflops = 0.0;
   double speedup = 0.0;      ///< vs serial reference at the same degree
   double max_rel_err = 0.0;  ///< vs ax_reference on identical operands
+};
+
+/// One fused-vs-split measurement of the assembled operator.
+struct FusedCell {
+  int degree = 0;
+  int n1d = 0;
+  std::size_t elements = 0;  ///< elements of the box mesh (nearest cube)
+  int threads = 0;
+  double split_seconds = 0.0;  ///< fixed Ax -> qqt -> mask
+  double fused_seconds = 0.0;  ///< qqt-in-operator sweep
+  double split_gflops = 0.0;
+  double fused_gflops = 0.0;
+  double speedup = 0.0;  ///< split_seconds / fused_seconds
+  bool bitwise_equal = false;
 };
 
 double max_rel_err(std::span<const double> got, std::span<const double> want) {
@@ -80,7 +101,8 @@ std::vector<int> parse_int_list(const std::string& flag, const std::string& csv)
   return out;
 }
 
-void write_json(std::FILE* f, const std::vector<Cell>& cells, std::size_t elements,
+void write_json(std::FILE* f, const std::vector<Cell>& cells,
+                const std::vector<FusedCell>& fused_cells, std::size_t elements,
                 double min_time) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"cpu_microbench\",\n");
@@ -98,6 +120,20 @@ void write_json(std::FILE* f, const std::vector<Cell>& cells, std::size_t elemen
                  c.variant.c_str(), c.degree, c.n1d, c.elements, c.threads, c.seconds,
                  c.gflops, c.speedup, c.max_rel_err, i + 1 < cells.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"fused_vs_split\": [\n");
+  for (std::size_t i = 0; i < fused_cells.size(); ++i) {
+    const FusedCell& c = fused_cells[i];
+    std::fprintf(f,
+                 "    {\"degree\": %d, \"n1d\": %d, \"elements\": %zu, \"threads\": %d, "
+                 "\"split_seconds_per_apply\": %.6e, \"fused_seconds_per_apply\": %.6e, "
+                 "\"split_gflops\": %.3f, \"fused_gflops\": %.3f, "
+                 "\"speedup_fused_vs_split\": %.3f, \"bitwise_equal\": %s}%s\n",
+                 c.degree, c.n1d, c.elements, c.threads, c.split_seconds,
+                 c.fused_seconds, c.split_gflops, c.fused_gflops, c.speedup,
+                 c.bitwise_equal ? "true" : "false",
+                 i + 1 < fused_cells.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n}\n");
 }
 
@@ -106,7 +142,7 @@ void write_json(std::FILE* f, const std::vector<Cell>& cells, std::size_t elemen
 
 int main(int argc, char** argv) {
   using namespace semfpga;
-  const Cli cli(argc, argv);
+  const Cli cli(argc, argv, {"smoke"});
 
   const bool smoke = cli.has("smoke");
   std::vector<int> degrees =
@@ -118,6 +154,7 @@ int main(int argc, char** argv) {
   const double min_time = cli.get_double("min-time", smoke ? 0.05 : 0.2);
 
   std::vector<Cell> cells;
+  std::vector<FusedCell> fused_cells;
   std::printf("# cpu_microbench: %zu elements, %d hardware threads\n", elements,
               hardware_threads());
   std::printf("%-12s %3s %3s %8s %12s %9s %9s %12s\n", "variant", "N", "thr",
@@ -158,6 +195,55 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Fused-vs-split sweep of the assembled operator on a real mesh -----
+  std::printf("\n# assembled operator w = mask(QQ^T(A u)), fixed variant: "
+              "split (Ax -> qqt -> mask) vs fused (qqt-in-operator)\n");
+  std::printf("%3s %3s %8s %12s %12s %9s %9s %8s\n", "N", "thr", "elements",
+              "split s", "fused s", "split GF", "fused GF", "speedup");
+  for (const int degree : degrees) {
+    bench::SystemOperands ops(degree, elements);
+    const double flops =
+        static_cast<double>(kernels::ax_flops(degree + 1, ops.n_elements()));
+    for (const int t : threads) {
+      FusedCell cell;
+      cell.degree = degree;
+      cell.n1d = degree + 1;
+      cell.elements = ops.n_elements();
+      cell.threads = t;
+      ops.system.set_threads(t);
+      // Interleaved best-of-3: the two paths differ by ~10%, less than this
+      // box's run-to-run noise on a single sample.
+      cell.split_seconds = cell.fused_seconds = 1e30;
+      aligned_vector<double> w_split;
+      for (int rep = 0; rep < 3; ++rep) {
+        ops.system.set_fused(false);
+        cell.split_seconds =
+            std::min(cell.split_seconds, bench::time_system_apply(ops, min_time));
+        if (rep == 0) {
+          w_split = ops.w;
+        }
+        ops.system.set_fused(true);
+        cell.fused_seconds =
+            std::min(cell.fused_seconds, bench::time_system_apply(ops, min_time));
+      }
+      cell.split_gflops = flops / cell.split_seconds / 1e9;
+      cell.fused_gflops = flops / cell.fused_seconds / 1e9;
+      cell.speedup = cell.split_seconds / cell.fused_seconds;
+      cell.bitwise_equal = true;
+      for (std::size_t p = 0; p < ops.w.size(); ++p) {
+        if (ops.w[p] != w_split[p]) {
+          cell.bitwise_equal = false;
+          break;
+        }
+      }
+      std::printf("%3d %3d %8zu %12.3e %12.3e %9.2f %9.2f %7.2fx%s\n", cell.degree,
+                  cell.threads, cell.elements, cell.split_seconds, cell.fused_seconds,
+                  cell.split_gflops, cell.fused_gflops, cell.speedup,
+                  cell.bitwise_equal ? "" : "  BITWISE MISMATCH");
+      fused_cells.push_back(cell);
+    }
+  }
+
   if (cli.has("json")) {
     const std::string path = cli.get("json", "BENCH_cpu.json");
     std::FILE* f = std::fopen(path.c_str(), "w");
@@ -165,7 +251,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
       return 1;
     }
-    write_json(f, cells, elements, min_time);
+    write_json(f, cells, fused_cells, elements, min_time);
     std::fclose(f);
     std::printf("# wrote %s\n", path.c_str());
   }

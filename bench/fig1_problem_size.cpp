@@ -74,7 +74,7 @@ std::vector<int> parse_degrees(const std::string& csv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
+  const Cli cli(argc, argv, {"csv", "host"});
   const bool host = cli.has("host");
   const std::vector<int> degrees =
       parse_degrees(cli.get("degrees", "1,3,5,7,9,11,13,15"));

@@ -48,7 +48,7 @@ double projected_gflops(const fpga::DeviceSpec& device, int degree) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
+  const Cli cli(argc, argv, {"csv"});
   const auto elements = static_cast<std::size_t>(cli.get_int("elements", 4096));
   const int degrees[3] = {7, 11, 15};
 

@@ -1,9 +1,12 @@
 /// Reproduces the Section III optimization narrative: baseline ->
 /// ILP+locality -> forced II=1 -> banked memory, at N = 7 (and any other
 /// degree via --degree) — and sets the analogous *measured* CPU ladder
-/// (reference -> mxm -> mxm_blocked -> fixed -> fixed x threads) next to
-/// it, so the FPGA model is always projected against what this host
-/// actually sustains.
+/// (reference -> mxm -> mxm_blocked -> fixed -> fixed x threads -> split
+/// assembled -> fused assembled) next to it, so the FPGA model is always
+/// projected against what this host actually sustains.  The last two rungs
+/// time the full solver operator w = mask(QQ^T(A u)) on a real box mesh,
+/// split (separate qqt + mask sweeps) vs fused (qqt-in-operator epilogue,
+/// the Karp et al. flow-solver trick).
 ///
 /// Usage: opt_ladder [--csv] [--json ladder.json] [--degree N]
 ///                   [--elements 4096] [--threads 4] [--no-cpu]
@@ -11,6 +14,7 @@
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -25,7 +29,7 @@ namespace {
 
 struct CpuRung {
   std::string name;
-  kernels::AxVariant variant;
+  std::string variant;  ///< engine variant, or "fixed+qqt" / "fused"
   int threads;
   double seconds = 0.0;
   double gflops = 0.0;
@@ -34,7 +38,7 @@ struct CpuRung {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
+  const Cli cli(argc, argv, {"csv", "no-cpu"});
   const int degree = static_cast<int>(cli.get_int("degree", 7));
   const auto elements = static_cast<std::size_t>(cli.get_int("elements", 4096));
   const int sweep_threads = static_cast<int>(cli.get_int("threads", 4));
@@ -76,20 +80,42 @@ int main(int argc, char** argv) {
   // --- Measured CPU ladder: the host-side analogue of the same narrative --
   std::vector<CpuRung> cpu_rungs;
   if (!cli.has("no-cpu")) {
-    cpu_rungs = {
-        {"reference (serial)", kernels::AxVariant::kReference, 1},
-        {"mxm", kernels::AxVariant::kMxm, 1},
-        {"mxm_blocked", kernels::AxVariant::kMxmBlocked, 1},
-        {"fixed", kernels::AxVariant::kFixed, 1},
-        {"fixed x" + std::to_string(sweep_threads) + " threads",
-         kernels::AxVariant::kFixed, sweep_threads},
+    const std::pair<const char*, kernels::AxVariant> kernel_rungs[] = {
+        {"reference (serial)", kernels::AxVariant::kReference},
+        {"mxm", kernels::AxVariant::kMxm},
+        {"mxm_blocked", kernels::AxVariant::kMxmBlocked},
+        {"fixed", kernels::AxVariant::kFixed},
     };
-
     bench::AxOperands data(degree, elements);
     const double flops = static_cast<double>(kernels::ax_flops(data.args.n1d, elements));
-    for (CpuRung& rung : cpu_rungs) {
-      rung.seconds = bench::time_apply(rung.variant, data.args, rung.threads, 0.2);
+    for (const auto& [name, variant] : kernel_rungs) {
+      CpuRung rung{name, kernels::ax_variant_name(variant), 1};
+      rung.seconds = bench::time_apply(variant, data.args, 1, 0.2);
       rung.gflops = flops / rung.seconds / 1e9;
+      cpu_rungs.push_back(std::move(rung));
+    }
+    {
+      CpuRung rung{"fixed x" + std::to_string(sweep_threads) + " threads",
+                   kernels::ax_variant_name(kernels::AxVariant::kFixed), sweep_threads};
+      rung.seconds =
+          bench::time_apply(kernels::AxVariant::kFixed, data.args, sweep_threads, 0.2);
+      rung.gflops = flops / rung.seconds / 1e9;
+      cpu_rungs.push_back(std::move(rung));
+    }
+
+    // Assembled-operator rungs on a real mesh: split vs fused gather-scatter.
+    bench::SystemOperands ops(degree, elements);
+    const double sys_flops =
+        static_cast<double>(kernels::ax_flops(degree + 1, ops.n_elements()));
+    ops.system.set_threads(sweep_threads);
+    for (const bool fused : {false, true}) {
+      ops.system.set_fused(fused);
+      CpuRung rung{fused ? "fused qqt-in-operator x" + std::to_string(sweep_threads)
+                         : "fixed + split qqt x" + std::to_string(sweep_threads),
+                   fused ? "fused" : "fixed+qqt", sweep_threads};
+      rung.seconds = bench::time_system_apply(ops, 0.2);
+      rung.gflops = sys_flops / rung.seconds / 1e9;
+      cpu_rungs.push_back(std::move(rung));
     }
   }
 
@@ -118,7 +144,7 @@ int main(int argc, char** argv) {
       std::fprintf(f,
                    "    {\"stage\": \"%s\", \"variant\": \"%s\", \"threads\": %d, "
                    "\"seconds_per_apply\": %.6e, \"gflops\": %.3f, \"speedup\": %.3f}%s\n",
-                   r.name.c_str(), kernels::ax_variant_name(r.variant), r.threads,
+                   r.name.c_str(), r.variant.c_str(), r.threads,
                    r.seconds, r.gflops, r.gflops / cpu_rungs.front().gflops,
                    i + 1 < cpu_rungs.size() ? "," : "");
     }

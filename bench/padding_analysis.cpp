@@ -14,7 +14,7 @@
 using namespace semfpga;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
+  const Cli cli(argc, argv, {"csv"});
   model::DeviceEnvelope env = fpga::stratix10_gx2800().envelope(300.0);
   const double bw_override = cli.get_double("bw", 0.0);
   if (bw_override > 0.0) {

@@ -87,7 +87,7 @@ double residual_floor(const sem::Mesh& mesh, bool fp32, int iters) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
+  const Cli cli(argc, argv, {"csv"});
   const int degree = static_cast<int>(cli.get_int("degree", 5));
   const int iters = static_cast<int>(cli.get_int("iters", 120));
 

@@ -14,7 +14,7 @@
 using namespace semfpga;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
+  const Cli cli(argc, argv, {"csv"});
   const fpga::MemorySpec spec = fpga::stratix10_gx2800().memory;
   const fpga::ExternalMemoryModel banked(spec, fpga::MemAllocation::kBanked);
   const fpga::ExternalMemoryModel inter(spec, fpga::MemAllocation::kInterleaved);

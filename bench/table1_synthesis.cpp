@@ -18,7 +18,7 @@
 using namespace semfpga;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
+  const Cli cli(argc, argv, {"csv", "pure-model"});
   const auto elements = static_cast<std::size_t>(cli.get_int("elements", 4096));
   const bool pure_model = cli.has("pure-model");
 

@@ -10,7 +10,7 @@
 using namespace semfpga;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
+  const Cli cli(argc, argv, {"csv"});
 
   Table table("Table II — Overview of selected systems");
   table.set_header({"Type", "Architecture", "Tech(nm)", "Peak(GFLOP/s)", "BW(GB/s)",

@@ -1,0 +1,36 @@
+# ctest driver: run the Nekbone proxy with the fused qqt-in-operator sweep
+# on and off and diff the converged residuals.  The fused apply is bitwise
+# identical to the split path, so the printed res=/iters= fields must match
+# character for character.
+#
+# Usage: cmake -DPROXY=<path-to-nekbone_proxy> -P nekbone_fused_parity.cmake
+
+if(NOT DEFINED PROXY)
+  message(FATAL_ERROR "pass -DPROXY=<path to nekbone_proxy>")
+endif()
+
+foreach(fused 0 1)
+  execute_process(
+    COMMAND ${PROXY} --degree 5 --nel 4 --iters 40 --threads 2 --fused=${fused}
+    OUTPUT_VARIABLE out_${fused}
+    ERROR_VARIABLE err_${fused}
+    RESULT_VARIABLE rc_${fused})
+  if(NOT rc_${fused} EQUAL 0)
+    message(FATAL_ERROR "nekbone_proxy --fused=${fused} failed (${rc_${fused}}):\n"
+                        "${out_${fused}}\n${err_${fused}}")
+  endif()
+  string(REGEX MATCH "res=[^ ]+" res_${fused} "${out_${fused}}")
+  string(REGEX MATCH "iters=[^ ]+" iters_${fused} "${out_${fused}}")
+  if(res_${fused} STREQUAL "")
+    message(FATAL_ERROR "no res= field in nekbone_proxy output:\n${out_${fused}}")
+  endif()
+  message(STATUS "--fused=${fused}: ${iters_${fused}} ${res_${fused}}")
+endforeach()
+
+if(NOT res_0 STREQUAL res_1)
+  message(FATAL_ERROR "fused/split residuals diverge: ${res_0} vs ${res_1}")
+endif()
+if(NOT iters_0 STREQUAL iters_1)
+  message(FATAL_ERROR "fused/split iteration counts diverge: ${iters_0} vs ${iters_1}")
+endif()
+message(STATUS "fused and split CG runs agree: ${res_1}")

@@ -5,9 +5,11 @@
 /// the solver.
 ///
 /// Usage: nekbone_proxy [--degree 7] [--nel 8] [--iters 100] [--fpga]
-///                      [--threads 1] [--variant fixed]
+///                      [--threads 1] [--variant fixed] [--fused 1]
 /// --threads 0 uses every hardware thread; --variant picks the Ax schedule
-/// (reference | mxm | mxm_blocked | fixed).
+/// (reference | mxm | mxm_blocked | fixed); --fused=0 runs the split
+/// Ax -> qqt -> mask passes instead of the fused qqt-in-operator sweep
+/// (bitwise identical results either way).
 
 #include <cstdio>
 
@@ -18,7 +20,7 @@
 
 int main(int argc, char** argv) {
   using namespace semfpga;
-  const Cli cli(argc, argv);
+  const Cli cli(argc, argv, {"fpga"});
 
   solver::NekboneConfig config;
   config.degree = static_cast<int>(cli.get_int("degree", 7));
@@ -26,6 +28,7 @@ int main(int argc, char** argv) {
   config.cg_iterations = static_cast<int>(cli.get_int("iters", 100));
   config.threads = static_cast<int>(cli.get_int("threads", 1));
   config.ax_variant = kernels::parse_ax_variant(cli.get("variant", "fixed"));
+  config.fused = cli.get_int("fused", 1) != 0;
 
   const solver::NekboneResult result = solver::run_nekbone(config);
   std::printf("%s\n", solver::format_result(config, result).c_str());

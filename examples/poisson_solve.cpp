@@ -15,7 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace semfpga;
-  const Cli cli(argc, argv);
+  const Cli cli(argc, argv, {"deformed"});
   const int nel = static_cast<int>(cli.get_int("nel", 2));
   const int max_degree = static_cast<int>(cli.get_int("max-degree", 10));
   const bool deformed = cli.has("deformed");

@@ -1,15 +1,32 @@
 #include "common/cli.hpp"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/check.hpp"
 
 namespace semfpga {
+namespace {
 
-Cli::Cli(int argc, const char* const* argv) {
+/// Only a `--`-prefixed token is a flag; a lone `-`, `-1.5` or `-x` is a
+/// value/positional.  This is what makes negative numbers valid flag values
+/// by design rather than by accident.
+bool is_flag_token(const char* token) {
+  return token[0] == '-' && token[1] == '-';
+}
+
+}  // namespace
+
+Cli::Cli(int argc, const char* const* argv,
+         std::initializer_list<const char*> boolean_flags) {
+  const auto is_boolean = [&](const std::string& name) {
+    return std::any_of(boolean_flags.begin(), boolean_flags.end(),
+                       [&](const char* b) { return name == b; });
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) {
+    if (!is_flag_token(arg.c_str())) {
       positional_.push_back(std::move(arg));
       continue;
     }
@@ -22,8 +39,9 @@ Cli::Cli(int argc, const char* const* argv) {
       flag.has_value = true;
     } else {
       flag.name = arg;
-      // `--name value` form: consume the next token if it is not a flag.
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      // `--name value` form: declared switches never consume a token, so a
+      // following positional stays positional.
+      if (!is_boolean(flag.name) && i + 1 < argc && !is_flag_token(argv[i + 1])) {
         flag.value = argv[++i];
         flag.has_value = true;
       }
@@ -53,7 +71,12 @@ long long Cli::get_int(const std::string& name, long long fallback) const {
   if (f == nullptr || !f->has_value) {
     return fallback;
   }
-  return std::strtoll(f->value.c_str(), nullptr, 10);
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(f->value.c_str(), &end, 10);
+  SEMFPGA_CHECK(end != f->value.c_str() && *end == '\0' && errno != ERANGE,
+                "--" + name + ": '" + f->value + "' is not a representable integer");
+  return value;
 }
 
 double Cli::get_double(const std::string& name, double fallback) const {
@@ -61,7 +84,12 @@ double Cli::get_double(const std::string& name, double fallback) const {
   if (f == nullptr || !f->has_value) {
     return fallback;
   }
-  return std::strtod(f->value.c_str(), nullptr);
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(f->value.c_str(), &end);
+  SEMFPGA_CHECK(end != f->value.c_str() && *end == '\0' && errno != ERANGE,
+                "--" + name + ": '" + f->value + "' is not a representable number");
+  return value;
 }
 
 }  // namespace semfpga

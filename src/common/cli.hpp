@@ -4,7 +4,15 @@
 ///
 /// Supports `--name=value` and `--name value` forms plus boolean switches.
 /// Deliberately minimal: the binaries take a handful of numeric knobs.
+///
+/// Binaries declare their value-less switches up front (`Cli(argc, argv,
+/// {"csv", "smoke"})`), so `--csv positional` never swallows the
+/// positional as the switch's value.  Numeric getters validate the whole
+/// token and throw std::invalid_argument on garbage — `--threads foo` is an
+/// error, not silently 0.  Negative numbers are valid values: only tokens
+/// starting with `--` are treated as flags, so `--shift -1.5` parses.
 
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -13,13 +21,20 @@ namespace semfpga {
 /// Parsed command line: flags plus positional arguments.
 class Cli {
  public:
-  Cli(int argc, const char* const* argv);
+  /// `boolean_flags` lists the switches that never consume a following
+  /// token as their value (they still accept the `--name=value` form).
+  Cli(int argc, const char* const* argv,
+      std::initializer_list<const char*> boolean_flags = {});
 
   /// True if `--name` was passed (with or without a value).
   [[nodiscard]] bool has(const std::string& name) const;
 
   /// Value of `--name`, or `fallback` when absent.
   [[nodiscard]] std::string get(const std::string& name, const std::string& fallback) const;
+
+  /// Numeric value of `--name`, or `fallback` when the flag is absent or
+  /// carries no value.  A value that is not entirely a number (e.g.
+  /// `--threads foo`, `--threads 4x`) throws std::invalid_argument.
   [[nodiscard]] long long get_int(const std::string& name, long long fallback) const;
   [[nodiscard]] double get_double(const std::string& name, double fallback) const;
 

@@ -65,9 +65,12 @@ namespace detail {
 
 void ax_reference_range(const AxArgs& args, std::size_t e_begin, std::size_t e_end) {
   const std::size_t ppe = static_cast<std::size_t>(args.n1d) * args.n1d * args.n1d;
-  std::vector<double> shur(ppe);
-  std::vector<double> shus(ppe);
-  std::vector<double> shut(ppe);
+  // Per-thread scratch survives across calls, so short ranges (the fused
+  // sweep's cache-sized chunks) pay no allocation.
+  static thread_local std::vector<double> shur, shus, shut;
+  shur.resize(ppe);
+  shus.resize(ppe);
+  shut.resize(ppe);
   for (std::size_t e = e_begin; e < e_end; ++e) {
     ax_element_body(args.u.data() + e * ppe, args.w.data() + e * ppe,
                     args.g.data() + e * ppe * sem::kGeomComponents, args.dx.data(),

@@ -75,4 +75,72 @@ void ax_run(AxVariant variant, const AxArgs& args, const AxExecPolicy& policy) {
                   });
 }
 
+namespace {
+
+/// Elements per operator/epilogue interleave inside one worker block: large
+/// enough to amortise per-range dispatch, small enough that the epilogue's
+/// Dirichlet-zero multiplies find w still cache-hot.
+constexpr std::size_t kFusedChunk = 8;
+
+}  // namespace
+
+void ax_run_fused(AxVariant variant, const AxArgs& args, const AxFusedScatter& fused,
+                  const AxExecPolicy& policy) {
+  args.validate();
+  SEMFPGA_CHECK(!fused.shared_offsets.empty(), "fused schedule has no shared rows");
+  SEMFPGA_CHECK(fused.shared_positions.size() ==
+                    static_cast<std::size_t>(fused.shared_offsets.back()),
+                "fused schedule offsets and positions disagree");
+  // A mesh can have no shared DOFs (single element), so the zero schedule —
+  // always n_elements + 1 offsets when masking — is the masked indicator.
+  const bool masked = !fused.zero_offsets.empty();
+  SEMFPGA_CHECK(!masked || (fused.shared_mask.size() == fused.shared_offsets.size() - 1 &&
+                            fused.zero_offsets.size() == args.n_elements + 1),
+                "mask schedule has the wrong size");
+  SEMFPGA_CHECK(masked || fused.shared_mask.empty(),
+                "shared_mask and the zero schedule must be supplied together");
+
+  // Pass 1 (element-parallel): apply the local operator; the epilogue
+  // multiplies the chunk's Dirichlet interior DOFs by 0.0 while they are
+  // cache-hot — bitwise exactly what the split mask sweep does to them,
+  // since multiplying the remaining DOFs by 1.0 would change nothing.
+  // Shared DOFs keep their unmasked values for the owner-computes sum.
+  parallel_blocks(args.n_elements, policy.threads,
+                  [&](std::size_t /*part*/, std::size_t begin, std::size_t end) {
+    for (std::size_t c = begin; c < end; c += kFusedChunk) {
+      const std::size_t chunk_end = c + kFusedChunk < end ? c + kFusedChunk : end;
+      ax_run_range(variant, args, c, chunk_end);
+      if (masked) {
+        for (std::int64_t k = fused.zero_offsets[c]; k < fused.zero_offsets[chunk_end];
+             ++k) {
+          args.w[static_cast<std::size_t>(
+              fused.zero_positions[static_cast<std::size_t>(k)])] *= 0.0;
+        }
+      }
+    }
+  });
+
+  // Pass 2 (shared-DOF-parallel): owner-computes sum of each shared row of
+  // w in fixed CSR order — bitwise the sum qqt computes — written back to
+  // every copy, scaled by the row's mask value (all copies of a global DOF
+  // share it).  Workers own disjoint rows, so this touches only the mesh
+  // surface instead of re-walking all n_local DOFs (and the interior
+  // global offsets) the way the split qqt + mask passes do.
+  const std::size_t n_shared = fused.shared_offsets.size() - 1;
+  parallel_for(n_shared, policy.threads, [&](std::size_t s) {
+    const std::int64_t begin = fused.shared_offsets[s];
+    const std::int64_t end = fused.shared_offsets[s + 1];
+    double sum = 0.0;
+    for (std::int64_t k = begin; k < end; ++k) {
+      sum += args.w[static_cast<std::size_t>(
+          fused.shared_positions[static_cast<std::size_t>(k)])];
+    }
+    const double out = masked ? sum * fused.shared_mask[s] : sum;
+    for (std::int64_t k = begin; k < end; ++k) {
+      args.w[static_cast<std::size_t>(
+          fused.shared_positions[static_cast<std::size_t>(k)])] = out;
+    }
+  });
+}
+
 }  // namespace semfpga::kernels

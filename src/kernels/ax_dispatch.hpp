@@ -63,6 +63,45 @@ void ax_run(AxVariant variant, const AxArgs& args, const AxExecPolicy& policy = 
 void ax_run_range(AxVariant variant, const AxArgs& args, std::size_t e_begin,
                   std::size_t e_end);
 
+/// Incidence schedule for the fused qqt-in-operator sweep: borrowed views
+/// into solver::GatherScatter's shared-DOF CSR (the rows of the gather
+/// schedule with more than one copy — the element→shared-DOF incidence)
+/// plus the system's Dirichlet-mask schedule.  See gather_scatter.hpp for
+/// the CSR layout contract.
+///
+/// The mask arrives pre-compiled into the two places a 0/1 mask can act
+/// (multiplying by 1.0 is a bitwise no-op, so everything else is skipped):
+///  * `zero_offsets` / `zero_positions` — per-element CSR of the
+///    multiplicity-1 DOFs whose mask is 0; the element epilogue multiplies
+///    exactly these by 0.0 while the element is cache-hot.
+///  * `shared_mask` — one mask value per shared row (every copy of a
+///    global DOF shares it), applied to the owner-computes sums.
+/// All three are supplied together (masked apply) or all empty (unmasked).
+struct AxFusedScatter {
+  std::span<const std::int64_t> shared_offsets;    ///< n_shared_dofs + 1
+  std::span<const std::int64_t> shared_positions;  ///< shared copies, CSR order
+  std::span<const double> shared_mask;           ///< per shared row (optional)
+  std::span<const std::int64_t> zero_offsets;    ///< n_elements + 1 (optional)
+  std::span<const std::int64_t> zero_positions;  ///< masked interior DOFs
+};
+
+/// Fused operator + direct-stiffness sweep: w = [mask] QQ^T (A_local u) as
+/// one pass over the elements plus a surface-only owner-computes reduction,
+/// instead of the split ax_run → qqt → mask round trips over all n_local
+/// DOFs.  A per-element epilogue masks the element's Dirichlet interior
+/// DOFs while it is cache-hot (all other DOFs stream through untouched);
+/// the second sweep walks only the shared CSR rows, summing each row of w
+/// in qqt's fixed order and writing the row-masked sum back to every copy.
+/// The sweep does a strict subset of the split path's memory traffic — no
+/// full-length mask pass, no offsets walk over the interior global DOFs.
+/// Honours the full variant ladder (including the ax_fixed_n1d<N1D>
+/// compile-time dispatch) and is bitwise identical to the split path at
+/// any thread count: element outputs are unchanged, shared-row sums run in
+/// exactly qqt's order, and the masking performs the identical 0.0/1.0
+/// multiplications the split mask sweep does.
+void ax_run_fused(AxVariant variant, const AxArgs& args, const AxFusedScatter& fused,
+                  const AxExecPolicy& policy = {});
+
 /// Smallest/largest polynomial-order template instantiation: n1d outside
 /// [kAxFixedMinN1d, kAxFixedMaxN1d] takes the runtime-order fallback.
 inline constexpr int kAxFixedMinN1d = 2;

@@ -86,9 +86,9 @@ void ax_element_fixed(const double* __restrict u, double* __restrict w,
 template <int N1D>
 void ax_fixed_n1d(const AxArgs& args, std::size_t e_begin, std::size_t e_end) {
   constexpr std::size_t ppe = static_cast<std::size_t>(N1D) * N1D * N1D;
-  std::vector<double> shur(ppe);
-  std::vector<double> shus(ppe);
-  std::vector<double> shut(ppe);
+  // Per-thread scratch survives across calls, so short ranges (the fused
+  // sweep's cache-sized chunks) pay no allocation.
+  static thread_local std::vector<double> shur(ppe), shus(ppe), shut(ppe);
   for (std::size_t e = e_begin; e < e_end; ++e) {
     ax_element_fixed<N1D>(args.u.data() + e * ppe, args.w.data() + e * ppe,
                           args.g.data() + e * ppe * sem::kGeomComponents, args.dx.data(),

@@ -35,9 +35,12 @@ void ax_mxm_range_impl(const AxArgs& args, std::size_t e_begin, std::size_t e_en
     }
   };
 
-  std::vector<double> ur(ppe);
-  std::vector<double> us(ppe);
-  std::vector<double> ut(ppe);
+  // Per-thread scratch survives across calls, so short ranges (the fused
+  // sweep's cache-sized chunks) pay no allocation.
+  static thread_local std::vector<double> ur, us, ut;
+  ur.resize(ppe);
+  us.resize(ppe);
+  ut.resize(ppe);
 
   for (std::size_t e = e_begin; e < e_end; ++e) {
     const double* u = args.u.data() + e * ppe;

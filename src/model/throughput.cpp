@@ -74,23 +74,37 @@ Throughput max_throughput(const KernelCost& cost, const DeviceEnvelope& device,
   t.t_design = feasible_unroll(cost.n1d(), envelope, policy);
   t.t_effective = std::min(static_cast<double>(t.t_design), t.t_bandwidth);
 
-  // Attribute the limiter: what stopped the next power of two?
+  // Attribute the limiter: what stopped the next power of two?  When the
+  // envelope is the binding constraint, the limiter is the *argmin* of the
+  // bounds — not the first bound that happens to sit below `next`, which
+  // misattributed e.g. a register-limited design whose ALM bound was also
+  // below `next` as logic-limited.
   const double next = 2.0 * t.t_design;
   if (t.t_effective < t.t_design) {
     t.limiter = Limiter::kBandwidth;
   } else if (feasible_unroll(cost.n1d(), 8.0 * envelope, policy) == t.t_design) {
     // Even with 8x the envelope the unroll could not grow: divisibility.
     t.limiter = Limiter::kUnroll;
-  } else if (t.t_bandwidth < next) {
-    t.limiter = Limiter::kBandwidth;
-  } else if (t.t_alm < next) {
-    t.limiter = Limiter::kLogic;
-  } else if (t.t_dsp < next) {
-    t.limiter = Limiter::kDsp;
-  } else if (t.t_bram < next) {
-    t.limiter = Limiter::kBram;
-  } else if (t.t_reg < next) {
-    t.limiter = Limiter::kRegisters;
+  } else if (envelope < next) {
+    if (t.t_bandwidth <= t.t_resource) {
+      t.limiter = Limiter::kBandwidth;
+    } else {
+      // Argmin over the resource bounds (ties resolve in the fixed order
+      // logic, registers, dsp, bram — the order t_resource is computed in).
+      t.limiter = Limiter::kLogic;
+      double min_bound = t.t_alm;
+      if (t.t_reg < min_bound) {
+        min_bound = t.t_reg;
+        t.limiter = Limiter::kRegisters;
+      }
+      if (t.t_dsp < min_bound) {
+        min_bound = t.t_dsp;
+        t.limiter = Limiter::kDsp;
+      }
+      if (t.t_bram < min_bound) {
+        t.limiter = Limiter::kBram;
+      }
+    }
   } else {
     t.limiter = Limiter::kUnroll;
   }

@@ -9,7 +9,10 @@
 namespace semfpga::solver {
 
 /// Each CG iteration is three fused parallel passes plus the operator:
-///   1. w = A p, pw = <p, w>_c           (operator + one weighted dot)
+///   1. w = A p, pw = <p, w>_c           (operator + one weighted dot; the
+///      operator itself is the fused qqt-in-operator sweep — gather-scatter
+///      and mask run in the Ax epilogue, so no separate qqt pass re-reads
+///      the local DOFs — unless the system was built with set_fused(false))
 ///   2. x += alpha p, r -= alpha w,      (both axpys fused with the
 ///      rr = <r, r>_c                     residual-norm reduction)
 ///   3. z = P^{-1} r, rho = <r, z>_c     (preconditioner fused with its dot;

@@ -32,6 +32,21 @@ GatherScatter::GatherScatter(const sem::Mesh& mesh)
     multiplicity_[p] = m;
     inv_multiplicity_[p] = 1.0 / m;
   }
+
+  // Element→shared-DOF incidence schedule: the CSR rows of length > 1 (the
+  // face/edge/corner DOFs shared between elements), kept in the full
+  // schedule's order so the fused sweep's shared-row sums are bitwise
+  // identical to qqt's.
+  shared_offsets_.push_back(0);
+  for (std::size_t g = 0; g < n_global_; ++g) {
+    if (offsets_[g + 1] - offsets_[g] < 2) {
+      continue;
+    }
+    for (std::int64_t k = offsets_[g]; k < offsets_[g + 1]; ++k) {
+      shared_positions_.push_back(positions_[static_cast<std::size_t>(k)]);
+    }
+    shared_offsets_.push_back(static_cast<std::int64_t>(shared_positions_.size()));
+  }
 }
 
 void GatherScatter::scatter_add(std::span<const double> local,

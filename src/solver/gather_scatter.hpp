@@ -15,6 +15,14 @@
 /// worker owns disjoint outputs) and nothing ever re-zeroes an O(n_global)
 /// vector.  Sums run in fixed CSR order, so results are bitwise identical
 /// for any thread count.
+///
+/// For the fused qqt-in-operator sweep (kernels::ax_run_fused) the
+/// constructor additionally builds the element→shared-DOF incidence
+/// schedule: the CSR restricted to shared DOFs (multiplicity > 1), kept in
+/// the full schedule's (global id, local position) order so the fused
+/// shared-row sums run in exactly the order qqt uses — which is what makes
+/// the fused apply bitwise equal to the split Ax + qqt path while walking
+/// only the mesh surface.
 
 #include <cstdint>
 #include <span>
@@ -75,6 +83,26 @@ class GatherScatter {
     return positions_;
   }
 
+  /// --- Element→shared-DOF incidence schedule (fused operator sweep) ---
+
+  /// Number of global DOFs with more than one local copy.
+  [[nodiscard]] std::size_t n_shared_dofs() const noexcept {
+    return shared_offsets_.size() - 1;
+  }
+  /// Total local copies of shared DOFs == size of the fused slot buffer.
+  [[nodiscard]] std::size_t n_shared_copies() const noexcept {
+    return shared_positions_.size();
+  }
+  /// Shared-DOF CSR: the rows of the full gather schedule with length > 1,
+  /// in the same (global id, local position) order.  Row s covers entries
+  /// [shared_offsets()[s], shared_offsets()[s + 1]) of shared_positions().
+  [[nodiscard]] const std::vector<std::int64_t>& shared_offsets() const noexcept {
+    return shared_offsets_;
+  }
+  [[nodiscard]] const std::vector<std::int64_t>& shared_positions() const noexcept {
+    return shared_positions_;
+  }
+
  private:
   std::vector<std::int64_t> ids_;
   std::size_t n_global_ = 0;
@@ -83,6 +111,8 @@ class GatherScatter {
   aligned_vector<double> inv_multiplicity_;
   std::vector<std::int64_t> offsets_;    ///< CSR row pointers, n_global + 1
   std::vector<std::int64_t> positions_;  ///< CSR column data, n_local
+  std::vector<std::int64_t> shared_offsets_;    ///< shared-row pointers, n_shared + 1
+  std::vector<std::int64_t> shared_positions_;  ///< shared copies, CSR order
 };
 
 }  // namespace semfpga::solver

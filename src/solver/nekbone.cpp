@@ -19,6 +19,7 @@ NekboneResult run_nekbone(const NekboneConfig& config) {
   PoissonSystem system(mesh);
   system.set_ax_variant(config.ax_variant);
   system.set_threads(config.threads);
+  system.set_fused(config.fused);
 
   const std::size_t n = system.n_local();
   aligned_vector<double> f(n);
@@ -64,12 +65,12 @@ NekboneResult run_nekbone(const NekboneConfig& config) {
 std::string format_result(const NekboneConfig& config, const NekboneResult& result) {
   char buf[320];
   std::snprintf(buf, sizeof(buf),
-                "nekbone N=%d elements=%zu dofs=%zu ax=%s threads=%d iters=%d "
+                "nekbone N=%d elements=%zu dofs=%zu ax=%s fused=%d threads=%d iters=%d "
                 "res=%.3e time=%.3fs GFLOP/s=%.2f (Ax-only %.2f)",
                 config.degree, result.n_elements, result.n_dofs,
-                kernels::ax_variant_name(config.ax_variant), config.threads,
-                result.iterations, result.final_residual, result.seconds,
-                result.gflops, result.ax_gflops);
+                kernels::ax_variant_name(config.ax_variant), config.fused ? 1 : 0,
+                config.threads, result.iterations, result.final_residual,
+                result.seconds, result.gflops, result.ax_gflops);
   return buf;
 }
 

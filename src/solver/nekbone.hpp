@@ -24,6 +24,9 @@ struct NekboneConfig {
   sem::Deformation deformation = sem::Deformation::kNone;
   /// Ax schedule for the hot path (kernels/ax_dispatch.hpp variant ladder).
   kernels::AxVariant ax_variant = kernels::AxVariant::kFixed;
+  /// Fused qqt-in-operator sweep (CLI --fused; bitwise identical either
+  /// way — false restores the split Ax → qqt → mask passes).
+  bool fused = true;
   /// Worker threads for the whole solve (operator, gather-scatter, vector
   /// passes): 1 = serial, 0 = all hardware threads.  The iterates are
   /// bitwise identical for any value.

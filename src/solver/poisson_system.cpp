@@ -38,28 +38,69 @@ PoissonSystem::PoissonSystem(const sem::Mesh& mesh)
     diagonal_[p] = mask_[p] != 0.0 ? local_diag[p] : 1.0;
   }
 
+  // Compile the mask for the fused qqt-in-operator sweep: the mask value of
+  // each shared CSR row, and the per-element list of multiplicity-1 DOFs
+  // the epilogue must zero.
+  const auto& shared_offsets = gs_.shared_offsets();
+  const auto& shared_positions = gs_.shared_positions();
+  shared_row_mask_.resize(gs_.n_shared_dofs());
+  for (std::size_t s = 0; s < gs_.n_shared_dofs(); ++s) {
+    shared_row_mask_[s] = mask_[static_cast<std::size_t>(
+        shared_positions[static_cast<std::size_t>(shared_offsets[s])])];
+  }
+  zero_offsets_.assign(geom_.n_elements + 1, 0);
+  for (std::size_t p = 0; p < n; ++p) {
+    if (gs_.multiplicity()[p] == 1.0 && mask_[p] == 0.0) {
+      zero_positions_.push_back(static_cast<std::int64_t>(p));
+      ++zero_offsets_[p / ppe + 1];
+    }
+  }
+  for (std::size_t e = 0; e < geom_.n_elements; ++e) {
+    zero_offsets_[e + 1] += zero_offsets_[e];
+  }
+
   // Default element operator: the execution engine on the fixed-order
   // kernel; variant and thread count stay adjustable after construction.
   set_ax_variant(kernels::AxVariant::kFixed);
 }
 
+kernels::AxArgs PoissonSystem::make_ax_args(std::span<const double> u,
+                                            std::span<double> w) const {
+  kernels::AxArgs args;
+  args.u = u;
+  args.w = w;
+  args.g = std::span<const double>(geom_.g.data(), geom_.g.size());
+  args.dx = std::span<const double>(ref_.deriv().d.data(), ref_.deriv().d.size());
+  args.dxt = std::span<const double>(ref_.deriv().dt.data(), ref_.deriv().dt.size());
+  args.n1d = ref_.n1d();
+  args.n_elements = geom_.n_elements;
+  return args;
+}
+
+kernels::AxFusedScatter PoissonSystem::fused_view(bool masked) const {
+  kernels::AxFusedScatter fused;
+  fused.shared_offsets = gs_.shared_offsets();
+  fused.shared_positions = gs_.shared_positions();
+  if (masked) {
+    fused.shared_mask =
+        std::span<const double>(shared_row_mask_.data(), shared_row_mask_.size());
+    fused.zero_offsets = zero_offsets_;
+    fused.zero_positions = zero_positions_;
+  }
+  return fused;
+}
+
 void PoissonSystem::set_local_operator(LocalOperator op) {
   SEMFPGA_CHECK(static_cast<bool>(op), "local operator must be callable");
   local_op_ = std::move(op);
+  custom_op_ = true;
 }
 
 void PoissonSystem::set_ax_variant(kernels::AxVariant variant) {
   ax_variant_ = variant;
+  custom_op_ = false;
   local_op_ = [this](std::span<const double> u, std::span<double> w) {
-    kernels::AxArgs args;
-    args.u = u;
-    args.w = w;
-    args.g = std::span<const double>(geom_.g.data(), geom_.g.size());
-    args.dx = std::span<const double>(ref_.deriv().d.data(), ref_.deriv().d.size());
-    args.dxt = std::span<const double>(ref_.deriv().dt.data(), ref_.deriv().dt.size());
-    args.n1d = ref_.n1d();
-    args.n_elements = geom_.n_elements;
-    kernels::ax_run(ax_variant_, args, kernels::AxExecPolicy{threads_});
+    kernels::ax_run(ax_variant_, make_ax_args(u, w), kernels::AxExecPolicy{threads_});
   };
 }
 
@@ -69,6 +110,13 @@ void PoissonSystem::set_threads(int threads) {
 }
 
 void PoissonSystem::apply(std::span<const double> u, std::span<double> w) const {
+  if (use_fused()) {
+    SEMFPGA_CHECK(u.size() == n_local() && w.size() == n_local(),
+                  "field views must cover the whole mesh");
+    kernels::ax_run_fused(ax_variant_, make_ax_args(u, w), fused_view(/*masked=*/true),
+                          kernels::AxExecPolicy{threads_});
+    return;
+  }
   apply_unmasked(u, w);
   parallel_for(w.size(), threads_, [&](std::size_t p) { w[p] *= mask_[p]; });
 }
@@ -77,6 +125,11 @@ void PoissonSystem::apply_unmasked(std::span<const double> u,
                                    std::span<double> w) const {
   SEMFPGA_CHECK(u.size() == n_local() && w.size() == n_local(),
                 "field views must cover the whole mesh");
+  if (use_fused()) {
+    kernels::ax_run_fused(ax_variant_, make_ax_args(u, w), fused_view(/*masked=*/false),
+                          kernels::AxExecPolicy{threads_});
+    return;
+  }
   local_op_(u, w);
   gs_.qqt(w);
 }

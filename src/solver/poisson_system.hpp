@@ -7,6 +7,13 @@
 /// diagonal.  The operator is
 ///     w = mask( Q Q^T ( A_local u ) )
 /// exactly as Nekbone applies it inside CG.
+///
+/// By default the operator runs as one fused sweep (kernels::ax_run_fused):
+/// the gather-scatter and the mask are folded into a per-element epilogue of
+/// the Ax batch, so no separate qqt pass re-reads every local DOF.  The
+/// fused apply is bitwise identical to the split Ax + qqt + mask path at
+/// any thread count; set_fused(false) (CLI: --fused=0) restores the split
+/// sweeps, and installing a custom local operator always uses them.
 
 #include <functional>
 #include <span>
@@ -61,6 +68,12 @@ class PoissonSystem {
   void set_threads(int threads);
   [[nodiscard]] int threads() const noexcept { return threads_; }
 
+  /// Toggles the fused qqt-in-operator sweep (default on).  Only affects
+  /// the engine-variant operator: a custom local operator always takes the
+  /// split Ax → qqt → mask path, whatever this flag says.
+  void set_fused(bool fused) noexcept { fused_ = fused; }
+  [[nodiscard]] bool fused() const noexcept { return fused_; }
+
   /// Full system operator: w = mask(QQ^T(A_local u)).  u must be continuous
   /// (equal local copies of shared DOFs); the result is continuous.
   void apply(std::span<const double> u, std::span<double> w) const;
@@ -83,6 +96,15 @@ class PoissonSystem {
                                     std::span<const double> b) const;
 
  private:
+  /// Engine operands over the system's geometry for the input/output pair.
+  [[nodiscard]] kernels::AxArgs make_ax_args(std::span<const double> u,
+                                             std::span<double> w) const;
+  /// Incidence view over gs_'s schedule (+ the slot scratch); masked = fold
+  /// the Dirichlet mask into the fused epilogue.
+  [[nodiscard]] kernels::AxFusedScatter fused_view(bool masked) const;
+  /// True when apply/apply_unmasked should take the fused sweep.
+  [[nodiscard]] bool use_fused() const noexcept { return fused_ && !custom_op_; }
+
   const sem::Mesh& mesh_;
   sem::ReferenceElement ref_;
   sem::GeomFactors geom_;
@@ -92,6 +114,15 @@ class PoissonSystem {
   LocalOperator local_op_;
   kernels::AxVariant ax_variant_ = kernels::AxVariant::kFixed;
   int threads_ = 1;
+  bool fused_ = true;
+  bool custom_op_ = false;
+  /// The Dirichlet mask compiled for the fused sweep: one mask value per
+  /// shared CSR row (all copies of a global DOF share it), and a
+  /// per-element CSR of the multiplicity-1 DOFs whose mask is 0 — the only
+  /// places a 0/1 mask does anything bitwise.
+  aligned_vector<double> shared_row_mask_;
+  std::vector<std::int64_t> zero_offsets_;    ///< n_elements + 1
+  std::vector<std::int64_t> zero_positions_;  ///< masked interior DOFs
 };
 
 }  // namespace semfpga::solver

@@ -1,5 +1,7 @@
 #include "common/cli.hpp"
 
+#include <stdexcept>
+
 #include <gtest/gtest.h>
 
 namespace semfpga {
@@ -45,6 +47,81 @@ TEST(Cli, PositionalArguments) {
 TEST(Cli, DoubleParsing) {
   const Cli cli = make({"--bw=76.8"});
   EXPECT_DOUBLE_EQ(cli.get_double("bw", 0.0), 76.8);
+}
+
+Cli make_bool(std::initializer_list<const char*> args,
+              std::initializer_list<const char*> booleans) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data(), booleans);
+}
+
+TEST(Cli, MalformedIntThrowsInsteadOfReturningZero) {
+  // --threads foo used to silently mean --threads 0.
+  const Cli cli = make({"--threads", "foo"});
+  EXPECT_THROW((void)cli.get_int("threads", 1), std::invalid_argument);
+}
+
+TEST(Cli, PartiallyNumericValuesThrow) {
+  const Cli cli = make({"--threads=4x", "--bw=1.5gb"});
+  EXPECT_THROW((void)cli.get_int("threads", 1), std::invalid_argument);
+  EXPECT_THROW((void)cli.get_double("bw", 0.0), std::invalid_argument);
+}
+
+TEST(Cli, EmptyValueThrowsOnNumericGet) {
+  const Cli cli = make({"--threads="});
+  EXPECT_THROW((void)cli.get_int("threads", 1), std::invalid_argument);
+}
+
+TEST(Cli, OutOfRangeValuesThrowInsteadOfSaturating) {
+  const Cli cli = make({"--elements=99999999999999999999", "--bw=1e999"});
+  EXPECT_THROW((void)cli.get_int("elements", 1), std::invalid_argument);
+  EXPECT_THROW((void)cli.get_double("bw", 0.0), std::invalid_argument);
+}
+
+TEST(Cli, MalformedDoubleThrows) {
+  const Cli cli = make({"--min-time", "fast"});
+  EXPECT_THROW((void)cli.get_double("min-time", 0.2), std::invalid_argument);
+}
+
+TEST(Cli, ValuelessFlagStillReturnsFallback) {
+  const Cli cli = make_bool({"--fused"}, {"fused"});
+  EXPECT_EQ(cli.get_int("fused", 1), 1);
+  EXPECT_TRUE(cli.has("fused"));
+}
+
+TEST(Cli, DeclaredBooleanDoesNotSwallowPositional) {
+  // --json report.json stays a value flag; --csv input.txt must leave the
+  // positional alone.
+  const Cli cli = make_bool({"--csv", "input.txt"}, {"csv"});
+  EXPECT_TRUE(cli.has("csv"));
+  EXPECT_EQ(cli.get("csv", "none"), "none");
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+}
+
+TEST(Cli, DeclaredBooleanStillAcceptsEqualsForm) {
+  const Cli cli = make_bool({"--csv=1"}, {"csv"});
+  EXPECT_EQ(cli.get_int("csv", 0), 1);
+}
+
+TEST(Cli, UndeclaredFlagStillConsumesValueToken) {
+  const Cli cli = make_bool({"--degree", "9", "--csv"}, {"csv"});
+  EXPECT_EQ(cli.get_int("degree", 0), 9);
+  EXPECT_TRUE(cli.has("csv"));
+  EXPECT_TRUE(cli.positional().empty());
+}
+
+TEST(Cli, NegativeNumberValuesParse) {
+  // A single-dash token is a value, not a flag, by design.
+  const Cli cli = make({"--shift", "-1.5", "--offset", "-42"});
+  EXPECT_DOUBLE_EQ(cli.get_double("shift", 0.0), -1.5);
+  EXPECT_EQ(cli.get_int("offset", 0), -42);
+}
+
+TEST(Cli, NegativeNumberEqualsFormParses) {
+  const Cli cli = make({"--shift=-1.5"});
+  EXPECT_DOUBLE_EQ(cli.get_double("shift", 0.0), -1.5);
 }
 
 }  // namespace

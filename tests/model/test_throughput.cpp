@@ -121,6 +121,71 @@ TEST(Throughput, RejectsNonPositiveClockOrBandwidth) {
                std::invalid_argument);
 }
 
+/// Synthetic device where the per-lane resource costs and totals are chosen
+/// directly, so each resource bound can be pinned wherever a test needs it.
+/// Per-lane cost: alms 111, registers 111*reg_cost, dsps 111*dsp_cost,
+/// brams = bram_per_lane (poisson_cost(7): 54 adds + 57 mults per DOF).
+DeviceEnvelope synthetic_env(double alms, double regs, double dsps, double brams,
+                             double reg_cost, double dsp_cost, double bram_per_lane,
+                             double bandwidth = 1e15) {
+  DeviceEnvelope env;
+  env.name = "synthetic";
+  env.total = {alms, regs, dsps, brams};
+  env.base = {};
+  env.op_cost.add = {1.0, reg_cost, dsp_cost, 0.0};
+  env.op_cost.mult = {1.0, reg_cost, dsp_cost, 0.0};
+  env.op_cost.name = "synthetic";
+  env.bram_per_lane = bram_per_lane;
+  env.bandwidth_bytes = bandwidth;  // huge: resources decide by default
+  env.clock_hz = 300e6;
+  return env;
+}
+
+TEST(Throughput, RegisterArgminIsNotMisreportedAsLogic) {
+  // t_alm = 600/111 = 5.41, t_reg = 900/222 = 4.05: both below next = 8,
+  // registers are the argmin.  The old first-below-`next` cascade called
+  // this logic-limited.
+  const DeviceEnvelope env = synthetic_env(600, 900, 0, 0, 2.0, 0.0, 0.0);
+  const Throughput t = max_throughput(poisson_cost(7), env, UnrollPolicy::kInnerDim);
+  ASSERT_EQ(t.t_design, 4);
+  EXPECT_LT(t.t_alm, 2.0 * t.t_design);  // ALM bound also below next...
+  EXPECT_LT(t.t_reg, t.t_alm);           // ...but registers are tighter
+  EXPECT_EQ(t.limiter, Limiter::kRegisters);
+}
+
+TEST(Throughput, LimiterIsTheArgminOfTheResourceBounds) {
+  const KernelCost cost = poisson_cost(7);
+  struct Case {
+    DeviceEnvelope env;
+    Limiter want;
+  };
+  const Case cases[] = {
+      // alms tightest: t_alm = 4.5, t_reg = 6.3, others unconstrained.
+      {synthetic_env(500, 700, 0, 0, 1.0, 0.0, 0.0), Limiter::kLogic},
+      // dsps tightest: t_dsp = 450/111 = 4.05 < t_alm = 5.4.
+      {synthetic_env(600, 0, 450, 0, 0.0, 1.0, 0.0), Limiter::kDsp},
+      // brams tightest: t_bram = 65/16 = 4.06 < t_alm = 5.4.
+      {synthetic_env(600, 0, 0, 65, 0.0, 0.0, 16.0), Limiter::kBram},
+  };
+  for (const Case& c : cases) {
+    const Throughput t = max_throughput(cost, c.env, UnrollPolicy::kInnerDim);
+    ASSERT_EQ(t.t_design, 4);
+    EXPECT_EQ(t.limiter, c.want) << limiter_name(t.limiter);
+  }
+}
+
+TEST(Throughput, BandwidthBelowResourcesAttributesBandwidth) {
+  // Resources allow ~5.4 lanes but the memory feeds only 5: with both under
+  // next = 8, bandwidth is the argmin and must win the attribution.
+  // T_B = 5 needs B = 5 * 64 * 300e6.
+  const DeviceEnvelope env =
+      synthetic_env(600, 0, 0, 0, 0.0, 0.0, 0.0, 5.0 * 64.0 * 300e6);
+  const Throughput t = max_throughput(poisson_cost(7), env, UnrollPolicy::kInnerDim);
+  ASSERT_EQ(t.t_design, 4);
+  EXPECT_LT(t.t_bandwidth, t.t_resource);
+  EXPECT_EQ(t.limiter, Limiter::kBandwidth);
+}
+
 TEST(Throughput, LimiterNamesAreStable) {
   EXPECT_STREQ(limiter_name(Limiter::kBandwidth), "bandwidth");
   EXPECT_STREQ(limiter_name(Limiter::kLogic), "logic");

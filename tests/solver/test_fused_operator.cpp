@@ -1,0 +1,231 @@
+/// Contract of the fused qqt-in-operator sweep: PoissonSystem's fused apply
+/// must be *bitwise* identical to the split Ax -> qqt -> mask path, for
+/// every engine variant, at every thread count, across the paper degrees on
+/// deformed meshes — and a CG solve through the fused operator must be
+/// bitwise deterministic under re-threading and bitwise equal to the split
+/// solve.
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "solver/cg.hpp"
+
+namespace semfpga::solver {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+sem::Mesh make_mesh(int degree, sem::Deformation def) {
+  sem::BoxMeshSpec spec;
+  spec.degree = degree;
+  spec.nelx = spec.nely = spec.nelz = 2;
+  spec.deformation = def;
+  spec.deformation_amplitude = 0.04;
+  return sem::box_mesh(spec);
+}
+
+aligned_vector<double> random_field(std::size_t n, std::uint64_t seed) {
+  aligned_vector<double> v(n);
+  SplitMix64 rng(seed);
+  for (double& x : v) {
+    x = rng.uniform(-1.0, 1.0);
+  }
+  return v;
+}
+
+using FusedCase = std::tuple<int, kernels::AxVariant, sem::Deformation>;
+
+class FusedParity : public ::testing::TestWithParam<FusedCase> {};
+
+TEST_P(FusedParity, FusedApplyIsBitwiseEqualToSplitAtAnyThreadCount) {
+  const auto [degree, variant, deformation] = GetParam();
+  const sem::Mesh mesh = make_mesh(degree, deformation);
+  PoissonSystem system(mesh);
+  system.set_ax_variant(variant);
+
+  const std::size_t n = system.n_local();
+  const aligned_vector<double> u = random_field(n, 97 + static_cast<std::uint64_t>(degree));
+  aligned_vector<double> w_split(n, 0.0);
+  aligned_vector<double> w_fused(n, 0.0);
+
+  // The split serial apply is the oracle for every (fused, threads) cell.
+  system.set_threads(1);
+  system.set_fused(false);
+  system.apply(std::span<const double>(u.data(), n), std::span<double>(w_split.data(), n));
+
+  system.set_fused(true);
+  for (const int threads : {1, 2, 4}) {
+    system.set_threads(threads);
+    std::fill(w_fused.begin(), w_fused.end(), 0.0);
+    system.apply(std::span<const double>(u.data(), n), std::span<double>(w_fused.data(), n));
+    for (std::size_t p = 0; p < n; ++p) {
+      ASSERT_EQ(w_fused[p], w_split[p])
+          << kernels::ax_variant_name(variant) << " dof " << p << " at " << threads
+          << " threads";
+    }
+  }
+}
+
+TEST_P(FusedParity, UnmaskedApplyIsBitwiseEqualToSplit) {
+  const auto [degree, variant, deformation] = GetParam();
+  const sem::Mesh mesh = make_mesh(degree, deformation);
+  PoissonSystem system(mesh);
+  system.set_ax_variant(variant);
+
+  const std::size_t n = system.n_local();
+  const aligned_vector<double> u = random_field(n, 131 + static_cast<std::uint64_t>(degree));
+  aligned_vector<double> w_split(n, 0.0);
+  aligned_vector<double> w_fused(n, 0.0);
+
+  system.set_fused(false);
+  system.apply_unmasked(std::span<const double>(u.data(), n),
+                        std::span<double>(w_split.data(), n));
+  system.set_fused(true);
+  system.set_threads(4);
+  system.apply_unmasked(std::span<const double>(u.data(), n),
+                        std::span<double>(w_fused.data(), n));
+  for (std::size_t p = 0; p < n; ++p) {
+    ASSERT_EQ(w_fused[p], w_split[p]) << "dof " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Degrees3To9, FusedParity,
+    ::testing::Combine(::testing::Values(3, 4, 5, 6, 7, 8, 9),
+                       ::testing::ValuesIn(kernels::kAllAxVariants),
+                       ::testing::Values(sem::Deformation::kSine,
+                                         sem::Deformation::kTwist)),
+    [](const ::testing::TestParamInfo<FusedCase>& info) {
+      return std::string("N") + std::to_string(std::get<0>(info.param)) + "_" +
+             kernels::ax_variant_name(std::get<1>(info.param)) + "_" +
+             (std::get<2>(info.param) == sem::Deformation::kSine ? "sine" : "twist");
+    });
+
+/// One full CG solve; `fused` and `threads` select the operator path.
+CgResult run_cg(bool fused, int threads, std::vector<double>* history,
+                aligned_vector<double>* solution) {
+  sem::BoxMeshSpec spec;
+  spec.degree = 6;
+  spec.nelx = spec.nely = spec.nelz = 3;
+  spec.deformation = sem::Deformation::kTwist;
+  spec.deformation_amplitude = 0.03;
+  const sem::Mesh mesh = sem::box_mesh(spec);
+  PoissonSystem system(mesh);
+  system.set_fused(fused);
+  system.set_threads(threads);
+
+  const std::size_t n = system.n_local();
+  aligned_vector<double> f(n);
+  system.sample(
+      [](double x, double y, double z) {
+        return 3.0 * kPi * kPi * std::sin(kPi * x) * std::sin(kPi * y) *
+               std::sin(kPi * z);
+      },
+      std::span<double>(f.data(), n));
+  aligned_vector<double> b(n);
+  system.assemble_rhs(std::span<const double>(f.data(), n),
+                      std::span<double>(b.data(), n));
+
+  CgOptions options;
+  options.tolerance = 1e-10;
+  options.max_iterations = 400;
+  options.use_jacobi = true;
+  options.record_history = true;
+  options.threads = threads;
+
+  solution->assign(n, 0.0);
+  const CgResult r = solve_cg(system, std::span<const double>(b.data(), n),
+                              std::span<double>(solution->data(), n), options);
+  *history = r.residual_history;
+  return r;
+}
+
+TEST(FusedCg, RethreadingTheFusedPathIsBitwiseDeterministic) {
+  std::vector<double> serial_history;
+  aligned_vector<double> serial_x;
+  const CgResult serial = run_cg(/*fused=*/true, 1, &serial_history, &serial_x);
+  ASSERT_TRUE(serial.converged);
+
+  for (const int threads : {2, 4, 0}) {  // 0 = all hardware threads
+    std::vector<double> history;
+    aligned_vector<double> x;
+    const CgResult r = run_cg(/*fused=*/true, threads, &history, &x);
+    ASSERT_EQ(r.iterations, serial.iterations) << threads << " threads";
+    ASSERT_EQ(history.size(), serial_history.size());
+    for (std::size_t i = 0; i < history.size(); ++i) {
+      ASSERT_EQ(history[i], serial_history[i])
+          << "iteration " << i << " at " << threads << " threads";
+    }
+    for (std::size_t p = 0; p < x.size(); ++p) {
+      ASSERT_EQ(x[p], serial_x[p]) << "solution dof " << p;
+    }
+  }
+}
+
+TEST(FusedCg, FusedAndSplitSolvesAreBitwiseEqual) {
+  // The whole Krylov iteration — not just one apply — must be unchanged by
+  // the fusion: identical residual history, iterate for iterate.
+  std::vector<double> split_history, fused_history;
+  aligned_vector<double> split_x, fused_x;
+  const CgResult split = run_cg(/*fused=*/false, 2, &split_history, &split_x);
+  const CgResult fused = run_cg(/*fused=*/true, 2, &fused_history, &fused_x);
+
+  ASSERT_TRUE(split.converged);
+  ASSERT_EQ(fused.iterations, split.iterations);
+  ASSERT_EQ(fused_history.size(), split_history.size());
+  for (std::size_t i = 0; i < fused_history.size(); ++i) {
+    ASSERT_EQ(fused_history[i], split_history[i]) << "iteration " << i;
+  }
+  for (std::size_t p = 0; p < fused_x.size(); ++p) {
+    ASSERT_EQ(fused_x[p], split_x[p]) << "solution dof " << p;
+  }
+}
+
+TEST(FusedOperator, CustomLocalOperatorFallsBackToSplitPath) {
+  // Installing a custom element operator must bypass the fused sweep (it
+  // cannot run through the engine's variant dispatch) yet keep working.
+  const sem::Mesh mesh = make_mesh(4, sem::Deformation::kSine);
+  PoissonSystem split_system(mesh);
+  PoissonSystem custom_system(mesh);
+  custom_system.set_local_operator(
+      [&custom_system](std::span<const double> u, std::span<double> w) {
+        // The default engine body, reached through the custom-operator seam.
+        kernels::ax_run(kernels::AxVariant::kFixed,
+                        [&] {
+                          kernels::AxArgs args;
+                          args.u = u;
+                          args.w = w;
+                          args.g = std::span<const double>(
+                              custom_system.geom().g.data(), custom_system.geom().g.size());
+                          args.dx = std::span<const double>(
+                              custom_system.ref().deriv().d.data(),
+                              custom_system.ref().deriv().d.size());
+                          args.dxt = std::span<const double>(
+                              custom_system.ref().deriv().dt.data(),
+                              custom_system.ref().deriv().dt.size());
+                          args.n1d = custom_system.ref().n1d();
+                          args.n_elements = custom_system.geom().n_elements;
+                          return args;
+                        }());
+      });
+
+  const std::size_t n = split_system.n_local();
+  const aligned_vector<double> u = random_field(n, 5);
+  aligned_vector<double> w_default(n, 0.0);
+  aligned_vector<double> w_custom(n, 0.0);
+  split_system.apply(std::span<const double>(u.data(), n),
+                     std::span<double>(w_default.data(), n));
+  custom_system.apply(std::span<const double>(u.data(), n),
+                      std::span<double>(w_custom.data(), n));
+  for (std::size_t p = 0; p < n; ++p) {
+    ASSERT_EQ(w_custom[p], w_default[p]) << "dof " << p;
+  }
+}
+
+}  // namespace
+}  // namespace semfpga::solver

@@ -122,6 +122,63 @@ TEST_P(GsSchedule, QqtMatchesNaiveOracleAndIsThreadCountStable) {
   }
 }
 
+TEST_P(GsSchedule, SharedCsrIsTheMultiRowSubsetOfTheFullSchedule) {
+  const auto [degree, nel] = GetParam();
+  const sem::Mesh mesh = make_mesh(degree, nel);
+  const GatherScatter gs(mesh);
+
+  const auto& offsets = gs.gather_offsets();
+  const auto& positions = gs.gather_positions();
+  const auto& s_offsets = gs.shared_offsets();
+  const auto& s_positions = gs.shared_positions();
+  ASSERT_EQ(s_offsets.size(), gs.n_shared_dofs() + 1);
+  ASSERT_EQ(s_positions.size(), gs.n_shared_copies());
+
+  // Walking the full CSR and keeping only rows with > 1 copy must replay
+  // the shared CSR exactly, row for row and entry for entry — that order
+  // equality is what makes the fused sweep bitwise identical to qqt.
+  std::size_t s = 0;
+  std::size_t slot = 0;
+  for (std::size_t g = 0; g < gs.n_global(); ++g) {
+    if (offsets[g + 1] - offsets[g] < 2) {
+      continue;
+    }
+    ASSERT_LT(s, gs.n_shared_dofs());
+    ASSERT_EQ(s_offsets[s + 1] - s_offsets[s], offsets[g + 1] - offsets[g]);
+    for (std::int64_t k = offsets[g]; k < offsets[g + 1]; ++k, ++slot) {
+      ASSERT_EQ(s_positions[slot], positions[static_cast<std::size_t>(k)]);
+    }
+    ++s;
+  }
+  EXPECT_EQ(s, gs.n_shared_dofs());
+  EXPECT_EQ(slot, gs.n_shared_copies());
+}
+
+TEST_P(GsSchedule, SharedCsrCoversExactlyTheMultiplicityAboveOneDofs) {
+  const auto [degree, nel] = GetParam();
+  const sem::Mesh mesh = make_mesh(degree, nel);
+  const GatherScatter gs(mesh);
+
+  // Every shared-CSR entry names a multiplicity > 1 position, exactly once,
+  // and together they cover all such positions — so the fused sweep's
+  // surface pass touches each shared copy exactly once and nothing else.
+  std::vector<int> seen(gs.n_local(), 0);
+  for (const std::int64_t p64 : gs.shared_positions()) {
+    const auto p = static_cast<std::size_t>(p64);
+    ASSERT_LT(p, gs.n_local());
+    ASSERT_GT(gs.multiplicity()[p], 1.0);
+    ++seen[p];
+  }
+  std::size_t n_multi = 0;
+  for (std::size_t p = 0; p < gs.n_local(); ++p) {
+    const bool multi = gs.multiplicity()[p] > 1.0;
+    n_multi += multi ? 1 : 0;
+    ASSERT_EQ(seen[p], multi ? 1 : 0) << "local position " << p;
+  }
+  EXPECT_EQ(gs.n_shared_copies(), n_multi);
+  EXPECT_LT(gs.n_shared_copies(), gs.n_local());  // a surface, not the volume
+}
+
 TEST_P(GsSchedule, GatherAfterScatterAddIsQqt) {
   const auto [degree, nel] = GetParam();
   const sem::Mesh mesh = make_mesh(degree, nel);
