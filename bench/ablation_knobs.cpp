@@ -15,7 +15,16 @@
 using namespace semfpga;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv, {"csv"});
+  const Cli cli(argc, argv, std::vector<FlagSpec>{
+      {"degree", FlagSpec::Kind::kInt, "7", "polynomial degree N"},
+      {"elements", FlagSpec::Kind::kInt, "4096", "elements per apply"},
+      {"csv", FlagSpec::Kind::kBool, "", "emit CSV instead of a table"},
+  });
+  if (const auto ec = cli.early_exit("ablation_knobs",
+                                     "Marginal contribution of each accelerator design "
+                                     "knob, disabled in isolation.")) {
+    return *ec;
+  }
   const int degree = static_cast<int>(cli.get_int("degree", 7));
   const auto elements = static_cast<std::size_t>(cli.get_int("elements", 4096));
 

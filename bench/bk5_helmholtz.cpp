@@ -14,7 +14,15 @@
 using namespace semfpga;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv, {"csv"});
+  const Cli cli(argc, argv, std::vector<FlagSpec>{
+      {"elements", FlagSpec::Kind::kInt, "4096", "elements per apply"},
+      {"csv", FlagSpec::Kind::kBool, "", "emit CSV instead of a table"},
+  });
+  if (const auto ec = cli.early_exit("bk5_helmholtz",
+                                     "BK5 Helmholtz kernel estimate on the simulated "
+                                     "accelerator.")) {
+    return *ec;
+  }
   const auto elements = static_cast<std::size_t>(cli.get_int("elements", 4096));
 
   Table table("Poisson (Ax) vs BK5-style Helmholtz on the GX2800 accelerator, " +

@@ -1,29 +1,68 @@
-/// Strong scaling of the distributed CG iteration over clusters of
-/// accelerators — extending the paper's single-device comparison to its
-/// own deployment context (Noctua is an FPGA cluster).  One table per
-/// device class: FPGA (simulated GX2800) and V100 GPU (platform model),
-/// both behind a 100 Gb/s, 1.5 us network.
+/// Strong/weak scaling of the distributed CG iteration — measured on the
+/// in-process SPMD runtime and predicted by arch::ClusterModel, side by
+/// side.  This is the cluster-level analogue of fig3_model_vs_measured:
+/// the model's kernel term is calibrated from the measured single-rank
+/// iteration, its network terms from the --latency-us/--bw-gbs knobs, and
+/// the table shows how far the analytic strong-scaling projection tracks a
+/// real partitioned solve (real halo exchange, real allreduce).
 ///
-/// Usage: cluster_scaling [--csv] [--degree 7] [--elements 16384]
+/// The projection tables extend the comparison to the paper's deployment
+/// context (Noctua is an FPGA cluster): simulated Stratix 10 GX2800 and
+/// V100 clusters behind a 100 Gb/s, 1.5 us network.
+///
+/// Usage: cluster_scaling [--degree 5] [--nelxy 4] [--nelz 8] [--iters 20]
+///                        [--threads 0] [--max-ranks 8] [--json [path]]
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "arch/cluster_model.hpp"
 #include "arch/platform_model.hpp"
+#include "common/check.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "fpga/accelerator.hpp"
 #include "kernels/ax.hpp"
+#include "runtime/distributed_cg.hpp"
 
 using namespace semfpga;
 
 namespace {
 
+struct ScalingRow {
+  int ranks = 0;
+  std::int64_t elements = 0;
+  double measured_us = 0.0;  ///< measured seconds per CG iteration * 1e6
+  double model_us = 0.0;     ///< ClusterModel prediction (strong only)
+  double measured_speedup = 1.0;
+  double model_speedup = 1.0;
+};
+
+double measure_iteration_us(const sem::BoxMeshSpec& spec, int ranks, int threads,
+                            int iters) {
+  runtime::DistributedSolveConfig config;
+  config.spec = spec;
+  config.ranks = ranks;
+  config.threads = threads;
+  config.cg.max_iterations = iters;
+  config.cg.tolerance = 0.0;  // fixed iteration count
+  config.forcing = [](double x, double y, double z) {
+    return std::sin(x) * std::cos(y) + z;
+  };
+  // One warm-up run (page faults, thread pools), then the timed one.
+  (void)runtime::solve_distributed_poisson(config);
+  const runtime::DistributedSolveResult run = runtime::solve_distributed_poisson(config);
+  return run.solve_seconds / static_cast<double>(std::max(run.cg.iterations, 1)) * 1e6;
+}
+
 void print_scaling(const char* label, const sem::BoxMeshSpec& spec,
-                   const arch::DeviceKernelTime& kernel, bool csv) {
-  const arch::NetworkSpec network;
-  const std::vector<int> ranks = {1, 2, 4, 8, 16, 32};
+                   const arch::DeviceKernelTime& kernel,
+                   const arch::NetworkSpec& network, const std::vector<int>& ranks,
+                   bool csv) {
   const auto points = arch::strong_scaling(spec, kernel, network, ranks);
 
   Table table(std::string("Strong scaling of one CG iteration — ") + label);
@@ -47,42 +86,167 @@ void print_scaling(const char* label, const sem::BoxMeshSpec& spec,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv, {"csv"});
-  const int degree = static_cast<int>(cli.get_int("degree", 7));
-  const auto elements = cli.get_int("elements", 16384);
-  const bool csv = cli.has("csv");
+  const Cli cli(argc, argv, std::vector<FlagSpec>{
+      {"degree", FlagSpec::Kind::kInt, "5", "polynomial degree N"},
+      {"nelxy", FlagSpec::Kind::kInt, "4", "elements per x/y direction"},
+      {"nelz", FlagSpec::Kind::kInt, "8", "z element layers (strong-scaling box)"},
+      {"iters", FlagSpec::Kind::kInt, "20", "CG iterations per measurement"},
+      {"threads", FlagSpec::Kind::kInt, "0", "total thread budget (0 = all)"},
+      {"max-ranks", FlagSpec::Kind::kInt, "8", "largest rank count to measure"},
+      {"latency-us", FlagSpec::Kind::kDouble, "1.5", "modelled per-message latency"},
+      {"bw-gbs", FlagSpec::Kind::kDouble, "12.5", "modelled per-link bandwidth (GB/s)"},
+      {"elements", FlagSpec::Kind::kInt, "16384", "projection problem size (elements)"},
+      {"json", FlagSpec::Kind::kString, "BENCH_cluster.json", "write results as JSON"},
+      {"csv", FlagSpec::Kind::kBool, "", "emit CSV instead of tables"},
+  });
+  if (const auto ec = cli.early_exit(
+          "cluster_scaling",
+          "Measured strong/weak scaling of the in-process SPMD runtime next to the "
+          "arch::ClusterModel prediction, plus FPGA/GPU cluster projections.")) {
+    return *ec;
+  }
 
-  // Global box sized to `elements` with a z-extent divisible by the rank
-  // counts swept below.
+  const int degree = static_cast<int>(cli.get_int("degree", 5));
+  const int nelxy = static_cast<int>(cli.get_int("nelxy", 4));
+  const int nelz = static_cast<int>(cli.get_int("nelz", 8));
+  const int iters = static_cast<int>(cli.get_int("iters", 20));
+  const int threads = static_cast<int>(cli.get_int("threads", 0));
+  const int max_ranks = static_cast<int>(cli.get_int("max-ranks", 8));
+  const bool csv = cli.has("csv");
+  SEMFPGA_CHECK(degree >= 1 && nelxy >= 1 && nelz >= 1 && iters >= 1 && max_ranks >= 1,
+                "--degree/--nelxy/--nelz/--iters/--max-ranks must be positive");
+
+  arch::NetworkSpec network;
+  network.latency_us = cli.get_double("latency-us", 1.5);
+  network.bandwidth_gbs = cli.get_double("bw-gbs", 12.5);
+
   sem::BoxMeshSpec spec;
   spec.degree = degree;
-  spec.nelz = 32;
-  spec.nelx = spec.nely =
-      std::max(1, static_cast<int>(std::lround(std::sqrt(
-                      static_cast<double>(elements) / spec.nelz))));
-  const std::int64_t total =
-      static_cast<std::int64_t>(spec.nelx) * spec.nely * spec.nelz;
+  spec.nelx = spec.nely = nelxy;
+  spec.nelz = nelz;
+  const std::int64_t total_elements =
+      static_cast<std::int64_t>(nelxy) * nelxy * nelz;
 
-  std::cout << "Global problem: N=" << degree << ", " << total << " elements ("
-            << spec.nelx << "x" << spec.nely << "x" << spec.nelz << ")\n\n";
+  std::vector<int> rank_counts;
+  for (int r = 1; r <= std::min(max_ranks, nelz); r *= 2) {
+    rank_counts.push_back(r);
+  }
+
+  std::cout << "Measured problem: N=" << degree << ", " << total_elements
+            << " elements (" << nelxy << "x" << nelxy << "x" << nelz << "), " << iters
+            << " CG iterations per run\n\n";
+
+  // --- Measured strong scaling vs the calibrated model ------------------
+  std::vector<ScalingRow> strong;
+  for (const int ranks : rank_counts) {
+    ScalingRow row;
+    row.ranks = ranks;
+    row.elements = total_elements;
+    row.measured_us = measure_iteration_us(spec, ranks, threads, iters);
+    strong.push_back(row);
+  }
+  // Model calibration: the single-rank measurement fixes the per-element
+  // compute time; the network knobs fix the halo/allreduce terms.  What
+  // the model then *predicts* is the shape of the scaling curve.
+  const double per_element_us = strong.front().measured_us /
+                                static_cast<double>(total_elements);
+  const arch::DeviceKernelTime host_kernel = [per_element_us](std::int64_t n) {
+    return per_element_us * static_cast<double>(n) * 1e-6;
+  };
+  const auto model_points = arch::strong_scaling(spec, host_kernel, network, rank_counts);
+  for (std::size_t i = 0; i < strong.size(); ++i) {
+    strong[i].model_us = model_points[i].iteration_seconds * 1e6;
+    strong[i].measured_speedup = strong.front().measured_us / strong[i].measured_us;
+    strong[i].model_speedup = model_points[i].speedup;
+  }
+
+  {
+    Table table("Measured vs modelled strong scaling — in-process SPMD runtime");
+    table.set_header({"ranks", "measured iter (us)", "model iter (us)",
+                      "measured speedup", "model speedup", "measured efficiency"});
+    for (const ScalingRow& row : strong) {
+      table.add_row({Table::fmt_int(row.ranks), Table::fmt(row.measured_us, 1),
+                     Table::fmt(row.model_us, 1), Table::fmt(row.measured_speedup, 2),
+                     Table::fmt(row.model_speedup, 2),
+                     Table::fmt_pct(row.measured_speedup / row.ranks, 1)});
+    }
+    if (csv) {
+      table.print_csv(std::cout);
+    } else {
+      table.print_text(std::cout);
+    }
+    std::cout << '\n';
+  }
+
+  // --- Measured vs modelled weak scaling (fixed layers per rank) --------
+  std::vector<ScalingRow> weak;
+  const int layers_per_rank = std::max(1, nelz / std::max(1, rank_counts.back()));
+  for (const int ranks : rank_counts) {
+    sem::BoxMeshSpec wspec = spec;
+    wspec.nelz = layers_per_rank * ranks;
+    ScalingRow row;
+    row.ranks = ranks;
+    row.elements = static_cast<std::int64_t>(nelxy) * nelxy * wspec.nelz;
+    row.measured_us = measure_iteration_us(wspec, ranks, threads, iters);
+    weak.push_back(row);
+  }
+  sem::BoxMeshSpec weak_template = spec;
+  weak_template.nelz = layers_per_rank;
+  const auto weak_model =
+      arch::weak_scaling(weak_template, host_kernel, network, rank_counts);
+  for (std::size_t i = 0; i < weak.size(); ++i) {
+    // For weak rows the speedup fields hold t(1)/t(r): the weak efficiency.
+    weak[i].measured_speedup = weak.front().measured_us / weak[i].measured_us;
+    weak[i].model_us = weak_model[i].iteration_seconds * 1e6;
+    weak[i].model_speedup = weak_model[i].efficiency;
+  }
+
+  {
+    Table table("Measured vs modelled weak scaling — " +
+                std::to_string(layers_per_rank) + " layer(s) per rank");
+    table.set_header({"ranks", "elements", "measured iter (us)", "model iter (us)",
+                      "measured efficiency", "model efficiency"});
+    for (const ScalingRow& row : weak) {
+      table.add_row({Table::fmt_int(row.ranks), Table::fmt_int(row.elements),
+                     Table::fmt(row.measured_us, 1), Table::fmt(row.model_us, 1),
+                     Table::fmt_pct(row.measured_speedup, 1),
+                     Table::fmt_pct(row.model_speedup, 1)});
+    }
+    if (csv) {
+      table.print_csv(std::cout);
+    } else {
+      table.print_text(std::cout);
+    }
+    std::cout << '\n';
+  }
+
+  // --- Cluster projections (the paper's future-projection story) --------
+  sem::BoxMeshSpec proj = spec;
+  proj.nelz = 32;
+  const auto elements = cli.get_int("elements", 16384);
+  proj.nelx = proj.nely = std::max(
+      1, static_cast<int>(std::lround(
+             std::sqrt(static_cast<double>(elements) / proj.nelz))));
+  const std::vector<int> proj_ranks = {1, 2, 4, 8, 16, 32};
+  const arch::NetworkSpec cluster_network;  // 100 Gb/s, 1.5 us defaults
 
   const fpga::SemAccelerator acc(fpga::stratix10_gx2800(),
                                  fpga::KernelConfig::banked(degree));
-  print_scaling("Stratix 10 GX2800 cluster", spec,
+  print_scaling("Stratix 10 GX2800 cluster", proj,
                 [&acc](std::int64_t n) {
                   return acc.estimate(static_cast<std::size_t>(n)).seconds;
                 },
-                csv);
+                cluster_network, proj_ranks, csv);
 
   const arch::PlatformModel& v100 = arch::platform_by_name("NVIDIA Tesla V100 PCIe");
-  print_scaling("V100 cluster", spec,
+  print_scaling("V100 cluster", proj,
                 [&v100, degree](std::int64_t n) {
                   const double gf = v100.gflops(degree, static_cast<std::size_t>(n));
                   const double flops = static_cast<double>(
                       kernels::ax_flops(degree + 1, static_cast<std::size_t>(n)));
                   return flops / (gf * 1e9);
                 },
-                csv);
+                cluster_network, proj_ranks, csv);
 
   if (!csv) {
     std::cout << "The GPU cluster starts ~10x faster per iteration but loses\n"
@@ -90,6 +254,45 @@ int main(int argc, char** argv) {
                  "network latency floor first.  The FPGA cluster's lower\n"
                  "single-device rate keeps it compute-dominated to higher rank\n"
                  "counts — the cluster-level echo of the paper's bandwidth story.\n";
+  }
+
+  if (cli.has("json")) {
+    const std::string path = cli.get("json", "BENCH_cluster.json");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"problem\": {\"degree\": %d, \"nelx\": %d, \"nely\": %d, "
+                    "\"nelz\": %d, \"elements\": %lld, \"cg_iterations\": %d},\n",
+                 degree, nelxy, nelxy, nelz, static_cast<long long>(total_elements),
+                 iters);
+    std::fprintf(f, "  \"network_model\": {\"latency_us\": %g, \"bandwidth_gbs\": %g},\n",
+                 network.latency_us, network.bandwidth_gbs);
+    std::fprintf(f, "  \"strong_scaling\": [\n");
+    for (std::size_t i = 0; i < strong.size(); ++i) {
+      const ScalingRow& r = strong[i];
+      std::fprintf(f,
+                   "    {\"ranks\": %d, \"measured_iter_us\": %.6g, "
+                   "\"model_iter_us\": %.6g, \"measured_speedup\": %.6g, "
+                   "\"model_speedup\": %.6g}%s\n",
+                   r.ranks, r.measured_us, r.model_us, r.measured_speedup,
+                   r.model_speedup, i + 1 < strong.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"weak_scaling\": [\n");
+    for (std::size_t i = 0; i < weak.size(); ++i) {
+      const ScalingRow& r = weak[i];
+      std::fprintf(f,
+                   "    {\"ranks\": %d, \"elements\": %lld, "
+                   "\"measured_iter_us\": %.6g, \"model_iter_us\": %.6g, "
+                   "\"weak_efficiency\": %.6g, \"model_efficiency\": %.6g}%s\n",
+                   r.ranks, static_cast<long long>(r.elements), r.measured_us,
+                   r.model_us, r.measured_speedup, r.model_speedup,
+                   i + 1 < weak.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("# wrote %s\n", path.c_str());
   }
   return 0;
 }

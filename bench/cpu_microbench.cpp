@@ -142,7 +142,19 @@ void write_json(std::FILE* f, const std::vector<Cell>& cells,
 
 int main(int argc, char** argv) {
   using namespace semfpga;
-  const Cli cli(argc, argv, {"smoke"});
+  const Cli cli(argc, argv, std::vector<FlagSpec>{
+      {"smoke", FlagSpec::Kind::kBool, "", "quick sanity sweep (~5 s)"},
+      {"degrees", FlagSpec::Kind::kString, "3,7,9", "comma-separated degree list"},
+      {"threads", FlagSpec::Kind::kString, "1,2,4", "comma-separated thread counts"},
+      {"elements", FlagSpec::Kind::kInt, "512", "elements per apply"},
+      {"min-time", FlagSpec::Kind::kDouble, "0.2", "seconds of repeats per config"},
+      {"json", FlagSpec::Kind::kString, "BENCH_cpu.json", "write results as JSON"},
+  });
+  if (const auto ec = cli.early_exit("cpu_microbench",
+                                     "Measured CPU ladder: Ax variant x thread sweep "
+                                     "with the warm-up-then-repeat protocol.")) {
+    return *ec;
+  }
 
   const bool smoke = cli.has("smoke");
   std::vector<int> degrees =

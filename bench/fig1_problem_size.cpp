@@ -74,7 +74,16 @@ std::vector<int> parse_degrees(const std::string& csv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv, {"csv", "host"});
+  const Cli cli(argc, argv, std::vector<FlagSpec>{
+      {"degrees", FlagSpec::Kind::kString, "1,3,5,7,9,11,13,15",
+       "comma-separated degree list"},
+      {"host", FlagSpec::Kind::kBool, "", "include the measured host rate"},
+      {"csv", FlagSpec::Kind::kBool, "", "emit CSV instead of a table"},
+  });
+  if (const auto ec = cli.early_exit("fig1_problem_size",
+                                     "Paper Fig. 1: throughput vs polynomial degree.")) {
+    return *ec;
+  }
   const bool host = cli.has("host");
   const std::vector<int> degrees =
       parse_degrees(cli.get("degrees", "1,3,5,7,9,11,13,15"));

@@ -48,7 +48,14 @@ double projected_gflops(const fpga::DeviceSpec& device, int degree) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv, {"csv"});
+  const Cli cli(argc, argv, std::vector<FlagSpec>{
+      {"elements", FlagSpec::Kind::kInt, "4096", "elements per apply"},
+      {"csv", FlagSpec::Kind::kBool, "", "emit CSV instead of tables"},
+  });
+  if (const auto ec = cli.early_exit("fig2_peak_comparison",
+                                     "Paper Fig. 2: platform peak comparison.")) {
+    return *ec;
+  }
   const auto elements = static_cast<std::size_t>(cli.get_int("elements", 4096));
   const int degrees[3] = {7, 11, 15};
 

@@ -38,7 +38,19 @@ struct CpuRung {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv, {"csv", "no-cpu"});
+  const Cli cli(argc, argv, std::vector<FlagSpec>{
+      {"degree", FlagSpec::Kind::kInt, "7", "polynomial degree N"},
+      {"elements", FlagSpec::Kind::kInt, "4096", "elements per apply"},
+      {"threads", FlagSpec::Kind::kInt, "4", "thread count of the measured rungs"},
+      {"no-cpu", FlagSpec::Kind::kBool, "", "skip the measured CPU ladder"},
+      {"json", FlagSpec::Kind::kString, "ladder.json", "write results as JSON"},
+      {"csv", FlagSpec::Kind::kBool, "", "emit CSV instead of tables"},
+  });
+  if (const auto ec = cli.early_exit("opt_ladder",
+                                     "The paper's optimization ladder: modelled FPGA "
+                                     "stages next to the measured CPU rungs.")) {
+    return *ec;
+  }
   const int degree = static_cast<int>(cli.get_int("degree", 7));
   const auto elements = static_cast<std::size_t>(cli.get_int("elements", 4096));
   const int sweep_threads = static_cast<int>(cli.get_int("threads", 4));

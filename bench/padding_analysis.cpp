@@ -14,7 +14,14 @@
 using namespace semfpga;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv, {"csv"});
+  const Cli cli(argc, argv, std::vector<FlagSpec>{
+      {"bw", FlagSpec::Kind::kDouble, "0", "override memory bandwidth (GB/s)"},
+      {"csv", FlagSpec::Kind::kBool, "", "emit CSV instead of a table"},
+  });
+  if (const auto ec = cli.early_exit("padding_analysis",
+                                     "Bank-padding sweep of the memory model.")) {
+    return *ec;
+  }
   model::DeviceEnvelope env = fpga::stratix10_gx2800().envelope(300.0);
   const double bw_override = cli.get_double("bw", 0.0);
   if (bw_override > 0.0) {

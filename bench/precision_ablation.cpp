@@ -87,7 +87,16 @@ double residual_floor(const sem::Mesh& mesh, bool fp32, int iters) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv, {"csv"});
+  const Cli cli(argc, argv, std::vector<FlagSpec>{
+      {"degree", FlagSpec::Kind::kInt, "5", "polynomial degree N"},
+      {"iters", FlagSpec::Kind::kInt, "120", "CG iterations"},
+      {"csv", FlagSpec::Kind::kBool, "", "emit CSV instead of a table"},
+  });
+  if (const auto ec = cli.early_exit("precision_ablation",
+                                     "FP32 vs FP64 ablation of the Ax kernel inside "
+                                     "CG.")) {
+    return *ec;
+  }
   const int degree = static_cast<int>(cli.get_int("degree", 5));
   const int iters = static_cast<int>(cli.get_int("iters", 120));
 

@@ -14,7 +14,14 @@
 using namespace semfpga;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv, {"csv"});
+  const Cli cli(argc, argv, std::vector<FlagSpec>{
+      {"csv", FlagSpec::Kind::kBool, "", "emit CSV instead of a table"},
+  });
+  if (const auto ec = cli.early_exit("stream_fpga",
+                                     "STREAM-like bandwidth estimate of the modelled "
+                                     "memory system.")) {
+    return *ec;
+  }
   const fpga::MemorySpec spec = fpga::stratix10_gx2800().memory;
   const fpga::ExternalMemoryModel banked(spec, fpga::MemAllocation::kBanked);
   const fpga::ExternalMemoryModel inter(spec, fpga::MemAllocation::kInterleaved);

@@ -18,7 +18,15 @@
 using namespace semfpga;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv, {"csv", "pure-model"});
+  const Cli cli(argc, argv, std::vector<FlagSpec>{
+      {"elements", FlagSpec::Kind::kInt, "4096", "elements per apply"},
+      {"pure-model", FlagSpec::Kind::kBool, "", "analytic resources only (no paper data)"},
+      {"csv", FlagSpec::Kind::kBool, "", "emit CSV instead of a table"},
+  });
+  if (const auto ec = cli.early_exit("table1_synthesis",
+                                     "Paper Table 1: synthesis results per degree.")) {
+    return *ec;
+  }
   const auto elements = static_cast<std::size_t>(cli.get_int("elements", 4096));
   const bool pure_model = cli.has("pure-model");
 

@@ -10,7 +10,13 @@
 using namespace semfpga;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv, {"csv"});
+  const Cli cli(argc, argv, std::vector<FlagSpec>{
+      {"csv", FlagSpec::Kind::kBool, "", "emit CSV instead of a table"},
+  });
+  if (const auto ec = cli.early_exit("table2_systems",
+                                     "Paper Table 2: system-level comparison.")) {
+    return *ec;
+  }
 
   Table table("Table II — Overview of selected systems");
   table.set_header({"Type", "Architecture", "Tech(nm)", "Peak(GFLOP/s)", "BW(GB/s)",

@@ -29,7 +29,14 @@ double projected_gflops(const model::DeviceEnvelope& env, int degree) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
+  const Cli cli(argc, argv, std::vector<FlagSpec>{
+      {"degree", FlagSpec::Kind::kInt, "11", "polynomial degree N"},
+  });
+  if (const auto ec = cli.early_exit("fpga_design_explorer",
+                                     "Explore accelerator configurations for one "
+                                     "degree.")) {
+    return *ec;
+  }
   const int degree = static_cast<int>(cli.get_int("degree", 11));
 
   const double a100 =

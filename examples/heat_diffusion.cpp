@@ -21,7 +21,18 @@
 
 int main(int argc, char** argv) {
   using namespace semfpga;
-  const Cli cli(argc, argv);
+  const Cli cli(argc, argv, std::vector<FlagSpec>{
+      {"degree", FlagSpec::Kind::kInt, "6", "polynomial degree N"},
+      {"nel", FlagSpec::Kind::kInt, "2", "elements per direction"},
+      {"steps", FlagSpec::Kind::kInt, "20", "implicit time steps"},
+      {"dt", FlagSpec::Kind::kDouble, "2e-3", "time step"},
+      {"kappa", FlagSpec::Kind::kDouble, "1.0", "diffusivity"},
+  });
+  if (const auto ec = cli.early_exit("heat_diffusion",
+                                     "Implicit heat equation stepped with the SEM "
+                                     "Poisson solver.")) {
+    return *ec;
+  }
   const int degree = static_cast<int>(cli.get_int("degree", 6));
   const int nel = static_cast<int>(cli.get_int("nel", 2));
   const int steps = static_cast<int>(cli.get_int("steps", 20));

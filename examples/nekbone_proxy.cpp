@@ -5,11 +5,13 @@
 /// the solver.
 ///
 /// Usage: nekbone_proxy [--degree 7] [--nel 8] [--iters 100] [--fpga]
-///                      [--threads 1] [--variant fixed] [--fused 1]
+///                      [--threads 1] [--ranks 1] [--variant fixed] [--fused 1]
 /// --threads 0 uses every hardware thread; --variant picks the Ax schedule
 /// (reference | mxm | mxm_blocked | fixed); --fused=0 runs the split
-/// Ax -> qqt -> mask passes instead of the fused qqt-in-operator sweep
-/// (bitwise identical results either way).
+/// Ax -> qqt -> mask passes instead of the fused qqt-in-operator sweep;
+/// --ranks > 1 runs the in-process SPMD runtime (z-slab partition, halo
+/// exchange, deterministic allreduce).  All of these knobs produce bitwise
+/// identical iterates.
 
 #include <cstdio>
 
@@ -20,13 +22,29 @@
 
 int main(int argc, char** argv) {
   using namespace semfpga;
-  const Cli cli(argc, argv, {"fpga"});
+  const Cli cli(argc, argv, std::vector<FlagSpec>{
+      {"degree", FlagSpec::Kind::kInt, "7", "polynomial degree N"},
+      {"nel", FlagSpec::Kind::kInt, "8", "elements per direction"},
+      {"iters", FlagSpec::Kind::kInt, "100", "fixed CG iteration count"},
+      {"threads", FlagSpec::Kind::kInt, "1", "total thread budget (0 = all)"},
+      {"ranks", FlagSpec::Kind::kInt, "1", "SPMD ranks (z-slabs, <= nel)"},
+      {"variant", FlagSpec::Kind::kString, "fixed",
+       "Ax schedule: reference|mxm|mxm_blocked|fixed"},
+      {"fused", FlagSpec::Kind::kInt, "1", "fused qqt-in-operator sweep (0 = split)"},
+      {"fpga", FlagSpec::Kind::kBool, "", "estimate the FPGA-accelerated Ax"},
+  });
+  if (const auto ec = cli.early_exit("nekbone_proxy",
+                                     "Nekbone-equivalent proxy: fixed-iteration CG on "
+                                     "the SEM Poisson system.")) {
+    return *ec;
+  }
 
   solver::NekboneConfig config;
   config.degree = static_cast<int>(cli.get_int("degree", 7));
   config.nelx = config.nely = config.nelz = static_cast<int>(cli.get_int("nel", 8));
   config.cg_iterations = static_cast<int>(cli.get_int("iters", 100));
   config.threads = static_cast<int>(cli.get_int("threads", 1));
+  config.ranks = static_cast<int>(cli.get_int("ranks", 1));
   config.ax_variant = kernels::parse_ax_variant(cli.get("variant", "fixed"));
   config.fused = cli.get_int("fused", 1) != 0;
 

@@ -15,7 +15,16 @@
 
 int main(int argc, char** argv) {
   using namespace semfpga;
-  const Cli cli(argc, argv, {"deformed"});
+  const Cli cli(argc, argv, std::vector<FlagSpec>{
+      {"nel", FlagSpec::Kind::kInt, "2", "elements per direction"},
+      {"max-degree", FlagSpec::Kind::kInt, "10", "largest polynomial degree"},
+      {"deformed", FlagSpec::Kind::kBool, "", "solve on the sine-warped mesh"},
+  });
+  if (const auto ec = cli.early_exit("poisson_solve",
+                                     "Spectral convergence of the Poisson solve over "
+                                     "polynomial degree.")) {
+    return *ec;
+  }
   const int nel = static_cast<int>(cli.get_int("nel", 2));
   const int max_degree = static_cast<int>(cli.get_int("max-degree", 10));
   const bool deformed = cli.has("deformed");

@@ -7,13 +7,19 @@
 
 #include <cstdio>
 
+#include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "fpga/accelerator.hpp"
 #include "kernels/ax.hpp"
 #include "sem/dense.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace semfpga;
+  const Cli cli(argc, argv, std::vector<FlagSpec>{});
+  if (const auto ec = cli.early_exit("quickstart",
+                                     "Tour of the core library objects (no knobs).")) {
+    return *ec;
+  }
 
   // 1. A 4x4x4-element degree-7 mesh of the unit cube with a gentle warp.
   sem::BoxMeshSpec spec;

@@ -47,4 +47,18 @@ struct ScalingPoint {
     const sem::BoxMeshSpec& spec, const DeviceKernelTime& kernel,
     const NetworkSpec& network, const std::vector<int>& rank_counts);
 
+/// Weak-scaling sweep: the box grows with the rank count
+/// (nelz = layers_per_rank * ranks), so each rank keeps a constant slab
+/// and the `speedup`/`efficiency` fields report t(1 rank)/t(r ranks) —
+/// the weak-scaling efficiency (1.0 = perfect: growth is free).  Per-rank
+/// kernel time stays flat by construction; the model attributes all loss
+/// to the halo and the deepening allreduce tree, which is what the
+/// measured runtime numbers in bench/cluster_scaling are compared
+/// against.
+/// \param spec  per-sweep template; spec.nelz is reinterpreted as the
+///              layers owned by each rank.
+[[nodiscard]] std::vector<ScalingPoint> weak_scaling(
+    const sem::BoxMeshSpec& spec, const DeviceKernelTime& kernel,
+    const NetworkSpec& network, const std::vector<int>& rank_counts);
+
 }  // namespace semfpga::arch

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdlib>
+#include <iostream>
 
 #include "common/check.hpp"
 
@@ -16,13 +17,23 @@ bool is_flag_token(const char* token) {
   return token[0] == '-' && token[1] == '-';
 }
 
+const char* kind_placeholder(FlagSpec::Kind kind) {
+  switch (kind) {
+    case FlagSpec::Kind::kBool: return "";
+    case FlagSpec::Kind::kInt: return " <int>";
+    case FlagSpec::Kind::kDouble: return " <float>";
+    case FlagSpec::Kind::kString: return " <str>";
+  }
+  return "";
+}
+
 }  // namespace
 
-Cli::Cli(int argc, const char* const* argv,
-         std::initializer_list<const char*> boolean_flags) {
+void Cli::parse(int argc, const char* const* argv,
+                const std::vector<std::string>& boolean_names) {
   const auto is_boolean = [&](const std::string& name) {
-    return std::any_of(boolean_flags.begin(), boolean_flags.end(),
-                       [&](const char* b) { return name == b; });
+    return std::find(boolean_names.begin(), boolean_names.end(), name) !=
+           boolean_names.end();
   };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -47,6 +58,38 @@ Cli::Cli(int argc, const char* const* argv,
       }
     }
     flags_.push_back(std::move(flag));
+  }
+}
+
+Cli::Cli(int argc, const char* const* argv,
+         std::initializer_list<const char*> boolean_flags) {
+  std::vector<std::string> booleans;
+  booleans.reserve(boolean_flags.size());
+  for (const char* b : boolean_flags) {
+    booleans.emplace_back(b);
+  }
+  parse(argc, argv, booleans);
+}
+
+Cli::Cli(int argc, const char* const* argv, std::vector<FlagSpec> specs)
+    : declared_(true), specs_(std::move(specs)) {
+  std::vector<std::string> booleans = {"help"};
+  for (const FlagSpec& spec : specs_) {
+    if (spec.kind == FlagSpec::Kind::kBool) {
+      booleans.push_back(spec.name);
+    }
+  }
+  parse(argc, argv, booleans);
+  for (const Flag& flag : flags_) {
+    if (flag.name == "help") {
+      continue;
+    }
+    const bool declared =
+        std::any_of(specs_.begin(), specs_.end(),
+                    [&](const FlagSpec& s) { return s.name == flag.name; });
+    if (!declared) {
+      unknown_.push_back(flag.name);
+    }
   }
 }
 
@@ -90,6 +133,52 @@ double Cli::get_double(const std::string& name, double fallback) const {
   SEMFPGA_CHECK(end != f->value.c_str() && *end == '\0' && errno != ERANGE,
                 "--" + name + ": '" + f->value + "' is not a representable number");
   return value;
+}
+
+void Cli::print_help(std::ostream& out, const std::string& program,
+                     const std::string& summary) const {
+  out << "usage: " << program;
+  for (const FlagSpec& spec : specs_) {
+    out << " [--" << spec.name << kind_placeholder(spec.kind) << "]";
+  }
+  out << " [--help]\n";
+  if (!summary.empty()) {
+    out << "\n" << summary << "\n";
+  }
+  out << "\nflags:\n";
+  std::size_t width = 6;  // "--help"
+  for (const FlagSpec& spec : specs_) {
+    width = std::max(width,
+                     spec.name.size() + 2 + std::string(kind_placeholder(spec.kind)).size());
+  }
+  for (const FlagSpec& spec : specs_) {
+    const std::string lhs = "--" + spec.name + kind_placeholder(spec.kind);
+    out << "  " << lhs << std::string(width - lhs.size() + 2, ' ') << spec.help;
+    if (!spec.default_value.empty()) {
+      out << " (default " << spec.default_value << ")";
+    }
+    out << "\n";
+  }
+  out << "  --help" << std::string(width - 6 + 2, ' ') << "print this listing\n";
+}
+
+std::optional<int> Cli::early_exit(const std::string& program,
+                                   const std::string& summary) const {
+  if (!declared_) {  // legacy mode: nothing declared, nothing to report
+    return std::nullopt;
+  }
+  if (has("help")) {
+    print_help(std::cout, program, summary);
+    return 0;
+  }
+  if (!unknown_.empty()) {
+    for (const std::string& name : unknown_) {
+      std::cerr << program << ": unknown flag --" << name << "\n";
+    }
+    print_help(std::cerr, program, summary);
+    return 2;
+  }
+  return std::nullopt;
 }
 
 }  // namespace semfpga

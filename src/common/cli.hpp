@@ -5,26 +5,54 @@
 /// Supports `--name=value` and `--name value` forms plus boolean switches.
 /// Deliberately minimal: the binaries take a handful of numeric knobs.
 ///
-/// Binaries declare their value-less switches up front (`Cli(argc, argv,
-/// {"csv", "smoke"})`), so `--csv positional` never swallows the
-/// positional as the switch's value.  Numeric getters validate the whole
-/// token and throw std::invalid_argument on garbage — `--threads foo` is an
-/// error, not silently 0.  Negative numbers are valid values: only tokens
-/// starting with `--` are treated as flags, so `--shift -1.5` parses.
+/// Binaries can construct a Cli in one of two modes:
+///
+///  * legacy: `Cli(argc, argv, {"csv", "smoke"})` only names the value-less
+///    switches (so `--csv positional` never swallows the positional as the
+///    switch's value); any other flag parses generically.
+///  * declared: `Cli(argc, argv, {FlagSpec...})` names every flag with its
+///    type, default and help line.  print_help() then auto-generates the
+///    usage listing, `--help` is recognised, and unknown flags become an
+///    error with a pointer to --help instead of being silently ignored.
+///    Binaries call early_exit() right after parsing and return its value
+///    when set.
+///
+/// Numeric getters validate the whole token and throw std::invalid_argument
+/// on garbage — `--threads foo` is an error, not silently 0.  Negative
+/// numbers are valid values: only tokens starting with `--` are treated as
+/// flags, so `--shift -1.5` parses.
 
 #include <initializer_list>
+#include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace semfpga {
 
+/// Declaration of one flag for the declared Cli mode.
+struct FlagSpec {
+  /// Value category; drives both parsing (bools never consume the next
+  /// token) and the <int>/<float>/<str> placeholder printed by --help.
+  enum class Kind { kBool, kInt, kDouble, kString };
+
+  std::string name;               ///< without the leading "--"
+  Kind kind = Kind::kString;
+  std::string default_value;      ///< shown in help; empty = no default line
+  std::string help;               ///< one-line description
+};
+
 /// Parsed command line: flags plus positional arguments.
 class Cli {
  public:
-  /// `boolean_flags` lists the switches that never consume a following
-  /// token as their value (they still accept the `--name=value` form).
+  /// Legacy mode: `boolean_flags` lists the switches that never consume a
+  /// following token as their value (they still accept `--name=value`).
   Cli(int argc, const char* const* argv,
       std::initializer_list<const char*> boolean_flags = {});
+
+  /// Declared mode: every flag named with type/default/help; --help is
+  /// implicit and unknown flags are collected for early_exit().
+  Cli(int argc, const char* const* argv, std::vector<FlagSpec> specs);
 
   /// True if `--name` was passed (with or without a value).
   [[nodiscard]] bool has(const std::string& name) const;
@@ -43,16 +71,34 @@ class Cli {
     return positional_;
   }
 
+  /// Auto-generated usage listing from the declared flags: one line per
+  /// flag with its value placeholder, help text and default.  Includes the
+  /// implicit --help entry.  No-op unless constructed in declared mode.
+  void print_help(std::ostream& out, const std::string& program,
+                  const std::string& summary) const;
+
+  /// Declared-mode epilogue: returns 0 after printing the usage listing to
+  /// stdout when --help was passed, 2 after reporting any unknown flags to
+  /// stderr (with the usage listing), std::nullopt to proceed.  Binaries
+  /// `if (auto ec = cli.early_exit(argv[0], "...")) return *ec;`.
+  [[nodiscard]] std::optional<int> early_exit(const std::string& program,
+                                              const std::string& summary) const;
+
  private:
   struct Flag {
     std::string name;
     std::string value;
     bool has_value = false;
   };
+  void parse(int argc, const char* const* argv,
+             const std::vector<std::string>& boolean_names);
   [[nodiscard]] const Flag* find(const std::string& name) const;
 
   std::vector<Flag> flags_;
   std::vector<std::string> positional_;
+  bool declared_ = false;                 ///< constructed with FlagSpecs
+  std::vector<FlagSpec> specs_;
+  std::vector<std::string> unknown_;      ///< declared mode only
 };
 
 }  // namespace semfpga

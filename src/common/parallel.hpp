@@ -12,6 +12,15 @@
 ///                       count (partials are combined serially in chunk
 ///                       order).  This keeps CG iteration counts and
 ///                       residual histories independent of --threads.
+///  * segmented_reduce — the distributed-ready reduction: fixed segments
+///                       (the solver uses one z element layer per segment)
+///                       each produce a chunk-order partial, and the
+///                       segment partials combine through a fixed binary
+///                       tree (tree_fold).  A z-slab rank always owns whole
+///                       segments, so the SPMD runtime's allreduce — gather
+///                       every rank's segment partials, tree-fold them in
+///                       canonical segment order — is bitwise identical to
+///                       the single-rank reduction at any rank count.
 ///
 /// Thread-count convention used across the library: 1 = serial, k > 1 = k
 /// OpenMP threads, 0 = all hardware threads.  Without OpenMP every call
@@ -110,6 +119,96 @@ template <class ChunkFn>
     acc += p;
   }
   return acc;
+}
+
+/// Deterministic binary-tree fold of `values` in place: adjacent pairs sum
+/// level by level (an odd tail element passes through).  The association
+/// depends only on values.size(), never on thread or rank counts, so the
+/// single-rank solve and the SPMD runtime's allreduce — which both fold the
+/// same canonical vector of segment partials — agree bit for bit.
+[[nodiscard]] inline double tree_fold(std::vector<double>& values) noexcept {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::size_t n = values.size();
+  while (n > 1) {
+    const std::size_t half = n / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      values[i] = values[2 * i] + values[2 * i + 1];
+    }
+    if (n % 2 != 0) {
+      values[half] = values[n - 1];
+    }
+    n = half + n % 2;
+  }
+  return values[0];
+}
+
+/// Fills `partials[s]` with the chunk-order partial sum of segment s —
+/// chunk_fn(begin, end) over the fixed kReductionChunk grid *anchored at
+/// the segment start* — for the ceil(n / segment) segments of [0, n).
+/// Chunks never span a segment boundary, so a rank that owns segments
+/// [s0, s1) of a larger vector computes, from its local slice alone, the
+/// exact partials the single-rank sweep computes for those segments.
+/// All (segment, chunk) pairs run in parallel; partials are deterministic
+/// for any thread count.
+template <class ChunkFn>
+void segment_partials(std::size_t n, std::size_t segment, int threads,
+                      ChunkFn&& chunk_fn, std::vector<double>& partials) {
+  const std::size_t n_segments = segment > 0 ? (n + segment - 1) / segment : 0;
+  partials.assign(n_segments, 0.0);
+  if (n == 0 || n_segments == 0) {
+    return;
+  }
+  const std::size_t chunks_per_segment =
+      (segment + kReductionChunk - 1) / kReductionChunk;
+  // One flat index space over (segment, chunk) so short segments still fill
+  // every worker; per-chunk sums land in a fixed slot and combine serially
+  // per segment, in chunk order.
+  const std::size_t n_tasks = n_segments * chunks_per_segment;
+  std::vector<double> chunk_sums(n_tasks, 0.0);
+  parallel_for(n_tasks, threads, [&](std::size_t t) {
+    const std::size_t s = t / chunks_per_segment;
+    const std::size_t c = t % chunks_per_segment;
+    const std::size_t seg_begin = s * segment;
+    const std::size_t seg_end = seg_begin + segment < n ? seg_begin + segment : n;
+    const std::size_t begin = seg_begin + c * kReductionChunk;
+    if (begin >= seg_end) {
+      return;
+    }
+    const std::size_t end =
+        begin + kReductionChunk < seg_end ? begin + kReductionChunk : seg_end;
+    chunk_sums[t] = chunk_fn(begin, end);
+  });
+  for (std::size_t s = 0; s < n_segments; ++s) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < chunks_per_segment; ++c) {
+      const std::size_t begin = s * segment + c * kReductionChunk;
+      if (begin >= n || begin >= (s + 1) * segment) {
+        break;
+      }
+      acc += chunk_sums[s * chunks_per_segment + c];
+    }
+    partials[s] = acc;
+  }
+}
+
+/// Segment-hierarchical sum reduction over [0, n): per-segment chunk-order
+/// partials combined by tree_fold.  The solver's canonical dot product —
+/// segment = one z element layer — and the building block the SPMD
+/// runtime's distributed dots reproduce exactly (see segment_partials).
+template <class ChunkFn>
+[[nodiscard]] double segmented_reduce(std::size_t n, std::size_t segment, int threads,
+                                      ChunkFn&& chunk_fn) {
+  if (n == 0) {
+    return 0.0;
+  }
+  if (segment == 0 || segment >= n) {
+    return chunked_reduce(n, threads, chunk_fn);
+  }
+  std::vector<double> partials;
+  segment_partials(n, segment, threads, chunk_fn, partials);
+  return tree_fold(partials);
 }
 
 }  // namespace semfpga

@@ -1,0 +1,47 @@
+#pragma once
+/// \file split_fold.hpp
+/// THE canonical shared-row summation order of the whole solver.
+///
+/// A gather-scatter row (all local copies of one global DOF) sums as
+///
+///     fold(entries in the first z element layer, ascending position)
+///   + fold(entries in the layer above,           ascending position)
+///
+/// with the second fold absent when the row stays within one layer.  Every
+/// path that sums row copies — GatherScatter::qqt/scatter_add, the fused
+/// operator's surface pass (over int32 or int64 position schedules), and
+/// the SPMD runtime's halo exchange (each rank's local fold is one side;
+/// the exchange adds below + above) — must use this exact floating-point
+/// association, because the repo's bitwise guarantees (fused == split,
+/// any thread count, any rank count) are guarantees about this order.
+/// This header is the single definition they all share.
+
+#include <cstdint>
+#include <span>
+
+namespace semfpga {
+
+/// Sums `values[positions[k]]` for k in [begin, end) in the canonical
+/// order: fold [begin, split), fold [split, end), add the two partials.
+/// With split == end this is the plain ascending fold.  `Index` is the
+/// position width (int32 for the compact fused schedule, int64 otherwise).
+template <class Index>
+[[nodiscard]] inline double split_row_fold(std::span<const double> values,
+                                           std::span<const Index> positions,
+                                           std::int64_t begin, std::int64_t split,
+                                           std::int64_t end) noexcept {
+  double below = 0.0;
+  for (std::int64_t k = begin; k < split; ++k) {
+    below += values[static_cast<std::size_t>(positions[static_cast<std::size_t>(k)])];
+  }
+  if (split == end) {
+    return below;
+  }
+  double above = 0.0;
+  for (std::int64_t k = split; k < end; ++k) {
+    above += values[static_cast<std::size_t>(positions[static_cast<std::size_t>(k)])];
+  }
+  return below + above;
+}
+
+}  // namespace semfpga

@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "common/split_fold.hpp"
 #include "kernels/ax_internal.hpp"
 
 namespace semfpga::kernels {
@@ -84,6 +85,36 @@ constexpr std::size_t kFusedChunk = 8;
 
 }  // namespace
 
+namespace {
+
+/// Pass 2 body over either index width: owner-computes sum of each shared
+/// row of w in the canonical layer-split order — bitwise the sum qqt
+/// computes — written back to every copy, scaled by the row's mask value
+/// (all copies of a global DOF share it).  Workers own disjoint rows, so
+/// this touches only the mesh surface instead of re-walking all n_local
+/// DOFs (and the interior global offsets) the way the split qqt + mask
+/// passes do.
+template <class Index>
+void fused_surface_pass(const AxArgs& args, const AxFusedScatter& fused,
+                        std::span<const Index> positions, bool masked,
+                        const AxExecPolicy& policy) {
+  const std::size_t n_shared = fused.shared_offsets.size() - 1;
+  parallel_for(n_shared, policy.threads, [&](std::size_t s) {
+    const std::int64_t begin = fused.shared_offsets[s];
+    const std::int64_t end = fused.shared_offsets[s + 1];
+    // split_row_fold is the solver-wide canonical association — sharing it
+    // with GatherScatter is what keeps fused == split bitwise.
+    const double sum =
+        split_row_fold<Index>(args.w, positions, begin, fused.shared_splits[s], end);
+    const double out = masked ? sum * fused.shared_mask[s] : sum;
+    for (std::int64_t k = begin; k < end; ++k) {
+      args.w[static_cast<std::size_t>(positions[static_cast<std::size_t>(k)])] = out;
+    }
+  });
+}
+
+}  // namespace
+
 void ax_run_fused(AxVariant variant, const AxArgs& args, const AxFusedScatter& fused,
                   const AxExecPolicy& policy) {
   args.validate();
@@ -91,6 +122,11 @@ void ax_run_fused(AxVariant variant, const AxArgs& args, const AxFusedScatter& f
   SEMFPGA_CHECK(fused.shared_positions.size() ==
                     static_cast<std::size_t>(fused.shared_offsets.back()),
                 "fused schedule offsets and positions disagree");
+  SEMFPGA_CHECK(fused.shared_splits.size() == fused.shared_offsets.size() - 1,
+                "fused schedule needs one layer split per shared row");
+  SEMFPGA_CHECK(fused.shared_positions32.empty() ||
+                    fused.shared_positions32.size() == fused.shared_positions.size(),
+                "32-bit shared schedule must mirror the 64-bit one");
   // A mesh can have no shared DOFs (single element), so the zero schedule —
   // always n_elements + 1 offsets when masking — is the masked indicator.
   const bool masked = !fused.zero_offsets.empty();
@@ -120,27 +156,16 @@ void ax_run_fused(AxVariant variant, const AxArgs& args, const AxFusedScatter& f
     }
   });
 
-  // Pass 2 (shared-DOF-parallel): owner-computes sum of each shared row of
-  // w in fixed CSR order — bitwise the sum qqt computes — written back to
-  // every copy, scaled by the row's mask value (all copies of a global DOF
-  // share it).  Workers own disjoint rows, so this touches only the mesh
-  // surface instead of re-walking all n_local DOFs (and the interior
-  // global offsets) the way the split qqt + mask passes do.
-  const std::size_t n_shared = fused.shared_offsets.size() - 1;
-  parallel_for(n_shared, policy.threads, [&](std::size_t s) {
-    const std::int64_t begin = fused.shared_offsets[s];
-    const std::int64_t end = fused.shared_offsets[s + 1];
-    double sum = 0.0;
-    for (std::int64_t k = begin; k < end; ++k) {
-      sum += args.w[static_cast<std::size_t>(
-          fused.shared_positions[static_cast<std::size_t>(k)])];
-    }
-    const double out = masked ? sum * fused.shared_mask[s] : sum;
-    for (std::int64_t k = begin; k < end; ++k) {
-      args.w[static_cast<std::size_t>(
-          fused.shared_positions[static_cast<std::size_t>(k)])] = out;
-    }
-  });
+  // Pass 2 (shared-DOF-parallel): the surface sweep, through the 32-bit
+  // position schedule when the caller supplied one (half the index bytes,
+  // identical positions and order).
+  if (!fused.shared_positions32.empty()) {
+    fused_surface_pass<std::int32_t>(args, fused, fused.shared_positions32, masked,
+                                     policy);
+  } else {
+    fused_surface_pass<std::int64_t>(args, fused, fused.shared_positions, masked,
+                                     policy);
+  }
 }
 
 }  // namespace semfpga::kernels

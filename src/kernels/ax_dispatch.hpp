@@ -67,7 +67,16 @@ void ax_run_range(AxVariant variant, const AxArgs& args, std::size_t e_begin,
 /// into solver::GatherScatter's shared-DOF CSR (the rows of the gather
 /// schedule with more than one copy — the element→shared-DOF incidence)
 /// plus the system's Dirichlet-mask schedule.  See gather_scatter.hpp for
-/// the CSR layout contract.
+/// the CSR layout contract and the canonical layer-split summation order
+/// (`shared_splits`): each row folds its first-layer entries, folds its
+/// second-layer entries, and adds the two partials — the order the SPMD
+/// runtime's halo exchange reproduces across rank boundaries.
+///
+/// `shared_positions32` is the optional 32-bit copy of `shared_positions`
+/// (GatherScatter builds it when n_local < 2^31).  When non-empty the
+/// surface pass reads it instead of the 64-bit schedule, halving the index
+/// traffic of the fused sweep's second pass; both paths visit identical
+/// positions, so results are bitwise equal.
 ///
 /// The mask arrives pre-compiled into the two places a 0/1 mask can act
 /// (multiplying by 1.0 is a bitwise no-op, so everything else is skipped):
@@ -80,6 +89,8 @@ void ax_run_range(AxVariant variant, const AxArgs& args, std::size_t e_begin,
 struct AxFusedScatter {
   std::span<const std::int64_t> shared_offsets;    ///< n_shared_dofs + 1
   std::span<const std::int64_t> shared_positions;  ///< shared copies, CSR order
+  std::span<const std::int64_t> shared_splits;     ///< layer split per shared row
+  std::span<const std::int32_t> shared_positions32;  ///< 32-bit copies (optional)
   std::span<const double> shared_mask;           ///< per shared row (optional)
   std::span<const std::int64_t> zero_offsets;    ///< n_elements + 1 (optional)
   std::span<const std::int64_t> zero_positions;  ///< masked interior DOFs

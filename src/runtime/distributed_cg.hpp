@@ -1,0 +1,68 @@
+#pragma once
+/// \file distributed_cg.hpp
+/// Distributed conjugate gradients over the SPMD runtime.
+///
+/// The same fused three-pass CG iteration as solver::solve_cg, with the
+/// operator completed by the halo exchange and every dot product routed
+/// through the fabric's ordered allreduce.  Because the canonical
+/// summation order (layer-split gather-scatter rows, layer-segmented
+/// tree-folded reductions) never depends on the rank count, the converged
+/// solution and the per-iteration residual history are bitwise identical
+/// to the single-rank solve at any rank × thread-team combination, for
+/// the fused and the split operator alike — the determinism claim the
+/// ctest suites pin down.
+///
+/// `distributed_cg` is the rank-level loop (call it from inside an
+/// spmd_run body, one RankSystem per rank); `solve_distributed_poisson`
+/// is the whole-problem driver: partition, launch the rank team, assemble
+/// the forcing, solve, and gather the slab solutions into one global
+/// vector.
+
+#include <functional>
+
+#include "runtime/rank_system.hpp"
+#include "runtime/spmd.hpp"
+#include "solver/cg.hpp"
+
+namespace semfpga::runtime {
+
+/// Rank-level distributed CG: solves the global system for this rank's
+/// slice x given its slice b.  Collective; every rank receives the same
+/// CgResult (identical scalars by construction).  Jacobi and identity
+/// preconditioning are supported; custom preconditioners are not (they
+/// would need their own distributed completion).
+[[nodiscard]] solver::CgResult distributed_cg(RankSystem& rs, std::span<const double> b,
+                                              std::span<double> x,
+                                              const solver::CgOptions& options = {});
+
+/// Whole-problem configuration of the distributed Poisson solve.
+struct DistributedSolveConfig {
+  sem::BoxMeshSpec spec;          ///< global box (spec.nelz >= ranks)
+  int ranks = 1;                  ///< z-slab ranks (one thread team each)
+  int threads = 1;                ///< total thread budget, split across ranks
+  kernels::AxVariant ax_variant = kernels::AxVariant::kFixed;
+  bool fused = true;              ///< fused qqt-in-operator sweep per rank
+  solver::CgOptions cg;           ///< threads field is ignored (teams rule)
+  /// Forcing sampled at the nodes; the RHS is assembled exactly as the
+  /// single-rank PoissonSystem::assemble_rhs does.
+  std::function<double(double, double, double)> forcing;
+};
+
+/// Outcome of a distributed solve.
+struct DistributedSolveResult {
+  solver::CgResult cg;            ///< identical on every rank; rank 0's copy
+  aligned_vector<double> x;       ///< global element-local solution
+  std::size_t n_local = 0;        ///< global element-local DOF count
+  int ranks = 1;
+  int threads_per_rank = 1;
+  double solve_seconds = 0.0;     ///< CG wall time, barrier-to-barrier
+  std::int64_t halo_dofs = 0;     ///< max per-rank doubles per exchange
+};
+
+/// Builds the global mesh, partitions it into z-slabs, runs the rank team
+/// and returns the gathered solution.  Bitwise identical to the
+/// single-rank PoissonSystem + solve_cg path for any ranks/threads.
+[[nodiscard]] DistributedSolveResult solve_distributed_poisson(
+    const DistributedSolveConfig& config);
+
+}  // namespace semfpga::runtime

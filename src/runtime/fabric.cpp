@@ -1,0 +1,115 @@
+#include "runtime/fabric.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+
+namespace semfpga::runtime {
+
+InProcessFabric::InProcessFabric(int n_ranks, std::size_t reduce_slots)
+    : n_ranks_(n_ranks),
+      edges_(static_cast<std::size_t>(n_ranks) * static_cast<std::size_t>(n_ranks)),
+      slots_(reduce_slots, 0.0) {
+  SEMFPGA_CHECK(n_ranks >= 1, "fabric needs at least one rank");
+}
+
+void InProcessFabric::check_poison() const {
+  if (poisoned_.load(std::memory_order_acquire)) {
+    throw FabricPoisonedError();
+  }
+}
+
+void InProcessFabric::poison() noexcept {
+  poisoned_.store(true, std::memory_order_release);
+  // Wake every possible waiter: the edge waits key off seq, the barrier
+  // and allreduce waits key off the epoch.  Bumping seq by 2 keeps its
+  // parity (harmless — the protocol is over anyway) while guaranteeing
+  // the value changed, so atomic::wait cannot re-block.
+  for (Edge& e : edges_) {
+    e.seq.fetch_add(2, std::memory_order_acq_rel);
+    e.seq.notify_all();
+  }
+  barrier_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  barrier_epoch_.notify_all();
+}
+
+InProcessFabric::Edge& InProcessFabric::edge(int from, int to) {
+  SEMFPGA_CHECK(0 <= from && from < n_ranks_ && 0 <= to && to < n_ranks_ && from != to,
+                "edge endpoints must be distinct valid ranks");
+  return edges_[static_cast<std::size_t>(from) * static_cast<std::size_t>(n_ranks_) +
+                static_cast<std::size_t>(to)];
+}
+
+void InProcessFabric::send(int from, int to, std::span<const double> data) {
+  Edge& e = edge(from, to);
+  std::uint32_t seq = e.seq.load(std::memory_order_acquire);
+  while ((seq & 1u) != 0) {  // previous message not yet consumed
+    check_poison();
+    e.seq.wait(seq, std::memory_order_acquire);
+    seq = e.seq.load(std::memory_order_acquire);
+  }
+  check_poison();
+  e.payload.assign(data.begin(), data.end());
+  e.seq.store(seq + 1, std::memory_order_release);
+  e.seq.notify_one();
+}
+
+void InProcessFabric::recv(int from, int to, std::span<double> out) {
+  Edge& e = edge(from, to);
+  std::uint32_t seq = e.seq.load(std::memory_order_acquire);
+  while ((seq & 1u) == 0) {  // nothing posted yet
+    check_poison();
+    e.seq.wait(seq, std::memory_order_acquire);
+    seq = e.seq.load(std::memory_order_acquire);
+  }
+  check_poison();
+  SEMFPGA_CHECK(e.payload.size() == out.size(),
+                "halo message size disagrees between sender and receiver");
+  std::copy(e.payload.begin(), e.payload.end(), out.begin());
+  e.seq.store(seq + 1, std::memory_order_release);
+  e.seq.notify_one();
+}
+
+void InProcessFabric::barrier(int /*rank*/) {
+  if (n_ranks_ == 1) {
+    return;
+  }
+  const std::uint32_t epoch = barrier_epoch_.load(std::memory_order_acquire);
+  // The arrival fetch_add is a release so every rank's preceding writes
+  // (slot-table stores, field updates) join the modification order the
+  // last arriver acquires; its epoch bump then publishes them to everyone.
+  if (barrier_count_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_ranks_) {
+    barrier_count_.store(0, std::memory_order_relaxed);
+    barrier_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    barrier_epoch_.notify_all();
+  } else {
+    std::uint32_t seen = epoch;
+    while (seen == epoch) {
+      check_poison();
+      barrier_epoch_.wait(seen, std::memory_order_acquire);
+      seen = barrier_epoch_.load(std::memory_order_acquire);
+    }
+    check_poison();
+  }
+}
+
+double InProcessFabric::allreduce_ordered(int rank, std::size_t slot_begin,
+                                          std::span<const double> contribution) {
+  SEMFPGA_CHECK(slot_begin + contribution.size() <= slots_.size(),
+                "allreduce contribution overflows the slot vector");
+  std::copy(contribution.begin(), contribution.end(), slots_.begin() + slot_begin);
+  barrier(rank);  // all contributions visible
+  // Every rank folds the identical canonical slot vector through the same
+  // fixed tree — redundantly, which is how the in-process transport spells
+  // "allreduce": the combine order never depends on the rank count.  The
+  // fold scratch is per-thread (one thread per rank) and reused across the
+  // 3 allreduces of every CG iteration — no allocation on the hot path.
+  thread_local std::vector<double> fold;
+  fold.assign(slots_.begin(), slots_.end());
+  const double result = tree_fold(fold);
+  barrier(rank);  // nobody re-posts slots while a rank is still reading
+  return result;
+}
+
+}  // namespace semfpga::runtime

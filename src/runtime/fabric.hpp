@@ -1,0 +1,115 @@
+#pragma once
+/// \file fabric.hpp
+/// Transport seam of the in-process SPMD runtime.
+///
+/// The paper's evaluation platform (Noctua) is an FPGA *cluster*, and
+/// Karp et al.'s follow-up flow solver makes distributed gather-scatter the
+/// central scaling problem.  `Fabric` is the runtime's message layer: the
+/// halo exchange and the dot-product allreduce are written against this
+/// interface, so the in-process transport below can later be swapped for a
+/// network (MPI-like) or simulated-latency transport without touching the
+/// solver tier.
+///
+/// Collective contract: every rank issues the same sequence of collective
+/// calls (barrier, allreduce_ordered) in the same program order; the
+/// point-to-point send/recv pairs carry at most one outstanding message per
+/// directed (from, to) edge, matched in program order.  These are exactly
+/// MPI semantics restricted to what the distributed CG iteration needs.
+///
+/// `InProcessFabric` implements the interface with lock-free
+/// single-producer/single-consumer edge slots (one atomic sequence number
+/// per directed edge: even = empty, odd = full), a sense-reversing counter
+/// barrier, and a shared slot table for the ordered allreduce — all built
+/// on C++20 atomic wait/notify, no mutexes anywhere on the exchange path.
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace semfpga::runtime {
+
+/// Thrown out of a blocking Fabric call after a peer rank poisoned the
+/// fabric (it failed and will never reach its side of the collective).
+/// The SPMD launcher treats these as secondary: the failing rank's
+/// original exception is the one rethrown to the caller.
+class FabricPoisonedError : public std::runtime_error {
+ public:
+  FabricPoisonedError() : std::runtime_error("fabric poisoned: a peer rank failed") {}
+};
+
+/// Abstract rank-to-rank transport (see file comment for the contract).
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+
+  [[nodiscard]] virtual int n_ranks() const noexcept = 0;
+
+  /// Marks every pending and future blocking call as doomed: waiters wake
+  /// and throw FabricPoisonedError instead of blocking forever on a rank
+  /// that died.  Called by the SPMD launcher when a rank body throws; the
+  /// fabric is unusable afterwards.
+  virtual void poison() noexcept = 0;
+
+  /// Blocking point-to-point: delivers `data` from rank `from` to rank
+  /// `to`.  Blocks while the edge still holds an unconsumed message.
+  virtual void send(int from, int to, std::span<const double> data) = 0;
+
+  /// Blocking receive of the next message on edge (from, to) into `out`;
+  /// the sizes must match.
+  virtual void recv(int from, int to, std::span<double> out) = 0;
+
+  /// Collective barrier.
+  virtual void barrier(int rank) = 0;
+
+  /// Deterministic ordered allreduce: rank `rank` contributes the global
+  /// reduction slots [slot_begin, slot_begin + contribution.size()); the
+  /// ranks' ranges must tile the fixed slot vector exactly.  Every rank
+  /// receives tree_fold(slots) — the same fixed-association fold the
+  /// single-rank segmented_reduce computes, so the result is bitwise
+  /// independent of the rank count.  The solver contributes one slot per z
+  /// element layer.
+  virtual double allreduce_ordered(int rank, std::size_t slot_begin,
+                                   std::span<const double> contribution) = 0;
+};
+
+/// Lock-free shared-memory Fabric for rank threads of one process.
+class InProcessFabric final : public Fabric {
+ public:
+  /// \param n_ranks       ranks sharing the fabric
+  /// \param reduce_slots  length of the allreduce slot vector (z layers)
+  InProcessFabric(int n_ranks, std::size_t reduce_slots);
+
+  [[nodiscard]] int n_ranks() const noexcept override { return n_ranks_; }
+  void poison() noexcept override;
+  void send(int from, int to, std::span<const double> data) override;
+  void recv(int from, int to, std::span<double> out) override;
+  void barrier(int rank) override;
+  double allreduce_ordered(int rank, std::size_t slot_begin,
+                           std::span<const double> contribution) override;
+
+ private:
+  /// Throws FabricPoisonedError once poison() has been called.
+  void check_poison() const;
+  /// SPSC mailbox of one directed edge.  seq is even when the slot is
+  /// empty, odd while a message waits; sender and receiver each flip it
+  /// once, so the pair never races and never locks.
+  struct alignas(64) Edge {
+    std::atomic<std::uint32_t> seq{0};
+    std::vector<double> payload;
+  };
+
+  [[nodiscard]] Edge& edge(int from, int to);
+
+  int n_ranks_;
+  std::vector<Edge> edges_;  ///< [from * n_ranks + to]; sized once, never moved
+
+  std::atomic<int> barrier_count_{0};
+  std::atomic<std::uint32_t> barrier_epoch_{0};
+  std::atomic<bool> poisoned_{false};
+
+  std::vector<double> slots_;  ///< allreduce contributions, one write per slot
+};
+
+}  // namespace semfpga::runtime

@@ -1,0 +1,104 @@
+#include "runtime/halo.hpp"
+
+#include "common/check.hpp"
+
+namespace semfpga::runtime {
+
+PlaneSchedule build_plane_schedule(const sem::Mesh& slab,
+                                   const solver::GatherScatter& gs, bool top) {
+  const sem::BoxMeshSpec& spec = slab.spec();
+  const std::int64_t gx = static_cast<std::int64_t>(spec.nelx) * spec.degree + 1;
+  const std::int64_t gy = static_cast<std::int64_t>(spec.nely) * spec.degree + 1;
+  const std::int64_t plane = gx * gy;
+  // Slab-global ids are lattice-ordered with z outermost, so a lattice
+  // plane is one contiguous id range: the first `plane` ids (bottom) or the
+  // last (top).
+  const std::int64_t id_begin =
+      top ? static_cast<std::int64_t>(gs.n_global()) - plane : 0;
+
+  PlaneSchedule sched;
+  sched.pack_positions.reserve(static_cast<std::size_t>(plane));
+  sched.copy_offsets.reserve(static_cast<std::size_t>(plane) + 1);
+  sched.copy_offsets.push_back(0);
+  const auto& offsets = gs.gather_offsets();
+  const auto& positions = gs.gather_positions();
+  for (std::int64_t g = id_begin; g < id_begin + plane; ++g) {
+    const std::int64_t row_begin = offsets[static_cast<std::size_t>(g)];
+    const std::int64_t row_end = offsets[static_cast<std::size_t>(g) + 1];
+    SEMFPGA_CHECK(row_end > row_begin, "interface-plane DOF has no local copy");
+    sched.pack_positions.push_back(positions[static_cast<std::size_t>(row_begin)]);
+    for (std::int64_t k = row_begin; k < row_end; ++k) {
+      sched.copy_positions.push_back(positions[static_cast<std::size_t>(k)]);
+    }
+    sched.copy_offsets.push_back(static_cast<std::int64_t>(sched.copy_positions.size()));
+  }
+  return sched;
+}
+
+HaloExchange::HaloExchange(const sem::Mesh& slab, const solver::GatherScatter& gs,
+                           Fabric& fabric, int rank)
+    : fabric_(fabric), rank_(rank) {
+  has_below_ = rank > 0;
+  has_above_ = rank < fabric.n_ranks() - 1;
+  if (has_below_) {
+    bottom_ = build_plane_schedule(slab, gs, /*top=*/false);
+    send_down_.resize(bottom_.n_plane_dofs());
+    recv_down_.resize(bottom_.n_plane_dofs());
+  }
+  if (has_above_) {
+    top_ = build_plane_schedule(slab, gs, /*top=*/true);
+    send_up_.resize(top_.n_plane_dofs());
+    recv_up_.resize(top_.n_plane_dofs());
+  }
+}
+
+std::int64_t HaloExchange::halo_dofs() const noexcept {
+  return static_cast<std::int64_t>(has_below_ ? bottom_.n_plane_dofs() : 0) +
+         static_cast<std::int64_t>(has_above_ ? top_.n_plane_dofs() : 0);
+}
+
+void HaloExchange::exchange_add(std::span<double> field) {
+  // Post both sends before either receive: each edge holds at most one
+  // message and the previous phase consumed it, so the sends never block
+  // and the neighbour pairing cannot deadlock.
+  if (has_below_) {
+    for (std::size_t i = 0; i < bottom_.n_plane_dofs(); ++i) {
+      send_down_[i] = field[static_cast<std::size_t>(bottom_.pack_positions[i])];
+    }
+    fabric_.send(rank_, rank_ - 1, send_down_);
+  }
+  if (has_above_) {
+    for (std::size_t i = 0; i < top_.n_plane_dofs(); ++i) {
+      send_up_[i] = field[static_cast<std::size_t>(top_.pack_positions[i])];
+    }
+    fabric_.send(rank_, rank_ + 1, send_up_);
+  }
+  if (has_below_) {
+    fabric_.recv(rank_ - 1, rank_, recv_down_);
+    // This rank sits *above* the bottom plane: canonical order is
+    // (neighbour's below-partial) + (my above-partial).
+    for (std::size_t i = 0; i < bottom_.n_plane_dofs(); ++i) {
+      const double sum =
+          recv_down_[i] + field[static_cast<std::size_t>(bottom_.pack_positions[i])];
+      for (std::int64_t k = bottom_.copy_offsets[i]; k < bottom_.copy_offsets[i + 1];
+           ++k) {
+        field[static_cast<std::size_t>(
+            bottom_.copy_positions[static_cast<std::size_t>(k)])] = sum;
+      }
+    }
+  }
+  if (has_above_) {
+    fabric_.recv(rank_ + 1, rank_, recv_up_);
+    // This rank sits *below* the top plane: (my below-partial) + theirs.
+    for (std::size_t i = 0; i < top_.n_plane_dofs(); ++i) {
+      const double sum =
+          field[static_cast<std::size_t>(top_.pack_positions[i])] + recv_up_[i];
+      for (std::int64_t k = top_.copy_offsets[i]; k < top_.copy_offsets[i + 1]; ++k) {
+        field[static_cast<std::size_t>(
+            top_.copy_positions[static_cast<std::size_t>(k)])] = sum;
+      }
+    }
+  }
+}
+
+}  // namespace semfpga::runtime

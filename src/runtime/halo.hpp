@@ -1,0 +1,76 @@
+#pragma once
+/// \file halo.hpp
+/// Halo (interface-plane) exchange of the distributed gather-scatter.
+///
+/// A z-slab rank shares one lattice plane of DOFs with each neighbour.
+/// The rank-local gather-scatter sums each plane DOF's local copies —
+/// which are exactly one side of the canonical layer-split sum (see
+/// gather_scatter.hpp) — so continuity costs one message per neighbour:
+/// each side sends its per-plane partial sums, and both add them in the
+/// fixed below+above order, reproducing the single-rank Q Q^T bit for bit.
+/// This is the two-level gather-scatter of Nek5000's gslib (local sums,
+/// neighbour exchange, add) with a determinism contract on top.
+///
+/// The message each direction carries plane_dofs() doubles — the quantity
+/// solver::SlabPartition::halo_dofs accounts and arch::ClusterModel prices.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "runtime/fabric.hpp"
+#include "sem/mesh.hpp"
+#include "solver/gather_scatter.hpp"
+
+namespace semfpga::runtime {
+
+/// Pack/unpack schedule of one interface plane, in lattice (ascending
+/// slab-global id) order so neighbouring ranks agree on the entry order.
+struct PlaneSchedule {
+  /// Per plane DOF: the first local copy (pack source — after a local
+  /// gather-scatter every copy carries the rank's partial sum).
+  std::vector<std::int64_t> pack_positions;
+  /// CSR over plane DOFs of *all* local copies (unpack targets).
+  std::vector<std::int64_t> copy_offsets;
+  std::vector<std::int64_t> copy_positions;
+
+  [[nodiscard]] std::size_t n_plane_dofs() const noexcept {
+    return pack_positions.size();
+  }
+};
+
+/// Builds the schedule of the slab's bottom (`top == false`) or top lattice
+/// plane from the rank-local mesh and its gather schedule.
+[[nodiscard]] PlaneSchedule build_plane_schedule(const sem::Mesh& slab,
+                                                 const solver::GatherScatter& gs,
+                                                 bool top);
+
+/// One rank's halo exchanger: owns the plane schedules and message buffers.
+class HaloExchange {
+ public:
+  /// \param slab  the rank-local mesh (its gather schedule `gs` must match)
+  HaloExchange(const sem::Mesh& slab, const solver::GatherScatter& gs, Fabric& fabric,
+               int rank);
+
+  /// Completes a local gather-scatter across rank boundaries: on entry
+  /// every local copy of an interface-plane DOF holds this rank's partial
+  /// sum; on return it holds (below-rank partial) + (above-rank partial) —
+  /// the canonical split sum.  Collective over the slab neighbours; a
+  /// single-rank runtime is a no-op.
+  void exchange_add(std::span<double> field);
+
+  /// Per-exchange doubles this rank sends (== receives): the partition's
+  /// halo_dofs accounting, measured rather than modelled.
+  [[nodiscard]] std::int64_t halo_dofs() const noexcept;
+
+ private:
+  Fabric& fabric_;
+  int rank_;
+  bool has_below_ = false;  ///< a neighbour owns the layers below
+  bool has_above_ = false;
+  PlaneSchedule bottom_;  ///< shared with rank_ - 1
+  PlaneSchedule top_;     ///< shared with rank_ + 1
+  std::vector<double> send_down_, send_up_, recv_down_, recv_up_;
+};
+
+}  // namespace semfpga::runtime

@@ -1,0 +1,110 @@
+#include "runtime/rank_system.hpp"
+
+#include "common/check.hpp"
+
+namespace semfpga::runtime {
+
+RankSystem::RankSystem(const sem::Mesh& global_mesh, const solver::SlabPartition& part,
+                       int rank, Fabric& fabric, int team_threads)
+    : rank_(rank),
+      fabric_(fabric),
+      slab_(part.ranks.at(static_cast<std::size_t>(rank))),
+      mesh_(sem::Mesh::extract_slab(global_mesh, slab_.z_begin, slab_.z_end)),
+      system_(mesh_),
+      halo_(mesh_, system_.gs(), fabric, rank) {
+  SEMFPGA_CHECK(part.n_ranks == fabric.n_ranks(),
+                "partition and fabric disagree on the rank count");
+  global_elements_ = static_cast<std::size_t>(part.spec.nelx) *
+                     static_cast<std::size_t>(part.spec.nely) *
+                     static_cast<std::size_t>(part.spec.nelz);
+  system_.set_threads(team_threads);
+
+  const std::size_t n = system_.n_local();
+  const auto& mask = system_.mask();
+
+  // Globally corrected c weight: the copy counts of interface-plane DOFs
+  // sum across the interface (exact integer-valued doubles), then invert —
+  // the identical 1/m division the global GatherScatter performs.
+  aligned_vector<double> mult(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    mult[p] = system_.gs().multiplicity()[p];
+  }
+  halo_.exchange_add(std::span<double>(mult.data(), n));
+  inv_mult_.resize(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    inv_mult_[p] = 1.0 / mult[p];
+  }
+
+  // Globally corrected Jacobi diagonal: the local constructor already
+  // summed each rank's element contributions in canonical order, so the
+  // interface planes just need the neighbour partial added.  Masked DOFs
+  // are pinned to exactly 1.0, as in the single-rank constructor (the
+  // exchange would otherwise sum the two ranks' placeholder 1.0s).
+  diagonal_.resize(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    diagonal_[p] = system_.jacobi_diagonal()[p];
+  }
+  halo_.exchange_add(std::span<double>(diagonal_.data(), n));
+  for (std::size_t p = 0; p < n; ++p) {
+    if (mask[p] == 0.0) {
+      diagonal_[p] = 1.0;
+    }
+  }
+
+  for (std::size_t p = 0; p < n; ++p) {
+    if (mask[p] == 0.0) {
+      mask_zero_.push_back(static_cast<std::int64_t>(p));
+    }
+  }
+}
+
+void RankSystem::apply_mask(std::span<double> w) const {
+  // Multiplying the unmasked DOFs by 1.0 is a bitwise no-op, so the
+  // single-rank masked apply and this surface-only pass perform the same
+  // arithmetic on every DOF that changes.
+  parallel_for(mask_zero_.size(), threads(), [&](std::size_t i) {
+    w[static_cast<std::size_t>(mask_zero_[i])] *= 0.0;
+  });
+}
+
+void RankSystem::apply(std::span<const double> u, std::span<double> w) {
+  // Unmasked local apply (fused or split, per the system flag): interface
+  // rows end up holding this rank's canonical partial sums.
+  system_.apply_unmasked(u, w);
+  halo_.exchange_add(w);
+  apply_mask(w);
+}
+
+void RankSystem::assemble_rhs(std::span<const double> f_at_nodes,
+                              std::span<double> b) {
+  const std::size_t n = n_local();
+  SEMFPGA_CHECK(f_at_nodes.size() == n && b.size() == n,
+                "field views must cover the rank slab");
+  const auto& mass = system_.geom().mass;
+  for (std::size_t p = 0; p < n; ++p) {
+    b[p] = mass[p] * f_at_nodes[p];
+  }
+  system_.gs().qqt(b);
+  halo_.exchange_add(b);
+  apply_mask(b);
+}
+
+void RankSystem::sample(const std::function<double(double, double, double)>& f,
+                        std::span<double> out) const {
+  system_.sample(f, out);
+}
+
+double RankSystem::dot(std::span<const double> a, std::span<const double> b) {
+  SEMFPGA_CHECK(a.size() == n_local() && b.size() == n_local(),
+                "field views must cover the rank slab");
+  const auto& c = inv_mult_;
+  return allreduce([&](std::size_t begin, std::size_t end) {
+    double acc = 0.0;
+    for (std::size_t p = begin; p < end; ++p) {
+      acc += a[p] * b[p] * c[p];
+    }
+    return acc;
+  });
+}
+
+}  // namespace semfpga::runtime

@@ -1,0 +1,115 @@
+#pragma once
+/// \file rank_system.hpp
+/// One rank's share of the distributed Poisson system.
+///
+/// A RankSystem owns the rank's slab mesh (bitwise-extracted from the
+/// global box), a PoissonSystem over it, the halo exchanger, and the
+/// *globally corrected* weights a distributed solve needs:
+///
+///  * inv_multiplicity — 1 / (global copy count); the rank-local count
+///    misses the neighbour's copies of interface-plane DOFs, so the counts
+///    are summed across the interface at construction.
+///  * jacobi_diagonal  — the assembled diagonal, likewise summed across
+///    interface planes (exact for the unmasked DOFs; masked DOFs stay 1).
+///
+/// The distributed operator is the two-level gather-scatter: the local
+/// fused (or split) unmasked apply computes each interface DOF's rank
+/// partial in canonical order, exchange_add completes the sum across the
+/// interface, and a surface-only pass multiplies the Dirichlet DOFs by 0.0
+/// — the identical multiplications the single-rank masked apply performs,
+/// so every value matches it bit for bit.
+///
+/// Reductions contribute one canonical slot per *global* z layer through
+/// Fabric::allreduce_ordered; chunk grids anchor at layer starts, so the
+/// rank computes, from its slice alone, exactly the partials the
+/// single-rank segmented_reduce computes for its layers.
+
+#include <functional>
+#include <span>
+
+#include "common/parallel.hpp"
+#include "runtime/fabric.hpp"
+#include "runtime/halo.hpp"
+#include "solver/partition.hpp"
+#include "solver/poisson_system.hpp"
+
+namespace semfpga::runtime {
+
+/// Rank-local state of the distributed solve (one instance per rank, used
+/// only by that rank's thread).
+class RankSystem {
+ public:
+  /// Builds the slab [part.ranks[rank].z_begin, z_end) of `global_mesh`.
+  /// Collective: the constructor exchanges multiplicities and diagonal
+  /// partials with the slab neighbours, so all ranks must construct their
+  /// RankSystem in the same program phase.
+  RankSystem(const sem::Mesh& global_mesh, const solver::SlabPartition& part, int rank,
+             Fabric& fabric, int team_threads);
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] const solver::RankSlab& slab() const noexcept { return slab_; }
+  [[nodiscard]] const sem::Mesh& mesh() const noexcept { return mesh_; }
+  [[nodiscard]] solver::PoissonSystem& system() noexcept { return system_; }
+  [[nodiscard]] const solver::PoissonSystem& system() const noexcept { return system_; }
+  [[nodiscard]] HaloExchange& halo() noexcept { return halo_; }
+  [[nodiscard]] std::size_t n_local() const noexcept { return system_.n_local(); }
+  [[nodiscard]] int threads() const noexcept { return system_.threads(); }
+  /// Elements of the whole partitioned problem (all ranks together).
+  [[nodiscard]] std::size_t global_elements() const noexcept { return global_elements_; }
+
+  /// Globally corrected 1/multiplicity (the distributed `c` weight).
+  [[nodiscard]] const aligned_vector<double>& inv_multiplicity() const noexcept {
+    return inv_mult_;
+  }
+  /// Globally corrected assembled Jacobi diagonal (1 on masked DOFs).
+  [[nodiscard]] const aligned_vector<double>& jacobi_diagonal() const noexcept {
+    return diagonal_;
+  }
+
+  /// Distributed masked operator: w = mask(QQ^T_global(A_local u)) on this
+  /// rank's slice.  Collective over the slab neighbours.
+  void apply(std::span<const double> u, std::span<double> w);
+
+  /// Distributed right-hand side: b = mask(QQ^T_global(mass .* f)).
+  /// Collective.
+  void assemble_rhs(std::span<const double> f_at_nodes, std::span<double> b);
+
+  /// Samples f at this rank's nodes (bitwise the global sample restricted).
+  void sample(const std::function<double(double, double, double)>& f,
+              std::span<double> out) const;
+
+  /// Distributed multiplicity-weighted dot product; equals the single-rank
+  /// PoissonSystem::weighted_dot bit for bit.  Collective.
+  [[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+
+  /// Distributed layer-segmented reduction: chunk_fn(begin, end) sums one
+  /// chunk of this rank's local index space (chunk grids anchored at layer
+  /// starts); returns the canonical tree fold over every rank's layer
+  /// partials — bitwise the single-rank segmented_reduce.  Collective.
+  template <class ChunkFn>
+  [[nodiscard]] double allreduce(ChunkFn&& chunk_fn) {
+    segment_partials(n_local(), system_.reduction_segment(), threads(),
+                     std::forward<ChunkFn>(chunk_fn), partials_);
+    return fabric_.allreduce_ordered(
+        rank_, static_cast<std::size_t>(slab_.z_begin), partials_);
+  }
+
+ private:
+  /// Multiplies the rank's Dirichlet DOFs by 0.0 — all a 0/1 mask does
+  /// bitwise, without re-touching the unmasked volume.
+  void apply_mask(std::span<double> w) const;
+
+  int rank_;
+  Fabric& fabric_;
+  solver::RankSlab slab_;
+  std::size_t global_elements_ = 0;
+  sem::Mesh mesh_;  ///< the slab (PoissonSystem keeps a reference into it)
+  solver::PoissonSystem system_;
+  HaloExchange halo_;
+  aligned_vector<double> inv_mult_;
+  aligned_vector<double> diagonal_;
+  std::vector<std::int64_t> mask_zero_;  ///< local positions with mask 0
+  std::vector<double> partials_;         ///< allreduce scratch
+};
+
+}  // namespace semfpga::runtime

@@ -1,0 +1,67 @@
+#include "runtime/spmd.hpp"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+
+namespace semfpga::runtime {
+
+int team_threads(int total_threads, int n_ranks) noexcept {
+  const int total = resolve_threads(total_threads);
+  const int per_rank = total / (n_ranks > 0 ? n_ranks : 1);
+  return per_rank > 0 ? per_rank : 1;
+}
+
+void spmd_run(Fabric& fabric, int total_threads,
+              const std::function<void(const RankEnv&)>& body) {
+  SEMFPGA_CHECK(static_cast<bool>(body), "rank body must be callable");
+  const int n_ranks = fabric.n_ranks();
+  const int team = team_threads(total_threads, n_ranks);
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n_ranks));
+  // One byte per rank, not vector<bool>: ranks write their slot
+  // concurrently and bit-packing would race on the shared word.
+  std::vector<unsigned char> secondary(static_cast<std::size_t>(n_ranks), 0);
+  const auto rank_main = [&](int rank) noexcept {
+    try {
+      RankEnv env;
+      env.rank = rank;
+      env.n_ranks = n_ranks;
+      env.team_threads = team;
+      env.fabric = &fabric;
+      body(env);
+    } catch (const FabricPoisonedError&) {
+      // Another rank failed first and poisoned the fabric out from under
+      // this one's collective; keep the wake-up error only as a fallback.
+      errors[static_cast<std::size_t>(rank)] = std::current_exception();
+      secondary[static_cast<std::size_t>(rank)] = 1;
+    } catch (...) {
+      errors[static_cast<std::size_t>(rank)] = std::current_exception();
+      // Peers may be blocked in a collective this rank will never reach;
+      // wake them so join() terminates and the error propagates.
+      fabric.poison();
+    }
+  };
+
+  std::vector<std::thread> team_members;
+  team_members.reserve(static_cast<std::size_t>(n_ranks - 1));
+  for (int r = 1; r < n_ranks; ++r) {
+    team_members.emplace_back(rank_main, r);
+  }
+  rank_main(0);
+  for (std::thread& t : team_members) {
+    t.join();
+  }
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t r = 0; r < errors.size(); ++r) {
+      if (errors[r] && (pass == 1 || secondary[r] == 0)) {
+        std::rethrow_exception(errors[r]);
+      }
+    }
+  }
+}
+
+}  // namespace semfpga::runtime

@@ -1,0 +1,40 @@
+#pragma once
+/// \file spmd.hpp
+/// Rank-team launcher of the in-process SPMD runtime.
+///
+/// One process hosts N ranks, each a std::thread running the same program
+/// over its own slab (single program, multiple data — exactly how Nekbone
+/// runs under MPI, folded into one address space).  Each rank owns a
+/// thread team for its element-parallel sweeps, sized by dividing the
+/// total thread budget evenly; results are bitwise independent of both the
+/// rank count and the per-rank team size, so any budget split is purely a
+/// performance choice.
+
+#include <functional>
+
+#include "runtime/fabric.hpp"
+
+namespace semfpga::runtime {
+
+/// What one rank body sees.
+struct RankEnv {
+  int rank = 0;
+  int n_ranks = 1;
+  /// Worker threads this rank's element sweeps should use (>= 1).
+  int team_threads = 1;
+  Fabric* fabric = nullptr;
+};
+
+/// Threads per rank under a total budget: resolve_threads(total_threads)
+/// split evenly across ranks, at least 1 each (0 = all hardware threads,
+/// matching the library-wide convention).
+[[nodiscard]] int team_threads(int total_threads, int n_ranks) noexcept;
+
+/// Runs `body` once per rank of `fabric`, rank 0 on the calling thread and
+/// the rest on freshly spawned threads; joins them all before returning.
+/// The first exception thrown by any rank (lowest rank wins) is rethrown
+/// on the caller after every rank has stopped.
+void spmd_run(Fabric& fabric, int total_threads,
+              const std::function<void(const RankEnv&)>& body);
+
+}  // namespace semfpga::runtime

@@ -41,6 +41,17 @@ class Mesh {
  public:
   Mesh(BoxMeshSpec spec, const ReferenceElement& ref);
 
+  /// Extracts the z-slab of element layers [z_begin, z_end) as a standalone
+  /// mesh — the rank-local mesh of the SPMD runtime.  Elements are
+  /// z-outermost, so the slab is a contiguous element range: nodal
+  /// coordinates are copied bitwise (re-meshing a sub-box would re-round
+  /// them and re-evaluate deformations against the wrong extents), global
+  /// ids are renumbered to the slab's contiguous lattice range, and
+  /// boundary flags are restricted from the parent — an interface plane of
+  /// the slab is *not* marked as domain boundary.
+  /// \pre 0 <= z_begin < z_end <= spec().nelz.
+  [[nodiscard]] static Mesh extract_slab(const Mesh& parent, int z_begin, int z_end);
+
   [[nodiscard]] const BoxMeshSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] int degree() const noexcept { return spec_.degree; }
   [[nodiscard]] int n1d() const noexcept { return spec_.degree + 1; }
@@ -66,6 +77,8 @@ class Mesh {
   }
 
  private:
+  Mesh() = default;  ///< blank shell for extract_slab
+
   BoxMeshSpec spec_;
   std::size_t n_elements_ = 0;
   std::size_t ppe_ = 0;

@@ -29,6 +29,10 @@ CgResult solve_cg(const PoissonSystem& system, std::span<const double> b,
   const auto& diag = system.jacobi_diagonal();
   const auto& c = system.gs().inv_multiplicity();
   const int threads = options.threads < 0 ? system.threads() : options.threads;
+  // Canonical reduction layout: per-z-layer partials folded through a fixed
+  // tree, so the distributed runtime's allreduce can reproduce every dot
+  // product bit for bit (see parallel.hpp segmented_reduce).
+  const std::size_t seg = system.reduction_segment();
   const bool identity_precond = !options.preconditioner && !options.use_jacobi;
 
   aligned_vector<double> r(n);
@@ -45,7 +49,7 @@ CgResult solve_cg(const PoissonSystem& system, std::span<const double> b,
   // r = b - A x (x may carry an initial guess), fused with rr = <r, r>_c.
   system.apply(x, std::span<double>(w.data(), n));
   result.flops += ax_cost;
-  double rr = chunked_reduce(n, threads, [&](std::size_t begin, std::size_t end) {
+  double rr = segmented_reduce(n, seg, threads, [&](std::size_t begin, std::size_t end) {
     double acc = 0.0;
     for (std::size_t i = begin; i < end; ++i) {
       const double ri = b[i] - w[i];
@@ -61,7 +65,7 @@ CgResult solve_cg(const PoissonSystem& system, std::span<const double> b,
     if (options.preconditioner) {
       options.preconditioner(std::span<const double>(in.data(), n),
                              std::span<double>(z.data(), n));
-      return chunked_reduce(n, threads, [&](std::size_t begin, std::size_t end) {
+      return segmented_reduce(n, seg, threads, [&](std::size_t begin, std::size_t end) {
         double acc = 0.0;
         for (std::size_t i = begin; i < end; ++i) {
           acc += in[i] * z[i] * c[i];
@@ -69,7 +73,7 @@ CgResult solve_cg(const PoissonSystem& system, std::span<const double> b,
         return acc;
       });
     }
-    return chunked_reduce(n, threads, [&](std::size_t begin, std::size_t end) {
+    return segmented_reduce(n, seg, threads, [&](std::size_t begin, std::size_t end) {
       double acc = 0.0;
       for (std::size_t i = begin; i < end; ++i) {
         const double zi = in[i] / diag[i];
@@ -100,7 +104,7 @@ CgResult solve_cg(const PoissonSystem& system, std::span<const double> b,
                                           std::span<const double>(w.data(), n));
     SEMFPGA_CHECK(pw > 0.0, "operator lost positive definiteness (check mesh/mask)");
     const double alpha = rho / pw;
-    rr = chunked_reduce(n, threads, [&](std::size_t begin, std::size_t end) {
+    rr = segmented_reduce(n, seg, threads, [&](std::size_t begin, std::size_t end) {
       double acc = 0.0;
       for (std::size_t i = begin; i < end; ++i) {
         x[i] += alpha * p[i];

@@ -1,7 +1,10 @@
 #include "solver/gather_scatter.hpp"
 
+#include <limits>
+
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "common/split_fold.hpp"
 
 namespace semfpga::solver {
 
@@ -24,6 +27,13 @@ GatherScatter::GatherScatter(const sem::Mesh& mesh)
         static_cast<std::int64_t>(p);
   }
 
+  // The canonical order splits rows at z element layer boundaries; local
+  // positions are element-major with z the outermost element loop, so one
+  // layer is one contiguous position range.
+  dofs_per_layer_ = mesh.points_per_element() *
+                    static_cast<std::size_t>(mesh.spec().nelx) *
+                    static_cast<std::size_t>(mesh.spec().nely);
+
   multiplicity_.resize(ids_.size());
   inv_multiplicity_.resize(ids_.size());
   for (std::size_t p = 0; p < ids_.size(); ++p) {
@@ -33,20 +43,49 @@ GatherScatter::GatherScatter(const sem::Mesh& mesh)
     inv_multiplicity_[p] = 1.0 / m;
   }
 
-  // Element→shared-DOF incidence schedule: the CSR rows of length > 1 (the
-  // face/edge/corner DOFs shared between elements), kept in the full
-  // schedule's order so the fused sweep's shared-row sums are bitwise
-  // identical to qqt's.
+  // Canonical per-row layer splits, precomputed once (splits_ for every
+  // global row; shared_splits_ as absolute indices into the shared CSR),
+  // plus the element→shared-DOF incidence schedule: the CSR rows of length
+  // > 1 (the face/edge/corner DOFs shared between elements), kept in the
+  // full schedule's order, so the fused sweep's shared-row sums are
+  // bitwise identical to qqt's.
+  splits_.resize(n_global_);
   shared_offsets_.push_back(0);
   for (std::size_t g = 0; g < n_global_; ++g) {
+    splits_[g] = row_split(g);
     if (offsets_[g + 1] - offsets_[g] < 2) {
       continue;
     }
+    shared_splits_.push_back(static_cast<std::int64_t>(shared_positions_.size()) +
+                             (splits_[g] - offsets_[g]));
     for (std::int64_t k = offsets_[g]; k < offsets_[g + 1]; ++k) {
       shared_positions_.push_back(positions_[static_cast<std::size_t>(k)]);
     }
     shared_offsets_.push_back(static_cast<std::int64_t>(shared_positions_.size()));
   }
+
+  if (ids_.size() < static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max())) {
+    shared_positions32_.reserve(shared_positions_.size());
+    for (const std::int64_t p : shared_positions_) {
+      shared_positions32_.push_back(static_cast<std::int32_t>(p));
+    }
+  }
+}
+
+std::int64_t GatherScatter::row_split(std::size_t g) const noexcept {
+  const std::int64_t begin = offsets_[g];
+  const std::int64_t end = offsets_[g + 1];
+  const std::size_t first_layer =
+      static_cast<std::size_t>(positions_[static_cast<std::size_t>(begin)]) /
+      dofs_per_layer_;
+  for (std::int64_t k = begin + 1; k < end; ++k) {
+    if (static_cast<std::size_t>(positions_[static_cast<std::size_t>(k)]) /
+            dofs_per_layer_ !=
+        first_layer) {
+      return k;
+    }
+  }
+  return end;
 }
 
 void GatherScatter::scatter_add(std::span<const double> local,
@@ -54,11 +93,8 @@ void GatherScatter::scatter_add(std::span<const double> local,
   SEMFPGA_CHECK(local.size() == ids_.size(), "local vector has the wrong size");
   SEMFPGA_CHECK(global.size() == n_global_, "global vector has the wrong size");
   parallel_for(n_global_, threads_, [&](std::size_t g) {
-    double sum = 0.0;
-    for (std::int64_t k = offsets_[g]; k < offsets_[g + 1]; ++k) {
-      sum += local[static_cast<std::size_t>(positions_[static_cast<std::size_t>(k)])];
-    }
-    global[g] = sum;
+    global[g] = split_row_fold<std::int64_t>(local, positions_, offsets_[g],
+                                             splits_[g], offsets_[g + 1]);
   });
 }
 
@@ -73,20 +109,18 @@ void GatherScatter::gather(std::span<const double> global,
 
 void GatherScatter::qqt(std::span<double> local) const {
   SEMFPGA_CHECK(local.size() == ids_.size(), "local vector has the wrong size");
-  // Owner-computes: each global DOF sums its copies and writes them back.
-  // Workers own disjoint position sets, so the in-place update is race-free.
-  parallel_for(n_global_, threads_, [&](std::size_t g) {
-    const std::int64_t begin = offsets_[g];
-    const std::int64_t end = offsets_[g + 1];
-    if (end == begin + 1) {  // interior DOF: single copy, sum is a no-op
-      return;
-    }
-    double sum = 0.0;
+  // Owner-computes over the shared rows only (a multiplicity-1 DOF's sum is
+  // a no-op): each row sums its copies in the canonical order and writes
+  // the sum back.  Workers own disjoint position sets, so the in-place
+  // update is race-free.
+  parallel_for(n_shared_dofs(), threads_, [&](std::size_t s) {
+    const std::int64_t begin = shared_offsets_[s];
+    const std::int64_t end = shared_offsets_[s + 1];
+    const double sum = split_row_fold<std::int64_t>(local, shared_positions_, begin,
+                                                    shared_splits_[s], end);
     for (std::int64_t k = begin; k < end; ++k) {
-      sum += local[static_cast<std::size_t>(positions_[static_cast<std::size_t>(k)])];
-    }
-    for (std::int64_t k = begin; k < end; ++k) {
-      local[static_cast<std::size_t>(positions_[static_cast<std::size_t>(k)])] = sum;
+      local[static_cast<std::size_t>(shared_positions_[static_cast<std::size_t>(k)])] =
+          sum;
     }
   });
 }

@@ -13,16 +13,30 @@
 /// — a CSR map from each global DOF to the local positions that copy it —
 /// so every operation is a race-free parallel sweep over global DOFs (each
 /// worker owns disjoint outputs) and nothing ever re-zeroes an O(n_global)
-/// vector.  Sums run in fixed CSR order, so results are bitwise identical
+/// vector.  Sums run in a fixed order, so results are bitwise identical
 /// for any thread count.
+///
+/// Canonical summation order (the distributed-runtime contract): a shared
+/// DOF whose copies span two z element layers — a z-interface plane DOF —
+/// is summed as (fold of the below-layer copies) + (fold of the above-layer
+/// copies), each side in ascending local-position order.  A z-slab rank
+/// boundary always coincides with a layer interface, so one rank's local
+/// fold *is* one side of that sum: the SPMD runtime exchanges per-plane
+/// partial sums and adds them in below+above order, reproducing the
+/// single-rank result bit for bit.  DOFs shared only within one layer keep
+/// the plain ascending-position fold.
 ///
 /// For the fused qqt-in-operator sweep (kernels::ax_run_fused) the
 /// constructor additionally builds the element→shared-DOF incidence
 /// schedule: the CSR restricted to shared DOFs (multiplicity > 1), kept in
-/// the full schedule's (global id, local position) order so the fused
-/// shared-row sums run in exactly the order qqt uses — which is what makes
-/// the fused apply bitwise equal to the split Ax + qqt path while walking
-/// only the mesh surface.
+/// the full schedule's (global id, local position) order together with the
+/// per-row layer split — so the fused shared-row sums run in exactly the
+/// canonical order qqt uses, which is what makes the fused apply bitwise
+/// equal to the split Ax + qqt path while walking only the mesh surface.
+/// When the mesh is small enough (n_local < 2^31) the shared schedule is
+/// also stored with 32-bit local positions, halving the fused surface
+/// pass's index traffic; the 64-bit schedule is always kept for large
+/// meshes and as the parity oracle.
 
 #include <cstdint>
 #include <span>
@@ -47,16 +61,17 @@ class GatherScatter {
   void set_threads(int threads) noexcept { threads_ = threads; }
   [[nodiscard]] int threads() const noexcept { return threads_; }
 
-  /// global = Q^T local: sums all local copies into their global DOF.
-  /// `global` is overwritten (every global DOF is owner-assigned, so no
-  /// pre-zeroing pass is needed).
+  /// global = Q^T local: sums all local copies into their global DOF in the
+  /// canonical (layer-split) order.  `global` is overwritten (every global
+  /// DOF is owner-assigned, so no pre-zeroing pass is needed).
   void scatter_add(std::span<const double> local, std::span<double> global) const;
 
   /// local = Q global: copies each global value to all its local copies.
   void gather(std::span<const double> global, std::span<double> local) const;
 
   /// In-place direct stiffness summation: local = Q Q^T local.  One fused
-  /// owner-computes sweep; no global-size intermediate is materialised.
+  /// owner-computes sweep over the shared rows (multiplicity-1 DOFs are
+  /// no-ops); no global-size intermediate is materialised.
   void qqt(std::span<double> local) const;
 
   /// Number of local copies of each local DOF's global node (>= 1).
@@ -83,6 +98,11 @@ class GatherScatter {
     return positions_;
   }
 
+  /// Local DOFs per z element layer (ppe * nelx * nely): position p belongs
+  /// to layer p / dofs_per_layer().  The unit of the canonical split order
+  /// and of the layer-segmented reductions.
+  [[nodiscard]] std::size_t dofs_per_layer() const noexcept { return dofs_per_layer_; }
+
   /// --- Element→shared-DOF incidence schedule (fused operator sweep) ---
 
   /// Number of global DOFs with more than one local copy.
@@ -102,17 +122,39 @@ class GatherScatter {
   [[nodiscard]] const std::vector<std::int64_t>& shared_positions() const noexcept {
     return shared_positions_;
   }
+  /// Canonical split of each shared row: entries [shared_offsets()[s],
+  /// shared_splits()[s]) lie in the row's first z layer, entries
+  /// [shared_splits()[s], shared_offsets()[s + 1]) in the layer above.
+  /// Equal to shared_offsets()[s + 1] when the row stays within one layer.
+  [[nodiscard]] const std::vector<std::int64_t>& shared_splits() const noexcept {
+    return shared_splits_;
+  }
+  /// 32-bit copy of shared_positions(), built when n_local < 2^31 (empty
+  /// otherwise): same entries, half the index traffic for the fused sweep.
+  [[nodiscard]] const std::vector<std::int32_t>& shared_positions32() const noexcept {
+    return shared_positions32_;
+  }
 
  private:
+  /// Canonical split of full-CSR row g (used to build splits_): first index
+  /// in [offsets_[g], offsets_[g+1]) whose position lies in a later layer
+  /// than the first entry; offsets_[g+1] when the row stays within one
+  /// layer.
+  [[nodiscard]] std::int64_t row_split(std::size_t g) const noexcept;
+
   std::vector<std::int64_t> ids_;
   std::size_t n_global_ = 0;
+  std::size_t dofs_per_layer_ = 0;
   int threads_ = 1;
   std::vector<double> multiplicity_;
   aligned_vector<double> inv_multiplicity_;
   std::vector<std::int64_t> offsets_;    ///< CSR row pointers, n_global + 1
   std::vector<std::int64_t> positions_;  ///< CSR column data, n_local
+  std::vector<std::int64_t> splits_;     ///< canonical layer split per row
   std::vector<std::int64_t> shared_offsets_;    ///< shared-row pointers, n_shared + 1
   std::vector<std::int64_t> shared_positions_;  ///< shared copies, CSR order
+  std::vector<std::int64_t> shared_splits_;     ///< layer split per shared row
+  std::vector<std::int32_t> shared_positions32_;  ///< 32-bit copy (small meshes)
 };
 
 }  // namespace semfpga::solver

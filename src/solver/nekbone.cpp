@@ -5,8 +5,56 @@
 
 #include "common/timer.hpp"
 #include "kernels/ax.hpp"
+#include "runtime/distributed_cg.hpp"
 
 namespace semfpga::solver {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Nekbone seeds the solve with a smooth forcing; we use the classical
+/// product-of-sines eigenfunction so convergence behaviour is predictable.
+double sine_forcing(double px, double py, double pz) {
+  return std::sin(kPi * px) * std::sin(kPi * py) * std::sin(kPi * pz);
+}
+
+/// The proxy run on the SPMD runtime: same forcing, same fixed-iteration
+/// CG, bitwise identical iterates — only the execution tier changes.
+NekboneResult run_nekbone_distributed(const NekboneConfig& config,
+                                      const sem::BoxMeshSpec& spec) {
+  runtime::DistributedSolveConfig dist;
+  dist.spec = spec;
+  dist.ranks = config.ranks;
+  dist.threads = config.threads;
+  dist.ax_variant = config.ax_variant;
+  dist.fused = config.fused;
+  dist.cg.max_iterations = config.cg_iterations;
+  dist.cg.tolerance = 0.0;  // fixed iteration count, like Nekbone
+  dist.cg.use_jacobi = config.use_jacobi;
+  dist.forcing = sine_forcing;
+
+  const runtime::DistributedSolveResult solve = runtime::solve_distributed_poisson(dist);
+  // Barrier-to-barrier CG time, so the number is comparable with the
+  // single-rank path below (which also times only solve_cg, not setup).
+  const double seconds = solve.solve_seconds;
+
+  NekboneResult result;
+  result.n_elements = static_cast<std::size_t>(spec.nelx) * spec.nely * spec.nelz;
+  result.n_dofs = solve.n_local;
+  result.iterations = solve.cg.iterations;
+  result.final_residual = solve.cg.final_residual;
+  result.seconds = seconds;
+  result.flops = solve.cg.flops;
+  result.gflops =
+      seconds > 0.0 ? static_cast<double>(solve.cg.flops) / seconds / 1e9 : 0.0;
+  const std::int64_t ax_only =
+      kernels::ax_flops(config.degree + 1, result.n_elements) *
+      static_cast<std::int64_t>(solve.cg.iterations + 1);
+  result.ax_gflops = seconds > 0.0 ? static_cast<double>(ax_only) / seconds / 1e9 : 0.0;
+  return result;
+}
+
+}  // namespace
 
 NekboneResult run_nekbone(const NekboneConfig& config) {
   sem::BoxMeshSpec spec;
@@ -15,6 +63,9 @@ NekboneResult run_nekbone(const NekboneConfig& config) {
   spec.nely = config.nely;
   spec.nelz = config.nelz;
   spec.deformation = config.deformation;
+  if (config.ranks > 1) {
+    return run_nekbone_distributed(config, spec);
+  }
   const sem::Mesh mesh = sem::box_mesh(spec);
   PoissonSystem system(mesh);
   system.set_ax_variant(config.ax_variant);
@@ -26,14 +77,7 @@ NekboneResult run_nekbone(const NekboneConfig& config) {
   aligned_vector<double> b(n);
   aligned_vector<double> x(n, 0.0);
 
-  // Nekbone seeds the solve with a smooth forcing; we use the classical
-  // product-of-sines eigenfunction so convergence behaviour is predictable.
-  constexpr double kPi = 3.14159265358979323846;
-  system.sample(
-      [](double px, double py, double pz) {
-        return std::sin(kPi * px) * std::sin(kPi * py) * std::sin(kPi * pz);
-      },
-      std::span<double>(f.data(), n));
+  system.sample(sine_forcing, std::span<double>(f.data(), n));
   system.assemble_rhs(std::span<const double>(f.data(), n), std::span<double>(b.data(), n));
 
   CgOptions options;
@@ -65,11 +109,11 @@ NekboneResult run_nekbone(const NekboneConfig& config) {
 std::string format_result(const NekboneConfig& config, const NekboneResult& result) {
   char buf[320];
   std::snprintf(buf, sizeof(buf),
-                "nekbone N=%d elements=%zu dofs=%zu ax=%s fused=%d threads=%d iters=%d "
-                "res=%.3e time=%.3fs GFLOP/s=%.2f (Ax-only %.2f)",
+                "nekbone N=%d elements=%zu dofs=%zu ax=%s fused=%d ranks=%d threads=%d "
+                "iters=%d res=%.3e time=%.3fs GFLOP/s=%.2f (Ax-only %.2f)",
                 config.degree, result.n_elements, result.n_dofs,
                 kernels::ax_variant_name(config.ax_variant), config.fused ? 1 : 0,
-                config.threads, result.iterations, result.final_residual,
+                config.ranks, config.threads, result.iterations, result.final_residual,
                 result.seconds, result.gflops, result.ax_gflops);
   return buf;
 }

@@ -31,6 +31,12 @@ struct NekboneConfig {
   /// passes): 1 = serial, 0 = all hardware threads.  The iterates are
   /// bitwise identical for any value.
   int threads = 1;
+  /// SPMD ranks (CLI --ranks): > 1 routes the solve through the in-process
+  /// multi-rank runtime — z-slab partition, per-rank thread teams carved
+  /// from `threads`, real halo exchange and deterministic allreduce — with
+  /// iterates bitwise identical to the single-rank solve.  Requires
+  /// ranks <= nelz.
+  int ranks = 1;
 };
 
 /// Result of one proxy run.

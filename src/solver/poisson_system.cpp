@@ -81,6 +81,8 @@ kernels::AxFusedScatter PoissonSystem::fused_view(bool masked) const {
   kernels::AxFusedScatter fused;
   fused.shared_offsets = gs_.shared_offsets();
   fused.shared_positions = gs_.shared_positions();
+  fused.shared_splits = gs_.shared_splits();
+  fused.shared_positions32 = gs_.shared_positions32();
   if (masked) {
     fused.shared_mask =
         std::span<const double>(shared_row_mask_.data(), shared_row_mask_.size());
@@ -163,13 +165,14 @@ double PoissonSystem::weighted_dot(std::span<const double> a,
   SEMFPGA_CHECK(a.size() == n_local() && b.size() == n_local(),
                 "field views must cover the whole mesh");
   const auto& c = gs_.inv_multiplicity();
-  return chunked_reduce(a.size(), threads_, [&](std::size_t begin, std::size_t end) {
-    double acc = 0.0;
-    for (std::size_t p = begin; p < end; ++p) {
-      acc += a[p] * b[p] * c[p];
-    }
-    return acc;
-  });
+  return segmented_reduce(a.size(), reduction_segment(), threads_,
+                          [&](std::size_t begin, std::size_t end) {
+                            double acc = 0.0;
+                            for (std::size_t p = begin; p < end; ++p) {
+                              acc += a[p] * b[p] * c[p];
+                            }
+                            return acc;
+                          });
 }
 
 }  // namespace semfpga::solver

@@ -91,9 +91,20 @@ class PoissonSystem {
               std::span<double> out) const;
 
   /// Multiplicity-weighted dot product (equals the global dot product for
-  /// continuous fields) — Nekbone's glsc3 with the `c` weight.
+  /// continuous fields) — Nekbone's glsc3 with the `c` weight.  Computed
+  /// with the canonical layer-segmented reduction (see reduction_segment),
+  /// so the SPMD runtime's distributed dots match it bit for bit.
   [[nodiscard]] double weighted_dot(std::span<const double> a,
                                     std::span<const double> b) const;
+
+  /// Segment length of the canonical reductions: the local DOFs of one z
+  /// element layer.  CG's dots fold per-segment partials through a fixed
+  /// tree (parallel.hpp segmented_reduce); a z-slab rank owns whole
+  /// segments, which is what lets the distributed allreduce reproduce the
+  /// single-rank fold exactly.
+  [[nodiscard]] std::size_t reduction_segment() const noexcept {
+    return gs_.dofs_per_layer();
+  }
 
  private:
   /// Engine operands over the system's geometry for the input/output pair.

@@ -81,6 +81,37 @@ TEST(ClusterModel, SingleRankHasNoNetworkTerms) {
   EXPECT_DOUBLE_EQ(points[0].allreduce_seconds, 0.0);
 }
 
+TEST(ClusterModel, WeakScalingIsFlatWithoutNetworkCosts) {
+  // Constant layers per rank + linear kernel + free network: the iteration
+  // time never changes, so weak efficiency stays at 1.
+  NetworkSpec free_net;
+  free_net.latency_us = 0.0;
+  free_net.bandwidth_gbs = 1e9;
+  sem::BoxMeshSpec per_rank = big_spec();
+  per_rank.nelz = 4;  // layers each rank keeps
+  const auto points = weak_scaling(per_rank, linear_kernel(0.0, 1e-6), free_net,
+                                   {1, 2, 4, 8});
+  for (const ScalingPoint& p : points) {
+    EXPECT_NEAR(p.efficiency, 1.0, 1e-9) << p.ranks;
+    EXPECT_NEAR(p.iteration_seconds, points[0].iteration_seconds, 1e-12) << p.ranks;
+  }
+}
+
+TEST(ClusterModel, WeakScalingEfficiencyDecaysWithTheAllreduceDepth) {
+  const NetworkSpec net;  // real latency
+  sem::BoxMeshSpec per_rank = big_spec();
+  per_rank.nelz = 2;
+  const auto points = weak_scaling(per_rank, linear_kernel(0.0, 1e-6), net,
+                                   {1, 2, 4, 8, 16});
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LT(points[i].efficiency, 1.0) << points[i].ranks;
+    EXPECT_LE(points[i].efficiency, points[i - 1].efficiency + 1e-12)
+        << points[i].ranks;
+    // The per-rank slab, and with it the kernel term, never changes.
+    EXPECT_DOUBLE_EQ(points[i].ax_seconds, points[0].ax_seconds);
+  }
+}
+
 TEST(ClusterModel, RejectsBadInputs) {
   const NetworkSpec net;
   EXPECT_THROW((void)strong_scaling(big_spec(), DeviceKernelTime{}, net, {1}),

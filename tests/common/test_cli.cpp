@@ -1,5 +1,6 @@
 #include "common/cli.hpp"
 
+#include <sstream>
 #include <stdexcept>
 
 #include <gtest/gtest.h>
@@ -122,6 +123,68 @@ TEST(Cli, NegativeNumberValuesParse) {
 TEST(Cli, NegativeNumberEqualsFormParses) {
   const Cli cli = make({"--shift=-1.5"});
   EXPECT_DOUBLE_EQ(cli.get_double("shift", 0.0), -1.5);
+}
+
+std::vector<FlagSpec> demo_specs() {
+  return {
+      {"degree", FlagSpec::Kind::kInt, "7", "polynomial degree N"},
+      {"min-time", FlagSpec::Kind::kDouble, "0.2", "seconds per config"},
+      {"variant", FlagSpec::Kind::kString, "fixed", "Ax schedule"},
+      {"csv", FlagSpec::Kind::kBool, "", "emit CSV"},
+  };
+}
+
+Cli make_declared(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data(), demo_specs());
+}
+
+TEST(CliHelp, DeclaredFlagsParseLikeLegacyOnes) {
+  const Cli cli = make_declared({"--degree", "9", "--csv", "input.txt"});
+  EXPECT_EQ(cli.get_int("degree", 0), 9);
+  EXPECT_TRUE(cli.has("csv"));
+  // Declared booleans never swallow the following positional.
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+  EXPECT_FALSE(cli.early_exit("prog", "demo").has_value());
+}
+
+TEST(CliHelp, HelpFlagRequestsExitCodeZero) {
+  const Cli cli = make_declared({"--help"});
+  const auto ec = cli.early_exit("prog", "demo");
+  ASSERT_TRUE(ec.has_value());
+  EXPECT_EQ(*ec, 0);
+}
+
+TEST(CliHelp, UnknownFlagRequestsNonZeroExit) {
+  const Cli cli = make_declared({"--degre", "9"});  // typo
+  const auto ec = cli.early_exit("prog", "demo");
+  ASSERT_TRUE(ec.has_value());
+  EXPECT_EQ(*ec, 2);
+}
+
+TEST(CliHelp, PrintHelpListsEveryFlagWithTypeAndDefault) {
+  const Cli cli = make_declared({});
+  std::ostringstream out;
+  cli.print_help(out, "prog", "A demo binary.");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("usage: prog"), std::string::npos);
+  EXPECT_NE(text.find("A demo binary."), std::string::npos);
+  EXPECT_NE(text.find("--degree <int>"), std::string::npos);
+  EXPECT_NE(text.find("(default 7)"), std::string::npos);
+  EXPECT_NE(text.find("--min-time <float>"), std::string::npos);
+  EXPECT_NE(text.find("--variant <str>"), std::string::npos);
+  EXPECT_NE(text.find("--csv"), std::string::npos);
+  EXPECT_NE(text.find("--help"), std::string::npos);
+  EXPECT_NE(text.find("print this listing"), std::string::npos);
+  // Booleans take no value placeholder.
+  EXPECT_EQ(text.find("--csv <"), std::string::npos);
+}
+
+TEST(CliHelp, LegacyModeNeverEarlyExits) {
+  const Cli cli = make({"--anything", "goes", "--help"});
+  EXPECT_FALSE(cli.early_exit("prog", "demo").has_value());
 }
 
 }  // namespace

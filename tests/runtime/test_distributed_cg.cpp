@@ -1,0 +1,193 @@
+/// The tentpole claim: the distributed CG's converged solution and
+/// per-iteration residual history are bitwise identical to the single-rank
+/// PoissonSystem + solve_cg path for ranks in {1, 2, 4}, across thread
+/// budgets, fused/split operators and Jacobi/identity preconditioning.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/distributed_cg.hpp"
+#include "solver/cg.hpp"
+#include "solver/nekbone.hpp"
+
+namespace semfpga::runtime {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+double forcing(double x, double y, double z) {
+  return std::sin(kPi * x) * std::sin(kPi * y) * std::sin(kPi * z);
+}
+
+struct Reference {
+  solver::CgResult cg;
+  aligned_vector<double> x;
+};
+
+/// The single-rank oracle: PoissonSystem + solve_cg on the global mesh.
+Reference single_rank(const sem::BoxMeshSpec& spec, const solver::CgOptions& options,
+                      bool fused) {
+  const sem::Mesh mesh = sem::box_mesh(spec);
+  solver::PoissonSystem system(mesh);
+  system.set_fused(fused);
+  const std::size_t n = system.n_local();
+  aligned_vector<double> f(n);
+  aligned_vector<double> b(n);
+  Reference ref;
+  ref.x.assign(n, 0.0);
+  system.sample(forcing, std::span<double>(f.data(), n));
+  system.assemble_rhs(std::span<const double>(f.data(), n), std::span<double>(b.data(), n));
+  ref.cg = solver::solve_cg(system, std::span<const double>(b.data(), n),
+                            std::span<double>(ref.x.data(), n), options);
+  return ref;
+}
+
+void expect_bitwise_equal(const Reference& want, const DistributedSolveResult& got,
+                          const std::string& label) {
+  ASSERT_EQ(got.cg.iterations, want.cg.iterations) << label;
+  EXPECT_EQ(got.cg.converged, want.cg.converged) << label;
+  EXPECT_EQ(got.cg.final_residual, want.cg.final_residual) << label;
+  ASSERT_EQ(got.cg.residual_history.size(), want.cg.residual_history.size()) << label;
+  for (std::size_t i = 0; i < want.cg.residual_history.size(); ++i) {
+    ASSERT_EQ(got.cg.residual_history[i], want.cg.residual_history[i])
+        << label << " iteration " << i;
+  }
+  ASSERT_EQ(got.x.size(), want.x.size()) << label;
+  for (std::size_t p = 0; p < want.x.size(); ++p) {
+    ASSERT_EQ(got.x[p], want.x[p]) << label << " dof " << p;
+  }
+}
+
+sem::BoxMeshSpec test_spec(sem::Deformation deformation = sem::Deformation::kNone) {
+  sem::BoxMeshSpec spec;
+  spec.degree = 3;
+  spec.nelx = 2;
+  spec.nely = 2;
+  spec.nelz = 4;
+  spec.deformation = deformation;
+  return spec;
+}
+
+TEST(DistributedCg, BitwiseIdenticalAcrossRanksThreadsAndOperators) {
+  const sem::BoxMeshSpec spec = test_spec();
+  solver::CgOptions options;
+  options.max_iterations = 25;
+  options.tolerance = 1e-12;
+  options.use_jacobi = false;
+  options.record_history = true;
+
+  for (const bool fused : {true, false}) {
+    const Reference want = single_rank(spec, options, fused);
+    ASSERT_GT(want.cg.iterations, 3);
+    for (const int ranks : {1, 2, 4}) {
+      for (const int threads : {1, 2}) {
+        DistributedSolveConfig config;
+        config.spec = spec;
+        config.ranks = ranks;
+        config.threads = threads;
+        config.fused = fused;
+        config.cg = options;
+        config.forcing = forcing;
+        const DistributedSolveResult got = solve_distributed_poisson(config);
+        expect_bitwise_equal(want, got,
+                             "fused=" + std::to_string(fused) + " ranks=" +
+                                 std::to_string(ranks) + " threads=" +
+                                 std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(DistributedCg, BitwiseIdenticalWithJacobiPreconditioning) {
+  const sem::BoxMeshSpec spec = test_spec();
+  solver::CgOptions options;
+  options.max_iterations = 25;
+  options.tolerance = 1e-12;
+  options.use_jacobi = true;
+  options.record_history = true;
+
+  const Reference want = single_rank(spec, options, /*fused=*/true);
+  for (const int ranks : {1, 2, 4}) {
+    DistributedSolveConfig config;
+    config.spec = spec;
+    config.ranks = ranks;
+    config.threads = 2;
+    config.cg = options;
+    config.forcing = forcing;
+    const DistributedSolveResult got = solve_distributed_poisson(config);
+    expect_bitwise_equal(want, got, "jacobi ranks=" + std::to_string(ranks));
+  }
+}
+
+TEST(DistributedCg, BitwiseIdenticalOnDeformedMeshes) {
+  const sem::BoxMeshSpec spec = test_spec(sem::Deformation::kTwist);
+  solver::CgOptions options;
+  options.max_iterations = 20;
+  options.tolerance = 0.0;  // fixed iteration count
+  options.use_jacobi = false;
+  options.record_history = true;
+
+  const Reference want = single_rank(spec, options, /*fused=*/true);
+  for (const int ranks : {2, 4}) {
+    DistributedSolveConfig config;
+    config.spec = spec;
+    config.ranks = ranks;
+    config.threads = ranks;  // one thread per rank team
+    config.cg = options;
+    config.forcing = forcing;
+    const DistributedSolveResult got = solve_distributed_poisson(config);
+    expect_bitwise_equal(want, got, "twist ranks=" + std::to_string(ranks));
+  }
+}
+
+TEST(DistributedCg, UnevenSlabsStayBitwiseIdentical) {
+  // 5 layers over 2 and 4 ranks: remainder layers land on the first ranks.
+  sem::BoxMeshSpec spec = test_spec();
+  spec.nelz = 5;
+  solver::CgOptions options;
+  options.max_iterations = 15;
+  options.tolerance = 0.0;
+  options.record_history = true;
+
+  const Reference want = single_rank(spec, options, /*fused=*/true);
+  for (const int ranks : {2, 4}) {
+    DistributedSolveConfig config;
+    config.spec = spec;
+    config.ranks = ranks;
+    config.threads = 1;
+    config.cg = options;
+    config.forcing = forcing;
+    const DistributedSolveResult got = solve_distributed_poisson(config);
+    expect_bitwise_equal(want, got, "uneven ranks=" + std::to_string(ranks));
+  }
+}
+
+TEST(DistributedCg, NekboneConfigRoutesRanksThroughTheRuntime) {
+  solver::NekboneConfig config;
+  config.degree = 3;
+  config.nelx = config.nely = 2;
+  config.nelz = 4;
+  config.cg_iterations = 10;
+  config.threads = 1;
+
+  const solver::NekboneResult want = solver::run_nekbone(config);
+  config.ranks = 2;
+  const solver::NekboneResult got = solver::run_nekbone(config);
+  EXPECT_EQ(got.iterations, want.iterations);
+  EXPECT_EQ(got.final_residual, want.final_residual);  // bitwise
+  EXPECT_EQ(got.n_dofs, want.n_dofs);
+  EXPECT_EQ(got.flops, want.flops);
+}
+
+TEST(DistributedCg, RejectsMoreRanksThanLayers) {
+  DistributedSolveConfig config;
+  config.spec = test_spec();
+  config.ranks = 8;  // nelz = 4
+  config.forcing = forcing;
+  EXPECT_THROW((void)solve_distributed_poisson(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace semfpga::runtime

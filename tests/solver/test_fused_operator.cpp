@@ -42,6 +42,49 @@ using FusedCase = std::tuple<int, kernels::AxVariant, sem::Deformation>;
 
 class FusedParity : public ::testing::TestWithParam<FusedCase> {};
 
+TEST(FusedIndexWidth, Int32SurfacePassIsBitwiseEqualToInt64) {
+  // The shared-CSR satellite: running the fused sweep through the 32-bit
+  // position schedule (what PoissonSystem does on every mesh below 2^31
+  // local DOFs) must reproduce the 64-bit large-mesh path bit for bit.
+  const sem::Mesh mesh = make_mesh(5, sem::Deformation::kSine);
+  const PoissonSystem system(mesh);
+  const GatherScatter& gs = system.gs();
+  const std::size_t n = system.n_local();
+  const aligned_vector<double> u = random_field(n, 1234);
+
+  kernels::AxArgs args;
+  args.g = std::span<const double>(system.geom().g.data(), system.geom().g.size());
+  args.dx = std::span<const double>(system.ref().deriv().d.data(),
+                                    system.ref().deriv().d.size());
+  args.dxt = std::span<const double>(system.ref().deriv().dt.data(),
+                                     system.ref().deriv().dt.size());
+  args.n1d = system.ref().n1d();
+  args.n_elements = system.geom().n_elements;
+
+  kernels::AxFusedScatter fused;
+  fused.shared_offsets = gs.shared_offsets();
+  fused.shared_positions = gs.shared_positions();
+  fused.shared_splits = gs.shared_splits();
+  ASSERT_FALSE(gs.shared_positions32().empty());
+
+  aligned_vector<double> w64(n, 0.0);
+  args.u = std::span<const double>(u.data(), n);
+  args.w = std::span<double>(w64.data(), n);
+  kernels::ax_run_fused(kernels::AxVariant::kFixed, args, fused,
+                        kernels::AxExecPolicy{1});  // 64-bit schedule
+
+  fused.shared_positions32 = gs.shared_positions32();
+  for (const int threads : {1, 2}) {
+    aligned_vector<double> w32(n, 0.0);
+    args.w = std::span<double>(w32.data(), n);
+    kernels::ax_run_fused(kernels::AxVariant::kFixed, args, fused,
+                          kernels::AxExecPolicy{threads});
+    for (std::size_t p = 0; p < n; ++p) {
+      ASSERT_EQ(w32[p], w64[p]) << "dof " << p << " at " << threads << " threads";
+    }
+  }
+}
+
 TEST_P(FusedParity, FusedApplyIsBitwiseEqualToSplitAtAnyThreadCount) {
   const auto [degree, variant, deformation] = GetParam();
   const sem::Mesh mesh = make_mesh(degree, deformation);

@@ -1,7 +1,9 @@
 /// Schedule-equivalence contract of the CSR gather-scatter: the
-/// owner-computes sweeps must reproduce a naive local-order scatter/gather
-/// oracle (the seed implementation) on every mesh, and must be bitwise
-/// stable under re-threading.
+/// owner-computes sweeps must reproduce a naive scatter/gather oracle that
+/// spells out the canonical summation order — ascending local position,
+/// split at the z element layer boundary (below-layer fold + above-layer
+/// fold, added once; the order the SPMD runtime's halo exchange reproduces
+/// across rank boundaries) — and must be bitwise stable under re-threading.
 
 #include <cmath>
 #include <vector>
@@ -30,16 +32,35 @@ std::vector<double> random_local(const GatherScatter& gs, std::uint64_t seed) {
   return v;
 }
 
-/// The seed's naive schedule: zero the global vector, accumulate local
-/// copies in local-position order, copy back.
+/// Naive restatement of the canonical order: accumulate local copies in
+/// local-position order into *per-layer* partials (positions are
+/// element-major with z outermost, so each copy's layer is position /
+/// dofs_per_layer), then global = below-layer partial + above-layer
+/// partial.  Copies of one DOF span at most two adjacent layers.
 struct NaiveOracle {
   explicit NaiveOracle(const GatherScatter& gs) : gs(gs) {}
 
   [[nodiscard]] std::vector<double> scatter_add(const std::vector<double>& local) const {
-    std::vector<double> global(gs.n_global(), 0.0);
+    std::vector<double> below(gs.n_global(), 0.0);
+    std::vector<double> above(gs.n_global(), 0.0);
+    std::vector<std::size_t> first_layer(gs.n_global(), SIZE_MAX);
     const auto& ids = gs.ids();
     for (std::size_t p = 0; p < ids.size(); ++p) {
-      global[static_cast<std::size_t>(ids[p])] += local[p];
+      const auto g = static_cast<std::size_t>(ids[p]);
+      const std::size_t layer = p / gs.dofs_per_layer();
+      if (first_layer[g] == SIZE_MAX) {
+        first_layer[g] = layer;
+      }
+      (layer == first_layer[g] ? below : above)[g] += local[p];
+    }
+    std::vector<double> global(gs.n_global(), 0.0);
+    std::vector<int> spans_two(gs.n_global(), 0);
+    for (std::size_t p = 0; p < ids.size(); ++p) {
+      const auto g = static_cast<std::size_t>(ids[p]);
+      spans_two[g] |= p / gs.dofs_per_layer() != first_layer[g] ? 1 : 0;
+    }
+    for (std::size_t g = 0; g < gs.n_global(); ++g) {
+      global[g] = spans_two[g] != 0 ? below[g] + above[g] : below[g];
     }
     return global;
   }
@@ -177,6 +198,55 @@ TEST_P(GsSchedule, SharedCsrCoversExactlyTheMultiplicityAboveOneDofs) {
   }
   EXPECT_EQ(gs.n_shared_copies(), n_multi);
   EXPECT_LT(gs.n_shared_copies(), gs.n_local());  // a surface, not the volume
+}
+
+TEST_P(GsSchedule, SharedSplitsSitAtTheLayerBoundary) {
+  const auto [degree, nel] = GetParam();
+  const sem::Mesh mesh = make_mesh(degree, nel);
+  const GatherScatter gs(mesh);
+
+  const auto& offsets = gs.shared_offsets();
+  const auto& positions = gs.shared_positions();
+  const auto& splits = gs.shared_splits();
+  ASSERT_EQ(splits.size(), gs.n_shared_dofs());
+  const std::size_t per_layer = gs.dofs_per_layer();
+  for (std::size_t s = 0; s < gs.n_shared_dofs(); ++s) {
+    const std::int64_t begin = offsets[s];
+    const std::int64_t split = splits[s];
+    const std::int64_t end = offsets[s + 1];
+    ASSERT_GT(split, begin);
+    ASSERT_LE(split, end);
+    // Everything before the split shares the first copy's layer; everything
+    // after lies exactly one layer above (copies span at most two layers).
+    const std::size_t layer0 =
+        static_cast<std::size_t>(positions[static_cast<std::size_t>(begin)]) /
+        per_layer;
+    for (std::int64_t k = begin; k < split; ++k) {
+      ASSERT_EQ(static_cast<std::size_t>(positions[static_cast<std::size_t>(k)]) /
+                    per_layer,
+                layer0);
+    }
+    for (std::int64_t k = split; k < end; ++k) {
+      ASSERT_EQ(static_cast<std::size_t>(positions[static_cast<std::size_t>(k)]) /
+                    per_layer,
+                layer0 + 1);
+    }
+  }
+}
+
+TEST_P(GsSchedule, SharedPositions32MirrorsThe64BitSchedule) {
+  const auto [degree, nel] = GetParam();
+  const sem::Mesh mesh = make_mesh(degree, nel);
+  const GatherScatter gs(mesh);
+
+  // Every test mesh is far below the 2^31 local-DOF threshold, so the
+  // 32-bit schedule must exist and agree entry for entry.
+  const auto& p64 = gs.shared_positions();
+  const auto& p32 = gs.shared_positions32();
+  ASSERT_EQ(p32.size(), p64.size());
+  for (std::size_t k = 0; k < p64.size(); ++k) {
+    ASSERT_EQ(static_cast<std::int64_t>(p32[k]), p64[k]) << "entry " << k;
+  }
 }
 
 TEST_P(GsSchedule, GatherAfterScatterAddIsQqt) {

@@ -1,5 +1,7 @@
 #include "solver/partition.hpp"
 
+#include <set>
+
 #include <gtest/gtest.h>
 
 namespace semfpga::solver {
@@ -63,6 +65,80 @@ TEST(Partition, SingleRankHasNoHalo) {
 TEST(Partition, RejectsInvalidRankCounts) {
   EXPECT_THROW((void)partition_slabs(spec_of(3, 2, 2, 4), 0), std::invalid_argument);
   EXPECT_THROW((void)partition_slabs(spec_of(3, 2, 2, 4), 5), std::invalid_argument);
+}
+
+TEST(Partition, RemainderLayersAlwaysLandOnTheFirstRanks) {
+  // Exhaustive small sweep: every (layers, ranks) pair keeps slab sizes
+  // within one layer of each other, larger slabs first.
+  for (int nelz = 1; nelz <= 9; ++nelz) {
+    for (int ranks = 1; ranks <= nelz; ++ranks) {
+      const SlabPartition part = partition_slabs(spec_of(2, 2, 2, nelz), ranks);
+      ASSERT_EQ(static_cast<int>(part.ranks.size()), ranks);
+      int covered = 0;
+      for (int r = 0; r < ranks; ++r) {
+        const int layers = part.ranks[r].z_end - part.ranks[r].z_begin;
+        const int expected = nelz / ranks + (r < nelz % ranks ? 1 : 0);
+        ASSERT_EQ(layers, expected) << "nelz " << nelz << " ranks " << ranks
+                                    << " rank " << r;
+        covered += layers;
+      }
+      ASSERT_EQ(covered, nelz);
+    }
+  }
+}
+
+TEST(Partition, OneRankPerLayerGivesSingleLayerSlabs) {
+  const SlabPartition part = partition_slabs(spec_of(4, 3, 2, 6), 6);
+  for (const RankSlab& r : part.ranks) {
+    EXPECT_EQ(r.z_end - r.z_begin, 1);
+    EXPECT_EQ(r.n_elements, 3LL * 2);
+    const int interfaces = (r.rank > 0 ? 1 : 0) + (r.rank < 5 ? 1 : 0);
+    EXPECT_EQ(r.halo_dofs, interfaces * part.plane_dofs());
+  }
+}
+
+TEST(Partition, SingleRankSlabHasZeroHaloDofsEvenWhenLayered) {
+  const SlabPartition part = partition_slabs(spec_of(3, 4, 4, 7), 1);
+  ASSERT_EQ(part.ranks.size(), 1u);
+  EXPECT_EQ(part.ranks[0].halo_dofs, 0);
+  EXPECT_EQ(part.ranks[0].n_elements, 4LL * 4 * 7);
+}
+
+TEST(Partition, HaloAndPlaneDofsMatchAMeshBuiltOracle) {
+  // Count the interface-plane DOFs straight off the mesh's global ids: the
+  // unique ids shared between the elements of adjacent z layers.
+  const sem::BoxMeshSpec spec = spec_of(3, 2, 3, 5);
+  const SlabPartition part = partition_slabs(spec, 2);  // layers 3 | 2
+  const sem::Mesh mesh = sem::box_mesh(spec);
+
+  const std::size_t ppe = mesh.points_per_element();
+  const std::size_t per_layer = static_cast<std::size_t>(spec.nelx) * spec.nely;
+  const int boundary_layer = part.ranks[0].z_end;  // first layer of rank 1
+  std::set<std::int64_t> below;
+  std::set<std::int64_t> shared;
+  for (std::size_t e = 0; e < mesh.n_elements(); ++e) {
+    const int layer = static_cast<int>(e / per_layer);
+    for (std::size_t k = 0; k < ppe; ++k) {
+      const std::int64_t id = mesh.global_id()[e * ppe + k];
+      if (layer == boundary_layer - 1) {
+        below.insert(id);
+      }
+    }
+  }
+  for (std::size_t e = 0; e < mesh.n_elements(); ++e) {
+    const int layer = static_cast<int>(e / per_layer);
+    for (std::size_t k = 0; k < ppe; ++k) {
+      const std::int64_t id = mesh.global_id()[e * ppe + k];
+      if (layer == boundary_layer && below.count(id) != 0) {
+        shared.insert(id);
+      }
+    }
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(shared.size()), part.plane_dofs());
+  EXPECT_EQ(part.ranks[0].halo_dofs, part.plane_dofs());      // one interface
+  EXPECT_EQ(part.ranks[1].halo_dofs, part.plane_dofs());      // one interface
+  const SlabPartition three = partition_slabs(spec, 3);
+  EXPECT_EQ(three.ranks[1].halo_dofs, 2 * three.plane_dofs());  // middle rank
 }
 
 }  // namespace
