@@ -1,56 +1,119 @@
 /// BK5-style Helmholtz kernel (the paper's Section II pointer to CEED's
-/// bake-off kernel 5: "one more geometric factor") on the simulated
-/// accelerator, compared with the pure Poisson operator.
+/// bake-off kernel 5: "one more geometric factor") compared with the pure
+/// Poisson operator.  Modeled numbers come from the same prediction path
+/// the fpga-sim execution backend charges per operator apply
+/// (backend::modeled_apply); --backend=cpu adds a measured host apply of
+/// the same kernel next to the model — the single-code-path comparison.
 ///
-/// Usage: bk5_helmholtz [--csv] [--elements 4096]
+/// Usage: bk5_helmholtz [--csv] [--elements 4096] [--backend fpga-sim]
+///                      [--measure-elements 512]
 
 #include <iostream>
 
+#include "backend/backend.hpp"
+#include "backend/fpga_sim_backend.hpp"
+#include "bench_util.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
-#include "fpga/accelerator.hpp"
+#include "common/timer.hpp"
+#include "kernels/helmholtz.hpp"
 #include "model/kernel_cost.hpp"
 
 using namespace semfpga;
 
+namespace {
+
+/// Mean seconds per host helmholtz_reference apply (warm-up + repeat).
+double time_helmholtz(const kernels::HelmholtzArgs& args, double min_time) {
+  kernels::helmholtz_reference(args);
+  Timer timer;
+  int iters = 0;
+  do {
+    kernels::helmholtz_reference(args);
+    ++iters;
+  } while (timer.seconds() < min_time);
+  return timer.seconds() / iters;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const Cli cli(argc, argv, std::vector<FlagSpec>{
-      {"elements", FlagSpec::Kind::kInt, "4096", "elements per apply"},
+      {"elements", FlagSpec::Kind::kInt, "4096", "elements per modeled apply"},
       {"csv", FlagSpec::Kind::kBool, "", "emit CSV instead of a table"},
+      {"backend", FlagSpec::Kind::kString, "fpga-sim",
+       "comparison backend: " + backend::known_backends_joined() +
+           " (cpu = also measure the host kernel)"},
+      {"measure-elements", FlagSpec::Kind::kInt, "512",
+       "elements of the measured host apply (--backend=cpu)"},
   });
   if (const auto ec = cli.early_exit("bk5_helmholtz",
-                                     "BK5 Helmholtz kernel estimate on the simulated "
-                                     "accelerator.")) {
+                                     "BK5 Helmholtz kernel: modeled accelerator "
+                                     "estimate vs the Poisson operator, via the "
+                                     "backend seam.")) {
     return *ec;
   }
   const auto elements = static_cast<std::size_t>(cli.get_int("elements", 4096));
+  const std::string backend_name = cli.get("backend", "fpga-sim");
+  backend::require_known(backend_name);
+  const bool measure = backend_name == "cpu";
+  const auto measure_elements =
+      static_cast<std::size_t>(cli.get_int("measure-elements", 512));
 
   Table table("Poisson (Ax) vs BK5-style Helmholtz on the GX2800 accelerator, " +
-              std::to_string(elements) + " elements");
-  table.set_header({"N", "kernel", "FLOPs/DOF", "bytes/DOF", "intensity",
-                    "DOF/cycle", "GFLOP/s", "BW (GB/s)", "bound"});
+              std::to_string(elements) + " elements" +
+              (measure ? " (+ measured host apply, " +
+                             std::to_string(measure_elements) + " elements)"
+                       : ""));
+  std::vector<std::string> header = {"N", "kernel", "FLOPs/DOF", "bytes/DOF",
+                                     "intensity", "DOF/cycle", "GFLOP/s",
+                                     "BW (GB/s)", "bound"};
+  if (measure) {
+    header.push_back("host GF/s");
+  }
+  table.set_header(header);
 
   for (int degree : {3, 7, 11, 15}) {
     for (const bool bk5 : {false, true}) {
-      fpga::KernelConfig cfg = fpga::KernelConfig::banked(degree);
-      if (bk5) {
-        cfg.kind = fpga::KernelKind::kHelmholtz;
-      }
-      const fpga::SemAccelerator acc(fpga::stratix10_gx2800(), cfg);
       // Compare on the mechanistic model for both kernels (the Table I
-      // fixture only exists for the Poisson kernel).
-      fpga::SemAccelerator model_acc = acc;
-      model_acc.set_use_measured_calibration(false);
-      const fpga::RunStats s = model_acc.estimate_steady(elements);
+      // fixture only exists for the Poisson kernel) — the same numbers an
+      // fpga-sim backend over a Helmholtz system would charge.
+      backend::FpgaSimOptions options;
+      options.use_measured_calibration = false;
+      const fpga::RunStats s =
+          backend::modeled_apply(options, degree, elements, bk5, /*steady=*/true);
       const model::KernelCost cost =
           bk5 ? model::helmholtz_cost(degree) : model::poisson_cost(degree);
-      table.add_row({Table::fmt_int(degree), bk5 ? "BK5/Helmholtz" : "Poisson",
-                     Table::fmt_int(cost.flops_per_dof()),
-                     Table::fmt_int(cost.bytes_per_dof()),
-                     Table::fmt(cost.intensity(), 3), Table::fmt(s.dofs_per_cycle, 2),
-                     Table::fmt(s.gflops, 1),
-                     Table::fmt(s.effective_bandwidth_gbs, 1),
-                     s.bound == fpga::RunBound::kMemory ? "memory" : "compute"});
+      std::vector<std::string> row = {
+          Table::fmt_int(degree), bk5 ? "BK5/Helmholtz" : "Poisson",
+          Table::fmt_int(cost.flops_per_dof()), Table::fmt_int(cost.bytes_per_dof()),
+          Table::fmt(cost.intensity(), 3), Table::fmt(s.dofs_per_cycle, 2),
+          Table::fmt(s.gflops, 1), Table::fmt(s.effective_bandwidth_gbs, 1),
+          s.bound == fpga::RunBound::kMemory ? "memory" : "compute"};
+      if (measure) {
+        bench::AxOperands operands(degree, measure_elements);
+        const std::size_t n = measure_elements * operands.ref.points_per_element();
+        double seconds = 0.0;
+        if (bk5) {
+          aligned_vector<double> mass(n);
+          SplitMix64 rng(11);
+          for (double& v : mass) {
+            v = rng.uniform(0.1, 1.0);
+          }
+          kernels::HelmholtzArgs args;
+          args.ax = operands.args;
+          args.mass = std::span<const double>(mass.data(), mass.size());
+          args.lambda = 1.0;
+          seconds = time_helmholtz(args, 0.05);
+        } else {
+          seconds = bench::time_apply(kernels::AxVariant::kReference, operands.args,
+                                      /*threads=*/1, 0.05);
+        }
+        const double flops = static_cast<double>(cost.flops_per_dof()) *
+                             static_cast<double>(n);
+        row.push_back(Table::fmt(flops / seconds / 1e9, 2));
+      }
+      table.add_row(row);
     }
     table.add_separator();
   }

@@ -6,15 +6,20 @@
 ///
 /// Usage: nekbone_proxy [--degree 7] [--nel 8] [--iters 100] [--fpga]
 ///                      [--threads 1] [--ranks 1] [--variant fixed] [--fused 1]
+///                      [--backend cpu] [--fpga-device gx2800]
 /// --threads 0 uses every hardware thread; --variant picks the Ax schedule
 /// (reference | mxm | mxm_blocked | fixed); --fused=0 runs the split
 /// Ax -> qqt -> mask passes instead of the fused qqt-in-operator sweep;
 /// --ranks > 1 runs the in-process SPMD runtime (z-slab partition, halo
-/// exchange, deterministic allreduce).  All of these knobs produce bitwise
-/// identical iterates.
+/// exchange, deterministic allreduce); --backend=fpga-sim runs the same
+/// solve while charging modeled FPGA time (kernel cycles, memory bandwidth,
+/// PCIe) so the proxy prints measured CPU and modeled FPGA timelines from
+/// one code path.  All of these knobs produce bitwise identical iterates.
 
 #include <cstdio>
 
+#include "backend/backend.hpp"
+#include "backend/fpga_sim_backend.hpp"
 #include "common/cli.hpp"
 #include "fpga/accelerator.hpp"
 #include "kernels/ax_dispatch.hpp"
@@ -31,6 +36,11 @@ int main(int argc, char** argv) {
       {"variant", FlagSpec::Kind::kString, "fixed",
        "Ax schedule: reference|mxm|mxm_blocked|fixed"},
       {"fused", FlagSpec::Kind::kInt, "1", "fused qqt-in-operator sweep (0 = split)"},
+      {"backend", FlagSpec::Kind::kString, "cpu",
+       "execution backend: " + backend::known_backends_joined()},
+      {"fpga-device", FlagSpec::Kind::kString, "gx2800",
+       "modeled device of --backend=fpga-sim (gx2800|agilex-027|stratix10-10m|"
+       "stratix10-10m-enhanced|ideal-cfd)"},
       {"fpga", FlagSpec::Kind::kBool, "", "estimate the FPGA-accelerated Ax"},
   });
   if (const auto ec = cli.early_exit("nekbone_proxy",
@@ -47,6 +57,13 @@ int main(int argc, char** argv) {
   config.ranks = static_cast<int>(cli.get_int("ranks", 1));
   config.ax_variant = kernels::parse_ax_variant(cli.get("variant", "fixed"));
   config.fused = cli.get_int("fused", 1) != 0;
+  config.backend = cli.get("backend", "cpu");
+  config.backend_options.fpga_device = cli.get("fpga-device", "gx2800");
+  // Unknown backend/device names must error out like any other bad flag
+  // value, before any work runs (even when --backend=cpu would ignore the
+  // device — a silently-accepted typo reads as a preset taking effect).
+  backend::require_known(config.backend);
+  (void)backend::fpga_device_by_name(config.backend_options.fpga_device);
 
   const solver::NekboneResult result = solver::run_nekbone(config);
   std::printf("%s\n", solver::format_result(config, result).c_str());

@@ -1,0 +1,108 @@
+#include "backend/backend.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "backend/cpu_backend.hpp"
+#include "backend/fpga_sim_backend.hpp"
+
+namespace semfpga::backend {
+
+Backend::~Backend() = default;
+
+double Backend::dot(std::span<const double> a, std::span<const double> b) {
+  const auto& c = inv_multiplicity();
+  return reduce(PassCost{3, 0}, [&](std::size_t begin, std::size_t end) {
+    double acc = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      acc += a[i] * b[i] * c[i];
+    }
+    return acc;
+  });
+}
+
+namespace {
+
+struct Registry {
+  /// Ordered: registration order is the order known_backends() reports and
+  /// the CLI help lists.
+  std::vector<std::pair<std::string, Factory>> entries;
+
+  Factory* find(const std::string& name) {
+    for (auto& [key, factory] : entries) {
+      if (key == name) {
+        return &factory;
+      }
+    }
+    return nullptr;
+  }
+};
+
+Registry& registry() {
+  static Registry r = [] {
+    Registry init;
+    init.entries.emplace_back(
+        "cpu", [](const solver::PoissonSystem& system, const MakeOptions& options) {
+          return std::make_unique<CpuBackend>(system, options.vector_threads);
+        });
+    init.entries.emplace_back(
+        "fpga-sim",
+        [](const solver::PoissonSystem& system, const MakeOptions& options) {
+          return std::make_unique<FpgaSimBackend>(system, fpga_sim_options(options),
+                                                  options.vector_threads);
+        });
+    return init;
+  }();
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::string> known_backends() {
+  std::vector<std::string> names;
+  names.reserve(registry().entries.size());
+  for (const auto& [key, factory] : registry().entries) {
+    names.push_back(key);
+  }
+  return names;
+}
+
+std::string known_backends_joined() {
+  std::string joined;
+  for (const auto& [key, factory] : registry().entries) {
+    if (!joined.empty()) {
+      joined += '|';
+    }
+    joined += key;
+  }
+  return joined;
+}
+
+void require_known(const std::string& name) {
+  if (registry().find(name) == nullptr) {
+    throw std::invalid_argument("unknown backend '" + name +
+                                "' (known: " + known_backends_joined() + ")");
+  }
+}
+
+std::unique_ptr<Backend> make(const std::string& name,
+                              const solver::PoissonSystem& system,
+                              const MakeOptions& options) {
+  Factory* factory = registry().find(name);
+  if (factory == nullptr) {
+    throw std::invalid_argument("unknown backend '" + name +
+                                "' (known: " + known_backends_joined() + ")");
+  }
+  return (*factory)(system, options);
+}
+
+void register_backend(const std::string& name, Factory factory) {
+  Registry& r = registry();
+  if (Factory* existing = r.find(name)) {
+    *existing = std::move(factory);
+    return;
+  }
+  r.entries.emplace_back(name, std::move(factory));
+}
+
+}  // namespace semfpga::backend

@@ -1,0 +1,65 @@
+#pragma once
+/// \file cpu_backend.hpp
+/// The host execution backend: a thin adapter over the existing engine.
+///
+/// Every method forwards to the PoissonSystem / GatherScatter / parallel.hpp
+/// machinery the solvers called directly before the Backend seam existed,
+/// with the identical canonical orders (layer-split gather-scatter rows,
+/// layer-segmented tree-folded reductions).  A solve through CpuBackend is
+/// therefore bitwise identical to the pre-backend solve at every
+/// variant × threads × fused/split combination — the contract
+/// tests/backend/test_cpu_backend.cpp pins down.
+
+#include "backend/backend.hpp"
+#include "solver/poisson_system.hpp"
+
+namespace semfpga::backend {
+
+class CpuBackend : public Backend {
+ public:
+  /// Adapts `system` (not owned; must outlive the backend).
+  /// `vector_threads` drives the reduce/vector passes: -1 = inherit the
+  /// system's thread count, 0 = all hardware threads, k = k threads —
+  /// bitwise identical results for any value.
+  explicit CpuBackend(const solver::PoissonSystem& system, int vector_threads = -1);
+
+  [[nodiscard]] const char* name() const noexcept override { return "cpu"; }
+  [[nodiscard]] std::size_t n_local() const noexcept override {
+    return system_.n_local();
+  }
+  [[nodiscard]] int threads() const noexcept override;
+
+  [[nodiscard]] const aligned_vector<double>& jacobi_diagonal() const override {
+    return system_.jacobi_diagonal();
+  }
+  [[nodiscard]] const aligned_vector<double>& inv_multiplicity() const override {
+    return system_.gs().inv_multiplicity();
+  }
+  [[nodiscard]] const aligned_vector<double>& mask() const override {
+    return system_.mask();
+  }
+
+  void apply(std::span<const double> u, std::span<double> w) override;
+  void apply_unmasked(std::span<const double> u, std::span<double> w) override;
+  void qqt(std::span<double> local) override;
+  void apply_mask(std::span<double> w) override;
+
+  double reduce(PassCost cost, ReduceBody body) override;
+  void vector_pass(PassCost cost, PassBody body) override;
+
+  [[nodiscard]] std::int64_t operator_flops() const override;
+  [[nodiscard]] std::int64_t global_dofs() const override;
+
+  [[nodiscard]] std::size_t n_global() const override {
+    return system_.gs().n_global();
+  }
+  void gather(std::span<const double> global, std::span<double> local) const override;
+
+  [[nodiscard]] const solver::PoissonSystem& system() const noexcept { return system_; }
+
+ private:
+  const solver::PoissonSystem& system_;
+  int vector_threads_;
+};
+
+}  // namespace semfpga::backend

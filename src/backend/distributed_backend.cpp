@@ -1,0 +1,104 @@
+#include "backend/distributed_backend.hpp"
+
+#include "common/check.hpp"
+#include "kernels/ax.hpp"
+
+namespace semfpga::backend {
+
+DistributedBackend::DistributedBackend(runtime::RankSystem& rs)
+    : rs_(rs), name_("distributed[cpu]") {}
+
+DistributedBackend::DistributedBackend(runtime::RankSystem& rs,
+                                       const FpgaSimOptions& fpga)
+    : rs_(rs),
+      name_("distributed[fpga-sim]"),
+      cost_(std::make_unique<FpgaCostModel>(fpga, rs.system().ref().n1d() - 1,
+                                            rs.system().geom().n_elements)) {
+  cost_->stamp(timeline_);
+}
+
+void DistributedBackend::apply(std::span<const double> u, std::span<double> w) {
+  rs_.apply(u, w);
+  if (cost_) {
+    cost_->charge_apply(timeline_);
+  }
+}
+
+void DistributedBackend::apply_unmasked(std::span<const double> u,
+                                        std::span<double> w) {
+  rs_.system().apply_unmasked(u, w);
+  rs_.halo().exchange_add(w);
+  if (cost_) {
+    cost_->charge_apply(timeline_);
+  }
+}
+
+void DistributedBackend::qqt(std::span<double> local) {
+  rs_.system().gs().qqt(local);
+  rs_.halo().exchange_add(local);
+  if (cost_) {
+    cost_->charge_gather_scatter(timeline_, rs_.system().gs().n_shared_copies());
+  }
+}
+
+void DistributedBackend::apply_mask(std::span<double> w) {
+  // The rank keeps no surface-only zero list at this seam; multiplying the
+  // unmasked DOFs by 1.0 is a bitwise no-op, identical to RankSystem's
+  // surface pass on every DOF that changes.
+  const auto& m = rs_.system().mask();
+  parallel_for(w.size(), rs_.threads(), [&](std::size_t p) { w[p] *= m[p]; });
+  if (cost_) {
+    cost_->charge_mask(timeline_, w.size());
+  }
+}
+
+double DistributedBackend::reduce(PassCost cost, ReduceBody body) {
+  const double result = rs_.allreduce(body);
+  if (cost_) {
+    cost_->charge_pass(timeline_, n_local(), cost);
+  }
+  return result;
+}
+
+void DistributedBackend::vector_pass(PassCost cost, PassBody body) {
+  parallel_blocks(n_local(), rs_.threads(),
+                  [&](std::size_t, std::size_t begin, std::size_t end) {
+                    body(begin, end);
+                  });
+  if (cost_) {
+    cost_->charge_pass(timeline_, n_local(), cost);
+  }
+}
+
+void DistributedBackend::solve_begin() {
+  if (cost_) {
+    cost_->charge_solve_begin(timeline_, n_local());
+  }
+}
+
+void DistributedBackend::solve_end() {
+  if (cost_) {
+    cost_->charge_solve_end(timeline_, n_local());
+  }
+}
+
+std::int64_t DistributedBackend::operator_flops() const {
+  return kernels::ax_flops(rs_.system().ref().n1d(), rs_.global_elements());
+}
+
+std::int64_t DistributedBackend::global_dofs() const {
+  return static_cast<std::int64_t>(rs_.global_elements() *
+                                   rs_.system().ref().points_per_element());
+}
+
+std::size_t DistributedBackend::n_global() const {
+  SEMFPGA_CHECK(false, "global DOF numbering is not available on a rank backend");
+  return 0;
+}
+
+void DistributedBackend::gather(std::span<const double> /*global*/,
+                                std::span<double> /*local*/) const {
+  SEMFPGA_CHECK(false, "global gathers are not supported by the distributed backend");
+}
+
+}  // namespace semfpga::backend

@@ -1,0 +1,80 @@
+#pragma once
+/// \file distributed_backend.hpp
+/// One rank's Backend over the SPMD runtime.
+///
+/// Adapts a runtime::RankSystem to the Backend interface: the operator is
+/// the two-level gather-scatter (local fused/split apply + halo exchange of
+/// per-plane partial sums), and reduce() routes through the fabric's
+/// ordered allreduce — so `reduce` returns the *global* sum, bitwise equal
+/// to the single-rank segmented fold on every rank.  With a
+/// DistributedBackend per rank, solver::solve_cg *is* the distributed CG:
+/// the same loop body the single-rank backends execute, which is what
+/// makes the runtime's bitwise-identity guarantee a property of one code
+/// path instead of two mirrored ones.
+///
+/// Optionally charges modeled FPGA time for the rank's share of the work
+/// (FpgaSimOptions): the cluster-of-FPGAs picture of the paper's future
+/// projection, one modeled device per rank.  Numerics are unaffected.
+
+#include <memory>
+#include <string>
+
+#include "backend/backend.hpp"
+#include "backend/fpga_sim_backend.hpp"
+#include "runtime/rank_system.hpp"
+
+namespace semfpga::backend {
+
+class DistributedBackend final : public Backend {
+ public:
+  /// Adapts `rs` (not owned; must outlive the backend).  Vector passes run
+  /// on the rank's thread team — a caller-supplied thread count would let a
+  /// stale single-rank setting oversubscribe N teams, so there is none.
+  explicit DistributedBackend(runtime::RankSystem& rs);
+  /// Same, with each rank charging modeled FPGA time for its slab.
+  DistributedBackend(runtime::RankSystem& rs, const FpgaSimOptions& fpga);
+
+  [[nodiscard]] const char* name() const noexcept override { return name_.c_str(); }
+  [[nodiscard]] std::size_t n_local() const noexcept override { return rs_.n_local(); }
+  [[nodiscard]] int threads() const noexcept override { return rs_.threads(); }
+  [[nodiscard]] bool collective() const noexcept override { return true; }
+
+  [[nodiscard]] const aligned_vector<double>& jacobi_diagonal() const override {
+    return rs_.jacobi_diagonal();
+  }
+  [[nodiscard]] const aligned_vector<double>& inv_multiplicity() const override {
+    return rs_.inv_multiplicity();
+  }
+  [[nodiscard]] const aligned_vector<double>& mask() const override {
+    return rs_.system().mask();
+  }
+
+  void apply(std::span<const double> u, std::span<double> w) override;
+  void apply_unmasked(std::span<const double> u, std::span<double> w) override;
+  void qqt(std::span<double> local) override;
+  void apply_mask(std::span<double> w) override;
+
+  double reduce(PassCost cost, ReduceBody body) override;
+  void vector_pass(PassCost cost, PassBody body) override;
+  void solve_begin() override;
+  void solve_end() override;
+
+  [[nodiscard]] std::int64_t operator_flops() const override;
+  [[nodiscard]] std::int64_t global_dofs() const override;
+
+  /// Global gathers have no distributed completion; both throw.
+  [[nodiscard]] std::size_t n_global() const override;
+  void gather(std::span<const double> global, std::span<double> local) const override;
+
+  [[nodiscard]] const FpgaTimeline* timeline() const noexcept override {
+    return cost_ ? &timeline_ : nullptr;
+  }
+
+ private:
+  runtime::RankSystem& rs_;
+  std::string name_;
+  std::unique_ptr<FpgaCostModel> cost_;  ///< null = pure CPU execution
+  FpgaTimeline timeline_;
+};
+
+}  // namespace semfpga::backend

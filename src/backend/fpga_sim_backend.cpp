@@ -1,0 +1,169 @@
+#include "backend/fpga_sim_backend.hpp"
+
+#include "common/check.hpp"
+#include "model/kernel_cost.hpp"
+#include "model/throughput.hpp"
+
+namespace semfpga::backend {
+
+fpga::DeviceSpec fpga_device_by_name(const std::string& name) {
+  if (name == "gx2800" || name == "stratix10-gx2800") {
+    return fpga::stratix10_gx2800();
+  }
+  if (name == "agilex-027") {
+    return fpga::agilex_027();
+  }
+  if (name == "stratix10-10m") {
+    return fpga::stratix10_10m();
+  }
+  if (name == "stratix10-10m-enhanced") {
+    return fpga::stratix10_10m_enhanced();
+  }
+  if (name == "ideal-cfd") {
+    return fpga::ideal_cfd_fpga();
+  }
+  throw std::invalid_argument(
+      "unknown FPGA device preset '" + name +
+      "' (known: gx2800, agilex-027, stratix10-10m, stratix10-10m-enhanced, "
+      "ideal-cfd)");
+}
+
+FpgaSimOptions fpga_sim_options(const MakeOptions& options) {
+  FpgaSimOptions fpga;
+  fpga.device = options.fpga_device;
+  fpga.pcie_gbs = options.pcie_gbs;
+  fpga.use_measured_calibration = options.use_measured_calibration;
+  return fpga;
+}
+
+FpgaCostModel::FpgaCostModel(const FpgaSimOptions& options, int degree,
+                             std::size_t n_elements)
+    : device_(fpga_device_by_name(options.device)),
+      accelerator_(device_, fpga::KernelConfig::banked(degree)),
+      memory_(device_.memory, fpga::MemAllocation::kBanked),
+      pcie_bytes_per_sec_(options.pcie_gbs * 1e9) {
+  SEMFPGA_CHECK(options.pcie_gbs > 0.0, "PCIe bandwidth must be positive");
+  accelerator_.set_use_measured_calibration(options.use_measured_calibration);
+  per_apply_ = accelerator_.estimate(n_elements);
+  // The closed-form Section IV point for the same (N, device): evaluated at
+  // the paper's 300 MHz projection clock and the single-dimension unroll the
+  // synthesized kernels use — what bench/fig3 plots as "model@300MHz".
+  const model::KernelCost cost = model::poisson_cost(degree);
+  const model::DeviceEnvelope env = device_.envelope(300.0);
+  const model::Throughput t =
+      model::max_throughput(cost, env, model::UnrollPolicy::kInnerDim);
+  model_peak_gflops_ = model::peak_flops(cost, t, env.clock_hz) / 1e9;
+}
+
+void FpgaCostModel::charge_apply(FpgaTimeline& t) const {
+  ++t.operator_applies;
+  t.operator_seconds += per_apply_.seconds;
+}
+
+void FpgaCostModel::charge_pass(FpgaTimeline& t, std::size_t n, PassCost cost) const {
+  const int streams = cost.reads + cost.writes;
+  if (streams <= 0 || n == 0) {
+    return;
+  }
+  // Full-length vectors stream contiguously: per-stream burst = the whole
+  // vector, so the efficiency model sits at its banked steady plateau.
+  const double burst = static_cast<double>(n) * 8.0;
+  const double eff = memory_.steady_efficiency(burst, streams);
+  const double bytes = cost.bytes(n);
+  ++t.vector_passes;
+  t.vector_seconds += bytes / (eff * memory_.spec().peak_bytes_per_sec());
+}
+
+void FpgaCostModel::charge_gather_scatter(FpgaTimeline& t,
+                                          std::size_t n_shared_copies) const {
+  if (n_shared_copies == 0) {
+    return;
+  }
+  // The owner-computes sweep reads and writes every shared copy once.
+  const double bytes = static_cast<double>(n_shared_copies) * 8.0 * 2.0;
+  const double eff = memory_.steady_efficiency(static_cast<double>(n_shared_copies) * 8.0, 2);
+  ++t.gather_scatters;
+  t.gather_scatter_seconds += bytes / (eff * memory_.spec().peak_bytes_per_sec());
+}
+
+void FpgaCostModel::charge_pcie(FpgaTimeline& t, double bytes) const {
+  t.pcie_bytes += bytes;
+  t.pcie_seconds += bytes / pcie_bytes_per_sec_;
+}
+
+void FpgaCostModel::charge_mask(FpgaTimeline& t, std::size_t n) const {
+  charge_pass(t, n, PassCost{2, 1});
+}
+
+void FpgaCostModel::charge_solve_begin(FpgaTimeline& t, std::size_t n) const {
+  charge_pcie(t, 2.0 * static_cast<double>(n) * 8.0);
+}
+
+void FpgaCostModel::charge_solve_end(FpgaTimeline& t, std::size_t n) const {
+  charge_pcie(t, static_cast<double>(n) * 8.0);
+}
+
+void FpgaCostModel::stamp(FpgaTimeline& t) const {
+  t.per_apply_seconds = per_apply_.seconds;
+  t.per_apply_gflops = per_apply_.gflops;
+  t.model_peak_gflops = model_peak_gflops_;
+  t.clock_mhz = per_apply_.clock_mhz;
+  t.device = device_.name;
+}
+
+fpga::RunStats modeled_apply(const FpgaSimOptions& options, int degree,
+                             std::size_t n_elements, bool helmholtz, bool steady) {
+  const fpga::DeviceSpec device = fpga_device_by_name(options.device);
+  fpga::KernelConfig config = fpga::KernelConfig::banked(degree);
+  if (helmholtz) {
+    config.kind = fpga::KernelKind::kHelmholtz;
+  }
+  fpga::SemAccelerator accelerator(device, config);
+  accelerator.set_use_measured_calibration(options.use_measured_calibration);
+  return steady ? accelerator.estimate_steady(n_elements)
+                : accelerator.estimate(n_elements);
+}
+
+FpgaSimBackend::FpgaSimBackend(const solver::PoissonSystem& system,
+                               FpgaSimOptions options, int vector_threads)
+    : CpuBackend(system, vector_threads),
+      cost_(options, system.ref().n1d() - 1, system.geom().n_elements) {
+  cost_.stamp(timeline_);
+}
+
+void FpgaSimBackend::apply(std::span<const double> u, std::span<double> w) {
+  CpuBackend::apply(u, w);
+  cost_.charge_apply(timeline_);
+}
+
+void FpgaSimBackend::apply_unmasked(std::span<const double> u, std::span<double> w) {
+  CpuBackend::apply_unmasked(u, w);
+  cost_.charge_apply(timeline_);
+}
+
+void FpgaSimBackend::qqt(std::span<double> local) {
+  CpuBackend::qqt(local);
+  cost_.charge_gather_scatter(timeline_, system().gs().n_shared_copies());
+}
+
+void FpgaSimBackend::apply_mask(std::span<double> w) {
+  CpuBackend::apply_mask(w);
+  cost_.charge_mask(timeline_, w.size());
+}
+
+double FpgaSimBackend::reduce(PassCost cost, ReduceBody body) {
+  const double result = CpuBackend::reduce(cost, body);
+  cost_.charge_pass(timeline_, n_local(), cost);
+  return result;
+}
+
+void FpgaSimBackend::vector_pass(PassCost cost, PassBody body) {
+  CpuBackend::vector_pass(cost, body);
+  cost_.charge_pass(timeline_, n_local(), cost);
+}
+
+void FpgaSimBackend::solve_begin() { cost_.charge_solve_begin(timeline_, n_local()); }
+
+void FpgaSimBackend::solve_end() { cost_.charge_solve_end(timeline_, n_local()); }
+
+}  // namespace semfpga::backend

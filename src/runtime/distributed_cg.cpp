@@ -2,129 +2,41 @@
 
 #include <cmath>
 
+#include "backend/distributed_backend.hpp"
 #include "common/check.hpp"
 #include "common/timer.hpp"
-#include "kernels/ax.hpp"
 #include "solver/partition.hpp"
 
 namespace semfpga::runtime {
 
-/// Mirrors solver::solve_cg pass for pass; see cg.cpp for the three-pass
-/// structure.  Every scalar (alpha, beta, residual norms) comes out of the
-/// deterministic allreduce, so all ranks step through identical iterates
-/// and no rank ever diverges from the single-rank trajectory.
-solver::CgResult distributed_cg(RankSystem& rs, std::span<const double> b,
+/// The loop itself lives in solver::solve_cg — one implementation for every
+/// execution tier.  Every scalar (alpha, beta, residual norms) comes out of
+/// the backend's deterministic allreduce, so all ranks step through
+/// identical iterates and no rank ever diverges from the single-rank
+/// trajectory.
+solver::CgResult distributed_cg(backend::Backend& backend, std::span<const double> b,
                                 std::span<double> x,
                                 const solver::CgOptions& options) {
-  const std::size_t n = rs.n_local();
-  SEMFPGA_CHECK(b.size() == n && x.size() == n, "vector sizes must match the slab");
-  SEMFPGA_CHECK(options.max_iterations >= 0, "max_iterations must be non-negative");
-  SEMFPGA_CHECK(!options.preconditioner,
-                "custom preconditioners are not supported by the distributed solve");
-
-  const auto& diag = rs.jacobi_diagonal();
-  const auto& c = rs.inv_multiplicity();
+  SEMFPGA_CHECK(backend.collective(),
+                "distributed_cg needs a collective (rank) backend");
   // Teams rule: the rank's team is the only thread knob here —
   // options.threads is documented as ignored so a caller cannot
   // oversubscribe N rank teams with a stale single-rank setting.
-  const int threads = rs.threads();
-  const bool identity_precond = !options.use_jacobi;
+  return solver::solve_cg(backend, b, x, options);
+}
 
-  aligned_vector<double> r(n);
-  aligned_vector<double> z(identity_precond ? 0 : n);
-  aligned_vector<double> p(n);
-  aligned_vector<double> w(n);
-
-  solver::CgResult result;
-  // Nekbone-style global FLOP accounting (whole problem, not the slab), so
-  // the numbers line up with the single-rank CgResult on every rank.
-  const int n1d = rs.system().ref().n1d();
-  const std::size_t ppe = rs.system().ref().points_per_element();
-  const std::int64_t ax_cost = kernels::ax_flops(n1d, rs.global_elements());
-  const std::int64_t vec_cost =
-      11 * static_cast<std::int64_t>(rs.global_elements() * ppe);
-
-  // r = b - A x (x may carry an initial guess), fused with rr = <r, r>_c.
-  rs.apply(x, std::span<double>(w.data(), n));
-  result.flops += ax_cost;
-  double rr = rs.allreduce([&](std::size_t begin, std::size_t end) {
-    double acc = 0.0;
-    for (std::size_t i = begin; i < end; ++i) {
-      const double ri = b[i] - w[i];
-      r[i] = ri;
-      acc += ri * ri * c[i];
-    }
-    return acc;
-  });
-
-  // z = P^{-1} in, fused with the <in, z>_c reduction (Jacobi only).
-  auto precondition_dot = [&](const aligned_vector<double>& in) {
-    return rs.allreduce([&](std::size_t begin, std::size_t end) {
-      double acc = 0.0;
-      for (std::size_t i = begin; i < end; ++i) {
-        const double zi = in[i] / diag[i];
-        z[i] = zi;
-        acc += in[i] * zi * c[i];
-      }
-      return acc;
-    });
-  };
-
-  double rho = identity_precond ? rr : precondition_dot(r);
-  const aligned_vector<double>& z_like = identity_precond ? r : z;
-  parallel_for(n, threads, [&](std::size_t i) { p[i] = z_like[i]; });
-
-  double res_norm = std::sqrt(std::abs(rr));
-  if (options.record_history) {
-    result.residual_history.push_back(res_norm);
-  }
-  result.final_residual = res_norm;
-  if (res_norm <= options.tolerance) {
-    result.converged = true;
-    return result;
-  }
-
-  for (int it = 0; it < options.max_iterations; ++it) {
-    rs.apply(std::span<const double>(p.data(), n), std::span<double>(w.data(), n));
-    const double pw = rs.dot(std::span<const double>(p.data(), n),
-                             std::span<const double>(w.data(), n));
-    SEMFPGA_CHECK(pw > 0.0, "operator lost positive definiteness (check mesh/mask)");
-    const double alpha = rho / pw;
-    rr = rs.allreduce([&](std::size_t begin, std::size_t end) {
-      double acc = 0.0;
-      for (std::size_t i = begin; i < end; ++i) {
-        x[i] += alpha * p[i];
-        const double ri = r[i] - alpha * w[i];
-        r[i] = ri;
-        acc += ri * ri * c[i];
-      }
-      return acc;
-    });
-    result.flops += ax_cost + vec_cost;
-    result.iterations = it + 1;
-
-    res_norm = std::sqrt(std::abs(rr));
-    if (options.record_history) {
-      result.residual_history.push_back(res_norm);
-    }
-    result.final_residual = res_norm;
-    if (res_norm <= options.tolerance) {
-      result.converged = true;
-      break;
-    }
-
-    const double rho_new = identity_precond ? rr : precondition_dot(r);
-    const double beta = rho_new / rho;
-    rho = rho_new;
-    parallel_for(n, threads,
-                 [&](std::size_t i) { p[i] = z_like[i] + beta * p[i]; });
-  }
-  return result;
+solver::CgResult distributed_cg(RankSystem& rs, std::span<const double> b,
+                                std::span<double> x,
+                                const solver::CgOptions& options) {
+  backend::DistributedBackend backend(rs);
+  return distributed_cg(backend, b, x, options);
 }
 
 DistributedSolveResult solve_distributed_poisson(const DistributedSolveConfig& config) {
   SEMFPGA_CHECK(config.ranks >= 1, "need at least one rank");
   SEMFPGA_CHECK(static_cast<bool>(config.forcing), "forcing must be callable");
+  SEMFPGA_CHECK(config.backend == "cpu" || config.backend == "fpga-sim",
+                "distributed backend must be 'cpu' or 'fpga-sim'");
 
   const sem::Mesh global_mesh = sem::box_mesh(config.spec);
   const solver::SlabPartition part = solver::partition_slabs(config.spec, config.ranks);
@@ -149,6 +61,16 @@ DistributedSolveResult solve_distributed_poisson(const DistributedSolveConfig& c
     rs.sample(config.forcing, std::span<double>(f.data(), n));
     rs.assemble_rhs(std::span<const double>(f.data(), n), std::span<double>(b.data(), n));
 
+    // Each rank executes through its own backend instance; "fpga-sim"
+    // charges modeled time for this rank's slab on its own modeled device.
+    std::unique_ptr<backend::DistributedBackend> be;
+    if (config.backend == "fpga-sim") {
+      be = std::make_unique<backend::DistributedBackend>(
+          rs, backend::fpga_sim_options(config.backend_options));
+    } else {
+      be = std::make_unique<backend::DistributedBackend>(rs);
+    }
+
     // x slices alias the global output vector directly: slabs are
     // contiguous, disjoint element ranges, so ranks never share a cache
     // line beyond their (read-only) inputs.
@@ -160,12 +82,15 @@ DistributedSolveResult solve_distributed_poisson(const DistributedSolveConfig& c
 
     fabric.barrier(env.rank);
     Timer timer;
-    const solver::CgResult cg = distributed_cg(rs, std::span<const double>(b.data(), n),
-                                               x, config.cg);
+    const solver::CgResult cg =
+        distributed_cg(*be, std::span<const double>(b.data(), n), x, config.cg);
     fabric.barrier(env.rank);
     if (env.rank == 0) {
       out.solve_seconds = timer.seconds();
       out.cg = cg;
+      if (const backend::FpgaTimeline* t = be->timeline()) {
+        out.modeled_seconds = t->total_seconds();
+      }
     }
   });
   return out;

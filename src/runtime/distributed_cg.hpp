@@ -19,7 +19,9 @@
 /// vector.
 
 #include <functional>
+#include <string>
 
+#include "backend/backend.hpp"
 #include "runtime/rank_system.hpp"
 #include "runtime/spmd.hpp"
 #include "solver/cg.hpp"
@@ -30,8 +32,18 @@ namespace semfpga::runtime {
 /// slice x given its slice b.  Collective; every rank receives the same
 /// CgResult (identical scalars by construction).  Jacobi and identity
 /// preconditioning are supported; custom preconditioners are not (they
-/// would need their own distributed completion).
+/// would need their own distributed completion).  Since the Backend seam
+/// this is solver::solve_cg over a DistributedBackend — one CG loop for
+/// every tier, not a mirrored copy.
 [[nodiscard]] solver::CgResult distributed_cg(RankSystem& rs, std::span<const double> b,
+                                              std::span<double> x,
+                                              const solver::CgOptions& options = {});
+
+/// Same loop over an already-constructed rank backend (e.g. a
+/// DistributedBackend charging modeled FPGA time).  `backend` must be
+/// collective; the call is collective across its fabric.
+[[nodiscard]] solver::CgResult distributed_cg(backend::Backend& backend,
+                                              std::span<const double> b,
                                               std::span<double> x,
                                               const solver::CgOptions& options = {});
 
@@ -42,6 +54,13 @@ struct DistributedSolveConfig {
   int threads = 1;                ///< total thread budget, split across ranks
   kernels::AxVariant ax_variant = kernels::AxVariant::kFixed;
   bool fused = true;              ///< fused qqt-in-operator sweep per rank
+  /// Execution backend per rank: "cpu" runs the host engine, "fpga-sim"
+  /// additionally charges modeled FPGA time for each rank's slab (one
+  /// modeled device per rank — the paper's cluster-of-FPGAs projection).
+  /// Numerics are bitwise identical either way.
+  std::string backend = "cpu";
+  /// Device/link options of the "fpga-sim" backend.
+  backend::MakeOptions backend_options;
   solver::CgOptions cg;           ///< threads field is ignored (teams rule)
   /// Forcing sampled at the nodes; the RHS is assembled exactly as the
   /// single-rank PoissonSystem::assemble_rhs does.
@@ -57,6 +76,9 @@ struct DistributedSolveResult {
   int threads_per_rank = 1;
   double solve_seconds = 0.0;     ///< CG wall time, barrier-to-barrier
   std::int64_t halo_dofs = 0;     ///< max per-rank doubles per exchange
+  /// Modeled per-rank FPGA time ("fpga-sim" backend; rank 0's ledger,
+  /// slabs are near-equal).  0 when executing on the cpu backend.
+  double modeled_seconds = 0.0;
 };
 
 /// Builds the global mesh, partitions it into z-slabs, runs the rank team

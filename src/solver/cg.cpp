@@ -2,17 +2,29 @@
 
 #include <cmath>
 
+#include "backend/cpu_backend.hpp"
 #include "common/check.hpp"
 #include "common/parallel.hpp"
-#include "kernels/ax.hpp"
 
 namespace semfpga::solver {
+namespace {
 
-/// Each CG iteration is three fused parallel passes plus the operator:
+/// Pairs solve_begin with solve_end on every exit path (cost-charging
+/// backends account the host<->device vector movement there).
+struct SolveScope {
+  explicit SolveScope(backend::Backend& b) : backend(b) { backend.solve_begin(); }
+  ~SolveScope() { backend.solve_end(); }
+  backend::Backend& backend;
+};
+
+}  // namespace
+
+/// Each CG iteration is three fused passes plus the operator:
 ///   1. w = A p, pw = <p, w>_c           (operator + one weighted dot; the
 ///      operator itself is the fused qqt-in-operator sweep — gather-scatter
 ///      and mask run in the Ax epilogue, so no separate qqt pass re-reads
-///      the local DOFs — unless the system was built with set_fused(false))
+///      the local DOFs — unless the system was built with set_fused(false);
+///      on a collective backend the halo exchange completes the sum)
 ///   2. x += alpha p, r -= alpha w,      (both axpys fused with the
 ///      rr = <r, r>_c                     residual-norm reduction)
 ///   3. z = P^{-1} r, rho = <r, z>_c     (preconditioner fused with its dot;
@@ -20,19 +32,18 @@ namespace semfpga::solver {
 ///                                        z aliases r and rho == rr)
 /// Compared to the textbook loop this removes one full residual-norm pass
 /// per iteration and the z = r copy of the identity-preconditioner branch.
-CgResult solve_cg(const PoissonSystem& system, std::span<const double> b,
+/// Every reduction runs through the backend's canonical layer-segmented
+/// fold, so iterates are bitwise identical at any thread or rank count.
+CgResult solve_cg(backend::Backend& backend, std::span<const double> b,
                   std::span<double> x, const CgOptions& options) {
-  const std::size_t n = system.n_local();
+  const std::size_t n = backend.n_local();
   SEMFPGA_CHECK(b.size() == n && x.size() == n, "vector sizes must match the system");
   SEMFPGA_CHECK(options.max_iterations >= 0, "max_iterations must be non-negative");
+  SEMFPGA_CHECK(!(options.preconditioner && backend.collective()),
+                "custom preconditioners are not supported by the distributed solve");
 
-  const auto& diag = system.jacobi_diagonal();
-  const auto& c = system.gs().inv_multiplicity();
-  const int threads = options.threads < 0 ? system.threads() : options.threads;
-  // Canonical reduction layout: per-z-layer partials folded through a fixed
-  // tree, so the distributed runtime's allreduce can reproduce every dot
-  // product bit for bit (see parallel.hpp segmented_reduce).
-  const std::size_t seg = system.reduction_segment();
+  const auto& diag = backend.jacobi_diagonal();
+  const auto& c = backend.inv_multiplicity();
   const bool identity_precond = !options.preconditioner && !options.use_jacobi;
 
   aligned_vector<double> r(n);
@@ -41,23 +52,26 @@ CgResult solve_cg(const PoissonSystem& system, std::span<const double> b,
   aligned_vector<double> w(n);
 
   CgResult result;
-  const int n1d = system.ref().n1d();
-  const std::int64_t ax_cost = kernels::ax_flops(n1d, system.geom().n_elements);
-  // Vector updates per iteration: 2 axpy + 1 xpay (6n) + 2 dots (4n) + precond (n).
-  const std::int64_t vec_cost = 11 * static_cast<std::int64_t>(n);
+  const std::int64_t ax_cost = backend.operator_flops();
+  // Vector updates per iteration: 2 axpy + 1 xpay (6n) + 2 dots (4n) + precond (n),
+  // counted over the global problem so every tier reports the same FLOPs.
+  const std::int64_t vec_cost = 11 * backend.global_dofs();
+
+  SolveScope scope(backend);
 
   // r = b - A x (x may carry an initial guess), fused with rr = <r, r>_c.
-  system.apply(x, std::span<double>(w.data(), n));
+  backend.apply(x, std::span<double>(w.data(), n));
   result.flops += ax_cost;
-  double rr = segmented_reduce(n, seg, threads, [&](std::size_t begin, std::size_t end) {
-    double acc = 0.0;
-    for (std::size_t i = begin; i < end; ++i) {
-      const double ri = b[i] - w[i];
-      r[i] = ri;
-      acc += ri * ri * c[i];
-    }
-    return acc;
-  });
+  double rr = backend.reduce(backend::PassCost{3, 1},
+                             [&](std::size_t begin, std::size_t end) {
+                               double acc = 0.0;
+                               for (std::size_t i = begin; i < end; ++i) {
+                                 const double ri = b[i] - w[i];
+                                 r[i] = ri;
+                                 acc += ri * ri * c[i];
+                               }
+                               return acc;
+                             });
 
   // z = P^{-1} in, fused with the <in, z>_c reduction.  With P = I the
   // vector z is never materialised; callers use `in` and the returned rr.
@@ -65,28 +79,35 @@ CgResult solve_cg(const PoissonSystem& system, std::span<const double> b,
     if (options.preconditioner) {
       options.preconditioner(std::span<const double>(in.data(), n),
                              std::span<double>(z.data(), n));
-      return segmented_reduce(n, seg, threads, [&](std::size_t begin, std::size_t end) {
-        double acc = 0.0;
-        for (std::size_t i = begin; i < end; ++i) {
-          acc += in[i] * z[i] * c[i];
-        }
-        return acc;
-      });
+      return backend.reduce(backend::PassCost{3, 0},
+                            [&](std::size_t begin, std::size_t end) {
+                              double acc = 0.0;
+                              for (std::size_t i = begin; i < end; ++i) {
+                                acc += in[i] * z[i] * c[i];
+                              }
+                              return acc;
+                            });
     }
-    return segmented_reduce(n, seg, threads, [&](std::size_t begin, std::size_t end) {
-      double acc = 0.0;
-      for (std::size_t i = begin; i < end; ++i) {
-        const double zi = in[i] / diag[i];
-        z[i] = zi;
-        acc += in[i] * zi * c[i];
-      }
-      return acc;
-    });
+    return backend.reduce(backend::PassCost{3, 1},
+                          [&](std::size_t begin, std::size_t end) {
+                            double acc = 0.0;
+                            for (std::size_t i = begin; i < end; ++i) {
+                              const double zi = in[i] / diag[i];
+                              z[i] = zi;
+                              acc += in[i] * zi * c[i];
+                            }
+                            return acc;
+                          });
   };
 
   double rho = identity_precond ? rr : precondition_dot(r);
   const aligned_vector<double>& z_like = identity_precond ? r : z;
-  parallel_for(n, threads, [&](std::size_t i) { p[i] = z_like[i]; });
+  backend.vector_pass(backend::PassCost{1, 1},
+                      [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) {
+                          p[i] = z_like[i];
+                        }
+                      });
 
   double res_norm = std::sqrt(std::abs(rr));
   if (options.record_history) {
@@ -99,21 +120,22 @@ CgResult solve_cg(const PoissonSystem& system, std::span<const double> b,
   }
 
   for (int it = 0; it < options.max_iterations; ++it) {
-    system.apply(std::span<const double>(p.data(), n), std::span<double>(w.data(), n));
-    const double pw = system.weighted_dot(std::span<const double>(p.data(), n),
-                                          std::span<const double>(w.data(), n));
+    backend.apply(std::span<const double>(p.data(), n), std::span<double>(w.data(), n));
+    const double pw = backend.dot(std::span<const double>(p.data(), n),
+                                  std::span<const double>(w.data(), n));
     SEMFPGA_CHECK(pw > 0.0, "operator lost positive definiteness (check mesh/mask)");
     const double alpha = rho / pw;
-    rr = segmented_reduce(n, seg, threads, [&](std::size_t begin, std::size_t end) {
-      double acc = 0.0;
-      for (std::size_t i = begin; i < end; ++i) {
-        x[i] += alpha * p[i];
-        const double ri = r[i] - alpha * w[i];
-        r[i] = ri;
-        acc += ri * ri * c[i];
-      }
-      return acc;
-    });
+    rr = backend.reduce(backend::PassCost{4, 3},
+                        [&](std::size_t begin, std::size_t end) {
+                          double acc = 0.0;
+                          for (std::size_t i = begin; i < end; ++i) {
+                            x[i] += alpha * p[i];
+                            const double ri = r[i] - alpha * w[i];
+                            r[i] = ri;
+                            acc += ri * ri * c[i];
+                          }
+                          return acc;
+                        });
     result.flops += ax_cost + vec_cost;
     result.iterations = it + 1;
 
@@ -130,10 +152,20 @@ CgResult solve_cg(const PoissonSystem& system, std::span<const double> b,
     const double rho_new = identity_precond ? rr : precondition_dot(r);
     const double beta = rho_new / rho;
     rho = rho_new;
-    parallel_for(n, threads,
-                 [&](std::size_t i) { p[i] = z_like[i] + beta * p[i]; });
+    backend.vector_pass(backend::PassCost{2, 1},
+                        [&](std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i) {
+                            p[i] = z_like[i] + beta * p[i];
+                          }
+                        });
   }
   return result;
+}
+
+CgResult solve_cg(const PoissonSystem& system, std::span<const double> b,
+                  std::span<double> x, const CgOptions& options) {
+  backend::CpuBackend cpu(system, options.threads);
+  return solve_cg(cpu, b, x, options);
 }
 
 }  // namespace semfpga::solver

@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "solver/poisson_system.hpp"
 
 namespace semfpga::solver {
@@ -33,6 +34,11 @@ struct CgOptions {
   /// which also governs the operator and gather-scatter), 1 = serial,
   /// 0 = all hardware threads, k = k threads.  Reductions use a fixed
   /// chunk decomposition, so iterates are bitwise identical for any value.
+  /// Only read by the PoissonSystem convenience overload (it seeds the
+  /// CpuBackend's vector threads); the solve_cg(Backend&) overload runs
+  /// the passes on the backend's own thread configuration — pass the
+  /// count to backend::MakeOptions::vector_threads / the backend ctor
+  /// instead.  (Collective backends always use their rank team.)
   int threads = -1;
 };
 
@@ -45,8 +51,21 @@ struct CgResult {
   std::vector<double> residual_history;
 };
 
-/// Solves system.apply(x) == b for x (overwritten; initial guess honoured).
+/// Solves the backend's operator equation apply(x) == b for x (overwritten;
+/// initial guess honoured).  This is THE CG loop: every execution tier —
+/// host engine (CpuBackend), modeled FPGA (FpgaSimBackend), SPMD rank
+/// (DistributedBackend) — runs this one implementation; the backend decides
+/// where each pass executes and what it costs.  On a collective backend the
+/// call is collective (one invocation per rank) and every rank returns the
+/// same CgResult scalars; custom preconditioners are rejected there (they
+/// would need their own distributed completion).
 /// \pre b is continuous and masked (assemble_rhs output qualifies).
+[[nodiscard]] CgResult solve_cg(backend::Backend& backend, std::span<const double> b,
+                                std::span<double> x, const CgOptions& options = {});
+
+/// Convenience overload: solves over a CpuBackend adapter of `system` —
+/// bitwise identical to the pre-backend direct-engine solve at every
+/// variant × threads × fused/split combination.
 [[nodiscard]] CgResult solve_cg(const PoissonSystem& system, std::span<const double> b,
                                 std::span<double> x, const CgOptions& options = {});
 

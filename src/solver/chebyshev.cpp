@@ -2,79 +2,107 @@
 
 #include <cmath>
 
+#include "backend/cpu_backend.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 
 namespace semfpga::solver {
 
-double estimate_lambda_max(const PoissonSystem& system, int iterations,
+double estimate_lambda_max(backend::Backend& backend, int iterations,
                            std::uint64_t seed) {
   SEMFPGA_CHECK(iterations >= 1, "power iteration needs at least one step");
-  const std::size_t n = system.n_local();
-  const auto& diag = system.jacobi_diagonal();
-  const auto& mask = system.mask();
+  const std::size_t n = backend.n_local();
+  const auto& diag = backend.jacobi_diagonal();
+  const auto& mask = backend.mask();
 
   // Continuous, masked random start vector.
   aligned_vector<double> v(n);
   {
     SplitMix64 rng(seed);
-    std::vector<double> global(system.gs().n_global());
+    std::vector<double> global(backend.n_global());
     for (double& g : global) {
       g = rng.uniform(-1.0, 1.0);
     }
-    system.gs().gather(global, std::span<double>(v.data(), n));
+    backend.gather(global, std::span<double>(v.data(), n));
     for (std::size_t p = 0; p < n; ++p) {
       v[p] *= mask[p];
     }
   }
 
   aligned_vector<double> av(n);
+  aligned_vector<double> dv(n);
   double rayleigh = 0.0;
   for (int it = 0; it < iterations; ++it) {
-    system.apply(std::span<const double>(v.data(), n), std::span<double>(av.data(), n));
+    backend.apply(std::span<const double>(v.data(), n), std::span<double>(av.data(), n));
     // w = D^{-1} A v; Rayleigh quotient in the D-inner product reduces to
     // (v, Av)_c / (v, Dv)_c.
-    const double vav = system.weighted_dot(std::span<const double>(v.data(), n),
-                                           std::span<const double>(av.data(), n));
-    aligned_vector<double> dv(n);
-    for (std::size_t p = 0; p < n; ++p) {
-      dv[p] = diag[p] * v[p];
-    }
-    const double vdv = system.weighted_dot(std::span<const double>(v.data(), n),
-                                           std::span<const double>(dv.data(), n));
+    const double vav = backend.dot(std::span<const double>(v.data(), n),
+                                   std::span<const double>(av.data(), n));
+    backend.vector_pass(backend::PassCost{2, 1},
+                        [&](std::size_t begin, std::size_t end) {
+                          for (std::size_t p = begin; p < end; ++p) {
+                            dv[p] = diag[p] * v[p];
+                          }
+                        });
+    const double vdv = backend.dot(std::span<const double>(v.data(), n),
+                                   std::span<const double>(dv.data(), n));
     SEMFPGA_CHECK(vdv > 0.0, "degenerate power-iteration vector");
     rayleigh = vav / vdv;
 
     // Next iterate: v <- D^{-1} A v, normalised in the weighted norm.
-    for (std::size_t p = 0; p < n; ++p) {
-      v[p] = av[p] / diag[p];
-    }
-    const double norm = std::sqrt(std::abs(system.weighted_dot(
+    backend.vector_pass(backend::PassCost{2, 1},
+                        [&](std::size_t begin, std::size_t end) {
+                          for (std::size_t p = begin; p < end; ++p) {
+                            v[p] = av[p] / diag[p];
+                          }
+                        });
+    const double norm = std::sqrt(std::abs(backend.dot(
         std::span<const double>(v.data(), n), std::span<const double>(v.data(), n))));
     SEMFPGA_CHECK(norm > 0.0, "power iteration collapsed to zero");
-    for (double& x : v) {
-      x /= norm;
-    }
+    backend.vector_pass(backend::PassCost{1, 1},
+                        [&](std::size_t begin, std::size_t end) {
+                          for (std::size_t p = begin; p < end; ++p) {
+                            v[p] /= norm;
+                          }
+                        });
   }
   return rayleigh;
 }
 
+double estimate_lambda_max(const PoissonSystem& system, int iterations,
+                           std::uint64_t seed) {
+  backend::CpuBackend cpu(system);
+  return estimate_lambda_max(cpu, iterations, seed);
+}
+
+ChebyshevPreconditioner::ChebyshevPreconditioner(backend::Backend& backend, int order,
+                                                 double lambda_max, double eig_safety)
+    : backend_(backend), order_(order) {
+  init(lambda_max, eig_safety);
+}
+
 ChebyshevPreconditioner::ChebyshevPreconditioner(const PoissonSystem& system, int order,
                                                  double lambda_max, double eig_safety)
-    : system_(system), order_(order) {
-  SEMFPGA_CHECK(order >= 1, "Chebyshev order must be at least 1");
+    : owned_(std::make_unique<backend::CpuBackend>(system)),
+      backend_(*owned_),
+      order_(order) {
+  init(lambda_max, eig_safety);
+}
+
+void ChebyshevPreconditioner::init(double lambda_max, double eig_safety) {
+  SEMFPGA_CHECK(order_ >= 1, "Chebyshev order must be at least 1");
   SEMFPGA_CHECK(eig_safety >= 1.0, "eigenvalue safety factor must be >= 1");
-  lambda_max_ = (lambda_max > 0.0 ? lambda_max : estimate_lambda_max(system, 30)) *
-                eig_safety;
+  lambda_max_ =
+      (lambda_max > 0.0 ? lambda_max : estimate_lambda_max(backend_, 30)) * eig_safety;
   // Standard smoother window: target the upper part of the spectrum.
   lambda_min_ = lambda_max_ / 30.0;
 }
 
 void ChebyshevPreconditioner::apply(std::span<const double> r,
                                     std::span<double> z) const {
-  const std::size_t n = system_.n_local();
+  const std::size_t n = backend_.n_local();
   SEMFPGA_CHECK(r.size() == n && z.size() == n, "vector sizes must match the system");
-  const auto& diag = system_.jacobi_diagonal();
+  const auto& diag = backend_.jacobi_diagonal();
 
   const double theta = 0.5 * (lambda_max_ + lambda_min_);
   const double delta = 0.5 * (lambda_max_ - lambda_min_);
@@ -83,24 +111,29 @@ void ChebyshevPreconditioner::apply(std::span<const double> r,
 
   // First step: z = d = theta^{-1} D^{-1} r.
   aligned_vector<double> d(n);
-  for (std::size_t p = 0; p < n; ++p) {
-    d[p] = r[p] / (theta * diag[p]);
-    z[p] = d[p];
-  }
+  backend_.vector_pass(backend::PassCost{2, 2},
+                       [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t p = begin; p < end; ++p) {
+                           d[p] = r[p] / (theta * diag[p]);
+                           z[p] = d[p];
+                         }
+                       });
 
   aligned_vector<double> az(n);
   aligned_vector<double> pres(n);
   for (int k = 1; k < order_; ++k) {
     // Preconditioned residual of the current iterate.
-    system_.apply(std::span<const double>(z.data(), n), std::span<double>(az.data(), n));
-    for (std::size_t p = 0; p < n; ++p) {
-      pres[p] = (r[p] - az[p]) / diag[p];
-    }
+    backend_.apply(std::span<const double>(z.data(), n),
+                   std::span<double>(az.data(), n));
     const double rho_new = 1.0 / (2.0 * sigma - rho);
-    for (std::size_t p = 0; p < n; ++p) {
-      d[p] = rho_new * rho * d[p] + (2.0 * rho_new / delta) * pres[p];
-      z[p] += d[p];
-    }
+    backend_.vector_pass(
+        backend::PassCost{5, 3}, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t p = begin; p < end; ++p) {
+            pres[p] = (r[p] - az[p]) / diag[p];
+            d[p] = rho_new * rho * d[p] + (2.0 * rho_new / delta) * pres[p];
+            z[p] += d[p];
+          }
+        });
     rho = rho_new;
   }
 }

@@ -8,17 +8,32 @@
 /// applies a fixed-degree Chebyshev polynomial of the Jacobi-scaled
 /// operator, which is SPD on the masked subspace and therefore safe
 /// inside CG.
+///
+/// Every operator apply and vector pass routes through a backend::Backend —
+/// the same seam CG runs on — so the smoother inherits the fused
+/// qqt-in-operator sweep, the engine's thread plumbing, and (on
+/// FpgaSimBackend) modeled-time charging.  All Chebyshev vector passes are
+/// elementwise, so results are bitwise identical at any thread count and
+/// for the fused and split operator alike (tests/backend pins this down).
 
 #include <cstdint>
+#include <memory>
 #include <span>
 
+#include "backend/backend.hpp"
 #include "solver/poisson_system.hpp"
 
 namespace semfpga::solver {
 
 /// Estimates the largest eigenvalue of D^{-1} A on the masked subspace by
-/// power iteration with multiplicity-weighted norms.
+/// power iteration with multiplicity-weighted norms, all passes on the
+/// backend.  Not collective-capable (needs a global gather for the start
+/// vector); collective backends throw.
 /// \return the Rayleigh-quotient estimate after `iterations` steps.
+[[nodiscard]] double estimate_lambda_max(backend::Backend& backend, int iterations,
+                                         std::uint64_t seed = 1234);
+
+/// Convenience overload over a CpuBackend adapter of `system`.
 [[nodiscard]] double estimate_lambda_max(const PoissonSystem& system, int iterations,
                                          std::uint64_t seed = 1234);
 
@@ -26,11 +41,16 @@ namespace semfpga::solver {
 /// operator, usable as the CG preconditioner.
 class ChebyshevPreconditioner {
  public:
+  /// Runs on `backend` (not owned; must outlive the preconditioner).
   /// \param order number of Chebyshev steps per application (>= 1)
   /// \param lambda_max upper spectral bound of D^{-1}A (0 = estimate via
   ///        power iteration with 30 steps)
   /// \param eig_safety multiplier on the estimated bound (> 1 keeps the
   ///        polynomial positive on the full spectrum)
+  ChebyshevPreconditioner(backend::Backend& backend, int order,
+                          double lambda_max = 0.0, double eig_safety = 1.1);
+
+  /// Convenience: owns an internal CpuBackend over `system`.
   ChebyshevPreconditioner(const PoissonSystem& system, int order,
                           double lambda_max = 0.0, double eig_safety = 1.1);
 
@@ -42,10 +62,13 @@ class ChebyshevPreconditioner {
   [[nodiscard]] double lambda_min() const noexcept { return lambda_min_; }
 
  private:
-  const PoissonSystem& system_;
+  void init(double lambda_max, double eig_safety);
+
+  std::unique_ptr<backend::Backend> owned_;  ///< set by the PoissonSystem ctor
+  backend::Backend& backend_;
   int order_;
-  double lambda_max_;
-  double lambda_min_;
+  double lambda_max_ = 0.0;
+  double lambda_min_ = 0.0;
 };
 
 }  // namespace semfpga::solver

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "backend/fpga_sim_backend.hpp"
 #include "common/timer.hpp"
 #include "kernels/ax.hpp"
 #include "runtime/distributed_cg.hpp"
@@ -28,6 +29,8 @@ NekboneResult run_nekbone_distributed(const NekboneConfig& config,
   dist.threads = config.threads;
   dist.ax_variant = config.ax_variant;
   dist.fused = config.fused;
+  dist.backend = config.backend;
+  dist.backend_options = config.backend_options;
   dist.cg.max_iterations = config.cg_iterations;
   dist.cg.tolerance = 0.0;  // fixed iteration count, like Nekbone
   dist.cg.use_jacobi = config.use_jacobi;
@@ -51,12 +54,18 @@ NekboneResult run_nekbone_distributed(const NekboneConfig& config,
       kernels::ax_flops(config.degree + 1, result.n_elements) *
       static_cast<std::int64_t>(solve.cg.iterations + 1);
   result.ax_gflops = seconds > 0.0 ? static_cast<double>(ax_only) / seconds / 1e9 : 0.0;
+  result.modeled_seconds = solve.modeled_seconds;
+  result.modeled_gflops =
+      solve.modeled_seconds > 0.0
+          ? static_cast<double>(solve.cg.flops) / solve.modeled_seconds / 1e9
+          : 0.0;
   return result;
 }
 
 }  // namespace
 
 NekboneResult run_nekbone(const NekboneConfig& config) {
+  backend::require_known(config.backend);
   sem::BoxMeshSpec spec;
   spec.degree = config.degree;
   spec.nelx = config.nelx;
@@ -84,10 +93,16 @@ NekboneResult run_nekbone(const NekboneConfig& config) {
   options.max_iterations = config.cg_iterations;
   options.tolerance = 0.0;  // fixed iteration count, like Nekbone
   options.use_jacobi = config.use_jacobi;
-  options.threads = config.threads;
+
+  // Thread plumbing goes to the backend, not CgOptions: the Backend
+  // overload of solve_cg runs every pass on the backend's configuration.
+  backend::MakeOptions make_options = config.backend_options;
+  make_options.vector_threads = config.threads;
+  const std::unique_ptr<backend::Backend> be =
+      backend::make(config.backend, system, make_options);
 
   Timer timer;
-  const CgResult cg = solve_cg(system, std::span<const double>(b.data(), n),
+  const CgResult cg = solve_cg(*be, std::span<const double>(b.data(), n),
                                std::span<double>(x.data(), n), options);
   const double seconds = timer.seconds();
 
@@ -103,19 +118,35 @@ NekboneResult run_nekbone(const NekboneConfig& config) {
       kernels::ax_flops(config.degree + 1, result.n_elements) *
       static_cast<std::int64_t>(cg.iterations + 1);
   result.ax_gflops = seconds > 0.0 ? static_cast<double>(ax_only) / seconds / 1e9 : 0.0;
+  if (const backend::FpgaTimeline* t = be->timeline()) {
+    result.modeled_seconds = t->total_seconds();
+    result.modeled_gflops =
+        t->total_seconds() > 0.0
+            ? static_cast<double>(cg.flops) / t->total_seconds() / 1e9
+            : 0.0;
+  }
   return result;
 }
 
 std::string format_result(const NekboneConfig& config, const NekboneResult& result) {
-  char buf[320];
+  char buf[400];
   std::snprintf(buf, sizeof(buf),
                 "nekbone N=%d elements=%zu dofs=%zu ax=%s fused=%d ranks=%d threads=%d "
-                "iters=%d res=%.3e time=%.3fs GFLOP/s=%.2f (Ax-only %.2f)",
+                "backend=%s iters=%d res=%.3e time=%.3fs GFLOP/s=%.2f (Ax-only %.2f)",
                 config.degree, result.n_elements, result.n_dofs,
                 kernels::ax_variant_name(config.ax_variant), config.fused ? 1 : 0,
-                config.ranks, config.threads, result.iterations, result.final_residual,
-                result.seconds, result.gflops, result.ax_gflops);
-  return buf;
+                config.ranks, config.threads, config.backend.c_str(),
+                result.iterations, result.final_residual, result.seconds,
+                result.gflops, result.ax_gflops);
+  std::string out = buf;
+  if (result.modeled_seconds > 0.0) {
+    std::snprintf(buf, sizeof(buf),
+                  "\n  modeled FPGA timeline: %.4fs (GFLOP/s=%.2f) for the same "
+                  "bitwise-identical solve",
+                  result.modeled_seconds, result.modeled_gflops);
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace semfpga::solver

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "backend/backend.hpp"
 #include "solver/cg.hpp"
 
 namespace semfpga::solver {
@@ -37,6 +38,15 @@ struct NekboneConfig {
   /// iterates bitwise identical to the single-rank solve.  Requires
   /// ranks <= nelz.
   int ranks = 1;
+  /// Execution backend (CLI --backend): "cpu" runs the host engine,
+  /// "fpga-sim" computes bitwise-identical numerics on the host while
+  /// charging modeled FPGA time (kernel cycles, external-memory bandwidth,
+  /// PCIe) — the measured-vs-modeled comparison as one code path.  With
+  /// ranks > 1 each rank charges its own modeled device.  Unknown names
+  /// throw std::invalid_argument listing the registered backends.
+  std::string backend = "cpu";
+  /// Device/link options of the "fpga-sim" backend.
+  backend::MakeOptions backend_options;
 };
 
 /// Result of one proxy run.
@@ -49,6 +59,10 @@ struct NekboneResult {
   std::int64_t flops = 0;
   double gflops = 0.0;             ///< flops / seconds / 1e9
   double ax_gflops = 0.0;          ///< counting only the Ax kernel cost
+  /// Modeled-FPGA timeline of the same solve ("fpga-sim" backend; 0 on
+  /// "cpu").  modeled_gflops = flops / modeled_seconds / 1e9.
+  double modeled_seconds = 0.0;
+  double modeled_gflops = 0.0;
 };
 
 /// Runs the proxy end-to-end and reports Nekbone-style numbers.

@@ -1,0 +1,93 @@
+/// The backend string registry: the seam `--backend=` and future backends
+/// plug into.  Unknown names must throw (matching the CLI's unknown-value
+/// hardening) and the error must list the registered names.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "backend/backend.hpp"
+#include "backend/cpu_backend.hpp"
+#include "backend/fpga_sim_backend.hpp"
+#include "solver/poisson_system.hpp"
+
+namespace semfpga {
+namespace {
+
+sem::Mesh make_mesh() {
+  sem::BoxMeshSpec spec;
+  spec.degree = 3;
+  spec.nelx = spec.nely = spec.nelz = 2;
+  return sem::box_mesh(spec);
+}
+
+TEST(BackendRegistry, KnowsTheBuiltInBackends) {
+  const auto names = backend::known_backends();
+  ASSERT_GE(names.size(), 2u);
+  EXPECT_EQ(names[0], "cpu");
+  EXPECT_EQ(names[1], "fpga-sim");
+  const std::string joined = backend::known_backends_joined();
+  EXPECT_NE(joined.find("cpu"), std::string::npos);
+  EXPECT_NE(joined.find("fpga-sim"), std::string::npos);
+}
+
+TEST(BackendRegistry, MakesNamedBackends) {
+  const sem::Mesh mesh = make_mesh();
+  const solver::PoissonSystem system(mesh);
+  const auto cpu = backend::make("cpu", system);
+  ASSERT_NE(cpu, nullptr);
+  EXPECT_STREQ(cpu->name(), "cpu");
+  EXPECT_EQ(cpu->n_local(), system.n_local());
+  EXPECT_EQ(cpu->timeline(), nullptr);
+
+  const auto fpga = backend::make("fpga-sim", system);
+  ASSERT_NE(fpga, nullptr);
+  EXPECT_STREQ(fpga->name(), "fpga-sim");
+  ASSERT_NE(fpga->timeline(), nullptr);
+  EXPECT_EQ(fpga->timeline()->operator_applies, 0);
+}
+
+TEST(BackendRegistry, UnknownNameThrowsListingTheRegistered) {
+  const sem::Mesh mesh = make_mesh();
+  const solver::PoissonSystem system(mesh);
+  EXPECT_THROW(backend::require_known("foo"), std::invalid_argument);
+  try {
+    (void)backend::make("foo", system);
+    FAIL() << "make(\"foo\") must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("foo"), std::string::npos);
+    EXPECT_NE(what.find("cpu"), std::string::npos);
+    EXPECT_NE(what.find("fpga-sim"), std::string::npos);
+  }
+}
+
+TEST(BackendRegistry, UnknownFpgaDeviceThrowsListingTheKnown) {
+  try {
+    (void)backend::fpga_device_by_name("not-a-device");
+    FAIL() << "unknown device preset must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("not-a-device"), std::string::npos);
+    EXPECT_NE(what.find("gx2800"), std::string::npos);
+  }
+  EXPECT_EQ(backend::fpga_device_by_name("gx2800").name, "Stratix 10 GX2800");
+}
+
+TEST(BackendRegistry, RegisterBackendExtendsTheRegistry) {
+  const sem::Mesh mesh = make_mesh();
+  const solver::PoissonSystem system(mesh);
+  backend::register_backend(
+      "test-custom",
+      [](const solver::PoissonSystem& s, const backend::MakeOptions& options) {
+        return std::make_unique<backend::CpuBackend>(s, options.vector_threads);
+      });
+  const auto names = backend::known_backends();
+  EXPECT_NE(std::find(names.begin(), names.end(), "test-custom"), names.end());
+  const auto be = backend::make("test-custom", system);
+  ASSERT_NE(be, nullptr);
+  EXPECT_STREQ(be->name(), "cpu");
+}
+
+}  // namespace
+}  // namespace semfpga

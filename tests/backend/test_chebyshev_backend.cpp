@@ -1,0 +1,178 @@
+/// Chebyshev smoother through the Backend seam: the preconditioner now
+/// routes every operator apply and vector pass through the same Backend as
+/// CG, so it inherits the fused qqt-in-operator sweep and the engine's
+/// thread plumbing.  Contract: bitwise parity fused-vs-split and under
+/// re-threading, for the standalone apply and for a full
+/// Chebyshev-preconditioned CG solve — and the Backend-based construction
+/// is bitwise identical to the PoissonSystem convenience constructor.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "backend/cpu_backend.hpp"
+#include "backend/fpga_sim_backend.hpp"
+#include "common/rng.hpp"
+#include "solver/cg.hpp"
+#include "solver/chebyshev.hpp"
+
+namespace semfpga {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+sem::Mesh make_mesh(int degree, int nel) {
+  sem::BoxMeshSpec spec;
+  spec.degree = degree;
+  spec.nelx = spec.nely = spec.nelz = nel;
+  return sem::box_mesh(spec);
+}
+
+aligned_vector<double> random_masked_field(const solver::PoissonSystem& system,
+                                           std::uint64_t seed) {
+  const std::size_t n = system.n_local();
+  aligned_vector<double> v(n);
+  SplitMix64 rng(seed);
+  std::vector<double> global(system.gs().n_global());
+  for (double& g : global) {
+    g = rng.uniform(-1.0, 1.0);
+  }
+  system.gs().gather(global, std::span<double>(v.data(), n));
+  for (std::size_t p = 0; p < n; ++p) {
+    v[p] *= system.mask()[p];
+  }
+  return v;
+}
+
+/// One smoother application under (fused, threads); z out.
+aligned_vector<double> smoother_output(const sem::Mesh& mesh, bool fused, int threads,
+                                       double lambda_max) {
+  solver::PoissonSystem system(mesh);
+  system.set_fused(fused);
+  system.set_threads(threads);
+  backend::CpuBackend be(system);
+  const solver::ChebyshevPreconditioner precond(be, 4, lambda_max);
+  const auto r = random_masked_field(system, 42);
+  const std::size_t n = system.n_local();
+  aligned_vector<double> z(n);
+  precond.apply(std::span<const double>(r.data(), n), std::span<double>(z.data(), n));
+  return z;
+}
+
+TEST(ChebyshevBackend, ApplyIsBitwiseInvariantUnderFusionAndThreads) {
+  const sem::Mesh mesh = make_mesh(3, 3);
+  // Fixed spectral bound so every configuration runs the identical
+  // polynomial (the estimate itself is covered below).
+  const double lambda_max = 2.5;
+  const auto base = smoother_output(mesh, /*fused=*/true, /*threads=*/1, lambda_max);
+  for (const bool fused : {false, true}) {
+    for (const int threads : {1, 2, 4}) {
+      const auto z = smoother_output(mesh, fused, threads, lambda_max);
+      ASSERT_EQ(base.size(), z.size());
+      for (std::size_t i = 0; i < z.size(); ++i) {
+        ASSERT_EQ(base[i], z[i]) << "fused=" << fused << " threads=" << threads
+                                 << " dof " << i;
+      }
+    }
+  }
+}
+
+TEST(ChebyshevBackend, LambdaEstimateIsBitwiseInvariantUnderFusionAndThreads) {
+  const sem::Mesh mesh = make_mesh(3, 3);
+  double base = 0.0;
+  for (const bool fused : {true, false}) {
+    for (const int threads : {1, 3}) {
+      solver::PoissonSystem system(mesh);
+      system.set_fused(fused);
+      system.set_threads(threads);
+      backend::CpuBackend be(system);
+      const double lambda = solver::estimate_lambda_max(be, 20, 7);
+      if (base == 0.0) {
+        base = lambda;
+        EXPECT_GT(base, 0.0);
+        continue;
+      }
+      ASSERT_EQ(base, lambda) << "fused=" << fused << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ChebyshevBackend, PreconditionedCgIsBitwiseInvariant) {
+  const sem::Mesh mesh = make_mesh(3, 3);
+
+  auto solve = [&](bool fused, int threads, bool via_system_ctor) {
+    solver::PoissonSystem system(mesh);
+    system.set_fused(fused);
+    system.set_threads(threads);
+    backend::CpuBackend be(system);
+    // Fixed bound: the estimate's invariance is covered separately.
+    std::unique_ptr<solver::ChebyshevPreconditioner> precond;
+    if (via_system_ctor) {
+      precond = std::make_unique<solver::ChebyshevPreconditioner>(system, 3, 2.5);
+    } else {
+      precond = std::make_unique<solver::ChebyshevPreconditioner>(be, 3, 2.5);
+    }
+
+    const std::size_t n = system.n_local();
+    aligned_vector<double> f(n), b(n), x(n, 0.0);
+    system.sample(
+        [](double px, double py, double pz) {
+          return 3.0 * kPi * kPi * std::sin(kPi * px) * std::sin(kPi * py) *
+                 std::sin(kPi * pz);
+        },
+        std::span<double>(f.data(), n));
+    system.assemble_rhs(std::span<const double>(f.data(), n),
+                        std::span<double>(b.data(), n));
+
+    solver::CgOptions options;
+    options.max_iterations = 15;
+    options.tolerance = 0.0;
+    options.record_history = true;
+    options.preconditioner = [&](std::span<const double> r, std::span<double> z) {
+      precond->apply(r, z);
+    };
+    const solver::CgResult result =
+        solver::solve_cg(be, std::span<const double>(b.data(), n),
+                         std::span<double>(x.data(), n), options);
+    return std::make_pair(result, x);
+  };
+
+  const auto [base_result, base_x] = solve(true, 1, false);
+  for (const bool fused : {false, true}) {
+    for (const int threads : {1, 2}) {
+      for (const bool via_system : {false, true}) {
+        const auto [result, x] = solve(fused, threads, via_system);
+        const std::string where = "fused=" + std::to_string(fused) +
+                                  " threads=" + std::to_string(threads) +
+                                  " via_system=" + std::to_string(via_system);
+        ASSERT_EQ(base_result.residual_history.size(),
+                  result.residual_history.size())
+            << where;
+        for (std::size_t i = 0; i < result.residual_history.size(); ++i) {
+          ASSERT_EQ(base_result.residual_history[i], result.residual_history[i])
+              << where << " iteration " << i;
+        }
+        for (std::size_t i = 0; i < x.size(); ++i) {
+          ASSERT_EQ(base_x[i], x[i]) << where << " dof " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ChebyshevBackend, ChargesModeledTimeOnTheFpgaSimBackend) {
+  const sem::Mesh mesh = make_mesh(3, 2);
+  solver::PoissonSystem system(mesh);
+  backend::FpgaSimBackend be(system, backend::FpgaSimOptions{});
+  const solver::ChebyshevPreconditioner precond(be, 4, 2.5);
+  const auto r = random_masked_field(system, 9);
+  const std::size_t n = system.n_local();
+  aligned_vector<double> z(n);
+  precond.apply(std::span<const double>(r.data(), n), std::span<double>(z.data(), n));
+  // order-1 applies of the operator inside the smoother, all charged.
+  EXPECT_EQ(be.timeline()->operator_applies, 3);
+  EXPECT_GT(be.timeline()->vector_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace semfpga

@@ -1,0 +1,268 @@
+/// CpuBackend is a thin adapter over the execution engine: a solve through
+/// it must be bitwise identical to the pre-backend direct-engine CG at
+/// every variant × threads × fused/split × preconditioner combination.
+/// The oracle below is a faithful copy of the direct-engine loop the
+/// repository shipped before the Backend seam (system.apply +
+/// segmented_reduce + parallel_for, identical pass structure), so any
+/// reassociation the adapter sneaked in would show up as a bit flip.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "backend/cpu_backend.hpp"
+#include "common/parallel.hpp"
+#include "solver/cg.hpp"
+
+namespace semfpga {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+sem::Mesh make_mesh(int degree, int nel, bool deformed = false) {
+  sem::BoxMeshSpec spec;
+  spec.degree = degree;
+  spec.nelx = spec.nely = spec.nelz = nel;
+  if (deformed) {
+    spec.deformation = sem::Deformation::kSine;
+    spec.deformation_amplitude = 0.03;
+  }
+  return sem::box_mesh(spec);
+}
+
+aligned_vector<double> make_rhs(const solver::PoissonSystem& system) {
+  const std::size_t n = system.n_local();
+  aligned_vector<double> f(n), b(n);
+  system.sample(
+      [](double x, double y, double z) {
+        return 3.0 * kPi * kPi * std::sin(kPi * x) * std::sin(kPi * y) *
+               std::sin(kPi * z);
+      },
+      std::span<double>(f.data(), n));
+  system.assemble_rhs(std::span<const double>(f.data(), n),
+                      std::span<double>(b.data(), n));
+  return b;
+}
+
+/// The pre-backend direct-engine CG, pass for pass (see PR 3's cg.cpp).
+solver::CgResult direct_engine_cg(const solver::PoissonSystem& system,
+                                  std::span<const double> b, std::span<double> x,
+                                  const solver::CgOptions& options) {
+  const std::size_t n = system.n_local();
+  const auto& diag = system.jacobi_diagonal();
+  const auto& c = system.gs().inv_multiplicity();
+  const int threads = options.threads < 0 ? system.threads() : options.threads;
+  const std::size_t seg = system.reduction_segment();
+  const bool identity_precond = !options.use_jacobi;
+
+  aligned_vector<double> r(n), p(n), w(n);
+  aligned_vector<double> z(identity_precond ? 0 : n);
+  solver::CgResult result;
+
+  system.apply(x, std::span<double>(w.data(), n));
+  double rr = segmented_reduce(n, seg, threads, [&](std::size_t begin, std::size_t end) {
+    double acc = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const double ri = b[i] - w[i];
+      r[i] = ri;
+      acc += ri * ri * c[i];
+    }
+    return acc;
+  });
+
+  auto precondition_dot = [&](const aligned_vector<double>& in) {
+    return segmented_reduce(n, seg, threads, [&](std::size_t begin, std::size_t end) {
+      double acc = 0.0;
+      for (std::size_t i = begin; i < end; ++i) {
+        const double zi = in[i] / diag[i];
+        z[i] = zi;
+        acc += in[i] * zi * c[i];
+      }
+      return acc;
+    });
+  };
+
+  double rho = identity_precond ? rr : precondition_dot(r);
+  const aligned_vector<double>& z_like = identity_precond ? r : z;
+  parallel_for(n, threads, [&](std::size_t i) { p[i] = z_like[i]; });
+
+  double res_norm = std::sqrt(std::abs(rr));
+  if (options.record_history) {
+    result.residual_history.push_back(res_norm);
+  }
+  result.final_residual = res_norm;
+  if (res_norm <= options.tolerance) {
+    result.converged = true;
+    return result;
+  }
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    system.apply(std::span<const double>(p.data(), n), std::span<double>(w.data(), n));
+    const double pw = system.weighted_dot(std::span<const double>(p.data(), n),
+                                          std::span<const double>(w.data(), n));
+    const double alpha = rho / pw;
+    rr = segmented_reduce(n, seg, threads, [&](std::size_t begin, std::size_t end) {
+      double acc = 0.0;
+      for (std::size_t i = begin; i < end; ++i) {
+        x[i] += alpha * p[i];
+        const double ri = r[i] - alpha * w[i];
+        r[i] = ri;
+        acc += ri * ri * c[i];
+      }
+      return acc;
+    });
+    result.iterations = it + 1;
+
+    res_norm = std::sqrt(std::abs(rr));
+    if (options.record_history) {
+      result.residual_history.push_back(res_norm);
+    }
+    result.final_residual = res_norm;
+    if (res_norm <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    const double rho_new = identity_precond ? rr : precondition_dot(r);
+    const double beta = rho_new / rho;
+    rho = rho_new;
+    parallel_for(n, threads,
+                 [&](std::size_t i) { p[i] = z_like[i] + beta * p[i]; });
+  }
+  return result;
+}
+
+TEST(CpuBackend, SolveIsBitwiseIdenticalToTheDirectEngine) {
+  const sem::Mesh mesh = make_mesh(3, 3, /*deformed=*/true);
+
+  for (const auto variant : {kernels::AxVariant::kReference, kernels::AxVariant::kFixed}) {
+    for (const bool fused : {false, true}) {
+      for (const int threads : {1, 3}) {
+        for (const bool jacobi : {false, true}) {
+          solver::PoissonSystem system(mesh);
+          system.set_ax_variant(variant);
+          system.set_fused(fused);
+          system.set_threads(threads);
+          const auto b = make_rhs(system);
+          const std::size_t n = system.n_local();
+
+          solver::CgOptions options;
+          options.max_iterations = 25;
+          options.tolerance = 0.0;
+          options.use_jacobi = jacobi;
+          options.record_history = true;
+          options.threads = threads;
+
+          aligned_vector<double> x_direct(n, 0.0);
+          const solver::CgResult direct = direct_engine_cg(
+              system, std::span<const double>(b.data(), n),
+              std::span<double>(x_direct.data(), n), options);
+
+          backend::CpuBackend be(system);
+          aligned_vector<double> x_backend(n, 0.0);
+          const solver::CgResult via_backend = solver::solve_cg(
+              be, std::span<const double>(b.data(), n),
+              std::span<double>(x_backend.data(), n), options);
+
+          const std::string where = std::string("variant=") +
+                                    kernels::ax_variant_name(variant) +
+                                    " fused=" + std::to_string(fused) +
+                                    " threads=" + std::to_string(threads) +
+                                    " jacobi=" + std::to_string(jacobi);
+          ASSERT_EQ(direct.iterations, via_backend.iterations) << where;
+          ASSERT_EQ(direct.residual_history.size(),
+                    via_backend.residual_history.size())
+              << where;
+          for (std::size_t i = 0; i < direct.residual_history.size(); ++i) {
+            ASSERT_EQ(direct.residual_history[i], via_backend.residual_history[i])
+                << where << " iteration " << i;
+          }
+          for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(x_direct[i], x_backend[i]) << where << " dof " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(CpuBackend, PrimitivesMatchTheSystemBitwise) {
+  const sem::Mesh mesh = make_mesh(4, 2);
+  solver::PoissonSystem system(mesh);
+  system.set_threads(2);
+  backend::CpuBackend be(system);
+  const std::size_t n = system.n_local();
+  EXPECT_EQ(be.n_local(), n);
+  EXPECT_EQ(be.n_global(), system.gs().n_global());
+  EXPECT_FALSE(be.collective());
+
+  aligned_vector<double> u(n);
+  system.sample([](double x, double y, double z) { return x * y + z * z + 0.5; },
+                std::span<double>(u.data(), n));
+
+  aligned_vector<double> w_sys(n), w_be(n);
+  system.apply(std::span<const double>(u.data(), n), std::span<double>(w_sys.data(), n));
+  be.apply(std::span<const double>(u.data(), n), std::span<double>(w_be.data(), n));
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(w_sys[i], w_be[i]) << "apply, dof " << i;
+  }
+
+  system.apply_unmasked(std::span<const double>(u.data(), n),
+                        std::span<double>(w_sys.data(), n));
+  be.apply_unmasked(std::span<const double>(u.data(), n),
+                    std::span<double>(w_be.data(), n));
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(w_sys[i], w_be[i]) << "apply_unmasked, dof " << i;
+  }
+
+  aligned_vector<double> q_sys = u, q_be = u;
+  system.gs().qqt(std::span<double>(q_sys.data(), n));
+  be.qqt(std::span<double>(q_be.data(), n));
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(q_sys[i], q_be[i]) << "qqt, dof " << i;
+  }
+
+  be.apply_mask(std::span<double>(q_be.data(), n));
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(q_sys[i] * system.mask()[i], q_be[i]) << "mask, dof " << i;
+  }
+
+  const double dot_sys = system.weighted_dot(std::span<const double>(u.data(), n),
+                                             std::span<const double>(w_sys.data(), n));
+  const double dot_be = be.dot(std::span<const double>(u.data(), n),
+                               std::span<const double>(w_sys.data(), n));
+  EXPECT_EQ(dot_sys, dot_be);
+}
+
+TEST(CpuBackend, VectorThreadOverrideIsBitwiseInvariant) {
+  const sem::Mesh mesh = make_mesh(3, 4);
+  solver::PoissonSystem system(mesh);
+  const auto b = make_rhs(system);
+  const std::size_t n = system.n_local();
+
+  solver::CgOptions options;
+  options.max_iterations = 20;
+  options.tolerance = 0.0;
+  options.use_jacobi = true;
+
+  aligned_vector<double> x_ref;
+  for (const int threads : {1, 2, 5}) {
+    backend::CpuBackend be(system, threads);
+    EXPECT_EQ(be.threads(), threads);
+    aligned_vector<double> x(n, 0.0);
+    const solver::CgResult result =
+        solver::solve_cg(be, std::span<const double>(b.data(), n),
+                         std::span<double>(x.data(), n), options);
+    EXPECT_EQ(result.iterations, 20);
+    if (x_ref.empty()) {
+      x_ref = x;
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(x_ref[i], x[i]) << "threads=" << threads << " dof " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace semfpga

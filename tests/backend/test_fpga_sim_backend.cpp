@@ -1,0 +1,178 @@
+/// FpgaSimBackend contract: bitwise-identical numerics to CpuBackend (it
+/// runs the same host engine), with a modeled timeline whose entries are
+/// exactly the standalone fpga::SemAccelerator estimate and the Section IV
+/// model::throughput prediction for the same (N, E, device) point — one
+/// prediction path, verifiable against the models it is built from.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "backend/cpu_backend.hpp"
+#include "backend/fpga_sim_backend.hpp"
+#include "fpga/accelerator.hpp"
+#include "model/kernel_cost.hpp"
+#include "model/throughput.hpp"
+#include "solver/cg.hpp"
+
+namespace semfpga {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr int kDegree = 3;
+constexpr int kNel = 3;
+
+sem::Mesh make_mesh() {
+  sem::BoxMeshSpec spec;
+  spec.degree = kDegree;
+  spec.nelx = spec.nely = spec.nelz = kNel;
+  return sem::box_mesh(spec);
+}
+
+aligned_vector<double> make_rhs(const solver::PoissonSystem& system) {
+  const std::size_t n = system.n_local();
+  aligned_vector<double> f(n), b(n);
+  system.sample(
+      [](double x, double y, double z) {
+        return 3.0 * kPi * kPi * std::sin(kPi * x) * std::sin(kPi * y) *
+               std::sin(kPi * z);
+      },
+      std::span<double>(f.data(), n));
+  system.assemble_rhs(std::span<const double>(f.data(), n),
+                      std::span<double>(b.data(), n));
+  return b;
+}
+
+TEST(FpgaSimBackend, NumericsAreBitwiseEqualToCpuBackend) {
+  const sem::Mesh mesh = make_mesh();
+
+  for (const bool fused : {false, true}) {
+    for (const int threads : {1, 2}) {
+      solver::PoissonSystem system(mesh);
+      system.set_fused(fused);
+      system.set_threads(threads);
+      const auto b = make_rhs(system);
+      const std::size_t n = system.n_local();
+
+      solver::CgOptions options;
+      options.max_iterations = 25;
+      options.tolerance = 0.0;
+      options.use_jacobi = true;
+      options.record_history = true;
+
+      backend::CpuBackend cpu(system);
+      aligned_vector<double> x_cpu(n, 0.0);
+      const solver::CgResult r_cpu =
+          solver::solve_cg(cpu, std::span<const double>(b.data(), n),
+                           std::span<double>(x_cpu.data(), n), options);
+
+      backend::FpgaSimBackend fpga(system, backend::FpgaSimOptions{});
+      aligned_vector<double> x_fpga(n, 0.0);
+      const solver::CgResult r_fpga =
+          solver::solve_cg(fpga, std::span<const double>(b.data(), n),
+                           std::span<double>(x_fpga.data(), n), options);
+
+      const std::string where = "fused=" + std::to_string(fused) +
+                                " threads=" + std::to_string(threads);
+      ASSERT_EQ(r_cpu.iterations, r_fpga.iterations) << where;
+      ASSERT_EQ(r_cpu.residual_history.size(), r_fpga.residual_history.size()) << where;
+      for (std::size_t i = 0; i < r_cpu.residual_history.size(); ++i) {
+        ASSERT_EQ(r_cpu.residual_history[i], r_fpga.residual_history[i])
+            << where << " iteration " << i;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(x_cpu[i], x_fpga[i]) << where << " dof " << i;
+      }
+      ASSERT_EQ(r_cpu.flops, r_fpga.flops) << where;
+    }
+  }
+}
+
+TEST(FpgaSimBackend, TimelineMatchesTheStandaloneAcceleratorEstimate) {
+  const sem::Mesh mesh = make_mesh();
+  solver::PoissonSystem system(mesh);
+  const auto b = make_rhs(system);
+  const std::size_t n = system.n_local();
+
+  solver::CgOptions options;
+  options.max_iterations = 10;
+  options.tolerance = 0.0;
+  options.use_jacobi = true;
+
+  backend::FpgaSimBackend be(system, backend::FpgaSimOptions{});
+  aligned_vector<double> x(n, 0.0);
+  const solver::CgResult result =
+      solver::solve_cg(be, std::span<const double>(b.data(), n),
+                       std::span<double>(x.data(), n), options);
+
+  const backend::FpgaTimeline* t = be.timeline();
+  ASSERT_NE(t, nullptr);
+
+  // One operator apply for the initial residual plus one per iteration.
+  EXPECT_EQ(t->operator_applies, result.iterations + 1);
+
+  // The per-apply charge is exactly the standalone accelerator estimate for
+  // the same (N, E, device) point.
+  const fpga::SemAccelerator acc(fpga::stratix10_gx2800(),
+                                 fpga::KernelConfig::banked(kDegree));
+  const fpga::RunStats per_apply = acc.estimate(system.geom().n_elements);
+  EXPECT_DOUBLE_EQ(t->per_apply_seconds, per_apply.seconds);
+  EXPECT_DOUBLE_EQ(t->per_apply_gflops, per_apply.gflops);
+  EXPECT_DOUBLE_EQ(t->clock_mhz, per_apply.clock_mhz);
+  EXPECT_NEAR(t->operator_seconds,
+              static_cast<double>(t->operator_applies) * per_apply.seconds,
+              1e-12 * t->operator_seconds);
+
+  // The recorded model point is exactly the Section IV throughput model at
+  // the paper's 300 MHz projection clock and single-dimension unroll.
+  const model::KernelCost cost = model::poisson_cost(kDegree);
+  const model::DeviceEnvelope env = fpga::stratix10_gx2800().envelope(300.0);
+  const model::Throughput tp =
+      model::max_throughput(cost, env, model::UnrollPolicy::kInnerDim);
+  EXPECT_DOUBLE_EQ(t->model_peak_gflops,
+                   model::peak_flops(cost, tp, env.clock_hz) / 1e9);
+
+  // Every CG pass was charged: 3 reductions + 1 vector pass per iteration
+  // plus the setup passes, all at external-memory speed, plus the PCIe
+  // movement of b, x-initial and x-final.
+  EXPECT_GT(t->vector_passes, 3 * result.iterations);
+  EXPECT_GT(t->vector_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(t->pcie_bytes, 3.0 * static_cast<double>(n) * 8.0);
+  EXPECT_GT(t->pcie_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(
+      t->total_seconds(),
+      t->operator_seconds + t->vector_seconds + t->gather_scatter_seconds +
+          t->pcie_seconds);
+  EXPECT_EQ(t->device, "Stratix 10 GX2800");
+}
+
+TEST(FpgaSimBackend, DevicePresetsChangeTheChargedTime) {
+  const sem::Mesh mesh = make_mesh();
+  solver::PoissonSystem system(mesh);
+  const auto b = make_rhs(system);
+  const std::size_t n = system.n_local();
+
+  solver::CgOptions options;
+  options.max_iterations = 5;
+  options.tolerance = 0.0;
+
+  auto modeled_total = [&](const std::string& device) {
+    backend::FpgaSimOptions fpga;
+    fpga.device = device;
+    backend::FpgaSimBackend be(system, fpga);
+    aligned_vector<double> x(n, 0.0);
+    (void)solver::solve_cg(be, std::span<const double>(b.data(), n),
+                           std::span<double>(x.data(), n), options);
+    return be.timeline()->total_seconds();
+  };
+
+  const double gx = modeled_total("gx2800");
+  const double ideal = modeled_total("ideal-cfd");
+  EXPECT_GT(gx, 0.0);
+  EXPECT_GT(ideal, 0.0);
+  // The hypothetical 1.2 TB/s device must beat the 76.8 GB/s board.
+  EXPECT_LT(ideal, gx);
+}
+
+}  // namespace
+}  // namespace semfpga
