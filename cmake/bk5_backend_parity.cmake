@@ -1,0 +1,55 @@
+# ctest driver: run the BK5 Helmholtz solve benchmark on the cpu and the
+# fpga-sim backend and diff the converged residuals.  The fpga-sim backend
+# computes the same bitwise-identical numerics on the host (it only charges
+# modeled time), so the res= field — printed at %.17g precision — must match
+# character for character, and the fpga-sim run must actually print a
+# modeled timeline.  Unknown backends must be rejected, matching the CLI
+# hardening.
+#
+# Usage: cmake -DBK5=<path-to-bk5_helmholtz> -P bk5_backend_parity.cmake
+
+if(NOT DEFINED BK5)
+  message(FATAL_ERROR "pass -DBK5=<path to bk5_helmholtz>")
+endif()
+
+foreach(backend cpu fpga-sim)
+  execute_process(
+    COMMAND ${BK5} --solve-degree 4 --solve-nel 3 --solve-iters 25 --threads 2
+            --backend=${backend}
+    OUTPUT_VARIABLE out_${backend}
+    ERROR_VARIABLE err_${backend}
+    RESULT_VARIABLE rc_${backend})
+  if(NOT rc_${backend} EQUAL 0)
+    message(FATAL_ERROR "bk5_helmholtz --backend=${backend} failed (${rc_${backend}}):\n"
+                        "${out_${backend}}\n${err_${backend}}")
+  endif()
+  string(REGEX MATCH "res=[^ ]+" res_${backend} "${out_${backend}}")
+  string(REGEX MATCH "iters=[^ ]+" iters_${backend} "${out_${backend}}")
+  if(res_${backend} STREQUAL "")
+    message(FATAL_ERROR "no res= field in bk5_helmholtz output:\n${out_${backend}}")
+  endif()
+  message(STATUS "--backend=${backend}: ${iters_${backend}} ${res_${backend}}")
+endforeach()
+
+if(NOT res_cpu STREQUAL res_fpga-sim)
+  message(FATAL_ERROR "cpu/fpga-sim BK5 residuals diverge at %.17g: "
+                      "${res_cpu} vs ${res_fpga-sim}")
+endif()
+if(NOT iters_cpu STREQUAL iters_fpga-sim)
+  message(FATAL_ERROR "cpu/fpga-sim BK5 iteration counts diverge: "
+                      "${iters_cpu} vs ${iters_fpga-sim}")
+endif()
+if(NOT out_fpga-sim MATCHES "modeled FPGA timeline")
+  message(FATAL_ERROR "--backend=fpga-sim printed no modeled timeline:\n${out_fpga-sim}")
+endif()
+
+execute_process(
+  COMMAND ${BK5} --solve-degree 2 --solve-nel 2 --solve-iters 1 --backend=warp-drive
+  OUTPUT_VARIABLE out_bad
+  ERROR_VARIABLE err_bad
+  RESULT_VARIABLE rc_bad)
+if(rc_bad EQUAL 0)
+  message(FATAL_ERROR "--backend=warp-drive was accepted:\n${out_bad}")
+endif()
+
+message(STATUS "cpu and fpga-sim BK5 solves agree: ${res_cpu}")

@@ -1,0 +1,161 @@
+/// Solves the 3-D Helmholtz problem behind CEED's bake-off kernel BK5
+/// end-to-end:
+///     -lap(u) + lambda u = f  on (0,1)^3,  u = 0 on the boundary,
+/// with the manufactured solution u = sin(pi x) sin(pi y) sin(pi z)
+/// (f = (3 pi^2 + lambda) u), and prints a p-refinement convergence table —
+/// the Helmholtz twin of examples/poisson_solve, running through the same
+/// Backend seam (--backend=fpga-sim adds the modeled-seconds column).
+///
+/// The run ends with the lambda -> 0 parity check: a HelmholtzSystem built
+/// with lambda = 0 must reproduce the PoissonSystem CG solve *bitwise* —
+/// identical residual history, iterate for iterate, identical solution —
+/// because the mass epilogue and the diagonal addend are skipped outright
+/// at zero.  The process exits non-zero if a single bit differs, which is
+/// what lets ctest run this binary as an end-to-end guard.
+///
+/// Usage: bk5_solve [--nel 2] [--max-degree 10] [--lambda 2.5]
+///                  [--backend cpu]
+
+#include <cmath>
+#include <cstdio>
+
+#include "backend/backend.hpp"
+#include "backend/fpga_sim_backend.hpp"
+#include "common/cli.hpp"
+#include "solver/cg.hpp"
+#include "solver/helmholtz_system.hpp"
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+using namespace semfpga;
+
+/// CG on `system` with the manufactured Helmholtz RHS for `lambda`.
+/// `modeled_seconds` (optional) receives the backend's timeline total.
+solver::CgResult solve(const solver::PoissonSystem& system, double lambda,
+                       const std::string& backend_name, aligned_vector<double>& x,
+                       double* modeled_seconds = nullptr) {
+  const std::size_t n = system.n_local();
+  aligned_vector<double> f(n), b(n);
+  system.sample(
+      [lambda](double px, double py, double pz) {
+        return (3.0 * kPi * kPi + lambda) * std::sin(kPi * px) *
+               std::sin(kPi * py) * std::sin(kPi * pz);
+      },
+      std::span<double>(f.data(), n));
+  system.assemble_rhs(std::span<const double>(f.data(), n),
+                      std::span<double>(b.data(), n));
+
+  solver::CgOptions options;
+  options.tolerance = 1e-12;
+  options.max_iterations = 2000;
+  options.use_jacobi = true;
+  options.record_history = true;
+
+  const auto be = backend::make(backend_name, system);
+  x.assign(n, 0.0);
+  const solver::CgResult result =
+      solver::solve_cg(*be, std::span<const double>(b.data(), n),
+                       std::span<double>(x.data(), n), options);
+  if (modeled_seconds != nullptr) {
+    const backend::FpgaTimeline* t = be->timeline();
+    *modeled_seconds = t != nullptr ? t->total_seconds() : 0.0;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv, std::vector<FlagSpec>{
+      {"nel", FlagSpec::Kind::kInt, "2", "elements per direction"},
+      {"max-degree", FlagSpec::Kind::kInt, "10", "largest polynomial degree"},
+      {"lambda", FlagSpec::Kind::kDouble, "2.5", "Helmholtz mass coefficient"},
+      {"backend", FlagSpec::Kind::kString, "cpu",
+       "execution backend: " + backend::known_backends_joined()},
+  });
+  if (const auto ec = cli.early_exit("bk5_solve",
+                                     "Spectral convergence of the BK5 Helmholtz "
+                                     "solve, plus the lambda->0 bitwise parity "
+                                     "check against the Poisson solve.")) {
+    return *ec;
+  }
+  const int nel = static_cast<int>(cli.get_int("nel", 2));
+  const int max_degree = static_cast<int>(cli.get_int("max-degree", 10));
+  const double lambda = cli.get_double("lambda", 2.5);
+  const std::string backend_name = cli.get("backend", "cpu");
+  backend::require_known(backend_name);
+  const bool modeled = backend_name != "cpu";
+
+  std::printf("p-convergence of the BK5 Helmholtz solve (-lap u + %g u = f) on a "
+              "%dx%dx%d mesh (backend: %s)\n\n",
+              lambda, nel, nel, nel, backend_name.c_str());
+  std::printf("%4s %10s %8s %12s %14s%s\n", "N", "DOFs", "iters", "residual",
+              "max error", modeled ? "   modeled s" : "");
+
+  for (int degree = 2; degree <= max_degree; ++degree) {
+    sem::BoxMeshSpec spec;
+    spec.degree = degree;
+    spec.nelx = spec.nely = spec.nelz = nel;
+    const sem::Mesh mesh = sem::box_mesh(spec);
+    solver::HelmholtzSystem system(mesh, lambda);
+
+    aligned_vector<double> x;
+    double modeled_seconds = 0.0;
+    const solver::CgResult result =
+        solve(system, lambda, backend_name, x, &modeled_seconds);
+
+    const std::size_t n = system.n_local();
+    aligned_vector<double> exact(n);
+    system.sample(
+        [](double px, double py, double pz) {
+          return std::sin(kPi * px) * std::sin(kPi * py) * std::sin(kPi * pz);
+        },
+        std::span<double>(exact.data(), n));
+    double err = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      err = std::max(err, std::abs(x[p] - exact[p]));
+    }
+    std::printf("%4d %10zu %8d %12.3e %14.6e", degree, n, result.iterations,
+                result.final_residual, err);
+    if (modeled) {
+      std::printf(" %11.4f", modeled_seconds);
+    }
+    std::printf("\n");
+  }
+
+  // --- lambda -> 0 parity: Helmholtz(0) must be bitwise the Poisson solve.
+  sem::BoxMeshSpec spec;
+  spec.degree = std::min(max_degree, 5);
+  spec.nelx = spec.nely = spec.nelz = nel;
+  const sem::Mesh mesh = sem::box_mesh(spec);
+  solver::HelmholtzSystem helmholtz0(mesh, 0.0);
+  solver::PoissonSystem poisson(mesh);
+
+  aligned_vector<double> x_h, x_p;
+  const solver::CgResult r_h = solve(helmholtz0, 0.0, backend_name, x_h);
+  const solver::CgResult r_p = solve(poisson, 0.0, backend_name, x_p);
+
+  bool parity = r_h.iterations == r_p.iterations &&
+                r_h.residual_history.size() == r_p.residual_history.size();
+  if (parity) {
+    for (std::size_t i = 0; i < r_h.residual_history.size(); ++i) {
+      parity = parity && r_h.residual_history[i] == r_p.residual_history[i];
+    }
+    for (std::size_t p = 0; p < x_h.size(); ++p) {
+      parity = parity && x_h[p] == x_p[p];
+    }
+  }
+  if (!parity) {
+    std::printf("\nlambda->0 parity FAILED: Helmholtz(0) res=%.17g vs Poisson "
+                "res=%.17g (iters %d vs %d)\n",
+                r_h.final_residual, r_p.final_residual, r_h.iterations,
+                r_p.iterations);
+    return 1;
+  }
+  std::printf("\nlambda->0 parity: OK — Helmholtz(lambda=0) reproduced the Poisson "
+              "solve bitwise (res=%.17g, %d iters, every iterate and DOF equal)\n",
+              r_p.final_residual, r_p.iterations);
+  return 0;
+}

@@ -37,6 +37,14 @@
 /// `make()` is the string registry the CLI (`--backend=cpu|fpga-sim`) and
 /// the runtime plumb through; `register_backend` is the seam future real
 /// device or simulated-latency backends plug into.
+///
+/// The kernel *kind* plumbs through the system, not the registry: factories
+/// take a `const solver::PoissonSystem&`, and a derived system (e.g.
+/// solver::HelmholtzSystem, the BK5 workload) dispatches its own operator
+/// apply and FLOP count virtually while cost-charging backends read
+/// `operator_kind()` to model the matching kernel — so `--backend=fpga-sim`
+/// charges model::helmholtz_cost for a Helmholtz solve with zero new
+/// registry entries.
 
 #include <cstdint>
 #include <functional>

@@ -1,7 +1,6 @@
 #include "backend/cpu_backend.hpp"
 
 #include "common/parallel.hpp"
-#include "kernels/ax.hpp"
 
 namespace semfpga::backend {
 
@@ -39,7 +38,9 @@ void CpuBackend::vector_pass(PassCost /*cost*/, PassBody body) {
 }
 
 std::int64_t CpuBackend::operator_flops() const {
-  return kernels::ax_flops(system_.ref().n1d(), system_.geom().n_elements);
+  // Virtual on the system: a HelmholtzSystem reports the BK5 kernel's
+  // count, so CgResult::flops stays honest for every operator kind.
+  return system_.operator_flops();
 }
 
 std::int64_t CpuBackend::global_dofs() const {

@@ -9,6 +9,10 @@
 /// therefore bitwise identical to the pre-backend solve at every
 /// variant × threads × fused/split combination — the contract
 /// tests/backend/test_cpu_backend.cpp pins down.
+///
+/// `system` may be any PoissonSystem-derived operator (e.g. a
+/// HelmholtzSystem): apply/apply_unmasked/operator_flops dispatch
+/// virtually, so the same adapter executes every operator kind.
 
 #include "backend/backend.hpp"
 #include "solver/poisson_system.hpp"

@@ -1,7 +1,6 @@
 #include "backend/distributed_backend.hpp"
 
 #include "common/check.hpp"
-#include "kernels/ax.hpp"
 
 namespace semfpga::backend {
 
@@ -12,8 +11,9 @@ DistributedBackend::DistributedBackend(runtime::RankSystem& rs,
                                        const FpgaSimOptions& fpga)
     : rs_(rs),
       name_("distributed[fpga-sim]"),
-      cost_(std::make_unique<FpgaCostModel>(fpga, rs.system().ref().n1d() - 1,
-                                            rs.system().geom().n_elements)) {
+      cost_(std::make_unique<FpgaCostModel>(
+          fpga, rs.system().ref().n1d() - 1, rs.system().geom().n_elements,
+          rs.system().operator_kind() == solver::OperatorKind::kHelmholtz)) {
   cost_->stamp(timeline_);
 }
 
@@ -83,7 +83,9 @@ void DistributedBackend::solve_end() {
 }
 
 std::int64_t DistributedBackend::operator_flops() const {
-  return kernels::ax_flops(rs_.system().ref().n1d(), rs_.global_elements());
+  // The system's virtual kind→FLOPs mapping at the *global* element count,
+  // so every rank (and every tier) reports the same CgResult::flops.
+  return rs_.system().operator_flops_for(rs_.global_elements());
 }
 
 std::int64_t DistributedBackend::global_dofs() const {

@@ -36,19 +36,35 @@ FpgaSimOptions fpga_sim_options(const MakeOptions& options) {
   return fpga;
 }
 
+namespace {
+
+/// One definition of "the banked kernel of this kind", so the backend's
+/// per-apply charges and the standalone modeled_apply() cannot drift apart.
+fpga::KernelConfig banked_config(int degree, bool helmholtz) {
+  fpga::KernelConfig config = fpga::KernelConfig::banked(degree);
+  if (helmholtz) {
+    config.kind = fpga::KernelKind::kHelmholtz;
+  }
+  return config;
+}
+
+}  // namespace
+
 FpgaCostModel::FpgaCostModel(const FpgaSimOptions& options, int degree,
-                             std::size_t n_elements)
+                             std::size_t n_elements, bool helmholtz)
     : device_(fpga_device_by_name(options.device)),
-      accelerator_(device_, fpga::KernelConfig::banked(degree)),
+      accelerator_(device_, banked_config(degree, helmholtz)),
       memory_(device_.memory, fpga::MemAllocation::kBanked),
       pcie_bytes_per_sec_(options.pcie_gbs * 1e9) {
   SEMFPGA_CHECK(options.pcie_gbs > 0.0, "PCIe bandwidth must be positive");
   accelerator_.set_use_measured_calibration(options.use_measured_calibration);
   per_apply_ = accelerator_.estimate(n_elements);
-  // The closed-form Section IV point for the same (N, device): evaluated at
-  // the paper's 300 MHz projection clock and the single-dimension unroll the
-  // synthesized kernels use — what bench/fig3 plots as "model@300MHz".
-  const model::KernelCost cost = model::poisson_cost(degree);
+  // The closed-form Section IV point for the same (N, kernel, device):
+  // evaluated at the paper's 300 MHz projection clock and the
+  // single-dimension unroll the synthesized kernels use — what bench/fig3
+  // plots as "model@300MHz".
+  const model::KernelCost cost =
+      helmholtz ? model::helmholtz_cost(degree) : model::poisson_cost(degree);
   const model::DeviceEnvelope env = device_.envelope(300.0);
   const model::Throughput t =
       model::max_throughput(cost, env, model::UnrollPolicy::kInnerDim);
@@ -114,11 +130,7 @@ void FpgaCostModel::stamp(FpgaTimeline& t) const {
 fpga::RunStats modeled_apply(const FpgaSimOptions& options, int degree,
                              std::size_t n_elements, bool helmholtz, bool steady) {
   const fpga::DeviceSpec device = fpga_device_by_name(options.device);
-  fpga::KernelConfig config = fpga::KernelConfig::banked(degree);
-  if (helmholtz) {
-    config.kind = fpga::KernelKind::kHelmholtz;
-  }
-  fpga::SemAccelerator accelerator(device, config);
+  fpga::SemAccelerator accelerator(device, banked_config(degree, helmholtz));
   accelerator.set_use_measured_calibration(options.use_measured_calibration);
   return steady ? accelerator.estimate_steady(n_elements)
                 : accelerator.estimate(n_elements);
@@ -127,7 +139,8 @@ fpga::RunStats modeled_apply(const FpgaSimOptions& options, int degree,
 FpgaSimBackend::FpgaSimBackend(const solver::PoissonSystem& system,
                                FpgaSimOptions options, int vector_threads)
     : CpuBackend(system, vector_threads),
-      cost_(options, system.ref().n1d() - 1, system.geom().n_elements) {
+      cost_(options, system.ref().n1d() - 1, system.geom().n_elements,
+            system.operator_kind() == solver::OperatorKind::kHelmholtz) {
   cost_.stamp(timeline_);
 }
 

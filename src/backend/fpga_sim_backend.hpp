@@ -9,7 +9,10 @@
 ///  * operator applies — the accelerator simulator's per-invocation
 ///    estimate (fpga::SemAccelerator::estimate: kernel cycles at the
 ///    measured/modeled fmax, external-memory transfer at the banked
-///    efficiency, invocation overhead),
+///    efficiency, invocation overhead) for the system's kernel kind —
+///    the BK5 Helmholtz kernel (one more geometric-factor stream, and
+///    the quantisation penalty it brings) when the adapted system is a
+///    solver::HelmholtzSystem,
 ///  * vector passes and reductions — streaming the pass's read/write
 ///    vectors through the device's external memory at its modeled steady
 ///    efficiency,
@@ -75,9 +78,15 @@ struct FpgaTimeline {
 /// Converts operations on (degree, n_elements) into modeled seconds on one
 /// device.  Shared by FpgaSimBackend and the distributed backend's per-rank
 /// charging; the benches consume it through modeled_apply().
+///
+/// `helmholtz` switches the accelerator to the BK5 Helmholtz kernel
+/// (fpga::KernelKind::kHelmholtz) and the Section IV peak to
+/// model::helmholtz_cost — the one extra geometric-factor stream whose
+/// traffic and quantisation penalty the paper discusses.
 class FpgaCostModel {
  public:
-  FpgaCostModel(const FpgaSimOptions& options, int degree, std::size_t n_elements);
+  FpgaCostModel(const FpgaSimOptions& options, int degree, std::size_t n_elements,
+                bool helmholtz = false);
 
   void charge_apply(FpgaTimeline& t) const;
   void charge_pass(FpgaTimeline& t, std::size_t n, PassCost cost) const;

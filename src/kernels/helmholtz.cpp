@@ -1,8 +1,31 @@
 #include "kernels/helmholtz.hpp"
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "kernels/fused_sweep.hpp"
 
 namespace semfpga::kernels {
+namespace {
+
+/// The mass-term tail over elements [e_begin, e_end): w += lambda * mass * u.
+/// This one function is the per-DOF arithmetic of the mass term everywhere —
+/// reference, split batch and fused chunk epilogue all call it, which is
+/// what makes every execution path bitwise identical per DOF.  At
+/// lambda == 0 it is skipped outright (adding +0.0 would still flip a -0.0
+/// stiffness output to +0.0), so the lambda → 0 limit is bitwise Poisson.
+void mass_epilogue(const HelmholtzArgs& args, std::size_t e_begin, std::size_t e_end) {
+  if (args.lambda == 0.0) {
+    return;
+  }
+  const std::size_t ppe = static_cast<std::size_t>(args.ax.n1d) * args.ax.n1d *
+                          args.ax.n1d;
+  const double lambda = args.lambda;
+  for (std::size_t p = e_begin * ppe; p < e_end * ppe; ++p) {
+    args.ax.w[p] += lambda * args.mass[p] * args.ax.u[p];
+  }
+}
+
+}  // namespace
 
 void HelmholtzArgs::validate() const {
   ax.validate();
@@ -12,14 +35,30 @@ void HelmholtzArgs::validate() const {
 
 void helmholtz_reference(const HelmholtzArgs& args) {
   args.validate();
-  // Stiffness part into w, then the mass term accumulated on top.  A single
-  // fused pass would save one sweep over w; kept separate for clarity — the
-  // benchmarked variants live in the FPGA/CPU kernel paths.
   ax_reference(args.ax);
-  const std::size_t n = args.ax.u.size();
-  for (std::size_t p = 0; p < n; ++p) {
-    args.ax.w[p] += args.lambda * args.mass[p] * args.ax.u[p];
-  }
+  mass_epilogue(args, 0, args.ax.n_elements);
+}
+
+void helmholtz_run(AxVariant variant, const HelmholtzArgs& args,
+                   const AxExecPolicy& policy) {
+  args.validate();
+  // Each worker runs one contiguous block of elements and its mass tail
+  // with private scratch; both the element bodies and the per-DOF mass
+  // updates are independent, so any partitioning is bitwise equivalent.
+  parallel_blocks(args.ax.n_elements, policy.threads,
+                  [&](std::size_t /*part*/, std::size_t begin, std::size_t end) {
+                    ax_run_range(variant, args.ax, begin, end);
+                    mass_epilogue(args, begin, end);
+                  });
+}
+
+void helmholtz_run_fused(AxVariant variant, const HelmholtzArgs& args,
+                         const AxFusedScatter& fused, const AxExecPolicy& policy) {
+  args.validate();
+  detail::fused_sweep(variant, args.ax, fused, policy,
+                      [&](std::size_t e_begin, std::size_t e_end) {
+                        mass_epilogue(args, e_begin, e_end);
+                      });
 }
 
 }  // namespace semfpga::kernels

@@ -8,10 +8,20 @@
 /// term; the resulting operator is
 ///     w = D^T G D u + lambda * M u,    M = diag(w_ijk |det J|)
 /// which is what Nek5000's Helmholtz solves use.
+///
+/// Execution mirrors the Ax engine exactly: `helmholtz_run` drives any
+/// variant of the ladder (including the compile-time `ax_fixed_n1d<N1D>`
+/// dispatch) over the element batch and adds the mass term as a per-range
+/// epilogue while the elements are cache-hot; `helmholtz_run_fused` is the
+/// fused qqt-in-operator sweep with the mass epilogue inserted between the
+/// element body and the Dirichlet zeroing.  Because the mass update is
+/// per-DOF independent and both paths call the identical epilogue, fused
+/// and split are bitwise equal at every variant and thread count — the
+/// same contract the Poisson operator carries.
 
 #include <span>
 
-#include "kernels/ax.hpp"
+#include "kernels/ax_dispatch.hpp"
 
 namespace semfpga::kernels {
 
@@ -24,13 +34,38 @@ struct HelmholtzArgs {
   void validate() const;
 };
 
-/// Reference implementation: one fused pass over the elements.
+/// Reference implementation: the Ax oracle plus the mass epilogue.
 void helmholtz_reference(const HelmholtzArgs& args);
 
-/// FLOPs per DOF: the Ax cost plus one multiply and one fused add-multiply
-/// for the mass term (12(N+1) + 17 when counting mul+add separately).
+/// Applies `variant` to the whole batch under `policy`, with the mass-term
+/// epilogue run per worker range (w += lambda * mass * u, skipped entirely
+/// at lambda == 0 so the operator is then *bitwise* the Ax engine).  Same
+/// determinism contract as ax_run: bitwise identical at any thread count.
+void helmholtz_run(AxVariant variant, const HelmholtzArgs& args,
+                   const AxExecPolicy& policy = {});
+
+/// Fused operator + direct-stiffness sweep of the Helmholtz operator:
+/// w = [mask] QQ^T (A_local u + lambda M u) as one element pass (engine
+/// body, mass epilogue, Dirichlet zeroing, all cache-hot per chunk) plus
+/// the surface-only owner-computes reduction.  Bitwise identical to the
+/// split helmholtz_run → qqt → mask path at every variant × thread count,
+/// by the same argument as ax_run_fused (see fused_sweep.hpp).
+void helmholtz_run_fused(AxVariant variant, const HelmholtzArgs& args,
+                         const AxFusedScatter& fused, const AxExecPolicy& policy = {});
+
+/// FLOPs per DOF: the Ax cost plus the mass term's two multiplies and one
+/// add (w += lambda * mass * u), i.e. 12(N+1) + 18 — matching
+/// model::helmholtz_cost's (adds + 1, mults + 2) ledger.
 [[nodiscard]] constexpr std::int64_t helmholtz_flops_per_dof(int n1d) noexcept {
-  return ax_flops_per_dof(n1d) + 2;
+  return ax_flops_per_dof(n1d) + 3;
+}
+
+/// Total FLOPs for a full Helmholtz apply (the Nekbone-style operator count
+/// the Backend seam reports for BK5 solves).
+[[nodiscard]] constexpr std::int64_t helmholtz_flops(int n1d,
+                                                     std::size_t n_elements) noexcept {
+  const std::int64_t ppe = static_cast<std::int64_t>(n1d) * n1d * n1d;
+  return helmholtz_flops_per_dof(n1d) * ppe * static_cast<std::int64_t>(n_elements);
 }
 
 }  // namespace semfpga::kernels

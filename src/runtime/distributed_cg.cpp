@@ -51,7 +51,10 @@ DistributedSolveResult solve_distributed_poisson(const DistributedSolveConfig& c
 
   const std::size_t ppe = global_mesh.points_per_element();
   spmd_run(fabric, config.threads, [&](const RankEnv& env) {
-    RankSystem rs(global_mesh, part, env.rank, fabric, env.team_threads);
+    const RankSystemOptions system_options{config.operator_kind,
+                                           config.helmholtz_lambda};
+    RankSystem rs(global_mesh, part, env.rank, fabric, env.team_threads,
+                  system_options);
     rs.system().set_ax_variant(config.ax_variant);
     rs.system().set_fused(config.fused);
 

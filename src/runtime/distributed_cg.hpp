@@ -47,13 +47,21 @@ namespace semfpga::runtime {
                                               std::span<double> x,
                                               const solver::CgOptions& options = {});
 
-/// Whole-problem configuration of the distributed Poisson solve.
+/// Whole-problem configuration of the distributed solve (Poisson by
+/// default; the BK5 Helmholtz operator via `operator_kind`).
 struct DistributedSolveConfig {
   sem::BoxMeshSpec spec;          ///< global box (spec.nelz >= ranks)
   int ranks = 1;                  ///< z-slab ranks (one thread team each)
   int threads = 1;                ///< total thread budget, split across ranks
   kernels::AxVariant ax_variant = kernels::AxVariant::kFixed;
   bool fused = true;              ///< fused qqt-in-operator sweep per rank
+  /// Operator each rank assembles over its slab: kPoisson, or kHelmholtz
+  /// with mass coefficient `helmholtz_lambda` (the distributed BK5 solve;
+  /// the interface-corrected Jacobi diagonal picks up the mass term, and
+  /// iterates stay bitwise identical to the single-rank HelmholtzSystem
+  /// solve at any ranks × threads combination).
+  solver::OperatorKind operator_kind = solver::OperatorKind::kPoisson;
+  double helmholtz_lambda = 1.0;
   /// Execution backend per rank: "cpu" runs the host engine, "fpga-sim"
   /// additionally charges modeled FPGA time for each rank's slab (one
   /// modeled device per rank — the paper's cluster-of-FPGAs projection).
@@ -83,7 +91,9 @@ struct DistributedSolveResult {
 
 /// Builds the global mesh, partitions it into z-slabs, runs the rank team
 /// and returns the gathered solution.  Bitwise identical to the
-/// single-rank PoissonSystem + solve_cg path for any ranks/threads.
+/// single-rank system + solve_cg path for any ranks/threads, for the
+/// Poisson and the Helmholtz operator alike (the name predates the
+/// operator_kind knob; it is the whole-problem driver for both).
 [[nodiscard]] DistributedSolveResult solve_distributed_poisson(
     const DistributedSolveConfig& config);
 

@@ -1,33 +1,49 @@
 #include "runtime/rank_system.hpp"
 
 #include "common/check.hpp"
+#include "solver/helmholtz_system.hpp"
 
 namespace semfpga::runtime {
+namespace {
+
+/// One system per rank, polymorphic on the operator kind.  The Helmholtz
+/// constructor folds lambda * M into the rank-local Jacobi diagonal before
+/// the interface correction below sums it across slab boundaries.
+std::unique_ptr<solver::PoissonSystem> make_rank_system(
+    const sem::Mesh& mesh, const RankSystemOptions& options) {
+  if (options.kind == solver::OperatorKind::kHelmholtz) {
+    return std::make_unique<solver::HelmholtzSystem>(mesh, options.helmholtz_lambda);
+  }
+  return std::make_unique<solver::PoissonSystem>(mesh);
+}
+
+}  // namespace
 
 RankSystem::RankSystem(const sem::Mesh& global_mesh, const solver::SlabPartition& part,
-                       int rank, Fabric& fabric, int team_threads)
+                       int rank, Fabric& fabric, int team_threads,
+                       const RankSystemOptions& options)
     : rank_(rank),
       fabric_(fabric),
       slab_(part.ranks.at(static_cast<std::size_t>(rank))),
       mesh_(sem::Mesh::extract_slab(global_mesh, slab_.z_begin, slab_.z_end)),
-      system_(mesh_),
-      halo_(mesh_, system_.gs(), fabric, rank) {
+      system_(make_rank_system(mesh_, options)),
+      halo_(mesh_, system_->gs(), fabric, rank) {
   SEMFPGA_CHECK(part.n_ranks == fabric.n_ranks(),
                 "partition and fabric disagree on the rank count");
   global_elements_ = static_cast<std::size_t>(part.spec.nelx) *
                      static_cast<std::size_t>(part.spec.nely) *
                      static_cast<std::size_t>(part.spec.nelz);
-  system_.set_threads(team_threads);
+  system_->set_threads(team_threads);
 
-  const std::size_t n = system_.n_local();
-  const auto& mask = system_.mask();
+  const std::size_t n = system_->n_local();
+  const auto& mask = system_->mask();
 
   // Globally corrected c weight: the copy counts of interface-plane DOFs
   // sum across the interface (exact integer-valued doubles), then invert —
   // the identical 1/m division the global GatherScatter performs.
   aligned_vector<double> mult(n);
   for (std::size_t p = 0; p < n; ++p) {
-    mult[p] = system_.gs().multiplicity()[p];
+    mult[p] = system_->gs().multiplicity()[p];
   }
   halo_.exchange_add(std::span<double>(mult.data(), n));
   inv_mult_.resize(n);
@@ -42,7 +58,7 @@ RankSystem::RankSystem(const sem::Mesh& global_mesh, const solver::SlabPartition
   // exchange would otherwise sum the two ranks' placeholder 1.0s).
   diagonal_.resize(n);
   for (std::size_t p = 0; p < n; ++p) {
-    diagonal_[p] = system_.jacobi_diagonal()[p];
+    diagonal_[p] = system_->jacobi_diagonal()[p];
   }
   halo_.exchange_add(std::span<double>(diagonal_.data(), n));
   for (std::size_t p = 0; p < n; ++p) {
@@ -70,7 +86,7 @@ void RankSystem::apply_mask(std::span<double> w) const {
 void RankSystem::apply(std::span<const double> u, std::span<double> w) {
   // Unmasked local apply (fused or split, per the system flag): interface
   // rows end up holding this rank's canonical partial sums.
-  system_.apply_unmasked(u, w);
+  system_->apply_unmasked(u, w);
   halo_.exchange_add(w);
   apply_mask(w);
 }
@@ -80,18 +96,18 @@ void RankSystem::assemble_rhs(std::span<const double> f_at_nodes,
   const std::size_t n = n_local();
   SEMFPGA_CHECK(f_at_nodes.size() == n && b.size() == n,
                 "field views must cover the rank slab");
-  const auto& mass = system_.geom().mass;
+  const auto& mass = system_->geom().mass;
   for (std::size_t p = 0; p < n; ++p) {
     b[p] = mass[p] * f_at_nodes[p];
   }
-  system_.gs().qqt(b);
+  system_->gs().qqt(b);
   halo_.exchange_add(b);
   apply_mask(b);
 }
 
 void RankSystem::sample(const std::function<double(double, double, double)>& f,
                         std::span<double> out) const {
-  system_.sample(f, out);
+  system_->sample(f, out);
 }
 
 double RankSystem::dot(std::span<const double> a, std::span<const double> b) {

@@ -3,8 +3,10 @@
 /// One rank's share of the distributed Poisson system.
 ///
 /// A RankSystem owns the rank's slab mesh (bitwise-extracted from the
-/// global box), a PoissonSystem over it, the halo exchanger, and the
-/// *globally corrected* weights a distributed solve needs:
+/// global box), an assembled system over it (PoissonSystem, or
+/// HelmholtzSystem for the distributed BK5 solve — RankSystemOptions picks),
+/// the halo exchanger, and the *globally corrected* weights a distributed
+/// solve needs:
 ///
 ///  * inv_multiplicity — 1 / (global copy count); the rank-local count
 ///    misses the neighbour's copies of interface-plane DOFs, so the counts
@@ -25,6 +27,7 @@
 /// single-rank segmented_reduce computes for its layers.
 
 #include <functional>
+#include <memory>
 #include <span>
 
 #include "common/parallel.hpp"
@@ -35,6 +38,16 @@
 
 namespace semfpga::runtime {
 
+/// Which assembled operator each rank builds over its slab.  The Helmholtz
+/// choice gives the distributed BK5 solve: the rank-local operator carries
+/// the mass term, and the interface-corrected Jacobi diagonal picks it up
+/// automatically (the halo exchange sums the neighbours' lambda*M element
+/// contributions exactly like the stiffness ones).
+struct RankSystemOptions {
+  solver::OperatorKind kind = solver::OperatorKind::kPoisson;
+  double helmholtz_lambda = 1.0;  ///< mass coefficient (kHelmholtz only)
+};
+
 /// Rank-local state of the distributed solve (one instance per rank, used
 /// only by that rank's thread).
 class RankSystem {
@@ -44,16 +57,16 @@ class RankSystem {
   /// partials with the slab neighbours, so all ranks must construct their
   /// RankSystem in the same program phase.
   RankSystem(const sem::Mesh& global_mesh, const solver::SlabPartition& part, int rank,
-             Fabric& fabric, int team_threads);
+             Fabric& fabric, int team_threads, const RankSystemOptions& options = {});
 
   [[nodiscard]] int rank() const noexcept { return rank_; }
   [[nodiscard]] const solver::RankSlab& slab() const noexcept { return slab_; }
   [[nodiscard]] const sem::Mesh& mesh() const noexcept { return mesh_; }
-  [[nodiscard]] solver::PoissonSystem& system() noexcept { return system_; }
-  [[nodiscard]] const solver::PoissonSystem& system() const noexcept { return system_; }
+  [[nodiscard]] solver::PoissonSystem& system() noexcept { return *system_; }
+  [[nodiscard]] const solver::PoissonSystem& system() const noexcept { return *system_; }
   [[nodiscard]] HaloExchange& halo() noexcept { return halo_; }
-  [[nodiscard]] std::size_t n_local() const noexcept { return system_.n_local(); }
-  [[nodiscard]] int threads() const noexcept { return system_.threads(); }
+  [[nodiscard]] std::size_t n_local() const noexcept { return system_->n_local(); }
+  [[nodiscard]] int threads() const noexcept { return system_->threads(); }
   /// Elements of the whole partitioned problem (all ranks together).
   [[nodiscard]] std::size_t global_elements() const noexcept { return global_elements_; }
 
@@ -88,7 +101,7 @@ class RankSystem {
   /// partials — bitwise the single-rank segmented_reduce.  Collective.
   template <class ChunkFn>
   [[nodiscard]] double allreduce(ChunkFn&& chunk_fn) {
-    segment_partials(n_local(), system_.reduction_segment(), threads(),
+    segment_partials(n_local(), system_->reduction_segment(), threads(),
                      std::forward<ChunkFn>(chunk_fn), partials_);
     return fabric_.allreduce_ordered(
         rank_, static_cast<std::size_t>(slab_.z_begin), partials_);
@@ -103,8 +116,9 @@ class RankSystem {
   Fabric& fabric_;
   solver::RankSlab slab_;
   std::size_t global_elements_ = 0;
-  sem::Mesh mesh_;  ///< the slab (PoissonSystem keeps a reference into it)
-  solver::PoissonSystem system_;
+  sem::Mesh mesh_;  ///< the slab (the system keeps a reference into it)
+  /// Owned polymorphically: PoissonSystem or HelmholtzSystem per `options`.
+  std::unique_ptr<solver::PoissonSystem> system_;
   HaloExchange halo_;
   aligned_vector<double> inv_mult_;
   aligned_vector<double> diagonal_;

@@ -1,0 +1,73 @@
+#include "solver/helmholtz_system.hpp"
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "kernels/helmholtz.hpp"
+
+namespace semfpga::solver {
+namespace {
+
+/// Validated before the base constructor does any work.
+double checked_lambda(double lambda) {
+  SEMFPGA_CHECK(lambda >= 0.0, "lambda must be non-negative to keep the operator SPD");
+  return lambda;
+}
+
+}  // namespace
+
+// The mass term rides into the one base-constructor diagonal build
+// (build_jacobi_diagonal skips the addend at lambda == 0, so the
+// lambda -> 0 diagonal — and hence every Jacobi-preconditioned iterate —
+// is bitwise the Poisson one).
+HelmholtzSystem::HelmholtzSystem(const sem::Mesh& mesh, double lambda)
+    : PoissonSystem(mesh, checked_lambda(lambda)), lambda_(lambda) {}
+
+std::int64_t HelmholtzSystem::operator_flops_for(
+    std::size_t n_elements) const noexcept {
+  return kernels::helmholtz_flops(ref().n1d(), n_elements);
+}
+
+kernels::HelmholtzArgs HelmholtzSystem::make_helmholtz_args(std::span<const double> u,
+                                                            std::span<double> w) const {
+  kernels::HelmholtzArgs args;
+  args.ax = make_ax_args(u, w);
+  args.mass = std::span<const double>(geom().mass.data(), geom().mass.size());
+  args.lambda = lambda_;
+  return args;
+}
+
+void HelmholtzSystem::apply(std::span<const double> u, std::span<double> w) const {
+  if (use_fused()) {
+    SEMFPGA_CHECK(u.size() == n_local() && w.size() == n_local(),
+                  "field views must cover the whole mesh");
+    kernels::helmholtz_run_fused(ax_variant_, make_helmholtz_args(u, w),
+                                 fused_view(/*masked=*/true),
+                                 kernels::AxExecPolicy{threads_});
+    return;
+  }
+  apply_unmasked(u, w);
+  parallel_for(w.size(), threads_, [&](std::size_t p) { w[p] *= mask_[p]; });
+}
+
+void HelmholtzSystem::apply_unmasked(std::span<const double> u,
+                                     std::span<double> w) const {
+  SEMFPGA_CHECK(u.size() == n_local() && w.size() == n_local(),
+                "field views must cover the whole mesh");
+  if (use_fused()) {
+    kernels::helmholtz_run_fused(ax_variant_, make_helmholtz_args(u, w),
+                                 fused_view(/*masked=*/false),
+                                 kernels::AxExecPolicy{threads_});
+    return;
+  }
+  if (has_custom_operator()) {
+    // A custom local operator replaces the whole element operator,
+    // stiffness and mass term alike — same seam PoissonSystem documents.
+    local_op_(u, w);
+  } else {
+    kernels::helmholtz_run(ax_variant_, make_helmholtz_args(u, w),
+                           kernels::AxExecPolicy{threads_});
+  }
+  gs_.qqt(w);
+}
+
+}  // namespace semfpga::solver

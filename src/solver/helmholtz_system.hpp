@@ -1,0 +1,59 @@
+#pragma once
+/// \file helmholtz_system.hpp
+/// The assembled (matrix-free) BK5 Helmholtz system on a mesh.
+///
+/// The Helmholtz analogue of PoissonSystem — the full solvable workload
+/// behind CEED's bake-off kernel BK5 (paper Section II: the local Poisson
+/// operator "plus one more geometric factor").  The assembled operator is
+///     w = mask( Q Q^T ( A_local u + lambda M u ) ),
+///     M = diag(w_ijk |det J|),
+/// which is what Nek5000's Helmholtz solves apply inside CG.
+///
+/// Everything except the element kernel and the Jacobi diagonal is
+/// inherited from PoissonSystem unchanged: the gather-scatter with its
+/// canonical layer-split order, the compiled Dirichlet-mask schedules, RHS
+/// assembly, the layer-segmented weighted dots.  The operator runs through
+/// kernels::helmholtz_run / helmholtz_run_fused — the Ax engine's variant
+/// ladder (including ax_fixed_n1d compile-time dispatch) with the mass
+/// term as a cache-hot per-chunk epilogue — so fused vs split and any
+/// thread count stay bitwise identical, and every backend::Backend tier
+/// (cpu, fpga-sim, distributed) solves the system through the one
+/// solver::solve_cg loop.  At lambda == 0 the mass epilogue and the
+/// diagonal addend are skipped outright, making the system bitwise
+/// indistinguishable from PoissonSystem — the parity check
+/// examples/bk5_solve pins down end-to-end.
+
+#include "kernels/helmholtz.hpp"
+#include "solver/poisson_system.hpp"
+
+namespace semfpga::solver {
+
+/// Matrix-free Helmholtz system with homogeneous Dirichlet conditions.
+class HelmholtzSystem : public PoissonSystem {
+ public:
+  /// Builds the Poisson machinery for `mesh`, then folds lambda * M into
+  /// the assembled Jacobi diagonal.  \pre lambda >= 0 (keeps the operator
+  /// SPD on the masked subspace).
+  explicit HelmholtzSystem(const sem::Mesh& mesh, double lambda = 1.0);
+
+  /// Mass-term coefficient of w = A u + lambda M u.
+  [[nodiscard]] double lambda() const noexcept { return lambda_; }
+
+  [[nodiscard]] OperatorKind operator_kind() const noexcept override {
+    return OperatorKind::kHelmholtz;
+  }
+  [[nodiscard]] std::int64_t operator_flops_for(
+      std::size_t n_elements) const noexcept override;
+
+  void apply(std::span<const double> u, std::span<double> w) const override;
+  void apply_unmasked(std::span<const double> u, std::span<double> w) const override;
+
+ private:
+  /// Engine operands: the Ax bundle plus the mass factor and lambda.
+  [[nodiscard]] kernels::HelmholtzArgs make_helmholtz_args(std::span<const double> u,
+                                                           std::span<double> w) const;
+
+  double lambda_;
+};
+
+}  // namespace semfpga::solver

@@ -8,7 +8,15 @@
 
 namespace semfpga::solver {
 
-PoissonSystem::PoissonSystem(const sem::Mesh& mesh)
+const char* operator_kind_name(OperatorKind kind) noexcept {
+  switch (kind) {
+    case OperatorKind::kPoisson: return "poisson";
+    case OperatorKind::kHelmholtz: return "helmholtz";
+  }
+  return "?";
+}
+
+PoissonSystem::PoissonSystem(const sem::Mesh& mesh, double diag_mass_lambda)
     : mesh_(mesh),
       ref_(mesh.degree()),
       geom_(sem::geometric_factors(mesh, ref_)),
@@ -23,20 +31,9 @@ PoissonSystem::PoissonSystem(const sem::Mesh& mesh)
     mask_[p] = bnd[static_cast<std::size_t>(ids[p])] != 0 ? 0.0 : 1.0;
   }
 
-  // Assembled Jacobi diagonal: local diagonals summed across elements.
-  aligned_vector<double> local_diag(n);
+  build_jacobi_diagonal(diag_mass_lambda);
+
   const std::size_t ppe = ref_.points_per_element();
-  for (std::size_t e = 0; e < geom_.n_elements; ++e) {
-    const auto d = sem::local_diagonal(ref_, geom_, e);
-    for (std::size_t p = 0; p < ppe; ++p) {
-      local_diag[e * ppe + p] = d[p];
-    }
-  }
-  gs_.qqt(local_diag);
-  diagonal_.resize(n);
-  for (std::size_t p = 0; p < n; ++p) {
-    diagonal_[p] = mask_[p] != 0.0 ? local_diag[p] : 1.0;
-  }
 
   // Compile the mask for the fused qqt-in-operator sweep: the mask value of
   // each shared CSR row, and the per-element list of multiplicity-1 DOFs
@@ -62,6 +59,34 @@ PoissonSystem::PoissonSystem(const sem::Mesh& mesh)
   // Default element operator: the execution engine on the fixed-order
   // kernel; variant and thread count stay adjustable after construction.
   set_ax_variant(kernels::AxVariant::kFixed);
+}
+
+void PoissonSystem::build_jacobi_diagonal(double mass_lambda) {
+  const std::size_t n = gs_.n_local();
+  // Assembled Jacobi diagonal: local diagonals (plus the mass term for
+  // Helmholtz-type systems) summed across elements in canonical order.
+  aligned_vector<double> local_diag(n);
+  const std::size_t ppe = ref_.points_per_element();
+  for (std::size_t e = 0; e < geom_.n_elements; ++e) {
+    const auto d = sem::local_diagonal(ref_, geom_, e);
+    for (std::size_t p = 0; p < ppe; ++p) {
+      local_diag[e * ppe + p] = d[p];
+    }
+  }
+  if (mass_lambda != 0.0) {
+    for (std::size_t p = 0; p < n; ++p) {
+      local_diag[p] += mass_lambda * geom_.mass[p];
+    }
+  }
+  gs_.qqt(local_diag);
+  diagonal_.resize(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    diagonal_[p] = mask_[p] != 0.0 ? local_diag[p] : 1.0;
+  }
+}
+
+std::int64_t PoissonSystem::operator_flops_for(std::size_t n_elements) const noexcept {
+  return kernels::ax_flops(ref_.n1d(), n_elements);
 }
 
 kernels::AxArgs PoissonSystem::make_ax_args(std::span<const double> u,

@@ -33,12 +33,33 @@ namespace semfpga::solver {
 /// FPGA-simulated kernel plugs in through the same seam.
 using LocalOperator = std::function<void(std::span<const double> u, std::span<double> w)>;
 
+/// Which assembled operator a system applies.  The Backend seam reads this
+/// to pick the matching kernel cost model (model::poisson_cost vs
+/// model::helmholtz_cost) without knowing the concrete system type.
+enum class OperatorKind {
+  kPoisson,    ///< w = mask(QQ^T(A_local u))
+  kHelmholtz,  ///< w = mask(QQ^T(A_local u + lambda M u)), BK5-style
+};
+
+/// Stable lowercase name ("poisson", "helmholtz") for logs and benches.
+[[nodiscard]] const char* operator_kind_name(OperatorKind kind) noexcept;
+
 /// Matrix-free Poisson system with homogeneous Dirichlet conditions on the
 /// domain boundary.
+///
+/// Also the polymorphic base of every assembled SEM system the Backend seam
+/// executes: derived operators (HelmholtzSystem) override the virtual
+/// apply/apply_unmasked pair plus the kind/FLOP descriptors, and inherit
+/// the gather-scatter, mask, reductions and RHS assembly unchanged — so a
+/// backend::Backend built over any derived system solves it through the
+/// one existing CG loop.
 class PoissonSystem {
  public:
   /// Builds factors, gather-scatter, mask and Jacobi diagonal for `mesh`.
-  explicit PoissonSystem(const sem::Mesh& mesh);
+  explicit PoissonSystem(const sem::Mesh& mesh) : PoissonSystem(mesh, 0.0) {}
+  virtual ~PoissonSystem() = default;
+  PoissonSystem(const PoissonSystem&) = delete;
+  PoissonSystem& operator=(const PoissonSystem&) = delete;
 
   [[nodiscard]] const sem::ReferenceElement& ref() const noexcept { return ref_; }
   [[nodiscard]] const sem::GeomFactors& geom() const noexcept { return geom_; }
@@ -76,11 +97,29 @@ class PoissonSystem {
 
   /// Full system operator: w = mask(QQ^T(A_local u)).  u must be continuous
   /// (equal local copies of shared DOFs); the result is continuous.
-  void apply(std::span<const double> u, std::span<double> w) const;
+  virtual void apply(std::span<const double> u, std::span<double> w) const;
 
   /// Assembled operator without the Dirichlet mask: w = QQ^T(A_local u).
   /// Used by boundary lifting, where the action on boundary DOFs is needed.
-  void apply_unmasked(std::span<const double> u, std::span<double> w) const;
+  virtual void apply_unmasked(std::span<const double> u, std::span<double> w) const;
+
+  /// Which operator apply() computes (kPoisson here; overridden by derived
+  /// systems).  Cost-charging backends key their kernel model off this.
+  [[nodiscard]] virtual OperatorKind operator_kind() const noexcept {
+    return OperatorKind::kPoisson;
+  }
+
+  /// Nekbone-style FLOPs of one operator apply over `n_elements` elements
+  /// of this kind — the single definition of the kind→FLOPs mapping, which
+  /// the distributed tier evaluates at the *global* element count so every
+  /// rank reports the same CgResult::flops.
+  [[nodiscard]] virtual std::int64_t operator_flops_for(
+      std::size_t n_elements) const noexcept;
+
+  /// FLOPs of one apply over the whole system (this system's elements).
+  [[nodiscard]] std::int64_t operator_flops() const noexcept {
+    return operator_flops_for(geom_.n_elements);
+  }
 
   /// Assembled right-hand side from a forcing sampled at the nodes:
   /// b = mask(QQ^T(mass .* f)).
@@ -106,7 +145,13 @@ class PoissonSystem {
     return gs_.dofs_per_layer();
   }
 
- private:
+ protected:
+  /// Shared constructor body: builds factors, gather-scatter, mask and the
+  /// assembled diagonal with `diag_mass_lambda` folded in — derived
+  /// Helmholtz-type systems pass their lambda here so the diagonal is
+  /// built exactly once.  \pre diag_mass_lambda >= 0.
+  PoissonSystem(const sem::Mesh& mesh, double diag_mass_lambda);
+
   /// Engine operands over the system's geometry for the input/output pair.
   [[nodiscard]] kernels::AxArgs make_ax_args(std::span<const double> u,
                                              std::span<double> w) const;
@@ -115,6 +160,17 @@ class PoissonSystem {
   [[nodiscard]] kernels::AxFusedScatter fused_view(bool masked) const;
   /// True when apply/apply_unmasked should take the fused sweep.
   [[nodiscard]] bool use_fused() const noexcept { return fused_ && !custom_op_; }
+  /// True when a custom local operator replaced the engine dispatch.
+  [[nodiscard]] bool has_custom_operator() const noexcept { return custom_op_; }
+
+  /// (Re)builds the assembled, masked Jacobi diagonal: per-element local
+  /// stiffness diagonals plus `mass_lambda` times the quadrature mass
+  /// factor (0 = the pure Poisson diagonal, and the addend is skipped
+  /// outright so the result is bitwise the pre-Helmholtz build), summed
+  /// across elements in the canonical qqt order, then pinned to exactly
+  /// 1.0 on masked DOFs.  Derived systems call this again with their mass
+  /// coefficient after the base constructor ran.
+  void build_jacobi_diagonal(double mass_lambda);
 
   const sem::Mesh& mesh_;
   sem::ReferenceElement ref_;

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "model/kernel_cost.hpp"
 #include "sem/geometry.hpp"
 
 namespace semfpga::kernels {
@@ -91,6 +92,7 @@ TEST(Helmholtz, RejectsNegativeLambda) {
   HelmWorkload h(2, 1.0);
   h.args.lambda = -1.0;
   EXPECT_THROW(helmholtz_reference(h.args), std::invalid_argument);
+  EXPECT_THROW(helmholtz_run(AxVariant::kFixed, h.args), std::invalid_argument);
 }
 
 TEST(Helmholtz, RejectsWrongMassSize) {
@@ -98,11 +100,83 @@ TEST(Helmholtz, RejectsWrongMassSize) {
   std::vector<double> short_mass(h.u.size() - 1, 1.0);
   h.args.mass = short_mass;
   EXPECT_THROW(helmholtz_reference(h.args), std::invalid_argument);
+  EXPECT_THROW(helmholtz_run(AxVariant::kReference, h.args), std::invalid_argument);
 }
 
-TEST(Helmholtz, CostAddsOneLoadAndTwoMults) {
-  EXPECT_EQ(helmholtz_flops_per_dof(8), ax_flops_per_dof(8) + 2);
+TEST(Helmholtz, RejectsBadStiffnessOperands) {
+  // validate() must also walk the embedded AxArgs: a truncated output view
+  // is the classic size mismatch.
+  HelmWorkload h(3, 1.0);
+  h.args.ax.w = std::span<double>(h.w.data(), h.w.size() - 1);
+  EXPECT_THROW(helmholtz_run(AxVariant::kFixed, h.args), std::invalid_argument);
 }
+
+TEST(Helmholtz, FlopsPerDofMatchesTheHandCount) {
+  // Hand count at N1D = 2 (degree 1): the Ax kernel does 6(N+1)+6 = 18 adds
+  // and 6(N+1)+9 = 21 mults per DOF; the mass tail w += lambda*mass*u adds
+  // 1 add and 2 mults.  Total (18+1) + (21+2) = 42.
+  EXPECT_EQ(helmholtz_flops_per_dof(2), 42);
+  // Same ledger at N1D = 8 (degree 7, the paper's workhorse):
+  // (6*8+6+1) + (6*8+9+2) = 55 + 59 = 114.
+  EXPECT_EQ(helmholtz_flops_per_dof(8), 114);
+  // And structurally: Ax plus the three mass-term FLOPs.
+  EXPECT_EQ(helmholtz_flops_per_dof(8), ax_flops_per_dof(8) + 3);
+}
+
+TEST(Helmholtz, FlopsPerDofAgreesWithTheModelLedger) {
+  // kernels::helmholtz_flops_per_dof(N+1) and model::helmholtz_cost(N) are
+  // two bookkeepers of the same kernel; they must not drift.
+  for (const int degree : {1, 3, 7, 11}) {
+    EXPECT_EQ(helmholtz_flops_per_dof(degree + 1),
+              model::helmholtz_cost(degree).flops_per_dof())
+        << "degree " << degree;
+  }
+}
+
+TEST(Helmholtz, TotalFlopsScaleWithElementsAndPoints) {
+  EXPECT_EQ(helmholtz_flops(8, 16), 114LL * 512 * 16);
+}
+
+class HelmEngine : public ::testing::TestWithParam<AxVariant> {};
+
+TEST_P(HelmEngine, ReferenceVariantIsBitwiseTheReferenceKernel) {
+  const AxVariant variant = GetParam();
+  HelmWorkload engine(5, 1.75);
+  HelmWorkload oracle(5, 1.75);
+  helmholtz_reference(oracle.args);
+  helmholtz_run(variant, engine.args, AxExecPolicy{1});
+  for (std::size_t p = 0; p < engine.w.size(); ++p) {
+    if (variant == AxVariant::kReference) {
+      ASSERT_EQ(engine.w[p], oracle.w[p]) << "dof " << p;
+    } else {
+      // Other variants reorder the stiffness contractions; the mass tail is
+      // identical, so agreement is to rounding of the Ax part.
+      ASSERT_NEAR(engine.w[p], oracle.w[p],
+                  1e-12 * std::max(1.0, std::abs(oracle.w[p])))
+          << "dof " << p;
+    }
+  }
+}
+
+TEST_P(HelmEngine, RethreadingIsBitwiseDeterministic) {
+  const AxVariant variant = GetParam();
+  HelmWorkload serial(4, 0.8);
+  helmholtz_run(variant, serial.args, AxExecPolicy{1});
+  for (const int threads : {2, 4, 0}) {
+    HelmWorkload threaded(4, 0.8);
+    helmholtz_run(variant, threaded.args, AxExecPolicy{threads});
+    for (std::size_t p = 0; p < serial.w.size(); ++p) {
+      ASSERT_EQ(threaded.w[p], serial.w[p])
+          << ax_variant_name(variant) << " dof " << p << " at " << threads
+          << " threads";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, HelmEngine, ::testing::ValuesIn(kAllAxVariants),
+                         [](const ::testing::TestParamInfo<AxVariant>& info) {
+                           return std::string(ax_variant_name(info.param));
+                         });
 
 }  // namespace
 }  // namespace semfpga::kernels
