@@ -7,12 +7,14 @@
 
 #include <cmath>
 #include <cstddef>
+#include <memory>
 
 #include "common/aligned.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "kernels/ax_dispatch.hpp"
 #include "sem/reference_element.hpp"
+#include "solver/helmholtz_system.hpp"
 #include "solver/poisson_system.hpp"
 
 namespace semfpga::bench {
@@ -62,12 +64,20 @@ inline double time_apply(kernels::AxVariant variant, const kernels::AxArgs& args
 }
 
 /// Assembled-operator operands for the fused-vs-split rungs: a real box
-/// mesh (nearest cube to `target_elements`) plus its PoissonSystem, so the
-/// timed apply is the solver's actual w = mask(QQ^T(A u)) hot path with a
-/// genuine gather-scatter schedule — not just the element kernel.
+/// mesh (nearest cube to `target_elements`) plus its assembled system, so
+/// the timed apply is the solver's actual w = mask(QQ^T(A u)) hot path with
+/// a genuine gather-scatter schedule — not just the element kernel.  The
+/// operator defaults to Poisson (BK3/Nekbone); kHelmholtz times the BK5
+/// operator H = A + lambda B through the same protocol.
 struct SystemOperands {
-  explicit SystemOperands(int degree, std::size_t target_elements)
-      : mesh(make_mesh(degree, target_elements)), system(mesh) {
+  explicit SystemOperands(int degree, std::size_t target_elements,
+                          solver::OperatorKind kind = solver::OperatorKind::kPoisson,
+                          double lambda = 1.0)
+      : mesh(make_mesh(degree, target_elements)),
+        system_ptr(kind == solver::OperatorKind::kHelmholtz
+                       ? std::make_unique<solver::HelmholtzSystem>(mesh, lambda)
+                       : std::make_unique<solver::PoissonSystem>(mesh)),
+        system(*system_ptr) {
     const std::size_t n = system.n_local();
     u.resize(n);
     w.assign(n, 0.0);
@@ -91,7 +101,8 @@ struct SystemOperands {
   }
 
   sem::Mesh mesh;
-  solver::PoissonSystem system;
+  std::unique_ptr<solver::PoissonSystem> system_ptr;
+  solver::PoissonSystem& system;
   aligned_vector<double> u, w;
 };
 

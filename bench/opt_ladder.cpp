@@ -22,6 +22,7 @@
 #include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "fpga/accelerator.hpp"
+#include "kernels/helmholtz.hpp"
 
 using namespace semfpga;
 
@@ -129,6 +130,20 @@ int main(int argc, char** argv) {
       rung.gflops = sys_flops / rung.seconds / 1e9;
       cpu_rungs.push_back(std::move(rung));
     }
+
+    // BK5 rung: the Helmholtz operator H = A + lambda B on the same mesh,
+    // fused — the stiffness sweep plus the collocation mass term, the
+    // operator the paper's BK5 benchmark measures.
+    bench::SystemOperands hops(degree, elements, solver::OperatorKind::kHelmholtz);
+    const double bk5_flops =
+        static_cast<double>(kernels::helmholtz_flops(degree + 1, hops.n_elements()));
+    hops.system.set_threads(sweep_threads);
+    hops.system.set_fused(true);
+    CpuRung bk5{"BK5 helmholtz fused x" + std::to_string(sweep_threads), "helmholtz",
+                sweep_threads};
+    bk5.seconds = bench::time_system_apply(hops, 0.2);
+    bk5.gflops = bk5_flops / bk5.seconds / 1e9;
+    cpu_rungs.push_back(std::move(bk5));
   }
 
   if (cli.has("json")) {

@@ -7,6 +7,9 @@
 /// Usage: nekbone_proxy [--degree 7] [--nel 8] [--iters 100] [--fpga]
 ///                      [--threads 1] [--ranks 1] [--variant fixed] [--fused 1]
 ///                      [--backend cpu] [--fpga-device gx2800]
+///                      [--helmholtz] [--lambda 1.0]
+///                      [--faults crash@r2:i5] [--checkpoint-every 4]
+///                      [--fabric-timeout 30]
 /// --threads 0 uses every hardware thread; --variant picks the Ax schedule
 /// (reference | mxm | mxm_blocked | fixed); --fused=0 runs the split
 /// Ax -> qqt -> mask passes instead of the fused qqt-in-operator sweep;
@@ -14,7 +17,11 @@
 /// exchange, deterministic allreduce); --backend=fpga-sim runs the same
 /// solve while charging modeled FPGA time (kernel cycles, memory bandwidth,
 /// PCIe) so the proxy prints measured CPU and modeled FPGA timelines from
-/// one code path.  All of these knobs produce bitwise identical iterates.
+/// one code path.  --helmholtz switches the operator to the BK5 Helmholtz
+/// system H = A + lambda B; --faults injects scripted faults
+/// (runtime/fault.hpp grammar) and --checkpoint-every enables the
+/// supervised solve with rollback/shrink recovery.  All of these knobs
+/// produce bitwise identical iterates (faults excepted, by design).
 
 #include <cstdio>
 
@@ -23,6 +30,7 @@
 #include "common/cli.hpp"
 #include "fpga/accelerator.hpp"
 #include "kernels/ax_dispatch.hpp"
+#include "runtime/fault.hpp"
 #include "solver/nekbone.hpp"
 
 int main(int argc, char** argv) {
@@ -42,6 +50,20 @@ int main(int argc, char** argv) {
        "modeled device of --backend=fpga-sim (gx2800|agilex-027|stratix10-10m|"
        "stratix10-10m-enhanced|ideal-cfd)"},
       {"fpga", FlagSpec::Kind::kBool, "", "estimate the FPGA-accelerated Ax"},
+      {"helmholtz", FlagSpec::Kind::kBool, "",
+       "solve the BK5 Helmholtz system H = A + lambda B instead of Poisson"},
+      {"lambda", FlagSpec::Kind::kDouble, "1.0",
+       "Helmholtz mass coefficient (requires --helmholtz)"},
+      {"faults", FlagSpec::Kind::kString, "",
+       "scripted fault plan, e.g. crash@r2:i5,nan@r1:i3 "
+       "(kinds: crash|delay|drop|nan|bitflip|stall)"},
+      {"checkpoint-every", FlagSpec::Kind::kInt, "0",
+       "checkpoint period in CG iterations (0 = off; > 0 or --faults runs the "
+       "supervised solve)"},
+      {"fault-retries", FlagSpec::Kind::kInt, "3",
+       "recovery attempts before the supervised solve gives up"},
+      {"fabric-timeout", FlagSpec::Kind::kDouble, "30",
+       "deadline in seconds of blocking fabric calls (<= 0 waits forever)"},
   });
   if (const auto ec = cli.early_exit("nekbone_proxy",
                                      "Nekbone-equivalent proxy: fixed-iteration CG on "
@@ -59,11 +81,29 @@ int main(int argc, char** argv) {
   config.fused = cli.get_int("fused", 1) != 0;
   config.backend = cli.get("backend", "cpu");
   config.backend_options.fpga_device = cli.get("fpga-device", "gx2800");
+  if (cli.has("helmholtz")) {
+    config.operator_kind = solver::OperatorKind::kHelmholtz;
+    config.helmholtz_lambda = cli.get_double("lambda", 1.0);
+  } else if (cli.has("lambda")) {
+    std::fprintf(stderr, "nekbone_proxy: --lambda requires --helmholtz\n");
+    return 2;
+  }
+  config.faults = cli.get("faults", "");
+  config.checkpoint_every = static_cast<int>(cli.get_int("checkpoint-every", 0));
+  config.fault_retries = static_cast<int>(cli.get_int("fault-retries", 3));
+  config.fabric_timeout_seconds = cli.get_double("fabric-timeout", 30.0);
+  if (config.checkpoint_every < 0) {
+    std::fprintf(stderr, "nekbone_proxy: --checkpoint-every must be >= 0\n");
+    return 2;
+  }
   // Unknown backend/device names must error out like any other bad flag
   // value, before any work runs (even when --backend=cpu would ignore the
   // device — a silently-accepted typo reads as a preset taking effect).
   backend::require_known(config.backend);
   (void)backend::fpga_device_by_name(config.backend_options.fpga_device);
+  // Same rule for the fault plan: a typo'd script must fail here, not fire
+  // half a plan mid-solve.
+  (void)runtime::parse_fault_plan(config.faults);
 
   const solver::NekboneResult result = solver::run_nekbone(config);
   std::printf("%s\n", solver::format_result(config, result).c_str());

@@ -61,6 +61,10 @@ namespace semfpga::solver {
 class PoissonSystem;
 }
 
+namespace semfpga::runtime {
+class RankSystem;
+}
+
 namespace semfpga::backend {
 
 /// Non-owning callable reference: lets the virtual pass interfaces accept
@@ -125,6 +129,9 @@ class Backend {
   /// backends reject solver features that would need their own distributed
   /// completion (custom preconditioners, global gathers).
   [[nodiscard]] virtual bool collective() const noexcept { return false; }
+  /// This backend's rank within its fabric; 0 on single-rank backends.
+  /// The resilient solve uses it to address per-rank fault coordinates.
+  [[nodiscard]] virtual int rank() const noexcept { return 0; }
 
   /// Assembled, masked Jacobi diagonal (1 on masked DOFs).
   [[nodiscard]] virtual const aligned_vector<double>& jacobi_diagonal() const = 0;
@@ -217,5 +224,37 @@ void require_known(const std::string& name);
 /// Registers (or replaces) a factory under `name` — the plug-in seam for
 /// future real-device or simulated-latency backends.
 void register_backend(const std::string& name, Factory factory);
+
+/// Factory of one rank's backend in the distributed tier: adapts the
+/// rank's RankSystem (not owned; outlives the backend) to the Backend
+/// interface.  The returned backend must be collective() and route its
+/// reduce() through the rank system's ordered allreduce, or the
+/// distributed CG's determinism contract breaks.
+using RankFactory = std::function<std::unique_ptr<Backend>(runtime::RankSystem&,
+                                                           const MakeOptions&)>;
+
+/// Registered rank-backend names, in registration order.  "cpu" and
+/// "fpga-sim" are built in (both construct a DistributedBackend; the
+/// latter charges modeled FPGA time per rank).
+[[nodiscard]] std::vector<std::string> known_rank_backends();
+
+/// `known_rank_backends()` joined with '|' — for CLI help strings.
+[[nodiscard]] std::string known_rank_backends_joined();
+
+/// Throws std::invalid_argument (listing the known names) unless `name`
+/// is a registered rank backend.  The distributed drivers validate the
+/// configured backend with this *before* spawning the rank team.
+void require_known_rank(const std::string& name);
+
+/// Creates the named rank backend over `rs`.  Called once per rank inside
+/// the SPMD body; throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<Backend> make_rank(const std::string& name,
+                                                 runtime::RankSystem& rs,
+                                                 const MakeOptions& options = {});
+
+/// Registers (or replaces) a rank-backend factory under `name`, so custom
+/// backends participate in the distributed tier exactly like the built-in
+/// ones ("--backend=<name> --ranks=N" end to end).
+void register_rank_backend(const std::string& name, RankFactory factory);
 
 }  // namespace semfpga::backend

@@ -38,6 +38,7 @@ class DistributedBackend final : public Backend {
   [[nodiscard]] std::size_t n_local() const noexcept override { return rs_.n_local(); }
   [[nodiscard]] int threads() const noexcept override { return rs_.threads(); }
   [[nodiscard]] bool collective() const noexcept override { return true; }
+  [[nodiscard]] int rank() const noexcept override { return rs_.rank(); }
 
   [[nodiscard]] const aligned_vector<double>& jacobi_diagonal() const override {
     return rs_.jacobi_diagonal();

@@ -1,10 +1,15 @@
 #include "runtime/distributed_cg.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
+#include <memory>
+#include <utility>
 
 #include "backend/distributed_backend.hpp"
 #include "common/check.hpp"
 #include "common/timer.hpp"
+#include "runtime/fault.hpp"
 #include "solver/partition.hpp"
 
 namespace semfpga::runtime {
@@ -32,15 +37,28 @@ solver::CgResult distributed_cg(RankSystem& rs, std::span<const double> b,
   return distributed_cg(backend, b, x, options);
 }
 
+namespace {
+
+/// Global element-local offset of a rank's slab within the gathered x.
+std::size_t slab_offset(const DistributedSolveConfig& config,
+                        const solver::SlabPartition& part, int rank,
+                        std::size_t ppe) {
+  return static_cast<std::size_t>(part.ranks[static_cast<std::size_t>(rank)].z_begin) *
+         static_cast<std::size_t>(config.spec.nelx) *
+         static_cast<std::size_t>(config.spec.nely) * ppe;
+}
+
+}  // namespace
+
 DistributedSolveResult solve_distributed_poisson(const DistributedSolveConfig& config) {
   SEMFPGA_CHECK(config.ranks >= 1, "need at least one rank");
   SEMFPGA_CHECK(static_cast<bool>(config.forcing), "forcing must be callable");
-  SEMFPGA_CHECK(config.backend == "cpu" || config.backend == "fpga-sim",
-                "distributed backend must be 'cpu' or 'fpga-sim'");
+  backend::require_known_rank(config.backend);
 
   const sem::Mesh global_mesh = sem::box_mesh(config.spec);
   const solver::SlabPartition part = solver::partition_slabs(config.spec, config.ranks);
-  InProcessFabric fabric(config.ranks, static_cast<std::size_t>(config.spec.nelz));
+  InProcessFabric fabric(config.ranks, static_cast<std::size_t>(config.spec.nelz),
+                         config.fabric_timeout_seconds);
 
   DistributedSolveResult out;
   out.ranks = config.ranks;
@@ -64,23 +82,17 @@ DistributedSolveResult solve_distributed_poisson(const DistributedSolveConfig& c
     rs.sample(config.forcing, std::span<double>(f.data(), n));
     rs.assemble_rhs(std::span<const double>(f.data(), n), std::span<double>(b.data(), n));
 
-    // Each rank executes through its own backend instance; "fpga-sim"
-    // charges modeled time for this rank's slab on its own modeled device.
-    std::unique_ptr<backend::DistributedBackend> be;
-    if (config.backend == "fpga-sim") {
-      be = std::make_unique<backend::DistributedBackend>(
-          rs, backend::fpga_sim_options(config.backend_options));
-    } else {
-      be = std::make_unique<backend::DistributedBackend>(rs);
-    }
+    // Each rank executes through its own backend instance, resolved from
+    // the rank-backend registry — "fpga-sim" charges modeled time for this
+    // rank's slab on its own modeled device, and custom registered
+    // backends plug into the same seam.
+    const std::unique_ptr<backend::Backend> be =
+        backend::make_rank(config.backend, rs, config.backend_options);
 
     // x slices alias the global output vector directly: slabs are
     // contiguous, disjoint element ranges, so ranks never share a cache
     // line beyond their (read-only) inputs.
-    const std::size_t offset =
-        static_cast<std::size_t>(part.ranks[static_cast<std::size_t>(env.rank)].z_begin) *
-        static_cast<std::size_t>(config.spec.nelx) *
-        static_cast<std::size_t>(config.spec.nely) * ppe;
+    const std::size_t offset = slab_offset(config, part, env.rank, ppe);
     std::span<double> x(out.x.data() + offset, n);
 
     fabric.barrier(env.rank);
@@ -97,6 +109,256 @@ DistributedSolveResult solve_distributed_poisson(const DistributedSolveConfig& c
     }
   });
   return out;
+}
+
+namespace {
+
+/// Globally consistent checkpoint of the gathered solution vector.
+///
+/// Consistency problem: InProcessFabric::barrier throws for *every* rank
+/// once poisoned — even a rank whose barrier semantically completed — so
+/// a single-buffer "write slices, barrier, done" checkpoint could be torn
+/// by a crash landing mid-commit.  The fix is a commit protocol over two
+/// alternating buffers keyed on the checkpoint iteration:
+///
+///   1. every rank writes its disjoint slice into buffer (it / K) % 2,
+///   2. barrier — all slices visible,
+///   3. rank 0 alone publishes the {buffer, iteration} marker,
+///   4. barrier — nobody overwrites a buffer a peer still reads.
+///
+/// A crash before step 3 leaves the marker on the previous, fully written
+/// buffer; a crash after step 3 means the new buffer was already complete
+/// (step 2 proved every slice landed).  Either way the marker always
+/// names a consistent global x.  The driver reads the committed state
+/// after spmd_run returns (thread join orders the reads; no atomics
+/// needed, and the slices are disjoint — TSan-clean).
+class GlobalCheckpoint {
+ public:
+  GlobalCheckpoint(std::size_t n_global, int checkpoint_every)
+      : every_(checkpoint_every > 0 ? checkpoint_every : 1),
+        buffers_{aligned_vector<double>(n_global, 0.0),
+                 aligned_vector<double>(n_global, 0.0)} {}
+
+  /// Collective commit of one rank's slice at global iteration `iteration`.
+  void commit(Fabric& fabric, int rank, int iteration,
+              std::span<const double> slice, std::size_t offset) {
+    const std::size_t which =
+        static_cast<std::size_t>(iteration / every_) % buffers_.size();
+    std::copy(slice.begin(), slice.end(),
+              buffers_[which].begin() + static_cast<std::ptrdiff_t>(offset));
+    fabric.barrier(rank);
+    if (rank == 0) {
+      committed_which_ = which;
+      committed_iteration_ = iteration;
+    }
+    fabric.barrier(rank);
+  }
+
+  [[nodiscard]] int committed_iteration() const noexcept {
+    return committed_iteration_;
+  }
+  [[nodiscard]] const aligned_vector<double>& committed_x() const {
+    return buffers_[committed_which_];
+  }
+
+ private:
+  int every_;
+  std::array<aligned_vector<double>, 2> buffers_;
+  std::size_t committed_which_ = 0;
+  int committed_iteration_ = 0;  ///< 0 = the initial guess (buffer 0 zeros)
+};
+
+}  // namespace
+
+ResilientSolveResult solve_distributed_resilient(const ResilientSolveConfig& config) {
+  const DistributedSolveConfig& base = config.base;
+  SEMFPGA_CHECK(base.ranks >= 1, "need at least one rank");
+  SEMFPGA_CHECK(static_cast<bool>(base.forcing), "forcing must be callable");
+  SEMFPGA_CHECK(config.checkpoint_every >= 0, "checkpoint_every must be >= 0");
+  SEMFPGA_CHECK(config.max_retries >= 0, "max_retries must be >= 0");
+  SEMFPGA_CHECK(config.min_ranks >= 1 && config.min_ranks <= base.ranks,
+                "min_ranks must lie in [1, ranks]");
+  backend::require_known_rank(base.backend);
+
+  const sem::Mesh global_mesh = sem::box_mesh(config.base.spec);
+  const std::size_t n_global = global_mesh.n_local();
+  const std::size_t ppe = global_mesh.points_per_element();
+
+  FaultInjector injector(parse_fault_plan(config.faults));
+  // An unscripted stall must outlive every peer's deadline, or it would
+  // degrade into an undetected delay.
+  injector.set_default_stall_seconds(
+      base.fabric_timeout_seconds > 0.0 ? base.fabric_timeout_seconds * 2.0 + 0.05
+                                        : 0.5);
+
+  ResilientSolveResult out;
+  out.solve.n_local = n_global;
+  out.solve.x.assign(n_global, 0.0);
+  solver::ResilienceReport& report = out.report;
+
+  // The driver-level recovery state: the best globally committed solution
+  // and how many iterations produced it.
+  aligned_vector<double> best_x(n_global, 0.0);
+  int iterations_done = 0;
+  int ranks = base.ranks;
+  int retries = 0;
+
+  const auto merge_injector_events = [&report, &injector] {
+    for (const FaultEvent& event : injector.events()) {
+      report.events.push_back(event.to_string());
+    }
+  };
+
+  for (;;) {
+    const solver::SlabPartition part = solver::partition_slabs(base.spec, ranks);
+    InProcessFabric fabric(ranks, static_cast<std::size_t>(base.spec.nelz),
+                           base.fabric_timeout_seconds);
+    fabric.set_fault_injector(injector.empty() ? nullptr : &injector);
+    injector.begin_attempt(ranks, iterations_done);
+
+    GlobalCheckpoint gck(n_global, config.checkpoint_every);
+    std::copy(best_x.begin(), best_x.end(), out.solve.x.begin());
+
+    // Restore the driver recovery state from whatever this attempt managed
+    // to commit before failing.  gck is attempt-local, so a fresh attempt
+    // with no commits keeps the previous best.
+    const auto restore_committed = [&] {
+      if (gck.committed_iteration() > iterations_done) {
+        iterations_done = gck.committed_iteration();
+        std::copy(gck.committed_x().begin(), gck.committed_x().end(), best_x.begin());
+        ++report.checkpoints_restored;
+      }
+    };
+
+    solver::CgResult attempt_cg;
+    solver::ResilienceReport attempt_report;
+    double attempt_modeled = 0.0;
+    try {
+      spmd_run(fabric, base.threads, [&](const RankEnv& env) {
+        const RankSystemOptions system_options{base.operator_kind,
+                                               base.helmholtz_lambda};
+        RankSystem rs(global_mesh, part, env.rank, fabric, env.team_threads,
+                      system_options);
+        rs.system().set_ax_variant(base.ax_variant);
+        rs.system().set_fused(base.fused);
+
+        const std::size_t n = rs.n_local();
+        aligned_vector<double> f(n);
+        aligned_vector<double> b(n);
+        rs.sample(base.forcing, std::span<double>(f.data(), n));
+        rs.assemble_rhs(std::span<const double>(f.data(), n),
+                        std::span<double>(b.data(), n));
+        const std::unique_ptr<backend::Backend> be =
+            backend::make_rank(base.backend, rs, base.backend_options);
+
+        const std::size_t offset = slab_offset(base, part, env.rank, ppe);
+        std::span<double> x(out.solve.x.data() + offset, n);
+
+        solver::ResilientCgOptions rc;
+        rc.cg = base.cg;
+        // A restart resumes mid-trajectory: only the remaining budget.
+        rc.cg.max_iterations = std::max(base.cg.max_iterations - iterations_done, 0);
+        rc.checkpoint_every = config.checkpoint_every;
+        rc.max_retries = config.max_retries;
+        rc.retry_backoff_seconds = config.retry_backoff_seconds;
+        rc.divergence_factor = config.divergence_factor;
+        rc.stagnation_window = config.stagnation_window;
+        rc.iteration_offset = iterations_done;
+        rc.injector = injector.empty() ? nullptr : &injector;
+        rc.on_checkpoint = [&](const solver::CgCheckpoint& ckpt) {
+          gck.commit(fabric, env.rank, iterations_done + ckpt.iteration,
+                     std::span<const double>(ckpt.x.data(), ckpt.x.size()), offset);
+        };
+
+        fabric.barrier(env.rank);
+        Timer timer;
+        const solver::ResilientCgResult solved = solver::solve_cg_resilient(
+            *be, std::span<const double>(b.data(), n), x, rc);
+        fabric.barrier(env.rank);
+        if (env.rank == 0) {
+          out.solve.solve_seconds += timer.seconds();
+          attempt_cg = solved.cg;
+          attempt_report = solved.report;
+          if (const backend::FpgaTimeline* t = be->timeline()) {
+            attempt_modeled = t->total_seconds();
+          }
+        }
+      });
+    } catch (const InjectedRankFailure& crash) {
+      restore_committed();
+      report.events.push_back(std::string("rank loss: ") + crash.what());
+      if (ranks > config.min_ranks) {
+        // Shrink-and-resolve: re-partition over the survivors and re-enter
+        // from the last committed checkpoint.  Budgeted by min_ranks, not
+        // max_retries — each shrink makes forward progress in team size.
+        --ranks;
+        ++report.degraded_ranks;
+        report.events.push_back("shrank to " + std::to_string(ranks) +
+                                " ranks; resuming from iteration " +
+                                std::to_string(iterations_done));
+        continue;
+      }
+      if (retries < config.max_retries) {
+        ++retries;
+        ++report.retries;
+        report.events.push_back("at the min_ranks floor; retrying in place from "
+                                "iteration " +
+                                std::to_string(iterations_done));
+        continue;
+      }
+      merge_injector_events();
+      throw solver::ResilienceExhaustedError(
+          std::string("rank loss exhausted the recovery budget: ") + crash.what(),
+          std::move(report));
+    } catch (const FabricTimeoutError& timeout) {
+      restore_committed();
+      ++report.timeouts;
+      report.events.push_back(std::string("fabric timeout: ") + timeout.what());
+      if (retries < config.max_retries) {
+        ++retries;
+        ++report.retries;
+        report.events.push_back("retrying from iteration " +
+                                std::to_string(iterations_done));
+        continue;
+      }
+      merge_injector_events();
+      throw solver::ResilienceExhaustedError(
+          std::string("fabric timeouts exhausted the retry budget: ") +
+              timeout.what(),
+          std::move(report));
+    } catch (const solver::ResilienceExhaustedError& exhausted) {
+      // The per-rank numerical budget ran out inside the solve; fold the
+      // rank-level report into the driver's and rethrow.
+      const solver::ResilienceReport& inner = exhausted.report();
+      report.checkpoints_taken += inner.checkpoints_taken;
+      report.checkpoints_restored += inner.checkpoints_restored;
+      report.numerical_faults += inner.numerical_faults;
+      report.retries += inner.retries;
+      report.events.insert(report.events.end(), inner.events.begin(),
+                           inner.events.end());
+      merge_injector_events();
+      throw solver::ResilienceExhaustedError(exhausted.what(), std::move(report));
+    }
+
+    // Success: fold the final attempt's rank-level report into the
+    // driver's (failed attempts already folded what they salvaged).
+    report.checkpoints_taken += attempt_report.checkpoints_taken;
+    report.checkpoints_restored += attempt_report.checkpoints_restored;
+    report.numerical_faults += attempt_report.numerical_faults;
+    report.retries += attempt_report.retries;
+    report.events.insert(report.events.end(), attempt_report.events.begin(),
+                         attempt_report.events.end());
+    merge_injector_events();
+
+    out.solve.cg = attempt_cg;
+    out.solve.cg.iterations += iterations_done;
+    out.solve.ranks = ranks;
+    out.solve.threads_per_rank = team_threads(base.threads, ranks);
+    out.solve.halo_dofs = part.max_halo_bytes() / 8;
+    out.solve.modeled_seconds = attempt_modeled;
+    out.final_ranks = ranks;
+    return out;
+  }
 }
 
 }  // namespace semfpga::runtime

@@ -22,9 +22,11 @@
 #include <string>
 
 #include "backend/backend.hpp"
+#include "runtime/fabric.hpp"
 #include "runtime/rank_system.hpp"
 #include "runtime/spmd.hpp"
 #include "solver/cg.hpp"
+#include "solver/resilient_cg.hpp"
 
 namespace semfpga::runtime {
 
@@ -62,11 +64,18 @@ struct DistributedSolveConfig {
   /// solve at any ranks × threads combination).
   solver::OperatorKind operator_kind = solver::OperatorKind::kPoisson;
   double helmholtz_lambda = 1.0;
-  /// Execution backend per rank: "cpu" runs the host engine, "fpga-sim"
-  /// additionally charges modeled FPGA time for each rank's slab (one
-  /// modeled device per rank — the paper's cluster-of-FPGAs projection).
-  /// Numerics are bitwise identical either way.
+  /// Execution backend per rank, resolved through the rank-backend
+  /// registry (backend::make_rank): "cpu" runs the host engine,
+  /// "fpga-sim" additionally charges modeled FPGA time for each rank's
+  /// slab (one modeled device per rank — the paper's cluster-of-FPGAs
+  /// projection), and backend::register_rank_backend plugs custom
+  /// backends into this same path.  Numerics are bitwise identical for
+  /// any conforming backend.
   std::string backend = "cpu";
+  /// Deadline of every blocking fabric call; <= 0 waits forever.  A hung
+  /// or dead peer then surfaces as FabricTimeoutError instead of a
+  /// deadlock (see fabric.hpp).
+  double fabric_timeout_seconds = InProcessFabric::kDefaultTimeoutSeconds;
   /// Device/link options of the "fpga-sim" backend.
   backend::MakeOptions backend_options;
   solver::CgOptions cg;           ///< threads field is ignored (teams rule)
@@ -96,5 +105,53 @@ struct DistributedSolveResult {
 /// operator_kind knob; it is the whole-problem driver for both).
 [[nodiscard]] DistributedSolveResult solve_distributed_poisson(
     const DistributedSolveConfig& config);
+
+/// Whole-problem configuration of the *resilient* distributed solve: the
+/// plain solve plus scripted faults, checkpointing, and recovery budgets.
+struct ResilientSolveConfig {
+  DistributedSolveConfig base;
+  /// Scripted fault plan (fault.hpp grammar, e.g. "crash@r2:i5"); "" runs
+  /// fault-free — and then the solve is bitwise identical to
+  /// solve_distributed_poisson (checkpoints are pure copies).
+  std::string faults;
+  /// Global checkpoint period in CG iterations; 0 disables checkpointing
+  /// (recovery then restarts from the initial guess).
+  int checkpoint_every = 8;
+  /// Recovery attempts (numerical rollbacks, timeout or same-size crash
+  /// restarts) before giving up.  Rank shrinks are budgeted separately by
+  /// min_ranks.
+  int max_retries = 3;
+  /// First backoff sleep before a retry; doubles per retry.
+  double retry_backoff_seconds = 0.0;
+  /// Residual-divergence threshold of the numerical guard.
+  double divergence_factor = 1e8;
+  /// Consecutive non-improving iterations before a stagnation fault;
+  /// 0 = off.
+  int stagnation_window = 0;
+  /// Shrink-and-resolve floor: a crash with more than this many surviving
+  /// ranks re-partitions over ranks-1; at the floor it retries in place.
+  int min_ranks = 1;
+};
+
+/// Outcome of a resilient distributed solve.
+struct ResilientSolveResult {
+  DistributedSolveResult solve;  ///< cg.iterations counts all committed work
+  solver::ResilienceReport report;
+  int final_ranks = 1;           ///< ranks the solve finished on
+};
+
+/// Supervised whole-problem driver: partitions, launches the rank team
+/// with a bounded-wait fabric and the scripted FaultInjector, commits a
+/// globally consistent checkpoint of x every checkpoint_every iterations,
+/// and recovers: numerical faults roll back inside the solve
+/// (solver::solve_cg_resilient); a rank crash shrinks the partition over
+/// the survivors and re-enters from the last committed checkpoint; a
+/// fabric timeout retries at the same size.  Throws
+/// solver::ResilienceExhaustedError (carrying the report) when the
+/// budgets run out.  With no faults scripted the result is bitwise
+/// identical to solve_distributed_poisson at every ranks × threads ×
+/// backend combination.
+[[nodiscard]] ResilientSolveResult solve_distributed_resilient(
+    const ResilientSolveConfig& config);
 
 }  // namespace semfpga::runtime

@@ -1,14 +1,81 @@
 #include "runtime/fabric.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "runtime/fault.hpp"
 
 namespace semfpga::runtime {
+namespace {
 
-InProcessFabric::InProcessFabric(int n_ranks, std::size_t reduce_slots)
+/// Pacing of one bounded blocking wait: spin-yield while the wait is
+/// short (the common case — peers are at most one CG pass apart), then
+/// escalate to exponentially growing micro-sleeps so a long wait burns no
+/// CPU.  The deadline clock only starts with the first sleep; the spin
+/// phase is microseconds and would only add noise to the attribution.
+class BoundedWait {
+ public:
+  explicit BoundedWait(double timeout_seconds) noexcept
+      : timeout_seconds_(timeout_seconds) {}
+
+  /// One pacing step; returns false once the deadline has expired.
+  [[nodiscard]] bool pause() {
+    if (spins_ < kSpinIterations) {
+      ++spins_;
+      std::this_thread::yield();
+      return true;
+    }
+    if (!started_) {
+      start_ = std::chrono::steady_clock::now();
+      started_ = true;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us_));
+    sleep_us_ = std::min(sleep_us_ * 2, kMaxSleepUs);
+    if (timeout_seconds_ <= 0.0) {
+      return true;  // infinite deadline
+    }
+    waited_seconds_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    return waited_seconds_ < timeout_seconds_;
+  }
+
+  [[nodiscard]] double waited_seconds() const noexcept { return waited_seconds_; }
+
+ private:
+  static constexpr int kSpinIterations = 1024;
+  static constexpr long kMaxSleepUs = 1000;
+
+  double timeout_seconds_;
+  int spins_ = 0;
+  long sleep_us_ = 10;
+  bool started_ = false;
+  double waited_seconds_ = 0.0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+FabricTimeoutError::FabricTimeoutError(const std::string& site, int rank, int peer,
+                                       double waited_seconds)
+    : std::runtime_error("fabric timeout: rank " + std::to_string(rank) +
+                         " waited " + std::to_string(waited_seconds) + "s in " +
+                         site +
+                         (peer >= 0 ? " (peer rank " + std::to_string(peer) + ")"
+                                    : std::string()) +
+                         " — peer hung, dead, or message lost"),
+      site_(site),
+      rank_(rank),
+      peer_(peer),
+      waited_seconds_(waited_seconds) {}
+
+InProcessFabric::InProcessFabric(int n_ranks, std::size_t reduce_slots,
+                                 double timeout_seconds)
     : n_ranks_(n_ranks),
+      timeout_seconds_(timeout_seconds),
       edges_(static_cast<std::size_t>(n_ranks) * static_cast<std::size_t>(n_ranks)),
       slots_(reduce_slots, 0.0) {
   SEMFPGA_CHECK(n_ranks >= 1, "fabric needs at least one rank");
@@ -20,18 +87,24 @@ void InProcessFabric::check_poison() const {
   }
 }
 
-void InProcessFabric::poison() noexcept {
-  poisoned_.store(true, std::memory_order_release);
-  // Wake every possible waiter: the edge waits key off seq, the barrier
-  // and allreduce waits key off the epoch.  Bumping seq by 2 keeps its
-  // parity (harmless — the protocol is over anyway) while guaranteeing
-  // the value changed, so atomic::wait cannot re-block.
-  for (Edge& e : edges_) {
-    e.seq.fetch_add(2, std::memory_order_acq_rel);
-    e.seq.notify_all();
+void InProcessFabric::throw_timeout(const char* site, int rank, int peer,
+                                    double waited_seconds) {
+  {
+    const std::lock_guard<std::mutex> lock(timeout_mutex_);
+    timeout_events_.push_back(FabricTimeoutEvent{site, rank, peer, waited_seconds});
   }
-  barrier_epoch_.fetch_add(1, std::memory_order_acq_rel);
-  barrier_epoch_.notify_all();
+  throw FabricTimeoutError(site, rank, peer, waited_seconds);
+}
+
+std::vector<FabricTimeoutEvent> InProcessFabric::timeout_events() const {
+  const std::lock_guard<std::mutex> lock(timeout_mutex_);
+  return timeout_events_;
+}
+
+void InProcessFabric::poison() noexcept {
+  // Every blocking wait is a bounded poll that re-checks this flag within
+  // one sleep quantum (<= 1 ms), so setting it is all a wake-up takes.
+  poisoned_.store(true, std::memory_order_release);
 }
 
 InProcessFabric::Edge& InProcessFabric::edge(int from, int to) {
@@ -43,24 +116,37 @@ InProcessFabric::Edge& InProcessFabric::edge(int from, int to) {
 
 void InProcessFabric::send(int from, int to, std::span<const double> data) {
   Edge& e = edge(from, to);
+  BoundedWait wait(timeout_seconds_);
   std::uint32_t seq = e.seq.load(std::memory_order_acquire);
   while ((seq & 1u) != 0) {  // previous message not yet consumed
     check_poison();
-    e.seq.wait(seq, std::memory_order_acquire);
+    if (!wait.pause()) {
+      throw_timeout("send", from, to, wait.waited_seconds());
+    }
     seq = e.seq.load(std::memory_order_acquire);
   }
   check_poison();
   e.payload.assign(data.begin(), data.end());
+  if (injector_ != nullptr &&
+      !injector_->on_send(from, to,
+                          std::span<double>(e.payload.data(), e.payload.size()))) {
+    // Scripted drop: the message vanishes "on the wire" — the slot stays
+    // empty, so the receiver's bounded wait turns the loss into a typed
+    // FabricTimeoutError instead of a silent deadlock.
+    return;
+  }
   e.seq.store(seq + 1, std::memory_order_release);
-  e.seq.notify_one();
 }
 
 void InProcessFabric::recv(int from, int to, std::span<double> out) {
   Edge& e = edge(from, to);
+  BoundedWait wait(timeout_seconds_);
   std::uint32_t seq = e.seq.load(std::memory_order_acquire);
   while ((seq & 1u) == 0) {  // nothing posted yet
     check_poison();
-    e.seq.wait(seq, std::memory_order_acquire);
+    if (!wait.pause()) {
+      throw_timeout("recv", to, from, wait.waited_seconds());
+    }
     seq = e.seq.load(std::memory_order_acquire);
   }
   check_poison();
@@ -68,10 +154,11 @@ void InProcessFabric::recv(int from, int to, std::span<double> out) {
                 "halo message size disagrees between sender and receiver");
   std::copy(e.payload.begin(), e.payload.end(), out.begin());
   e.seq.store(seq + 1, std::memory_order_release);
-  e.seq.notify_one();
 }
 
-void InProcessFabric::barrier(int /*rank*/) {
+void InProcessFabric::barrier(int rank) { barrier_at(rank, "barrier"); }
+
+void InProcessFabric::barrier_at(int rank, const char* site) {
   if (n_ranks_ == 1) {
     return;
   }
@@ -82,12 +169,14 @@ void InProcessFabric::barrier(int /*rank*/) {
   if (barrier_count_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_ranks_) {
     barrier_count_.store(0, std::memory_order_relaxed);
     barrier_epoch_.fetch_add(1, std::memory_order_acq_rel);
-    barrier_epoch_.notify_all();
   } else {
+    BoundedWait wait(timeout_seconds_);
     std::uint32_t seen = epoch;
     while (seen == epoch) {
       check_poison();
-      barrier_epoch_.wait(seen, std::memory_order_acquire);
+      if (!wait.pause()) {
+        throw_timeout(site, rank, -1, wait.waited_seconds());
+      }
       seen = barrier_epoch_.load(std::memory_order_acquire);
     }
     check_poison();
@@ -98,8 +187,13 @@ double InProcessFabric::allreduce_ordered(int rank, std::size_t slot_begin,
                                           std::span<const double> contribution) {
   SEMFPGA_CHECK(slot_begin + contribution.size() <= slots_.size(),
                 "allreduce contribution overflows the slot vector");
+  if (injector_ != nullptr) {
+    // Scripted stall: this rank sleeps past the peers' deadline, so every
+    // other rank times out in the entry barrier below.
+    injector_->on_collective(rank);
+  }
   std::copy(contribution.begin(), contribution.end(), slots_.begin() + slot_begin);
-  barrier(rank);  // all contributions visible
+  barrier_at(rank, "allreduce");  // all contributions visible
   // Every rank folds the identical canonical slot vector through the same
   // fixed tree — redundantly, which is how the in-process transport spells
   // "allreduce": the combine order never depends on the rank count.  The
@@ -108,7 +202,7 @@ double InProcessFabric::allreduce_ordered(int rank, std::size_t slot_begin,
   thread_local std::vector<double> fold;
   fold.assign(slots_.begin(), slots_.end());
   const double result = tree_fold(fold);
-  barrier(rank);  // nobody re-posts slots while a rank is still reading
+  barrier_at(rank, "allreduce");  // nobody re-posts slots while a rank is still reading
   return result;
 }
 

@@ -19,16 +19,25 @@
 /// `InProcessFabric` implements the interface with lock-free
 /// single-producer/single-consumer edge slots (one atomic sequence number
 /// per directed edge: even = empty, odd = full), a sense-reversing counter
-/// barrier, and a shared slot table for the ordered allreduce — all built
-/// on C++20 atomic wait/notify, no mutexes anywhere on the exchange path.
+/// barrier, and a shared slot table for the ordered allreduce.  Every
+/// blocking call runs a bounded spin-then-sleep wait: after the configured
+/// deadline it records a per-call-site FabricTimeoutEvent and throws
+/// FabricTimeoutError — a hung or dead peer becomes a typed, attributable
+/// failure instead of a silent deadlock.  An optional FaultInjector hook
+/// lets tests script message delay/drop/corruption and collective stalls
+/// at exact coordinates (see fault.hpp).
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace semfpga::runtime {
+
+class FaultInjector;  // fault.hpp
 
 /// Thrown out of a blocking Fabric call after a peer rank poisoned the
 /// fabric (it failed and will never reach its side of the collective).
@@ -37,6 +46,37 @@ namespace semfpga::runtime {
 class FabricPoisonedError : public std::runtime_error {
  public:
   FabricPoisonedError() : std::runtime_error("fabric poisoned: a peer rank failed") {}
+};
+
+/// Thrown out of a blocking Fabric call whose deadline expired: the peer
+/// is hung (or its message was lost) and never completed its side of the
+/// exchange.  Unlike poisoning this is a *primary* failure — the waiting
+/// rank is the first to discover the loss — so the SPMD launcher rethrows
+/// it to the caller (unless a peer's own non-fabric error explains it).
+class FabricTimeoutError : public std::runtime_error {
+ public:
+  FabricTimeoutError(const std::string& site, int rank, int peer,
+                     double waited_seconds);
+  /// Call-site that expired: "send", "recv", "barrier" or "allreduce".
+  [[nodiscard]] const std::string& site() const noexcept { return site_; }
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  /// Peer rank of a point-to-point wait; -1 for collectives.
+  [[nodiscard]] int peer() const noexcept { return peer_; }
+  [[nodiscard]] double waited_seconds() const noexcept { return waited_seconds_; }
+
+ private:
+  std::string site_;
+  int rank_;
+  int peer_;
+  double waited_seconds_;
+};
+
+/// Per-call-site record of an expired fabric deadline.
+struct FabricTimeoutEvent {
+  std::string site;
+  int rank = -1;
+  int peer = -1;
+  double waited_seconds = 0.0;
 };
 
 /// Abstract rank-to-rank transport (see file comment for the contract).
@@ -77,9 +117,16 @@ class Fabric {
 /// Lock-free shared-memory Fabric for rank threads of one process.
 class InProcessFabric final : public Fabric {
  public:
-  /// \param n_ranks       ranks sharing the fabric
-  /// \param reduce_slots  length of the allreduce slot vector (z layers)
-  InProcessFabric(int n_ranks, std::size_t reduce_slots);
+  /// Deadline applied to every blocking call when the ctor is not given
+  /// one explicitly.  Generous: tier-1 solves finish in milliseconds, so
+  /// only a genuinely hung peer ever reaches it.
+  static constexpr double kDefaultTimeoutSeconds = 30.0;
+
+  /// \param n_ranks          ranks sharing the fabric
+  /// \param reduce_slots     length of the allreduce slot vector (z layers)
+  /// \param timeout_seconds  per-blocking-call deadline; <= 0 waits forever
+  InProcessFabric(int n_ranks, std::size_t reduce_slots,
+                  double timeout_seconds = kDefaultTimeoutSeconds);
 
   [[nodiscard]] int n_ranks() const noexcept override { return n_ranks_; }
   void poison() noexcept override;
@@ -89,9 +136,24 @@ class InProcessFabric final : public Fabric {
   double allreduce_ordered(int rank, std::size_t slot_begin,
                            std::span<const double> contribution) override;
 
+  [[nodiscard]] double timeout_seconds() const noexcept { return timeout_seconds_; }
+
+  /// Optional scripted-fault hook (not owned; may be null).  The injector
+  /// sees every halo send (delay/drop/corrupt) and allreduce entry (stall).
+  void set_fault_injector(FaultInjector* injector) noexcept { injector_ = injector; }
+
+  /// Every deadline that expired on this fabric, in firing order.
+  [[nodiscard]] std::vector<FabricTimeoutEvent> timeout_events() const;
+
  private:
   /// Throws FabricPoisonedError once poison() has been called.
   void check_poison() const;
+  /// Records the event and throws FabricTimeoutError.
+  [[noreturn]] void throw_timeout(const char* site, int rank, int peer,
+                                  double waited_seconds);
+  /// Collective barrier attributed to `site` ("barrier" or "allreduce").
+  void barrier_at(int rank, const char* site);
+
   /// SPSC mailbox of one directed edge.  seq is even when the slot is
   /// empty, odd while a message waits; sender and receiver each flip it
   /// once, so the pair never races and never locks.
@@ -103,6 +165,7 @@ class InProcessFabric final : public Fabric {
   [[nodiscard]] Edge& edge(int from, int to);
 
   int n_ranks_;
+  double timeout_seconds_;
   std::vector<Edge> edges_;  ///< [from * n_ranks + to]; sized once, never moved
 
   std::atomic<int> barrier_count_{0};
@@ -110,6 +173,11 @@ class InProcessFabric final : public Fabric {
   std::atomic<bool> poisoned_{false};
 
   std::vector<double> slots_;  ///< allreduce contributions, one write per slot
+
+  FaultInjector* injector_ = nullptr;
+
+  mutable std::mutex timeout_mutex_;  ///< guards timeout_events_ (cold path)
+  std::vector<FabricTimeoutEvent> timeout_events_;
 };
 
 }  // namespace semfpga::runtime

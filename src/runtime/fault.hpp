@@ -1,0 +1,150 @@
+#pragma once
+/// \file fault.hpp
+/// Deterministic fault injection for the SPMD runtime.
+///
+/// The paper's future projection scales CG to hundreds of FPGA ranks; at
+/// that scale rank loss, stalled links and corrupted transfers are the
+/// steady state, not the exception.  This header makes every one of those
+/// failure modes a *scripted, reproducible input*: a FaultPlan names exact
+/// (kind, rank, iteration) coordinates, and the FaultInjector fires each
+/// fault exactly once at the first matching call-site — so a recovery path
+/// can be pinned in a unit test the same way a numerical contract is.
+///
+/// Fault spec grammar (comma-separated list):
+///
+///     kind@rR:iI[:sSECONDS]
+///
+///     crash@r2:i5        rank 2 throws InjectedRankFailure after finishing
+///                        CG iteration 5 (fires in the rank body)
+///     delay@r0:i3        rank 0's first halo send after iteration 3 sleeps
+///                        (default 0.02 s; override with :s0.5)
+///     drop@r1:i4         rank 1's first halo send after iteration 4 is
+///                        silently discarded (the receiver's bounded wait
+///                        turns the loss into a FabricTimeoutError)
+///     nan@r1:i3          corrupts that send's payload with a quiet NaN
+///     bitflip@r0:i2      flips a high exponent bit in the payload instead
+///     stall@r3:i6        rank 3 sleeps at its next allreduce entry long
+///                        enough for every peer's fabric deadline to expire
+///
+/// Sites are implied by the kind: crash fires at the end-of-iteration hook,
+/// delay/drop/nan/bitflip at halo sends, stall at allreduce entry.  Each
+/// fault fires once per plan (one-shot), keyed on the owning rank having
+/// *completed* at least I iterations — deterministic because the iteration
+/// count advances in program order on the owning rank's own thread.
+
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <mutex>
+
+namespace semfpga::runtime {
+
+/// What goes wrong.
+enum class FaultKind { kCrash, kDelay, kDrop, kNan, kBitFlip, kStall };
+
+/// Where it goes wrong (implied by the kind; see file comment).
+enum class FaultSite { kIteration, kHaloSend, kAllreduce };
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind) noexcept;
+[[nodiscard]] const char* fault_site_name(FaultSite site) noexcept;
+
+/// One scripted fault at exact (rank, iteration, call-site) coordinates.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kCrash;
+  FaultSite site = FaultSite::kIteration;
+  int rank = 0;
+  int iteration = 0;     ///< fires once rank has completed >= this many iterations
+  double seconds = 0.0;  ///< delay/stall duration; 0 = kind default
+};
+
+/// A parsed, ordered list of scripted faults.
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+  [[nodiscard]] bool empty() const noexcept { return faults.empty(); }
+};
+
+/// Parses the grammar above.  Throws std::invalid_argument on malformed
+/// specs, naming the offending token.  "" parses to an empty plan.
+[[nodiscard]] FaultPlan parse_fault_plan(const std::string& spec);
+
+/// Thrown inside a rank body by a due crash fault — models the rank dying
+/// mid-solve.  The SPMD launcher poisons the fabric and rethrows this as
+/// the primary error; the resilient driver reacts with shrink-and-resolve.
+class InjectedRankFailure : public std::runtime_error {
+ public:
+  InjectedRankFailure(int rank, int iteration);
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int iteration() const noexcept { return iteration_; }
+
+ private:
+  int rank_;
+  int iteration_;
+};
+
+/// One fault that actually fired (for the ResilienceReport).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  FaultSite site = FaultSite::kIteration;
+  int rank = 0;
+  int iteration = 0;
+  std::string detail;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Executes a FaultPlan against a running solve.  Thread-safety contract:
+/// every spec belongs to exactly one rank, and all hooks for rank R are
+/// invoked from rank R's own thread (the CG iteration hook, that rank's
+/// halo sends, that rank's allreduce entries), so the firing state needs no
+/// atomics; only the shared event log is mutex-guarded.  begin_attempt()
+/// must be called between SPMD launches (thread join/create orders it).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  [[nodiscard]] bool empty() const noexcept { return specs_.empty(); }
+
+  /// Stall sleep used when a stall spec carries no :sSECONDS — the driver
+  /// sets this past the fabric deadline so peers time out deterministically.
+  void set_default_stall_seconds(double seconds) noexcept {
+    default_stall_seconds_ = seconds;
+  }
+
+  /// Collective reset before a (re)started attempt: `n_ranks` surviving
+  /// ranks, each having completed `start_iteration` iterations (the
+  /// checkpoint the attempt resumes from).  Fired faults stay fired.
+  void begin_attempt(int n_ranks, int start_iteration);
+
+  /// End-of-iteration hook (called by the resilient CG wrapper with the
+  /// global iteration number).  Throws InjectedRankFailure when a crash
+  /// fault is due on `rank`.
+  void on_iteration(int rank, int iteration);
+
+  /// Halo-send hook.  May sleep (delay), corrupt `payload` in place
+  /// (nan/bitflip), or return false to drop the message entirely.
+  [[nodiscard]] bool on_send(int from, int to, std::span<double> payload);
+
+  /// Allreduce-entry hook; sleeps when a stall fault is due on `rank`.
+  void on_collective(int rank);
+
+  /// Snapshot of every fault that fired so far (any thread).
+  [[nodiscard]] std::vector<FaultEvent> events() const;
+
+ private:
+  /// True (and marks the spec fired) when spec `idx` is due for `rank` at
+  /// completed-iteration count `iteration` on `site`.
+  bool fire(std::size_t idx, FaultSite site, int rank, int iteration);
+  void record(const FaultSpec& spec, int iteration, std::string detail);
+
+  std::vector<FaultSpec> specs_;
+  std::vector<unsigned char> fired_;  ///< one byte per spec; owner-thread access
+  std::vector<int> iterations_;       ///< completed iterations per rank
+  double default_stall_seconds_ = 0.5;
+  double default_delay_seconds_ = 0.02;
+
+  mutable std::mutex events_mutex_;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace semfpga::runtime

@@ -22,9 +22,14 @@ void spmd_run(Fabric& fabric, int total_threads,
   const int team = team_threads(total_threads, n_ranks);
 
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n_ranks));
-  // One byte per rank, not vector<bool>: ranks write their slot
-  // concurrently and bit-packing would race on the shared word.
-  std::vector<unsigned char> secondary(static_cast<std::size_t>(n_ranks), 0);
+  // Rethrow priority per rank (lower wins): 0 = the rank's own failure,
+  // 1 = a fabric deadline expired under it (symptom of a hung/dead peer),
+  // 2 = it was merely woken by a peer's poison.  A crash and the timeouts
+  // it causes arrive near-simultaneously on different ranks; the caller
+  // must see the crash, not the collateral.  One byte per rank, not
+  // vector<bool>: ranks write their slot concurrently and bit-packing
+  // would race on the shared word.
+  std::vector<unsigned char> priority(static_cast<std::size_t>(n_ranks), 0);
   const auto rank_main = [&](int rank) noexcept {
     try {
       RankEnv env;
@@ -37,7 +42,13 @@ void spmd_run(Fabric& fabric, int total_threads,
       // Another rank failed first and poisoned the fabric out from under
       // this one's collective; keep the wake-up error only as a fallback.
       errors[static_cast<std::size_t>(rank)] = std::current_exception();
-      secondary[static_cast<std::size_t>(rank)] = 1;
+      priority[static_cast<std::size_t>(rank)] = 2;
+    } catch (const FabricTimeoutError&) {
+      errors[static_cast<std::size_t>(rank)] = std::current_exception();
+      priority[static_cast<std::size_t>(rank)] = 1;
+      // The hung peer may itself still be blocked (it never failed, it is
+      // just late); poison so every rank terminates.
+      fabric.poison();
     } catch (...) {
       errors[static_cast<std::size_t>(rank)] = std::current_exception();
       // Peers may be blocked in a collective this rank will never reach;
@@ -55,9 +66,9 @@ void spmd_run(Fabric& fabric, int total_threads,
   for (std::thread& t : team_members) {
     t.join();
   }
-  for (int pass = 0; pass < 2; ++pass) {
+  for (int pass = 0; pass < 3; ++pass) {
     for (std::size_t r = 0; r < errors.size(); ++r) {
-      if (errors[r] && (pass == 1 || secondary[r] == 0)) {
+      if (errors[r] && priority[r] <= pass) {
         std::rethrow_exception(errors[r]);
       }
     }

@@ -41,6 +41,10 @@ CgResult solve_cg(backend::Backend& backend, std::span<const double> b,
   SEMFPGA_CHECK(options.max_iterations >= 0, "max_iterations must be non-negative");
   SEMFPGA_CHECK(!(options.preconditioner && backend.collective()),
                 "custom preconditioners are not supported by the distributed solve");
+  SEMFPGA_CHECK(options.resume == nullptr ||
+                    (options.resume->r.size() == n && options.resume->p.size() == n &&
+                     options.resume->iteration >= 0),
+                "resume state must match the system size");
 
   const auto& diag = backend.jacobi_diagonal();
   const auto& c = backend.inv_multiplicity();
@@ -58,20 +62,6 @@ CgResult solve_cg(backend::Backend& backend, std::span<const double> b,
   const std::int64_t vec_cost = 11 * backend.global_dofs();
 
   SolveScope scope(backend);
-
-  // r = b - A x (x may carry an initial guess), fused with rr = <r, r>_c.
-  backend.apply(x, std::span<double>(w.data(), n));
-  result.flops += ax_cost;
-  double rr = backend.reduce(backend::PassCost{3, 1},
-                             [&](std::size_t begin, std::size_t end) {
-                               double acc = 0.0;
-                               for (std::size_t i = begin; i < end; ++i) {
-                                 const double ri = b[i] - w[i];
-                                 r[i] = ri;
-                                 acc += ri * ri * c[i];
-                               }
-                               return acc;
-                             });
 
   // z = P^{-1} in, fused with the <in, z>_c reduction.  With P = I the
   // vector z is never materialised; callers use `in` and the returned rr.
@@ -100,29 +90,89 @@ CgResult solve_cg(backend::Backend& backend, std::span<const double> b,
                           });
   };
 
-  double rho = identity_precond ? rr : precondition_dot(r);
   const aligned_vector<double>& z_like = identity_precond ? r : z;
-  backend.vector_pass(backend::PassCost{1, 1},
-                      [&](std::size_t begin, std::size_t end) {
-                        for (std::size_t i = begin; i < end; ++i) {
-                          p[i] = z_like[i];
-                        }
-                      });
+  double rr = 0.0;
+  double rho = 0.0;
+  double res_norm = 0.0;
 
-  double res_norm = std::sqrt(std::abs(rr));
-  if (options.record_history) {
-    result.residual_history.push_back(res_norm);
+  if (options.resume == nullptr) {
+    // r = b - A x (x may carry an initial guess), fused with rr = <r, r>_c.
+    backend.apply(x, std::span<double>(w.data(), n));
+    result.flops += ax_cost;
+    rr = backend.reduce(backend::PassCost{3, 1},
+                        [&](std::size_t begin, std::size_t end) {
+                          double acc = 0.0;
+                          for (std::size_t i = begin; i < end; ++i) {
+                            const double ri = b[i] - w[i];
+                            r[i] = ri;
+                            acc += ri * ri * c[i];
+                          }
+                          return acc;
+                        });
+    if (options.guard_numerics && !std::isfinite(rr)) {
+      throw CgNumericalFault(0, "initial residual norm is not finite");
+    }
+    rho = identity_precond ? rr : precondition_dot(r);
+    backend.vector_pass(backend::PassCost{1, 1},
+                        [&](std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i) {
+                            p[i] = z_like[i];
+                          }
+                        });
+    res_norm = std::sqrt(std::abs(rr));
+    if (options.record_history) {
+      result.residual_history.push_back(res_norm);
+    }
+  } else {
+    // Pure copies of the checkpointed state — no arithmetic, so the
+    // iterations below are exactly the ones the undisturbed loop would
+    // have run after its own iteration `resume->iteration`.
+    const CgResumeState& resume = *options.resume;
+    std::copy(resume.r.begin(), resume.r.end(), r.begin());
+    std::copy(resume.p.begin(), resume.p.end(), p.begin());
+    rr = resume.rr;
+    rho = resume.rho;
+    res_norm = resume.res_norm;
+    result.iterations = resume.iteration;
+    result.flops = resume.flops;
+    if (options.record_history) {
+      result.residual_history = resume.residual_history;
+    }
   }
+
   result.final_residual = res_norm;
   if (res_norm <= options.tolerance) {
     result.converged = true;
     return result;
   }
 
-  for (int it = 0; it < options.max_iterations; ++it) {
+  const auto notify_hook = [&](int iteration, double rho_now, bool converged_now) {
+    if (!options.iteration_hook) {
+      return;
+    }
+    CgIterationView view;
+    view.iteration = iteration;
+    view.res_norm = res_norm;
+    view.rr = rr;
+    view.rho = rho_now;
+    view.flops = result.flops;
+    view.converged = converged_now;
+    view.x = std::span<const double>(x.data(), n);
+    view.r = std::span<const double>(r.data(), n);
+    view.p = std::span<const double>(p.data(), n);
+    view.residual_history = std::span<const double>(result.residual_history.data(),
+                                                    result.residual_history.size());
+    options.iteration_hook(view);
+  };
+
+  for (int it = options.resume != nullptr ? options.resume->iteration : 0;
+       it < options.max_iterations; ++it) {
     backend.apply(std::span<const double>(p.data(), n), std::span<double>(w.data(), n));
     const double pw = backend.dot(std::span<const double>(p.data(), n),
                                   std::span<const double>(w.data(), n));
+    if (options.guard_numerics && !(std::isfinite(pw) && pw > 0.0)) {
+      throw CgNumericalFault(it + 1, "<p, Ap> lost finite positive definiteness");
+    }
     SEMFPGA_CHECK(pw > 0.0, "operator lost positive definiteness (check mesh/mask)");
     const double alpha = rho / pw;
     rr = backend.reduce(backend::PassCost{4, 3},
@@ -139,6 +189,9 @@ CgResult solve_cg(backend::Backend& backend, std::span<const double> b,
     result.flops += ax_cost + vec_cost;
     result.iterations = it + 1;
 
+    if (options.guard_numerics && !std::isfinite(rr)) {
+      throw CgNumericalFault(it + 1, "residual norm is not finite");
+    }
     res_norm = std::sqrt(std::abs(rr));
     if (options.record_history) {
       result.residual_history.push_back(res_norm);
@@ -146,6 +199,7 @@ CgResult solve_cg(backend::Backend& backend, std::span<const double> b,
     result.final_residual = res_norm;
     if (res_norm <= options.tolerance) {
       result.converged = true;
+      notify_hook(it + 1, rho, /*converged_now=*/true);
       break;
     }
 
@@ -158,9 +212,17 @@ CgResult solve_cg(backend::Backend& backend, std::span<const double> b,
                             p[i] = z_like[i] + beta * p[i];
                           }
                         });
+    // Post-p-update: {x, r, p, rho} is exactly the state the next
+    // iteration starts from — what a checkpoint must capture.
+    notify_hook(it + 1, rho, /*converged_now=*/false);
   }
   return result;
 }
+
+CgNumericalFault::CgNumericalFault(int iteration, const std::string& reason)
+    : std::runtime_error("cg numerical fault at iteration " +
+                         std::to_string(iteration) + ": " + reason),
+      iteration_(iteration) {}
 
 CgResult solve_cg(const PoissonSystem& system, std::span<const double> b,
                   std::span<double> x, const CgOptions& options) {

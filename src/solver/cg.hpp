@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <vector>
 
 #include "backend/backend.hpp"
@@ -21,6 +22,63 @@ namespace semfpga::solver {
 /// subspace (ChebyshevPreconditioner::apply qualifies).
 using PreconditionerFn =
     std::function<void(std::span<const double> r, std::span<double> z)>;
+
+/// Thrown by solve_cg (with CgOptions::guard_numerics) when an iteration
+/// produces a non-finite reduction or loses positive definiteness — the
+/// *recoverable* spelling of what SEMFPGA_CHECK treats as a programming
+/// error.  On a collective backend the offending scalar came out of the
+/// deterministic allreduce, so every rank throws at the same iteration
+/// and a rollback stays collective.  solve_cg_resilient catches these and
+/// retries from the last checkpoint (resilient_cg.hpp).
+class CgNumericalFault : public std::runtime_error {
+ public:
+  CgNumericalFault(int iteration, const std::string& reason);
+  /// Iteration that faulted (1-based; 0 = the initial residual).
+  [[nodiscard]] int iteration() const noexcept { return iteration_; }
+
+ private:
+  int iteration_;
+};
+
+/// Read-only view of the loop state at an iteration boundary, handed to
+/// CgOptions::iteration_hook.  When `converged` is false the spans hold
+/// resume-ready state: copying {x, r, p} plus the scalars into a
+/// CgResumeState and re-entering solve_cg continues the undisturbed
+/// trajectory bitwise.
+struct CgIterationView {
+  int iteration = 0;        ///< iterations completed (1-based)
+  double res_norm = 0.0;    ///< weighted residual norm after this iteration
+  double rr = 0.0;          ///< <r, r>_c behind res_norm
+  double rho = 0.0;         ///< current preconditioned dot (post-update)
+  std::int64_t flops = 0;   ///< CgResult::flops accumulated so far
+  bool converged = false;   ///< true on the final, convergence-check call
+  std::span<const double> x, r, p;
+  std::span<const double> residual_history;  ///< empty unless record_history
+};
+
+/// Called at the bottom of every CG iteration (and once, with
+/// converged = true, before the convergence break).  The hook must not
+/// mutate solver state; pure observation/copies keep the iterates bitwise
+/// identical to a hook-free solve.  It may throw — solve_cg does not
+/// catch — which is how the resilient wrapper aborts a poisoned
+/// trajectory at a deterministic point.
+using CgIterationHook = std::function<void(const CgIterationView&)>;
+
+/// Checkpointed loop state to continue a solve from (CgOptions::resume).
+/// All spans must stay valid for the duration of the call; solve_cg copies
+/// them into its working vectors before iterating.  Restoring {x from the
+/// same checkpoint} + this state re-runs the exact iterations the
+/// undisturbed loop would have run — bitwise, since no arithmetic is
+/// involved in the restore.
+struct CgResumeState {
+  int iteration = 0;        ///< iterations already completed
+  std::span<const double> r, p;
+  double rho = 0.0;
+  double rr = 0.0;
+  double res_norm = 0.0;
+  std::int64_t flops = 0;
+  std::vector<double> residual_history;  ///< history up to `iteration`
+};
 
 /// Options for solve_cg.
 struct CgOptions {
@@ -40,6 +98,17 @@ struct CgOptions {
   /// count to backend::MakeOptions::vector_threads / the backend ctor
   /// instead.  (Collective backends always use their rank team.)
   int threads = -1;
+  /// Convert non-finite reductions and lost positive definiteness into
+  /// typed, recoverable CgNumericalFault throws instead of the
+  /// invalid_argument programming-error check.  Read-only comparisons;
+  /// iterates stay bitwise identical.
+  bool guard_numerics = false;
+  /// Observation hook at every iteration boundary (see CgIterationHook).
+  CgIterationHook iteration_hook;
+  /// Continue a previous solve from checkpointed state instead of starting
+  /// at the initial residual (not owned; may be null).  The caller must
+  /// restore x from the same checkpoint.
+  const CgResumeState* resume = nullptr;
 };
 
 /// Outcome of a CG solve.

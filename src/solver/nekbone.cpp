@@ -2,11 +2,15 @@
 
 #include <cmath>
 #include <cstdio>
+#include <memory>
+#include <utility>
 
 #include "backend/fpga_sim_backend.hpp"
 #include "common/timer.hpp"
 #include "kernels/ax.hpp"
+#include "kernels/helmholtz.hpp"
 #include "runtime/distributed_cg.hpp"
+#include "solver/helmholtz_system.hpp"
 
 namespace semfpga::solver {
 namespace {
@@ -19,8 +23,23 @@ double sine_forcing(double px, double py, double pz) {
   return std::sin(kPi * px) * std::sin(kPi * py) * std::sin(kPi * pz);
 }
 
+/// One operator apply over the global problem, per the configured kind.
+std::int64_t operator_apply_flops(const NekboneConfig& config,
+                                  std::size_t n_elements) {
+  return config.operator_kind == OperatorKind::kHelmholtz
+             ? kernels::helmholtz_flops(config.degree + 1, n_elements)
+             : kernels::ax_flops(config.degree + 1, n_elements);
+}
+
+/// True when the run goes through the supervised (resilient) driver.
+bool supervised(const NekboneConfig& config) {
+  return !config.faults.empty() || config.checkpoint_every > 0;
+}
+
 /// The proxy run on the SPMD runtime: same forcing, same fixed-iteration
 /// CG, bitwise identical iterates — only the execution tier changes.
+/// With faults or checkpointing configured the solve runs under the
+/// resilient driver (checkpoint/rollback, shrink-and-resolve).
 NekboneResult run_nekbone_distributed(const NekboneConfig& config,
                                       const sem::BoxMeshSpec& spec) {
   runtime::DistributedSolveConfig dist;
@@ -29,19 +48,37 @@ NekboneResult run_nekbone_distributed(const NekboneConfig& config,
   dist.threads = config.threads;
   dist.ax_variant = config.ax_variant;
   dist.fused = config.fused;
+  dist.operator_kind = config.operator_kind;
+  dist.helmholtz_lambda = config.helmholtz_lambda;
   dist.backend = config.backend;
   dist.backend_options = config.backend_options;
+  dist.fabric_timeout_seconds = config.fabric_timeout_seconds;
   dist.cg.max_iterations = config.cg_iterations;
   dist.cg.tolerance = 0.0;  // fixed iteration count, like Nekbone
   dist.cg.use_jacobi = config.use_jacobi;
   dist.forcing = sine_forcing;
 
-  const runtime::DistributedSolveResult solve = runtime::solve_distributed_poisson(dist);
+  NekboneResult result;
+  runtime::DistributedSolveResult solve;
+  if (supervised(config)) {
+    runtime::ResilientSolveConfig rc;
+    rc.base = dist;
+    rc.faults = config.faults;
+    rc.checkpoint_every = config.checkpoint_every;
+    rc.max_retries = config.fault_retries;
+    runtime::ResilientSolveResult resilient = runtime::solve_distributed_resilient(rc);
+    solve = std::move(resilient.solve);
+    result.resilient = true;
+    result.final_ranks = resilient.final_ranks;
+    result.resilience = std::move(resilient.report);
+  } else {
+    solve = runtime::solve_distributed_poisson(dist);
+    result.final_ranks = solve.ranks;
+  }
   // Barrier-to-barrier CG time, so the number is comparable with the
   // single-rank path below (which also times only solve_cg, not setup).
   const double seconds = solve.solve_seconds;
 
-  NekboneResult result;
   result.n_elements = static_cast<std::size_t>(spec.nelx) * spec.nely * spec.nelz;
   result.n_dofs = solve.n_local;
   result.iterations = solve.cg.iterations;
@@ -51,7 +88,7 @@ NekboneResult run_nekbone_distributed(const NekboneConfig& config,
   result.gflops =
       seconds > 0.0 ? static_cast<double>(solve.cg.flops) / seconds / 1e9 : 0.0;
   const std::int64_t ax_only =
-      kernels::ax_flops(config.degree + 1, result.n_elements) *
+      operator_apply_flops(config, result.n_elements) *
       static_cast<std::int64_t>(solve.cg.iterations + 1);
   result.ax_gflops = seconds > 0.0 ? static_cast<double>(ax_only) / seconds / 1e9 : 0.0;
   result.modeled_seconds = solve.modeled_seconds;
@@ -72,11 +109,17 @@ NekboneResult run_nekbone(const NekboneConfig& config) {
   spec.nely = config.nely;
   spec.nelz = config.nelz;
   spec.deformation = config.deformation;
-  if (config.ranks > 1) {
+  // The supervised driver covers every rank count (ranks = 1 included:
+  // same checkpoints, same recovery, no halo traffic).
+  if (config.ranks > 1 || supervised(config)) {
     return run_nekbone_distributed(config, spec);
   }
   const sem::Mesh mesh = sem::box_mesh(spec);
-  PoissonSystem system(mesh);
+  const std::unique_ptr<PoissonSystem> system_ptr =
+      config.operator_kind == OperatorKind::kHelmholtz
+          ? std::make_unique<HelmholtzSystem>(mesh, config.helmholtz_lambda)
+          : std::make_unique<PoissonSystem>(mesh);
+  PoissonSystem& system = *system_ptr;
   system.set_ax_variant(config.ax_variant);
   system.set_threads(config.threads);
   system.set_fused(config.fused);
@@ -130,10 +173,17 @@ NekboneResult run_nekbone(const NekboneConfig& config) {
 
 std::string format_result(const NekboneConfig& config, const NekboneResult& result) {
   char buf[400];
+  char op[64];
+  if (config.operator_kind == OperatorKind::kHelmholtz) {
+    std::snprintf(op, sizeof(op), "helmholtz(lambda=%g)", config.helmholtz_lambda);
+  } else {
+    std::snprintf(op, sizeof(op), "poisson");
+  }
   std::snprintf(buf, sizeof(buf),
-                "nekbone N=%d elements=%zu dofs=%zu ax=%s fused=%d ranks=%d threads=%d "
-                "backend=%s iters=%d res=%.3e time=%.3fs GFLOP/s=%.2f (Ax-only %.2f)",
-                config.degree, result.n_elements, result.n_dofs,
+                "nekbone N=%d elements=%zu dofs=%zu op=%s ax=%s fused=%d ranks=%d "
+                "threads=%d backend=%s iters=%d res=%.3e time=%.3fs GFLOP/s=%.2f "
+                "(Ax-only %.2f)",
+                config.degree, result.n_elements, result.n_dofs, op,
                 kernels::ax_variant_name(config.ax_variant), config.fused ? 1 : 0,
                 config.ranks, config.threads, config.backend.c_str(),
                 result.iterations, result.final_residual, result.seconds,
@@ -145,6 +195,11 @@ std::string format_result(const NekboneConfig& config, const NekboneResult& resu
                   "bitwise-identical solve",
                   result.modeled_seconds, result.modeled_gflops);
     out += buf;
+  }
+  if (result.resilient) {
+    std::snprintf(buf, sizeof(buf), "\n  final ranks: %d\n  ", result.final_ranks);
+    out += buf;
+    out += result.resilience.to_string();
   }
   return out;
 }

@@ -13,6 +13,7 @@
 
 #include "backend/backend.hpp"
 #include "solver/cg.hpp"
+#include "solver/resilient_cg.hpp"
 
 namespace semfpga::solver {
 
@@ -47,6 +48,25 @@ struct NekboneConfig {
   std::string backend = "cpu";
   /// Device/link options of the "fpga-sim" backend.
   backend::MakeOptions backend_options;
+  /// Operator (CLI --helmholtz/--lambda): kPoisson runs the Nekbone
+  /// stiffness solve; kHelmholtz runs the BK5 operator H = A + lambda B
+  /// with mass coefficient `helmholtz_lambda` — on every tier (single
+  /// rank, SPMD ranks, any backend) with bitwise-identical iterates.
+  OperatorKind operator_kind = OperatorKind::kPoisson;
+  double helmholtz_lambda = 1.0;
+  /// Scripted fault plan (CLI --faults; runtime/fault.hpp grammar, e.g.
+  /// "crash@r2:i5,nan@r1:i3").  Non-empty routes the run through the
+  /// resilient distributed driver, which recovers per the plan.
+  std::string faults;
+  /// Checkpoint period in CG iterations (CLI --checkpoint-every); > 0
+  /// enables the supervised solve even without faults — and then the
+  /// iterates are bitwise identical to the unsupervised run.
+  int checkpoint_every = 0;
+  /// Recovery attempts before the supervised solve gives up.
+  int fault_retries = 3;
+  /// Deadline of blocking fabric calls (CLI --fabric-timeout; <= 0 waits
+  /// forever).  Only read by the multi-rank tiers.
+  double fabric_timeout_seconds = 30.0;
 };
 
 /// Result of one proxy run.
@@ -63,6 +83,10 @@ struct NekboneResult {
   /// "cpu").  modeled_gflops = flops / modeled_seconds / 1e9.
   double modeled_seconds = 0.0;
   double modeled_gflops = 0.0;
+  /// Supervised-solve outcome (set when faults/checkpointing were on).
+  bool resilient = false;
+  int final_ranks = 0;             ///< ranks the solve finished on
+  ResilienceReport resilience;
 };
 
 /// Runs the proxy end-to-end and reports Nekbone-style numbers.

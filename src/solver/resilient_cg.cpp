@@ -1,0 +1,150 @@
+#include "solver/resilient_cg.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "common/check.hpp"
+#include "runtime/fault.hpp"
+
+namespace semfpga::solver {
+
+std::string ResilienceReport::to_string() const {
+  std::string out = "resilience: faults=" + std::to_string(numerical_faults) +
+                    " retries=" + std::to_string(retries) +
+                    " checkpoints=" + std::to_string(checkpoints_taken) +
+                    " restored=" + std::to_string(checkpoints_restored) +
+                    " degraded-ranks=" + std::to_string(degraded_ranks) +
+                    " timeouts=" + std::to_string(timeouts);
+  for (const std::string& event : events) {
+    out += "\n  " + event;
+  }
+  return out;
+}
+
+ResilienceExhaustedError::ResilienceExhaustedError(const std::string& what,
+                                                  ResilienceReport report)
+    : std::runtime_error(what), report_(std::move(report)) {}
+
+ResilientCgResult solve_cg_resilient(backend::Backend& backend,
+                                     std::span<const double> b, std::span<double> x,
+                                     const ResilientCgOptions& options) {
+  SEMFPGA_CHECK(options.checkpoint_every >= 0, "checkpoint_every must be >= 0");
+  SEMFPGA_CHECK(options.max_retries >= 0, "max_retries must be >= 0");
+  SEMFPGA_CHECK(options.divergence_factor > 1.0, "divergence_factor must exceed 1");
+  SEMFPGA_CHECK(!options.cg.resume && !options.cg.iteration_hook,
+                "the resilient solve owns CgOptions::resume and iteration_hook");
+  const std::size_t n = backend.n_local();
+  SEMFPGA_CHECK(b.size() == n && x.size() == n, "vector sizes must match the system");
+
+  ResilienceReport report;
+  CgCheckpoint ckpt;
+  // Pristine initial guess: the rollback target while no checkpoint exists.
+  const aligned_vector<double> x0(x.begin(), x.end());
+  const int rank = backend.rank();
+
+  // Divergence/stagnation reference, reset on every rollback so a retried
+  // trajectory is never compared against residuals it has not reached yet.
+  // On a collective backend res_norm came out of the deterministic
+  // allreduce, so this state — and therefore every fault decision below —
+  // is identical on all ranks: recovery stays collective.
+  double best_res = std::numeric_limits<double>::infinity();
+  int since_best = 0;
+
+  CgOptions cg = options.cg;
+  cg.guard_numerics = true;
+  cg.iteration_hook = [&](const CgIterationView& view) {
+    if (std::isfinite(best_res) &&
+        view.res_norm > options.divergence_factor * best_res) {
+      throw CgNumericalFault(view.iteration, "residual diverged beyond " +
+                                                 std::to_string(options.divergence_factor) +
+                                                 "x the best norm");
+    }
+    if (view.res_norm < best_res) {
+      best_res = view.res_norm;
+      since_best = 0;
+    } else if (options.stagnation_window > 0 &&
+               ++since_best >= options.stagnation_window) {
+      throw CgNumericalFault(view.iteration,
+                             "residual stagnated for " +
+                                 std::to_string(options.stagnation_window) +
+                                 " iterations");
+    }
+    if (options.injector != nullptr) {
+      options.injector->on_iteration(rank, options.iteration_offset + view.iteration);
+    }
+    if (!view.converged && options.checkpoint_every > 0 &&
+        view.iteration % options.checkpoint_every == 0) {
+      // Pure copies — the bitwise contract hinges on no arithmetic here.
+      ckpt.iteration = view.iteration;
+      ckpt.x.assign(view.x.begin(), view.x.end());
+      ckpt.r.assign(view.r.begin(), view.r.end());
+      ckpt.p.assign(view.p.begin(), view.p.end());
+      ckpt.rho = view.rho;
+      ckpt.rr = view.rr;
+      ckpt.res_norm = view.res_norm;
+      ckpt.flops = view.flops;
+      ckpt.residual_history.assign(view.residual_history.begin(),
+                                   view.residual_history.end());
+      ++report.checkpoints_taken;
+      if (options.on_checkpoint) {
+        options.on_checkpoint(ckpt);
+      }
+    }
+  };
+
+  double backoff = options.retry_backoff_seconds;
+  for (int attempt = 0;; ++attempt) {
+    CgResumeState resume;
+    cg.resume = nullptr;
+    if (attempt > 0) {
+      best_res = std::numeric_limits<double>::infinity();
+      since_best = 0;
+      if (ckpt.valid()) {
+        std::copy(ckpt.x.begin(), ckpt.x.end(), x.begin());
+        resume.iteration = ckpt.iteration;
+        resume.r = std::span<const double>(ckpt.r.data(), n);
+        resume.p = std::span<const double>(ckpt.p.data(), n);
+        resume.rho = ckpt.rho;
+        resume.rr = ckpt.rr;
+        resume.res_norm = ckpt.res_norm;
+        resume.flops = ckpt.flops;
+        resume.residual_history = ckpt.residual_history;
+        cg.resume = &resume;
+        ++report.checkpoints_restored;
+        report.events.push_back(
+            "rolled back to the checkpoint at iteration " +
+            std::to_string(options.iteration_offset + ckpt.iteration));
+      } else {
+        std::copy(x0.begin(), x0.end(), x.begin());
+        report.events.push_back("no checkpoint yet; restarted from the initial guess");
+      }
+    }
+    try {
+      ResilientCgResult out;
+      out.cg = solve_cg(backend, b, x, cg);
+      out.report = std::move(report);
+      return out;
+    } catch (const CgNumericalFault& fault) {
+      ++report.numerical_faults;
+      report.events.push_back(std::string("numerical fault: ") + fault.what());
+      if (attempt >= options.max_retries) {
+        throw ResilienceExhaustedError(
+            "cg retry budget exhausted after " + std::to_string(attempt + 1) +
+                " attempts: " + fault.what(),
+            std::move(report));
+      }
+      ++report.retries;
+      if (backoff > 0.0) {
+        // Identical sleep on every rank of a collective backend, so the
+        // team re-enters the solve together.
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        backoff = std::min(backoff * 2.0, options.max_backoff_seconds);
+      }
+    }
+  }
+}
+
+}  // namespace semfpga::solver

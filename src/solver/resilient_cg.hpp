@@ -1,0 +1,136 @@
+#pragma once
+/// \file resilient_cg.hpp
+/// Checkpoint/rollback resilience around the single CG loop.
+///
+/// At the cluster scale the paper projects (hundreds of FPGA ranks),
+/// numerical corruption — a bad transfer, a flipped bit in a partial sum —
+/// must not abort a solve that is thousands of iterations deep.  This
+/// wrapper turns solver::solve_cg into a supervised solve: every iteration
+/// is guarded (non-finite reductions, residual divergence, optional
+/// stagnation), the loop state {x, r, p, rho} is snapshotted every K
+/// iterations into a CgCheckpoint, and on a CgNumericalFault the solve
+/// rolls back to the last checkpoint and retries with bounded exponential
+/// backoff until a retry budget is exhausted.
+///
+/// Two load-bearing contracts, pinned by the ctest suites:
+///  * With no fault firing, the supervised solve is **bitwise identical**
+///    to the plain solve at every backend × ranks × threads combination:
+///    checkpoints are pure copies and the guards are read-only
+///    comparisons — no arithmetic is added to the trajectory.
+///  * On a collective backend every guarded scalar came out of the
+///    deterministic allreduce, so all ranks fault, roll back and retry at
+///    the same iteration — recovery itself stays collective and can never
+///    split the rank team.
+///
+/// Rank *loss* (InjectedRankFailure, a dead peer's FabricTimeoutError) is
+/// deliberately not handled here: a vanished rank cannot roll back with
+/// the team.  Those propagate to the whole-problem driver, which shrinks
+/// the partition and re-enters the solve from the last globally committed
+/// checkpoint (runtime::solve_distributed_resilient).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "solver/cg.hpp"
+
+namespace semfpga::runtime {
+class FaultInjector;  // fault.hpp
+}
+
+namespace semfpga::solver {
+
+/// Snapshot of the CG loop state at an iteration boundary.  iteration < 0
+/// means "no checkpoint taken yet".
+struct CgCheckpoint {
+  int iteration = -1;
+  aligned_vector<double> x, r, p;
+  double rho = 0.0;
+  double rr = 0.0;
+  double res_norm = 0.0;
+  std::int64_t flops = 0;
+  std::vector<double> residual_history;
+  [[nodiscard]] bool valid() const noexcept { return iteration >= 0; }
+};
+
+/// What the supervised solve lived through (all zeros/empty on an
+/// undisturbed run).
+struct ResilienceReport {
+  int checkpoints_taken = 0;
+  int checkpoints_restored = 0;
+  int numerical_faults = 0;   ///< guarded iterations that threw
+  int retries = 0;            ///< rollback/restart attempts consumed
+  int degraded_ranks = 0;     ///< ranks lost to shrink-and-resolve
+  int timeouts = 0;           ///< fabric deadlines that expired
+  std::vector<std::string> events;  ///< human-readable, in firing order
+
+  [[nodiscard]] bool empty() const noexcept {
+    return checkpoints_restored == 0 && numerical_faults == 0 && retries == 0 &&
+           degraded_ranks == 0 && timeouts == 0 && events.empty();
+  }
+  /// One summary line plus one indented line per event.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thrown when the retry budget is exhausted (or a rank loss cannot be
+/// absorbed); carries the report accumulated up to the terminal fault.
+class ResilienceExhaustedError : public std::runtime_error {
+ public:
+  ResilienceExhaustedError(const std::string& what, ResilienceReport report);
+  [[nodiscard]] const ResilienceReport& report() const noexcept { return report_; }
+
+ private:
+  ResilienceReport report_;
+};
+
+/// Options of the supervised solve.
+struct ResilientCgOptions {
+  CgOptions cg;               ///< guard_numerics/iteration_hook/resume are owned here
+  /// Snapshot period in iterations; 0 disables checkpointing (a fault then
+  /// restarts from the initial guess).
+  int checkpoint_every = 8;
+  /// Rollback/restart attempts before giving up.
+  int max_retries = 3;
+  /// First backoff sleep before a retry; doubles per retry up to
+  /// max_backoff_seconds.  0 retries immediately (what the deterministic
+  /// tests use).
+  double retry_backoff_seconds = 0.0;
+  double max_backoff_seconds = 1.0;
+  /// Fault when the residual norm exceeds divergence_factor × the best
+  /// norm seen — catches finite-but-wrong corruption (e.g. a flipped
+  /// exponent bit) that the NaN guard cannot.
+  double divergence_factor = 1e8;
+  /// Fault after this many consecutive non-improving iterations; 0
+  /// disables the stagnation detector (CG's residual is not monotone, so
+  /// this is off by default).
+  int stagnation_window = 0;
+  /// Global iteration offset of this attempt (driver restarts count the
+  /// iterations already committed); added to every external coordinate —
+  /// injector hooks, checkpoint sink, report events.
+  int iteration_offset = 0;
+  /// Scripted-fault hook (not owned; may be null): the end-of-iteration
+  /// crash site of runtime::FaultInjector.
+  runtime::FaultInjector* injector = nullptr;
+  /// Invoked after every checkpoint copy — the distributed driver commits
+  /// the rank's slice to the globally consistent checkpoint here.  Must
+  /// not mutate solver state.
+  std::function<void(const CgCheckpoint&)> on_checkpoint;
+};
+
+/// Outcome of a supervised solve.
+struct ResilientCgResult {
+  CgResult cg;
+  ResilienceReport report;
+};
+
+/// Supervised CG (see file comment).  Collective when `backend` is; every
+/// rank then returns the same scalars and the same report counters.
+/// Throws ResilienceExhaustedError when the retry budget runs out;
+/// propagates InjectedRankFailure and fabric errors to the caller.
+[[nodiscard]] ResilientCgResult solve_cg_resilient(backend::Backend& backend,
+                                                   std::span<const double> b,
+                                                   std::span<double> x,
+                                                   const ResilientCgOptions& options);
+
+}  // namespace semfpga::solver

@@ -3,12 +3,15 @@
 /// hardening) and the error must list the registered names.
 
 #include <algorithm>
+#include <cmath>
 
 #include <gtest/gtest.h>
 
 #include "backend/backend.hpp"
 #include "backend/cpu_backend.hpp"
+#include "backend/distributed_backend.hpp"
 #include "backend/fpga_sim_backend.hpp"
+#include "runtime/distributed_cg.hpp"
 #include "solver/poisson_system.hpp"
 
 namespace semfpga {
@@ -87,6 +90,43 @@ TEST(BackendRegistry, RegisterBackendExtendsTheRegistry) {
   const auto be = backend::make("test-custom", system);
   ASSERT_NE(be, nullptr);
   EXPECT_STREQ(be->name(), "cpu");
+}
+
+TEST(BackendRegistry, CustomRankBackendRunsTheDistributedTier) {
+  // A registered rank backend must be a drop-in for the built-ins end to
+  // end: same driver, same fabric, bitwise-identical numerics.
+  backend::register_rank_backend(
+      "test-rank",
+      [](runtime::RankSystem& rs, const backend::MakeOptions&) {
+        return std::make_unique<backend::DistributedBackend>(rs);
+      });
+  const auto names = backend::known_rank_backends();
+  EXPECT_NE(std::find(names.begin(), names.end(), "test-rank"), names.end());
+  EXPECT_NO_THROW(backend::require_known_rank("test-rank"));
+
+  runtime::DistributedSolveConfig config;
+  config.spec.degree = 3;
+  config.spec.nelx = config.spec.nely = 2;
+  config.spec.nelz = 4;
+  config.ranks = 2;
+  config.cg.max_iterations = 20;
+  config.cg.tolerance = 1e-10;
+  config.cg.record_history = true;
+  config.forcing = [](double x, double y, double z) {
+    return std::sin(x) * std::cos(y) * std::sin(z);
+  };
+
+  config.backend = "cpu";
+  const runtime::DistributedSolveResult want = runtime::solve_distributed_poisson(config);
+  config.backend = "test-rank";
+  const runtime::DistributedSolveResult got = runtime::solve_distributed_poisson(config);
+
+  ASSERT_EQ(got.cg.iterations, want.cg.iterations);
+  EXPECT_EQ(got.cg.final_residual, want.cg.final_residual);
+  ASSERT_EQ(got.x.size(), want.x.size());
+  for (std::size_t p = 0; p < want.x.size(); ++p) {
+    ASSERT_EQ(got.x[p], want.x[p]) << "dof " << p;
+  }
 }
 
 }  // namespace

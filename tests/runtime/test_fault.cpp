@@ -1,0 +1,318 @@
+/// The fault-injection layer's own contracts: the spec grammar parses (and
+/// rejects) deterministically, each fault fires exactly once at its scripted
+/// coordinates, expired fabric deadlines surface as typed per-call-site
+/// timeouts, and a crashing rank's poisoning is observed by every surviving
+/// rank no matter which collective call-site it is blocked in.
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/fabric.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/spmd.hpp"
+
+namespace semfpga::runtime {
+namespace {
+
+// ---------------------------------------------------------------- grammar --
+
+TEST(FaultPlan, ParsesTheFullGrammar) {
+  const FaultPlan plan =
+      parse_fault_plan("crash@r2:i5,delay@r0:i3:s0.25,drop@r1:i4,nan@r1:i3,"
+                       "bitflip@r0:i2,stall@r3:i6:s1.5");
+  ASSERT_EQ(plan.faults.size(), 6u);
+
+  EXPECT_EQ(plan.faults[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(plan.faults[0].site, FaultSite::kIteration);
+  EXPECT_EQ(plan.faults[0].rank, 2);
+  EXPECT_EQ(plan.faults[0].iteration, 5);
+
+  EXPECT_EQ(plan.faults[1].kind, FaultKind::kDelay);
+  EXPECT_EQ(plan.faults[1].site, FaultSite::kHaloSend);
+  EXPECT_DOUBLE_EQ(plan.faults[1].seconds, 0.25);
+
+  EXPECT_EQ(plan.faults[2].kind, FaultKind::kDrop);
+  EXPECT_EQ(plan.faults[3].kind, FaultKind::kNan);
+  EXPECT_EQ(plan.faults[4].kind, FaultKind::kBitFlip);
+  EXPECT_EQ(plan.faults[4].site, FaultSite::kHaloSend);
+
+  EXPECT_EQ(plan.faults[5].kind, FaultKind::kStall);
+  EXPECT_EQ(plan.faults[5].site, FaultSite::kAllreduce);
+  EXPECT_EQ(plan.faults[5].rank, 3);
+  EXPECT_EQ(plan.faults[5].iteration, 6);
+  EXPECT_DOUBLE_EQ(plan.faults[5].seconds, 1.5);
+}
+
+TEST(FaultPlan, EmptySpecParsesToAnEmptyPlan) {
+  EXPECT_TRUE(parse_fault_plan("").empty());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecsNamingTheToken) {
+  // Unknown kind, missing coordinates, and numeric garbage must all throw
+  // std::invalid_argument naming the offending token.
+  for (const char* bad : {"bogus@r0:i1", "crash", "crash@i5", "crash@r2",
+                          "crash@rX:i5", "crash@r2:iY", "delay@r0:i3:sNaNsense",
+                          "crash@r2:i5:x9"}) {
+    EXPECT_THROW((void)parse_fault_plan(bad), std::invalid_argument) << bad;
+  }
+  try {
+    (void)parse_fault_plan("bogus@r0:i1");
+    FAIL() << "unknown kind must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+  }
+}
+
+// --------------------------------------------------------------- injector --
+
+TEST(FaultInjector, CrashFiresExactlyOnceAtItsCoordinates) {
+  FaultInjector injector(parse_fault_plan("crash@r1:i3"));
+  injector.begin_attempt(/*n_ranks=*/2, /*start_iteration=*/0);
+
+  injector.on_iteration(1, 1);
+  injector.on_iteration(1, 2);
+  injector.on_iteration(0, 3);  // wrong rank: must not fire
+  EXPECT_THROW(injector.on_iteration(1, 3), InjectedRankFailure);
+
+  // One-shot: the restarted attempt passes the same coordinate unharmed.
+  injector.begin_attempt(2, 0);
+  injector.on_iteration(1, 3);
+  injector.on_iteration(1, 4);
+
+  const std::vector<FaultEvent> events = injector.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(events[0].rank, 1);
+  EXPECT_EQ(events[0].iteration, 3);
+  EXPECT_FALSE(events[0].to_string().empty());
+}
+
+TEST(FaultInjector, CrashCarriesRankAndIteration) {
+  FaultInjector injector(parse_fault_plan("crash@r0:i2"));
+  injector.begin_attempt(1, 0);
+  injector.on_iteration(0, 1);
+  try {
+    injector.on_iteration(0, 2);
+    FAIL() << "crash fault must throw";
+  } catch (const InjectedRankFailure& e) {
+    EXPECT_EQ(e.rank(), 0);
+    EXPECT_EQ(e.iteration(), 2);
+  }
+}
+
+TEST(FaultInjector, SendHooksCorruptDelayAndDrop) {
+  FaultInjector injector(parse_fault_plan("nan@r0:i1,bitflip@r1:i1,drop@r2:i1"));
+  injector.begin_attempt(4, 0);
+  for (int r = 0; r < 4; ++r) {
+    injector.on_iteration(r, 1);
+  }
+
+  std::vector<double> payload = {1.0, 2.0, 3.0};
+
+  // nan: delivered, but the payload now carries a quiet NaN.
+  EXPECT_TRUE(injector.on_send(0, 1, payload));
+  EXPECT_TRUE(std::isnan(payload[0]));
+
+  // bitflip: delivered, finite, and astronomically wrong.
+  payload = {1.0, 2.0, 3.0};
+  EXPECT_TRUE(injector.on_send(1, 0, payload));
+  bool changed = false;
+  for (const double v : payload) {
+    EXPECT_TRUE(std::isfinite(v));
+    changed = changed || (v != 1.0 && v != 2.0 && v != 3.0);
+  }
+  EXPECT_TRUE(changed);
+
+  // drop: the message never leaves the sender.
+  payload = {1.0, 2.0, 3.0};
+  EXPECT_FALSE(injector.on_send(2, 3, payload));
+
+  // Unscripted edges pass through untouched.
+  payload = {1.0, 2.0, 3.0};
+  EXPECT_TRUE(injector.on_send(3, 2, payload));
+  EXPECT_EQ(payload, (std::vector<double>{1.0, 2.0, 3.0}));
+
+  EXPECT_EQ(injector.events().size(), 3u);
+}
+
+TEST(FaultInjector, FaultsWaitUntilTheirIteration) {
+  FaultInjector injector(parse_fault_plan("drop@r0:i5"));
+  injector.begin_attempt(1, 0);
+  std::vector<double> payload = {1.0};
+  injector.on_iteration(0, 4);
+  EXPECT_TRUE(injector.on_send(0, 0, payload));   // not yet due
+  injector.on_iteration(0, 5);
+  EXPECT_FALSE(injector.on_send(0, 0, payload));  // due now
+}
+
+TEST(FaultInjector, BeginAttemptResumesFromTheCheckpointIteration) {
+  // A restart resuming from iteration 6 is already past a crash at i5: the
+  // (unfired) fault becomes due immediately, modelling a rank that dies
+  // again right after recovery only if the plan says so.
+  FaultInjector injector(parse_fault_plan("crash@r0:i5"));
+  injector.begin_attempt(1, /*start_iteration=*/6);
+  EXPECT_THROW(injector.on_iteration(0, 7), InjectedRankFailure);
+}
+
+// ---------------------------------------------------------------- timeouts --
+
+TEST(FabricTimeout, RecvDeadlineThrowsTypedErrorWithAttribution) {
+  InProcessFabric fabric(2, 1, /*timeout_seconds=*/0.1);
+  std::vector<double> msg(1);
+  try {
+    fabric.recv(0, 1, msg);  // no sender: must expire, not deadlock
+    FAIL() << "recv with no sender must time out";
+  } catch (const FabricTimeoutError& e) {
+    EXPECT_EQ(e.site(), "recv");
+    EXPECT_EQ(e.rank(), 1);
+    EXPECT_EQ(e.peer(), 0);
+    EXPECT_GE(e.waited_seconds(), 0.1);
+  }
+  const std::vector<FabricTimeoutEvent> events = fabric.timeout_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].site, "recv");
+  EXPECT_EQ(events[0].rank, 1);
+  EXPECT_EQ(events[0].peer, 0);
+}
+
+TEST(FabricTimeout, BarrierDeadlineSurfacesThroughSpmdRun) {
+  // Rank 1 skips the barrier entirely; rank 0's bounded wait must expire
+  // and spmd_run must rethrow the timeout (no other rank failed).
+  InProcessFabric fabric(2, 1, /*timeout_seconds=*/0.1);
+  try {
+    spmd_run(fabric, 1, [&](const RankEnv& env) {
+      if (env.rank == 0) {
+        env.fabric->barrier(env.rank);
+      }
+    });
+    FAIL() << "barrier with an absent peer must time out";
+  } catch (const FabricTimeoutError& e) {
+    EXPECT_EQ(e.site(), "barrier");
+    EXPECT_EQ(e.rank(), 0);
+    EXPECT_EQ(e.peer(), -1);
+  }
+}
+
+TEST(FabricTimeout, DroppedHaloMessageBecomesARecvTimeout) {
+  // The drop fault discards rank 0's send; rank 1's matching recv must
+  // expire with full attribution instead of hanging the solve.
+  FaultInjector injector(parse_fault_plan("drop@r0:i1"));
+  InProcessFabric fabric(2, 1, /*timeout_seconds=*/0.1);
+  fabric.set_fault_injector(&injector);
+  injector.begin_attempt(2, 0);
+  injector.on_iteration(0, 1);
+  injector.on_iteration(1, 1);
+
+  try {
+    spmd_run(fabric, 1, [&](const RankEnv& env) {
+      std::vector<double> msg = {42.0};
+      if (env.rank == 0) {
+        env.fabric->send(0, 1, msg);  // silently dropped
+      } else {
+        env.fabric->recv(0, 1, msg);
+      }
+    });
+    FAIL() << "dropped message must surface as a recv timeout";
+  } catch (const FabricTimeoutError& e) {
+    EXPECT_EQ(e.site(), "recv");
+    EXPECT_EQ(e.rank(), 1);
+    EXPECT_EQ(e.peer(), 0);
+  }
+  ASSERT_EQ(injector.events().size(), 1u);
+  EXPECT_EQ(injector.events()[0].kind, FaultKind::kDrop);
+}
+
+// ------------------------------------------------------ poison propagation --
+
+struct Boom : std::runtime_error {
+  Boom() : std::runtime_error("scripted rank failure") {}
+};
+
+/// Crashes rank `victim` and parks every survivor in `wait`; asserts the
+/// original error is rethrown and every survivor observed the poisoning.
+void expect_poison_observed(
+    const char* label, int n_ranks, int victim,
+    const std::function<void(const RankEnv&)>& wait) {
+  InProcessFabric fabric(n_ranks, static_cast<std::size_t>(n_ranks),
+                         /*timeout_seconds=*/5.0);
+  std::vector<int> observed(static_cast<std::size_t>(n_ranks), 0);
+  try {
+    spmd_run(fabric, 1, [&](const RankEnv& env) {
+      if (env.rank == victim) {
+        throw Boom();
+      }
+      try {
+        wait(env);
+      } catch (const FabricPoisonedError&) {
+        observed[static_cast<std::size_t>(env.rank)] = 1;
+        throw;
+      }
+    });
+    FAIL() << label << ": the victim's error must be rethrown";
+  } catch (const Boom&) {
+    // The causal error wins over the survivors' collateral poisoning.
+  }
+  for (int r = 0; r < n_ranks; ++r) {
+    if (r == victim) {
+      continue;
+    }
+    EXPECT_EQ(observed[static_cast<std::size_t>(r)], 1)
+        << label << ": rank " << r << " never observed the poisoning";
+  }
+}
+
+TEST(PoisonPropagation, EverySurvivorObservesACrashAtEachCallSite) {
+  constexpr int kRanks = 4;
+  constexpr int kVictim = 2;
+
+  expect_poison_observed("barrier", kRanks, kVictim, [](const RankEnv& env) {
+    env.fabric->barrier(env.rank);
+  });
+
+  expect_poison_observed("allreduce", kRanks, kVictim, [](const RankEnv& env) {
+    const std::vector<double> mine = {1.0};
+    (void)env.fabric->allreduce_ordered(env.rank,
+                                        static_cast<std::size_t>(env.rank), mine);
+  });
+
+  expect_poison_observed("recv", kRanks, kVictim, [kVictim](const RankEnv& env) {
+    std::vector<double> msg(1);
+    env.fabric->recv(kVictim, env.rank, msg);  // the victim never sends
+  });
+}
+
+TEST(PoisonPropagation, InjectedCrashPoisonsLikeAnyOtherFailure) {
+  // Same matrix entry via the injector: the crash fault thrown inside the
+  // rank body must poison the fabric for the ranks parked at the barrier.
+  FaultInjector injector(parse_fault_plan("crash@r1:i2"));
+  InProcessFabric fabric(3, 3, /*timeout_seconds=*/5.0);
+  fabric.set_fault_injector(&injector);
+  injector.begin_attempt(3, 0);
+
+  std::vector<int> observed(3, 0);
+  try {
+    spmd_run(fabric, 1, [&](const RankEnv& env) {
+      try {
+        injector.on_iteration(env.rank, 1);
+        injector.on_iteration(env.rank, 2);  // rank 1 dies here
+        env.fabric->barrier(env.rank);
+      } catch (const FabricPoisonedError&) {
+        observed[static_cast<std::size_t>(env.rank)] = 1;
+        throw;
+      }
+    });
+    FAIL() << "the injected failure must be rethrown";
+  } catch (const InjectedRankFailure& e) {
+    EXPECT_EQ(e.rank(), 1);
+    EXPECT_EQ(e.iteration(), 2);
+  }
+  EXPECT_EQ(observed[0], 1);
+  EXPECT_EQ(observed[2], 1);
+}
+
+}  // namespace
+}  // namespace semfpga::runtime

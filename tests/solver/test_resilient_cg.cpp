@@ -1,0 +1,331 @@
+/// The supervised CG's two contracts: (1) with no fault firing, the
+/// checkpointed solve is bitwise identical to the plain solve on every
+/// backend × fused × preconditioner × threads combination; (2) when a
+/// reduction is corrupted, the solve rolls back to the last checkpoint,
+/// replays, and converges to the exact trajectory of the undisturbed run —
+/// or throws a typed ResilienceExhaustedError carrying a non-empty report
+/// once the retry budget runs out.
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "backend/backend.hpp"
+#include "solver/poisson_system.hpp"
+#include "solver/resilient_cg.hpp"
+
+namespace semfpga::solver {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+sem::Mesh make_mesh() {
+  sem::BoxMeshSpec spec;
+  spec.degree = 3;
+  spec.nelx = spec.nely = 2;
+  spec.nelz = 4;
+  return sem::box_mesh(spec);
+}
+
+/// Forcing + RHS of the manufactured problem on `system`.
+aligned_vector<double> make_rhs(const PoissonSystem& system) {
+  const std::size_t n = system.n_local();
+  aligned_vector<double> f(n);
+  system.sample(
+      [](double x, double y, double z) {
+        return std::sin(kPi * x) * std::sin(kPi * y) * std::sin(kPi * z);
+      },
+      std::span<double>(f.data(), n));
+  aligned_vector<double> b(n);
+  system.assemble_rhs(std::span<const double>(f.data(), n),
+                      std::span<double>(b.data(), n));
+  return b;
+}
+
+void expect_bitwise_equal(const CgResult& want, const aligned_vector<double>& want_x,
+                          const CgResult& got, const aligned_vector<double>& got_x,
+                          const std::string& label) {
+  ASSERT_EQ(got.iterations, want.iterations) << label;
+  EXPECT_EQ(got.converged, want.converged) << label;
+  EXPECT_EQ(got.final_residual, want.final_residual) << label;
+  ASSERT_EQ(got.residual_history.size(), want.residual_history.size()) << label;
+  for (std::size_t i = 0; i < want.residual_history.size(); ++i) {
+    ASSERT_EQ(got.residual_history[i], want.residual_history[i])
+        << label << " iteration " << i;
+  }
+  ASSERT_EQ(got_x.size(), want_x.size()) << label;
+  for (std::size_t p = 0; p < want_x.size(); ++p) {
+    ASSERT_EQ(got_x[p], want_x[p]) << label << " dof " << p;
+  }
+}
+
+/// Wraps a Backend and corrupts the result of scripted reduce() calls —
+/// the single-process stand-in for a bad transfer feeding a dot product.
+class CorruptingBackend final : public backend::Backend {
+ public:
+  CorruptingBackend(Backend& inner, int corrupt_at_call, double corrupt_value,
+                    bool persistent)
+      : inner_(inner),
+        corrupt_at_call_(corrupt_at_call),
+        corrupt_value_(corrupt_value),
+        persistent_(persistent) {}
+
+  [[nodiscard]] const char* name() const noexcept override { return "corrupting"; }
+  [[nodiscard]] std::size_t n_local() const noexcept override { return inner_.n_local(); }
+  [[nodiscard]] int threads() const noexcept override { return inner_.threads(); }
+  [[nodiscard]] const aligned_vector<double>& jacobi_diagonal() const override {
+    return inner_.jacobi_diagonal();
+  }
+  [[nodiscard]] const aligned_vector<double>& inv_multiplicity() const override {
+    return inner_.inv_multiplicity();
+  }
+  [[nodiscard]] const aligned_vector<double>& mask() const override {
+    return inner_.mask();
+  }
+  void apply(std::span<const double> u, std::span<double> w) override {
+    inner_.apply(u, w);
+  }
+  void apply_unmasked(std::span<const double> u, std::span<double> w) override {
+    inner_.apply_unmasked(u, w);
+  }
+  void qqt(std::span<double> local) override { inner_.qqt(local); }
+  void apply_mask(std::span<double> w) override { inner_.apply_mask(w); }
+  double reduce(backend::PassCost cost, backend::ReduceBody body) override {
+    const double value = inner_.reduce(cost, body);
+    ++reduce_calls_;
+    if (reduce_calls_ == corrupt_at_call_ || (persistent_ && reduce_calls_ > corrupt_at_call_)) {
+      ++corruptions;
+      return corrupt_value_;
+    }
+    return value;
+  }
+  void vector_pass(backend::PassCost cost, backend::PassBody body) override {
+    inner_.vector_pass(cost, body);
+  }
+  [[nodiscard]] std::int64_t operator_flops() const override {
+    return inner_.operator_flops();
+  }
+  [[nodiscard]] std::int64_t global_dofs() const override {
+    return inner_.global_dofs();
+  }
+  [[nodiscard]] std::size_t n_global() const override { return inner_.n_global(); }
+  void gather(std::span<const double> global, std::span<double> local) const override {
+    inner_.gather(global, local);
+  }
+
+  int corruptions = 0;
+
+ private:
+  Backend& inner_;
+  int reduce_calls_ = 0;
+  int corrupt_at_call_;
+  double corrupt_value_;
+  bool persistent_;
+};
+
+TEST(ResilientCg, BitwiseIdenticalToPlainSolveAcrossBackends) {
+  const sem::Mesh mesh = make_mesh();
+  for (const char* name : {"cpu", "fpga-sim"}) {
+    for (const bool fused : {true, false}) {
+      for (const bool jacobi : {false, true}) {
+        PoissonSystem system(mesh);
+        system.set_fused(fused);
+        const std::size_t n = system.n_local();
+        const aligned_vector<double> b = make_rhs(system);
+
+        CgOptions plain;
+        plain.max_iterations = 25;
+        plain.tolerance = 1e-12;
+        plain.use_jacobi = jacobi;
+        plain.record_history = true;
+
+        const auto be1 = backend::make(name, system);
+        aligned_vector<double> x_plain(n, 0.0);
+        const CgResult want = solve_cg(*be1, std::span<const double>(b.data(), n),
+                                       std::span<double>(x_plain.data(), n), plain);
+        ASSERT_GT(want.iterations, 4);
+
+        ResilientCgOptions options;
+        options.cg = plain;
+        options.checkpoint_every = 4;
+        const auto be2 = backend::make(name, system);
+        aligned_vector<double> x_sup(n, 0.0);
+        const ResilientCgResult got =
+            solve_cg_resilient(*be2, std::span<const double>(b.data(), n),
+                               std::span<double>(x_sup.data(), n), options);
+
+        const std::string label = std::string(name) + " fused=" +
+                                  std::to_string(fused) + " jacobi=" +
+                                  std::to_string(jacobi);
+        expect_bitwise_equal(want, x_plain, got.cg, x_sup, label);
+        // The undisturbed run records nothing but the snapshots it took.
+        EXPECT_TRUE(got.report.empty()) << label;
+        EXPECT_GT(got.report.checkpoints_taken, 0) << label;
+      }
+    }
+  }
+}
+
+TEST(ResilientCg, NanCorruptionRollsBackToTheUndisturbedTrajectory) {
+  const sem::Mesh mesh = make_mesh();
+  PoissonSystem system(mesh);
+  const std::size_t n = system.n_local();
+  const aligned_vector<double> b = make_rhs(system);
+
+  CgOptions plain;
+  plain.max_iterations = 20;
+  plain.tolerance = 0.0;  // fixed iteration count
+  plain.record_history = true;
+
+  const auto clean = backend::make("cpu", system);
+  aligned_vector<double> x_want(n, 0.0);
+  const CgResult want = solve_cg(*clean, std::span<const double>(b.data(), n),
+                                 std::span<double>(x_want.data(), n), plain);
+
+  // One NaN mid-solve: the guard faults, the solve rolls back to the last
+  // checkpoint, and the replayed (uncorrupted) trajectory must be exact.
+  const auto inner = backend::make("cpu", system);
+  CorruptingBackend corrupting(*inner, /*corrupt_at_call=*/21,
+                               std::numeric_limits<double>::quiet_NaN(),
+                               /*persistent=*/false);
+  ResilientCgOptions options;
+  options.cg = plain;
+  options.checkpoint_every = 4;
+  aligned_vector<double> x_got(n, 0.0);
+  const ResilientCgResult got =
+      solve_cg_resilient(corrupting, std::span<const double>(b.data(), n),
+                         std::span<double>(x_got.data(), n), options);
+
+  EXPECT_EQ(corrupting.corruptions, 1);
+  EXPECT_EQ(got.report.numerical_faults, 1);
+  EXPECT_EQ(got.report.retries, 1);
+  EXPECT_EQ(got.report.checkpoints_restored, 1);
+  EXPECT_FALSE(got.report.events.empty());
+  EXPECT_FALSE(got.report.to_string().empty());
+  expect_bitwise_equal(want, x_want, got.cg, x_got, "nan rollback");
+}
+
+TEST(ResilientCg, FiniteDivergenceTripsTheDivergenceGuard) {
+  // An astronomically wrong but finite reduction — the bit-flip model —
+  // must be caught by the divergence guard, not the NaN guard.
+  const sem::Mesh mesh = make_mesh();
+  PoissonSystem system(mesh);
+  const std::size_t n = system.n_local();
+  const aligned_vector<double> b = make_rhs(system);
+
+  CgOptions plain;
+  plain.max_iterations = 20;
+  plain.tolerance = 0.0;
+  plain.record_history = true;
+
+  const auto clean = backend::make("cpu", system);
+  aligned_vector<double> x_want(n, 0.0);
+  const CgResult want = solve_cg(*clean, std::span<const double>(b.data(), n),
+                                 std::span<double>(x_want.data(), n), plain);
+
+  // Call 22 is the fused axpy + residual-norm reduction of iteration 7
+  // (calls 1-2 are the initial residual + Jacobi rho, then three
+  // reductions per iteration): the corrupted scalar lands in rr, where the
+  // divergence guard reads it — corrupting the <p, Ap> dot instead would
+  // merely zero alpha, which no norm-based guard can see.
+  const auto inner = backend::make("cpu", system);
+  CorruptingBackend corrupting(*inner, /*corrupt_at_call=*/22, 1e280,
+                               /*persistent=*/false);
+  ResilientCgOptions options;
+  options.cg = plain;
+  options.checkpoint_every = 4;
+  options.divergence_factor = 1e6;
+  aligned_vector<double> x_got(n, 0.0);
+  const ResilientCgResult got =
+      solve_cg_resilient(corrupting, std::span<const double>(b.data(), n),
+                         std::span<double>(x_got.data(), n), options);
+
+  EXPECT_EQ(got.report.numerical_faults, 1);
+  EXPECT_EQ(got.report.checkpoints_restored, 1);
+  expect_bitwise_equal(want, x_want, got.cg, x_got, "divergence rollback");
+}
+
+TEST(ResilientCg, RestartsFromTheInitialGuessWithoutCheckpoints) {
+  const sem::Mesh mesh = make_mesh();
+  PoissonSystem system(mesh);
+  const std::size_t n = system.n_local();
+  const aligned_vector<double> b = make_rhs(system);
+
+  CgOptions plain;
+  plain.max_iterations = 15;
+  plain.tolerance = 0.0;
+  plain.record_history = true;
+
+  const auto clean = backend::make("cpu", system);
+  aligned_vector<double> x_want(n, 0.0);
+  const CgResult want = solve_cg(*clean, std::span<const double>(b.data(), n),
+                                 std::span<double>(x_want.data(), n), plain);
+
+  const auto inner = backend::make("cpu", system);
+  CorruptingBackend corrupting(*inner, /*corrupt_at_call=*/9,
+                               std::numeric_limits<double>::quiet_NaN(),
+                               /*persistent=*/false);
+  ResilientCgOptions options;
+  options.cg = plain;
+  options.checkpoint_every = 0;  // no snapshots: recovery restarts from x0
+  aligned_vector<double> x_got(n, 0.0);
+  const ResilientCgResult got =
+      solve_cg_resilient(corrupting, std::span<const double>(b.data(), n),
+                         std::span<double>(x_got.data(), n), options);
+
+  EXPECT_EQ(got.report.checkpoints_taken, 0);
+  EXPECT_EQ(got.report.checkpoints_restored, 0);
+  EXPECT_EQ(got.report.retries, 1);
+  expect_bitwise_equal(want, x_want, got.cg, x_got, "restart from x0");
+}
+
+TEST(ResilientCg, ExhaustedRetryBudgetThrowsTypedErrorWithReport) {
+  const sem::Mesh mesh = make_mesh();
+  PoissonSystem system(mesh);
+  const std::size_t n = system.n_local();
+  const aligned_vector<double> b = make_rhs(system);
+
+  const auto inner = backend::make("cpu", system);
+  // Every reduction from call 5 on is NaN: no rollback can ever succeed.
+  CorruptingBackend corrupting(*inner, /*corrupt_at_call=*/5,
+                               std::numeric_limits<double>::quiet_NaN(),
+                               /*persistent=*/true);
+  ResilientCgOptions options;
+  options.cg.max_iterations = 20;
+  options.cg.tolerance = 0.0;
+  options.checkpoint_every = 2;
+  options.max_retries = 2;
+  aligned_vector<double> x(n, 0.0);
+  try {
+    (void)solve_cg_resilient(corrupting, std::span<const double>(b.data(), n),
+                             std::span<double>(x.data(), n), options);
+    FAIL() << "a persistently corrupted solve must exhaust its budget";
+  } catch (const ResilienceExhaustedError& e) {
+    const ResilienceReport& report = e.report();
+    EXPECT_EQ(report.retries, 2);
+    EXPECT_EQ(report.numerical_faults, 3);  // initial attempt + 2 retries
+    EXPECT_FALSE(report.events.empty());
+    EXPECT_FALSE(report.empty());
+  }
+}
+
+TEST(ResilientCg, RejectsCallerOwnedHookAndResume) {
+  const sem::Mesh mesh = make_mesh();
+  PoissonSystem system(mesh);
+  const std::size_t n = system.n_local();
+  const aligned_vector<double> b = make_rhs(system);
+  const auto be = backend::make("cpu", system);
+  aligned_vector<double> x(n, 0.0);
+
+  ResilientCgOptions options;
+  options.cg.iteration_hook = [](const CgIterationView&) {};
+  EXPECT_THROW((void)solve_cg_resilient(*be, std::span<const double>(b.data(), n),
+                                        std::span<double>(x.data(), n), options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace semfpga::solver
