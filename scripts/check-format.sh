@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# clang-format --dry-run over every C++ source in the tree (src/ bench/
+# examples/ tests/ plus the detlint fixtures are excluded from nothing:
+# fixtures must stay readable too).  Writes the would-be diff to --diff-out
+# when given, so CI can upload it as an artifact.
+#
+# Exit: 0 = conformant or clang-format not installed (prints a notice; the
+# caller decides whether absence is fatal via lint.sh --require), 1 = files
+# need reformatting.
+set -u
+
+DIFF_OUT=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --diff-out) DIFF_OUT="$2"; shift 2 ;;
+    *) echo "usage: $0 [--diff-out FILE]" >&2; exit 2 ;;
+  esac
+done
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "clang-format not installed — format check skipped"
+  exit 0
+fi
+
+mapfile -t FILES < <(find src bench examples tests tools -type f \
+  \( -name '*.cpp' -o -name '*.hpp' -o -name '*.h' \) | sort)
+
+BAD=0
+: > "${DIFF_OUT:-/dev/null}" 2>/dev/null || true
+for f in "${FILES[@]}"; do
+  if ! clang-format --dry-run -Werror "$f" >/dev/null 2>&1; then
+    BAD=$((BAD + 1))
+    echo "needs-format: $f"
+    if [ -n "$DIFF_OUT" ]; then
+      diff -u "$f" <(clang-format "$f") >> "$DIFF_OUT" || true
+    fi
+  fi
+done
+
+if [ "$BAD" -ne 0 ]; then
+  echo "clang-format: $BAD file(s) need reformatting ($(clang-format --version))"
+  exit 1
+fi
+echo "clang-format: ${#FILES[@]} file(s) conformant"

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# One lint entry point, identical locally and in CI:
+#
+#   scripts/lint.sh [-p BUILD_DIR] [--require tool1,tool2] [--artifacts DIR]
+#
+# Runs, in order: detlint (always — python3 only), clang-tidy, cppcheck and
+# the clang-format check.  Tools that are not installed are *skipped with a
+# notice* so a plain container still lints what it can — unless named in
+# --require, which is how CI turns "absent" into "failed" instead of
+# silently losing a gate.  Findings from every tool land in --artifacts DIR
+# (detlint emits JSON + SARIF; clang-tidy and cppcheck plain-text logs) so
+# CI can upload them.
+#
+# Exit status: 0 only if every tool that ran (or was required) passed.
+set -u
+
+BUILD_DIR=build
+REQUIRE=""
+ARTIFACTS=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -p) BUILD_DIR="$2"; shift 2 ;;
+    --require) REQUIRE="$2"; shift 2 ;;
+    --artifacts) ARTIFACTS="$2"; shift 2 ;;
+    *) echo "usage: $0 [-p BUILD_DIR] [--require tools] [--artifacts DIR]" >&2; exit 2 ;;
+  esac
+done
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+[ -n "$ARTIFACTS" ] && mkdir -p "$ARTIFACTS"
+
+FAILED=""
+SKIPPED=""
+
+required() { case ",$REQUIRE," in *",$1,"*) return 0 ;; *) return 1 ;; esac }
+
+note() { printf '\n== %s ==\n' "$1"; }
+
+# ---------------------------------------------------------------- detlint --
+note "detlint (determinism contracts)"
+DETLINT_ARGS=(-p "$BUILD_DIR")
+if [ -n "$ARTIFACTS" ]; then
+  DETLINT_ARGS+=(--json "$ARTIFACTS/detlint.json" --sarif "$ARTIFACTS/detlint.sarif")
+fi
+if ! python3 tools/detlint/detlint.py "${DETLINT_ARGS[@]}"; then
+  FAILED="$FAILED detlint"
+fi
+
+# ------------------------------------------------------------- clang-tidy --
+note "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  TIDY_LOG="${ARTIFACTS:-/tmp}/clang-tidy.log"
+  # src/ only: the library is where the contracts live, and the test/bench
+  # TUs re-instantiate the same templates at several times the cost.
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -quiet -p "$BUILD_DIR" "^$ROOT/src/" 2>&1 | tee "$TIDY_LOG"
+    TIDY_RC=${PIPESTATUS[0]}
+  else
+    FILES=$(python3 -c "import json;print('\n'.join(sorted(set(e['file'] for e in json.load(open('$BUILD_DIR/compile_commands.json')) if '/src/' in e['file']))))")
+    TIDY_RC=0
+    echo "$FILES" | xargs -P "$(nproc)" -n 4 clang-tidy -quiet -p "$BUILD_DIR" 2>&1 | tee "$TIDY_LOG"
+    [ "${PIPESTATUS[0]}" -ne 0 ] && TIDY_RC=1
+  fi
+  # .clang-tidy sets WarningsAsErrors: '*', so any finding is a hard fail.
+  if [ "$TIDY_RC" -ne 0 ] || grep -q "error:" "$TIDY_LOG"; then
+    FAILED="$FAILED clang-tidy"
+  fi
+elif required clang-tidy; then
+  echo "clang-tidy REQUIRED but not installed"; FAILED="$FAILED clang-tidy(missing)"
+else
+  echo "clang-tidy not installed — skipped"; SKIPPED="$SKIPPED clang-tidy"
+fi
+
+# --------------------------------------------------------------- cppcheck --
+note "cppcheck"
+if command -v cppcheck >/dev/null 2>&1; then
+  CPPCHECK_LOG="${ARTIFACTS:-/tmp}/cppcheck.log"
+  if ! cppcheck --project="$BUILD_DIR/compile_commands.json" \
+       --enable=warning,portability --inline-suppr \
+       --suppressions-list=.cppcheck-suppressions \
+       --file-filter="$ROOT/src/*" --error-exitcode=1 --quiet \
+       -j "$(nproc)" 2>&1 | tee "$CPPCHECK_LOG"; then
+    FAILED="$FAILED cppcheck"
+  elif [ "${PIPESTATUS[0]}" -ne 0 ]; then
+    FAILED="$FAILED cppcheck"
+  fi
+elif required cppcheck; then
+  echo "cppcheck REQUIRED but not installed"; FAILED="$FAILED cppcheck(missing)"
+else
+  echo "cppcheck not installed — skipped"; SKIPPED="$SKIPPED cppcheck"
+fi
+
+# ------------------------------------------------------------class format --
+note "clang-format"
+FORMAT_ARGS=()
+[ -n "$ARTIFACTS" ] && FORMAT_ARGS+=(--diff-out "$ARTIFACTS/format.diff")
+if ! scripts/check-format.sh "${FORMAT_ARGS[@]}"; then
+  if required clang-format || [ "${SEMFPGA_FORMAT_FATAL:-0}" = "1" ]; then
+    FAILED="$FAILED clang-format"
+  else
+    # Reported and uploaded, but not (yet) a gate: flipping this to fatal
+    # requires pinning one clang-format version and mass-formatting the
+    # tree in a dedicated commit — see README "Static analysis".
+    echo "clang-format check failed (advisory until SEMFPGA_FORMAT_FATAL=1)"
+    SKIPPED="$SKIPPED clang-format(advisory)"
+  fi
+fi
+
+# ---------------------------------------------------------------- summary --
+note "summary"
+[ -n "$SKIPPED" ] && echo "skipped:$SKIPPED"
+if [ -n "$FAILED" ]; then
+  echo "FAILED:$FAILED"
+  exit 1
+fi
+echo "lint clean"

@@ -49,9 +49,10 @@ namespace semfpga {
   return requested > 0 ? requested : hardware_threads();
 }
 
-/// Runs fn(i) for i in [0, n), statically partitioned over `threads`.
+/// Runs fn(i) for i in [0, n), statically partitioned over `threads`
+/// (unused on the serial fallback built without OpenMP).
 template <class Fn>
-void parallel_for(std::size_t n, int threads, Fn&& fn) {
+void parallel_for(std::size_t n, [[maybe_unused]] int threads, Fn&& fn) {
 #if defined(SEMFPGA_HAVE_OPENMP)
   const int t = resolve_threads(threads);
   if (t > 1 && n > 1) {
@@ -61,8 +62,6 @@ void parallel_for(std::size_t n, int threads, Fn&& fn) {
     }
     return;
   }
-#else
-  (void)threads;
 #endif
   for (std::size_t i = 0; i < n; ++i) {
     fn(i);

@@ -28,8 +28,7 @@ GaussRule gauss_rule(int n_points) {
     // Store ascending.
     const auto idx = static_cast<std::size_t>(n_points - 1 - i);
     rule.nodes[idx] = x;
-    const auto [l, d] = legendre_deriv(n_points, x);
-    (void)l;
+    [[maybe_unused]] const auto [l, d] = legendre_deriv(n_points, x);
     rule.weights[idx] = 2.0 / ((1.0 - x * x) * d * d);
   }
 

@@ -24,8 +24,7 @@ GllRule gll_rule(int n_points) {
   for (int i = 1; i < n; ++i) {
     double x = -std::cos(kPi * static_cast<double>(i) / static_cast<double>(n));
     for (int it = 0; it < 64; ++it) {
-      const auto [l, d] = legendre_deriv(n, x);
-      (void)l;
+      [[maybe_unused]] const auto [l, d] = legendre_deriv(n, x);
       const double d2 = legendre_second_deriv(n, x);
       const double step = d / d2;
       x -= step;

@@ -53,8 +53,8 @@ INSTANTIATE_TEST_SUITE_P(
                       DeviceCase{"s10m", &stratix10_10m},
                       DeviceCase{"s10m_enh", &stratix10_10m_enhanced},
                       DeviceCase{"ideal", &ideal_cfd_fpga}),
-    [](const ::testing::TestParamInfo<DeviceCase>& info) {
-      return info.param.label;
+    [](const ::testing::TestParamInfo<DeviceCase>& tpi) {
+      return tpi.param.label;
     });
 
 TEST(DeviceFailure, UndersizedDeviceIsRejected) {

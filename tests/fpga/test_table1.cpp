@@ -47,15 +47,18 @@ TEST_P(Table1Sweep, ModelErrorColumnReproduces) {
 
 INSTANTIATE_TEST_SUITE_P(AllRows, Table1Sweep,
                          ::testing::ValuesIn(paper_table1()),
-                         [](const ::testing::TestParamInfo<Table1Row>& info) {
-                           return "N" + std::to_string(info.param.degree);
+                         [](const ::testing::TestParamInfo<Table1Row>& tpi) {
+                           std::string name = "N";
+                           name += std::to_string(tpi.param.degree);
+                           return name;
                          });
 
 TEST(Table1, PublishedRowsSatisfyTheThroughputIdentity) {
   // Internal consistency of the published data itself:
   // GFLOP/s = (12(N+1)+15) * DOFs/cycle * fmax.
   for (const Table1Row& row : paper_table1()) {
-    const double flops_per_dof = kernels::ax_flops_per_dof(row.degree + 1);
+    const double flops_per_dof =
+        static_cast<double>(kernels::ax_flops_per_dof(row.degree + 1));
     const double derived = flops_per_dof * row.dofs_per_cycle * row.fmax_mhz * 1e6 / 1e9;
     EXPECT_NEAR(derived, row.gflops, 0.04 * row.gflops) << "N=" << row.degree;
   }

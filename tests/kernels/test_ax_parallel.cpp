@@ -103,10 +103,10 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::ValuesIn(kAllAxVariants),
                        ::testing::Values(sem::Deformation::kSine,
                                          sem::Deformation::kTwist)),
-    [](const ::testing::TestParamInfo<EngineCase>& info) {
-      return std::string("N") + std::to_string(std::get<0>(info.param)) + "_" +
-             ax_variant_name(std::get<1>(info.param)) + "_" +
-             (std::get<2>(info.param) == sem::Deformation::kSine ? "sine" : "twist");
+    [](const ::testing::TestParamInfo<EngineCase>& tpi) {
+      return std::string("N") + std::to_string(std::get<0>(tpi.param)) + "_" +
+             ax_variant_name(std::get<1>(tpi.param)) + "_" +
+             (std::get<2>(tpi.param) == sem::Deformation::kSine ? "sine" : "twist");
     });
 
 TEST(AxFixedN1d, DirectTemplateCallMatchesReference) {

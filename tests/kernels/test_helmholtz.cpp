@@ -174,8 +174,8 @@ TEST_P(HelmEngine, RethreadingIsBitwiseDeterministic) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllVariants, HelmEngine, ::testing::ValuesIn(kAllAxVariants),
-                         [](const ::testing::TestParamInfo<AxVariant>& info) {
-                           return std::string(ax_variant_name(info.param));
+                         [](const ::testing::TestParamInfo<AxVariant>& tpi) {
+                           return std::string(ax_variant_name(tpi.param));
                          });
 
 }  // namespace

@@ -114,11 +114,14 @@ INSTANTIATE_TEST_SUITE_P(
                                          Variant::kSoa, Variant::kOmp),
                        ::testing::Values(sem::Deformation::kSine,
                                          sem::Deformation::kTwist)),
-    [](const ::testing::TestParamInfo<MatrixCase>& info) {
-      return std::string("N") + std::to_string(std::get<0>(info.param)) + "_" +
-             variant_name(std::get<1>(info.param)) + "_" +
-             (std::get<2>(info.param) == sem::Deformation::kSine ? "sine"
-                                                                 : "twist");
+    [](const ::testing::TestParamInfo<MatrixCase>& tpi) {
+      std::string name = "N";
+      name += std::to_string(std::get<0>(tpi.param));
+      name += "_";
+      name += variant_name(std::get<1>(tpi.param));
+      name += "_";
+      name += std::get<2>(tpi.param) == sem::Deformation::kSine ? "sine" : "twist";
+      return name;
     });
 
 }  // namespace

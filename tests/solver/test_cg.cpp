@@ -30,9 +30,9 @@ struct ManufacturedSolve {
     const std::size_t n = system.n_local();
     aligned_vector<double> f(n);
     system.sample(
-        [](double x, double y, double z) {
-          return 3.0 * kPi * kPi * std::sin(kPi * x) * std::sin(kPi * y) *
-                 std::sin(kPi * z);
+        [](double px, double py, double pz) {
+          return 3.0 * kPi * kPi * std::sin(kPi * px) * std::sin(kPi * py) *
+                 std::sin(kPi * pz);
         },
         std::span<double>(f.data(), n));
     aligned_vector<double> b(n);

@@ -88,8 +88,8 @@ TEST_P(CgThreads, RethreadingIsBitwiseDeterministic) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Preconditioners, CgThreads, ::testing::Bool(),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "jacobi" : "identity";
+                         [](const ::testing::TestParamInfo<bool>& tpi) {
+                           return tpi.param ? "jacobi" : "identity";
                          });
 
 TEST(NekboneThreads, ProxyRunIsThreadCountInvariant) {

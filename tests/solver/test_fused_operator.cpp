@@ -143,10 +143,10 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::ValuesIn(kernels::kAllAxVariants),
                        ::testing::Values(sem::Deformation::kSine,
                                          sem::Deformation::kTwist)),
-    [](const ::testing::TestParamInfo<FusedCase>& info) {
-      return std::string("N") + std::to_string(std::get<0>(info.param)) + "_" +
-             kernels::ax_variant_name(std::get<1>(info.param)) + "_" +
-             (std::get<2>(info.param) == sem::Deformation::kSine ? "sine" : "twist");
+    [](const ::testing::TestParamInfo<FusedCase>& tpi) {
+      return std::string("N") + std::to_string(std::get<0>(tpi.param)) + "_" +
+             kernels::ax_variant_name(std::get<1>(tpi.param)) + "_" +
+             (std::get<2>(tpi.param) == sem::Deformation::kSine ? "sine" : "twist");
     });
 
 /// One full CG solve; `fused` and `threads` select the operator path.

@@ -38,7 +38,7 @@ std::vector<double> random_local(const GatherScatter& gs, std::uint64_t seed) {
 /// dofs_per_layer), then global = below-layer partial + above-layer
 /// partial.  Copies of one DOF span at most two adjacent layers.
 struct NaiveOracle {
-  explicit NaiveOracle(const GatherScatter& gs) : gs(gs) {}
+  explicit NaiveOracle(const GatherScatter& schedule) : gs(schedule) {}
 
   [[nodiscard]] std::vector<double> scatter_add(const std::vector<double>& local) const {
     std::vector<double> below(gs.n_global(), 0.0);
@@ -272,9 +272,12 @@ INSTANTIATE_TEST_SUITE_P(Meshes, GsSchedule,
                                            std::tuple<int, int>{3, 3},
                                            std::tuple<int, int>{5, 2},
                                            std::tuple<int, int>{7, 2}),
-                         [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
-                           return "N" + std::to_string(std::get<0>(info.param)) + "_nel" +
-                                  std::to_string(std::get<1>(info.param));
+                         [](const ::testing::TestParamInfo<std::tuple<int, int>>& tpi) {
+                           std::string name = "N";
+                           name += std::to_string(std::get<0>(tpi.param));
+                           name += "_nel";
+                           name += std::to_string(std::get<1>(tpi.param));
+                           return name;
                          });
 
 }  // namespace

@@ -111,9 +111,9 @@ INSTANTIATE_TEST_SUITE_P(
     Degrees3To9, HelmholtzFusedParity,
     ::testing::Combine(::testing::Values(3, 5, 7, 9),
                        ::testing::ValuesIn(kernels::kAllAxVariants)),
-    [](const ::testing::TestParamInfo<FusedCase>& info) {
-      return std::string("N") + std::to_string(std::get<0>(info.param)) + "_" +
-             kernels::ax_variant_name(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<FusedCase>& tpi) {
+      return std::string("N") + std::to_string(std::get<0>(tpi.param)) + "_" +
+             kernels::ax_variant_name(std::get<1>(tpi.param));
     });
 
 TEST(HelmholtzSystem, RejectsNegativeLambda) {

@@ -1,0 +1,652 @@
+#!/usr/bin/env python3
+"""detlint — determinism-contract static analysis for the semfpga tree.
+
+The repository's load-bearing guarantees (fused == split, distributed ==
+single-rank, supervised == plain, re-threading invariance) are *bitwise*
+determinism contracts: every floating-point reduction must happen in one
+canonical association (common/parallel.hpp's chunked_reduce /
+segmented_reduce / tree_fold, common/split_fold.hpp's two-term fold), and
+nothing in a hot path may depend on thread scheduling, hash-table iteration
+order, wall-clock time or address-space layout.  Runtime tests enforce the
+contracts at the thread counts they run; detlint enforces the *source
+patterns* that break them at the thread counts they don't.
+
+Checks (names are stable; suppress with `// detlint: allow(<check>) reason`):
+
+  omp-canonical-reduction  `#pragma omp` reduction/atomic/critical clauses
+                           anywhere but src/common/parallel.hpp.  A raw OpenMP
+                           reduction re-associates per thread count; the
+                           canonical seam is the only place allowed to spell
+                           parallel accumulation.
+  raw-fp-accumulation      Floating-point `x += ...` / `x -= ...` / `x = x + ...`
+                           accumulation inside a range-for in src/kernels/,
+                           src/solver/ or src/runtime/ — hot-path sums must be
+                           folded through segmented_reduce / chunked_reduce /
+                           split_fold so the association is fixed.
+  unordered-iteration      Range-for (or .begin() iteration) over a
+                           std::unordered_* container: iteration order is
+                           unspecified and may feed numeric state.
+  fabric-deadline          Blocking waits that escape the PR-6 timeout
+                           contract: constructing InProcessFabric with a
+                           non-positive timeout literal (waits forever), or a
+                           raw condition_variable/atomic `.wait(` outside the
+                           fabric's own bounded-wait implementation.
+  nondeterministic-seed    rand()/srand()/std::random_device/time()-seeding/
+                           address-as-seed in src/ — SplitMix64 with an
+                           explicit seed is the project RNG.
+  malformed-allow          A `detlint: allow` pragma without a reason, or
+                           naming an unknown check.  Suppressions must be
+                           self-documenting; this check cannot be suppressed.
+  unused-allow             An allow pragma that no longer suppresses any
+                           finding — stale exceptions get deleted, not kept.
+
+Usage:
+  detlint.py [-p BUILD_DIR] [--root DIR] [--json OUT] [--sarif OUT]
+             [--list-allows] [files...]
+
+With no explicit file list, the translation units are read from
+compile_commands.json (found in -p BUILD_DIR, then <root>/, then <root>/build/)
+and augmented with every header under the scanned directories (src/ bench/
+examples/ tests/), since headers never appear in the compilation database.
+Exit status: 0 = clean, 1 = findings, 2 = usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
+
+TOOL_NAME = "detlint"
+TOOL_VERSION = "1.0.0"
+
+#: Directories (relative to the repo root) whose sources are scanned at all.
+SCAN_DIRS = ("src", "bench", "examples", "tests")
+
+#: Source extensions scanned (headers included: the hot path lives in .hpp).
+SOURCE_EXTS = (".cpp", ".cc", ".cxx", ".hpp", ".h", ".hxx")
+
+#: The one file allowed to spell OpenMP reductions/atomics/criticals: the
+#: canonical deterministic-reduction seam every hot loop must go through.
+OMP_SEAM = "src/common/parallel.hpp"
+
+#: The bounded spin-then-sleep wait lives here; it is the implementation the
+#: fabric-deadline check steers everything else towards.
+FABRIC_IMPL = "src/runtime/fabric.cpp"
+
+#: Hot-path directories for the raw-fp-accumulation check.
+HOT_DIRS = ("src/kernels", "src/solver", "src/runtime")
+
+CHECK_NAMES = (
+    "omp-canonical-reduction",
+    "raw-fp-accumulation",
+    "unordered-iteration",
+    "fabric-deadline",
+    "nondeterministic-seed",
+    "malformed-allow",
+    "unused-allow",
+)
+
+#: Checks that may never be suppressed (suppressing the suppression police
+#: would defeat the "no silent suppressions" rule).
+UNSUPPRESSIBLE = ("malformed-allow", "unused-allow")
+
+
+class Finding(NamedTuple):
+    path: str  # repo-root-relative, forward slashes
+    line: int  # 1-based
+    check: str
+    message: str
+
+
+class Allow(NamedTuple):
+    path: str
+    line: int  # line of the pragma comment itself
+    target_line: int  # line the pragma suppresses
+    checks: Tuple[str, ...]
+    reason: str
+
+
+# ---------------------------------------------------------------------------
+# Lexical scrubbing: blank out comments and string/char literals (preserving
+# line structure) so the checks never match inside prose, and collect the
+# comments separately for allow-pragma parsing.
+# ---------------------------------------------------------------------------
+
+def scrub(text: str) -> Tuple[str, List[Tuple[int, str]]]:
+    """Returns (code, comments): `code` is `text` with comment bodies and
+    string/char literal contents replaced by spaces (newlines kept, so line
+    and column arithmetic is unchanged); `comments` is [(line, comment_text)]
+    with one entry per // comment and per /* */ comment."""
+    out: List[str] = []
+    comments: List[Tuple[int, str]] = []
+    i, n = 0, len(text)
+    line = 1
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            start_line = line
+            j = i
+            while j < n and text[j] != "\n":
+                j += 1
+            comments.append((start_line, text[i:j]))
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            start_line = line
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            body = text[i:j]
+            comments.append((start_line, body))
+            out.append("".join("\n" if ch == "\n" else " " for ch in body))
+            line += body.count("\n")
+            i = j
+        elif c == '"' and i >= 1 and text[i - 1] == "R" and \
+                (i < 2 or not (text[i - 2].isalnum() or text[i - 2] == "_")):
+            # Raw string literal R"delim( ... )delim".
+            m = re.match(r'"([^\s()\\]{0,16})\(', text[i:])
+            if m is None:
+                out.append(c)
+                i += 1
+                continue
+            delim = m.group(1)
+            close = ")" + delim + '"'
+            j = text.find(close, i + m.end())
+            j = n if j < 0 else j + len(close)
+            body = text[i:j]
+            if len(body) >= 2:
+                out.append('"' + "".join("\n" if ch == "\n" else " " for ch in body[1:-1]) + '"')
+            else:
+                out.append(body)
+            line += body.count("\n")
+            i = j
+        elif c == "'" and i >= 1 and (text[i - 1].isalnum() or text[i - 1] == "_"):
+            # C++14 digit separator (1'000'000), not a char literal.
+            out.append(c)
+            i += 1
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + quote if j - i >= 2 else text[i:j])
+            i = j
+        else:
+            out.append(c)
+            if c == "\n":
+                line += 1
+            i += 1
+    return "".join(out), comments
+
+
+# ---------------------------------------------------------------------------
+# Allow pragmas
+# ---------------------------------------------------------------------------
+
+ALLOW_RE = re.compile(r"detlint:\s*allow\s*\(([^)]*)\)\s*:?\s*(.*?)\s*(?:\*/)?\s*$")
+
+
+def parse_allows(path: str, comments: List[Tuple[int, str]],
+                 code_lines: List[str]) -> Tuple[List[Allow], List[Finding]]:
+    """Extracts allow pragmas; a pragma on a code line suppresses that line,
+    a pragma on a comment-only line suppresses the next line."""
+    allows: List[Allow] = []
+    findings: List[Finding] = []
+    for line_no, comment in comments:
+        if "detlint:" not in comment:
+            continue
+        m = ALLOW_RE.search(comment)
+        if m is None:
+            findings.append(Finding(path, line_no, "malformed-allow",
+                                    "detlint pragma is not of the form "
+                                    "`detlint: allow(<check>) <reason>`"))
+            continue
+        checks = tuple(s.strip() for s in m.group(1).split(",") if s.strip())
+        reason = m.group(2).strip()
+        unknown = [c for c in checks if c not in CHECK_NAMES]
+        if not checks or unknown:
+            findings.append(Finding(path, line_no, "malformed-allow",
+                                    f"unknown check name(s) {unknown or '(none)'} in allow "
+                                    f"pragma; valid: {', '.join(CHECK_NAMES)}"))
+            continue
+        bad = [c for c in checks if c in UNSUPPRESSIBLE]
+        if bad:
+            findings.append(Finding(path, line_no, "malformed-allow",
+                                    f"check(s) {bad} cannot be suppressed"))
+            continue
+        if not reason:
+            findings.append(Finding(path, line_no, "malformed-allow",
+                                    "allow pragma without a reason — every exception "
+                                    "must document why it is sound"))
+            continue
+        # Comment-only line -> the pragma governs the next line.
+        code_on_line = code_lines[line_no - 1].strip() if line_no - 1 < len(code_lines) else ""
+        target = line_no if code_on_line else line_no + 1
+        allows.append(Allow(path, line_no, target, checks, reason))
+    return allows, findings
+
+
+# ---------------------------------------------------------------------------
+# Helpers shared by checks
+# ---------------------------------------------------------------------------
+
+def line_of_offset(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def matching_paren(text: str, open_idx: int) -> int:
+    """Index just past the parenthesis matching text[open_idx] ('('), or -1."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def split_top_level_commas(s: str) -> List[str]:
+    parts, depth, start = [], 0, 0
+    for i, ch in enumerate(s):
+        if ch in "([{<":
+            depth += 1
+        elif ch in ")]}>":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            parts.append(s[start:i])
+            start = i + 1
+    parts.append(s[start:])
+    return parts
+
+
+FP_DECL_RE = re.compile(r"\b(?:double|float)\b(?:\s+const\b)?\s+(\w+)\s*(?:=|;|\{|\()")
+FP_AUTO_RE = re.compile(r"\bauto\b(?:\s+const\b)?\s+(\w+)\s*=\s*-?(?:\d+\.\d*|\.\d+|\d+(?:\.\d*)?[fF])")
+
+
+def fp_declarations(code: str) -> Dict[str, List[int]]:
+    """Offsets of every floating-point-typed declaration, by name.  File
+    scope is coarser than C++ scope, which only makes the check *stricter*
+    (a flagged name can always carry an allow pragma with its reason)."""
+    decls: Dict[str, List[int]] = {}
+    for regex in (FP_DECL_RE, FP_AUTO_RE):
+        for m in regex.finditer(code):
+            decls.setdefault(m.group(1), []).append(m.start())
+    return decls
+
+
+class RangeFor(NamedTuple):
+    header_line: int
+    range_expr: str
+    body_start: int  # offset into code
+    body_end: int
+
+
+FOR_RE = re.compile(r"\bfor\s*\(")
+
+
+def range_for_loops(code: str) -> List[RangeFor]:
+    loops: List[RangeFor] = []
+    for m in FOR_RE.finditer(code):
+        open_idx = m.end() - 1
+        close = matching_paren(code, open_idx)
+        if close < 0:
+            continue
+        header = code[open_idx + 1:close - 1]
+        # Range-for: a ':' at top paren level and no top-level ';'.
+        depth = 0
+        colon = -1
+        has_semi = False
+        for i, ch in enumerate(header):
+            if ch in "([{":
+                depth += 1
+            elif ch in ")]}":
+                depth -= 1
+            elif depth == 0:
+                if ch == ";":
+                    has_semi = True
+                    break
+                if ch == ":" and colon < 0 and not (i > 0 and header[i - 1] == ":") \
+                        and not (i + 1 < len(header) and header[i + 1] == ":"):
+                    colon = i
+        if has_semi or colon < 0:
+            continue
+        # Body: `{ ... }` or a single statement up to ';'.
+        j = close
+        while j < len(code) and code[j] in " \t\n":
+            j += 1
+        if j < len(code) and code[j] == "{":
+            depth = 0
+            end = j
+            for k in range(j, len(code)):
+                if code[k] == "{":
+                    depth += 1
+                elif code[k] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        end = k + 1
+                        break
+            body_start, body_end = j, end
+        else:
+            end = code.find(";", j)
+            body_start, body_end = j, (len(code) if end < 0 else end + 1)
+        loops.append(RangeFor(line_of_offset(code, m.start()),
+                              header[colon + 1:].strip(), body_start, body_end))
+    return loops
+
+
+# ---------------------------------------------------------------------------
+# The checks
+# ---------------------------------------------------------------------------
+
+PRAGMA_OMP_RE = re.compile(r"^\s*#\s*pragma\s+omp\b(.*)$")
+OMP_BANNED_RE = re.compile(r"\breduction\s*\(|\batomic\b|\bcritical\b")
+
+
+def check_omp(path: str, code_lines: List[str]) -> List[Finding]:
+    if path == OMP_SEAM:
+        return []
+    findings: List[Finding] = []
+    i = 0
+    while i < len(code_lines):
+        m = PRAGMA_OMP_RE.match(code_lines[i])
+        if m:
+            first_line = i + 1
+            clause = m.group(1)
+            while clause.rstrip().endswith("\\") and i + 1 < len(code_lines):
+                i += 1
+                clause = clause.rstrip()[:-1] + " " + code_lines[i]
+            b = OMP_BANNED_RE.search(clause)
+            if b:
+                what = b.group(0).strip().rstrip("(")
+                findings.append(Finding(
+                    path, first_line, "omp-canonical-reduction",
+                    f"OpenMP `{what}` outside {OMP_SEAM}: per-thread re-association "
+                    "breaks bitwise determinism; fold through segmented_reduce/"
+                    "chunked_reduce/tree_fold instead"))
+        i += 1
+    return findings
+
+
+ACCUM_RE = re.compile(r"\b(\w+)\s*(?:\+=|-=)(?!=)")
+SELF_ASSIGN_RE = re.compile(r"\b(\w+)\s*=\s*(\w+)\s*[+\-]")
+
+
+def check_raw_fp_accumulation(path: str, code: str) -> List[Finding]:
+    if not any(path.startswith(d + "/") for d in HOT_DIRS):
+        return []
+    decls = fp_declarations(code)
+    findings: List[Finding] = []
+    for loop in range_for_loops(code):
+        body = code[loop.body_start:loop.body_end]
+        base = loop.body_start
+
+        def crosses_iterations(name: str) -> bool:
+            # A variable declared *inside* the loop body is re-initialised
+            # every iteration; accumulating into it (e.g. over a nested
+            # index loop) has a fixed association and is deterministic.
+            # Only accumulators that live across range-for iterations pick
+            # up the element order.
+            offs = decls.get(name, [])
+            return bool(offs) and all(
+                not (loop.body_start <= o < loop.body_end) for o in offs)
+
+        for m in ACCUM_RE.finditer(body):
+            if crosses_iterations(m.group(1)):
+                findings.append(Finding(
+                    path, line_of_offset(code, base + m.start()), "raw-fp-accumulation",
+                    f"floating-point accumulation into `{m.group(1)}` inside a raw "
+                    "range-for: the association depends on element order; route "
+                    "through segmented_reduce/chunked_reduce/split_fold"))
+        for m in SELF_ASSIGN_RE.finditer(body):
+            if m.group(1) == m.group(2) and crosses_iterations(m.group(1)):
+                findings.append(Finding(
+                    path, line_of_offset(code, base + m.start()), "raw-fp-accumulation",
+                    f"floating-point accumulation `{m.group(1)} = {m.group(1)} + ...` "
+                    "in a raw range-for: route through segmented_reduce/"
+                    "chunked_reduce/split_fold"))
+    return findings
+
+
+UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:flat_)?(?:map|set|multimap|multiset)\s*<.*>\s*&?\s*(\w+)\s*[;={(),]")
+BEGIN_ITER_RE = re.compile(r"\b(\w+)\s*\.\s*(?:c?begin)\s*\(")
+
+
+def check_unordered_iteration(path: str, code: str) -> List[Finding]:
+    tracked = set(m.group(1) for m in UNORDERED_DECL_RE.finditer(code))
+    findings: List[Finding] = []
+    for loop in range_for_loops(code):
+        expr = loop.range_expr
+        ids = set(re.findall(r"\b\w+\b", expr))
+        if "unordered_" in expr or (tracked & ids):
+            findings.append(Finding(
+                path, loop.header_line, "unordered-iteration",
+                "range-for over an unordered container: iteration order is "
+                "unspecified and must not feed numeric state; iterate a sorted "
+                "view or switch to an ordered container"))
+    if tracked:
+        for m in BEGIN_ITER_RE.finditer(code):
+            if m.group(1) in tracked:
+                findings.append(Finding(
+                    path, line_of_offset(code, m.start()), "unordered-iteration",
+                    f"iterator walk over unordered container `{m.group(1)}`: "
+                    "iteration order is unspecified; iterate a sorted view instead"))
+    return findings
+
+
+FABRIC_CTOR_RE = re.compile(r"\bInProcessFabric\b\s*>?\s*(?:\w+\s*)?\(")
+RAW_WAIT_RE = re.compile(r"\.\s*wait\s*\(")
+NONPOSITIVE_RE = re.compile(r"^(?:-\s*[\d.]|0(?:\.0*)?[fF]?$|0\.[fF]?$)")
+
+
+def check_fabric_deadline(path: str, code: str) -> List[Finding]:
+    findings: List[Finding] = []
+    if path != FABRIC_IMPL:
+        for m in RAW_WAIT_RE.finditer(code):
+            findings.append(Finding(
+                path, line_of_offset(code, m.start()), "fabric-deadline",
+                "raw blocking `.wait(` outside the fabric's bounded-wait "
+                "implementation: a hung peer deadlocks here forever; use the "
+                f"deadline-carrying primitives in {FABRIC_IMPL}"))
+    for m in FABRIC_CTOR_RE.finditer(code):
+        open_idx = m.end() - 1
+        close = matching_paren(code, open_idx)
+        if close < 0:
+            continue
+        args = split_top_level_commas(code[open_idx + 1:close - 1])
+        if len(args) >= 3 and NONPOSITIVE_RE.match(args[2].strip()):
+            findings.append(Finding(
+                path, line_of_offset(code, m.start()), "fabric-deadline",
+                f"InProcessFabric constructed with timeout `{args[2].strip()}`: "
+                "a non-positive deadline waits forever, so a dead peer becomes "
+                "a silent deadlock instead of a typed FabricTimeoutError"))
+    return findings
+
+
+SEED_PATTERNS: Sequence[Tuple[re.Pattern, str]] = (
+    (re.compile(r"\bsrand\s*\("), "srand() seeds global C RNG state"),
+    (re.compile(r"\brand\s*\("), "rand() draws from hidden global state"),
+    (re.compile(r"\brandom_device\b"), "std::random_device is nondeterministic by design"),
+    (re.compile(r"\bstd::time\s*\(|(?<![\w:.>])time\s*\(\s*(?:NULL|nullptr|0)\s*\)"),
+     "wall-clock time as a value/seed differs per run"),
+    (re.compile(r"(?<![\w:.>])clock\s*\(\s*\)"), "clock() as a value/seed differs per run"),
+    (re.compile(r"\bgetpid\s*\(|\bgettimeofday\s*\("), "process id / time-of-day differ per run"),
+    (re.compile(r"\breinterpret_cast\s*<\s*(?:std::)?u?int(?:ptr)?\w*_t\s*>\s*\(\s*&"),
+     "object address as an integer (ASLR makes it differ per run)"),
+)
+
+
+def check_nondeterministic_seed(path: str, code: str) -> List[Finding]:
+    if not path.startswith("src/"):
+        return []
+    findings: List[Finding] = []
+    for pattern, why in SEED_PATTERNS:
+        for m in pattern.finditer(code):
+            findings.append(Finding(
+                path, line_of_offset(code, m.start()), "nondeterministic-seed",
+                f"{why}; use SplitMix64 (common/rng.hpp) with an explicit seed"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def scan_file(root: str, abspath: str) -> Tuple[List[Finding], List[Allow]]:
+    rel = os.path.relpath(abspath, root).replace(os.sep, "/")
+    with open(abspath, "r", encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    code, comments = scrub(text)
+    code_lines = code.split("\n")
+
+    allows, findings = parse_allows(rel, comments, code_lines)
+
+    raw: List[Finding] = []
+    raw += check_omp(rel, code_lines)
+    raw += check_raw_fp_accumulation(rel, code)
+    raw += check_unordered_iteration(rel, code)
+    raw += check_fabric_deadline(rel, code)
+    raw += check_nondeterministic_seed(rel, code)
+
+    used: Set[Tuple[int, int]] = set()  # (allow index, finding discriminator)
+    for fi, f in enumerate(raw):
+        suppressed = False
+        for ai, a in enumerate(allows):
+            if f.line == a.target_line and f.check in a.checks:
+                used.add((ai, fi))
+                suppressed = True
+        if not suppressed:
+            findings.append(f)
+    used_allows = set(ai for ai, _ in used)
+    for ai, a in enumerate(allows):
+        if ai not in used_allows:
+            findings.append(Finding(rel, a.line, "unused-allow",
+                                    f"allow({', '.join(a.checks)}) suppresses nothing — "
+                                    "stale exceptions must be deleted, not kept"))
+    return findings, allows
+
+
+def collect_files(root: str, build_dir: Optional[str],
+                  explicit: Sequence[str]) -> List[str]:
+    if explicit:
+        return [os.path.abspath(p) for p in explicit]
+    files: Set[str] = set()
+    compdb = None
+    for candidate in ([os.path.join(build_dir, "compile_commands.json")] if build_dir else []) + \
+                     [os.path.join(root, "compile_commands.json"),
+                      os.path.join(root, "build", "compile_commands.json")]:
+        if os.path.isfile(candidate):
+            compdb = candidate
+            break
+    if compdb:
+        with open(compdb, "r", encoding="utf-8") as f:
+            for entry in json.load(f):
+                p = entry.get("file", "")
+                if not os.path.isabs(p):
+                    p = os.path.join(entry.get("directory", root), p)
+                p = os.path.realpath(p)
+                rel = os.path.relpath(p, root)
+                if not rel.startswith("..") and rel.split(os.sep)[0] in SCAN_DIRS:
+                    files.add(p)
+    # Headers never appear in the compilation database; walk them (and, when
+    # there is no database at all, every source) from the scanned roots.
+    for d in SCAN_DIRS:
+        top = os.path.join(root, d)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames[:] = [x for x in dirnames if x not in ("build", ".git")]
+            for name in filenames:
+                ext = os.path.splitext(name)[1]
+                if ext in SOURCE_EXTS and (compdb is None or ext not in (".cpp", ".cc", ".cxx")):
+                    files.add(os.path.realpath(os.path.join(dirpath, name)))
+    return sorted(files)
+
+
+def to_sarif(findings: List[Finding]) -> dict:
+    rules = [{"id": c, "name": c,
+              "shortDescription": {"text": f"detlint determinism-contract check {c}"}}
+             for c in CHECK_NAMES]
+    results = [{
+        "ruleId": f.check,
+        "level": "error",
+        "message": {"text": f.message},
+        "locations": [{"physicalLocation": {
+            "artifactLocation": {"uri": f.path},
+            "region": {"startLine": f.line}}}],
+    } for f in findings]
+    return {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{"tool": {"driver": {"name": TOOL_NAME, "version": TOOL_VERSION,
+                                      "rules": rules}},
+                  "results": results}],
+    }
+
+
+def main(argv: Sequence[str]) -> int:
+    ap = argparse.ArgumentParser(prog=TOOL_NAME, description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("-p", "--build-dir", help="build directory holding compile_commands.json")
+    ap.add_argument("--root", default=".", help="repository root (default: cwd)")
+    ap.add_argument("--json", dest="json_out", help="write findings as JSON")
+    ap.add_argument("--sarif", dest="sarif_out", help="write findings as SARIF 2.1.0")
+    ap.add_argument("--list-allows", action="store_true",
+                    help="print the inventory of allow pragmas and exit")
+    ap.add_argument("files", nargs="*", help="explicit files (default: compile_commands.json + headers)")
+    args = ap.parse_args(argv)
+
+    root = os.path.realpath(args.root)
+    files = collect_files(root, args.build_dir, args.files)
+    if not files:
+        print(f"{TOOL_NAME}: no input files (missing compile_commands.json? "
+              f"run cmake first, or pass -p <build-dir>)", file=sys.stderr)
+        return 2
+
+    all_findings: List[Finding] = []
+    all_allows: List[Allow] = []
+    for path in files:
+        findings, allows = scan_file(root, path)
+        all_findings += findings
+        all_allows += allows
+    all_findings.sort()
+
+    if args.list_allows:
+        if not all_allows:
+            print("no detlint allow pragmas in the tree")
+        for a in sorted(all_allows):
+            print(f"{a.path}:{a.line}: allow({', '.join(a.checks)}) — {a.reason}")
+        return 0
+
+    for f in all_findings:
+        print(f"{f.path}:{f.line}: [{f.check}] {f.message}")
+
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as out:
+            json.dump({"tool": TOOL_NAME, "version": TOOL_VERSION,
+                       "findings": [f._asdict() for f in all_findings],
+                       "allows": [a._asdict() for a in all_allows]}, out, indent=2)
+            out.write("\n")
+    if args.sarif_out:
+        with open(args.sarif_out, "w", encoding="utf-8") as out:
+            json.dump(to_sarif(all_findings), out, indent=2)
+            out.write("\n")
+
+    n_files = len(files)
+    if all_findings:
+        print(f"{TOOL_NAME}: {len(all_findings)} finding(s) over {n_files} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"{TOOL_NAME}: clean — {n_files} file(s), {len(all_allows)} allowlisted "
+          f"exception(s)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

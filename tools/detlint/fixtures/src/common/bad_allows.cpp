@@ -1,0 +1,32 @@
+// Seeded violations for the suppression machinery itself: allow pragmas are
+// the only sanctioned escape hatch, so a reasonless, unknown-check, stale or
+// police-silencing pragma is a finding in its own right.
+#include <cstdlib>
+
+namespace fixture {
+
+// A pragma without a reason is malformed — and because it never registers
+// as an allow, the violation it sat next to still fires.
+// detlint-expect[+1]: malformed-allow
+// detlint: allow(nondeterministic-seed)
+int missing_reason() {
+  return rand();  // detlint-expect: nondeterministic-seed
+}
+
+// Unknown check names are typos waiting to silently suppress nothing.
+// detlint-expect[+1]: malformed-allow
+// detlint: allow(not-a-real-check) the name is wrong so this must be rejected
+
+// The suppression police cannot be suppressed.
+// detlint-expect[+1]: malformed-allow
+// detlint: allow(malformed-allow) trying to silence the police
+
+// A well-formed allow that no longer suppresses anything is stale and must
+// be deleted, not kept.
+// detlint-expect[+1]: unused-allow
+// detlint: allow(unordered-iteration) leftover from an iteration path deleted long ago
+int nothing_suppressed() {
+  return 7;
+}
+
+}  // namespace fixture

@@ -1,0 +1,41 @@
+// Seeded violations for the nondeterministic-seed check: hidden global RNG
+// state, wall-clock seeding and address-space layout must never leak into
+// src/ — SplitMix64 with an explicit seed is the project RNG.
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+void bad_srand() {
+  srand(42);  // detlint-expect: nondeterministic-seed
+}
+
+int bad_rand() {
+  return rand();  // detlint-expect: nondeterministic-seed
+}
+
+unsigned bad_random_device() {
+  std::random_device rd;  // detlint-expect: nondeterministic-seed
+  return rd();
+}
+
+std::uint64_t bad_time_seed() {
+  return static_cast<std::uint64_t>(time(nullptr));  // detlint-expect: nondeterministic-seed
+}
+
+std::uint64_t bad_std_time_seed() {
+  return static_cast<std::uint64_t>(std::time(nullptr));  // detlint-expect: nondeterministic-seed
+}
+
+long bad_clock_seed() {
+  return clock();  // detlint-expect: nondeterministic-seed
+}
+
+std::uintptr_t bad_address_seed() {
+  int local = 0;
+  return reinterpret_cast<std::uintptr_t>(&local);  // detlint-expect: nondeterministic-seed
+}
+
+}  // namespace fixture

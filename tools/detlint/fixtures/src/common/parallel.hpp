@@ -1,0 +1,20 @@
+#pragma once
+// The canonical-seam carve-out: src/common/parallel.hpp is the ONE file
+// allowed to spell OpenMP reductions — it implements the deterministic
+// chunked/segmented reductions everything else must route through.  This
+// fixture sits at that exact relative path, so the reduction below must
+// produce zero findings.
+#include <cstddef>
+
+namespace fixture {
+
+inline double seam_reduce(const double* v, std::size_t n) {
+  double sum = 0.0;
+#pragma omp parallel for reduction(+ : sum)
+  for (long long i = 0; i < static_cast<long long>(n); ++i) {
+    sum += v[i];
+  }
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Seeded violations for the raw-fp-accumulation check: floating-point sums
+// whose association follows the element order of a range-for in a hot-path
+// directory (src/kernels, src/solver, src/runtime).
+#include <vector>
+
+namespace fixture {
+
+double bad_range_sum(const std::vector<double>& xs) {
+  double acc = 0.0;
+  for (const double x : xs) {
+    acc += x;  // detlint-expect: raw-fp-accumulation
+  }
+  return acc;
+}
+
+double bad_self_assign(const std::vector<double>& xs) {
+  double total = 0.0;
+  for (const double x : xs) {
+    total = total + x * 2.0;  // detlint-expect: raw-fp-accumulation
+  }
+  return total;
+}
+
+float bad_float_residual(const std::vector<float>& xs) {
+  float r = 0.0F;
+  for (const float x : xs) {
+    r -= x;  // detlint-expect: raw-fp-accumulation
+  }
+  return r;
+}
+
+}  // namespace fixture

@@ -1,0 +1,48 @@
+// The clean side of the raw-fp-accumulation fixture pair: every pattern in
+// this file is deterministic and detlint must report nothing (the harness
+// asserts the *exact* finding set, so a false positive here fails the
+// lint_detlint_fixtures suite).
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+// Index loops have a fixed association: the canonical chunk bodies inside
+// chunked_reduce/segmented_reduce look exactly like this.
+double clean_index_sum(const std::vector<double>& xs) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc += xs[i];
+  }
+  return acc;
+}
+
+// A loop-local accumulator re-initialised every range-for iteration (here
+// over a nested index loop) never picks up the element order.
+double clean_local_accumulator(const std::vector<std::vector<double>>& rows,
+                               std::vector<double>& out) {
+  double last = 0.0;
+  std::size_t r = 0;
+  for (const auto& row : rows) {
+    double partial = 0.0;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      partial += row[i];
+    }
+    out[r++] = partial;
+    last = partial;
+  }
+  return last;
+}
+
+// The documented escape hatch: a justified exception is recorded with its
+// reason and suppresses exactly one finding (and is therefore not reported
+// as unused-allow either).
+double allowed_range_sum(const std::vector<double>& xs) {
+  double acc = 0.0;
+  for (const double x : xs) {
+    acc += x;  // detlint: allow(raw-fp-accumulation) cold diagnostic path; compared with an order-independent tolerance
+  }
+  return acc;
+}
+
+}  // namespace fixture

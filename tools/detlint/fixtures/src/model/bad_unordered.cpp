@@ -1,0 +1,42 @@
+// Seeded violations for the unordered-iteration check: hash-table iteration
+// order is unspecified and must never feed numeric state.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+double bad_map_walk(const std::unordered_map<int, double>& weights) {
+  double sum = 0.0;
+  for (const auto& kv : weights) {  // detlint-expect: unordered-iteration
+    sum += kv.second;
+  }
+  return sum;
+}
+
+double bad_iterator_walk(const std::unordered_map<int, double>& weights) {
+  double sum = 0.0;
+  for (auto it = weights.begin(); it != weights.end(); ++it) {  // detlint-expect: unordered-iteration
+    sum += it->second;
+  }
+  return sum;
+}
+
+int bad_temporary_walk(int scale) {
+  int acc = 0;
+  for (const int id : std::unordered_set<int>{1, 2, 3}) {  // detlint-expect: unordered-iteration
+    acc += id * scale;
+  }
+  return acc;
+}
+
+// Ordered containers are fine: no finding on this loop.
+double clean_vector_walk(const std::vector<double>& xs) {
+  double mx = 0.0;
+  for (const double x : xs) {
+    mx = x > mx ? x : mx;
+  }
+  return mx;
+}
+
+}  // namespace fixture

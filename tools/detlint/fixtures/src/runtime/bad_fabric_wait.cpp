@@ -1,0 +1,45 @@
+// Seeded violations for the fabric-deadline check (the PR-6 timeout
+// contract): every blocking wait must carry a deadline so a dead peer
+// becomes a typed FabricTimeoutError, never a silent deadlock.
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+
+namespace fixture {
+
+// Stand-in for runtime/fabric.hpp's class; detlint is lexical and keys on
+// the constructor name and argument position.
+class InProcessFabric {
+ public:
+  InProcessFabric(int n_ranks, std::size_t reduce_slots, double timeout_seconds);
+};
+
+void bad_zero_timeout() {
+  InProcessFabric fabric(4, 8, 0.0);  // detlint-expect: fabric-deadline
+  (void)fabric;
+}
+
+void bad_negative_timeout() {
+  auto fabric = std::make_unique<InProcessFabric>(4, 8, -1.0);  // detlint-expect: fabric-deadline
+  (void)fabric;
+}
+
+void bad_atomic_wait(std::atomic<int>& flag) {
+  flag.wait(0);  // detlint-expect: fabric-deadline
+}
+
+void bad_cv_wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lock) {
+  cv.wait(lock);  // detlint-expect: fabric-deadline
+}
+
+// A positive deadline and a variable-carried one are both fine.
+void clean_bounded(double configured_timeout) {
+  InProcessFabric a(4, 8, 30.0);
+  InProcessFabric b(4, 8, configured_timeout);
+  (void)a;
+  (void)b;
+}
+
+}  // namespace fixture

@@ -1,0 +1,45 @@
+// Seeded violations for the omp-canonical-reduction check: raw OpenMP
+// accumulation clauses outside src/common/parallel.hpp.  Each line marked
+// `detlint-expect` must fire exactly that check at exactly that line —
+// tools/detlint/test_detlint.py asserts the set equality.  These files are
+// lint fixtures, not build inputs: CMake never compiles tools/.
+#include <cstddef>
+
+namespace fixture {
+
+double bad_reduction(const double* v, std::size_t n) {
+  double sum = 0.0;
+#pragma omp parallel for reduction(+ : sum)  // detlint-expect: omp-canonical-reduction
+  for (long long i = 0; i < static_cast<long long>(n); ++i) {
+    sum += v[i];
+  }
+  return sum;
+}
+
+double bad_atomic(const double* v, std::size_t n) {
+  double sum = 0.0;
+#pragma omp parallel for
+  for (long long i = 0; i < static_cast<long long>(n); ++i) {
+#pragma omp atomic  // detlint-expect: omp-canonical-reduction
+    sum += v[i];
+  }
+  return sum;
+}
+
+double bad_critical(const double* v, std::size_t n) {
+  double sum = 0.0;
+#pragma omp parallel for
+  for (long long i = 0; i < static_cast<long long>(n); ++i) {
+#pragma omp critical  // detlint-expect: omp-canonical-reduction
+    { sum += v[i]; }
+  }
+  return sum;
+}
+
+// A continuation-line reduction must be caught at the pragma's first line.
+// detlint-expect[+1]: omp-canonical-reduction
+#pragma omp parallel for schedule(static) \
+    reduction(+ : fixture_global)
+extern double fixture_global;
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// The omp-canonical-reduction check covers tests/ and bench/ too: a test
+// that sums with a raw OpenMP reduction would pin a thread-count-dependent
+// value as its expectation.
+#include <cstddef>
+
+namespace fixture {
+
+double bad_test_helper(const double* v, std::size_t n) {
+  double sum = 0.0;
+#pragma omp parallel for reduction(+ : sum)  // detlint-expect: omp-canonical-reduction
+  for (long long i = 0; i < static_cast<long long>(n); ++i) {
+    sum += v[i];
+  }
+  return sum;
+}
+
+}  // namespace fixture

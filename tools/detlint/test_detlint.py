@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Regression harness for detlint: the checker is itself checked.
+
+Every fixture line marked `// detlint-expect: <check>[, <check>...]` (or
+`// detlint-expect[+N]: <check>` for a finding N lines below the marker —
+used where the flagged line is itself a comment, e.g. a malformed allow
+pragma) must be reported by detlint at exactly that (file, line, check), and
+detlint must report nothing else: a false positive on the clean fixtures
+fails this suite just as hard as a missed violation.  The harness also
+asserts that every check detlint ships has at least one seeded violation, so
+a new check cannot land untested and a regressed check cannot pass silently.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+MARKER_RE = re.compile(r"//\s*detlint-expect(?:\[\+(\d+)\])?:\s*([a-z-]+(?:\s*,\s*[a-z-]+)*)")
+
+
+def load_detlint_module(path: str):
+    spec = importlib.util.spec_from_file_location("detlint", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def collect_expected(fixtures: str) -> set:
+    expected = set()
+    for dirpath, _, filenames in os.walk(fixtures):
+        for name in filenames:
+            if not name.endswith((".cpp", ".cc", ".hpp", ".h")):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, fixtures).replace(os.sep, "/")
+            with open(path, "r", encoding="utf-8") as f:
+                for line_no, text in enumerate(f, 1):
+                    m = MARKER_RE.search(text)
+                    if m is None:
+                        continue
+                    offset = int(m.group(1) or 0)
+                    for check in (c.strip() for c in m.group(2).split(",")):
+                        expected.add((rel, line_no + offset, check))
+    return expected
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--detlint", required=True, help="path to detlint.py")
+    ap.add_argument("--fixtures", required=True, help="seeded-violation fixture root")
+    args = ap.parse_args()
+
+    detlint = os.path.realpath(args.detlint)
+    fixtures = os.path.realpath(args.fixtures)
+    module = load_detlint_module(detlint)
+
+    expected = collect_expected(fixtures)
+    if not expected:
+        print("FAIL: no detlint-expect markers found under", fixtures)
+        return 1
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out_json = os.path.join(tmp, "findings.json")
+        proc = subprocess.run(
+            [sys.executable, detlint, "--root", fixtures, "--json", out_json],
+            capture_output=True, text=True)
+        with open(out_json, "r", encoding="utf-8") as f:
+            data = json.load(f)
+
+    actual = set((f["path"], f["line"], f["check"]) for f in data["findings"])
+
+    failures = []
+    for item in sorted(expected - actual):
+        failures.append(f"MISSED  {item[0]}:{item[1]} [{item[2]}] — seeded violation not caught")
+    for item in sorted(actual - expected):
+        failures.append(f"SPURIOUS {item[0]}:{item[1]} [{item[2]}] — finding with no detlint-expect marker")
+
+    # Exit-code contract: findings present => nonzero.
+    if actual and proc.returncode == 0:
+        failures.append("EXITCODE detlint returned 0 despite reporting findings")
+
+    # Coverage: every shipped check has at least one seeded violation.
+    covered = set(check for _, _, check in expected)
+    for check in module.CHECK_NAMES:
+        if check not in covered:
+            failures.append(f"UNCOVERED check `{check}` has no seeded fixture violation")
+
+    # The suppression mechanism is exercised: at least one allow pragma in
+    # the fixtures is *used* (registered and reported in the JSON but absent
+    # from the unused-allow findings).
+    allows = data.get("allows", [])
+    unused_lines = set((f["path"], f["line"]) for f in data["findings"]
+                      if f["check"] == "unused-allow")
+    if not any((a["path"], a["line"]) not in unused_lines for a in allows):
+        failures.append("NO-USED-ALLOW fixtures never exercise a working allow pragma")
+
+    if failures:
+        print(f"FAIL: {len(failures)} problem(s)")
+        for f in failures:
+            print(" ", f)
+        print("--- detlint stdout ---")
+        print(proc.stdout)
+        return 1
+
+    print(f"PASS: {len(expected)} seeded violation(s) across {len(covered)} check(s) "
+          f"caught exactly; clean fixtures produced no spurious findings")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
