@@ -11,6 +11,7 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "fpga/accelerator.hpp"
+#include "obs/obs.hpp"
 
 using namespace semfpga;
 
@@ -19,11 +20,15 @@ int main(int argc, char** argv) {
       {"degree", FlagSpec::Kind::kInt, "7", "polynomial degree N"},
       {"elements", FlagSpec::Kind::kInt, "4096", "elements per apply"},
       {"csv", FlagSpec::Kind::kBool, "", "emit CSV instead of a table"},
+      {"obs", FlagSpec::Kind::kString, "off", obs::kCliHelp},
   });
   if (const auto ec = cli.early_exit("ablation_knobs",
                                      "Marginal contribution of each accelerator design "
                                      "knob, disabled in isolation.")) {
     return *ec;
+  }
+  if (!obs::configure_from_flag(cli.get("obs", "off"), "ablation_knobs")) {
+    return 2;
   }
   const int degree = static_cast<int>(cli.get_int("degree", 7));
   const auto elements = static_cast<std::size_t>(cli.get_int("elements", 4096));
@@ -84,5 +89,5 @@ int main(int argc, char** argv) {
                  "arbitration column shows the 2x stall when gxyz is left\n"
                  "interleaved or the unroll does not divide N+1.\n";
   }
-  return 0;
+  return obs::finalize();
 }

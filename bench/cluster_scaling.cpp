@@ -28,6 +28,7 @@
 #include "fpga/accelerator.hpp"
 #include "kernels/ax.hpp"
 #include "runtime/distributed_cg.hpp"
+#include "obs/obs.hpp"
 
 using namespace semfpga;
 
@@ -98,12 +99,16 @@ int main(int argc, char** argv) {
       {"elements", FlagSpec::Kind::kInt, "16384", "projection problem size (elements)"},
       {"json", FlagSpec::Kind::kString, "BENCH_cluster.json", "write results as JSON"},
       {"csv", FlagSpec::Kind::kBool, "", "emit CSV instead of tables"},
+      {"obs", FlagSpec::Kind::kString, "off", obs::kCliHelp},
   });
   if (const auto ec = cli.early_exit(
           "cluster_scaling",
           "Measured strong/weak scaling of the in-process SPMD runtime next to the "
           "arch::ClusterModel prediction, plus FPGA/GPU cluster projections.")) {
     return *ec;
+  }
+  if (!obs::configure_from_flag(cli.get("obs", "off"), "cluster_scaling")) {
+    return 2;
   }
 
   const int degree = static_cast<int>(cli.get_int("degree", 5));
@@ -294,5 +299,5 @@ int main(int argc, char** argv) {
     std::fclose(f);
     std::printf("# wrote %s\n", path.c_str());
   }
-  return 0;
+  return obs::finalize();
 }

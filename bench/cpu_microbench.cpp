@@ -31,6 +31,7 @@
 #include "bench_util.hpp"
 #include "common/cli.hpp"
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 
 namespace semfpga {
 namespace {
@@ -149,11 +150,15 @@ int main(int argc, char** argv) {
       {"elements", FlagSpec::Kind::kInt, "512", "elements per apply"},
       {"min-time", FlagSpec::Kind::kDouble, "0.2", "seconds of repeats per config"},
       {"json", FlagSpec::Kind::kString, "BENCH_cpu.json", "write results as JSON"},
+      {"obs", FlagSpec::Kind::kString, "off", obs::kCliHelp},
   });
   if (const auto ec = cli.early_exit("cpu_microbench",
                                      "Measured CPU ladder: Ax variant x thread sweep "
                                      "with the warm-up-then-repeat protocol.")) {
     return *ec;
+  }
+  if (!obs::configure_from_flag(cli.get("obs", "off"), "cpu_microbench")) {
+    return 2;
   }
 
   const bool smoke = cli.has("smoke");
@@ -267,5 +272,5 @@ int main(int argc, char** argv) {
     std::fclose(f);
     std::printf("# wrote %s\n", path.c_str());
   }
-  return 0;
+  return obs::finalize();
 }

@@ -21,6 +21,7 @@
 #include "fpga/accelerator.hpp"
 #include "kernels/ax.hpp"
 #include "sem/geometry.hpp"
+#include "obs/obs.hpp"
 
 using namespace semfpga;
 
@@ -79,10 +80,14 @@ int main(int argc, char** argv) {
        "comma-separated degree list"},
       {"host", FlagSpec::Kind::kBool, "", "include the measured host rate"},
       {"csv", FlagSpec::Kind::kBool, "", "emit CSV instead of a table"},
+      {"obs", FlagSpec::Kind::kString, "off", obs::kCliHelp},
   });
   if (const auto ec = cli.early_exit("fig1_problem_size",
                                      "Paper Fig. 1: throughput vs polynomial degree.")) {
     return *ec;
+  }
+  if (!obs::configure_from_flag(cli.get("obs", "off"), "fig1_problem_size")) {
+    return 2;
   }
   const bool host = cli.has("host");
   const std::vector<int> degrees =
@@ -123,5 +128,5 @@ int main(int argc, char** argv) {
     }
     std::cout << '\n';
   }
-  return 0;
+  return obs::finalize();
 }

@@ -21,6 +21,7 @@
 #include "model/roofline.hpp"
 #include "model/throughput.hpp"
 #include "solver/nekbone.hpp"
+#include "obs/obs.hpp"
 
 using namespace semfpga;
 
@@ -68,10 +69,14 @@ int main(int argc, char** argv) {
       {"solve-nel", FlagSpec::Kind::kInt, "0",
        "run a real N=7 CG solve with this many elements per direction through "
        "the selected backend (0 = skip)"},
+      {"obs", FlagSpec::Kind::kString, "off", obs::kCliHelp},
   });
   if (const auto ec = cli.early_exit("fig2_peak_comparison",
                                      "Paper Fig. 2: platform peak comparison.")) {
     return *ec;
+  }
+  if (!obs::configure_from_flag(cli.get("obs", "off"), "fig2_peak_comparison")) {
+    return 2;
   }
   const auto elements = static_cast<std::size_t>(cli.get_int("elements", 4096));
   const std::string backend_name = cli.get("backend", "cpu");
@@ -162,5 +167,5 @@ int main(int argc, char** argv) {
     const solver::NekboneResult solve = solver::run_nekbone(config);
     std::cout << '\n' << solver::format_result(config, solve) << '\n';
   }
-  return 0;
+  return obs::finalize();
 }

@@ -23,6 +23,7 @@
 #include "fpga/paper_data.hpp"
 #include "model/roofline.hpp"
 #include "model/throughput.hpp"
+#include "obs/obs.hpp"
 #include "solver/nekbone.hpp"
 
 using namespace semfpga;
@@ -52,6 +53,7 @@ int main(int argc, char** argv) {
       {"solve-nel", FlagSpec::Kind::kInt, "6",
        "solve elements per direction (0 = skip the solve section)"},
       {"solve-iters", FlagSpec::Kind::kInt, "40", "fixed CG iterations of the solve"},
+      {"obs", FlagSpec::Kind::kString, "off", obs::kCliHelp},
   });
   if (const auto ec = cli.early_exit("fig3_model_vs_measured",
                                      "Paper Fig. 3: model prediction vs measured "
@@ -62,6 +64,9 @@ int main(int argc, char** argv) {
   const auto elements = static_cast<std::size_t>(cli.get_int("elements", 4096));
   const std::string backend_name = cli.get("backend", "fpga-sim");
   backend::require_known(backend_name);
+  if (!obs::configure_from_flag(cli.get("obs", "off"), "fig3_model_vs_measured")) {
+    return 2;
+  }
   const int solve_degree = static_cast<int>(cli.get_int("solve-degree", 7));
   const int solve_nel = static_cast<int>(cli.get_int("solve-nel", 6));
   const int solve_iters = static_cast<int>(cli.get_int("solve-iters", 40));
@@ -163,18 +168,23 @@ int main(int argc, char** argv) {
       std::fprintf(f, "    \"degree\": %d,\n    \"nel\": %d,\n    \"iterations\": %d,\n",
                    solve_degree, solve_nel, solve.iterations);
       std::fprintf(f, "    \"final_residual\": %.17g,\n", solve.final_residual);
+      std::fprintf(f, "    \"setup_seconds\": %.6g,\n", solve.setup_seconds);
       std::fprintf(f, "    \"measured_seconds\": %.6g,\n", solve.seconds);
       std::fprintf(f, "    \"measured_gflops\": %.6g,\n", solve.gflops);
       std::fprintf(f, "    \"modeled_seconds\": %.6g,\n", solve.modeled_seconds);
       std::fprintf(f, "    \"modeled_gflops\": %.6g\n", solve.modeled_gflops);
-      std::fprintf(f, "  }\n}\n");
+      std::fprintf(f, "  },\n");
     } else {
       // No solve ran: an explicit null, not a zero-filled record a consumer
       // could mistake for measured data.
-      std::fprintf(f, "  \"solve\": null\n}\n");
+      std::fprintf(f, "  \"solve\": null,\n");
     }
+    // Per-phase breakdown of everything traced in this process (empty when
+    // --obs=off: spans compile to nothing measurable).
+    obs::write_phases_json(f, 2);
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     (cli.has("csv") ? std::cerr : std::cout) << "wrote " << path << '\n';
   }
-  return 0;
+  return obs::finalize();
 }

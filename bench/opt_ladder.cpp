@@ -23,6 +23,7 @@
 #include "common/table.hpp"
 #include "fpga/accelerator.hpp"
 #include "kernels/helmholtz.hpp"
+#include "obs/obs.hpp"
 
 using namespace semfpga;
 
@@ -46,11 +47,15 @@ int main(int argc, char** argv) {
       {"no-cpu", FlagSpec::Kind::kBool, "", "skip the measured CPU ladder"},
       {"json", FlagSpec::Kind::kString, "ladder.json", "write results as JSON"},
       {"csv", FlagSpec::Kind::kBool, "", "emit CSV instead of tables"},
+      {"obs", FlagSpec::Kind::kString, "off", obs::kCliHelp},
   });
   if (const auto ec = cli.early_exit("opt_ladder",
                                      "The paper's optimization ladder: modelled FPGA "
                                      "stages next to the measured CPU rungs.")) {
     return *ec;
+  }
+  if (!obs::configure_from_flag(cli.get("obs", "off"), "opt_ladder")) {
+    return 2;
   }
   const int degree = static_cast<int>(cli.get_int("degree", 7));
   const auto elements = static_cast<std::size_t>(cli.get_int("elements", 4096));
@@ -201,5 +206,5 @@ int main(int argc, char** argv) {
       cpu_table.print_text(std::cout);
     }
   }
-  return 0;
+  return obs::finalize();
 }

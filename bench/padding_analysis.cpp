@@ -10,6 +10,7 @@
 #include "common/table.hpp"
 #include "fpga/device.hpp"
 #include "model/padding.hpp"
+#include "obs/obs.hpp"
 
 using namespace semfpga;
 
@@ -17,10 +18,14 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv, std::vector<FlagSpec>{
       {"bw", FlagSpec::Kind::kDouble, "0", "override memory bandwidth (GB/s)"},
       {"csv", FlagSpec::Kind::kBool, "", "emit CSV instead of a table"},
+      {"obs", FlagSpec::Kind::kString, "off", obs::kCliHelp},
   });
   if (const auto ec = cli.early_exit("padding_analysis",
                                      "Bank-padding sweep of the memory model.")) {
     return *ec;
+  }
+  if (!obs::configure_from_flag(cli.get("obs", "off"), "padding_analysis")) {
+    return 2;
   }
   model::DeviceEnvelope env = fpga::stratix10_gx2800().envelope(300.0);
   const double bw_override = cli.get_double("bw", 0.0);
@@ -52,5 +57,5 @@ int main(int argc, char** argv) {
                  "re-run with --bw 1000 to see padding pay off for odd GLL counts\n"
                  "on a bandwidth-rich device.\n";
   }
-  return 0;
+  return obs::finalize();
 }

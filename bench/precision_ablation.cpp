@@ -20,6 +20,7 @@
 #include "kernels/ax_f32.hpp"
 #include "model/throughput.hpp"
 #include "solver/cg.hpp"
+#include "obs/obs.hpp"
 
 using namespace semfpga;
 
@@ -91,11 +92,15 @@ int main(int argc, char** argv) {
       {"degree", FlagSpec::Kind::kInt, "5", "polynomial degree N"},
       {"iters", FlagSpec::Kind::kInt, "120", "CG iterations"},
       {"csv", FlagSpec::Kind::kBool, "", "emit CSV instead of a table"},
+      {"obs", FlagSpec::Kind::kString, "off", obs::kCliHelp},
   });
   if (const auto ec = cli.early_exit("precision_ablation",
                                      "FP32 vs FP64 ablation of the Ax kernel inside "
                                      "CG.")) {
     return *ec;
+  }
+  if (!obs::configure_from_flag(cli.get("obs", "off"), "precision_ablation")) {
+    return 2;
   }
   const int degree = static_cast<int>(cli.get_int("degree", 5));
   const int iters = static_cast<int>(cli.get_int("iters", 120));
@@ -160,5 +165,5 @@ int main(int argc, char** argv) {
               << " orders of magnitude above the FP64 floor, the paper's\n"
                  "footnote-6 argument for double precision.\n";
   }
-  return 0;
+  return obs::finalize();
 }

@@ -10,17 +10,22 @@
 #include "common/table.hpp"
 #include "fpga/memory.hpp"
 #include "fpga/paper_data.hpp"
+#include "obs/obs.hpp"
 
 using namespace semfpga;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv, std::vector<FlagSpec>{
       {"csv", FlagSpec::Kind::kBool, "", "emit CSV instead of a table"},
+      {"obs", FlagSpec::Kind::kString, "off", obs::kCliHelp},
   });
   if (const auto ec = cli.early_exit("stream_fpga",
                                      "STREAM-like bandwidth estimate of the modelled "
                                      "memory system.")) {
     return *ec;
+  }
+  if (!obs::configure_from_flag(cli.get("obs", "off"), "stream_fpga")) {
+    return 2;
   }
   const fpga::MemorySpec spec = fpga::stratix10_gx2800().memory;
   const fpga::ExternalMemoryModel banked(spec, fpga::MemAllocation::kBanked);
@@ -64,5 +69,5 @@ int main(int argc, char** argv) {
                  "odd rows (T=2 kernels) sit below it — the board under-supplies\n"
                  "half-rate demand streams, the paper's 'input dependent bandwidth'.\n";
   }
-  return 0;
+  return obs::finalize();
 }

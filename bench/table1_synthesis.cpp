@@ -14,6 +14,7 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "fpga/accelerator.hpp"
+#include "obs/obs.hpp"
 
 using namespace semfpga;
 
@@ -22,10 +23,14 @@ int main(int argc, char** argv) {
       {"elements", FlagSpec::Kind::kInt, "4096", "elements per apply"},
       {"pure-model", FlagSpec::Kind::kBool, "", "analytic resources only (no paper data)"},
       {"csv", FlagSpec::Kind::kBool, "", "emit CSV instead of a table"},
+      {"obs", FlagSpec::Kind::kString, "off", obs::kCliHelp},
   });
   if (const auto ec = cli.early_exit("table1_synthesis",
                                      "Paper Table 1: synthesis results per degree.")) {
     return *ec;
+  }
+  if (!obs::configure_from_flag(cli.get("obs", "off"), "table1_synthesis")) {
+    return 2;
   }
   const auto elements = static_cast<std::size_t>(cli.get_int("elements", 4096));
   const bool pure_model = cli.has("pure-model");
@@ -67,5 +72,5 @@ int main(int argc, char** argv) {
                  "utilisation/power from the calibrated synthesis and power models;\n"
                  "err% = (T_design - T_measured)/T_design, the paper's model error.\n";
   }
-  return 0;
+  return obs::finalize();
 }

@@ -6,16 +6,21 @@
 #include "arch/systems.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "obs/obs.hpp"
 
 using namespace semfpga;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv, std::vector<FlagSpec>{
       {"csv", FlagSpec::Kind::kBool, "", "emit CSV instead of a table"},
+      {"obs", FlagSpec::Kind::kString, "off", obs::kCliHelp},
   });
   if (const auto ec = cli.early_exit("table2_systems",
                                      "Paper Table 2: system-level comparison.")) {
     return *ec;
+  }
+  if (!obs::configure_from_flag(cli.get("obs", "off"), "table2_systems")) {
+    return 2;
   }
 
   Table table("Table II — Overview of selected systems");
@@ -42,5 +47,5 @@ int main(int argc, char** argv) {
     std::cout << "\nNote: the FPGA peak is the paper's model-derived optimistic bound "
                  "at 400 MHz (its Table II footnote *).\n";
   }
-  return 0;
+  return obs::finalize();
 }

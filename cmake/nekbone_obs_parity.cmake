@@ -1,0 +1,116 @@
+# ctest driver: the observability hard contract, end to end.  The proxy run
+# with --obs=off and with --obs=trace:<path> must print character-identical
+# res= fields (%.3e through format_result; the obs layer observes the solve,
+# it never participates in it), the trace must be a valid Chrome trace_event
+# JSON covering every rank — validated by scripts/check_trace.py when a
+# Python interpreter is available — the fpga-sim run must publish its
+# synthetic modeled track, and a typo'd --obs value must be rejected before
+# any work runs.
+#
+# Usage: cmake -DPROXY=<path-to-nekbone_proxy>
+#              [-DPYTHON=<python3> -DCHECKER=<check_trace.py>]
+#              -P nekbone_obs_parity.cmake
+
+if(NOT DEFINED PROXY)
+  message(FATAL_ERROR "pass -DPROXY=<path to nekbone_proxy>")
+endif()
+
+set(common_args --degree 4 --nel 6 --iters 30 --ranks 4 --threads 4)
+set(trace_file ${CMAKE_CURRENT_BINARY_DIR}/obs_parity_trace.json)
+file(REMOVE ${trace_file})
+
+foreach(obs off trace)
+  if(obs STREQUAL "trace")
+    set(obs_flag "--obs=trace:${trace_file}")
+  else()
+    set(obs_flag "--obs=off")
+  endif()
+  execute_process(
+    COMMAND ${PROXY} ${common_args} ${obs_flag}
+    OUTPUT_VARIABLE out_${obs}
+    ERROR_VARIABLE err_${obs}
+    RESULT_VARIABLE rc_${obs})
+  if(NOT rc_${obs} EQUAL 0)
+    message(FATAL_ERROR "nekbone_proxy ${obs_flag} failed (${rc_${obs}}):\n"
+                        "${out_${obs}}\n${err_${obs}}")
+  endif()
+  string(REGEX MATCH "res=[^ ]+" res_${obs} "${out_${obs}}")
+  string(REGEX MATCH "iters=[^ ]+" iters_${obs} "${out_${obs}}")
+  if(res_${obs} STREQUAL "")
+    message(FATAL_ERROR "no res= field in nekbone_proxy output:\n${out_${obs}}")
+  endif()
+  message(STATUS "${obs_flag}: ${iters_${obs}} ${res_${obs}}")
+endforeach()
+
+if(NOT res_off STREQUAL res_trace)
+  message(FATAL_ERROR "tracing perturbed the solve: ${res_off} vs ${res_trace}")
+endif()
+if(NOT iters_off STREQUAL iters_trace)
+  message(FATAL_ERROR "tracing changed the iteration count: "
+                      "${iters_off} vs ${iters_trace}")
+endif()
+if(NOT EXISTS ${trace_file})
+  message(FATAL_ERROR "--obs=trace wrote no trace file at ${trace_file}")
+endif()
+
+# The fpga-sim tier must additionally publish its modeled timeline as a
+# synthetic per-rank track next to the measured threads.
+set(fpga_trace ${CMAKE_CURRENT_BINARY_DIR}/obs_parity_fpga_trace.json)
+file(REMOVE ${fpga_trace})
+execute_process(
+  COMMAND ${PROXY} --degree 4 --nel 6 --iters 10 --ranks 2 --backend=fpga-sim
+          --obs=trace:${fpga_trace}
+  OUTPUT_VARIABLE out_fpga
+  ERROR_VARIABLE err_fpga
+  RESULT_VARIABLE rc_fpga)
+if(NOT rc_fpga EQUAL 0)
+  message(FATAL_ERROR "fpga-sim trace run failed (${rc_fpga}):\n"
+                      "${out_fpga}\n${err_fpga}")
+endif()
+if(NOT EXISTS ${fpga_trace})
+  message(FATAL_ERROR "fpga-sim run wrote no trace file at ${fpga_trace}")
+endif()
+
+# Structural validation of both traces (skipped without a Python3).
+if(DEFINED PYTHON AND DEFINED CHECKER)
+  execute_process(
+    COMMAND ${PYTHON} ${CHECKER} ${trace_file} --min-ranks 4
+            --require halo.send.wait --require fabric.allreduce
+            --require cg.apply
+    RESULT_VARIABLE rc_check
+    OUTPUT_VARIABLE out_check
+    ERROR_VARIABLE err_check)
+  if(NOT rc_check EQUAL 0)
+    message(FATAL_ERROR "check_trace.py rejected ${trace_file}:\n"
+                        "${out_check}\n${err_check}")
+  endif()
+  execute_process(
+    COMMAND ${PYTHON} ${CHECKER} ${fpga_trace} --min-ranks 2
+            --require-track "fpga (modeled)"
+    RESULT_VARIABLE rc_fcheck
+    OUTPUT_VARIABLE out_fcheck
+    ERROR_VARIABLE err_fcheck)
+  if(NOT rc_fcheck EQUAL 0)
+    message(FATAL_ERROR "check_trace.py rejected ${fpga_trace}:\n"
+                        "${out_fcheck}\n${err_fcheck}")
+  endif()
+  message(STATUS "check_trace.py validated both traces")
+else()
+  message(STATUS "no Python interpreter passed: trace schema check skipped")
+endif()
+
+# A typo'd --obs value must fail before any work, like every bad flag value.
+execute_process(
+  COMMAND ${PROXY} --degree 2 --nel 2 --iters 1 --obs=tarce:oops.json
+  OUTPUT_VARIABLE out_bad
+  ERROR_VARIABLE err_bad
+  RESULT_VARIABLE rc_bad)
+if(rc_bad EQUAL 0)
+  message(FATAL_ERROR "--obs=tarce: was accepted:\n${out_bad}")
+endif()
+if(NOT err_bad MATCHES "bad --obs setting")
+  message(FATAL_ERROR "bad --obs value rejected without the expected message:\n"
+                      "${err_bad}")
+endif()
+
+message(STATUS "obs off/trace solves agree: ${res_off}")

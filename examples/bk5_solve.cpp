@@ -24,6 +24,7 @@
 #include "common/cli.hpp"
 #include "solver/cg.hpp"
 #include "solver/helmholtz_system.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -74,12 +75,16 @@ int main(int argc, char** argv) {
       {"lambda", FlagSpec::Kind::kDouble, "2.5", "Helmholtz mass coefficient"},
       {"backend", FlagSpec::Kind::kString, "cpu",
        "execution backend: " + backend::known_backends_joined()},
+      {"obs", FlagSpec::Kind::kString, "off", obs::kCliHelp},
   });
   if (const auto ec = cli.early_exit("bk5_solve",
                                      "Spectral convergence of the BK5 Helmholtz "
                                      "solve, plus the lambda->0 bitwise parity "
                                      "check against the Poisson solve.")) {
     return *ec;
+  }
+  if (!obs::configure_from_flag(cli.get("obs", "off"), "bk5_solve")) {
+    return 2;
   }
   const int nel = static_cast<int>(cli.get_int("nel", 2));
   const int max_degree = static_cast<int>(cli.get_int("max-degree", 10));
@@ -157,5 +162,5 @@ int main(int argc, char** argv) {
   std::printf("\nlambda->0 parity: OK — Helmholtz(lambda=0) reproduced the Poisson "
               "solve bitwise (res=%.17g, %d iters, every iterate and DOF equal)\n",
               r_p.final_residual, r_p.iterations);
-  return 0;
+  return obs::finalize();
 }

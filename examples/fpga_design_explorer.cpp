@@ -14,6 +14,7 @@
 #include "common/cli.hpp"
 #include "fpga/device.hpp"
 #include "model/throughput.hpp"
+#include "obs/obs.hpp"
 
 using namespace semfpga;
 
@@ -31,11 +32,15 @@ double projected_gflops(const model::DeviceEnvelope& env, int degree) {
 int main(int argc, char** argv) {
   const Cli cli(argc, argv, std::vector<FlagSpec>{
       {"degree", FlagSpec::Kind::kInt, "11", "polynomial degree N"},
+      {"obs", FlagSpec::Kind::kString, "off", obs::kCliHelp},
   });
   if (const auto ec = cli.early_exit("fpga_design_explorer",
                                      "Explore accelerator configurations for one "
                                      "degree.")) {
     return *ec;
+  }
+  if (!obs::configure_from_flag(cli.get("obs", "off"), "fpga_design_explorer")) {
+    return 2;
   }
   const int degree = static_cast<int>(cli.get_int("degree", 11));
 
@@ -84,5 +89,5 @@ int main(int argc, char** argv) {
   std::printf("\nConclusion (matches the paper): only a device with ~6x the logic —\n"
               "or FP64-hardened DSPs — and ~1.2 TB/s of memory bandwidth overtakes\n"
               "the A100 on this kernel.\n");
-  return 0;
+  return obs::finalize();
 }

@@ -18,6 +18,7 @@
 #include "kernels/helmholtz.hpp"
 #include "solver/cg.hpp"
 #include "solver/chebyshev.hpp"
+#include "obs/obs.hpp"
 
 int main(int argc, char** argv) {
   using namespace semfpga;
@@ -27,11 +28,15 @@ int main(int argc, char** argv) {
       {"steps", FlagSpec::Kind::kInt, "20", "implicit time steps"},
       {"dt", FlagSpec::Kind::kDouble, "2e-3", "time step"},
       {"kappa", FlagSpec::Kind::kDouble, "1.0", "diffusivity"},
+      {"obs", FlagSpec::Kind::kString, "off", obs::kCliHelp},
   });
   if (const auto ec = cli.early_exit("heat_diffusion",
                                      "Implicit heat equation stepped with the SEM "
                                      "Poisson solver.")) {
     return *ec;
+  }
+  if (!obs::configure_from_flag(cli.get("obs", "off"), "heat_diffusion")) {
+    return 2;
   }
   const int degree = static_cast<int>(cli.get_int("degree", 6));
   const int nel = static_cast<int>(cli.get_int("nel", 2));
@@ -129,5 +134,5 @@ int main(int argc, char** argv) {
               "decay (exact for the fundamental mode): it stays at 1.0000 to\n"
               "solver tolerance.  Total CG iterations: %d.\n",
               total_iterations);
-  return 0;
+  return obs::finalize();
 }

@@ -9,7 +9,7 @@
 ///                      [--backend cpu] [--fpga-device gx2800]
 ///                      [--helmholtz] [--lambda 1.0]
 ///                      [--faults crash@r2:i5] [--checkpoint-every 4]
-///                      [--fabric-timeout 30]
+///                      [--fabric-timeout 30] [--obs summary]
 /// --threads 0 uses every hardware thread; --variant picks the Ax schedule
 /// (reference | mxm | mxm_blocked | fixed); --fused=0 runs the split
 /// Ax -> qqt -> mask passes instead of the fused qqt-in-operator sweep;
@@ -30,6 +30,7 @@
 #include "common/cli.hpp"
 #include "fpga/accelerator.hpp"
 #include "kernels/ax_dispatch.hpp"
+#include "obs/obs.hpp"
 #include "runtime/fault.hpp"
 #include "solver/nekbone.hpp"
 
@@ -64,6 +65,7 @@ int main(int argc, char** argv) {
        "recovery attempts before the supervised solve gives up"},
       {"fabric-timeout", FlagSpec::Kind::kDouble, "30",
        "deadline in seconds of blocking fabric calls (<= 0 waits forever)"},
+      {"obs", FlagSpec::Kind::kString, "off", obs::kCliHelp},
   });
   if (const auto ec = cli.early_exit("nekbone_proxy",
                                      "Nekbone-equivalent proxy: fixed-iteration CG on "
@@ -88,6 +90,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "nekbone_proxy: --lambda requires --helmholtz\n");
     return 2;
   }
+  config.obs = cli.get("obs", "off");
   config.faults = cli.get("faults", "");
   config.checkpoint_every = static_cast<int>(cli.get_int("checkpoint-every", 0));
   config.fault_retries = static_cast<int>(cli.get_int("fault-retries", 3));
@@ -104,6 +107,11 @@ int main(int argc, char** argv) {
   // Same rule for the fault plan: a typo'd script must fail here, not fire
   // half a plan mid-solve.
   (void)runtime::parse_fault_plan(config.faults);
+  // And the obs setting (run_nekbone re-applies it; validating here keeps
+  // the failure before any work and the message CLI-shaped).
+  if (!obs::configure_from_flag(config.obs, "nekbone_proxy")) {
+    return 2;
+  }
 
   const solver::NekboneResult result = solver::run_nekbone(config);
   std::printf("%s\n", solver::format_result(config, result).c_str());
@@ -122,5 +130,5 @@ int main(int argc, char** argv) {
                 per_apply.gflops, result.iterations + 1, ax_seconds,
                 per_apply.power_w);
   }
-  return 0;
+  return obs::finalize();
 }

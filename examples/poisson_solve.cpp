@@ -19,6 +19,7 @@
 #include "backend/fpga_sim_backend.hpp"
 #include "common/cli.hpp"
 #include "solver/cg.hpp"
+#include "obs/obs.hpp"
 
 int main(int argc, char** argv) {
   using namespace semfpga;
@@ -28,11 +29,15 @@ int main(int argc, char** argv) {
       {"deformed", FlagSpec::Kind::kBool, "", "solve on the sine-warped mesh"},
       {"backend", FlagSpec::Kind::kString, "cpu",
        "execution backend: " + backend::known_backends_joined()},
+      {"obs", FlagSpec::Kind::kString, "off", obs::kCliHelp},
   });
   if (const auto ec = cli.early_exit("poisson_solve",
                                      "Spectral convergence of the Poisson solve over "
                                      "polynomial degree.")) {
     return *ec;
+  }
+  if (!obs::configure_from_flag(cli.get("obs", "off"), "poisson_solve")) {
+    return 2;
   }
   const int nel = static_cast<int>(cli.get_int("nel", 2));
   const int max_degree = static_cast<int>(cli.get_int("max-degree", 10));
@@ -98,5 +103,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\nThe error column falls exponentially in N until it hits the CG\n"
               "tolerance floor — spectral convergence.\n");
-  return 0;
+  return obs::finalize();
 }

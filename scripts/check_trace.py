@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON produced by --obs=trace:<path>.
+
+Checks structure (every complete event carries name/pid/tid/ts/dur) plus
+optional content requirements, so CI can pin what a solve's trace must
+contain without parsing it by hand:
+
+  check_trace.py out.json --min-ranks 4 \
+      --require halo.send.wait --require fabric.allreduce \
+      --require-track "fpga (modeled)"
+
+Exit code 0 when every check passes, 1 otherwise (with one line per
+failure on stderr).  Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace_event JSON file")
+    parser.add_argument(
+        "--min-ranks",
+        type=int,
+        default=0,
+        help="minimum number of distinct pids (ranks) with complete events",
+    )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="substring that must match some event name (repeatable)",
+    )
+    parser.add_argument(
+        "--require-track",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="substring that must match some thread_name metadata (repeatable)",
+    )
+    args = parser.parse_args()
+
+    failures = []
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"check_trace: {args.trace}: {err}", file=sys.stderr)
+        return 1
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        print("check_trace: missing traceEvents list", file=sys.stderr)
+        return 1
+
+    ranks = set()
+    names = set()
+    tracks = set()
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            failures.append(f"event {i} is not an object")
+            continue
+        ph = event.get("ph")
+        if ph == "X":
+            for field in ("name", "pid", "tid", "ts", "dur"):
+                if field not in event:
+                    failures.append(f"event {i} ({event.get('name')!r}) lacks {field!r}")
+            if "pid" in event:
+                ranks.add(event["pid"])
+            names.add(event.get("name", ""))
+        elif ph == "i":
+            names.add(event.get("name", ""))
+        elif ph == "M" and event.get("name") == "thread_name":
+            tracks.add(event.get("args", {}).get("name", ""))
+
+    if len(ranks) < args.min_ranks:
+        failures.append(
+            f"expected >= {args.min_ranks} ranks with events, got {len(ranks)}: "
+            f"{sorted(ranks)}"
+        )
+    for required in args.require:
+        if not any(required in name for name in names):
+            failures.append(f"no event name contains {required!r}")
+    for required in args.require_track:
+        if not any(required in track for track in tracks):
+            failures.append(f"no thread_name track contains {required!r}")
+
+    for failure in failures:
+        print(f"check_trace: {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            f"check_trace: OK — {len(events)} events, {len(ranks)} ranks, "
+            f"{len(tracks)} named tracks"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 #include "backend/cpu_backend.hpp"
 
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 
 namespace semfpga::backend {
 
@@ -18,7 +19,10 @@ void CpuBackend::apply_unmasked(std::span<const double> u, std::span<double> w) 
   system_.apply_unmasked(u, w);
 }
 
-void CpuBackend::qqt(std::span<double> local) { system_.gs().qqt(local); }
+void CpuBackend::qqt(std::span<double> local) {
+  OBS_SPAN("gs.qqt");
+  system_.gs().qqt(local);
+}
 
 void CpuBackend::apply_mask(std::span<double> w) {
   const auto& m = system_.mask();

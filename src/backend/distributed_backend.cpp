@@ -79,6 +79,7 @@ void DistributedBackend::solve_begin() {
 void DistributedBackend::solve_end() {
   if (cost_) {
     cost_->charge_solve_end(timeline_, n_local());
+    obs_publish_fpga_timeline(timeline_);
   }
 }
 

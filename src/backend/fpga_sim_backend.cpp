@@ -3,6 +3,7 @@
 #include "common/check.hpp"
 #include "model/kernel_cost.hpp"
 #include "model/throughput.hpp"
+#include "obs/obs.hpp"
 
 namespace semfpga::backend {
 
@@ -177,6 +178,30 @@ void FpgaSimBackend::vector_pass(PassCost cost, PassBody body) {
 
 void FpgaSimBackend::solve_begin() { cost_.charge_solve_begin(timeline_, n_local()); }
 
-void FpgaSimBackend::solve_end() { cost_.charge_solve_end(timeline_, n_local()); }
+void FpgaSimBackend::solve_end() {
+  cost_.charge_solve_end(timeline_, n_local());
+  obs_publish_fpga_timeline(timeline_);
+}
+
+void obs_publish_fpga_timeline(const FpgaTimeline& timeline) {
+  if (!obs::enabled()) {
+    return;
+  }
+  std::vector<obs::ModeledSegment> segments;
+  if (timeline.operator_seconds > 0.0) {
+    segments.push_back(obs::ModeledSegment{"operator", timeline.operator_seconds});
+  }
+  if (timeline.gather_scatter_seconds > 0.0) {
+    segments.push_back(
+        obs::ModeledSegment{"gather-scatter", timeline.gather_scatter_seconds});
+  }
+  if (timeline.vector_seconds > 0.0) {
+    segments.push_back(obs::ModeledSegment{"vector", timeline.vector_seconds});
+  }
+  if (timeline.pcie_seconds > 0.0) {
+    segments.push_back(obs::ModeledSegment{"pcie", timeline.pcie_seconds});
+  }
+  obs::add_modeled_track(obs::thread_rank(), "fpga (modeled)", std::move(segments));
+}
 
 }  // namespace semfpga::backend

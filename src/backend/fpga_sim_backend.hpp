@@ -126,6 +126,14 @@ class FpgaCostModel {
                                            std::size_t n_elements, bool helmholtz = false,
                                            bool steady = false);
 
+/// Publishes `timeline`'s modeled segments (operator / vector / gather-
+/// scatter / pcie) as the calling rank's synthetic "fpga (modeled)" obs
+/// track, drawn next to the measured host spans in the Chrome trace.
+/// Replaces any earlier publish of the same rank (a resilient solve calls
+/// solve_end once per attempt with a cumulative timeline).  No-op when obs
+/// is off.
+void obs_publish_fpga_timeline(const FpgaTimeline& timeline);
+
 /// CpuBackend numerics + FpgaCostModel charging.
 class FpgaSimBackend final : public CpuBackend {
  public:

@@ -1,0 +1,477 @@
+#include "obs/obs.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/parallel.hpp"
+
+namespace semfpga::obs {
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+/// The trace epoch: every event timestamp is seconds since this point.
+/// Pinned on first use (configure() touches it before any span can run).
+std::chrono::steady_clock::time_point epoch() {
+  static const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return t0;
+}
+
+}  // namespace
+
+double now_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch())
+      .count();
+}
+
+/// One thread's ring buffer.  The owning thread writes slots and publishes
+/// head with release stores; the drain (main thread, quiescent points only)
+/// reads with acquire and owns the flushed/dropped cursors.  Logs are
+/// registered once via a lock-free CAS push and never freed: threads die,
+/// their undrained events survive until the next collect.  The footprint is
+/// ~kThreadLogCapacity * sizeof(SpanEvent) per thread that ever recorded.
+struct ThreadLog {
+  SpanEvent slots[kThreadLogCapacity];
+  std::atomic<std::uint64_t> head{0};
+  std::atomic<int> rank{0};
+  int tid = 0;
+  std::uint32_t depth = 0;     ///< owner-thread only
+  std::uint64_t flushed = 0;   ///< drain-side cursor
+  ThreadLog* next = nullptr;   ///< immutable after the registering CAS
+};
+
+namespace {
+
+struct ModeledTrack {
+  int rank = 0;
+  std::string name;
+  std::vector<ModeledSegment> segments;
+};
+
+struct Globals {
+  std::atomic<ThreadLog*> logs{nullptr};
+  std::atomic<int> next_tid{0};
+  /// Guards everything below — drain/export/config paths only, never an
+  /// instrumented region.
+  std::mutex mutex;
+  std::vector<TaggedEvent> retained;
+  std::uint64_t dropped_total = 0;
+  std::vector<ModeledTrack> tracks;
+  ObsConfig config;
+};
+
+Globals& globals() {
+  static Globals g;
+  return g;
+}
+
+thread_local ThreadLog* t_log = nullptr;
+thread_local int t_rank = 0;
+
+void push_event(ThreadLog* log, const SpanEvent& event) noexcept {
+  const std::uint64_t h = log->head.load(std::memory_order_relaxed);
+  log->slots[h % kThreadLogCapacity] = event;
+  log->head.store(h + 1, std::memory_order_release);
+}
+
+/// Drains every ring into g.retained.  Caller holds g.mutex and guarantees
+/// quiescence (no thread mid-record).
+void collect_locked(Globals& g) {
+  for (ThreadLog* log = g.logs.load(std::memory_order_acquire); log != nullptr;
+       log = log->next) {
+    const std::uint64_t head = log->head.load(std::memory_order_acquire);
+    std::uint64_t begin = log->flushed;
+    if (head > kThreadLogCapacity && head - kThreadLogCapacity > begin) {
+      g.dropped_total += (head - kThreadLogCapacity) - begin;
+      begin = head - kThreadLogCapacity;
+    }
+    const int rank = log->rank.load(std::memory_order_relaxed);
+    for (std::uint64_t i = begin; i < head; ++i) {
+      g.retained.push_back(
+          TaggedEvent{log->slots[i % kThreadLogCapacity], rank, log->tid});
+    }
+    log->flushed = head;
+  }
+}
+
+}  // namespace
+
+ThreadLog* acquire_thread_log() {
+  ThreadLog* log = t_log;
+  if (log == nullptr) {
+    // First span on this thread: one allocation, then a lock-free push onto
+    // the global registry list (no mutex — this can run inside a span).
+    log = new ThreadLog();
+    log->tid = globals().next_tid.fetch_add(1, std::memory_order_relaxed);
+    log->rank.store(t_rank, std::memory_order_relaxed);
+    ThreadLog* head = globals().logs.load(std::memory_order_relaxed);
+    do {
+      log->next = head;
+    } while (!globals().logs.compare_exchange_weak(
+        head, log, std::memory_order_release, std::memory_order_relaxed));
+    t_log = log;
+  }
+  return log;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+void Span::begin(const char* name) noexcept {
+  log_ = detail::acquire_thread_log();
+  name_ = name;
+  depth_ = log_->depth++;
+  t0_ = detail::now_seconds();
+}
+
+double Span::finish() noexcept {
+  const double t1 = detail::now_seconds();
+  --log_->depth;
+  detail::push_event(log_, SpanEvent{name_, t0_, t1, depth_, false});
+  return t1 - t0_;
+}
+
+void instant(const char* name) noexcept {
+  if (!enabled()) {
+    return;
+  }
+  detail::ThreadLog* log = detail::acquire_thread_log();
+  const double t = detail::now_seconds();
+  detail::push_event(log, SpanEvent{name, t, t, log->depth, true});
+}
+
+void set_thread_rank(int rank) noexcept {
+  detail::t_rank = rank;
+  if (detail::t_log != nullptr) {
+    detail::t_log->rank.store(rank, std::memory_order_relaxed);
+  }
+}
+
+int thread_rank() noexcept { return detail::t_rank; }
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+const char* const kCliHelp =
+    "observability: off | summary | trace:<chrome-trace.json> | prom:<path>, "
+    "comma-separated (bitwise non-perturbing)";
+
+ObsConfig parse_obs(const std::string& value) {
+  ObsConfig out;
+  bool saw_off = false;
+  std::size_t pos = 0;
+  while (pos < value.size()) {
+    std::size_t end = value.find(',', pos);
+    if (end == std::string::npos) {
+      end = value.size();
+    }
+    const std::string token = value.substr(pos, end - pos);
+    if (token == "off") {
+      saw_off = true;
+    } else if (token == "summary") {
+      out.summary = true;
+    } else if (token.rfind("trace:", 0) == 0) {
+      out.trace_path = token.substr(6);
+      if (out.trace_path.empty()) {
+        throw std::invalid_argument("--obs trace: needs a path (trace:<path>)");
+      }
+    } else if (token.rfind("prom:", 0) == 0) {
+      out.prom_path = token.substr(5);
+      if (out.prom_path.empty()) {
+        throw std::invalid_argument("--obs prom: needs a path (prom:<path>)");
+      }
+    } else {
+      throw std::invalid_argument(
+          "bad --obs setting '" + token +
+          "' (expected off|summary|trace:<path>|prom:<path>)");
+    }
+    pos = end + 1;
+  }
+  if (saw_off && out.any()) {
+    throw std::invalid_argument("--obs=off cannot combine with other settings");
+  }
+  return out;
+}
+
+void configure(const ObsConfig& config) {
+  auto& g = detail::globals();
+  // Pin the trace epoch before the first span can observe it.
+  (void)detail::now_seconds();
+  {
+    const std::lock_guard<std::mutex> lock(g.mutex);
+    g.config = config;
+  }
+  detail::g_enabled.store(config.any(), std::memory_order_relaxed);
+}
+
+ObsConfig config() {
+  auto& g = detail::globals();
+  const std::lock_guard<std::mutex> lock(g.mutex);
+  return g.config;
+}
+
+bool configure_from_flag(const std::string& value, const char* program) {
+  try {
+    configure(parse_obs(value));
+    return true;
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "%s: %s\n", program, error.what());
+    return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(double lo, double hi, int n_buckets)
+    : lo_(lo),
+      hi_(hi),
+      n_buckets_(n_buckets > 0 ? n_buckets : 1),
+      log_lo_(std::log(lo)),
+      inv_log_span_(1.0 / (std::log(hi) - std::log(lo))),
+      counts_(static_cast<std::size_t>(n_buckets_) + 2),
+      rank_sums_(new std::atomic<double>[kMaxRankSlots]) {
+  if (!(lo > 0.0) || !(hi > lo) || n_buckets <= 0) {
+    throw std::invalid_argument("histogram needs 0 < lo < hi and n_buckets > 0");
+  }
+  for (int i = 0; i < kMaxRankSlots; ++i) {
+    rank_sums_[i].store(0.0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::observe(double value) noexcept {
+  std::size_t idx = 0;
+  if (value >= hi_) {
+    idx = static_cast<std::size_t>(n_buckets_) + 1;
+  } else if (value >= lo_) {
+    const double f = (std::log(value) - log_lo_) * inv_log_span_;
+    int b = static_cast<int>(f * n_buckets_);
+    b = b < 0 ? 0 : (b >= n_buckets_ ? n_buckets_ - 1 : b);
+    idx = static_cast<std::size_t>(b) + 1;
+  }
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  // Per-rank partial sum: the rank's thread is the slot's only writer, so
+  // additions happen in program order and every slot is reproducible.
+  const int slot = thread_rank() % kMaxRankSlots;
+  rank_sums_[slot].fetch_add(value, std::memory_order_relaxed);
+  int seen = max_slot_.load(std::memory_order_relaxed);
+  while (seen < slot && !max_slot_.compare_exchange_weak(
+                            seen, slot, std::memory_order_relaxed,
+                            std::memory_order_relaxed)) {
+  }
+}
+
+std::int64_t Histogram::total_count() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& c : counts_) {
+    total += c.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<std::int64_t> Histogram::bucket_counts() const {
+  std::vector<std::int64_t> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::sum() const {
+  // The canonical cross-rank merge: rank partials in slot order through the
+  // solver's fixed binary tree — identical association for any arrival
+  // interleaving of the observing threads.
+  const int top = max_slot_.load(std::memory_order_relaxed);
+  std::vector<double> partials(static_cast<std::size_t>(top) + 1);
+  for (std::size_t i = 0; i < partials.size(); ++i) {
+    partials[i] = rank_sums_[i].load(std::memory_order_relaxed);
+  }
+  return tree_fold(partials);
+}
+
+double Histogram::upper_edge(int bucket) const noexcept {
+  return lo_ * std::exp(static_cast<double>(bucket + 1) /
+                        (static_cast<double>(n_buckets_) * inv_log_span_));
+}
+
+void Histogram::reset() noexcept {
+  for (auto& c : counts_) {
+    c.store(0, std::memory_order_relaxed);
+  }
+  for (int i = 0; i < kMaxRankSlots; ++i) {
+    rank_sums_[i].store(0.0, std::memory_order_relaxed);
+  }
+  max_slot_.store(0, std::memory_order_relaxed);
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, double lo, double hi,
+                               int n_buckets) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    // Construct before inserting: a bad shape must throw without leaving a
+    // null registration behind.
+    it = histograms_.emplace(name, std::make_unique<Histogram>(lo, hi, n_buckets))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<Registry::CounterSnap> Registry::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CounterSnap> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back(CounterSnap{name, counter->value()});
+  }
+  return out;
+}
+
+std::vector<Registry::GaugeSnap> Registry::gauges() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<GaugeSnap> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.push_back(GaugeSnap{name, gauge->value()});
+  }
+  return out;
+}
+
+std::vector<Registry::HistogramSnap> Registry::histograms() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HistogramSnap> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnap snap;
+    snap.name = name;
+    snap.count = hist->total_count();
+    snap.sum = hist->sum();
+    snap.lo = hist->lo();
+    snap.hi = hist->hi();
+    snap.buckets = hist->bucket_counts();
+    for (int b = 0; b < hist->n_buckets(); ++b) {
+      snap.upper_edges.push_back(hist->upper_edge(b));
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void Registry::reset_values() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    (void)name;
+    counter->reset();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    (void)name;
+    gauge->reset();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    (void)name;
+    hist->reset();
+  }
+}
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Collection
+// ---------------------------------------------------------------------------
+
+std::vector<TaggedEvent> collected_events() {
+  auto& g = detail::globals();
+  const std::lock_guard<std::mutex> lock(g.mutex);
+  detail::collect_locked(g);
+  return g.retained;
+}
+
+std::uint64_t dropped_events() {
+  auto& g = detail::globals();
+  const std::lock_guard<std::mutex> lock(g.mutex);
+  detail::collect_locked(g);
+  return g.dropped_total;
+}
+
+std::size_t n_thread_logs() {
+  auto& g = detail::globals();
+  std::size_t n = 0;
+  for (detail::ThreadLog* log = g.logs.load(std::memory_order_acquire);
+       log != nullptr; log = log->next) {
+    ++n;
+  }
+  return n;
+}
+
+void add_modeled_track(int rank, const std::string& name,
+                       std::vector<ModeledSegment> segments) {
+  auto& g = detail::globals();
+  const std::lock_guard<std::mutex> lock(g.mutex);
+  // Replace-by-key: a resilient solve calls solve_end once per attempt with
+  // a cumulative timeline; the last publish is the complete one.
+  for (auto& track : g.tracks) {
+    if (track.rank == rank && track.name == name) {
+      track.segments = std::move(segments);
+      return;
+    }
+  }
+  g.tracks.push_back(detail::ModeledTrack{rank, name, std::move(segments)});
+}
+
+std::vector<ModeledTrackSnap> modeled_tracks() {
+  auto& g = detail::globals();
+  const std::lock_guard<std::mutex> lock(g.mutex);
+  std::vector<ModeledTrackSnap> out;
+  out.reserve(g.tracks.size());
+  for (const auto& track : g.tracks) {
+    out.push_back(ModeledTrackSnap{track.rank, track.name, track.segments});
+  }
+  return out;
+}
+
+void reset_for_tests() {
+  detail::g_enabled.store(false, std::memory_order_relaxed);
+  auto& g = detail::globals();
+  const std::lock_guard<std::mutex> lock(g.mutex);
+  for (detail::ThreadLog* log = g.logs.load(std::memory_order_acquire);
+       log != nullptr; log = log->next) {
+    log->flushed = log->head.load(std::memory_order_acquire);
+  }
+  g.retained.clear();
+  g.dropped_total = 0;
+  g.tracks.clear();
+  g.config = ObsConfig{};
+  registry().reset_values();
+}
+
+}  // namespace semfpga::obs

@@ -1,0 +1,360 @@
+#pragma once
+/// \file obs.hpp
+/// Zero-overhead-when-off observability: a span tracer plus a metrics
+/// registry, shared by every execution tier.
+///
+/// Two instruments, one switch:
+///
+///  * Spans — `OBS_SPAN("cg.apply");` opens an RAII scope that records a
+///    {name, t0, t1, depth} event into a lock-free per-thread ring buffer,
+///    tagged with the SPMD rank of the recording thread.  When tracing is
+///    off the constructor is one relaxed atomic load and a branch; no
+///    clock is read, no memory is touched, no lock is ever taken.  Rings
+///    drop their *oldest* events on overflow (counted, never blocking), and
+///    are drained only at quiescent points (after solves / at exit) — never
+///    from inside an instrumented region.
+///  * Metrics — named counters, gauges and fixed-bucket histograms in a
+///    process-global Registry.  Histogram sums use the repo's canonical
+///    cross-rank merge idiom: one partial-sum slot per rank (single-writer,
+///    program-ordered), folded through the same fixed binary tree
+///    (`tree_fold`) the solver's segmented reductions use — so the merged
+///    sum is bitwise deterministic for any thread/rank interleaving.
+///
+/// Hard contract (pinned by tests/obs/): any obs setting is bitwise
+/// non-perturbing on solver iterates — the instruments observe the solve,
+/// they never participate in it.  Exporters: Chrome `trace_event` JSON
+/// (one timeline per rank x thread, plus a synthetic "fpga (modeled)"
+/// track from FpgaTimeline), a Prometheus-style text dump, and a compact
+/// per-phase summary table.  Drivers wire all three through one flag:
+/// `--obs=off|summary|trace:<path>|prom:<path>` (comma-separated).
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace semfpga::obs {
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Parsed form of the --obs flag.
+struct ObsConfig {
+  bool summary = false;     ///< print the per-phase table at finalize()
+  std::string trace_path;   ///< non-empty: write a Chrome trace_event JSON
+  std::string prom_path;    ///< non-empty: write a Prometheus-style dump
+  [[nodiscard]] bool any() const noexcept {
+    return summary || !trace_path.empty() || !prom_path.empty();
+  }
+};
+
+/// Parses a comma-separated --obs value: `off`, `summary`, `trace:<path>`,
+/// `prom:<path>`.  Throws std::invalid_argument on anything else (a typo'd
+/// setting must fail before the solve, like every other bad flag value).
+[[nodiscard]] ObsConfig parse_obs(const std::string& value);
+
+/// Installs `config` globally and arms the tracer iff config.any().
+void configure(const ObsConfig& config);
+
+/// The currently installed configuration.
+[[nodiscard]] ObsConfig config();
+
+/// Driver-friendly wrapper: parse + configure, reporting a bad value on
+/// stderr (prefixed with `program`) and returning false instead of throwing.
+bool configure_from_flag(const std::string& value, const char* program);
+
+/// Help text of the shared --obs flag (one string so drivers cannot drift).
+extern const char* const kCliHelp;
+
+namespace detail {
+
+extern std::atomic<bool> g_enabled;
+struct ThreadLog;
+[[nodiscard]] ThreadLog* acquire_thread_log();
+
+}  // namespace detail
+
+/// True when any obs output is configured.  Relaxed load: the flag only
+/// flips at driver startup / test boundaries, never mid-solve.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Span tracer
+// ---------------------------------------------------------------------------
+
+/// Per-thread ring capacity in events; overflow drops the oldest events and
+/// counts them (dropped_events()), the recording thread never blocks.
+inline constexpr std::size_t kThreadLogCapacity = 8192;
+
+/// One recorded scope.  `name` must be a string literal (or otherwise have
+/// static storage duration): events store the pointer, never a copy.
+struct SpanEvent {
+  const char* name = nullptr;
+  double t0 = 0.0;             ///< seconds since the process trace epoch
+  double t1 = 0.0;
+  std::uint32_t depth = 0;     ///< nesting depth on the recording thread
+  bool instant = false;        ///< point event (t1 == t0)
+};
+
+/// A flushed event plus its recording thread's tags.
+struct TaggedEvent {
+  SpanEvent event;
+  int rank = 0;
+  int tid = 0;
+};
+
+/// RAII span.  Cheap enough for the CG inner loop: when tracing is off the
+/// constructor is a relaxed load + branch and the destructor a null check.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept {
+    if (enabled()) {
+      begin(name);
+    }
+  }
+  ~Span() {
+    if (log_ != nullptr) {
+      (void)finish();
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Ends the span now (idempotent; the destructor becomes a no-op) and
+  /// returns its duration in seconds — 0 when tracing is off.
+  double end() noexcept {
+    if (log_ == nullptr) {
+      return 0.0;
+    }
+    const double elapsed = finish();
+    log_ = nullptr;
+    return elapsed;
+  }
+
+  /// True when this span is recording (tracing was on at construction).
+  [[nodiscard]] bool active() const noexcept { return log_ != nullptr; }
+
+ private:
+  void begin(const char* name) noexcept;
+  double finish() noexcept;
+
+  detail::ThreadLog* log_ = nullptr;
+  const char* name_ = nullptr;
+  double t0_ = 0.0;
+  std::uint32_t depth_ = 0;
+};
+
+#define SEMFPGA_OBS_CONCAT_INNER(a, b) a##b
+#define SEMFPGA_OBS_CONCAT(a, b) SEMFPGA_OBS_CONCAT_INNER(a, b)
+/// Opens a span for the rest of the enclosing scope.
+#define OBS_SPAN(name) \
+  ::semfpga::obs::Span SEMFPGA_OBS_CONCAT(obs_span_, __COUNTER__)(name)
+
+/// Records a point event (rendered as an instant marker in the trace).
+void instant(const char* name) noexcept;
+
+/// Tags every event this thread records from now on with `rank`.  The SPMD
+/// runtime calls this at rank-thread entry; the main thread defaults to 0.
+void set_thread_rank(int rank) noexcept;
+[[nodiscard]] int thread_rank() noexcept;
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+/// Monotonic integer counter (relaxed atomic; order-independent by
+/// construction, so always armed — integer adds cannot perturb the solve).
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-write-wins double value.
+class Gauge {
+ public:
+  void set(double value) noexcept { value_.store(value, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket log-spaced histogram with a deterministic cross-rank sum.
+///
+/// Bucket counts are relaxed atomics (integer, order-independent).  The
+/// value sum uses the segmented-reduce idiom: each rank accumulates into
+/// its own slot — single writer, program order, so every slot is bitwise
+/// reproducible — and sum() folds the slots through the solver's fixed
+/// binary tree (tree_fold), never in arrival order.
+class Histogram {
+ public:
+  static constexpr int kMaxRankSlots = 64;
+
+  /// Log-spaced buckets spanning [lo, hi), plus underflow and overflow.
+  Histogram(double lo, double hi, int n_buckets);
+
+  /// Records `value` under the calling thread's rank slot.
+  void observe(double value) noexcept;
+
+  [[nodiscard]] std::int64_t total_count() const noexcept;
+  /// Bucket counts: [underflow, bucket 0 .. n-1, overflow].
+  [[nodiscard]] std::vector<std::int64_t> bucket_counts() const;
+  /// Deterministic merged sum of all observed values (tree-folded rank
+  /// partials in canonical slot order).
+  [[nodiscard]] double sum() const;
+  /// Inclusive upper edge of bucket i (i in [0, n_buckets)).
+  [[nodiscard]] double upper_edge(int bucket) const noexcept;
+  [[nodiscard]] int n_buckets() const noexcept { return n_buckets_; }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  void reset() noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  int n_buckets_;
+  double log_lo_;
+  double inv_log_span_;
+  std::vector<std::atomic<std::int64_t>> counts_;  ///< n_buckets + 2
+  std::unique_ptr<std::atomic<double>[]> rank_sums_;
+  std::atomic<int> max_slot_{0};
+};
+
+/// Name -> metric map.  Lookup takes a mutex and is meant for setup time;
+/// hot paths cache the returned reference (stable for the process lifetime).
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Creates on first use; later calls ignore the shape arguments.
+  Histogram& histogram(const std::string& name, double lo, double hi, int n_buckets);
+
+  struct CounterSnap {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  struct GaugeSnap {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramSnap {
+    std::string name;
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    std::vector<std::int64_t> buckets;
+    std::vector<double> upper_edges;  ///< per non-overflow bucket
+  };
+  /// Sorted-by-name snapshots (std::map order — deterministic).
+  [[nodiscard]] std::vector<CounterSnap> counters() const;
+  [[nodiscard]] std::vector<GaugeSnap> gauges() const;
+  [[nodiscard]] std::vector<HistogramSnap> histograms() const;
+
+  /// Zeroes every metric, keeping registrations (cached handles stay valid).
+  void reset_values();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-global registry.
+[[nodiscard]] Registry& registry();
+
+// ---------------------------------------------------------------------------
+// Collection and export
+// ---------------------------------------------------------------------------
+
+/// Aggregate of all spans sharing one name.
+struct PhaseStats {
+  std::string name;
+  std::int64_t count = 0;
+  double total_seconds = 0.0;
+  double mean_seconds = 0.0;
+  /// total relative to the aggregate of "cg.solve" spans (or the trace wall
+  /// extent when no solve span exists).  Nested phases overlap their
+  /// parents, so percentages are per-phase shares, not a partition.
+  double percent_of_solve = 0.0;
+};
+
+/// Drains every thread ring (quiescent-point only: concurrent recording
+/// threads may race the drain cursor) and returns per-phase aggregates,
+/// sorted by descending total time.
+[[nodiscard]] std::vector<PhaseStats> phase_summary();
+
+/// Drains and returns every retained event (tests / custom exporters).
+[[nodiscard]] std::vector<TaggedEvent> collected_events();
+
+/// Events lost to ring overflow so far (drain-updated).
+[[nodiscard]] std::uint64_t dropped_events();
+
+/// Number of thread rings ever registered (tests pin zero-overhead-off).
+[[nodiscard]] std::size_t n_thread_logs();
+
+/// One segment of a synthetic modeled track (e.g. FpgaTimeline phases).
+struct ModeledSegment {
+  std::string label;
+  double seconds = 0.0;
+};
+
+/// Publishes (or replaces, keyed on rank+name) a synthetic timeline drawn
+/// next to rank `rank`'s measured threads in the Chrome trace.
+void add_modeled_track(int rank, const std::string& name,
+                       std::vector<ModeledSegment> segments);
+
+/// A published modeled track (exporter/test access).
+struct ModeledTrackSnap {
+  int rank = 0;
+  std::string name;
+  std::vector<ModeledSegment> segments;
+};
+[[nodiscard]] std::vector<ModeledTrackSnap> modeled_tracks();
+
+/// Prints the per-phase table plus registry counters/gauges/histograms.
+void print_summary(std::ostream& os);
+
+/// Writes a Chrome trace_event JSON (open in chrome://tracing or Perfetto).
+/// One track per rank x thread, plus the modeled tracks.  Returns false if
+/// the file cannot be written.
+bool write_chrome_trace(const std::string& path);
+
+/// Writes a Prometheus-style text exposition of spans + registry metrics.
+bool write_prometheus(const std::string& path);
+
+/// Embeds `"obs": {...}` (phase breakdown + dropped-event count) into an
+/// already-open JSON stream at `indent` spaces; no trailing comma/newline.
+void write_phases_json(std::FILE* f, int indent);
+
+/// Runs every export the installed config asks for (summary to stdout,
+/// trace/prom files).  Returns 0 on success, 1 if a file failed to write.
+/// Drivers call this once, after printing their own results.
+int finalize();
+
+/// Resets tracer + registry to the disabled pristine state.  Test-only:
+/// callers must guarantee no thread is inside an instrumented region.
+void reset_for_tests();
+
+}  // namespace semfpga::obs

@@ -1,0 +1,351 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace semfpga::obs {
+namespace {
+
+/// Escapes a string for a JSON literal (names here are ASCII identifiers,
+/// but paths and labels pass through user input).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Prometheus metric names: [a-zA-Z0-9_:], everything else becomes '_'.
+std::string prom_name(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    if (!ok) {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+struct PhaseAccum {
+  std::int64_t count = 0;
+  double total = 0.0;
+};
+
+}  // namespace
+
+std::vector<PhaseStats> phase_summary() {
+  const std::vector<TaggedEvent> events = collected_events();
+  std::map<std::string, PhaseAccum> acc;
+  double wall_min = 0.0;
+  double wall_max = 0.0;
+  bool any = false;
+  double solve_total = 0.0;
+  for (const TaggedEvent& te : events) {
+    if (te.event.instant) {
+      continue;
+    }
+    auto& a = acc[te.event.name];
+    a.count += 1;
+    const double dur = te.event.t1 - te.event.t0;
+    a.total += dur;
+    if (!any) {
+      wall_min = te.event.t0;
+      wall_max = te.event.t1;
+      any = true;
+    } else {
+      wall_min = std::min(wall_min, te.event.t0);
+      wall_max = std::max(wall_max, te.event.t1);
+    }
+    if (std::string_view(te.event.name) == "cg.solve") {
+      solve_total += dur;
+    }
+  }
+  const double denom =
+      solve_total > 0.0 ? solve_total : (any ? wall_max - wall_min : 0.0);
+  std::vector<PhaseStats> out;
+  out.reserve(acc.size());
+  for (const auto& [name, a] : acc) {
+    PhaseStats p;
+    p.name = name;
+    p.count = a.count;
+    p.total_seconds = a.total;
+    p.mean_seconds = a.count > 0 ? a.total / static_cast<double>(a.count) : 0.0;
+    p.percent_of_solve = denom > 0.0 ? 100.0 * a.total / denom : 0.0;
+    out.push_back(std::move(p));
+  }
+  std::sort(out.begin(), out.end(), [](const PhaseStats& a, const PhaseStats& b) {
+    if (a.total_seconds != b.total_seconds) {
+      return a.total_seconds > b.total_seconds;
+    }
+    return a.name < b.name;  // deterministic tie-break
+  });
+  return out;
+}
+
+void print_summary(std::ostream& os) {
+  const std::vector<PhaseStats> phases = phase_summary();
+  Table table("Per-phase breakdown");
+  table.set_header({"phase", "count", "total [s]", "mean [ms]", "% of solve"});
+  for (const PhaseStats& p : phases) {
+    table.add_row({p.name, Table::fmt_int(p.count), Table::fmt(p.total_seconds, 6),
+                   Table::fmt(p.mean_seconds * 1e3, 4),
+                   Table::fmt(p.percent_of_solve, 1)});
+  }
+  if (phases.empty()) {
+    table.add_row({"(no spans recorded)", "", "", "", ""});
+  }
+  table.print_text(os);
+
+  auto& reg = registry();
+  const auto counters = reg.counters();
+  const auto gauges = reg.gauges();
+  const auto histograms = reg.histograms();
+  if (!counters.empty() || !gauges.empty() || !histograms.empty()) {
+    Table metrics("Metrics");
+    metrics.set_header({"metric", "kind", "value"});
+    for (const auto& c : counters) {
+      metrics.add_row({c.name, "counter", Table::fmt_int(c.value)});
+    }
+    for (const auto& g : gauges) {
+      metrics.add_row({g.name, "gauge", Table::fmt(g.value, 6)});
+    }
+    for (const auto& h : histograms) {
+      metrics.add_row({h.name, "histogram",
+                       Table::fmt_int(h.count) + " obs, sum " + Table::fmt(h.sum, 6)});
+    }
+    metrics.print_text(os);
+  }
+  const std::uint64_t dropped = dropped_events();
+  if (dropped > 0) {
+    os << "note: " << dropped
+       << " span events dropped (per-thread ring overflow; oldest first)\n";
+  }
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const std::vector<TaggedEvent> events = collected_events();
+  std::ofstream f(path);
+  if (!f) {
+    return false;
+  }
+  f << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  bool first = true;
+  const auto emit_comma = [&] {
+    if (!first) {
+      f << ",\n";
+    }
+    first = false;
+  };
+
+  // Metadata: one process per rank, one named thread per (rank, tid).
+  std::map<int, double> rank_t0;  // earliest event start per rank
+  std::map<std::pair<int, int>, bool> threads_seen;
+  for (const TaggedEvent& te : events) {
+    auto it = rank_t0.find(te.rank);
+    if (it == rank_t0.end() || te.event.t0 < it->second) {
+      rank_t0[te.rank] = te.event.t0;
+    }
+    threads_seen[{te.rank, te.tid}] = true;
+  }
+  for (const auto& [rank, t0] : rank_t0) {
+    (void)t0;
+    emit_comma();
+    f << "    {\"ph\": \"M\", \"name\": \"process_name\", \"pid\": " << rank
+      << ", \"tid\": 0, \"args\": {\"name\": \"rank " << rank << "\"}}";
+  }
+  for (const auto& [key, seen] : threads_seen) {
+    (void)seen;
+    emit_comma();
+    f << "    {\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": " << key.first
+      << ", \"tid\": " << key.second << ", \"args\": {\"name\": \"thread "
+      << key.second << "\"}}";
+  }
+
+  for (const TaggedEvent& te : events) {
+    emit_comma();
+    const double ts_us = te.event.t0 * 1e6;
+    if (te.event.instant) {
+      f << "    {\"ph\": \"i\", \"s\": \"t\", \"name\": \""
+        << json_escape(te.event.name) << "\", \"cat\": \"obs\", \"pid\": "
+        << te.rank << ", \"tid\": " << te.tid << ", \"ts\": " << fmt_double(ts_us)
+        << "}";
+    } else {
+      const double dur_us = (te.event.t1 - te.event.t0) * 1e6;
+      f << "    {\"ph\": \"X\", \"name\": \"" << json_escape(te.event.name)
+        << "\", \"cat\": \"obs\", \"pid\": " << te.rank << ", \"tid\": " << te.tid
+        << ", \"ts\": " << fmt_double(ts_us) << ", \"dur\": " << fmt_double(dur_us)
+        << ", \"args\": {\"depth\": " << te.event.depth << "}}";
+    }
+  }
+
+  // Synthetic modeled tracks: back-to-back segments on a reserved tid,
+  // anchored at the owning rank's first measured event so the modeled
+  // ledger lines up against the measured host spans.
+  constexpr int kModeledTid = 9999;
+  for (const auto& track : modeled_tracks()) {
+    double cursor = 0.0;
+    const auto it = rank_t0.find(track.rank);
+    if (it != rank_t0.end()) {
+      cursor = it->second;
+    }
+    emit_comma();
+    f << "    {\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": " << track.rank
+      << ", \"tid\": " << kModeledTid << ", \"args\": {\"name\": \""
+      << json_escape(track.name) << "\"}}";
+    for (const ModeledSegment& seg : track.segments) {
+      emit_comma();
+      f << "    {\"ph\": \"X\", \"name\": \"" << json_escape(seg.label)
+        << "\", \"cat\": \"modeled\", \"pid\": " << track.rank
+        << ", \"tid\": " << kModeledTid << ", \"ts\": " << fmt_double(cursor * 1e6)
+        << ", \"dur\": " << fmt_double(seg.seconds * 1e6) << "}";
+      cursor += seg.seconds;
+    }
+  }
+
+  f << "\n  ]\n}\n";
+  return static_cast<bool>(f);
+}
+
+bool write_prometheus(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) {
+    return false;
+  }
+  const std::vector<PhaseStats> phases = phase_summary();
+  if (!phases.empty()) {
+    f << "# TYPE semfpga_span_seconds_total counter\n";
+    for (const PhaseStats& p : phases) {
+      f << "semfpga_span_seconds_total{phase=\"" << p.name
+        << "\"} " << fmt_double(p.total_seconds) << "\n";
+    }
+    f << "# TYPE semfpga_span_count counter\n";
+    for (const PhaseStats& p : phases) {
+      f << "semfpga_span_count{phase=\"" << p.name << "\"} " << p.count << "\n";
+    }
+  }
+  f << "# TYPE semfpga_span_events_dropped_total counter\n";
+  f << "semfpga_span_events_dropped_total " << dropped_events() << "\n";
+
+  auto& reg = registry();
+  for (const auto& c : reg.counters()) {
+    const std::string name = "semfpga_" + prom_name(c.name) + "_total";
+    f << "# TYPE " << name << " counter\n" << name << " " << c.value << "\n";
+  }
+  for (const auto& g : reg.gauges()) {
+    const std::string name = "semfpga_" + prom_name(g.name);
+    f << "# TYPE " << name << " gauge\n" << name << " " << fmt_double(g.value)
+      << "\n";
+  }
+  for (const auto& h : reg.histograms()) {
+    const std::string name = "semfpga_" + prom_name(h.name);
+    f << "# TYPE " << name << " histogram\n";
+    // buckets[] is [underflow, 0..n-1, overflow]; Prometheus buckets are
+    // cumulative with le="upper edge".
+    std::int64_t cumulative = h.buckets.empty() ? 0 : h.buckets.front();
+    for (std::size_t b = 0; b < h.upper_edges.size(); ++b) {
+      cumulative += h.buckets[b + 1];
+      f << name << "_bucket{le=\"" << fmt_double(h.upper_edges[b]) << "\"} "
+        << cumulative << "\n";
+    }
+    f << name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    f << name << "_sum " << fmt_double(h.sum) << "\n";
+    f << name << "_count " << h.count << "\n";
+  }
+  return static_cast<bool>(f);
+}
+
+void write_phases_json(std::FILE* f, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent > 0 ? indent : 0), ' ');
+  const std::vector<PhaseStats> phases = phase_summary();
+  std::fprintf(f, "%s\"obs\": {\n", pad.c_str());
+  std::fprintf(f, "%s  \"dropped_events\": %llu,\n", pad.c_str(),
+               static_cast<unsigned long long>(dropped_events()));
+  std::fprintf(f, "%s  \"phases\": [", pad.c_str());
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseStats& p = phases[i];
+    std::fprintf(f, "%s\n%s    {\"name\": \"%s\", \"count\": %lld, ",
+                 i == 0 ? "" : ",", pad.c_str(), json_escape(p.name).c_str(),
+                 static_cast<long long>(p.count));
+    std::fprintf(f,
+                 "\"total_seconds\": %.9e, \"mean_seconds\": %.9e, "
+                 "\"percent_of_solve\": %.3f}",
+                 p.total_seconds, p.mean_seconds, p.percent_of_solve);
+  }
+  if (phases.empty()) {
+    std::fprintf(f, "]\n%s}", pad.c_str());
+  } else {
+    std::fprintf(f, "\n%s  ]\n%s}", pad.c_str(), pad.c_str());
+  }
+}
+
+int finalize() {
+  const ObsConfig cfg = config();
+  int rc = 0;
+  if (cfg.summary) {
+    print_summary(std::cout);
+  }
+  if (!cfg.trace_path.empty()) {
+    if (write_chrome_trace(cfg.trace_path)) {
+      std::cout << "obs: wrote Chrome trace to " << cfg.trace_path << "\n";
+    } else {
+      std::cerr << "obs: failed to write trace to " << cfg.trace_path << "\n";
+      rc = 1;
+    }
+  }
+  if (!cfg.prom_path.empty()) {
+    if (write_prometheus(cfg.prom_path)) {
+      std::cout << "obs: wrote Prometheus dump to " << cfg.prom_path << "\n";
+    } else {
+      std::cerr << "obs: failed to write metrics to " << cfg.prom_path << "\n";
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+}  // namespace semfpga::obs

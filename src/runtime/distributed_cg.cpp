@@ -9,6 +9,7 @@
 #include "backend/distributed_backend.hpp"
 #include "common/check.hpp"
 #include "common/timer.hpp"
+#include "obs/obs.hpp"
 #include "runtime/fault.hpp"
 #include "solver/partition.hpp"
 
@@ -142,6 +143,7 @@ class GlobalCheckpoint {
   /// Collective commit of one rank's slice at global iteration `iteration`.
   void commit(Fabric& fabric, int rank, int iteration,
               std::span<const double> slice, std::size_t offset) {
+    OBS_SPAN("checkpoint.commit");
     const std::size_t which =
         static_cast<std::size_t>(iteration / every_) % buffers_.size();
     std::copy(slice.begin(), slice.end(),

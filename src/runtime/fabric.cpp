@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 #include "runtime/fault.hpp"
 
 namespace semfpga::runtime {
@@ -79,6 +80,9 @@ InProcessFabric::InProcessFabric(int n_ranks, std::size_t reduce_slots,
       edges_(static_cast<std::size_t>(n_ranks) * static_cast<std::size_t>(n_ranks)),
       slots_(reduce_slots, 0.0) {
   SEMFPGA_CHECK(n_ranks >= 1, "fabric needs at least one rank");
+  // Registry lookup here (construction, cold) so the blocking paths only
+  // touch the cached pointer — never the registry mutex.
+  wait_hist_ = &obs::registry().histogram("fabric.wait_seconds", 1e-7, 10.0, 24);
 }
 
 void InProcessFabric::check_poison() const {
@@ -116,6 +120,9 @@ InProcessFabric::Edge& InProcessFabric::edge(int from, int to) {
 
 void InProcessFabric::send(int from, int to, std::span<const double> data) {
   Edge& e = edge(from, to);
+  // Wait-vs-transfer split: the first span covers blocking on the peer
+  // (slot still full), the second the actual copy onto the edge.
+  obs::Span wait_span("halo.send.wait");
   BoundedWait wait(timeout_seconds_);
   std::uint32_t seq = e.seq.load(std::memory_order_acquire);
   while ((seq & 1u) != 0) {  // previous message not yet consumed
@@ -126,6 +133,12 @@ void InProcessFabric::send(int from, int to, std::span<const double> data) {
     seq = e.seq.load(std::memory_order_acquire);
   }
   check_poison();
+  const bool traced = wait_span.active();
+  const double waited = wait_span.end();
+  if (traced) {
+    wait_hist_->observe(waited);
+  }
+  OBS_SPAN("halo.send.transfer");
   e.payload.assign(data.begin(), data.end());
   if (injector_ != nullptr &&
       !injector_->on_send(from, to,
@@ -140,6 +153,7 @@ void InProcessFabric::send(int from, int to, std::span<const double> data) {
 
 void InProcessFabric::recv(int from, int to, std::span<double> out) {
   Edge& e = edge(from, to);
+  obs::Span wait_span("halo.recv.wait");
   BoundedWait wait(timeout_seconds_);
   std::uint32_t seq = e.seq.load(std::memory_order_acquire);
   while ((seq & 1u) == 0) {  // nothing posted yet
@@ -150,6 +164,12 @@ void InProcessFabric::recv(int from, int to, std::span<double> out) {
     seq = e.seq.load(std::memory_order_acquire);
   }
   check_poison();
+  const bool traced = wait_span.active();
+  const double waited = wait_span.end();
+  if (traced) {
+    wait_hist_->observe(waited);
+  }
+  OBS_SPAN("halo.recv.transfer");
   SEMFPGA_CHECK(e.payload.size() == out.size(),
                 "halo message size disagrees between sender and receiver");
   std::copy(e.payload.begin(), e.payload.end(), out.begin());
@@ -162,6 +182,7 @@ void InProcessFabric::barrier_at(int rank, const char* site) {
   if (n_ranks_ == 1) {
     return;
   }
+  OBS_SPAN("fabric.barrier");
   const std::uint32_t epoch = barrier_epoch_.load(std::memory_order_acquire);
   // The arrival fetch_add is a release so every rank's preceding writes
   // (slot-table stores, field updates) join the modification order the
@@ -185,6 +206,7 @@ void InProcessFabric::barrier_at(int rank, const char* site) {
 
 double InProcessFabric::allreduce_ordered(int rank, std::size_t slot_begin,
                                           std::span<const double> contribution) {
+  OBS_SPAN("fabric.allreduce");
   SEMFPGA_CHECK(slot_begin + contribution.size() <= slots_.size(),
                 "allreduce contribution overflows the slot vector");
   if (injector_ != nullptr) {

@@ -35,6 +35,10 @@
 #include <string>
 #include <vector>
 
+namespace semfpga::obs {
+class Histogram;  // obs/obs.hpp
+}  // namespace semfpga::obs
+
 namespace semfpga::runtime {
 
 class FaultInjector;  // fault.hpp
@@ -175,6 +179,10 @@ class InProcessFabric final : public Fabric {
   std::vector<double> slots_;  ///< allreduce contributions, one write per slot
 
   FaultInjector* injector_ = nullptr;
+
+  /// Wait-time histogram (obs registry; resolved once in the ctor so the
+  /// hot blocking paths never take the registry lookup mutex).
+  obs::Histogram* wait_hist_ = nullptr;
 
   mutable std::mutex timeout_mutex_;  ///< guards timeout_events_ (cold path)
   std::vector<FabricTimeoutEvent> timeout_events_;

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "obs/obs.hpp"
 
 namespace semfpga::runtime {
 namespace {
@@ -211,9 +212,19 @@ bool FaultInjector::fire(std::size_t idx, FaultSite site, int rank, int iteratio
 }
 
 void FaultInjector::record(const FaultSpec& spec, int iteration, std::string detail) {
-  const std::lock_guard<std::mutex> lock(events_mutex_);
-  events_.push_back(FaultEvent{spec.kind, spec.site, spec.rank, iteration,
-                               std::move(detail)});
+  {
+    const std::lock_guard<std::mutex> lock(events_mutex_);
+    events_.push_back(FaultEvent{spec.kind, spec.site, spec.rank, iteration,
+                                 std::move(detail)});
+  }
+  // Cold path (a fault fires at most once per spec): the registry lookup
+  // mutex is fine here, and the instant marker puts the firing on the
+  // recording rank's trace track.
+  obs::registry().counter("faults.fired").add(1);
+  obs::registry()
+      .counter(std::string("faults.fired.") + fault_kind_name(spec.kind))
+      .add(1);
+  obs::instant("fault.fired");
 }
 
 void FaultInjector::on_iteration(int rank, int iteration) {

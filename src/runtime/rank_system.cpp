@@ -1,6 +1,7 @@
 #include "runtime/rank_system.hpp"
 
 #include "common/check.hpp"
+#include "obs/obs.hpp"
 #include "solver/helmholtz_system.hpp"
 
 namespace semfpga::runtime {
@@ -87,7 +88,10 @@ void RankSystem::apply(std::span<const double> u, std::span<double> w) {
   // Unmasked local apply (fused or split, per the system flag): interface
   // rows end up holding this rank's canonical partial sums.
   system_->apply_unmasked(u, w);
-  halo_.exchange_add(w);
+  {
+    OBS_SPAN("halo.exchange");
+    halo_.exchange_add(w);
+  }
   apply_mask(w);
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 
 namespace semfpga::runtime {
 
@@ -32,6 +33,7 @@ void spmd_run(Fabric& fabric, int total_threads,
   std::vector<unsigned char> priority(static_cast<std::size_t>(n_ranks), 0);
   const auto rank_main = [&](int rank) noexcept {
     try {
+      obs::set_thread_rank(rank);
       RankEnv env;
       env.rank = rank;
       env.n_ranks = n_ranks;

@@ -5,6 +5,7 @@
 #include "backend/cpu_backend.hpp"
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 
 namespace semfpga::solver {
 namespace {
@@ -61,11 +62,13 @@ CgResult solve_cg(backend::Backend& backend, std::span<const double> b,
   // counted over the global problem so every tier reports the same FLOPs.
   const std::int64_t vec_cost = 11 * backend.global_dofs();
 
+  OBS_SPAN("cg.solve");
   SolveScope scope(backend);
 
   // z = P^{-1} in, fused with the <in, z>_c reduction.  With P = I the
   // vector z is never materialised; callers use `in` and the returned rr.
   auto precondition_dot = [&](const aligned_vector<double>& in) {
+    OBS_SPAN("cg.precond");
     if (options.preconditioner) {
       options.preconditioner(std::span<const double>(in.data(), n),
                              std::span<double>(z.data(), n));
@@ -97,28 +100,37 @@ CgResult solve_cg(backend::Backend& backend, std::span<const double> b,
 
   if (options.resume == nullptr) {
     // r = b - A x (x may carry an initial guess), fused with rr = <r, r>_c.
-    backend.apply(x, std::span<double>(w.data(), n));
+    {
+      OBS_SPAN("cg.apply");
+      backend.apply(x, std::span<double>(w.data(), n));
+    }
     result.flops += ax_cost;
-    rr = backend.reduce(backend::PassCost{3, 1},
-                        [&](std::size_t begin, std::size_t end) {
-                          double acc = 0.0;
-                          for (std::size_t i = begin; i < end; ++i) {
-                            const double ri = b[i] - w[i];
-                            r[i] = ri;
-                            acc += ri * ri * c[i];
-                          }
-                          return acc;
-                        });
+    {
+      OBS_SPAN("cg.update");
+      rr = backend.reduce(backend::PassCost{3, 1},
+                          [&](std::size_t begin, std::size_t end) {
+                            double acc = 0.0;
+                            for (std::size_t i = begin; i < end; ++i) {
+                              const double ri = b[i] - w[i];
+                              r[i] = ri;
+                              acc += ri * ri * c[i];
+                            }
+                            return acc;
+                          });
+    }
     if (options.guard_numerics && !std::isfinite(rr)) {
       throw CgNumericalFault(0, "initial residual norm is not finite");
     }
     rho = identity_precond ? rr : precondition_dot(r);
-    backend.vector_pass(backend::PassCost{1, 1},
-                        [&](std::size_t begin, std::size_t end) {
-                          for (std::size_t i = begin; i < end; ++i) {
-                            p[i] = z_like[i];
-                          }
-                        });
+    {
+      OBS_SPAN("cg.p_update");
+      backend.vector_pass(backend::PassCost{1, 1},
+                          [&](std::size_t begin, std::size_t end) {
+                            for (std::size_t i = begin; i < end; ++i) {
+                              p[i] = z_like[i];
+                            }
+                          });
+    }
     res_norm = std::sqrt(std::abs(rr));
     if (options.record_history) {
       result.residual_history.push_back(res_norm);
@@ -167,25 +179,36 @@ CgResult solve_cg(backend::Backend& backend, std::span<const double> b,
 
   for (int it = options.resume != nullptr ? options.resume->iteration : 0;
        it < options.max_iterations; ++it) {
-    backend.apply(std::span<const double>(p.data(), n), std::span<double>(w.data(), n));
-    const double pw = backend.dot(std::span<const double>(p.data(), n),
-                                  std::span<const double>(w.data(), n));
+    {
+      OBS_SPAN("cg.apply");
+      backend.apply(std::span<const double>(p.data(), n),
+                    std::span<double>(w.data(), n));
+    }
+    double pw = 0.0;
+    {
+      OBS_SPAN("cg.dot");
+      pw = backend.dot(std::span<const double>(p.data(), n),
+                       std::span<const double>(w.data(), n));
+    }
     if (options.guard_numerics && !(std::isfinite(pw) && pw > 0.0)) {
       throw CgNumericalFault(it + 1, "<p, Ap> lost finite positive definiteness");
     }
     SEMFPGA_CHECK(pw > 0.0, "operator lost positive definiteness (check mesh/mask)");
     const double alpha = rho / pw;
-    rr = backend.reduce(backend::PassCost{4, 3},
-                        [&](std::size_t begin, std::size_t end) {
-                          double acc = 0.0;
-                          for (std::size_t i = begin; i < end; ++i) {
-                            x[i] += alpha * p[i];
-                            const double ri = r[i] - alpha * w[i];
-                            r[i] = ri;
-                            acc += ri * ri * c[i];
-                          }
-                          return acc;
-                        });
+    {
+      OBS_SPAN("cg.update");
+      rr = backend.reduce(backend::PassCost{4, 3},
+                          [&](std::size_t begin, std::size_t end) {
+                            double acc = 0.0;
+                            for (std::size_t i = begin; i < end; ++i) {
+                              x[i] += alpha * p[i];
+                              const double ri = r[i] - alpha * w[i];
+                              r[i] = ri;
+                              acc += ri * ri * c[i];
+                            }
+                            return acc;
+                          });
+    }
     result.flops += ax_cost + vec_cost;
     result.iterations = it + 1;
 
@@ -206,12 +229,15 @@ CgResult solve_cg(backend::Backend& backend, std::span<const double> b,
     const double rho_new = identity_precond ? rr : precondition_dot(r);
     const double beta = rho_new / rho;
     rho = rho_new;
-    backend.vector_pass(backend::PassCost{2, 1},
-                        [&](std::size_t begin, std::size_t end) {
-                          for (std::size_t i = begin; i < end; ++i) {
-                            p[i] = z_like[i] + beta * p[i];
-                          }
-                        });
+    {
+      OBS_SPAN("cg.p_update");
+      backend.vector_pass(backend::PassCost{2, 1},
+                          [&](std::size_t begin, std::size_t end) {
+                            for (std::size_t i = begin; i < end; ++i) {
+                              p[i] = z_like[i] + beta * p[i];
+                            }
+                          });
+    }
     // Post-p-update: {x, r, p, rho} is exactly the state the next
     // iteration starts from — what a checkpoint must capture.
     notify_hook(it + 1, rho, /*converged_now=*/false);

@@ -5,11 +5,13 @@
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "common/split_fold.hpp"
+#include "obs/obs.hpp"
 
 namespace semfpga::solver {
 
 GatherScatter::GatherScatter(const sem::Mesh& mesh)
     : ids_(mesh.global_id()), n_global_(mesh.n_global()) {
+  OBS_SPAN("setup.gs_schedule");
   // CSR gather schedule: counting sort of local positions by global id.
   // positions_ ends up sorted by (global id, local position), so every
   // per-DOF sum below has one fixed, thread-count-independent order.

@@ -9,6 +9,7 @@
 #include "common/timer.hpp"
 #include "kernels/ax.hpp"
 #include "kernels/helmholtz.hpp"
+#include "obs/obs.hpp"
 #include "runtime/distributed_cg.hpp"
 #include "solver/helmholtz_system.hpp"
 
@@ -60,6 +61,7 @@ NekboneResult run_nekbone_distributed(const NekboneConfig& config,
 
   NekboneResult result;
   runtime::DistributedSolveResult solve;
+  Timer total_timer;
   if (supervised(config)) {
     runtime::ResilientSolveConfig rc;
     rc.base = dist;
@@ -71,6 +73,7 @@ NekboneResult run_nekbone_distributed(const NekboneConfig& config,
     result.resilient = true;
     result.final_ranks = resilient.final_ranks;
     result.resilience = std::move(resilient.report);
+    publish_resilience_metrics(result.resilience);
   } else {
     solve = runtime::solve_distributed_poisson(dist);
     result.final_ranks = solve.ranks;
@@ -78,6 +81,9 @@ NekboneResult run_nekbone_distributed(const NekboneConfig& config,
   // Barrier-to-barrier CG time, so the number is comparable with the
   // single-rank path below (which also times only solve_cg, not setup).
   const double seconds = solve.solve_seconds;
+  // Everything the run spent outside the timed solve: mesh partition,
+  // per-rank system construction, rhs assembly, fabric/team spin-up.
+  result.setup_seconds = total_timer.seconds() - seconds;
 
   result.n_elements = static_cast<std::size_t>(spec.nelx) * spec.nely * spec.nelz;
   result.n_dofs = solve.n_local;
@@ -103,6 +109,9 @@ NekboneResult run_nekbone_distributed(const NekboneConfig& config,
 
 NekboneResult run_nekbone(const NekboneConfig& config) {
   backend::require_known(config.backend);
+  if (!config.obs.empty()) {
+    obs::configure(obs::parse_obs(config.obs));
+  }
   sem::BoxMeshSpec spec;
   spec.degree = config.degree;
   spec.nelx = config.nelx;
@@ -114,6 +123,7 @@ NekboneResult run_nekbone(const NekboneConfig& config) {
   if (config.ranks > 1 || supervised(config)) {
     return run_nekbone_distributed(config, spec);
   }
+  Timer setup_timer;
   const sem::Mesh mesh = sem::box_mesh(spec);
   const std::unique_ptr<PoissonSystem> system_ptr =
       config.operator_kind == OperatorKind::kHelmholtz
@@ -143,6 +153,7 @@ NekboneResult run_nekbone(const NekboneConfig& config) {
   make_options.vector_threads = config.threads;
   const std::unique_ptr<backend::Backend> be =
       backend::make(config.backend, system, make_options);
+  const double setup_seconds = setup_timer.seconds();
 
   Timer timer;
   const CgResult cg = solve_cg(*be, std::span<const double>(b.data(), n),
@@ -150,6 +161,7 @@ NekboneResult run_nekbone(const NekboneConfig& config) {
   const double seconds = timer.seconds();
 
   NekboneResult result;
+  result.setup_seconds = setup_seconds;
   result.n_elements = mesh.n_elements();
   result.n_dofs = n;
   result.iterations = cg.iterations;
@@ -197,9 +209,16 @@ std::string format_result(const NekboneConfig& config, const NekboneResult& resu
     out += buf;
   }
   if (result.resilient) {
-    std::snprintf(buf, sizeof(buf), "\n  final ranks: %d\n  ", result.final_ranks);
+    // Counters only: the full per-event narrative now flows through the
+    // obs registry (resilience.* counters, --obs=summary / prom exports).
+    const ResilienceReport& rep = result.resilience;
+    std::snprintf(buf, sizeof(buf),
+                  "\n  final ranks: %d\n  resilience: faults=%d retries=%d "
+                  "checkpoints=%d restored=%d degraded-ranks=%d timeouts=%d",
+                  result.final_ranks, rep.numerical_faults, rep.retries,
+                  rep.checkpoints_taken, rep.checkpoints_restored,
+                  rep.degraded_ranks, rep.timeouts);
     out += buf;
-    out += result.resilience.to_string();
   }
   return out;
 }

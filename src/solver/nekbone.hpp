@@ -67,6 +67,11 @@ struct NekboneConfig {
   /// Deadline of blocking fabric calls (CLI --fabric-timeout; <= 0 waits
   /// forever).  Only read by the multi-rank tiers.
   double fabric_timeout_seconds = 30.0;
+  /// Observability setting (CLI --obs; obs::parse_obs grammar:
+  /// off|summary|trace:<path>|prom:<path>, comma-separated).  Empty leaves
+  /// the process-global obs configuration untouched.  Any setting is
+  /// bitwise non-perturbing on the iterates.
+  std::string obs;
 };
 
 /// Result of one proxy run.
@@ -75,7 +80,8 @@ struct NekboneResult {
   std::size_t n_dofs = 0;          ///< element-local DOFs
   int iterations = 0;
   double final_residual = 0.0;
-  double seconds = 0.0;
+  double seconds = 0.0;            ///< CG solve only (setup excluded)
+  double setup_seconds = 0.0;      ///< mesh/system/rhs/backend build
   std::int64_t flops = 0;
   double gflops = 0.0;             ///< flops / seconds / 1e9
   double ax_gflops = 0.0;          ///< counting only the Ax kernel cost

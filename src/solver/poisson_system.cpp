@@ -5,6 +5,7 @@
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "kernels/ax.hpp"
+#include "obs/obs.hpp"
 
 namespace semfpga::solver {
 
@@ -62,6 +63,7 @@ PoissonSystem::PoissonSystem(const sem::Mesh& mesh, double diag_mass_lambda)
 }
 
 void PoissonSystem::build_jacobi_diagonal(double mass_lambda) {
+  OBS_SPAN("setup.diagonal");
   const std::size_t n = gs_.n_local();
   // Assembled Jacobi diagonal: local diagonals (plus the mass term for
   // Helmholtz-type systems) summed across elements in canonical order.

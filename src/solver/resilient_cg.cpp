@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "obs/obs.hpp"
 #include "runtime/fault.hpp"
 
 namespace semfpga::solver {
@@ -27,6 +28,16 @@ std::string ResilienceReport::to_string() const {
 ResilienceExhaustedError::ResilienceExhaustedError(const std::string& what,
                                                   ResilienceReport report)
     : std::runtime_error(what), report_(std::move(report)) {}
+
+void publish_resilience_metrics(const ResilienceReport& report) {
+  auto& reg = obs::registry();
+  reg.counter("resilience.checkpoints_taken").add(report.checkpoints_taken);
+  reg.counter("resilience.checkpoints_restored").add(report.checkpoints_restored);
+  reg.counter("resilience.numerical_faults").add(report.numerical_faults);
+  reg.counter("resilience.retries").add(report.retries);
+  reg.counter("resilience.degraded_ranks").add(report.degraded_ranks);
+  reg.counter("resilience.timeouts").add(report.timeouts);
+}
 
 ResilientCgResult solve_cg_resilient(backend::Backend& backend,
                                      std::span<const double> b, std::span<double> x,
@@ -78,6 +89,7 @@ ResilientCgResult solve_cg_resilient(backend::Backend& backend,
     if (!view.converged && options.checkpoint_every > 0 &&
         view.iteration % options.checkpoint_every == 0) {
       // Pure copies — the bitwise contract hinges on no arithmetic here.
+      OBS_SPAN("cg.checkpoint");
       ckpt.iteration = view.iteration;
       ckpt.x.assign(view.x.begin(), view.x.end());
       ckpt.r.assign(view.r.begin(), view.r.end());
@@ -100,6 +112,7 @@ ResilientCgResult solve_cg_resilient(backend::Backend& backend,
     CgResumeState resume;
     cg.resume = nullptr;
     if (attempt > 0) {
+      obs::instant("cg.rollback");
       best_res = std::numeric_limits<double>::infinity();
       since_best = 0;
       if (ckpt.valid()) {

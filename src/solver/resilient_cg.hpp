@@ -73,6 +73,11 @@ struct ResilienceReport {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// Adds the report's counters to the obs registry (resilience.* names), so
+/// drivers surface them through the same summary/export path as every
+/// other metric.
+void publish_resilience_metrics(const ResilienceReport& report);
+
 /// Thrown when the retry budget is exhausted (or a rank loss cannot be
 /// absorbed); carries the report accumulated up to the terminal fault.
 class ResilienceExhaustedError : public std::runtime_error {

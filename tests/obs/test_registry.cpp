@@ -1,0 +1,161 @@
+/// Contract tests of the obs metrics registry: counter/gauge basics,
+/// histogram bucket placement (under/overflow included), and the pinned
+/// determinism property — the histogram's merged sum is bitwise identical
+/// for any thread start order, because per-rank partials are single-writer
+/// and the merge is the solver's fixed binary tree fold.
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hpp"
+#include "obs/obs.hpp"
+
+namespace semfpga::obs {
+namespace {
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset_for_tests(); }
+  void TearDown() override { reset_for_tests(); }
+};
+
+TEST_F(RegistryTest, CounterAddsAndResets) {
+  Counter& c = registry().counter("test.counter");
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  // Same name, same object: hot paths cache the reference.
+  EXPECT_EQ(&registry().counter("test.counter"), &c);
+  registry().reset_values();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST_F(RegistryTest, GaugeLastWriteWins) {
+  Gauge& g = registry().gauge("test.gauge");
+  g.set(1.5);
+  g.set(-2.25);
+  EXPECT_EQ(g.value(), -2.25);
+}
+
+TEST_F(RegistryTest, SnapshotsAreSortedByName) {
+  // Registrations outlive reset_for_tests (cached handles stay valid), so
+  // assert order over whatever the process has accumulated.
+  registry().counter("zeta").add(1);
+  registry().counter("alpha").add(2);
+  registry().counter("mid").add(3);
+  const auto snaps = registry().counters();
+  ASSERT_GE(snaps.size(), 3u);
+  for (std::size_t i = 1; i < snaps.size(); ++i) {
+    EXPECT_LT(snaps[i - 1].name, snaps[i].name);
+  }
+}
+
+TEST_F(RegistryTest, HistogramBucketPlacement) {
+  // 4 log-spaced buckets over [1e-3, 1e1): decade edges 1e-2, 1e-1, 1, 10.
+  Histogram& h = registry().histogram("test.hist", 1e-3, 1e1, 4);
+  EXPECT_NEAR(h.upper_edge(0), 1e-2, 1e-12);
+  EXPECT_NEAR(h.upper_edge(3), 1e1, 1e-9);
+
+  h.observe(1e-4);  // underflow
+  h.observe(5e-3);  // bucket 0
+  h.observe(5e-2);  // bucket 1
+  h.observe(0.5);   // bucket 2
+  h.observe(5.0);   // bucket 3
+  h.observe(50.0);  // overflow
+
+  const std::vector<std::int64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 6u);  // underflow + 4 + overflow
+  EXPECT_EQ(counts, (std::vector<std::int64_t>{1, 1, 1, 1, 1, 1}));
+  EXPECT_EQ(h.total_count(), 6);
+  EXPECT_DOUBLE_EQ(h.sum(), 1e-4 + 5e-3 + 5e-2 + 0.5 + 5.0 + 50.0);
+}
+
+TEST_F(RegistryTest, HistogramRejectsBadShape) {
+  EXPECT_THROW(registry().histogram("bad.lo", 0.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(registry().histogram("bad.order", 2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(registry().histogram("bad.n", 1e-3, 1.0, 0), std::invalid_argument);
+}
+
+/// The pinned determinism contract: observations land in the observing
+/// rank's private slot (single writer, program order) and sum() folds the
+/// slots through the same fixed binary tree as the solver's reductions —
+/// so the merged sum must be bitwise equal for *any* thread interleaving,
+/// and equal to tree_fold of the per-rank program-order partials.
+TEST_F(RegistryTest, HistogramSumIsDeterministicAcrossRankInterleavings) {
+  // Values chosen so addition order matters in floating point.
+  const int n_ranks = 4;
+  const int per_rank = 257;
+  auto value = [](int rank, int i) {
+    return 1e-6 + 1e-3 * std::sin(0.1 * rank + 0.01 * i) * std::sin(0.1 * rank + 0.01 * i);
+  };
+
+  // Expected: per-rank program-order partials, folded in slot order.
+  std::vector<double> partials(static_cast<std::size_t>(n_ranks), 0.0);
+  for (int r = 0; r < n_ranks; ++r) {
+    for (int i = 0; i < per_rank; ++i) {
+      partials[static_cast<std::size_t>(r)] += value(r, i);
+    }
+  }
+  const double expected = tree_fold(partials);
+
+  auto run_interleaving = [&](int start_offset) {
+    registry().reset_values();
+    Histogram& h = registry().histogram("det.hist", 1e-9, 1.0, 16);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < n_ranks; ++t) {
+      const int rank = (t + start_offset) % n_ranks;
+      threads.emplace_back([&, rank] {
+        set_thread_rank(rank);
+        for (int i = 0; i < per_rank; ++i) {
+          h.observe(value(rank, i));
+        }
+      });
+    }
+    for (auto& th : threads) {
+      th.join();
+    }
+    return h.sum();
+  };
+
+  for (int offset = 0; offset < n_ranks; ++offset) {
+    const double got = run_interleaving(offset);
+    EXPECT_EQ(got, expected) << "start offset " << offset;
+  }
+
+  // And the same sequence observed from a single thread cycling ranks
+  // (set_thread_rank retags mid-stream) still merges to the same bits.
+  registry().reset_values();
+  Histogram& h = registry().histogram("det.hist", 1e-9, 1.0, 16);
+  for (int r = n_ranks - 1; r >= 0; --r) {
+    set_thread_rank(r);
+    for (int i = 0; i < per_rank; ++i) {
+      h.observe(value(r, i));
+    }
+  }
+  set_thread_rank(0);
+  EXPECT_EQ(h.sum(), expected);
+}
+
+TEST_F(RegistryTest, HistogramSnapshotCarriesShape) {
+  Histogram& h = registry().histogram("snap.hist", 1e-3, 1.0, 3);
+  h.observe(0.5);
+  const auto snaps = registry().histograms();
+  const Registry::HistogramSnap* snap = nullptr;
+  for (const auto& s : snaps) {
+    if (s.name == "snap.hist") {
+      snap = &s;
+    }
+  }
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->count, 1);
+  EXPECT_DOUBLE_EQ(snap->sum, 0.5);
+  EXPECT_EQ(snap->buckets.size(), 5u);
+  EXPECT_EQ(snap->upper_edges.size(), 3u);
+}
+
+}  // namespace
+}  // namespace semfpga::obs

@@ -1,0 +1,199 @@
+/// Contract tests of the span tracer: zero-overhead-when-off (no ring is
+/// ever registered, no event recorded), nesting depths and time
+/// containment, oldest-drop ring overflow with exact drop accounting,
+/// rank tagging, and the Chrome trace exporter (modeled track included).
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.hpp"
+
+namespace semfpga::obs {
+namespace {
+
+ObsConfig summary_config() {
+  ObsConfig config;
+  config.summary = true;
+  return config;
+}
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset_for_tests(); }
+  void TearDown() override { reset_for_tests(); }
+};
+
+TEST_F(TracerTest, OffRecordsNothingAndRegistersNoRing) {
+  ASSERT_FALSE(enabled());
+  const std::size_t rings_before = n_thread_logs();
+  {
+    OBS_SPAN("should.not.exist");
+    instant("also.not");
+    Span manual("nor.this");
+    EXPECT_FALSE(manual.active());
+    EXPECT_EQ(manual.end(), 0.0);
+  }
+  // A fresh thread must not register a ring either while tracing is off.
+  std::thread([] { OBS_SPAN("off.thread"); }).join();
+  EXPECT_EQ(n_thread_logs(), rings_before);
+  EXPECT_TRUE(collected_events().empty());
+}
+
+TEST_F(TracerTest, NestedSpansRecordDepthAndContainment) {
+  configure(summary_config());
+  {
+    OBS_SPAN("outer");
+    {
+      OBS_SPAN("middle");
+      { OBS_SPAN("inner"); }
+    }
+  }
+  const std::vector<TaggedEvent> events = collected_events();
+  ASSERT_EQ(events.size(), 3u);
+  // Spans are recorded at close, innermost first.
+  EXPECT_STREQ(events[0].event.name, "inner");
+  EXPECT_STREQ(events[1].event.name, "middle");
+  EXPECT_STREQ(events[2].event.name, "outer");
+  EXPECT_EQ(events[0].event.depth, 2u);
+  EXPECT_EQ(events[1].event.depth, 1u);
+  EXPECT_EQ(events[2].event.depth, 0u);
+  // Containment: outer.t0 <= middle.t0 <= inner.t0 <= inner.t1 <= ...
+  EXPECT_LE(events[2].event.t0, events[1].event.t0);
+  EXPECT_LE(events[1].event.t0, events[0].event.t0);
+  EXPECT_LE(events[0].event.t1, events[1].event.t1);
+  EXPECT_LE(events[1].event.t1, events[2].event.t1);
+}
+
+TEST_F(TracerTest, ExplicitEndIsIdempotentAndReturnsDuration) {
+  configure(summary_config());
+  Span span("explicit");
+  ASSERT_TRUE(span.active());
+  const double elapsed = span.end();
+  EXPECT_GE(elapsed, 0.0);
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(span.end(), 0.0);  // second end: no-op, no second event
+  const std::vector<TaggedEvent> events = collected_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].event.name, "explicit");
+  EXPECT_NEAR(events[0].event.t1 - events[0].event.t0, elapsed, 1e-12);
+}
+
+TEST_F(TracerTest, InstantEventsAreMarked) {
+  configure(summary_config());
+  instant("tick");
+  const std::vector<TaggedEvent> events = collected_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].event.instant);
+  EXPECT_EQ(events[0].event.t0, events[0].event.t1);
+}
+
+TEST_F(TracerTest, OverflowDropsOldestCountsExactlyAndNeverBlocks) {
+  configure(summary_config());
+  constexpr std::size_t kOld = 100;
+  for (std::size_t i = 0; i < kOld; ++i) {
+    OBS_SPAN("old");
+  }
+  for (std::size_t i = 0; i < kThreadLogCapacity; ++i) {
+    OBS_SPAN("new");
+  }
+  EXPECT_EQ(dropped_events(), kOld);
+  const std::vector<TaggedEvent> events = collected_events();
+  ASSERT_EQ(events.size(), kThreadLogCapacity);
+  for (const TaggedEvent& e : events) {
+    EXPECT_STREQ(e.event.name, "new");
+  }
+}
+
+TEST_F(TracerTest, EventsCarryTheRecordingThreadsRank) {
+  configure(summary_config());
+  std::thread([] {
+    set_thread_rank(7);
+    OBS_SPAN("ranked");
+  }).join();
+  { OBS_SPAN("main"); }
+  const std::vector<TaggedEvent> events = collected_events();
+  ASSERT_EQ(events.size(), 2u);
+  int ranked_rank = -1;
+  int ranked_tid = -1;
+  int main_tid = -1;
+  for (const TaggedEvent& e : events) {
+    if (std::string(e.event.name) == "ranked") {
+      ranked_rank = e.rank;
+      ranked_tid = e.tid;
+    } else {
+      main_tid = e.tid;
+    }
+  }
+  EXPECT_EQ(ranked_rank, 7);
+  EXPECT_NE(ranked_tid, main_tid);
+}
+
+TEST_F(TracerTest, PhaseSummaryAggregatesByName) {
+  configure(summary_config());
+  { OBS_SPAN("cg.solve"); OBS_SPAN("phase.a"); }
+  { OBS_SPAN("phase.a"); }
+  const std::vector<PhaseStats> phases = phase_summary();
+  ASSERT_GE(phases.size(), 2u);
+  std::int64_t a_count = 0;
+  double solve_percent = 0.0;
+  for (const PhaseStats& p : phases) {
+    if (p.name == "phase.a") {
+      a_count = p.count;
+    }
+    if (p.name == "cg.solve") {
+      solve_percent = p.percent_of_solve;
+    }
+  }
+  EXPECT_EQ(a_count, 2);
+  EXPECT_NEAR(solve_percent, 100.0, 1e-9);
+}
+
+TEST_F(TracerTest, ChromeTraceContainsRankAndModeledTracks) {
+  configure(summary_config());
+  std::thread([] {
+    set_thread_rank(1);
+    OBS_SPAN("traced.rank1");
+  }).join();
+  { OBS_SPAN("traced.main"); }
+  instant("traced.instant");
+  add_modeled_track(1, "fpga (modeled)",
+                    {{"operator", 1e-3}, {"gather-scatter", 5e-4}});
+  ASSERT_EQ(modeled_tracks().size(), 1u);
+  // Re-publish with the same rank+name replaces, never duplicates (the
+  // resilient driver re-runs solves).
+  add_modeled_track(1, "fpga (modeled)", {{"operator", 2e-3}});
+  ASSERT_EQ(modeled_tracks().size(), 1u);
+  EXPECT_EQ(modeled_tracks()[0].segments.size(), 1u);
+
+  const std::string path = "obs_test_trace.json";
+  ASSERT_TRUE(write_chrome_trace(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  std::remove(path.c_str());
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("traced.rank1"), std::string::npos);
+  EXPECT_NE(text.find("traced.main"), std::string::npos);
+  EXPECT_NE(text.find("fpga (modeled)"), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"i\""), std::string::npos);
+}
+
+TEST_F(TracerTest, ResetForTestsClearsRetainedState) {
+  configure(summary_config());
+  { OBS_SPAN("gone"); }
+  reset_for_tests();
+  EXPECT_FALSE(enabled());
+  EXPECT_TRUE(collected_events().empty());
+  EXPECT_EQ(dropped_events(), 0u);
+  EXPECT_TRUE(modeled_tracks().empty());
+}
+
+}  // namespace
+}  // namespace semfpga::obs
