@@ -1,0 +1,402 @@
+/// Synthetic multi-tenant traffic against the solve service.
+///
+/// Drives src/service/ the way the ROADMAP's production tier would be
+/// driven: a deterministic request stream (seeded SplitMix64 — mixed
+/// Poisson/Helmholtz operators over a small set of mesh orders) submitted
+/// either closed-loop (--clients concurrent tenants, one outstanding solve
+/// each) or open-loop (--rate Poisson arrivals via exponential
+/// inter-arrival gaps).  The same stream runs --passes times against one
+/// server, so pass 0 measures the cache-cold service and later passes the
+/// cache-warm steady state — the setup-amortisation claim of the service
+/// tier, printed as a cold->warm solves/sec speedup.
+///
+/// Reported per pass (and as --json): solves/sec, latency percentiles
+/// (p50/p95/p99 from the obs histogram deltas), queue-wait percentiles,
+/// setup-cache hit rate, mean batch occupancy, and the rejection rate —
+/// plus every scripted fault event when --faults injects reject@/timeout@.
+///
+/// Usage: solve_service [--backend cpu|fpga-sim] [--workers 2] [--clients 4]
+///                      [--requests 64] [--rate 0] [--passes 2]
+///                      [--degrees 3,5] [--nel 2] [--mix mixed]
+///                      [--batch 4] [--queue-cap 64] [--cache-cap 8]
+///                      [--pcie-latency-us 20] [--faults reject@r0:i3]
+///                      [--json [path]]
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "obs/obs.hpp"
+#include "service/server.hpp"
+
+using namespace semfpga;
+
+namespace {
+
+/// One pass's aggregate, all deltas against the pass start.
+struct PassRecord {
+  int pass = 0;
+  double wall_seconds = 0.0;
+  std::int64_t submitted = 0;
+  std::int64_t solved = 0;
+  std::int64_t rejected = 0;
+  std::int64_t expired = 0;
+  std::int64_t failed = 0;
+  std::int64_t batches = 0;
+  std::int64_t batched_solves = 0;
+  double solves_per_sec = 0.0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t cache_evictions = 0;
+  double cache_hit_rate = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;           ///< total latency
+  double wait_p50 = 0.0, wait_p95 = 0.0, wait_p99 = 0.0;
+  double mean_batch_occupancy = 0.0;
+  double rejection_rate = 0.0;
+};
+
+/// Registry histogram snapshot by name (zero-valued when absent, so deltas
+/// against a pre-creation snapshot work).
+obs::Registry::HistogramSnap snap_of(const std::string& name) {
+  for (auto& snap : obs::registry().histograms()) {
+    if (snap.name == name) {
+      return snap;
+    }
+  }
+  return obs::Registry::HistogramSnap{};
+}
+
+/// after - before, bucket-wise (shape taken from `after`).
+obs::Registry::HistogramSnap delta(const obs::Registry::HistogramSnap& after,
+                                   const obs::Registry::HistogramSnap& before) {
+  obs::Registry::HistogramSnap d = after;
+  d.count -= before.count;
+  d.sum -= before.sum;
+  for (std::size_t b = 0; b < d.buckets.size() && b < before.buckets.size(); ++b) {
+    d.buckets[b] -= before.buckets[b];
+  }
+  return d;
+}
+
+std::vector<int> parse_degrees(const std::string& list) {
+  std::vector<int> degrees;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    std::size_t end = list.find(',', pos);
+    if (end == std::string::npos) {
+      end = list.size();
+    }
+    const std::string tok = list.substr(pos, end - pos);
+    if (!tok.empty()) {
+      degrees.push_back(std::stoi(tok));
+    }
+    pos = end + 1;
+  }
+  if (degrees.empty()) {
+    degrees.push_back(3);
+  }
+  return degrees;
+}
+
+/// The deterministic request stream: generated once, replayed every pass.
+std::vector<service::SolveRequest> make_stream(std::uint64_t seed, int requests,
+                                               const std::vector<int>& degrees,
+                                               int nel, const std::string& mix,
+                                               double lambda, int iters,
+                                               double tolerance,
+                                               double deadline_seconds) {
+  SplitMix64 rng(seed);
+  std::vector<service::SolveRequest> stream;
+  stream.reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < requests; ++i) {
+    service::SolveRequest request;
+    request.mesh.degree =
+        degrees[static_cast<std::size_t>(rng.next_below(degrees.size()))];
+    request.mesh.nelx = request.mesh.nely = request.mesh.nelz = nel;
+    if (mix == "poisson") {
+      request.kind = solver::OperatorKind::kPoisson;
+    } else if (mix == "helmholtz") {
+      request.kind = solver::OperatorKind::kHelmholtz;
+    } else {
+      request.kind = rng.next_below(2) == 0 ? solver::OperatorKind::kPoisson
+                                            : solver::OperatorKind::kHelmholtz;
+    }
+    request.lambda = lambda;
+    request.rhs_seed = rng.next_u64() | 1u;  // nonzero forcing seed
+    request.tolerance = tolerance;
+    request.max_iterations = iters;
+    request.deadline_seconds = deadline_seconds;
+    stream.push_back(request);
+  }
+  return stream;
+}
+
+/// Closed loop: `clients` tenant threads, each submitting its share of the
+/// stream with one outstanding request at a time.  Open loop (rate > 0):
+/// one submitter thread with deterministic exponential inter-arrival gaps.
+/// Returns client-side rejection count (submit threw).
+std::int64_t run_pass(service::SolveServer& server,
+                      const std::vector<service::SolveRequest>& stream,
+                      int clients, double rate, std::uint64_t arrival_seed) {
+  std::vector<std::int64_t> rejected_per_client(
+      static_cast<std::size_t>(clients > 0 ? clients : 1), 0);
+  if (rate > 0.0) {
+    // Open loop: Poisson arrivals.  Futures drain after all submissions.
+    SplitMix64 rng(arrival_seed);
+    std::vector<std::future<service::SolveResponse>> futures;
+    futures.reserve(stream.size());
+    for (const service::SolveRequest& request : stream) {
+      const double u = rng.next_double();
+      const double gap = -std::log(1.0 - u) / rate;
+      std::this_thread::sleep_for(std::chrono::duration<double>(gap));
+      try {
+        futures.push_back(server.submit(request));
+      } catch (const service::QueueFullError&) {
+        ++rejected_per_client[0];
+      }
+    }
+    for (auto& future : futures) {
+      (void)future.get();
+    }
+    return rejected_per_client[0];
+  }
+  std::vector<std::thread> tenants;
+  tenants.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    tenants.emplace_back([&, c] {
+      for (std::size_t i = static_cast<std::size_t>(c); i < stream.size();
+           i += static_cast<std::size_t>(clients)) {
+        try {
+          (void)server.submit(stream[i]).get();
+        } catch (const service::QueueFullError&) {
+          ++rejected_per_client[static_cast<std::size_t>(c)];
+        }
+      }
+    });
+  }
+  for (std::thread& t : tenants) {
+    t.join();
+  }
+  std::int64_t rejected = 0;
+  for (const std::int64_t r : rejected_per_client) {
+    rejected += r;
+  }
+  return rejected;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv, std::vector<FlagSpec>{
+      {"backend", FlagSpec::Kind::kString, "cpu",
+       "solve backend: " + backend::known_backends_joined()},
+      {"workers", FlagSpec::Kind::kInt, "2", "server worker threads"},
+      {"clients", FlagSpec::Kind::kInt, "4", "closed-loop tenant threads"},
+      {"requests", FlagSpec::Kind::kInt, "64", "requests per pass"},
+      {"rate", FlagSpec::Kind::kDouble, "0",
+       "open-loop arrival rate, requests/s (0 = closed loop)"},
+      {"passes", FlagSpec::Kind::kInt, "2",
+       "replays of the stream (pass 0 = cache-cold)"},
+      {"degrees", FlagSpec::Kind::kString, "3,5",
+       "comma-separated polynomial degrees in the mix"},
+      {"nel", FlagSpec::Kind::kInt, "2", "elements per direction"},
+      {"mix", FlagSpec::Kind::kString, "mixed",
+       "operator mix: poisson|helmholtz|mixed"},
+      {"lambda", FlagSpec::Kind::kDouble, "1.0", "Helmholtz mass coefficient"},
+      {"iters", FlagSpec::Kind::kInt, "25", "CG iteration budget per solve"},
+      {"tol", FlagSpec::Kind::kDouble, "0", "CG tolerance (0 = full budget)"},
+      {"deadline-ms", FlagSpec::Kind::kDouble, "0",
+       "per-request queue deadline, ms (0 = none)"},
+      {"seed", FlagSpec::Kind::kInt, "1", "stream + arrival seed"},
+      {"batch", FlagSpec::Kind::kInt, "4", "max same-key solves per dispatch"},
+      {"queue-cap", FlagSpec::Kind::kInt, "64", "admission bound"},
+      {"cache-cap", FlagSpec::Kind::kInt, "8", "LRU setup-cache entries"},
+      {"threads", FlagSpec::Kind::kInt, "1", "solver threads per dispatch"},
+      {"pcie-latency-us", FlagSpec::Kind::kDouble, "20",
+       "modeled per-transfer PCIe latency (fpga-sim)"},
+      {"faults", FlagSpec::Kind::kString, "",
+       "fault plan, e.g. reject@r0:i3,timeout@r0:i5"},
+      {"json", FlagSpec::Kind::kString, "BENCH_service.json",
+       "write per-pass records as JSON"},
+      {"obs", FlagSpec::Kind::kString, "off", obs::kCliHelp},
+  });
+  if (const auto ec = cli.early_exit(
+          "solve_service",
+          "Multi-tenant solve-service traffic generator: deterministic "
+          "request stream, closed or open loop, cache-cold vs cache-warm "
+          "passes.")) {
+    return *ec;
+  }
+  const std::string backend_name = cli.get("backend", "cpu");
+  backend::require_known(backend_name);
+  if (!obs::configure_from_flag(cli.get("obs", "off"), "solve_service")) {
+    return 2;
+  }
+  const int workers = static_cast<int>(cli.get_int("workers", 2));
+  const int clients = static_cast<int>(cli.get_int("clients", 4));
+  const int requests = static_cast<int>(cli.get_int("requests", 64));
+  const double rate = cli.get_double("rate", 0.0);
+  const int passes = static_cast<int>(cli.get_int("passes", 2));
+  const std::vector<int> degrees = parse_degrees(cli.get("degrees", "3,5"));
+  const int nel = static_cast<int>(cli.get_int("nel", 2));
+  const std::string mix = cli.get("mix", "mixed");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  service::ServerConfig config;
+  config.workers = workers;
+  config.queue_capacity = static_cast<std::size_t>(cli.get_int("queue-cap", 64));
+  config.cache_capacity = static_cast<std::size_t>(cli.get_int("cache-cap", 8));
+  config.max_batch = static_cast<std::size_t>(cli.get_int("batch", 4));
+  config.backend = backend_name;
+  config.solve_threads = static_cast<int>(cli.get_int("threads", 1));
+  config.backend_options.pcie_latency_s =
+      cli.get_double("pcie-latency-us", 20.0) * 1e-6;
+  config.faults = cli.get("faults", "");
+
+  const std::vector<service::SolveRequest> stream = make_stream(
+      seed, requests, degrees, nel, mix, cli.get_double("lambda", 1.0),
+      static_cast<int>(cli.get_int("iters", 25)), cli.get_double("tol", 0.0),
+      cli.get_double("deadline-ms", 0.0) * 1e-3);
+
+  service::SolveServer server(config);
+  std::vector<PassRecord> records;
+  service::ServerStats last_stats;
+  std::int64_t last_hits = 0, last_misses = 0, last_evictions = 0;
+  for (int pass = 0; pass < passes; ++pass) {
+    const auto latency_before = snap_of("service.latency_seconds");
+    const auto wait_before = snap_of("service.queue_wait_seconds");
+    const auto occupancy_before = snap_of("service.batch_occupancy");
+    Timer wall;
+    (void)run_pass(server, stream, clients, rate, seed + 1000 + static_cast<std::uint64_t>(pass));
+
+    PassRecord r;
+    r.pass = pass;
+    r.wall_seconds = wall.seconds();
+    const service::ServerStats stats = server.stats();
+    r.submitted = stats.submitted - last_stats.submitted;
+    r.solved = stats.solved - last_stats.solved;
+    r.rejected = stats.rejected - last_stats.rejected;
+    r.expired = stats.expired - last_stats.expired;
+    r.failed = stats.failed - last_stats.failed;
+    r.batches = stats.batches - last_stats.batches;
+    r.batched_solves = stats.batched_solves - last_stats.batched_solves;
+    last_stats = stats;
+    r.solves_per_sec =
+        r.wall_seconds > 0.0 ? static_cast<double>(r.solved) / r.wall_seconds : 0.0;
+    r.cache_hits = server.cache().hits() - last_hits;
+    r.cache_misses = server.cache().misses() - last_misses;
+    r.cache_evictions = server.cache().evictions() - last_evictions;
+    last_hits = server.cache().hits();
+    last_misses = server.cache().misses();
+    last_evictions = server.cache().evictions();
+    const std::int64_t lookups = r.cache_hits + r.cache_misses;
+    r.cache_hit_rate =
+        lookups > 0 ? static_cast<double>(r.cache_hits) / static_cast<double>(lookups)
+                    : 0.0;
+    const auto latency = delta(snap_of("service.latency_seconds"), latency_before);
+    const auto wait = delta(snap_of("service.queue_wait_seconds"), wait_before);
+    const auto occupancy =
+        delta(snap_of("service.batch_occupancy"), occupancy_before);
+    r.p50 = obs::histogram_quantile(latency, 0.50);
+    r.p95 = obs::histogram_quantile(latency, 0.95);
+    r.p99 = obs::histogram_quantile(latency, 0.99);
+    r.wait_p50 = obs::histogram_quantile(wait, 0.50);
+    r.wait_p95 = obs::histogram_quantile(wait, 0.95);
+    r.wait_p99 = obs::histogram_quantile(wait, 0.99);
+    r.mean_batch_occupancy =
+        occupancy.count > 0 ? occupancy.sum / static_cast<double>(occupancy.count)
+                            : 0.0;
+    r.rejection_rate = r.submitted > 0 ? static_cast<double>(r.rejected) /
+                                             static_cast<double>(r.submitted)
+                                       : 0.0;
+    records.push_back(r);
+
+    std::printf(
+        "pass %d (%s): %lld solved in %.3fs -> %.1f solves/s | p50 %.2fms "
+        "p95 %.2fms p99 %.2fms | cache %.0f%% hit (%lld/%lld) | batch avg %.2f "
+        "| rejected %lld expired %lld failed %lld\n",
+        pass, pass == 0 ? "cold" : "warm", static_cast<long long>(r.solved),
+        r.wall_seconds, r.solves_per_sec, r.p50 * 1e3, r.p95 * 1e3, r.p99 * 1e3,
+        r.cache_hit_rate * 100.0, static_cast<long long>(r.cache_hits),
+        static_cast<long long>(lookups), r.mean_batch_occupancy,
+        static_cast<long long>(r.rejected), static_cast<long long>(r.expired),
+        static_cast<long long>(r.failed));
+  }
+  server.stop();
+
+  const double speedup =
+      records.size() >= 2 && records.front().solves_per_sec > 0.0
+          ? records.back().solves_per_sec / records.front().solves_per_sec
+          : 1.0;
+  if (records.size() >= 2) {
+    std::printf("cold->warm speedup: %.2fx (setup cache amortisation)\n", speedup);
+  }
+  const std::vector<runtime::FaultEvent> fault_events = server.fault_events();
+  for (const runtime::FaultEvent& event : fault_events) {
+    std::printf("fault fired: %s\n", event.to_string().c_str());
+  }
+
+  if (cli.has("json")) {
+    const std::string path = cli.get("json", "BENCH_service.json");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"solve_service\",\n");
+    std::fprintf(f, "  \"backend\": \"%s\",\n  \"workers\": %d,\n", backend_name.c_str(),
+                 workers);
+    std::fprintf(f, "  \"clients\": %d,\n  \"requests\": %d,\n", clients, requests);
+    std::fprintf(f, "  \"rate\": %.6g,\n  \"mix\": \"%s\",\n", rate, mix.c_str());
+    std::fprintf(f, "  \"max_batch\": %zu,\n  \"cache_capacity\": %zu,\n",
+                 config.max_batch, config.cache_capacity);
+    std::fprintf(f, "  \"passes\": [\n");
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const PassRecord& r = records[i];
+      std::fprintf(
+          f,
+          "    {\"pass\": %d, \"wall_seconds\": %.6g, \"submitted\": %lld, "
+          "\"solved\": %lld, \"rejected\": %lld, \"expired\": %lld, "
+          "\"failed\": %lld, \"batches\": %lld, \"batched_solves\": %lld, "
+          "\"solves_per_sec\": %.6g, \"latency_p50\": %.6g, \"latency_p95\": "
+          "%.6g, \"latency_p99\": %.6g, \"queue_wait_p50\": %.6g, "
+          "\"queue_wait_p95\": %.6g, \"queue_wait_p99\": %.6g, "
+          "\"cache_hits\": %lld, \"cache_misses\": %lld, \"cache_evictions\": "
+          "%lld, \"cache_hit_rate\": %.6g, \"mean_batch_occupancy\": %.6g, "
+          "\"rejection_rate\": %.6g}%s\n",
+          r.pass, r.wall_seconds, static_cast<long long>(r.submitted),
+          static_cast<long long>(r.solved), static_cast<long long>(r.rejected),
+          static_cast<long long>(r.expired), static_cast<long long>(r.failed),
+          static_cast<long long>(r.batches),
+          static_cast<long long>(r.batched_solves), r.solves_per_sec, r.p50,
+          r.p95, r.p99, r.wait_p50, r.wait_p95, r.wait_p99,
+          static_cast<long long>(r.cache_hits),
+          static_cast<long long>(r.cache_misses),
+          static_cast<long long>(r.cache_evictions), r.cache_hit_rate,
+          r.mean_batch_occupancy, r.rejection_rate,
+          i + 1 < records.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"cold_to_warm_speedup\": %.6g,\n", speedup);
+    std::fprintf(f, "  \"fault_events\": [");
+    for (std::size_t i = 0; i < fault_events.size(); ++i) {
+      std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ",
+                   fault_events[i].to_string().c_str());
+    }
+    std::fprintf(f, "],\n");
+    obs::write_phases_json(f, 2);
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::cout << "wrote " << path << '\n';
+  }
+  return obs::finalize();
+}

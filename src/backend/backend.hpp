@@ -199,6 +199,9 @@ struct MakeOptions {
   /// Use the paper's measured fmax/memory-efficiency fixture where it
   /// exists (GX2800 banked kernels at synthesized degrees).
   bool use_measured_calibration = true;
+  /// Per-transfer PCIe setup latency for the modeled device, seconds
+  /// (0 = the historical pure bytes/bandwidth model, bitwise unchanged).
+  double pcie_latency_s = 0.0;
 };
 
 using Factory = std::function<std::unique_ptr<Backend>(const solver::PoissonSystem&,

@@ -21,7 +21,7 @@ void CpuBackend::apply_unmasked(std::span<const double> u, std::span<double> w) 
 
 void CpuBackend::qqt(std::span<double> local) {
   OBS_SPAN("gs.qqt");
-  system_.gs().qqt(local);
+  system_.gs().qqt(local, system_.threads());
 }
 
 void CpuBackend::apply_mask(std::span<double> w) {
@@ -53,7 +53,7 @@ std::int64_t CpuBackend::global_dofs() const {
 
 void CpuBackend::gather(std::span<const double> global,
                         std::span<double> local) const {
-  system_.gs().gather(global, local);
+  system_.gs().gather(global, local, system_.threads());
 }
 
 }  // namespace semfpga::backend

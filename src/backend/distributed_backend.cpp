@@ -34,7 +34,7 @@ void DistributedBackend::apply_unmasked(std::span<const double> u,
 }
 
 void DistributedBackend::qqt(std::span<double> local) {
-  rs_.system().gs().qqt(local);
+  rs_.system().gs().qqt(local, rs_.system().threads());
   rs_.halo().exchange_add(local);
   if (cost_) {
     cost_->charge_gather_scatter(timeline_, rs_.system().gs().n_shared_copies());

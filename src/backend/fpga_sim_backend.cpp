@@ -34,6 +34,7 @@ FpgaSimOptions fpga_sim_options(const MakeOptions& options) {
   fpga.device = options.fpga_device;
   fpga.pcie_gbs = options.pcie_gbs;
   fpga.use_measured_calibration = options.use_measured_calibration;
+  fpga.pcie_latency_s = options.pcie_latency_s;
   return fpga;
 }
 
@@ -56,8 +57,10 @@ FpgaCostModel::FpgaCostModel(const FpgaSimOptions& options, int degree,
     : device_(fpga_device_by_name(options.device)),
       accelerator_(device_, banked_config(degree, helmholtz)),
       memory_(device_.memory, fpga::MemAllocation::kBanked),
-      pcie_bytes_per_sec_(options.pcie_gbs * 1e9) {
+      pcie_bytes_per_sec_(options.pcie_gbs * 1e9),
+      pcie_latency_s_(options.pcie_latency_s) {
   SEMFPGA_CHECK(options.pcie_gbs > 0.0, "PCIe bandwidth must be positive");
+  SEMFPGA_CHECK(options.pcie_latency_s >= 0.0, "PCIe latency must be >= 0");
   accelerator_.set_use_measured_calibration(options.use_measured_calibration);
   per_apply_ = accelerator_.estimate(n_elements);
   // The closed-form Section IV point for the same (N, kernel, device):
@@ -104,8 +107,9 @@ void FpgaCostModel::charge_gather_scatter(FpgaTimeline& t,
 }
 
 void FpgaCostModel::charge_pcie(FpgaTimeline& t, double bytes) const {
+  ++t.pcie_transfers;
   t.pcie_bytes += bytes;
-  t.pcie_seconds += bytes / pcie_bytes_per_sec_;
+  t.pcie_seconds += pcie_latency_s_ + bytes / pcie_bytes_per_sec_;
 }
 
 void FpgaCostModel::charge_mask(FpgaTimeline& t, std::size_t n) const {
@@ -176,10 +180,36 @@ void FpgaSimBackend::vector_pass(PassCost cost, PassBody body) {
   cost_.charge_pass(timeline_, n_local(), cost);
 }
 
-void FpgaSimBackend::solve_begin() { cost_.charge_solve_begin(timeline_, n_local()); }
+void FpgaSimBackend::solve_begin() {
+  if (in_session_) {
+    return;  // the session's bulk download already covered this solve
+  }
+  cost_.charge_solve_begin(timeline_, n_local());
+}
 
 void FpgaSimBackend::solve_end() {
+  if (in_session_) {
+    return;  // the session's bulk upload covers it; session_end publishes
+  }
   cost_.charge_solve_end(timeline_, n_local());
+  obs_publish_fpga_timeline(timeline_);
+}
+
+void FpgaSimBackend::session_begin(std::size_t n_solves) {
+  SEMFPGA_CHECK(!in_session_, "device session already open");
+  SEMFPGA_CHECK(n_solves >= 1, "device session needs at least one solve");
+  in_session_ = true;
+  // One bulk download: every solve's b + x0 in a single transfer — the
+  // same bytes as n_solves per-solve downloads, one latency charge.
+  cost_.charge_solve_begin(timeline_,
+                           n_solves * static_cast<std::size_t>(n_local()));
+}
+
+void FpgaSimBackend::session_end(std::size_t n_solves) {
+  SEMFPGA_CHECK(in_session_, "no device session open");
+  in_session_ = false;
+  cost_.charge_solve_end(timeline_,
+                         n_solves * static_cast<std::size_t>(n_local()));
   obs_publish_fpga_timeline(timeline_);
 }
 

@@ -40,6 +40,12 @@ struct FpgaSimOptions {
   std::string device = "gx2800";  ///< preset name, see fpga_device_by_name
   double pcie_gbs = 12.0;         ///< host<->device link, effective GB/s
   bool use_measured_calibration = true;
+  /// Per-transfer PCIe setup latency (DMA descriptor + doorbell), charged
+  /// on every charge_pcie call on top of the bytes/bandwidth term.  The
+  /// default 0 keeps every previously modeled number bitwise unchanged;
+  /// the solve service sets a realistic ~20 us so batched sessions have
+  /// per-transfer overhead to amortise.
+  double pcie_latency_s = 0.0;
 };
 
 /// Named FPGA device presets ("gx2800", "agilex-027", "stratix10-10m",
@@ -59,6 +65,7 @@ struct FpgaTimeline {
   double vector_seconds = 0.0;     ///< modeled external-memory streaming
   std::int64_t gather_scatters = 0;
   double gather_scatter_seconds = 0.0;
+  std::int64_t pcie_transfers = 0;
   double pcie_bytes = 0.0;
   double pcie_seconds = 0.0;
 
@@ -116,6 +123,7 @@ class FpgaCostModel {
   fpga::RunStats per_apply_;
   double model_peak_gflops_ = 0.0;
   double pcie_bytes_per_sec_ = 0.0;
+  double pcie_latency_s_ = 0.0;
 };
 
 /// Modeled per-apply stats for one kernel at (degree, elements) on a named
@@ -151,6 +159,21 @@ class FpgaSimBackend final : public CpuBackend {
   void solve_begin() override;
   void solve_end() override;
 
+  /// --- Device session (batched dispatch) ---
+  ///
+  /// By default every solve pays its own PCIe begin/end charge (download
+  /// b + x0, upload the solution), exactly as before.  A batcher that runs
+  /// `n_solves` back-to-back solves on one device instead brackets them
+  /// with session_begin/session_end: the whole batch's vectors move as one
+  /// download and one upload (2 PCIe transfers instead of 4 * n_solves),
+  /// and the per-solve solve_begin/solve_end charges inside the session
+  /// are suppressed.  Bytes are identical to the per-solve path; only the
+  /// transfer count — and hence the pcie_latency_s overhead — is
+  /// amortised.  Numerics are untouched either way.
+  void session_begin(std::size_t n_solves);
+  void session_end(std::size_t n_solves);
+  [[nodiscard]] bool in_session() const noexcept { return in_session_; }
+
   [[nodiscard]] const FpgaTimeline* timeline() const noexcept override {
     return &timeline_;
   }
@@ -159,6 +182,7 @@ class FpgaSimBackend final : public CpuBackend {
  private:
   FpgaCostModel cost_;
   FpgaTimeline timeline_;
+  bool in_session_ = false;
 };
 
 }  // namespace semfpga::backend

@@ -405,6 +405,39 @@ Registry& registry() {
   return r;
 }
 
+double histogram_quantile(const Registry::HistogramSnap& snap, double q) {
+  std::int64_t total = 0;
+  for (const std::int64_t c : snap.buckets) {
+    total += c;
+  }
+  if (total <= 0) {
+    return 0.0;
+  }
+  // The ceil(q * total)-th observation in bucket order (at least the 1st).
+  const double scaled = q * static_cast<double>(total);
+  std::int64_t target = static_cast<std::int64_t>(scaled);
+  if (static_cast<double>(target) < scaled) {
+    ++target;
+  }
+  if (target < 1) {
+    target = 1;
+  }
+  std::int64_t seen = 0;
+  for (std::size_t b = 0; b < snap.buckets.size(); ++b) {
+    seen += snap.buckets[b];
+    if (seen >= target) {
+      if (b == 0) {
+        return snap.lo;  // underflow bucket
+      }
+      if (b - 1 < snap.upper_edges.size()) {
+        return snap.upper_edges[b - 1];
+      }
+      return snap.hi;  // overflow bucket
+    }
+  }
+  return snap.hi;
+}
+
 // ---------------------------------------------------------------------------
 // Collection
 // ---------------------------------------------------------------------------

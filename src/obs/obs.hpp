@@ -284,6 +284,13 @@ class Registry {
 /// The process-global registry.
 [[nodiscard]] Registry& registry();
 
+/// Quantile estimate from a histogram snapshot: the upper edge of the
+/// bucket holding the ceil(q * count)-th observation (underflow reports
+/// `lo`, overflow reports `hi`), 0 when the snapshot is empty.  Works on
+/// delta snapshots too (subtract two snapshots' buckets) — how the solve
+/// service bench reports per-pass p50/p95/p99.  \pre q in [0, 1].
+[[nodiscard]] double histogram_quantile(const Registry::HistogramSnap& snap, double q);
+
 // ---------------------------------------------------------------------------
 // Collection and export
 // ---------------------------------------------------------------------------

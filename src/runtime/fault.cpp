@@ -24,6 +24,9 @@ FaultSite default_site(FaultKind kind) noexcept {
     case FaultKind::kNan:
     case FaultKind::kBitFlip:
       return FaultSite::kHaloSend;
+    case FaultKind::kTimeout:
+    case FaultKind::kReject:
+      return FaultSite::kRequest;
   }
   return FaultSite::kIteration;
 }
@@ -41,6 +44,10 @@ bool parse_kind(const std::string& token, FaultKind& out) {
     out = FaultKind::kBitFlip;
   } else if (token == "stall") {
     out = FaultKind::kStall;
+  } else if (token == "timeout") {
+    out = FaultKind::kTimeout;
+  } else if (token == "reject") {
+    out = FaultKind::kReject;
   } else {
     return false;
   }
@@ -81,7 +88,7 @@ FaultSpec parse_one(const std::string& spec) {
   FaultSpec out;
   SEMFPGA_CHECK(parse_kind(spec.substr(0, at), out.kind),
                 "unknown fault kind in '" + spec +
-                    "' (known: crash|delay|drop|nan|bitflip|stall)");
+                    "' (known: crash|delay|drop|nan|bitflip|stall|timeout|reject)");
   out.site = default_site(out.kind);
 
   bool have_rank = false;
@@ -141,6 +148,10 @@ const char* fault_kind_name(FaultKind kind) noexcept {
       return "bitflip";
     case FaultKind::kStall:
       return "stall";
+    case FaultKind::kTimeout:
+      return "timeout";
+    case FaultKind::kReject:
+      return "reject";
   }
   return "?";
 }
@@ -153,6 +164,8 @@ const char* fault_site_name(FaultSite site) noexcept {
       return "halo-send";
     case FaultSite::kAllreduce:
       return "allreduce";
+    case FaultSite::kRequest:
+      return "request";
   }
   return "?";
 }
@@ -287,6 +300,8 @@ bool FaultInjector::on_send(int from, int to, std::span<double> payload) {
         break;
       case FaultKind::kCrash:
       case FaultKind::kStall:
+      case FaultKind::kTimeout:
+      case FaultKind::kReject:
         break;  // never armed for this site
     }
   }
@@ -306,6 +321,43 @@ void FaultInjector::on_collective(int rank) {
            "stalled allreduce entry for " + std::to_string(seconds) + "s");
     sleep_seconds(seconds);
   }
+}
+
+bool FaultInjector::fire_request(FaultKind kind, int request_id,
+                                 const char* detail) {
+  const FaultSpec* due = nullptr;
+  {
+    // Request hooks run on arbitrary client/worker threads, so the firing
+    // byte is claimed under the event mutex instead of the SPMD hooks'
+    // owner-thread discipline (the two spec families never share a byte:
+    // fire() rejects kRequest sites and this loop accepts nothing else).
+    const std::lock_guard<std::mutex> lock(events_mutex_);
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+      const FaultSpec& spec = specs_[i];
+      if (spec.site != FaultSite::kRequest || spec.kind != kind ||
+          spec.iteration != request_id || fired_[i] != 0) {
+        continue;
+      }
+      fired_[i] = 1;
+      due = &spec;
+      break;
+    }
+  }
+  if (due == nullptr) {
+    return false;
+  }
+  record(*due, request_id, detail);
+  return true;
+}
+
+bool FaultInjector::on_request_submit(int request_id) {
+  return fire_request(FaultKind::kReject, request_id,
+                      "rejected request at admission as if queue were full");
+}
+
+bool FaultInjector::on_request_dequeue(int request_id) {
+  return fire_request(FaultKind::kTimeout, request_id,
+                      "expired request at dequeue as if deadline had passed");
 }
 
 std::vector<FaultEvent> FaultInjector::events() const {

@@ -26,11 +26,22 @@
 ///     stall@r3:i6        rank 3 sleeps at its next allreduce entry long
 ///                        enough for every peer's fabric deadline to expire
 ///
+/// Request-level kinds (the solve-service tier, src/service/):
+///
+///     reject@r0:i7       request id 7 is rejected at admission as if the
+///                        queue were full (QueueFullError to the client)
+///     timeout@r0:i7      request id 7 is expired at dequeue as if its
+///                        deadline had passed (outcome kExpired)
+///
 /// Sites are implied by the kind: crash fires at the end-of-iteration hook,
-/// delay/drop/nan/bitflip at halo sends, stall at allreduce entry.  Each
-/// fault fires once per plan (one-shot), keyed on the owning rank having
+/// delay/drop/nan/bitflip at halo sends, stall at allreduce entry, and
+/// reject/timeout at the service's request hooks.  Each fault fires once
+/// per plan (one-shot).  SPMD faults key on the owning rank having
 /// *completed* at least I iterations — deterministic because the iteration
 /// count advances in program order on the owning rank's own thread.
+/// Request faults key on the *exact* request sequence id instead (i is the
+/// id; r is accepted for grammar uniformity and ignored), so one spec names
+/// one request whatever order the queue drains in.
 
 #include <span>
 #include <stdexcept>
@@ -42,10 +53,10 @@
 namespace semfpga::runtime {
 
 /// What goes wrong.
-enum class FaultKind { kCrash, kDelay, kDrop, kNan, kBitFlip, kStall };
+enum class FaultKind { kCrash, kDelay, kDrop, kNan, kBitFlip, kStall, kTimeout, kReject };
 
 /// Where it goes wrong (implied by the kind; see file comment).
-enum class FaultSite { kIteration, kHaloSend, kAllreduce };
+enum class FaultSite { kIteration, kHaloSend, kAllreduce, kRequest };
 
 [[nodiscard]] const char* fault_kind_name(FaultKind kind) noexcept;
 [[nodiscard]] const char* fault_site_name(FaultSite site) noexcept;
@@ -128,6 +139,17 @@ class FaultInjector {
   /// Allreduce-entry hook; sleeps when a stall fault is due on `rank`.
   void on_collective(int rank);
 
+  /// Request-admission hook (solve service): true when a reject@ fault
+  /// names `request_id`, in which case the caller must refuse admission as
+  /// if the queue were full.  Unlike the SPMD hooks this runs on arbitrary
+  /// client threads, so the firing byte is claimed under the event mutex.
+  [[nodiscard]] bool on_request_submit(int request_id);
+
+  /// Request-dequeue hook (solve service): true when a timeout@ fault
+  /// names `request_id`, in which case the caller must expire the request
+  /// as if its deadline had passed.  Runs on arbitrary worker threads.
+  [[nodiscard]] bool on_request_dequeue(int request_id);
+
   /// Snapshot of every fault that fired so far (any thread).
   [[nodiscard]] std::vector<FaultEvent> events() const;
 
@@ -135,6 +157,10 @@ class FaultInjector {
   /// True (and marks the spec fired) when spec `idx` is due for `rank` at
   /// completed-iteration count `iteration` on `site`.
   bool fire(std::size_t idx, FaultSite site, int rank, int iteration);
+  /// One-shot claim of the first unfired kRequest spec of `kind` whose
+  /// iteration field equals `request_id` (mutex-guarded; request specs and
+  /// SPMD specs never share a firing byte, so the two disciplines coexist).
+  bool fire_request(FaultKind kind, int request_id, const char* detail);
   void record(const FaultSpec& spec, int iteration, std::string detail);
 
   std::vector<FaultSpec> specs_;

@@ -104,7 +104,7 @@ void RankSystem::assemble_rhs(std::span<const double> f_at_nodes,
   for (std::size_t p = 0; p < n; ++p) {
     b[p] = mass[p] * f_at_nodes[p];
   }
-  system_->gs().qqt(b);
+  system_->gs().qqt(b, system_->threads());
   halo_.exchange_add(b);
   apply_mask(b);
 }

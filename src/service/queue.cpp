@@ -1,0 +1,92 @@
+#include "service/queue.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.hpp"
+#include "obs/obs.hpp"
+
+namespace semfpga::service {
+
+RequestQueue::RequestQueue(std::size_t capacity, runtime::FaultInjector* faults)
+    : capacity_(capacity), faults_(faults) {
+  SEMFPGA_CHECK(capacity >= 1, "request queue capacity must be >= 1");
+}
+
+void RequestQueue::push(PendingSolve pending) {
+  // Scripted rejection first: the named request is refused as if the queue
+  // were full, without consuming capacity.
+  if (faults_ != nullptr &&
+      faults_->on_request_submit(static_cast<int>(pending.id))) {
+    throw QueueFullError(capacity_);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      throw ServiceStoppedError();
+    }
+    if (queue_.size() >= capacity_) {
+      obs::registry().counter("service.rejected").add(1);
+      throw QueueFullError(capacity_);
+    }
+    queue_.push_back(std::move(pending));
+    obs::registry().counter("service.submitted").add(1);
+  }
+  not_empty_.notify_one();
+}
+
+std::vector<PendingSolve> RequestQueue::pop_batch(std::size_t max_batch,
+                                                  double wait_seconds) {
+  SEMFPGA_CHECK(max_batch >= 1, "batch size must be >= 1");
+  std::vector<PendingSolve> batch;
+  std::unique_lock<std::mutex> lock(mutex_);
+  const bool got_work = not_empty_.wait_for(
+      lock, std::chrono::duration<double>(wait_seconds),
+      [&] { return !queue_.empty() || closed_; });
+  if (!got_work || queue_.empty()) {
+    return batch;
+  }
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  // Coalesce later same-key requests, preserving their relative (FIFO)
+  // order: one cached setup, one device session, several solves.
+  for (std::size_t i = 0; i < queue_.size() && batch.size() < max_batch;) {
+    if (queue_[i].key == batch.front().key) {
+      batch.push_back(std::move(queue_[i]));
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  return batch;
+}
+
+void RequestQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+}
+
+std::vector<PendingSolve> RequestQueue::drain() {
+  std::vector<PendingSolve> rest;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  while (!queue_.empty()) {
+    rest.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return rest;
+}
+
+std::size_t RequestQueue::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+bool RequestQueue::closed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace semfpga::service

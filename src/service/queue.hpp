@@ -1,0 +1,78 @@
+#pragma once
+/// \file queue.hpp
+/// The bounded, admission-controlled request queue of the solve service.
+///
+/// Clients submit on arbitrary threads; workers drain.  Admission control
+/// is reject-on-full with a typed QueueFullError (a bounded queue is the
+/// backpressure contract a multi-tenant server owes its tenants — blocking
+/// a client on a full queue just moves the overload one hop upstream), and
+/// a scripted reject@ fault can refuse a named request the same way.  The
+/// queue itself never drops accepted work: deadline expiry is judged by
+/// the *dispatcher* at dequeue time, where the wait is known.
+///
+/// pop_batch() is where batching happens: it pops the head request and
+/// then coalesces queued requests with the same setup key (FIFO order
+/// within the key) up to the batch cap — those are exactly the solves one
+/// device session can run back to back on a single cached setup.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "runtime/fault.hpp"
+#include "service/request.hpp"
+#include "service/setup_cache.hpp"
+
+namespace semfpga::service {
+
+/// An accepted request waiting for dispatch.
+struct PendingSolve {
+  std::int64_t id = 0;
+  SolveRequest request;
+  SetupKey key;                 ///< precomputed at submit (batch coalescing)
+  double submit_seconds = 0.0;  ///< server clock at admission
+  std::promise<SolveResponse> promise;
+};
+
+/// Bounded MPMC queue with admission control and same-key batch pops.
+class RequestQueue {
+ public:
+  /// `faults` may be null; when set, reject@ specs fire at push.
+  /// \pre capacity >= 1.
+  RequestQueue(std::size_t capacity, runtime::FaultInjector* faults);
+
+  /// Admits `pending` or throws: QueueFullError when the queue is at
+  /// capacity (or a reject@ fault names the request), ServiceStoppedError
+  /// after close().
+  void push(PendingSolve pending);
+
+  /// Pops the oldest request plus up to `max_batch - 1` later requests
+  /// sharing its setup key (their relative order preserved).  Blocks up to
+  /// `wait_seconds` for work; returns empty on timeout or when closed and
+  /// drained.
+  [[nodiscard]] std::vector<PendingSolve> pop_batch(std::size_t max_batch,
+                                                    double wait_seconds);
+
+  /// Closes admission (push throws ServiceStoppedError) and wakes waiters.
+  void close();
+
+  /// Pops everything still queued (stop/abort paths).
+  [[nodiscard]] std::vector<PendingSolve> drain();
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool closed() const;
+
+ private:
+  std::size_t capacity_;
+  runtime::FaultInjector* faults_;  ///< not owned; may be null
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::deque<PendingSolve> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace semfpga::service

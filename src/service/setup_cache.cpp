@@ -1,0 +1,140 @@
+#include "service/setup_cache.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "common/check.hpp"
+#include "obs/obs.hpp"
+
+namespace semfpga::service {
+namespace {
+
+/// splitmix64-style avalanche, the usual hash-combine finisher.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  return h;
+}
+
+std::uint64_t mix_double(std::uint64_t h, double v) noexcept {
+  return mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace
+
+bool SetupKey::operator==(const SetupKey& other) const noexcept {
+  const sem::BoxMeshSpec& a = mesh;
+  const sem::BoxMeshSpec& b = other.mesh;
+  return kind == other.kind && lambda == other.lambda && a.degree == b.degree &&
+         a.nelx == b.nelx && a.nely == b.nely && a.nelz == b.nelz &&
+         a.x0 == b.x0 && a.x1 == b.x1 && a.y0 == b.y0 && a.y1 == b.y1 &&
+         a.z0 == b.z0 && a.z1 == b.z1 && a.deformation == b.deformation &&
+         a.deformation_amplitude == b.deformation_amplitude;
+}
+
+std::size_t SetupKeyHash::operator()(const SetupKey& key) const noexcept {
+  std::uint64_t h = 0x5e7f5e4a17ca4c1bULL;
+  h = mix(h, static_cast<std::uint64_t>(key.kind));
+  h = mix_double(h, key.lambda);
+  const sem::BoxMeshSpec& m = key.mesh;
+  h = mix(h, static_cast<std::uint64_t>(m.degree));
+  h = mix(h, static_cast<std::uint64_t>(m.nelx));
+  h = mix(h, static_cast<std::uint64_t>(m.nely));
+  h = mix(h, static_cast<std::uint64_t>(m.nelz));
+  h = mix_double(h, m.x0);
+  h = mix_double(h, m.x1);
+  h = mix_double(h, m.y0);
+  h = mix_double(h, m.y1);
+  h = mix_double(h, m.z0);
+  h = mix_double(h, m.z1);
+  h = mix(h, static_cast<std::uint64_t>(m.deformation));
+  h = mix_double(h, m.deformation_amplitude);
+  return static_cast<std::size_t>(h);
+}
+
+SetupKey key_of(const sem::BoxMeshSpec& mesh, solver::OperatorKind kind,
+                double lambda) noexcept {
+  SetupKey key;
+  key.mesh = mesh;
+  key.kind = kind;
+  key.lambda = kind == solver::OperatorKind::kHelmholtz ? lambda : 0.0;
+  return key;
+}
+
+SetupCache::SetupCache(std::size_t capacity) : capacity_(capacity) {
+  SEMFPGA_CHECK(capacity >= 1, "setup cache capacity must be >= 1");
+}
+
+std::size_t SetupCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+SetupCache::Ptr SetupCache::build_setup(const SetupKey& key) {
+  OBS_SPAN("service.setup_build");
+  // The setup owns its mesh: a cache entry must outlive the request whose
+  // spec named it.
+  return solver::SystemSetup::build_owning(sem::box_mesh(key.mesh), key.lambda);
+}
+
+SetupCache::Ptr SetupCache::get(const SetupKey& key, bool* was_hit) {
+  std::promise<Ptr> building;
+  std::shared_future<Ptr> wait_on;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to front
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      obs::registry().counter("service.cache.hit").add(1);
+      if (was_hit != nullptr) {
+        *was_hit = true;
+      }
+      return it->second->setup;
+    }
+    const auto inflight_it = inflight_.find(key);
+    if (inflight_it != inflight_.end()) {
+      wait_on = inflight_it->second;  // someone else is building it
+    } else {
+      inflight_.emplace(key, building.get_future().share());
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::registry().counter("service.cache.miss").add(1);
+  }
+  if (was_hit != nullptr) {
+    *was_hit = false;
+  }
+  if (wait_on.valid()) {
+    return wait_on.get();  // rethrows the builder's exception, if any
+  }
+
+  // We own the build.  Run it unlocked; insert (with eviction) on success.
+  Ptr setup;
+  try {
+    setup = build_setup(key);
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      inflight_.erase(key);
+    }
+    building.set_exception(std::current_exception());
+    throw;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    lru_.push_front(Entry{key, setup});
+    index_[key] = lru_.begin();
+    while (lru_.size() > capacity_) {
+      index_.erase(lru_.back().key);
+      lru_.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      obs::registry().counter("service.cache.evict").add(1);
+    }
+    inflight_.erase(key);
+  }
+  building.set_value(setup);
+  return setup;
+}
+
+}  // namespace semfpga::service

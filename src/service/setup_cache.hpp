@@ -1,0 +1,100 @@
+#pragma once
+/// \file setup_cache.hpp
+/// The LRU cache of shared solver setup products.
+///
+/// Building a system's setup (GatherScatter schedule, Dirichlet mask,
+/// assembled Jacobi/mass diagonal, fused-mask compilation) dwarfs a small
+/// CG solve; a multi-tenant server that rebuilt it per request would spend
+/// its life in setup.  This cache keys the immutable SystemSetup on the
+/// tuple that determines it bitwise — (mesh spec, operator kind, diagonal
+/// mass coefficient) — and hands the same shared_ptr<const> to every
+/// request that matches, bounded by an LRU capacity.
+///
+/// Concurrency: one mutex guards the map + LRU list; the expensive build
+/// itself runs *outside* the lock, with an in-flight table of shared
+/// futures so concurrent first requests for one key build it exactly once
+/// (the losers wait on the winner's future instead of duplicating the
+/// work).  Hit/miss/evict totals mirror into the obs registry
+/// ("service.cache.hit" / ".miss" / ".evict").
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "sem/mesh.hpp"
+#include "solver/poisson_system.hpp"
+#include "solver/system_setup.hpp"
+
+namespace semfpga::service {
+
+/// The cache key: everything SystemSetup's bits depend on.  `lambda` is
+/// the *diagonal mass coefficient* — the request's lambda for Helmholtz,
+/// 0 for Poisson (see key_of) — so a Poisson request and a lambda=0
+/// Helmholtz request share an entry, which is exactly right: their setups
+/// are bitwise identical.
+struct SetupKey {
+  sem::BoxMeshSpec mesh;
+  solver::OperatorKind kind = solver::OperatorKind::kPoisson;
+  double lambda = 0.0;
+
+  [[nodiscard]] bool operator==(const SetupKey& other) const noexcept;
+};
+
+/// FNV-style combine over the key's fields (doubles by bit pattern, so
+/// -0.0 != 0.0 — fine: equality distinguishes them too).
+struct SetupKeyHash {
+  [[nodiscard]] std::size_t operator()(const SetupKey& key) const noexcept;
+};
+
+/// The setup-cache key of a request (normalises lambda to 0 for Poisson,
+/// where the coefficient plays no part in the setup).
+[[nodiscard]] SetupKey key_of(const sem::BoxMeshSpec& mesh,
+                              solver::OperatorKind kind, double lambda) noexcept;
+
+/// Thread-safe LRU cache of SystemSetup, with single-flight builds.
+class SetupCache {
+ public:
+  using Ptr = std::shared_ptr<const solver::SystemSetup>;
+
+  /// \pre capacity >= 1.
+  explicit SetupCache(std::size_t capacity);
+
+  /// Returns the setup for `key`, building (and possibly evicting the
+  /// least-recently-used entry) on miss.  `was_hit`, when non-null, is set
+  /// to whether the entry already existed — a build another thread had in
+  /// flight counts as a miss for both waiters.  Throws whatever the build
+  /// throws (the failure is not cached).
+  [[nodiscard]] Ptr get(const SetupKey& key, bool* was_hit = nullptr);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::int64_t hits() const noexcept { return hits_.load(); }
+  [[nodiscard]] std::int64_t misses() const noexcept { return misses_.load(); }
+  [[nodiscard]] std::int64_t evictions() const noexcept { return evictions_.load(); }
+
+ private:
+  struct Entry {
+    SetupKey key;
+    Ptr setup;
+  };
+  using LruList = std::list<Entry>;
+
+  /// Builds the setup for `key` (the expensive, unlocked part).
+  [[nodiscard]] static Ptr build_setup(const SetupKey& key);
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<SetupKey, LruList::iterator, SetupKeyHash> index_;
+  std::unordered_map<SetupKey, std::shared_future<Ptr>, SetupKeyHash> inflight_;
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> evictions_{0};
+};
+
+}  // namespace semfpga::service

@@ -91,31 +91,31 @@ std::int64_t GatherScatter::row_split(std::size_t g) const noexcept {
 }
 
 void GatherScatter::scatter_add(std::span<const double> local,
-                                std::span<double> global) const {
+                                std::span<double> global, int threads) const {
   SEMFPGA_CHECK(local.size() == ids_.size(), "local vector has the wrong size");
   SEMFPGA_CHECK(global.size() == n_global_, "global vector has the wrong size");
-  parallel_for(n_global_, threads_, [&](std::size_t g) {
+  parallel_for(n_global_, threads, [&](std::size_t g) {
     global[g] = split_row_fold<std::int64_t>(local, positions_, offsets_[g],
                                              splits_[g], offsets_[g + 1]);
   });
 }
 
 void GatherScatter::gather(std::span<const double> global,
-                           std::span<double> local) const {
+                           std::span<double> local, int threads) const {
   SEMFPGA_CHECK(local.size() == ids_.size(), "local vector has the wrong size");
   SEMFPGA_CHECK(global.size() == n_global_, "global vector has the wrong size");
-  parallel_for(ids_.size(), threads_, [&](std::size_t p) {
+  parallel_for(ids_.size(), threads, [&](std::size_t p) {
     local[p] = global[static_cast<std::size_t>(ids_[p])];
   });
 }
 
-void GatherScatter::qqt(std::span<double> local) const {
+void GatherScatter::qqt(std::span<double> local, int threads) const {
   SEMFPGA_CHECK(local.size() == ids_.size(), "local vector has the wrong size");
   // Owner-computes over the shared rows only (a multiplicity-1 DOF's sum is
   // a no-op): each row sums its copies in the canonical order and writes
   // the sum back.  Workers own disjoint position sets, so the in-place
   // update is race-free.
-  parallel_for(n_shared_dofs(), threads_, [&](std::size_t s) {
+  parallel_for(n_shared_dofs(), threads, [&](std::size_t s) {
     const std::int64_t begin = shared_offsets_[s];
     const std::int64_t end = shared_offsets_[s + 1];
     const double sum = split_row_fold<std::int64_t>(local, shared_positions_, begin,

@@ -58,21 +58,34 @@ class GatherScatter {
   [[nodiscard]] std::size_t n_global() const noexcept { return n_global_; }
 
   /// Worker threads for the sweeps: 1 = serial, 0 = all hardware threads.
+  /// Every sweep also has an explicit-threads overload so a *const, shared*
+  /// schedule (solver::SystemSetup behind shared_ptr) can run concurrent
+  /// sweeps at per-caller thread counts without mutating shared state —
+  /// results are bitwise identical for any value either way.
   void set_threads(int threads) noexcept { threads_ = threads; }
   [[nodiscard]] int threads() const noexcept { return threads_; }
 
   /// global = Q^T local: sums all local copies into their global DOF in the
   /// canonical (layer-split) order.  `global` is overwritten (every global
   /// DOF is owner-assigned, so no pre-zeroing pass is needed).
-  void scatter_add(std::span<const double> local, std::span<double> global) const;
+  void scatter_add(std::span<const double> local, std::span<double> global) const {
+    scatter_add(local, global, threads_);
+  }
+  void scatter_add(std::span<const double> local, std::span<double> global,
+                   int threads) const;
 
   /// local = Q global: copies each global value to all its local copies.
-  void gather(std::span<const double> global, std::span<double> local) const;
+  void gather(std::span<const double> global, std::span<double> local) const {
+    gather(global, local, threads_);
+  }
+  void gather(std::span<const double> global, std::span<double> local,
+              int threads) const;
 
   /// In-place direct stiffness summation: local = Q Q^T local.  One fused
   /// owner-computes sweep over the shared rows (multiplicity-1 DOFs are
   /// no-ops); no global-size intermediate is materialised.
-  void qqt(std::span<double> local) const;
+  void qqt(std::span<double> local) const { qqt(local, threads_); }
+  void qqt(std::span<double> local, int threads) const;
 
   /// Number of local copies of each local DOF's global node (>= 1).
   [[nodiscard]] const std::vector<double>& multiplicity() const noexcept {

@@ -1,5 +1,7 @@
 #include "solver/helmholtz_system.hpp"
 
+#include <utility>
+
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "kernels/helmholtz.hpp"
@@ -15,12 +17,16 @@ double checked_lambda(double lambda) {
 
 }  // namespace
 
-// The mass term rides into the one base-constructor diagonal build
-// (build_jacobi_diagonal skips the addend at lambda == 0, so the
-// lambda -> 0 diagonal — and hence every Jacobi-preconditioned iterate —
-// is bitwise the Poisson one).
+// The mass term rides into the one setup-time diagonal build
+// (SystemSetup skips the addend at lambda == 0, so the lambda -> 0
+// diagonal — and hence every Jacobi-preconditioned iterate — is bitwise
+// the Poisson one).
 HelmholtzSystem::HelmholtzSystem(const sem::Mesh& mesh, double lambda)
     : PoissonSystem(mesh, checked_lambda(lambda)), lambda_(lambda) {}
+
+HelmholtzSystem::HelmholtzSystem(std::shared_ptr<const SystemSetup> setup,
+                                 double lambda)
+    : PoissonSystem(std::move(setup), checked_lambda(lambda)), lambda_(lambda) {}
 
 std::int64_t HelmholtzSystem::operator_flops_for(
     std::size_t n_elements) const noexcept {
@@ -67,7 +73,7 @@ void HelmholtzSystem::apply_unmasked(std::span<const double> u,
     kernels::helmholtz_run(ax_variant_, make_helmholtz_args(u, w),
                            kernels::AxExecPolicy{threads_});
   }
-  gs_.qqt(w);
+  gs_.qqt(w, threads_);
 }
 
 }  // namespace semfpga::solver

@@ -36,6 +36,10 @@ class HelmholtzSystem : public PoissonSystem {
   /// SPD on the masked subspace).
   explicit HelmholtzSystem(const sem::Mesh& mesh, double lambda = 1.0);
 
+  /// Runs over pre-built shared setup products (the solve-service cache
+  /// path).  \pre setup was built with mass_lambda == lambda.
+  HelmholtzSystem(std::shared_ptr<const SystemSetup> setup, double lambda);
+
   /// Mass-term coefficient of w = A u + lambda M u.
   [[nodiscard]] double lambda() const noexcept { return lambda_; }
 

@@ -17,74 +17,37 @@ const char* operator_kind_name(OperatorKind kind) noexcept {
   return "?";
 }
 
+namespace {
+
+/// Guards the setup-adopting constructor before the reference members bind.
+std::shared_ptr<const SystemSetup> checked_setup(
+    std::shared_ptr<const SystemSetup> setup, double expected_mass_lambda) {
+  SEMFPGA_CHECK(setup != nullptr, "system setup must not be null");
+  SEMFPGA_CHECK(setup->mass_lambda == expected_mass_lambda,
+                "system setup was built for a different diagonal mass coefficient");
+  return setup;
+}
+
+}  // namespace
+
 PoissonSystem::PoissonSystem(const sem::Mesh& mesh, double diag_mass_lambda)
-    : mesh_(mesh),
-      ref_(mesh.degree()),
-      geom_(sem::geometric_factors(mesh, ref_)),
-      gs_(mesh) {
-  const std::size_t n = gs_.n_local();
+    : PoissonSystem(SystemSetup::build(mesh, diag_mass_lambda), diag_mass_lambda) {}
 
-  // Dirichlet mask from the mesh's boundary flags.
-  mask_.resize(n);
-  const auto& ids = mesh.global_id();
-  const auto& bnd = mesh.boundary_flag();
-  for (std::size_t p = 0; p < n; ++p) {
-    mask_[p] = bnd[static_cast<std::size_t>(ids[p])] != 0 ? 0.0 : 1.0;
-  }
-
-  build_jacobi_diagonal(diag_mass_lambda);
-
-  const std::size_t ppe = ref_.points_per_element();
-
-  // Compile the mask for the fused qqt-in-operator sweep: the mask value of
-  // each shared CSR row, and the per-element list of multiplicity-1 DOFs
-  // the epilogue must zero.
-  const auto& shared_offsets = gs_.shared_offsets();
-  const auto& shared_positions = gs_.shared_positions();
-  shared_row_mask_.resize(gs_.n_shared_dofs());
-  for (std::size_t s = 0; s < gs_.n_shared_dofs(); ++s) {
-    shared_row_mask_[s] = mask_[static_cast<std::size_t>(
-        shared_positions[static_cast<std::size_t>(shared_offsets[s])])];
-  }
-  zero_offsets_.assign(geom_.n_elements + 1, 0);
-  for (std::size_t p = 0; p < n; ++p) {
-    if (gs_.multiplicity()[p] == 1.0 && mask_[p] == 0.0) {
-      zero_positions_.push_back(static_cast<std::int64_t>(p));
-      ++zero_offsets_[p / ppe + 1];
-    }
-  }
-  for (std::size_t e = 0; e < geom_.n_elements; ++e) {
-    zero_offsets_[e + 1] += zero_offsets_[e];
-  }
-
+PoissonSystem::PoissonSystem(std::shared_ptr<const SystemSetup> setup,
+                             double expected_mass_lambda)
+    : setup_(checked_setup(std::move(setup), expected_mass_lambda)),
+      mesh_(setup_->mesh()),
+      ref_(setup_->ref),
+      geom_(setup_->geom),
+      gs_(setup_->gs),
+      mask_(setup_->mask),
+      diagonal_(setup_->diagonal),
+      shared_row_mask_(setup_->shared_row_mask),
+      zero_offsets_(setup_->zero_offsets),
+      zero_positions_(setup_->zero_positions) {
   // Default element operator: the execution engine on the fixed-order
   // kernel; variant and thread count stay adjustable after construction.
   set_ax_variant(kernels::AxVariant::kFixed);
-}
-
-void PoissonSystem::build_jacobi_diagonal(double mass_lambda) {
-  OBS_SPAN("setup.diagonal");
-  const std::size_t n = gs_.n_local();
-  // Assembled Jacobi diagonal: local diagonals (plus the mass term for
-  // Helmholtz-type systems) summed across elements in canonical order.
-  aligned_vector<double> local_diag(n);
-  const std::size_t ppe = ref_.points_per_element();
-  for (std::size_t e = 0; e < geom_.n_elements; ++e) {
-    const auto d = sem::local_diagonal(ref_, geom_, e);
-    for (std::size_t p = 0; p < ppe; ++p) {
-      local_diag[e * ppe + p] = d[p];
-    }
-  }
-  if (mass_lambda != 0.0) {
-    for (std::size_t p = 0; p < n; ++p) {
-      local_diag[p] += mass_lambda * geom_.mass[p];
-    }
-  }
-  gs_.qqt(local_diag);
-  diagonal_.resize(n);
-  for (std::size_t p = 0; p < n; ++p) {
-    diagonal_[p] = mask_[p] != 0.0 ? local_diag[p] : 1.0;
-  }
 }
 
 std::int64_t PoissonSystem::operator_flops_for(std::size_t n_elements) const noexcept {
@@ -134,8 +97,9 @@ void PoissonSystem::set_ax_variant(kernels::AxVariant variant) {
 }
 
 void PoissonSystem::set_threads(int threads) {
+  // gs_ may be shared (cached setup); pass the count to each sweep instead
+  // of storing it there.
   threads_ = threads;
-  gs_.set_threads(threads);
 }
 
 void PoissonSystem::apply(std::span<const double> u, std::span<double> w) const {
@@ -160,7 +124,7 @@ void PoissonSystem::apply_unmasked(std::span<const double> u,
     return;
   }
   local_op_(u, w);
-  gs_.qqt(w);
+  gs_.qqt(w, threads_);
 }
 
 void PoissonSystem::assemble_rhs(std::span<const double> f_at_nodes,
@@ -170,7 +134,7 @@ void PoissonSystem::assemble_rhs(std::span<const double> f_at_nodes,
   for (std::size_t p = 0; p < b.size(); ++p) {
     b[p] = geom_.mass[p] * f_at_nodes[p];
   }
-  gs_.qqt(b);
+  gs_.qqt(b, threads_);
   for (std::size_t p = 0; p < b.size(); ++p) {
     b[p] *= mask_[p];
   }

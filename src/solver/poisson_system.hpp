@@ -16,6 +16,7 @@
 /// sweeps, and installing a custom local operator always uses them.
 
 #include <functional>
+#include <memory>
 #include <span>
 
 #include "common/aligned.hpp"
@@ -25,6 +26,7 @@
 #include "sem/mesh.hpp"
 #include "sem/reference_element.hpp"
 #include "solver/gather_scatter.hpp"
+#include "solver/system_setup.hpp"
 
 namespace semfpga::solver {
 
@@ -57,6 +59,11 @@ class PoissonSystem {
  public:
   /// Builds factors, gather-scatter, mask and Jacobi diagonal for `mesh`.
   explicit PoissonSystem(const sem::Mesh& mesh) : PoissonSystem(mesh, 0.0) {}
+  /// Runs over pre-built shared setup products (the solve-service cache
+  /// path): no per-construction setup work, bitwise identical to the mesh
+  /// constructor.  \pre setup != nullptr and setup->mass_lambda == 0.
+  explicit PoissonSystem(std::shared_ptr<const SystemSetup> setup)
+      : PoissonSystem(std::move(setup), 0.0) {}
   virtual ~PoissonSystem() = default;
   PoissonSystem(const PoissonSystem&) = delete;
   PoissonSystem& operator=(const PoissonSystem&) = delete;
@@ -65,6 +72,13 @@ class PoissonSystem {
   [[nodiscard]] const sem::GeomFactors& geom() const noexcept { return geom_; }
   [[nodiscard]] const GatherScatter& gs() const noexcept { return gs_; }
   [[nodiscard]] std::size_t n_local() const noexcept { return gs_.n_local(); }
+
+  /// The shared setup products this system runs over (never null).  Lets
+  /// callers check sharing (cache tests) or hand the same setup to another
+  /// system.
+  [[nodiscard]] const std::shared_ptr<const SystemSetup>& setup() const noexcept {
+    return setup_;
+  }
 
   /// Element-local Dirichlet mask: 0 on boundary DOFs, 1 elsewhere.
   [[nodiscard]] const aligned_vector<double>& mask() const noexcept { return mask_; }
@@ -146,11 +160,17 @@ class PoissonSystem {
   }
 
  protected:
-  /// Shared constructor body: builds factors, gather-scatter, mask and the
-  /// assembled diagonal with `diag_mass_lambda` folded in — derived
-  /// Helmholtz-type systems pass their lambda here so the diagonal is
-  /// built exactly once.  \pre diag_mass_lambda >= 0.
+  /// Shared constructor body: builds the setup products (factors,
+  /// gather-scatter, mask, assembled diagonal with `diag_mass_lambda`
+  /// folded in) — derived Helmholtz-type systems pass their lambda here so
+  /// the diagonal is built exactly once.  \pre diag_mass_lambda >= 0.
   PoissonSystem(const sem::Mesh& mesh, double diag_mass_lambda);
+
+  /// Adopts pre-built shared setup products.  `expected_mass_lambda` guards
+  /// against wiring a cache entry built for a different diagonal: the setup
+  /// must have been built with exactly this coefficient.
+  PoissonSystem(std::shared_ptr<const SystemSetup> setup,
+                double expected_mass_lambda);
 
   /// Engine operands over the system's geometry for the input/output pair.
   [[nodiscard]] kernels::AxArgs make_ax_args(std::span<const double> u,
@@ -163,21 +183,19 @@ class PoissonSystem {
   /// True when a custom local operator replaced the engine dispatch.
   [[nodiscard]] bool has_custom_operator() const noexcept { return custom_op_; }
 
-  /// (Re)builds the assembled, masked Jacobi diagonal: per-element local
-  /// stiffness diagonals plus `mass_lambda` times the quadrature mass
-  /// factor (0 = the pure Poisson diagonal, and the addend is skipped
-  /// outright so the result is bitwise the pre-Helmholtz build), summed
-  /// across elements in the canonical qqt order, then pinned to exactly
-  /// 1.0 on masked DOFs.  Derived systems call this again with their mass
-  /// coefficient after the base constructor ran.
-  void build_jacobi_diagonal(double mass_lambda);
+  /// The setup products, possibly shared with other systems (the service's
+  /// setup cache).  Everything mesh-derived lives here, immutably; the
+  /// references below are stable aliases into it so the hot paths read
+  /// exactly what they always read.  Declared first: the references bind to
+  /// *setup_ in the member-init list.
+  std::shared_ptr<const SystemSetup> setup_;
 
   const sem::Mesh& mesh_;
-  sem::ReferenceElement ref_;
-  sem::GeomFactors geom_;
-  GatherScatter gs_;
-  aligned_vector<double> mask_;
-  aligned_vector<double> diagonal_;
+  const sem::ReferenceElement& ref_;
+  const sem::GeomFactors& geom_;
+  const GatherScatter& gs_;
+  const aligned_vector<double>& mask_;
+  const aligned_vector<double>& diagonal_;
   LocalOperator local_op_;
   kernels::AxVariant ax_variant_ = kernels::AxVariant::kFixed;
   int threads_ = 1;
@@ -187,9 +205,9 @@ class PoissonSystem {
   /// shared CSR row (all copies of a global DOF share it), and a
   /// per-element CSR of the multiplicity-1 DOFs whose mask is 0 — the only
   /// places a 0/1 mask does anything bitwise.
-  aligned_vector<double> shared_row_mask_;
-  std::vector<std::int64_t> zero_offsets_;    ///< n_elements + 1
-  std::vector<std::int64_t> zero_positions_;  ///< masked interior DOFs
+  const aligned_vector<double>& shared_row_mask_;
+  const std::vector<std::int64_t>& zero_offsets_;    ///< n_elements + 1
+  const std::vector<std::int64_t>& zero_positions_;  ///< masked interior DOFs
 };
 
 }  // namespace semfpga::solver

@@ -1,0 +1,87 @@
+#pragma once
+/// \file system_setup.hpp
+/// The immutable, shareable setup products of an assembled SEM system.
+///
+/// Building a PoissonSystem/HelmholtzSystem pays for the expensive, purely
+/// mesh-derived artefacts up front: the reference element, geometric
+/// factors, the gather-scatter schedule, the Dirichlet mask, the assembled
+/// Jacobi/mass diagonal, and the compiled fused-mask schedules.  None of
+/// them depend on runtime knobs (thread count, Ax variant, fused/split) —
+/// they are a pure function of (mesh topology, polynomial order, diagonal
+/// mass coefficient).  SystemSetup splits exactly that function out into a
+/// const struct held behind shared_ptr, so a long-lived solve service can
+/// build it once per (mesh, order, operator kind, lambda) key and share it
+/// across thousands of concurrent requests (src/service/setup_cache.hpp).
+///
+/// Contract: build() reproduces the historical in-place PoissonSystem
+/// constructor sequence step for step, so a system constructed over a
+/// SystemSetup is bitwise identical — mask, diagonal, schedules, and hence
+/// every CG iterate — to one constructed directly from the mesh
+/// (tests/service/test_setup_cache.cpp pins this).  Everything here is
+/// immutable after construction; concurrent readers need no
+/// synchronisation.
+
+#include <memory>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "sem/geometry.hpp"
+#include "sem/mesh.hpp"
+#include "sem/reference_element.hpp"
+#include "solver/gather_scatter.hpp"
+
+namespace semfpga::solver {
+
+/// Mesh-derived setup products shared by every system over one (mesh,
+/// mass_lambda) pair.  Construct through build()/build_owning() only; the
+/// shared_ptr<const> return type is what enforces immutability.
+class SystemSetup {
+ public:
+  /// Builds over a caller-owned mesh, which must outlive the setup — the
+  /// classic standalone path (PoissonSystem's mesh constructor uses this).
+  /// `mass_lambda` is folded into the assembled diagonal exactly as the
+  /// historical build did (the addend is skipped outright at 0, keeping
+  /// the Poisson diagonal bitwise).  \pre mass_lambda >= 0.
+  [[nodiscard]] static std::shared_ptr<const SystemSetup> build(
+      const sem::Mesh& mesh, double mass_lambda = 0.0);
+
+  /// Builds over a moved-in mesh the setup owns — the cache path, where an
+  /// entry must not dangle once the submitting request's mesh is gone.
+  [[nodiscard]] static std::shared_ptr<const SystemSetup> build_owning(
+      sem::Mesh mesh, double mass_lambda = 0.0);
+
+  SystemSetup(const SystemSetup&) = delete;
+  SystemSetup& operator=(const SystemSetup&) = delete;
+
+  [[nodiscard]] const sem::Mesh& mesh() const noexcept { return *mesh_ptr_; }
+
+ private:
+  // Mesh storage first: the members below are built against *mesh_ptr_.
+  std::unique_ptr<const sem::Mesh> owned_mesh_;  ///< null on the build() path
+  const sem::Mesh* mesh_ptr_;
+
+ public:
+  sem::ReferenceElement ref;
+  sem::GeomFactors geom;
+  GatherScatter gs;
+  double mass_lambda = 0.0;  ///< coefficient folded into `diagonal`
+
+  /// Element-local Dirichlet mask: 0 on boundary DOFs, 1 elsewhere.
+  aligned_vector<double> mask;
+  /// Assembled, masked Jacobi diagonal with mass_lambda folded in (1 on
+  /// masked DOFs so inversion is safe).
+  aligned_vector<double> diagonal;
+
+  /// The Dirichlet mask compiled for the fused sweep: one mask value per
+  /// shared CSR row, and a per-element CSR of the multiplicity-1 DOFs whose
+  /// mask is 0 — the only places a 0/1 mask does anything bitwise.
+  aligned_vector<double> shared_row_mask;
+  std::vector<std::int64_t> zero_offsets;    ///< n_elements + 1
+  std::vector<std::int64_t> zero_positions;  ///< masked interior DOFs
+
+ private:
+  SystemSetup(std::unique_ptr<const sem::Mesh> owned, const sem::Mesh& mesh,
+              double lambda);
+};
+
+}  // namespace semfpga::solver

@@ -5,6 +5,7 @@
 /// prediction path, verifiable against the models it is built from.
 
 #include <cmath>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
@@ -172,6 +173,118 @@ TEST(FpgaSimBackend, DevicePresetsChangeTheChargedTime) {
   EXPECT_GT(ideal, 0.0);
   // The hypothetical 1.2 TB/s device must beat the 76.8 GB/s board.
   EXPECT_LT(ideal, gx);
+}
+
+TEST(FpgaSimBackend, DeviceSessionMovesTheSameBytesInTwoTransfers) {
+  const sem::Mesh mesh = make_mesh();
+  solver::PoissonSystem system(mesh);
+  const auto b = make_rhs(system);
+  const std::size_t n = system.n_local();
+  constexpr int kSolves = 3;
+
+  solver::CgOptions options;
+  options.max_iterations = 5;
+  options.tolerance = 0.0;
+
+  auto run_solves = [&](backend::FpgaSimBackend& be) {
+    for (int s = 0; s < kSolves; ++s) {
+      aligned_vector<double> x(n, 0.0);
+      (void)solver::solve_cg(be, std::span<const double>(b.data(), n),
+                             std::span<double>(x.data(), n), options);
+    }
+  };
+
+  backend::FpgaSimBackend loose(system, backend::FpgaSimOptions{});
+  run_solves(loose);
+  backend::FpgaSimBackend batched(system, backend::FpgaSimOptions{});
+  batched.session_begin(kSolves);
+  EXPECT_TRUE(batched.in_session());
+  run_solves(batched);
+  batched.session_end(kSolves);
+  EXPECT_FALSE(batched.in_session());
+
+  // Identical data movement, amortised begin/end: one bulk download + one
+  // bulk upload instead of a pair per solve.
+  EXPECT_DOUBLE_EQ(batched.timeline()->pcie_bytes, loose.timeline()->pcie_bytes);
+  EXPECT_EQ(loose.timeline()->pcie_transfers, 2 * kSolves);
+  EXPECT_EQ(batched.timeline()->pcie_transfers, 2);
+  // With no per-transfer latency the modeled PCIe time is bytes/bandwidth
+  // either way.
+  EXPECT_DOUBLE_EQ(batched.timeline()->pcie_seconds,
+                   loose.timeline()->pcie_seconds);
+}
+
+TEST(FpgaSimBackend, PcieLatencyChargesPerTransferSoSessionsAmortiseIt) {
+  const sem::Mesh mesh = make_mesh();
+  solver::PoissonSystem system(mesh);
+  const auto b = make_rhs(system);
+  const std::size_t n = system.n_local();
+  constexpr int kSolves = 4;
+  constexpr double kLatency = 20e-6;
+
+  solver::CgOptions options;
+  options.max_iterations = 5;
+  options.tolerance = 0.0;
+
+  backend::FpgaSimOptions with_latency;
+  with_latency.pcie_latency_s = kLatency;
+
+  auto pcie_seconds = [&](bool session) {
+    backend::FpgaSimBackend be(system, with_latency);
+    if (session) {
+      be.session_begin(kSolves);
+    }
+    for (int s = 0; s < kSolves; ++s) {
+      aligned_vector<double> x(n, 0.0);
+      (void)solver::solve_cg(be, std::span<const double>(b.data(), n),
+                             std::span<double>(x.data(), n), options);
+    }
+    if (session) {
+      be.session_end(kSolves);
+    }
+    return be.timeline()->pcie_seconds;
+  };
+
+  const double loose = pcie_seconds(false);
+  const double batched = pcie_seconds(true);
+  // 2 transfers instead of 2 * kSolves: the batch saves exactly the latency
+  // of the transfers it coalesced away.
+  EXPECT_NEAR(loose - batched, (2.0 * kSolves - 2.0) * kLatency,
+              1e-15 * loose);
+}
+
+TEST(FpgaSimBackend, DefaultOptionsChargeNoPcieLatency) {
+  // pcie_latency_s defaults to 0: every previously modeled number is
+  // unchanged, only the new transfer counter appears.
+  const sem::Mesh mesh = make_mesh();
+  solver::PoissonSystem system(mesh);
+  const auto b = make_rhs(system);
+  const std::size_t n = system.n_local();
+
+  solver::CgOptions options;
+  options.max_iterations = 5;
+  options.tolerance = 0.0;
+
+  backend::FpgaSimBackend be(system, backend::FpgaSimOptions{});
+  aligned_vector<double> x(n, 0.0);
+  (void)solver::solve_cg(be, std::span<const double>(b.data(), n),
+                         std::span<double>(x.data(), n), options);
+  const backend::FpgaTimeline* t = be.timeline();
+  EXPECT_DOUBLE_EQ(t->pcie_seconds,
+                   t->pcie_bytes / (12.0 * 1e9));  // bandwidth term only
+  EXPECT_EQ(t->pcie_transfers, 2);
+}
+
+TEST(FpgaSimBackend, SessionMisuseIsRefused) {
+  const sem::Mesh mesh = make_mesh();
+  solver::PoissonSystem system(mesh);
+  backend::FpgaSimBackend be(system, backend::FpgaSimOptions{});
+  EXPECT_THROW(be.session_end(1), std::invalid_argument);
+  EXPECT_THROW(be.session_begin(0), std::invalid_argument);
+  be.session_begin(2);
+  EXPECT_THROW(be.session_begin(2), std::invalid_argument);
+  be.session_end(2);
+  EXPECT_THROW(be.session_end(2), std::invalid_argument);
 }
 
 }  // namespace

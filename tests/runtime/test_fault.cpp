@@ -47,6 +47,41 @@ TEST(FaultPlan, ParsesTheFullGrammar) {
   EXPECT_DOUBLE_EQ(plan.faults[5].seconds, 1.5);
 }
 
+TEST(FaultPlan, RequestLevelKindsParseToTheRequestSite) {
+  const FaultPlan plan = parse_fault_plan("reject@r0:i7,timeout@r1:i3");
+  ASSERT_EQ(plan.faults.size(), 2u);
+  EXPECT_EQ(plan.faults[0].kind, FaultKind::kReject);
+  EXPECT_EQ(plan.faults[0].site, FaultSite::kRequest);
+  EXPECT_EQ(plan.faults[0].iteration, 7);  // the request sequence id
+  EXPECT_EQ(plan.faults[1].kind, FaultKind::kTimeout);
+  EXPECT_EQ(plan.faults[1].site, FaultSite::kRequest);
+  EXPECT_EQ(plan.faults[1].iteration, 3);
+}
+
+TEST(FaultInjector, RequestHooksFireExactlyOnceAtTheirRequestId) {
+  FaultInjector injector(parse_fault_plan("reject@r0:i2,timeout@r0:i5"));
+
+  EXPECT_FALSE(injector.on_request_submit(0));
+  EXPECT_FALSE(injector.on_request_submit(1));
+  EXPECT_TRUE(injector.on_request_submit(2));
+  EXPECT_FALSE(injector.on_request_submit(2));  // one-shot
+
+  EXPECT_FALSE(injector.on_request_dequeue(2));  // reject spec != timeout hook
+  EXPECT_TRUE(injector.on_request_dequeue(5));
+  EXPECT_FALSE(injector.on_request_dequeue(5));
+
+  const auto events = injector.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, FaultKind::kReject);
+  EXPECT_EQ(events[0].site, FaultSite::kRequest);
+  EXPECT_EQ(events[0].iteration, 2);
+  EXPECT_EQ(events[1].kind, FaultKind::kTimeout);
+  EXPECT_EQ(events[1].iteration, 5);
+  EXPECT_EQ(fault_kind_name(FaultKind::kReject), std::string("reject"));
+  EXPECT_EQ(fault_kind_name(FaultKind::kTimeout), std::string("timeout"));
+  EXPECT_EQ(fault_site_name(FaultSite::kRequest), std::string("request"));
+}
+
 TEST(FaultPlan, EmptySpecParsesToAnEmptyPlan) {
   EXPECT_TRUE(parse_fault_plan("").empty());
 }

@@ -1,0 +1,146 @@
+/// SetupCache + SystemSetup contracts: a system built over a shared cached
+/// setup is bitwise the system built directly from the mesh (masks,
+/// diagonals, and whole CG solves), keys normalise the way the service
+/// expects, and the LRU bound evicts cold entries while hits share one
+/// immutable setup object.
+
+#include <memory>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "backend/cpu_backend.hpp"
+#include "service/setup_cache.hpp"
+#include "solver/cg.hpp"
+#include "solver/helmholtz_system.hpp"
+#include "solver/system_setup.hpp"
+
+namespace semfpga::service {
+namespace {
+
+sem::BoxMeshSpec spec_of(int degree, int nel = 2) {
+  sem::BoxMeshSpec spec;
+  spec.degree = degree;
+  spec.nelx = spec.nely = spec.nelz = nel;
+  return spec;
+}
+
+solver::CgResult run_cg(solver::PoissonSystem& system,
+                        aligned_vector<double>& x) {
+  const std::size_t n = system.n_local();
+  aligned_vector<double> f(n, 1.0);
+  aligned_vector<double> b(n);
+  system.assemble_rhs(f, b);
+  x.assign(n, 0.0);
+  backend::CpuBackend backend(system);
+  solver::CgOptions options;
+  options.max_iterations = 20;
+  options.tolerance = 0.0;
+  return solver::solve_cg(backend, b, x, options);
+}
+
+TEST(SystemSetup, PoissonOverSharedSetupIsBitwiseTheDirectSystem) {
+  const sem::Mesh mesh = sem::box_mesh(spec_of(4));
+  solver::PoissonSystem direct(mesh);
+  solver::PoissonSystem shared(solver::SystemSetup::build(mesh));
+
+  ASSERT_EQ(direct.n_local(), shared.n_local());
+  for (std::size_t p = 0; p < direct.n_local(); ++p) {
+    EXPECT_EQ(direct.mask()[p], shared.mask()[p]);
+    EXPECT_EQ(direct.jacobi_diagonal()[p], shared.jacobi_diagonal()[p]);
+  }
+
+  aligned_vector<double> x_direct, x_shared;
+  const solver::CgResult r_direct = run_cg(direct, x_direct);
+  const solver::CgResult r_shared = run_cg(shared, x_shared);
+  EXPECT_EQ(r_direct.iterations, r_shared.iterations);
+  EXPECT_EQ(r_direct.final_residual, r_shared.final_residual);
+  for (std::size_t p = 0; p < x_direct.size(); ++p) {
+    EXPECT_EQ(x_direct[p], x_shared[p]);
+  }
+}
+
+TEST(SystemSetup, HelmholtzOverSharedSetupIsBitwiseTheDirectSystem) {
+  const double lambda = 2.5;
+  const sem::Mesh mesh = sem::box_mesh(spec_of(3));
+  solver::HelmholtzSystem direct(mesh, lambda);
+  solver::HelmholtzSystem shared(solver::SystemSetup::build(mesh, lambda),
+                                 lambda);
+
+  ASSERT_EQ(direct.n_local(), shared.n_local());
+  for (std::size_t p = 0; p < direct.n_local(); ++p) {
+    EXPECT_EQ(direct.jacobi_diagonal()[p], shared.jacobi_diagonal()[p]);
+  }
+  aligned_vector<double> x_direct, x_shared;
+  const solver::CgResult r_direct = run_cg(direct, x_direct);
+  const solver::CgResult r_shared = run_cg(shared, x_shared);
+  EXPECT_EQ(r_direct.iterations, r_shared.iterations);
+  EXPECT_EQ(r_direct.final_residual, r_shared.final_residual);
+  for (std::size_t p = 0; p < x_direct.size(); ++p) {
+    EXPECT_EQ(x_direct[p], x_shared[p]);
+  }
+}
+
+TEST(SystemSetup, LambdaMismatchIsRefusedAtConstruction) {
+  const sem::Mesh mesh = sem::box_mesh(spec_of(2));
+  // A Poisson-shaped setup (mass_lambda 0) cannot back a lambda=1 Helmholtz
+  // system: its jacobi diagonal is missing the mass term.
+  const auto poisson_setup = solver::SystemSetup::build(mesh, 0.0);
+  EXPECT_THROW(solver::HelmholtzSystem(poisson_setup, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      solver::PoissonSystem(solver::SystemSetup::build(mesh, 1.0)),
+      std::invalid_argument);
+  EXPECT_THROW(solver::PoissonSystem(nullptr), std::invalid_argument);
+}
+
+TEST(SetupKey, PoissonKeysIgnoreLambdaAndHelmholtzKeysKeepIt) {
+  const sem::BoxMeshSpec spec = spec_of(3);
+  EXPECT_EQ(key_of(spec, solver::OperatorKind::kPoisson, 1.0),
+            key_of(spec, solver::OperatorKind::kPoisson, 2.0));
+  EXPECT_FALSE(key_of(spec, solver::OperatorKind::kHelmholtz, 1.0) ==
+               key_of(spec, solver::OperatorKind::kHelmholtz, 2.0));
+  EXPECT_FALSE(key_of(spec, solver::OperatorKind::kPoisson, 0.0) ==
+               key_of(spec, solver::OperatorKind::kHelmholtz, 0.0));
+  EXPECT_FALSE(key_of(spec, solver::OperatorKind::kPoisson, 0.0) ==
+               key_of(spec_of(4), solver::OperatorKind::kPoisson, 0.0));
+}
+
+TEST(SetupCache, HitsShareOneSetupAndLruEvictsTheColdest) {
+  SetupCache cache(/*capacity=*/2);
+  const SetupKey a = key_of(spec_of(2), solver::OperatorKind::kPoisson, 0.0);
+  const SetupKey b = key_of(spec_of(3), solver::OperatorKind::kPoisson, 0.0);
+  const SetupKey c = key_of(spec_of(2), solver::OperatorKind::kHelmholtz, 1.0);
+
+  bool hit = true;
+  const SetupCache::Ptr first = cache.get(a, &hit);
+  EXPECT_FALSE(hit);
+  const SetupCache::Ptr again = cache.get(a, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first.get(), again.get());  // one immutable setup, shared
+
+  (void)cache.get(b, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // a was touched most recently, so inserting c evicts b.
+  (void)cache.get(a, &hit);
+  EXPECT_TRUE(hit);
+  (void)cache.get(c, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1);
+
+  (void)cache.get(b, &hit);
+  EXPECT_FALSE(hit);  // b was the eviction victim
+  EXPECT_EQ(cache.hits(), 2);
+  EXPECT_EQ(cache.misses(), 4);
+  EXPECT_EQ(cache.evictions(), 2);
+}
+
+TEST(SetupCache, RejectsZeroCapacity) {
+  EXPECT_THROW(SetupCache(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace semfpga::service
