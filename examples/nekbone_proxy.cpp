@@ -5,7 +5,9 @@
 /// the solver.
 ///
 /// Usage: nekbone_proxy [--degree 7] [--nel 8] [--iters 100] [--fpga]
-///                      [--threads 1] [--ranks 1] [--variant fixed] [--fused 1]
+///                      [--threads 1] [--ranks 1] [--partition slab|pencil|3d]
+///                      [--overlap 0|1] [--network eth-100g|LAT_US:BW_GBS]
+///                      [--variant fixed] [--fused 1]
 ///                      [--backend cpu] [--fpga-device gx2800]
 ///                      [--helmholtz] [--lambda 1.0]
 ///                      [--faults crash@r2:i5] [--checkpoint-every 4]
@@ -25,9 +27,11 @@
 
 #include <cstdio>
 
+#include "arch/network.hpp"
 #include "backend/backend.hpp"
 #include "backend/fpga_sim_backend.hpp"
 #include "common/cli.hpp"
+#include "runtime/partition.hpp"
 #include "fpga/accelerator.hpp"
 #include "kernels/ax_dispatch.hpp"
 #include "obs/obs.hpp"
@@ -41,7 +45,14 @@ int main(int argc, char** argv) {
       {"nel", FlagSpec::Kind::kInt, "8", "elements per direction"},
       {"iters", FlagSpec::Kind::kInt, "100", "fixed CG iteration count"},
       {"threads", FlagSpec::Kind::kInt, "1", "total thread budget (0 = all)"},
-      {"ranks", FlagSpec::Kind::kInt, "1", "SPMD ranks (z-slabs, <= nel)"},
+      {"ranks", FlagSpec::Kind::kInt, "1", "SPMD ranks"},
+      {"partition", FlagSpec::Kind::kString, "slab",
+       "rank partition of the box: slab|pencil|3d (bitwise identical)"},
+      {"overlap", FlagSpec::Kind::kInt, "0",
+       "overlap halo messages with interior compute (0|1; bitwise identical)"},
+      {"network", FlagSpec::Kind::kString, "",
+       "modeled interconnect: preset (" + arch::known_networks_joined() +
+           ") or LAT_US:BW_GBS; charges network time into the modeled timeline"},
       {"variant", FlagSpec::Kind::kString, "fixed",
        "Ax schedule: reference|mxm|mxm_blocked|fixed"},
       {"fused", FlagSpec::Kind::kInt, "1", "fused qqt-in-operator sweep (0 = split)"},
@@ -79,6 +90,9 @@ int main(int argc, char** argv) {
   config.cg_iterations = static_cast<int>(cli.get_int("iters", 100));
   config.threads = static_cast<int>(cli.get_int("threads", 1));
   config.ranks = static_cast<int>(cli.get_int("ranks", 1));
+  config.partition = cli.get("partition", "slab");
+  config.overlap = cli.get_int("overlap", 0) != 0;
+  config.network = cli.get("network", "");
   config.ax_variant = kernels::parse_ax_variant(cli.get("variant", "fixed"));
   config.fused = cli.get_int("fused", 1) != 0;
   config.backend = cli.get("backend", "cpu");
@@ -107,6 +121,12 @@ int main(int argc, char** argv) {
   // Same rule for the fault plan: a typo'd script must fail here, not fire
   // half a plan mid-solve.
   (void)runtime::parse_fault_plan(config.faults);
+  // And the partition/network flags (the drivers re-parse; validating here
+  // keeps the failure before any work and the message CLI-shaped).
+  (void)runtime::parse_partition_kind(config.partition);
+  if (!config.network.empty()) {
+    (void)arch::parse_network_flag(config.network);
+  }
   // And the obs setting (run_nekbone re-applies it; validating here keeps
   // the failure before any work and the message CLI-shaped).
   if (!obs::configure_from_flag(config.obs, "nekbone_proxy")) {

@@ -14,6 +14,7 @@
 #include <functional>
 #include <vector>
 
+#include "runtime/partition.hpp"
 #include "solver/partition.hpp"
 
 namespace semfpga::arch {
@@ -60,5 +61,43 @@ struct ScalingPoint {
 [[nodiscard]] std::vector<ScalingPoint> weak_scaling(
     const sem::BoxMeshSpec& spec, const DeviceKernelTime& kernel,
     const NetworkSpec& network, const std::vector<int>& rank_counts);
+
+/// One point of the partition-aware cluster projection (the generalized
+/// model behind bench/cluster_projection): per CG iteration the worst rank
+/// pays its kernel time plus the non-overlapped remainder of its halo —
+/// one latency per grid neighbour plus its halo bytes over the link — and
+/// every rank pays two log-tree ordered allreduces.  With `overlap`, the
+/// interior fraction of the kernel time hides halo time (the runtime's
+/// post-surface/compute-interior schedule), and the credit is reported.
+struct ProjectionPoint {
+  int ranks = 1;
+  runtime::GridShape grid;         ///< rank grid the partition chose
+  std::int64_t max_elements = 0;   ///< busiest rank's element count
+  double ax_seconds = 0.0;         ///< worst rank's kernel time
+  double halo_full_seconds = 0.0;  ///< worst rank's halo before overlap
+  double halo_seconds = 0.0;       ///< charged (non-overlapped) halo time
+  double overlap_saved_seconds = 0.0;  ///< halo hidden behind compute
+  double allreduce_seconds = 0.0;  ///< two dot-product reductions
+  double iteration_seconds = 0.0;
+  double speedup = 1.0;   ///< vs the 1-rank iteration time
+  double efficiency = 1.0;
+};
+
+/// Strong scaling: the fixed global box split by partition_blocks(kind)
+/// over each rank count.  rank_counts should start at 1 so speedup and
+/// efficiency are anchored.
+[[nodiscard]] std::vector<ProjectionPoint> projected_strong_scaling(
+    const sem::BoxMeshSpec& spec, const DeviceKernelTime& kernel,
+    const NetworkSpec& network, const std::vector<int>& rank_counts,
+    runtime::PartitionKind partition, bool overlap);
+
+/// Weak scaling: `spec` is the per-rank box; the global box tiles it by
+/// the partition's ideal rank grid, so every rank keeps a constant block
+/// and efficiency = t(1)/t(r) attributes all loss to the halo and the
+/// deepening allreduce tree.
+[[nodiscard]] std::vector<ProjectionPoint> projected_weak_scaling(
+    const sem::BoxMeshSpec& spec, const DeviceKernelTime& kernel,
+    const NetworkSpec& network, const std::vector<int>& rank_counts,
+    runtime::PartitionKind partition, bool overlap);
 
 }  // namespace semfpga::arch

@@ -1,0 +1,107 @@
+#include "arch/network.hpp"
+
+#include <mutex>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace semfpga::arch {
+namespace {
+
+/// Name -> spec, in registration order (the CLI help lists them in order).
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::pair<std::string, NetworkSpec>> entries;
+
+  Registry() {
+    entries.emplace_back("eth-100g", NetworkSpec{1.5, 12.5});
+    entries.emplace_back("eth-10g", NetworkSpec{10.0, 1.25});
+    entries.emplace_back("ib-hdr", NetworkSpec{1.0, 25.0});
+    entries.emplace_back("fpga-serial", NetworkSpec{0.5, 5.0});
+  }
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace
+
+NetworkSpec network(const std::string& name) {
+  {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const auto& [known, spec] : reg.entries) {
+      if (known == name) {
+        return spec;
+      }
+    }
+  }
+  // Build the message outside the lock: known_networks_joined() re-locks.
+  SEMFPGA_CHECK(false, "unknown network '" + name + "' (known: " +
+                           known_networks_joined() + ")");
+  return {};
+}
+
+std::vector<std::string> known_networks() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<std::string> names;
+  names.reserve(reg.entries.size());
+  for (const auto& [name, spec] : reg.entries) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::string known_networks_joined() {
+  std::string joined;
+  for (const std::string& name : known_networks()) {
+    if (!joined.empty()) {
+      joined += '|';
+    }
+    joined += name;
+  }
+  return joined;
+}
+
+void register_network(const std::string& name, const NetworkSpec& spec) {
+  SEMFPGA_CHECK(!name.empty(), "network preset name must not be empty");
+  SEMFPGA_CHECK(spec.latency_us >= 0.0 && spec.bandwidth_gbs > 0.0,
+                "network parameters must be sane");
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto& [known, existing] : reg.entries) {
+    if (known == name) {
+      existing = spec;
+      return;
+    }
+  }
+  reg.entries.emplace_back(name, spec);
+}
+
+NetworkSpec parse_network_flag(const std::string& value) {
+  const std::size_t colon = value.find(':');
+  if (colon == std::string::npos) {
+    return network(value);
+  }
+  const std::string lat = value.substr(0, colon);
+  const std::string bw = value.substr(colon + 1);
+  NetworkSpec spec;
+  std::size_t used_lat = 0;
+  std::size_t used_bw = 0;
+  try {
+    spec.latency_us = std::stod(lat, &used_lat);
+    spec.bandwidth_gbs = std::stod(bw, &used_bw);
+  } catch (const std::exception&) {
+    used_lat = 0;
+  }
+  SEMFPGA_CHECK(used_lat == lat.size() && used_bw == bw.size() && !lat.empty() &&
+                    !bw.empty() && spec.latency_us >= 0.0 && spec.bandwidth_gbs > 0.0,
+                "malformed network '" + value + "': expected a preset (" +
+                    known_networks_joined() + ") or LAT_US:BW_GBS");
+  return spec;
+}
+
+}  // namespace semfpga::arch

@@ -184,6 +184,9 @@ class Backend {
   /// Modeled-time ledger of a cost-charging backend; null on backends that
   /// execute for real only.
   [[nodiscard]] virtual const FpgaTimeline* timeline() const noexcept { return nullptr; }
+  /// Writable ledger for decorators that charge additional modeled terms
+  /// (the network-charging tier); null when the backend keeps no ledger.
+  [[nodiscard]] virtual FpgaTimeline* mutable_timeline() noexcept { return nullptr; }
 };
 
 /// Options of the string factory.

@@ -26,16 +26,14 @@ void DistributedBackend::apply(std::span<const double> u, std::span<double> w) {
 
 void DistributedBackend::apply_unmasked(std::span<const double> u,
                                         std::span<double> w) {
-  rs_.system().apply_unmasked(u, w);
-  rs_.halo().exchange_add(w);
+  rs_.apply_unmasked(u, w);
   if (cost_) {
     cost_->charge_apply(timeline_);
   }
 }
 
 void DistributedBackend::qqt(std::span<double> local) {
-  rs_.system().gs().qqt(local, rs_.system().threads());
-  rs_.halo().exchange_add(local);
+  rs_.qqt(local);
   if (cost_) {
     cost_->charge_gather_scatter(timeline_, rs_.system().gs().n_shared_copies());
   }

@@ -70,6 +70,9 @@ class DistributedBackend final : public Backend {
   [[nodiscard]] const FpgaTimeline* timeline() const noexcept override {
     return cost_ ? &timeline_ : nullptr;
   }
+  [[nodiscard]] FpgaTimeline* mutable_timeline() noexcept override {
+    return cost_ ? &timeline_ : nullptr;
+  }
 
  private:
   runtime::RankSystem& rs_;

@@ -231,6 +231,10 @@ void obs_publish_fpga_timeline(const FpgaTimeline& timeline) {
   if (timeline.pcie_seconds > 0.0) {
     segments.push_back(obs::ModeledSegment{"pcie", timeline.pcie_seconds});
   }
+  if (timeline.network_halo_seconds > 0.0 || timeline.network_allreduce_seconds > 0.0) {
+    segments.push_back(obs::ModeledSegment{
+        "network", timeline.network_halo_seconds + timeline.network_allreduce_seconds});
+  }
   obs::add_modeled_track(obs::thread_rank(), "fpga (modeled)", std::move(segments));
 }
 

@@ -77,8 +77,18 @@ struct FpgaTimeline {
   double clock_mhz = 0.0;
   std::string device;
 
+  /// Modeled cluster-network terms (charged by NetworkChargingBackend on
+  /// top of the device terms above; all zero on single-device solves).
+  std::int64_t network_halo_exchanges = 0;
+  double network_halo_seconds = 0.0;  ///< non-overlapped halo message time
+  double network_allreduce_seconds = 0.0;  ///< log-tree collective latency
+  /// Halo time hidden behind interior compute (informational; already
+  /// subtracted from network_halo_seconds).
+  double network_overlap_saved_seconds = 0.0;
+
   [[nodiscard]] double total_seconds() const noexcept {
-    return operator_seconds + vector_seconds + gather_scatter_seconds + pcie_seconds;
+    return operator_seconds + vector_seconds + gather_scatter_seconds + pcie_seconds +
+           network_halo_seconds + network_allreduce_seconds;
   }
 };
 
@@ -177,6 +187,7 @@ class FpgaSimBackend final : public CpuBackend {
   [[nodiscard]] const FpgaTimeline* timeline() const noexcept override {
     return &timeline_;
   }
+  [[nodiscard]] FpgaTimeline* mutable_timeline() noexcept override { return &timeline_; }
   [[nodiscard]] const FpgaCostModel& cost_model() const noexcept { return cost_; }
 
  private:

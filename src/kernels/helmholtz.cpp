@@ -52,6 +52,13 @@ void helmholtz_run(AxVariant variant, const HelmholtzArgs& args,
                   });
 }
 
+void helmholtz_run_range(AxVariant variant, const HelmholtzArgs& args,
+                         std::size_t e_begin, std::size_t e_end) {
+  args.validate();
+  ax_run_range(variant, args.ax, e_begin, e_end);
+  mass_epilogue(args, e_begin, e_end);
+}
+
 void helmholtz_run_fused(AxVariant variant, const HelmholtzArgs& args,
                          const AxFusedScatter& fused, const AxExecPolicy& policy) {
   args.validate();

@@ -44,6 +44,13 @@ void helmholtz_reference(const HelmholtzArgs& args);
 void helmholtz_run(AxVariant variant, const HelmholtzArgs& args,
                    const AxExecPolicy& policy = {});
 
+/// helmholtz_run restricted to elements [e_begin, e_end), serial on the
+/// calling thread — the range building block of the overlapped distributed
+/// operator.  Bitwise identical per element to helmholtz_run (same engine
+/// range body, same mass epilogue).
+void helmholtz_run_range(AxVariant variant, const HelmholtzArgs& args,
+                         std::size_t e_begin, std::size_t e_end);
+
 /// Fused operator + direct-stiffness sweep of the Helmholtz operator:
 /// w = [mask] QQ^T (A_local u + lambda M u) as one element pass (engine
 /// body, mass epilogue, Dirichlet zeroing, all cache-hot per chunk) plus

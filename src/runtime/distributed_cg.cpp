@@ -2,16 +2,19 @@
 
 #include <algorithm>
 #include <array>
-#include <cmath>
 #include <memory>
+#include <optional>
 #include <utility>
 
+#include "arch/network.hpp"
 #include "backend/distributed_backend.hpp"
+#include "backend/network_backend.hpp"
 #include "common/check.hpp"
 #include "common/timer.hpp"
 #include "obs/obs.hpp"
 #include "runtime/fault.hpp"
-#include "solver/partition.hpp"
+#include "runtime/latency_fabric.hpp"
+#include "runtime/partition.hpp"
 
 namespace semfpga::runtime {
 
@@ -40,13 +43,63 @@ solver::CgResult distributed_cg(RankSystem& rs, std::span<const double> b,
 
 namespace {
 
-/// Global element-local offset of a rank's slab within the gathered x.
-std::size_t slab_offset(const DistributedSolveConfig& config,
-                        const solver::SlabPartition& part, int rank,
-                        std::size_t ppe) {
-  return static_cast<std::size_t>(part.ranks[static_cast<std::size_t>(rank)].z_begin) *
-         static_cast<std::size_t>(config.spec.nelx) *
-         static_cast<std::size_t>(config.spec.nely) * ppe;
+/// Scatter a rank's block-local vector into the global element-local
+/// vector.  Pencil and 3D blocks are not contiguous element ranges of the
+/// global lex order, so rank slices can no longer alias the output the way
+/// the old slab driver did — each rank owns a disjoint element *set*
+/// instead, addressed per element.
+void scatter_elements(std::span<const double> local, std::span<double> global,
+                      std::span<const std::int64_t> element_ids, std::size_t ppe) {
+  for (std::size_t e = 0; e < element_ids.size(); ++e) {
+    std::copy(local.begin() + static_cast<std::ptrdiff_t>(e * ppe),
+              local.begin() + static_cast<std::ptrdiff_t>((e + 1) * ppe),
+              global.begin() + static_cast<std::ptrdiff_t>(
+                                   static_cast<std::size_t>(element_ids[e]) * ppe));
+  }
+}
+
+/// Inverse of scatter_elements: pull this rank's elements out of the
+/// global vector (resilient restarts resume from the committed global x).
+void gather_elements(std::span<const double> global, std::span<double> local,
+                     std::span<const std::int64_t> element_ids, std::size_t ppe) {
+  for (std::size_t e = 0; e < element_ids.size(); ++e) {
+    const auto src = global.begin() + static_cast<std::ptrdiff_t>(
+                                          static_cast<std::size_t>(element_ids[e]) * ppe);
+    std::copy(src, src + static_cast<std::ptrdiff_t>(ppe),
+              local.begin() + static_cast<std::ptrdiff_t>(e * ppe));
+  }
+}
+
+/// Resolve the config's network string once, outside the rank bodies.
+[[nodiscard]] std::optional<arch::NetworkSpec> resolve_network(
+    const std::string& flag) {
+  if (flag.empty()) {
+    return std::nullopt;
+  }
+  return arch::parse_network_flag(flag);
+}
+
+/// One rank's execution backend: the registry backend, wrapped in the
+/// network-charging decorator when a modeled interconnect is configured.
+/// The charge spec comes from the rank's own halo (neighbour count and
+/// exact message doubles), so ledger terms match what the partition-aware
+/// projection model computes for this rank.
+[[nodiscard]] std::unique_ptr<backend::Backend> make_rank_backend(
+    const DistributedSolveConfig& config, RankSystem& rs, int ranks,
+    const std::optional<arch::NetworkSpec>& network) {
+  std::unique_ptr<backend::Backend> be =
+      backend::make_rank(config.backend, rs, config.backend_options);
+  if (network.has_value()) {
+    backend::NetworkChargeSpec ncs;
+    ncs.network = *network;
+    ncs.n_ranks = ranks;
+    ncs.n_neighbors = static_cast<int>(rs.halo().neighbor_ranks().size());
+    ncs.halo_doubles = rs.halo().halo_dofs();
+    ncs.interior_fraction = rs.interior_fraction();
+    ncs.overlap = config.overlap;
+    be = std::make_unique<backend::NetworkChargingBackend>(std::move(be), ncs);
+  }
+  return be;
 }
 
 }  // namespace
@@ -57,21 +110,26 @@ DistributedSolveResult solve_distributed_poisson(const DistributedSolveConfig& c
   backend::require_known_rank(config.backend);
 
   const sem::Mesh global_mesh = sem::box_mesh(config.spec);
-  const solver::SlabPartition part = solver::partition_slabs(config.spec, config.ranks);
-  InProcessFabric fabric(config.ranks, static_cast<std::size_t>(config.spec.nelz),
+  const BlockPartition part =
+      partition_blocks(config.spec, config.ranks, config.partition);
+  const std::size_t global_elements = static_cast<std::size_t>(config.spec.nelx) *
+                                      static_cast<std::size_t>(config.spec.nely) *
+                                      static_cast<std::size_t>(config.spec.nelz);
+  InProcessFabric fabric(config.ranks, global_elements,
                          config.fabric_timeout_seconds);
+  const std::optional<arch::NetworkSpec> network = resolve_network(config.network);
 
   DistributedSolveResult out;
   out.ranks = config.ranks;
   out.threads_per_rank = team_threads(config.threads, config.ranks);
   out.n_local = global_mesh.n_local();
   out.x.assign(out.n_local, 0.0);
-  out.halo_dofs = part.max_halo_bytes() / 8;
+  out.halo_dofs = part.max_halo_doubles();
 
   const std::size_t ppe = global_mesh.points_per_element();
   spmd_run(fabric, config.threads, [&](const RankEnv& env) {
     const RankSystemOptions system_options{config.operator_kind,
-                                           config.helmholtz_lambda};
+                                           config.helmholtz_lambda, config.overlap};
     RankSystem rs(global_mesh, part, env.rank, fabric, env.team_threads,
                   system_options);
     rs.system().set_ax_variant(config.ax_variant);
@@ -85,22 +143,23 @@ DistributedSolveResult solve_distributed_poisson(const DistributedSolveConfig& c
 
     // Each rank executes through its own backend instance, resolved from
     // the rank-backend registry — "fpga-sim" charges modeled time for this
-    // rank's slab on its own modeled device, and custom registered
+    // rank's block on its own modeled device, and custom registered
     // backends plug into the same seam.
     const std::unique_ptr<backend::Backend> be =
-        backend::make_rank(config.backend, rs, config.backend_options);
+        make_rank_backend(config, rs, config.ranks, network);
 
-    // x slices alias the global output vector directly: slabs are
-    // contiguous, disjoint element ranges, so ranks never share a cache
-    // line beyond their (read-only) inputs.
-    const std::size_t offset = slab_offset(config, part, env.rank, ppe);
-    std::span<double> x(out.x.data() + offset, n);
+    aligned_vector<double> xl(n, 0.0);
+    std::span<double> x(xl.data(), n);
 
     fabric.barrier(env.rank);
     Timer timer;
     const solver::CgResult cg =
         distributed_cg(*be, std::span<const double>(b.data(), n), x, config.cg);
     fabric.barrier(env.rank);
+    // Ranks own disjoint element sets; the spmd join orders these writes
+    // before the driver reads out.x.
+    scatter_elements(x, std::span<double>(out.x.data(), out.n_local),
+                     std::span<const std::int64_t>(rs.element_global_ids()), ppe);
     if (env.rank == 0) {
       out.solve_seconds = timer.seconds();
       out.cg = cg;
@@ -122,8 +181,8 @@ namespace {
 /// by a crash landing mid-commit.  The fix is a commit protocol over two
 /// alternating buffers keyed on the checkpoint iteration:
 ///
-///   1. every rank writes its disjoint slice into buffer (it / K) % 2,
-///   2. barrier — all slices visible,
+///   1. every rank scatters its disjoint elements into buffer (it / K) % 2,
+///   2. barrier — all elements visible,
 ///   3. rank 0 alone publishes the {buffer, iteration} marker,
 ///   4. barrier — nobody overwrites a buffer a peer still reads.
 ///
@@ -132,7 +191,7 @@ namespace {
 /// (step 2 proved every slice landed).  Either way the marker always
 /// names a consistent global x.  The driver reads the committed state
 /// after spmd_run returns (thread join orders the reads; no atomics
-/// needed, and the slices are disjoint — TSan-clean).
+/// needed, and the element sets are disjoint — TSan-clean).
 class GlobalCheckpoint {
  public:
   GlobalCheckpoint(std::size_t n_global, int checkpoint_every)
@@ -140,14 +199,17 @@ class GlobalCheckpoint {
         buffers_{aligned_vector<double>(n_global, 0.0),
                  aligned_vector<double>(n_global, 0.0)} {}
 
-  /// Collective commit of one rank's slice at global iteration `iteration`.
+  /// Collective commit of one rank's elements at global iteration
+  /// `iteration`.
   void commit(Fabric& fabric, int rank, int iteration,
-              std::span<const double> slice, std::size_t offset) {
+              std::span<const double> slice,
+              std::span<const std::int64_t> element_ids, std::size_t ppe) {
     OBS_SPAN("checkpoint.commit");
     const std::size_t which =
         static_cast<std::size_t>(iteration / every_) % buffers_.size();
-    std::copy(slice.begin(), slice.end(),
-              buffers_[which].begin() + static_cast<std::ptrdiff_t>(offset));
+    scatter_elements(slice,
+                     std::span<double>(buffers_[which].data(), buffers_[which].size()),
+                     element_ids, ppe);
     fabric.barrier(rank);
     if (rank == 0) {
       committed_which_ = which;
@@ -185,6 +247,10 @@ ResilientSolveResult solve_distributed_resilient(const ResilientSolveConfig& con
   const sem::Mesh global_mesh = sem::box_mesh(config.base.spec);
   const std::size_t n_global = global_mesh.n_local();
   const std::size_t ppe = global_mesh.points_per_element();
+  const std::size_t global_elements = static_cast<std::size_t>(base.spec.nelx) *
+                                      static_cast<std::size_t>(base.spec.nely) *
+                                      static_cast<std::size_t>(base.spec.nelz);
+  const std::optional<arch::NetworkSpec> network = resolve_network(base.network);
 
   FaultInjector injector(parse_fault_plan(config.faults));
   // An unscripted stall must outlive every peer's deadline, or it would
@@ -212,11 +278,21 @@ ResilientSolveResult solve_distributed_resilient(const ResilientSolveConfig& con
   };
 
   for (;;) {
-    const solver::SlabPartition part = solver::partition_slabs(base.spec, ranks);
-    InProcessFabric fabric(ranks, static_cast<std::size_t>(base.spec.nelz),
-                           base.fabric_timeout_seconds);
+    const BlockPartition part = partition_blocks(base.spec, ranks, base.partition);
+    InProcessFabric fabric(ranks, global_elements, base.fabric_timeout_seconds);
     fabric.set_fault_injector(injector.empty() ? nullptr : &injector);
     injector.begin_attempt(ranks, iterations_done);
+
+    // Scripted delay@ faults are link latency, not injector sleeps: the
+    // LatencyFabric decorator charges them at the send seam, the same seam
+    // a modeled interconnect would use (satellite: fault.cpp no longer
+    // sleeps inline).  Fault-free solves keep the undecorated fabric so
+    // the bitwise-vs-plain contract is trivially overhead-free.
+    LatencyFabric latency(fabric);
+    if (!injector.empty()) {
+      latency.add_policy(std::make_unique<FaultDelayPolicy>(injector));
+    }
+    Fabric& fab = injector.empty() ? static_cast<Fabric&>(fabric) : latency;
 
     GlobalCheckpoint gck(n_global, config.checkpoint_every);
     std::copy(best_x.begin(), best_x.end(), out.solve.x.begin());
@@ -236,25 +312,30 @@ ResilientSolveResult solve_distributed_resilient(const ResilientSolveConfig& con
     solver::ResilienceReport attempt_report;
     double attempt_modeled = 0.0;
     try {
-      spmd_run(fabric, base.threads, [&](const RankEnv& env) {
+      spmd_run(fab, base.threads, [&](const RankEnv& env) {
         const RankSystemOptions system_options{base.operator_kind,
-                                               base.helmholtz_lambda};
-        RankSystem rs(global_mesh, part, env.rank, fabric, env.team_threads,
+                                               base.helmholtz_lambda, base.overlap};
+        RankSystem rs(global_mesh, part, env.rank, *env.fabric, env.team_threads,
                       system_options);
         rs.system().set_ax_variant(base.ax_variant);
         rs.system().set_fused(base.fused);
 
         const std::size_t n = rs.n_local();
+        const std::span<const std::int64_t> ids(rs.element_global_ids());
         aligned_vector<double> f(n);
         aligned_vector<double> b(n);
         rs.sample(base.forcing, std::span<double>(f.data(), n));
         rs.assemble_rhs(std::span<const double>(f.data(), n),
                         std::span<double>(b.data(), n));
         const std::unique_ptr<backend::Backend> be =
-            backend::make_rank(base.backend, rs, base.backend_options);
+            make_rank_backend(base, rs, ranks, network);
 
-        const std::size_t offset = slab_offset(base, part, env.rank, ppe);
-        std::span<double> x(out.solve.x.data() + offset, n);
+        // Resume from the committed global x (best_x was copied into
+        // out.solve.x above; a fresh solve starts from zeros).
+        aligned_vector<double> xl(n, 0.0);
+        gather_elements(std::span<const double>(out.solve.x.data(), n_global),
+                        std::span<double>(xl.data(), n), ids, ppe);
+        std::span<double> x(xl.data(), n);
 
         solver::ResilientCgOptions rc;
         rc.cg = base.cg;
@@ -268,15 +349,17 @@ ResilientSolveResult solve_distributed_resilient(const ResilientSolveConfig& con
         rc.iteration_offset = iterations_done;
         rc.injector = injector.empty() ? nullptr : &injector;
         rc.on_checkpoint = [&](const solver::CgCheckpoint& ckpt) {
-          gck.commit(fabric, env.rank, iterations_done + ckpt.iteration,
-                     std::span<const double>(ckpt.x.data(), ckpt.x.size()), offset);
+          gck.commit(*env.fabric, env.rank, iterations_done + ckpt.iteration,
+                     std::span<const double>(ckpt.x.data(), ckpt.x.size()), ids, ppe);
         };
 
-        fabric.barrier(env.rank);
+        env.fabric->barrier(env.rank);
         Timer timer;
         const solver::ResilientCgResult solved = solver::solve_cg_resilient(
             *be, std::span<const double>(b.data(), n), x, rc);
-        fabric.barrier(env.rank);
+        env.fabric->barrier(env.rank);
+        scatter_elements(x, std::span<double>(out.solve.x.data(), n_global), ids,
+                         ppe);
         if (env.rank == 0) {
           out.solve.solve_seconds += timer.seconds();
           attempt_cg = solved.cg;
@@ -356,7 +439,7 @@ ResilientSolveResult solve_distributed_resilient(const ResilientSolveConfig& con
     out.solve.cg.iterations += iterations_done;
     out.solve.ranks = ranks;
     out.solve.threads_per_rank = team_threads(base.threads, ranks);
-    out.solve.halo_dofs = part.max_halo_bytes() / 8;
+    out.solve.halo_dofs = part.max_halo_doubles();
     out.solve.modeled_seconds = attempt_modeled;
     out.final_ranks = ranks;
     return out;

@@ -14,9 +14,9 @@
 ///
 /// `distributed_cg` is the rank-level loop (call it from inside an
 /// spmd_run body, one RankSystem per rank); `solve_distributed_poisson`
-/// is the whole-problem driver: partition, launch the rank team, assemble
-/// the forcing, solve, and gather the slab solutions into one global
-/// vector.
+/// is the whole-problem driver: partition (slabs, pencils or 3D blocks),
+/// launch the rank team, assemble the forcing, solve, and scatter the
+/// per-rank block solutions into one global vector.
 
 #include <functional>
 #include <string>
@@ -52,11 +52,26 @@ namespace semfpga::runtime {
 /// Whole-problem configuration of the distributed solve (Poisson by
 /// default; the BK5 Helmholtz operator via `operator_kind`).
 struct DistributedSolveConfig {
-  sem::BoxMeshSpec spec;          ///< global box (spec.nelz >= ranks)
-  int ranks = 1;                  ///< z-slab ranks (one thread team each)
+  sem::BoxMeshSpec spec;          ///< global box (must fit `partition` at `ranks`)
+  int ranks = 1;                  ///< grid ranks (one thread team each)
   int threads = 1;                ///< total thread budget, split across ranks
   kernels::AxVariant ax_variant = kernels::AxVariant::kFixed;
   bool fused = true;              ///< fused qqt-in-operator sweep per rank
+  /// How the global box splits across the ranks: z-slabs (the historical
+  /// decomposition), x/y pencils, or full 3D blocks.  Bitwise identical
+  /// solution and residual history for every kind (the raw-copy halo
+  /// replays the canonical fold).
+  PartitionKind partition = PartitionKind::kSlab;
+  /// Post halo messages right after each rank's surface elements and
+  /// compute the interior while they fly.  Bitwise identical either way.
+  bool overlap = false;
+  /// Modeled interconnect, "" = none.  A preset name (arch::known_networks:
+  /// "eth-100g", ...) or inline "LAT_US:BW_GBS".  When set, each rank's
+  /// backend is wrapped in a backend::NetworkChargingBackend, so
+  /// DistributedSolveResult::modeled_seconds includes the network terms
+  /// (halo latency+bytes, log-tree allreduces, minus the overlap credit).
+  /// Numerics are untouched.
+  std::string network;
   /// Operator each rank assembles over its slab: kPoisson, or kHelmholtz
   /// with mass coefficient `helmholtz_lambda` (the distributed BK5 solve;
   /// the interface-corrected Jacobi diagonal picks up the mass term, and
@@ -98,11 +113,12 @@ struct DistributedSolveResult {
   double modeled_seconds = 0.0;
 };
 
-/// Builds the global mesh, partitions it into z-slabs, runs the rank team
-/// and returns the gathered solution.  Bitwise identical to the
-/// single-rank system + solve_cg path for any ranks/threads, for the
-/// Poisson and the Helmholtz operator alike (the name predates the
-/// operator_kind knob; it is the whole-problem driver for both).
+/// Builds the global mesh, partitions it by `config.partition`, runs the
+/// rank team and returns the gathered solution.  Bitwise identical to the
+/// single-rank system + solve_cg path for any partition × ranks × threads
+/// × overlap combination, for the Poisson and the Helmholtz operator alike
+/// (the name predates the operator_kind knob; it is the whole-problem
+/// driver for both).
 [[nodiscard]] DistributedSolveResult solve_distributed_poisson(
     const DistributedSolveConfig& config);
 

@@ -228,4 +228,26 @@ double InProcessFabric::allreduce_ordered(int rank, std::size_t slot_begin,
   return result;
 }
 
+double InProcessFabric::allreduce_ordered(int rank,
+                                          std::span<const std::int64_t> slots,
+                                          std::span<const double> contribution) {
+  OBS_SPAN("fabric.allreduce");
+  SEMFPGA_CHECK(slots.size() == contribution.size(),
+                "allreduce slot list and contribution must have equal length");
+  if (injector_ != nullptr) {
+    injector_->on_collective(rank);
+  }
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const auto s = static_cast<std::size_t>(slots[i]);
+    SEMFPGA_CHECK(s < slots_.size(), "allreduce slot index out of range");
+    slots_[s] = contribution[i];
+  }
+  barrier_at(rank, "allreduce");  // all contributions visible
+  thread_local std::vector<double> fold;
+  fold.assign(slots_.begin(), slots_.end());
+  const double result = tree_fold(fold);
+  barrier_at(rank, "allreduce");  // nobody re-posts slots while a rank is still reading
+  return result;
+}
+
 }  // namespace semfpga::runtime

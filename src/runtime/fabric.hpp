@@ -112,9 +112,17 @@ class Fabric {
   /// ranks' ranges must tile the fixed slot vector exactly.  Every rank
   /// receives tree_fold(slots) — the same fixed-association fold the
   /// single-rank segmented_reduce computes, so the result is bitwise
-  /// independent of the rank count.  The solver contributes one slot per z
-  /// element layer.
+  /// independent of the rank count.
   virtual double allreduce_ordered(int rank, std::size_t slot_begin,
+                                   std::span<const double> contribution) = 0;
+
+  /// Indexed variant for non-contiguous rank ownership: contribution[i]
+  /// lands in global slot slots[i].  Pencil/3D block partitions own one
+  /// slot per *global element*, and a block's elements are strided in the
+  /// global element order — the contiguous variant cannot express that.
+  /// Same tiling contract (the ranks' slot lists are disjoint and cover
+  /// the slot vector), same bitwise-canonical tree fold.
+  virtual double allreduce_ordered(int rank, std::span<const std::int64_t> slots,
                                    std::span<const double> contribution) = 0;
 };
 
@@ -127,7 +135,8 @@ class InProcessFabric final : public Fabric {
   static constexpr double kDefaultTimeoutSeconds = 30.0;
 
   /// \param n_ranks          ranks sharing the fabric
-  /// \param reduce_slots     length of the allreduce slot vector (z layers)
+  /// \param reduce_slots     length of the allreduce slot vector (the
+  ///                         solver passes the global element count)
   /// \param timeout_seconds  per-blocking-call deadline; <= 0 waits forever
   InProcessFabric(int n_ranks, std::size_t reduce_slots,
                   double timeout_seconds = kDefaultTimeoutSeconds);
@@ -138,6 +147,8 @@ class InProcessFabric final : public Fabric {
   void recv(int from, int to, std::span<double> out) override;
   void barrier(int rank) override;
   double allreduce_ordered(int rank, std::size_t slot_begin,
+                           std::span<const double> contribution) override;
+  double allreduce_ordered(int rank, std::span<const std::int64_t> slots,
                            std::span<const double> contribution) override;
 
   [[nodiscard]] double timeout_seconds() const noexcept { return timeout_seconds_; }

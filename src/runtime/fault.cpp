@@ -258,19 +258,14 @@ bool FaultInjector::on_send(int from, int to, std::span<double> payload) {
   const int iteration = r < iterations_.size() ? iterations_[r] : 0;
   bool deliver = true;
   for (std::size_t i = 0; i < specs_.size(); ++i) {
-    if (!fire(i, FaultSite::kHaloSend, from, iteration)) {
+    // delay@ specs belong to the latency seam (take_send_delay); skipping
+    // them here keeps them unclaimed for the LatencyFabric decorator.
+    if (specs_[i].kind == FaultKind::kDelay ||
+        !fire(i, FaultSite::kHaloSend, from, iteration)) {
       continue;
     }
     const FaultSpec& spec = specs_[i];
     switch (spec.kind) {
-      case FaultKind::kDelay: {
-        const double seconds = spec.seconds > 0.0 ? spec.seconds : default_delay_seconds_;
-        record(spec, iteration,
-               "delayed send to r" + std::to_string(to) + " by " +
-                   std::to_string(seconds) + "s");
-        sleep_seconds(seconds);
-        break;
-      }
       case FaultKind::kDrop:
         record(spec, iteration, "dropped send to r" + std::to_string(to));
         deliver = false;
@@ -299,13 +294,32 @@ bool FaultInjector::on_send(int from, int to, std::span<double> payload) {
                "flipped exponent bit in payload to r" + std::to_string(to));
         break;
       case FaultKind::kCrash:
+      case FaultKind::kDelay:
       case FaultKind::kStall:
       case FaultKind::kTimeout:
       case FaultKind::kReject:
-        break;  // never armed for this site
+        break;  // never handled here (delay lives on the latency seam)
     }
   }
   return deliver;
+}
+
+double FaultInjector::take_send_delay(int from, int to) {
+  const auto r = static_cast<std::size_t>(from);
+  const int iteration = r < iterations_.size() ? iterations_[r] : 0;
+  double seconds = 0.0;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].kind != FaultKind::kDelay ||
+        !fire(i, FaultSite::kHaloSend, from, iteration)) {
+      continue;
+    }
+    const double s =
+        specs_[i].seconds > 0.0 ? specs_[i].seconds : default_delay_seconds_;
+    record(specs_[i], iteration,
+           "delayed send to r" + std::to_string(to) + " by " + std::to_string(s) + "s");
+    seconds += s;
+  }
+  return seconds;
 }
 
 void FaultInjector::on_collective(int rank) {

@@ -16,8 +16,12 @@
 ///
 ///     crash@r2:i5        rank 2 throws InjectedRankFailure after finishing
 ///                        CG iteration 5 (fires in the rank body)
-///     delay@r0:i3        rank 0's first halo send after iteration 3 sleeps
-///                        (default 0.02 s; override with :s0.5)
+///     delay@r0:i3        rank 0's first halo send after iteration 3 is
+///                        delayed (default 0.02 s; override with :s0.5).
+///                        Injected as link latency by the LatencyFabric
+///                        decorator (runtime::FaultDelayPolicy), the same
+///                        seam the modeled-network policy charges — not an
+///                        inline sleep in the send hook
 ///     drop@r1:i4         rank 1's first halo send after iteration 4 is
 ///                        silently discarded (the receiver's bounded wait
 ///                        turns the loss into a FabricTimeoutError)
@@ -132,9 +136,18 @@ class FaultInjector {
   /// fault is due on `rank`.
   void on_iteration(int rank, int iteration);
 
-  /// Halo-send hook.  May sleep (delay), corrupt `payload` in place
-  /// (nan/bitflip), or return false to drop the message entirely.
+  /// Halo-send hook.  May corrupt `payload` in place (nan/bitflip) or
+  /// return false to drop the message entirely.  delay@ faults are not
+  /// consumed here — they are link-latency policies claimed through
+  /// take_send_delay() by the LatencyFabric decorator.
   [[nodiscard]] bool on_send(int from, int to, std::span<double> payload);
+
+  /// Latency-policy hook (runtime::FaultDelayPolicy): claims every due
+  /// delay@ fault on `from`'s next halo send, records the firing, and
+  /// returns the seconds to inject (0 when none is due).  The sleep itself
+  /// happens in the LatencyFabric decorator — delay is modeled as link
+  /// latency, the same seam the network model charges.
+  [[nodiscard]] double take_send_delay(int from, int to);
 
   /// Allreduce-entry hook; sleeps when a stall fault is due on `rank`.
   void on_collective(int rank);

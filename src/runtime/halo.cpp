@@ -1,102 +1,371 @@
 #include "runtime/halo.hpp"
 
+#include <algorithm>
+#include <array>
+#include <map>
+#include <tuple>
+#include <utility>
+
 #include "common/check.hpp"
+#include "obs/obs.hpp"
 
 namespace semfpga::runtime {
+namespace {
 
-PlaneSchedule build_plane_schedule(const sem::Mesh& slab,
-                                   const solver::GatherScatter& gs, bool top) {
-  const sem::BoxMeshSpec& spec = slab.spec();
-  const std::int64_t gx = static_cast<std::int64_t>(spec.nelx) * spec.degree + 1;
-  const std::int64_t gy = static_cast<std::int64_t>(spec.nely) * spec.degree + 1;
-  const std::int64_t plane = gx * gy;
-  // Slab-global ids are lattice-ordered with z outermost, so a lattice
-  // plane is one contiguous id range: the first `plane` ids (bottom) or the
-  // last (top).
-  const std::int64_t id_begin =
-      top ? static_cast<std::int64_t>(gs.n_global()) - plane : 0;
+/// Elements of [e_begin, e_end) adjacent to lattice coordinate g on one
+/// axis (element e covers lattice [e*deg, (e+1)*deg] inclusive) — at most
+/// two, ascending.
+std::array<int, 2> adjacent_elements(std::int64_t g, int deg, int e_begin,
+                                     int e_end, int& count) {
+  std::array<int, 2> out{0, 0};
+  count = 0;
+  const auto e = static_cast<int>(g / deg);
+  if (g % deg == 0 && e - 1 >= e_begin && e - 1 < e_end) {
+    out[static_cast<std::size_t>(count++)] = e - 1;
+  }
+  if (e >= e_begin && e < e_end) {
+    out[static_cast<std::size_t>(count++)] = e;
+  }
+  return out;
+}
 
-  PlaneSchedule sched;
-  sched.pack_positions.reserve(static_cast<std::size_t>(plane));
-  sched.copy_offsets.reserve(static_cast<std::size_t>(plane) + 1);
-  sched.copy_offsets.push_back(0);
+/// Remainder-first split begin (same rule as partition_blocks).
+int split_begin(int extent, int parts, int index) {
+  const int base = extent / parts;
+  const int extra = extent % parts;
+  return index * base + std::min(index, extra);
+}
+
+}  // namespace
+
+BlockHalo::BlockHalo(const BlockPartition& part, int rank, const sem::Mesh& local,
+                     const solver::GatherScatter& gs, Fabric& fabric)
+    : fabric_(fabric), rank_(rank) {
+  SEMFPGA_CHECK(part.n_ranks == fabric.n_ranks(),
+                "partition and fabric disagree on the rank count");
+  const sem::BoxMeshSpec& spec = part.spec;
+  const int deg = spec.degree;
+  const RankBlock& b = part.ranks.at(static_cast<std::size_t>(rank));
+  SEMFPGA_CHECK(local.spec().nelx == b.x_end - b.x_begin &&
+                    local.spec().nely == b.y_end - b.y_begin &&
+                    local.spec().nelz == b.z_end - b.z_begin,
+                "local mesh does not match the rank's block");
+
+  const int bx = rank % part.px;
+  const int by = (rank / part.px) % part.py;
+  const int bz = rank / (part.px * part.py);
+
+  // Element index -> grid cell, per axis (setup-only lookup tables).
+  const auto cell_table = [](int extent, int parts) {
+    std::vector<int> cell(static_cast<std::size_t>(extent));
+    for (int p = 0; p < parts; ++p) {
+      for (int e = split_begin(extent, parts, p);
+           e < split_begin(extent, parts, p + 1); ++e) {
+        cell[static_cast<std::size_t>(e)] = p;
+      }
+    }
+    return cell;
+  };
+  const std::vector<int> cell_x = cell_table(spec.nelx, part.px);
+  const std::vector<int> cell_y = cell_table(spec.nely, part.py);
+  const std::vector<int> cell_z = cell_table(spec.nelz, part.pz);
+
+  // My dof box (inclusive lattice coordinates) and local lattice extents.
+  const std::array<std::int64_t, 3> my_lo{
+      static_cast<std::int64_t>(b.x_begin) * deg,
+      static_cast<std::int64_t>(b.y_begin) * deg,
+      static_cast<std::int64_t>(b.z_begin) * deg};
+  const std::array<std::int64_t, 3> my_hi{
+      static_cast<std::int64_t>(b.x_end) * deg,
+      static_cast<std::int64_t>(b.y_end) * deg,
+      static_cast<std::int64_t>(b.z_end) * deg};
+  const std::int64_t lgx = static_cast<std::int64_t>(b.x_end - b.x_begin) * deg + 1;
+  const std::int64_t lgy = static_cast<std::int64_t>(b.y_end - b.y_begin) * deg + 1;
+
   const auto& offsets = gs.gather_offsets();
   const auto& positions = gs.gather_positions();
-  for (std::int64_t g = id_begin; g < id_begin + plane; ++g) {
-    const std::int64_t row_begin = offsets[static_cast<std::size_t>(g)];
-    const std::int64_t row_end = offsets[static_cast<std::size_t>(g) + 1];
-    SEMFPGA_CHECK(row_end > row_begin, "interface-plane DOF has no local copy");
-    sched.pack_positions.push_back(positions[static_cast<std::size_t>(row_begin)]);
+  const auto local_row = [&](std::int64_t gi, std::int64_t gj, std::int64_t gk) {
+    const std::int64_t lgid =
+        (gi - my_lo[0]) + lgx * ((gj - my_lo[1]) + lgy * (gk - my_lo[2]));
+    return std::pair<std::int64_t, std::int64_t>(
+        offsets[static_cast<std::size_t>(lgid)],
+        offsets[static_cast<std::size_t>(lgid) + 1]);
+  };
+
+  // Grid neighbours in (dz, dy, dx) lex order == ascending neighbour rank.
+  struct Neighbor {
+    int rank;
+    const RankBlock* block;
+    std::array<std::int64_t, 3> lo, hi;  ///< dof-box intersection, inclusive
+  };
+  std::vector<Neighbor> nbs;
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        const int cx = bx + dx, cy = by + dy, cz = bz + dz;
+        if (cx < 0 || cx >= part.px || cy < 0 || cy >= part.py || cz < 0 ||
+            cz >= part.pz) {
+          continue;
+        }
+        Neighbor nb;
+        nb.rank = (cz * part.py + cy) * part.px + cx;
+        nb.block = &part.ranks.at(static_cast<std::size_t>(nb.rank));
+        const std::array<std::int64_t, 3> nlo{
+            static_cast<std::int64_t>(nb.block->x_begin) * deg,
+            static_cast<std::int64_t>(nb.block->y_begin) * deg,
+            static_cast<std::int64_t>(nb.block->z_begin) * deg};
+        const std::array<std::int64_t, 3> nhi{
+            static_cast<std::int64_t>(nb.block->x_end) * deg,
+            static_cast<std::int64_t>(nb.block->y_end) * deg,
+            static_cast<std::int64_t>(nb.block->z_end) * deg};
+        for (int a = 0; a < 3; ++a) {
+          nb.lo[static_cast<std::size_t>(a)] =
+              std::max(my_lo[static_cast<std::size_t>(a)],
+                       nlo[static_cast<std::size_t>(a)]);
+          nb.hi[static_cast<std::size_t>(a)] =
+              std::min(my_hi[static_cast<std::size_t>(a)],
+                       nhi[static_cast<std::size_t>(a)]);
+          SEMFPGA_CHECK(nb.lo[static_cast<std::size_t>(a)] <=
+                            nb.hi[static_cast<std::size_t>(a)],
+                        "grid neighbours must share a lattice box");
+        }
+        nbs.push_back(nb);
+      }
+    }
+  }
+
+  // Send schedules: per neighbour, rows of the shared box ascending by
+  // global lattice id, my copies per row in ascending local position (=
+  // my elements in global lex) order.
+  send_offsets_.push_back(0);
+  for (const Neighbor& nb : nbs) {
+    neighbors_.push_back(nb.rank);
+    for (std::int64_t gk = nb.lo[2]; gk <= nb.hi[2]; ++gk) {
+      for (std::int64_t gj = nb.lo[1]; gj <= nb.hi[1]; ++gj) {
+        for (std::int64_t gi = nb.lo[0]; gi <= nb.hi[0]; ++gi) {
+          const auto [row_begin, row_end] = local_row(gi, gj, gk);
+          for (std::int64_t k = row_begin; k < row_end; ++k) {
+            send_positions_.push_back(positions[static_cast<std::size_t>(k)]);
+          }
+        }
+      }
+    }
+    send_offsets_.push_back(static_cast<std::int64_t>(send_positions_.size()));
+    send_sizes_.push_back(send_offsets_.back() -
+                          send_offsets_[send_offsets_.size() - 2]);
+  }
+
+  // Simulated receive layouts: the flat index each (row, sender element)
+  // pair occupies in neighbour k's message — the same arithmetic the
+  // sender's own schedule build performs, so no negotiation is needed.
+  std::vector<std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t>> layout(
+      nbs.size());
+  for (std::size_t k = 0; k < nbs.size(); ++k) {
+    const Neighbor& nb = nbs[k];
+    std::int64_t flat = 0;
+    for (std::int64_t gk = nb.lo[2]; gk <= nb.hi[2]; ++gk) {
+      int ncz = 0;
+      const auto ezs =
+          adjacent_elements(gk, deg, nb.block->z_begin, nb.block->z_end, ncz);
+      for (std::int64_t gj = nb.lo[1]; gj <= nb.hi[1]; ++gj) {
+        int ncy = 0;
+        const auto eys =
+            adjacent_elements(gj, deg, nb.block->y_begin, nb.block->y_end, ncy);
+        for (std::int64_t gi = nb.lo[0]; gi <= nb.hi[0]; ++gi) {
+          int ncx = 0;
+          const auto exs =
+              adjacent_elements(gi, deg, nb.block->x_begin, nb.block->x_end, ncx);
+          const std::int64_t row_gid =
+              gi + (static_cast<std::int64_t>(spec.nelx) * deg + 1) *
+                       (gj + (static_cast<std::int64_t>(spec.nely) * deg + 1) * gk);
+          for (int iz = 0; iz < ncz; ++iz) {
+            for (int iy = 0; iy < ncy; ++iy) {
+              for (int ix = 0; ix < ncx; ++ix) {
+                const std::int64_t elem =
+                    (static_cast<std::int64_t>(ezs[static_cast<std::size_t>(iz)]) *
+                         spec.nely +
+                     eys[static_cast<std::size_t>(iy)]) *
+                        spec.nelx +
+                    exs[static_cast<std::size_t>(ix)];
+                layout[k][{row_gid, elem}] = flat++;
+              }
+            }
+          }
+        }
+      }
+    }
+    recv_bufs_.emplace_back(static_cast<std::size_t>(flat));
+  }
+
+  // Fold rows: every lattice row I share with at least one neighbour, in
+  // ascending global id order.
+  std::vector<std::tuple<std::int64_t, std::int64_t, std::int64_t>> rows;
+  for (const Neighbor& nb : nbs) {
+    for (std::int64_t gk = nb.lo[2]; gk <= nb.hi[2]; ++gk) {
+      for (std::int64_t gj = nb.lo[1]; gj <= nb.hi[1]; ++gj) {
+        for (std::int64_t gi = nb.lo[0]; gi <= nb.hi[0]; ++gi) {
+          rows.emplace_back(gk, gj, gi);
+        }
+      }
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+
+  // Fold programs: every copy of the row across the global mesh, in global
+  // element (ez, ey, ex) lex order — my copies resolve to the stage, a
+  // neighbour's to its simulated message layout.
+  std::map<int, std::size_t> rank_to_neighbor;
+  for (std::size_t k = 0; k < nbs.size(); ++k) {
+    rank_to_neighbor[nbs[k].rank] = k;
+  }
+  stage_offsets_.push_back(0);
+  entry_offsets_.push_back(0);
+  const std::int64_t gx_lat = static_cast<std::int64_t>(spec.nelx) * deg + 1;
+  const std::int64_t gy_lat = static_cast<std::int64_t>(spec.nely) * deg + 1;
+  for (const auto& [gk, gj, gi] : rows) {
+    const std::int64_t stage_row_begin =
+        static_cast<std::int64_t>(stage_positions_.size());
+    const auto [row_begin, row_end] = local_row(gi, gj, gk);
     for (std::int64_t k = row_begin; k < row_end; ++k) {
-      sched.copy_positions.push_back(positions[static_cast<std::size_t>(k)]);
+      stage_positions_.push_back(positions[static_cast<std::size_t>(k)]);
     }
-    sched.copy_offsets.push_back(static_cast<std::int64_t>(sched.copy_positions.size()));
-  }
-  return sched;
-}
+    stage_offsets_.push_back(static_cast<std::int64_t>(stage_positions_.size()));
 
-HaloExchange::HaloExchange(const sem::Mesh& slab, const solver::GatherScatter& gs,
-                           Fabric& fabric, int rank)
-    : fabric_(fabric), rank_(rank) {
-  has_below_ = rank > 0;
-  has_above_ = rank < fabric.n_ranks() - 1;
-  if (has_below_) {
-    bottom_ = build_plane_schedule(slab, gs, /*top=*/false);
-    send_down_.resize(bottom_.n_plane_dofs());
-    recv_down_.resize(bottom_.n_plane_dofs());
-  }
-  if (has_above_) {
-    top_ = build_plane_schedule(slab, gs, /*top=*/true);
-    send_up_.resize(top_.n_plane_dofs());
-    recv_up_.resize(top_.n_plane_dofs());
-  }
-}
-
-std::int64_t HaloExchange::halo_dofs() const noexcept {
-  return static_cast<std::int64_t>(has_below_ ? bottom_.n_plane_dofs() : 0) +
-         static_cast<std::int64_t>(has_above_ ? top_.n_plane_dofs() : 0);
-}
-
-void HaloExchange::exchange_add(std::span<double> field) {
-  // Post both sends before either receive: each edge holds at most one
-  // message and the previous phase consumed it, so the sends never block
-  // and the neighbour pairing cannot deadlock.
-  if (has_below_) {
-    for (std::size_t i = 0; i < bottom_.n_plane_dofs(); ++i) {
-      send_down_[i] = field[static_cast<std::size_t>(bottom_.pack_positions[i])];
-    }
-    fabric_.send(rank_, rank_ - 1, send_down_);
-  }
-  if (has_above_) {
-    for (std::size_t i = 0; i < top_.n_plane_dofs(); ++i) {
-      send_up_[i] = field[static_cast<std::size_t>(top_.pack_positions[i])];
-    }
-    fabric_.send(rank_, rank_ + 1, send_up_);
-  }
-  if (has_below_) {
-    fabric_.recv(rank_ - 1, rank_, recv_down_);
-    // This rank sits *above* the bottom plane: canonical order is
-    // (neighbour's below-partial) + (my above-partial).
-    for (std::size_t i = 0; i < bottom_.n_plane_dofs(); ++i) {
-      const double sum =
-          recv_down_[i] + field[static_cast<std::size_t>(bottom_.pack_positions[i])];
-      for (std::int64_t k = bottom_.copy_offsets[i]; k < bottom_.copy_offsets[i + 1];
-           ++k) {
-        field[static_cast<std::size_t>(
-            bottom_.copy_positions[static_cast<std::size_t>(k)])] = sum;
+    const std::int64_t row_gid = gi + gx_lat * (gj + gy_lat * gk);
+    std::int64_t my_count = 0;
+    std::int64_t first_ez = -1;
+    std::int64_t split = -1;
+    std::int64_t row_len = 0;
+    int ncz = 0, ncy = 0, ncx = 0;
+    const auto ezs = adjacent_elements(gk, deg, 0, spec.nelz, ncz);
+    const auto eys = adjacent_elements(gj, deg, 0, spec.nely, ncy);
+    const auto exs = adjacent_elements(gi, deg, 0, spec.nelx, ncx);
+    for (int iz = 0; iz < ncz; ++iz) {
+      const int ez = ezs[static_cast<std::size_t>(iz)];
+      for (int iy = 0; iy < ncy; ++iy) {
+        const int ey = eys[static_cast<std::size_t>(iy)];
+        for (int ix = 0; ix < ncx; ++ix) {
+          const int ex = exs[static_cast<std::size_t>(ix)];
+          const int owner =
+              (cell_z[static_cast<std::size_t>(ez)] * part.py +
+               cell_y[static_cast<std::size_t>(ey)]) *
+                  part.px +
+              cell_x[static_cast<std::size_t>(ex)];
+          if (first_ez < 0) {
+            first_ez = ez;
+          } else if (split < 0 && ez != first_ez) {
+            split = row_len;
+          }
+          if (owner == rank) {
+            entry_source_.push_back(-1);
+            entry_index_.push_back(stage_row_begin + my_count++);
+          } else {
+            const auto it = rank_to_neighbor.find(owner);
+            SEMFPGA_CHECK(it != rank_to_neighbor.end(),
+                          "shared-row copy owned by a non-neighbour rank");
+            const std::int64_t elem =
+                (static_cast<std::int64_t>(ez) * spec.nely + ey) * spec.nelx + ex;
+            const auto flat = layout[it->second].find({row_gid, elem});
+            SEMFPGA_CHECK(flat != layout[it->second].end(),
+                          "neighbour message layout is missing a shared copy");
+            entry_source_.push_back(static_cast<std::int32_t>(it->second));
+            entry_index_.push_back(flat->second);
+          }
+          ++row_len;
+        }
       }
     }
+    SEMFPGA_CHECK(my_count == stage_offsets_.back() - stage_row_begin,
+                  "fold program must consume every local copy of the row");
+    entry_split_.push_back(split < 0 ? row_len : split);
+    entry_offsets_.push_back(static_cast<std::int64_t>(entry_source_.size()));
   }
-  if (has_above_) {
-    fabric_.recv(rank_ + 1, rank_, recv_up_);
-    // This rank sits *below* the top plane: (my below-partial) + theirs.
-    for (std::size_t i = 0; i < top_.n_plane_dofs(); ++i) {
-      const double sum =
-          field[static_cast<std::size_t>(top_.pack_positions[i])] + recv_up_[i];
-      for (std::int64_t k = top_.copy_offsets[i]; k < top_.copy_offsets[i + 1]; ++k) {
-        field[static_cast<std::size_t>(
-            top_.copy_positions[static_cast<std::size_t>(k)])] = sum;
+
+  stage_.resize(stage_positions_.size());
+  for (const std::int64_t size : send_sizes_) {
+    send_bufs_.emplace_back(static_cast<std::size_t>(size));
+  }
+  // Send and receive sizes agree by the closed-form symmetry; make the
+  // disagreement a setup-time error, not a fabric size-mismatch throw.
+  for (std::size_t k = 0; k < nbs.size(); ++k) {
+    SEMFPGA_CHECK(send_bufs_[k].size() == recv_bufs_[k].size(),
+                  "halo message sizes must be symmetric per neighbour pair");
+  }
+
+  wait_hist_ =
+      &obs::registry().histogram("halo.non_overlapped_wait_seconds", 1e-7, 10.0, 24);
+}
+
+std::int64_t BlockHalo::halo_dofs() const noexcept {
+  std::int64_t total = 0;
+  for (const std::int64_t s : send_sizes_) total += s;
+  return total;
+}
+
+void BlockHalo::post(std::span<const double> field) {
+  if (neighbors_.empty()) {
+    return;
+  }
+  OBS_SPAN("halo.post");
+  for (std::size_t k = 0; k < neighbors_.size(); ++k) {
+    std::vector<double>& buf = send_bufs_[k];
+    const std::int64_t begin = send_offsets_[k];
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      buf[i] = field[static_cast<std::size_t>(
+          send_positions_[static_cast<std::size_t>(begin) + i])];
+    }
+    fabric_.send(rank_, neighbors_[k], buf);
+  }
+  for (std::size_t i = 0; i < stage_.size(); ++i) {
+    stage_[i] = field[static_cast<std::size_t>(stage_positions_[i])];
+  }
+}
+
+void BlockHalo::finish(std::span<double> field) {
+  if (neighbors_.empty()) {
+    return;
+  }
+  {
+    // The receive wait is exactly the halo time interior compute failed to
+    // hide — the non-overlapped remainder the network model charges.
+    obs::Span wait_span("halo.finish.wait");
+    for (std::size_t k = 0; k < neighbors_.size(); ++k) {
+      fabric_.recv(neighbors_[k], rank_, recv_bufs_[k]);
+    }
+    const bool traced = wait_span.active();
+    const double waited = wait_span.end();
+    if (traced) {
+      wait_hist_->observe(waited);
+    }
+  }
+  const std::size_t n_rows = entry_split_.size();
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    const std::int64_t begin = entry_offsets_[r];
+    const std::int64_t end = entry_offsets_[r + 1];
+    const std::int64_t split = begin + entry_split_[r];
+    const auto value = [&](std::int64_t i) {
+      const std::int32_t src = entry_source_[static_cast<std::size_t>(i)];
+      const auto idx = static_cast<std::size_t>(entry_index_[static_cast<std::size_t>(i)]);
+      return src < 0 ? stage_[idx] : recv_bufs_[static_cast<std::size_t>(src)][idx];
+    };
+    // The canonical split_row_fold over the row's global copies.
+    double below = 0.0;
+    for (std::int64_t i = begin; i < split; ++i) {
+      below += value(i);
+    }
+    double sum = below;
+    if (split != end) {
+      double above = 0.0;
+      for (std::int64_t i = split; i < end; ++i) {
+        above += value(i);
       }
+      sum = below + above;
+    }
+    for (std::int64_t i = stage_offsets_[r]; i < stage_offsets_[r + 1]; ++i) {
+      field[static_cast<std::size_t>(stage_positions_[static_cast<std::size_t>(i)])] =
+          sum;
     }
   }
 }

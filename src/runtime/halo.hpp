@@ -1,76 +1,124 @@
 #pragma once
 /// \file halo.hpp
-/// Halo (interface-plane) exchange of the distributed gather-scatter.
+/// Halo exchange of the distributed gather-scatter, for any grid partition.
 ///
-/// A z-slab rank shares one lattice plane of DOFs with each neighbour.
-/// The rank-local gather-scatter sums each plane DOF's local copies —
-/// which are exactly one side of the canonical layer-split sum (see
-/// gather_scatter.hpp) — so continuity costs one message per neighbour:
-/// each side sends its per-plane partial sums, and both add them in the
-/// fixed below+above order, reproducing the single-rank Q Q^T bit for bit.
-/// This is the two-level gather-scatter of Nek5000's gslib (local sums,
-/// neighbour exchange, add) with a determinism contract on top.
+/// A grid-partition rank (z-slab, x/y pencil or 3D block —
+/// runtime::partition_blocks) shares lattice DOFs with up to 26 grid
+/// neighbours.  Corner and edge rows are shared by more than two blocks,
+/// and the canonical split-fold order (common/split_fold.hpp) interleaves
+/// the blocks' copies — per-rank *partial sums* cannot compose into the
+/// single-rank result there.  BlockHalo therefore exchanges the **raw
+/// per-copy values** and replays the canonical fold locally:
 ///
-/// The message each direction carries plane_dofs() doubles — the quantity
-/// solver::SlabPartition::halo_dofs accounts and arch::ClusterModel prices.
+///   post(w)    reads each shared row's raw local copies (before the local
+///              gather-scatter touches them), sends one message per
+///              neighbour — rows ascending by global lattice id, copies in
+///              the sender's ascending-local-position (= global element
+///              lex) order — and snapshots its own copies into a stage
+///              buffer.  Sends go out *before* the local qqt runs, which
+///              is what the overlapped operator hides interior compute
+///              behind.
+///   finish(w)  receives every neighbour's message and, for each shared
+///              row, evaluates a precompiled fold program: all copies of
+///              the row (own stage + neighbour buffers) enumerated in
+///              ascending global element (ez, ey, ex) order, split at the
+///              first global z element-layer change, summed below+above —
+///              exactly the single-rank split_row_fold — and written back
+///              to every local copy.
+///
+/// Receivers never negotiate layouts: a message's layout is a pure
+/// function of the two blocks' lattice boxes, so each side derives the
+/// other's packing by the same arithmetic.  Message sizes follow the
+/// closed form RankBlock::halo_doubles records (product over axes of
+/// m*(degree+1) for identical-range axes, 1 for abutting ones).
+///
+/// Timeline: the non-overlapped remainder of finish()'s receive wait is
+/// observed into the "halo.non_overlapped_wait_seconds" histogram — the
+/// quantity the network-charging model prices when overlap is on.
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "runtime/fabric.hpp"
+#include "runtime/partition.hpp"
 #include "sem/mesh.hpp"
 #include "solver/gather_scatter.hpp"
 
+namespace semfpga::obs {
+class Histogram;  // obs/obs.hpp
+}  // namespace semfpga::obs
+
 namespace semfpga::runtime {
 
-/// Pack/unpack schedule of one interface plane, in lattice (ascending
-/// slab-global id) order so neighbouring ranks agree on the entry order.
-struct PlaneSchedule {
-  /// Per plane DOF: the first local copy (pack source — after a local
-  /// gather-scatter every copy carries the rank's partial sum).
-  std::vector<std::int64_t> pack_positions;
-  /// CSR over plane DOFs of *all* local copies (unpack targets).
-  std::vector<std::int64_t> copy_offsets;
-  std::vector<std::int64_t> copy_positions;
-
-  [[nodiscard]] std::size_t n_plane_dofs() const noexcept {
-    return pack_positions.size();
-  }
-};
-
-/// Builds the schedule of the slab's bottom (`top == false`) or top lattice
-/// plane from the rank-local mesh and its gather schedule.
-[[nodiscard]] PlaneSchedule build_plane_schedule(const sem::Mesh& slab,
-                                                 const solver::GatherScatter& gs,
-                                                 bool top);
-
-/// One rank's halo exchanger: owns the plane schedules and message buffers.
-class HaloExchange {
+/// One rank's halo exchanger over a BlockPartition: owns the per-neighbour
+/// message schedules, the fold programs and the message buffers.
+class BlockHalo {
  public:
-  /// \param slab  the rank-local mesh (its gather schedule `gs` must match)
-  HaloExchange(const sem::Mesh& slab, const solver::GatherScatter& gs, Fabric& fabric,
-               int rank);
+  /// Builds the exchange schedules for `part.ranks[rank]`.  `local` must be
+  /// the block mesh (Mesh::extract_block of that rank's ranges) and `gs`
+  /// its gather schedule.  Not collective — nothing is sent here.
+  BlockHalo(const BlockPartition& part, int rank, const sem::Mesh& local,
+            const solver::GatherScatter& gs, Fabric& fabric);
 
-  /// Completes a local gather-scatter across rank boundaries: on entry
-  /// every local copy of an interface-plane DOF holds this rank's partial
-  /// sum; on return it holds (below-rank partial) + (above-rank partial) —
-  /// the canonical split sum.  Collective over the slab neighbours; a
-  /// single-rank runtime is a no-op.
-  void exchange_add(std::span<double> field);
+  /// Phase 1 of an exchange: snapshot the raw copies of every shared row
+  /// and post one message per neighbour (ascending neighbour rank).  Must
+  /// run *before* the local gather-scatter overwrites interface rows.
+  void post(std::span<const double> field);
 
-  /// Per-exchange doubles this rank sends (== receives): the partition's
-  /// halo_dofs accounting, measured rather than modelled.
+  /// Phase 2: receive every neighbour's message, evaluate the canonical
+  /// fold per shared row and write the global sum to all local copies.
+  void finish(std::span<double> field);
+
+  /// Per-exchange doubles this rank sends (== receives) — the measured
+  /// counterpart of RankBlock::halo_doubles.
   [[nodiscard]] std::int64_t halo_dofs() const noexcept;
+
+  /// Message size in doubles per neighbour, ascending neighbour rank —
+  /// what a network model charges per halo message.
+  [[nodiscard]] const std::vector<std::int64_t>& message_doubles() const noexcept {
+    return send_sizes_;
+  }
+  /// Neighbour ranks, ascending.
+  [[nodiscard]] const std::vector<int>& neighbor_ranks() const noexcept {
+    return neighbors_;
+  }
 
  private:
   Fabric& fabric_;
   int rank_;
-  bool has_below_ = false;  ///< a neighbour owns the layers below
-  bool has_above_ = false;
-  PlaneSchedule bottom_;  ///< shared with rank_ - 1
-  PlaneSchedule top_;     ///< shared with rank_ + 1
-  std::vector<double> send_down_, send_up_, recv_down_, recv_up_;
+
+  std::vector<int> neighbors_;            ///< ascending rank
+  std::vector<std::int64_t> send_sizes_;  ///< doubles per neighbour message
+
+  /// Send packing, one concatenated schedule over all neighbours:
+  /// message k covers send_positions_[send_offsets_[k] ..
+  /// send_offsets_[k+1]), local positions to copy in order.
+  std::vector<std::int64_t> send_offsets_;
+  std::vector<std::int64_t> send_positions_;
+
+  /// Stage: this rank's raw copies of every fold row, CSR by fold row.
+  /// Also the write-back schedule of finish() (same positions).
+  std::vector<std::int64_t> stage_offsets_;
+  std::vector<std::int64_t> stage_positions_;
+
+  /// Fold program: per fold row, entries in global element lex order.
+  /// entry_source_[i] is -1 for the stage or the neighbour index k;
+  /// entry_index_[i] the flat index into that buffer.  entry_split_[r] is
+  /// the in-row entry index where the global z element layer first changes
+  /// (== row length when it never does).
+  std::vector<std::int64_t> entry_offsets_;
+  std::vector<std::int32_t> entry_source_;
+  std::vector<std::int64_t> entry_index_;
+  std::vector<std::int64_t> entry_split_;
+
+  std::vector<double> stage_;
+  std::vector<std::vector<double>> send_bufs_;
+  std::vector<std::vector<double>> recv_bufs_;
+
+  /// Non-overlapped receive wait (obs registry; resolved once here so the
+  /// hot path never takes the registry mutex).
+  obs::Histogram* wait_hist_ = nullptr;
 };
 
 }  // namespace semfpga::runtime

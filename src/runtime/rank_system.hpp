@@ -1,74 +1,100 @@
 #pragma once
 /// \file rank_system.hpp
-/// One rank's share of the distributed Poisson system.
+/// One rank's share of the distributed Poisson/Helmholtz system.
 ///
-/// A RankSystem owns the rank's slab mesh (bitwise-extracted from the
-/// global box), an assembled system over it (PoissonSystem, or
-/// HelmholtzSystem for the distributed BK5 solve — RankSystemOptions picks),
-/// the halo exchanger, and the *globally corrected* weights a distributed
-/// solve needs:
+/// A RankSystem owns the rank's block mesh (bitwise-extracted from the
+/// global box by Mesh::extract_block for any runtime::PartitionKind —
+/// z-slab, x/y pencil or 3D block), an assembled system over it
+/// (PoissonSystem, or HelmholtzSystem for the distributed BK5 solve —
+/// RankSystemOptions picks), the BlockHalo exchanger, and the *globally
+/// corrected* weights a distributed solve needs:
 ///
-///  * inv_multiplicity — 1 / (global copy count); the rank-local count
-///    misses the neighbour's copies of interface-plane DOFs, so the counts
-///    are summed across the interface at construction.
-///  * jacobi_diagonal  — the assembled diagonal, likewise summed across
-///    interface planes (exact for the unmasked DOFs; masked DOFs stay 1).
+///  * inv_multiplicity — 1 / (global copy count), computed by pushing a
+///    field of ones through the distributed gather-scatter (exact
+///    integer-valued doubles).
+///  * jacobi_diagonal  — the raw per-element diagonal recomputed locally
+///    (bitwise the global constructor's per-element values), summed across
+///    ranks by the same exchange; masked DOFs stay exactly 1.
 ///
-/// The distributed operator is the two-level gather-scatter: the local
-/// fused (or split) unmasked apply computes each interface DOF's rank
-/// partial in canonical order, exchange_add completes the sum across the
-/// interface, and a surface-only pass multiplies the Dirichlet DOFs by 0.0
-/// — the identical multiplications the single-rank masked apply performs,
-/// so every value matches it bit for bit.
+/// The distributed operator is raw-first: the local unmasked apply
+/// computes every element's contribution, BlockHalo::post ships the raw
+/// per-copy values of shared rows *before* the local gather-scatter folds
+/// them, the local qqt then runs, and BlockHalo::finish replays the
+/// canonical global split-fold on shared rows — so corner and edge rows
+/// shared by up to eight blocks still sum in exactly the single-rank
+/// order, bit for bit.  With RankSystemOptions::overlap the apply computes
+/// surface elements first, posts the halo, and computes the interior while
+/// the messages are in flight — element contributions land in disjoint
+/// DOF ranges, so the reordering is bitwise invisible.
 ///
-/// Reductions contribute one canonical slot per *global* z layer through
-/// Fabric::allreduce_ordered; chunk grids anchor at layer starts, so the
-/// rank computes, from its slice alone, exactly the partials the
-/// single-rank segmented_reduce computes for its layers.
+/// Reductions contribute one canonical slot per *global element* through
+/// Fabric's indexed allreduce_ordered; the reduction segment is one
+/// element, so the rank computes, from its block alone, exactly the
+/// partials the single-rank segmented_reduce computes for its elements.
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "common/parallel.hpp"
 #include "runtime/fabric.hpp"
 #include "runtime/halo.hpp"
-#include "solver/partition.hpp"
+#include "runtime/partition.hpp"
 #include "solver/poisson_system.hpp"
 
 namespace semfpga::runtime {
 
-/// Which assembled operator each rank builds over its slab.  The Helmholtz
-/// choice gives the distributed BK5 solve: the rank-local operator carries
-/// the mass term, and the interface-corrected Jacobi diagonal picks it up
-/// automatically (the halo exchange sums the neighbours' lambda*M element
-/// contributions exactly like the stiffness ones).
+/// Which assembled operator each rank builds over its block, and how the
+/// distributed apply schedules the halo.  The Helmholtz choice gives the
+/// distributed BK5 solve: the rank-local operator carries the mass term,
+/// and the interface-corrected Jacobi diagonal picks it up automatically.
 struct RankSystemOptions {
   solver::OperatorKind kind = solver::OperatorKind::kPoisson;
   double helmholtz_lambda = 1.0;  ///< mass coefficient (kHelmholtz only)
+  /// Post the halo right after the surface elements and compute the
+  /// interior while the messages are in flight.  Bitwise identical to the
+  /// non-overlapped schedule (per-element independence).
+  bool overlap = false;
 };
 
 /// Rank-local state of the distributed solve (one instance per rank, used
 /// only by that rank's thread).
 class RankSystem {
  public:
-  /// Builds the slab [part.ranks[rank].z_begin, z_end) of `global_mesh`.
-  /// Collective: the constructor exchanges multiplicities and diagonal
-  /// partials with the slab neighbours, so all ranks must construct their
-  /// RankSystem in the same program phase.
-  RankSystem(const sem::Mesh& global_mesh, const solver::SlabPartition& part, int rank,
+  /// Builds the block `part.ranks[rank]` of `global_mesh`.  Collective:
+  /// the constructor runs two distributed gather-scatters (multiplicity
+  /// and diagonal), so all ranks must construct their RankSystem in the
+  /// same program phase.
+  RankSystem(const sem::Mesh& global_mesh, const BlockPartition& part, int rank,
              Fabric& fabric, int team_threads, const RankSystemOptions& options = {});
 
   [[nodiscard]] int rank() const noexcept { return rank_; }
-  [[nodiscard]] const solver::RankSlab& slab() const noexcept { return slab_; }
+  [[nodiscard]] const RankBlock& block() const noexcept { return block_; }
   [[nodiscard]] const sem::Mesh& mesh() const noexcept { return mesh_; }
   [[nodiscard]] solver::PoissonSystem& system() noexcept { return *system_; }
   [[nodiscard]] const solver::PoissonSystem& system() const noexcept { return *system_; }
-  [[nodiscard]] HaloExchange& halo() noexcept { return halo_; }
+  [[nodiscard]] BlockHalo& halo() noexcept { return halo_; }
   [[nodiscard]] std::size_t n_local() const noexcept { return system_->n_local(); }
   [[nodiscard]] int threads() const noexcept { return system_->threads(); }
+  [[nodiscard]] bool overlap() const noexcept { return overlap_; }
   /// Elements of the whole partitioned problem (all ranks together).
   [[nodiscard]] std::size_t global_elements() const noexcept { return global_elements_; }
+  /// Global element index of each local element, local lex order — the
+  /// reduction slot map and the global scatter schedule for gathered x.
+  [[nodiscard]] const std::vector<std::int64_t>& element_global_ids() const noexcept {
+    return element_global_ids_;
+  }
+  /// Fraction of this rank's elements with no face on a partition
+  /// boundary — the compute budget available to hide the halo behind.
+  [[nodiscard]] double interior_fraction() const noexcept {
+    return block_.n_elements == 0
+               ? 0.0
+               : static_cast<double>(block_.n_interior_elements) /
+                     static_cast<double>(block_.n_elements);
+  }
 
   /// Globally corrected 1/multiplicity (the distributed `c` weight).
   [[nodiscard]] const aligned_vector<double>& inv_multiplicity() const noexcept {
@@ -80,8 +106,17 @@ class RankSystem {
   }
 
   /// Distributed masked operator: w = mask(QQ^T_global(A_local u)) on this
-  /// rank's slice.  Collective over the slab neighbours.
+  /// rank's block.  Collective over the grid neighbours.
   void apply(std::span<const double> u, std::span<double> w);
+
+  /// Distributed unmasked operator: w = QQ^T_global(A_local u).
+  /// Collective.
+  void apply_unmasked(std::span<const double> u, std::span<double> w);
+
+  /// Distributed direct-stiffness summation on a raw per-copy field:
+  /// post → local fold → canonical global fold on shared rows.
+  /// Collective.  \pre `local` holds raw (pre-qqt) copy values.
+  void qqt(std::span<double> local);
 
   /// Distributed right-hand side: b = mask(QQ^T_global(mass .* f)).
   /// Collective.
@@ -91,39 +126,46 @@ class RankSystem {
   void sample(const std::function<double(double, double, double)>& f,
               std::span<double> out) const;
 
+  /// Multiplies the rank's Dirichlet DOFs by 0.0 — all a 0/1 mask does
+  /// bitwise, without re-touching the unmasked volume.
+  void apply_mask(std::span<double> w) const;
+
   /// Distributed multiplicity-weighted dot product; equals the single-rank
   /// PoissonSystem::weighted_dot bit for bit.  Collective.
   [[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
 
-  /// Distributed layer-segmented reduction: chunk_fn(begin, end) sums one
-  /// chunk of this rank's local index space (chunk grids anchored at layer
-  /// starts); returns the canonical tree fold over every rank's layer
-  /// partials — bitwise the single-rank segmented_reduce.  Collective.
+  /// Distributed element-segmented reduction: chunk_fn(begin, end) sums one
+  /// chunk of this rank's local index space (one chunk per element); the
+  /// fabric scatters each partial into its global element's slot and folds
+  /// the canonical tree — bitwise the single-rank segmented_reduce.
+  /// Collective.
   template <class ChunkFn>
   [[nodiscard]] double allreduce(ChunkFn&& chunk_fn) {
     segment_partials(n_local(), system_->reduction_segment(), threads(),
                      std::forward<ChunkFn>(chunk_fn), partials_);
     return fabric_.allreduce_ordered(
-        rank_, static_cast<std::size_t>(slab_.z_begin), partials_);
+        rank_, std::span<const std::int64_t>(element_global_ids_), partials_);
   }
 
  private:
-  /// Multiplies the rank's Dirichlet DOFs by 0.0 — all a 0/1 mask does
-  /// bitwise, without re-touching the unmasked volume.
-  void apply_mask(std::span<double> w) const;
-
   int rank_;
   Fabric& fabric_;
-  solver::RankSlab slab_;
+  RankBlock block_;
+  bool overlap_;
   std::size_t global_elements_ = 0;
-  sem::Mesh mesh_;  ///< the slab (the system keeps a reference into it)
+  sem::Mesh mesh_;  ///< the block (the system keeps a reference into it)
   /// Owned polymorphically: PoissonSystem or HelmholtzSystem per `options`.
   std::unique_ptr<solver::PoissonSystem> system_;
-  HaloExchange halo_;
+  BlockHalo halo_;
   aligned_vector<double> inv_mult_;
   aligned_vector<double> diagonal_;
   std::vector<std::int64_t> mask_zero_;  ///< local positions with mask 0
   std::vector<double> partials_;         ///< allreduce scratch
+  std::vector<std::int64_t> element_global_ids_;
+  /// Contiguous local element ranges on / off the partition surface (the
+  /// overlap schedule: surface runs first, then interior behind the post).
+  std::vector<std::pair<std::size_t, std::size_t>> surface_runs_;
+  std::vector<std::pair<std::size_t, std::size_t>> interior_runs_;
 };
 
 }  // namespace semfpga::runtime

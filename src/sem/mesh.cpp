@@ -158,6 +158,93 @@ Mesh Mesh::extract_slab(const Mesh& parent, int z_begin, int z_end) {
   return m;
 }
 
+Mesh Mesh::extract_block(const Mesh& parent, int x_begin, int x_end, int y_begin,
+                         int y_end, int z_begin, int z_end) {
+  const BoxMeshSpec& spec = parent.spec_;
+  SEMFPGA_CHECK(0 <= x_begin && x_begin < x_end && x_end <= spec.nelx,
+                "block x element range must lie inside the parent mesh");
+  SEMFPGA_CHECK(0 <= y_begin && y_begin < y_end && y_end <= spec.nely,
+                "block y element range must lie inside the parent mesh");
+  SEMFPGA_CHECK(0 <= z_begin && z_begin < z_end && z_end <= spec.nelz,
+                "block z element range must lie inside the parent mesh");
+
+  const int deg = spec.degree;
+  Mesh m;
+  m.spec_ = spec;
+  m.spec_.nelx = x_end - x_begin;
+  m.spec_.nely = y_end - y_begin;
+  m.spec_.nelz = z_end - z_begin;
+  // Nominal extents only (coordinates are copied, never re-derived).
+  const double hx = (spec.x1 - spec.x0) / spec.nelx;
+  const double hy = (spec.y1 - spec.y0) / spec.nely;
+  const double hz = (spec.z1 - spec.z0) / spec.nelz;
+  m.spec_.x0 = spec.x0 + x_begin * hx;
+  m.spec_.x1 = spec.x0 + x_end * hx;
+  m.spec_.y0 = spec.y0 + y_begin * hy;
+  m.spec_.y1 = spec.y0 + y_end * hy;
+  m.spec_.z0 = spec.z0 + z_begin * hz;
+  m.spec_.z1 = spec.z0 + z_end * hz;
+
+  m.ppe_ = parent.ppe_;
+  m.n_elements_ = static_cast<std::size_t>(m.spec_.nelx) * m.spec_.nely *
+                  m.spec_.nelz;
+  const std::size_t n_local = m.n_elements_ * m.ppe_;
+  m.x_.resize(n_local);
+  m.y_.resize(n_local);
+  m.z_.resize(n_local);
+  m.global_id_.resize(n_local);
+
+  // Parent and block lattice extents.
+  const std::int64_t gx = static_cast<std::int64_t>(spec.nelx) * deg + 1;
+  const std::int64_t gy = static_cast<std::int64_t>(spec.nely) * deg + 1;
+  const std::int64_t lgx = static_cast<std::int64_t>(m.spec_.nelx) * deg + 1;
+  const std::int64_t lgy = static_cast<std::int64_t>(m.spec_.nely) * deg + 1;
+  const std::int64_t lgz = static_cast<std::int64_t>(m.spec_.nelz) * deg + 1;
+  const std::int64_t ox = static_cast<std::int64_t>(x_begin) * deg;
+  const std::int64_t oy = static_cast<std::int64_t>(y_begin) * deg;
+  const std::int64_t oz = static_cast<std::int64_t>(z_begin) * deg;
+  m.n_global_ = static_cast<std::size_t>(lgx) * lgy * lgz;
+
+  // Per-element bitwise copy; block elements are strided in the parent.
+  std::size_t le = 0;
+  for (int ez = z_begin; ez < z_end; ++ez) {
+    for (int ey = y_begin; ey < y_end; ++ey) {
+      for (int ex = x_begin; ex < x_end; ++ex, ++le) {
+        const std::size_t pe = (static_cast<std::size_t>(ez) * spec.nely + ey) *
+                                   spec.nelx +
+                               static_cast<std::size_t>(ex);
+        const std::size_t src = pe * m.ppe_;
+        const std::size_t dst = le * m.ppe_;
+        for (std::size_t p = 0; p < m.ppe_; ++p) {
+          m.x_[dst + p] = parent.x_[src + p];
+          m.y_[dst + p] = parent.y_[src + p];
+          m.z_[dst + p] = parent.z_[src + p];
+          // Translate the parent lattice id into the block lattice.
+          const std::int64_t pgid = parent.global_id_[src + p];
+          const std::int64_t gi = pgid % gx;
+          const std::int64_t gj = (pgid / gx) % gy;
+          const std::int64_t gk = pgid / (gx * gy);
+          m.global_id_[dst + p] =
+              (gi - ox) + lgx * ((gj - oy) + lgy * (gk - oz));
+        }
+      }
+    }
+  }
+
+  // Boundary flags restricted to the block's lattice window.
+  m.boundary_.assign(m.n_global_, 0);
+  std::size_t lid = 0;
+  for (std::int64_t lk = 0; lk < lgz; ++lk) {
+    for (std::int64_t lj = 0; lj < lgy; ++lj) {
+      for (std::int64_t li = 0; li < lgx; ++li, ++lid) {
+        const std::int64_t pgid = (ox + li) + gx * ((oy + lj) + gy * (oz + lk));
+        m.boundary_[lid] = parent.boundary_[static_cast<std::size_t>(pgid)];
+      }
+    }
+  }
+  return m;
+}
+
 Mesh box_mesh(const BoxMeshSpec& spec) {
   const ReferenceElement ref(spec.degree);
   return Mesh(spec, ref);

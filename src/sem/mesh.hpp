@@ -52,6 +52,20 @@ class Mesh {
   /// \pre 0 <= z_begin < z_end <= spec().nelz.
   [[nodiscard]] static Mesh extract_slab(const Mesh& parent, int z_begin, int z_end);
 
+  /// Extracts the element box [x_begin,x_end) x [y_begin,y_end) x
+  /// [z_begin,z_end) as a standalone mesh — the rank-local mesh for pencil
+  /// and 3D block partitions (runtime::partition_blocks).  Block elements
+  /// are not contiguous in the parent, so coordinates are copied bitwise
+  /// element by element; global ids are renumbered to the block's own
+  /// lattice (x-fastest, exactly the ordering a direct Mesh build would
+  /// produce), and boundary flags are restricted from the parent — an
+  /// inter-rank interface plane is *not* marked as domain boundary.
+  /// extract_block over a full-extent x/y range equals extract_slab
+  /// bitwise.  \pre all ranges non-empty and inside the parent box.
+  [[nodiscard]] static Mesh extract_block(const Mesh& parent, int x_begin,
+                                          int x_end, int y_begin, int y_end,
+                                          int z_begin, int z_end);
+
   [[nodiscard]] const BoxMeshSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] int degree() const noexcept { return spec_.degree; }
   [[nodiscard]] int n1d() const noexcept { return spec_.degree + 1; }

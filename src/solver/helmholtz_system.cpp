@@ -76,4 +76,29 @@ void HelmholtzSystem::apply_unmasked(std::span<const double> u,
   gs_.qqt(w, threads_);
 }
 
+void HelmholtzSystem::apply_local(std::span<const double> u,
+                                  std::span<double> w) const {
+  SEMFPGA_CHECK(u.size() == n_local() && w.size() == n_local(),
+                "field views must cover the whole mesh");
+  if (has_custom_operator()) {
+    local_op_(u, w);
+    return;
+  }
+  kernels::helmholtz_run(ax_variant_, make_helmholtz_args(u, w),
+                         kernels::AxExecPolicy{threads_});
+}
+
+void HelmholtzSystem::apply_local_range(std::span<const double> u,
+                                        std::span<double> w, std::size_t e_begin,
+                                        std::size_t e_end) const {
+  SEMFPGA_CHECK(u.size() == n_local() && w.size() == n_local(),
+                "field views must cover the whole mesh");
+  SEMFPGA_CHECK(supports_range_execution(),
+                "a custom local operator cannot be range-executed");
+  SEMFPGA_CHECK(e_begin <= e_end && e_end <= geom().n_elements,
+                "element range must lie inside the mesh");
+  kernels::helmholtz_run_range(ax_variant_, make_helmholtz_args(u, w), e_begin,
+                               e_end);
+}
+
 }  // namespace semfpga::solver

@@ -51,6 +51,9 @@ class HelmholtzSystem : public PoissonSystem {
 
   void apply(std::span<const double> u, std::span<double> w) const override;
   void apply_unmasked(std::span<const double> u, std::span<double> w) const override;
+  void apply_local(std::span<const double> u, std::span<double> w) const override;
+  void apply_local_range(std::span<const double> u, std::span<double> w,
+                         std::size_t e_begin, std::size_t e_end) const override;
 
  private:
   /// Engine operands: the Ax bundle plus the mass factor and lambda.

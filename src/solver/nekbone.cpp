@@ -11,6 +11,7 @@
 #include "kernels/helmholtz.hpp"
 #include "obs/obs.hpp"
 #include "runtime/distributed_cg.hpp"
+#include "runtime/partition.hpp"
 #include "solver/helmholtz_system.hpp"
 
 namespace semfpga::solver {
@@ -49,6 +50,9 @@ NekboneResult run_nekbone_distributed(const NekboneConfig& config,
   dist.threads = config.threads;
   dist.ax_variant = config.ax_variant;
   dist.fused = config.fused;
+  dist.partition = runtime::parse_partition_kind(config.partition);
+  dist.overlap = config.overlap;
+  dist.network = config.network;
   dist.operator_kind = config.operator_kind;
   dist.helmholtz_lambda = config.helmholtz_lambda;
   dist.backend = config.backend;
@@ -119,8 +123,9 @@ NekboneResult run_nekbone(const NekboneConfig& config) {
   spec.nelz = config.nelz;
   spec.deformation = config.deformation;
   // The supervised driver covers every rank count (ranks = 1 included:
-  // same checkpoints, same recovery, no halo traffic).
-  if (config.ranks > 1 || supervised(config)) {
+  // same checkpoints, same recovery, no halo traffic), and a modeled
+  // network needs the distributed driver's charging seam even at one rank.
+  if (config.ranks > 1 || supervised(config) || !config.network.empty()) {
     return run_nekbone_distributed(config, spec);
   }
   Timer setup_timer;
@@ -201,6 +206,12 @@ std::string format_result(const NekboneConfig& config, const NekboneResult& resu
                 result.iterations, result.final_residual, result.seconds,
                 result.gflops, result.ax_gflops);
   std::string out = buf;
+  if (config.ranks > 1 || config.overlap || !config.network.empty()) {
+    std::snprintf(buf, sizeof(buf), " partition=%s overlap=%d network=%s",
+                  config.partition.c_str(), config.overlap ? 1 : 0,
+                  config.network.empty() ? "off" : config.network.c_str());
+    out += buf;
+  }
   if (result.modeled_seconds > 0.0) {
     std::snprintf(buf, sizeof(buf),
                   "\n  modeled FPGA timeline: %.4fs (GFLOP/s=%.2f) for the same "

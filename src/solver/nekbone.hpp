@@ -34,11 +34,23 @@ struct NekboneConfig {
   /// bitwise identical for any value.
   int threads = 1;
   /// SPMD ranks (CLI --ranks): > 1 routes the solve through the in-process
-  /// multi-rank runtime — z-slab partition, per-rank thread teams carved
+  /// multi-rank runtime — grid partition, per-rank thread teams carved
   /// from `threads`, real halo exchange and deterministic allreduce — with
-  /// iterates bitwise identical to the single-rank solve.  Requires
-  /// ranks <= nelz.
+  /// iterates bitwise identical to the single-rank solve.
   int ranks = 1;
+  /// Rank partition (CLI --partition): "slab" (z layers, the historical
+  /// decomposition), "pencil" (x/y columns) or "3d" (blocks).  Any kind is
+  /// bitwise identical to the others and to the single-rank solve.
+  std::string partition = "slab";
+  /// Halo/compute overlap (CLI --overlap): post halo messages after the
+  /// surface elements and compute the interior while they fly.  Bitwise
+  /// identical either way.
+  bool overlap = false;
+  /// Modeled interconnect (CLI --network): "" = off; a preset name
+  /// (arch::known_networks) or "LAT_US:BW_GBS".  Non-empty routes the run
+  /// through the distributed driver (any rank count) and charges network
+  /// time into the modeled timeline; numerics are untouched.
+  std::string network;
   /// Execution backend (CLI --backend): "cpu" runs the host engine,
   /// "fpga-sim" computes bitwise-identical numerics on the host while
   /// charging modeled FPGA time (kernel cycles, external-memory bandwidth,

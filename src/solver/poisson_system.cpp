@@ -127,6 +127,25 @@ void PoissonSystem::apply_unmasked(std::span<const double> u,
   gs_.qqt(w, threads_);
 }
 
+void PoissonSystem::apply_local(std::span<const double> u,
+                                std::span<double> w) const {
+  SEMFPGA_CHECK(u.size() == n_local() && w.size() == n_local(),
+                "field views must cover the whole mesh");
+  local_op_(u, w);
+}
+
+void PoissonSystem::apply_local_range(std::span<const double> u,
+                                      std::span<double> w, std::size_t e_begin,
+                                      std::size_t e_end) const {
+  SEMFPGA_CHECK(u.size() == n_local() && w.size() == n_local(),
+                "field views must cover the whole mesh");
+  SEMFPGA_CHECK(supports_range_execution(),
+                "a custom local operator cannot be range-executed");
+  SEMFPGA_CHECK(e_begin <= e_end && e_end <= geom_.n_elements,
+                "element range must lie inside the mesh");
+  kernels::ax_run_range(ax_variant_, make_ax_args(u, w), e_begin, e_end);
+}
+
 void PoissonSystem::assemble_rhs(std::span<const double> f_at_nodes,
                                  std::span<double> b) const {
   SEMFPGA_CHECK(f_at_nodes.size() == n_local() && b.size() == n_local(),

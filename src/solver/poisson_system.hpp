@@ -117,6 +117,29 @@ class PoissonSystem {
   /// Used by boundary lifting, where the action on boundary DOFs is needed.
   virtual void apply_unmasked(std::span<const double> u, std::span<double> w) const;
 
+  /// Element-local operator only, no gather-scatter and no mask:
+  /// w = A_local u.  The distributed runtime calls this, then folds the
+  /// shared rows itself through its halo exchange — the local qqt alone
+  /// would produce the wrong (partial) sums on interface rows.
+  virtual void apply_local(std::span<const double> u, std::span<double> w) const;
+
+  /// apply_local restricted to elements [e_begin, e_end), serial on the
+  /// calling thread.  Writes only those elements' entries of w.  The
+  /// overlapped distributed operator uses this to run the boundary-surface
+  /// elements first (so halo messages post early) and the interior while
+  /// they are in flight — bitwise identical, because the per-element local
+  /// operator makes element order irrelevant.
+  /// \pre supports_range_execution().
+  virtual void apply_local_range(std::span<const double> u, std::span<double> w,
+                                 std::size_t e_begin, std::size_t e_end) const;
+
+  /// False when a custom local operator replaced the engine (an opaque
+  /// LocalOperator cannot be ranged); overlap then degrades gracefully to
+  /// the non-split ordering.
+  [[nodiscard]] bool supports_range_execution() const noexcept {
+    return !custom_op_;
+  }
+
   /// Which operator apply() computes (kPoisson here; overridden by derived
   /// systems).  Cost-charging backends key their kernel model off this.
   [[nodiscard]] virtual OperatorKind operator_kind() const noexcept {
@@ -150,13 +173,15 @@ class PoissonSystem {
   [[nodiscard]] double weighted_dot(std::span<const double> a,
                                     std::span<const double> b) const;
 
-  /// Segment length of the canonical reductions: the local DOFs of one z
-  /// element layer.  CG's dots fold per-segment partials through a fixed
-  /// tree (parallel.hpp segmented_reduce); a z-slab rank owns whole
-  /// segments, which is what lets the distributed allreduce reproduce the
-  /// single-rank fold exactly.
+  /// Segment length of the canonical reductions: the local DOFs of one
+  /// element.  CG's dots fold per-segment partials through a fixed tree
+  /// (parallel.hpp segmented_reduce); any grid-partition rank (slab,
+  /// pencil, 3D block) owns whole elements, so the distributed allreduce
+  /// scatters its per-element partials into the global element slot table
+  /// and reproduces the single-rank fold exactly — for every partition
+  /// kind, not just z-slabs.
   [[nodiscard]] std::size_t reduction_segment() const noexcept {
-    return gs_.dofs_per_layer();
+    return ref_.points_per_element();
   }
 
  protected:

@@ -1,0 +1,78 @@
+/// The interconnect preset registry and the shared `--network=` flag
+/// grammar: every consumer (analytic projection, real-time latency policy,
+/// network-charging backend) resolves specs through this one seam, so its
+/// presets, extension point and error behaviour are contracts.
+
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "arch/network.hpp"
+
+namespace semfpga::arch {
+namespace {
+
+TEST(NetworkRegistry, BuiltInPresetsResolve) {
+  const NetworkSpec eth100 = network("eth-100g");
+  EXPECT_DOUBLE_EQ(eth100.latency_us, 1.5);
+  EXPECT_DOUBLE_EQ(eth100.bandwidth_gbs, 12.5);
+  // "eth-100g" is the NetworkSpec default — the two must never drift.
+  EXPECT_DOUBLE_EQ(eth100.latency_us, NetworkSpec{}.latency_us);
+  EXPECT_DOUBLE_EQ(eth100.bandwidth_gbs, NetworkSpec{}.bandwidth_gbs);
+
+  EXPECT_DOUBLE_EQ(network("eth-10g").latency_us, 10.0);
+  EXPECT_DOUBLE_EQ(network("eth-10g").bandwidth_gbs, 1.25);
+  EXPECT_DOUBLE_EQ(network("ib-hdr").latency_us, 1.0);
+  EXPECT_DOUBLE_EQ(network("ib-hdr").bandwidth_gbs, 25.0);
+  EXPECT_DOUBLE_EQ(network("fpga-serial").latency_us, 0.5);
+  EXPECT_DOUBLE_EQ(network("fpga-serial").bandwidth_gbs, 5.0);
+}
+
+TEST(NetworkRegistry, KnownNetworksListsThePresets) {
+  const std::vector<std::string> names = known_networks();
+  ASSERT_GE(names.size(), 4u);
+  EXPECT_EQ(names[0], "eth-100g");
+  const std::string joined = known_networks_joined();
+  for (const std::string& name : names) {
+    EXPECT_NE(joined.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(NetworkRegistry, UnknownPresetThrowsListingKnownNames) {
+  try {
+    (void)network("token-ring");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("token-ring"), std::string::npos);
+    EXPECT_NE(what.find("eth-100g"), std::string::npos);
+  }
+}
+
+TEST(NetworkRegistry, RegisterNetworkRoundTrips) {
+  register_network("test-fabric", NetworkSpec{3.25, 42.0});
+  const NetworkSpec got = network("test-fabric");
+  EXPECT_DOUBLE_EQ(got.latency_us, 3.25);
+  EXPECT_DOUBLE_EQ(got.bandwidth_gbs, 42.0);
+  // The flag parser sees registered presets too.
+  EXPECT_DOUBLE_EQ(parse_network_flag("test-fabric").bandwidth_gbs, 42.0);
+}
+
+TEST(NetworkFlag, ParsesPresetsAndInlinePairs) {
+  EXPECT_DOUBLE_EQ(parse_network_flag("ib-hdr").bandwidth_gbs, 25.0);
+  const NetworkSpec inline_spec = parse_network_flag("3.0:7.5");
+  EXPECT_DOUBLE_EQ(inline_spec.latency_us, 3.0);
+  EXPECT_DOUBLE_EQ(inline_spec.bandwidth_gbs, 7.5);
+}
+
+TEST(NetworkFlag, RejectsMalformedValues) {
+  for (const char* bad : {"", "abc", "1.5:", ":12.5", "1.5:abc", "1.5:12.5:9",
+                          "-1:12.5", "1.5:0"}) {
+    EXPECT_THROW((void)parse_network_flag(bad), std::invalid_argument)
+        << "value '" << bad << "'";
+  }
+}
+
+}  // namespace
+}  // namespace semfpga::arch

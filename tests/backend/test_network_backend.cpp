@@ -1,0 +1,160 @@
+/// NetworkChargingBackend contracts: the decorator charges exactly the
+/// NetworkSpec terms (halo latency + bytes, log-tree allreduce), the
+/// overlap budget hides only the interior fraction of the modeled apply —
+/// and only on apply paths, never on the standalone qqt — and no bit of
+/// any numeric result changes.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "backend/backend.hpp"
+#include "backend/network_backend.hpp"
+#include "solver/poisson_system.hpp"
+
+namespace semfpga::backend {
+namespace {
+
+sem::Mesh make_mesh() {
+  sem::BoxMeshSpec spec;
+  spec.degree = 3;
+  spec.nelx = spec.nely = spec.nelz = 2;
+  return sem::box_mesh(spec);
+}
+
+aligned_vector<double> make_field(const solver::PoissonSystem& system) {
+  const std::size_t n = system.n_local();
+  aligned_vector<double> u(n);
+  system.sample(
+      [](double x, double y, double z) { return x * x + 0.5 * y - 0.25 * z; },
+      std::span<double>(u.data(), n));
+  return u;
+}
+
+/// The rank this test models: 4 ranks, 2 neighbours, 1000 doubles per
+/// exchange, half the elements interior, over a 10 us / 1 GB/s link.
+NetworkChargeSpec test_spec(bool overlap) {
+  NetworkChargeSpec spec;
+  spec.network = arch::NetworkSpec{10.0, 1.0};
+  spec.n_ranks = 4;
+  spec.n_neighbors = 2;
+  spec.halo_doubles = 1000;
+  spec.interior_fraction = 0.5;
+  spec.overlap = overlap;
+  return spec;
+}
+
+// 2 neighbour latencies + 8000 bytes over 1 GB/s.
+constexpr double kHaloFull = 2.0 * 10.0e-6 + 1000.0 * 8.0 / 1e9;
+// 2 * ceil(log2 4) hop latencies per reduction.
+constexpr double kAllreduce = 2.0 * 2.0 * 10.0e-6;
+
+TEST(NetworkChargingBackend, ChargesHaloAndAllreduceTerms) {
+  const sem::Mesh mesh = make_mesh();
+  solver::PoissonSystem system(mesh);
+  NetworkChargingBackend be(make("cpu", system), test_spec(/*overlap=*/false));
+  EXPECT_STREQ(be.name(), "network[cpu]");
+
+  const aligned_vector<double> u = make_field(system);
+  aligned_vector<double> w(system.n_local());
+
+  // The cpu backend keeps no ledger, so charges land in the decorator's.
+  FpgaTimeline* t = be.mutable_timeline();
+  ASSERT_NE(t, nullptr);
+
+  be.apply(std::span<const double>(u.data(), u.size()),
+           std::span<double>(w.data(), w.size()));
+  EXPECT_EQ(t->network_halo_exchanges, 1);
+  EXPECT_DOUBLE_EQ(t->network_halo_seconds, kHaloFull);
+  EXPECT_DOUBLE_EQ(t->network_overlap_saved_seconds, 0.0);
+
+  aligned_vector<double> raw = u;
+  be.qqt(std::span<double>(raw.data(), raw.size()));
+  EXPECT_EQ(t->network_halo_exchanges, 2);
+  EXPECT_DOUBLE_EQ(t->network_halo_seconds, 2.0 * kHaloFull);
+
+  (void)be.dot(std::span<const double>(u.data(), u.size()),
+               std::span<const double>(u.data(), u.size()));
+  EXPECT_DOUBLE_EQ(t->network_allreduce_seconds, kAllreduce);
+}
+
+TEST(NetworkChargingBackend, OverlapHidesTheInteriorFractionOnApplyOnly) {
+  const sem::Mesh mesh = make_mesh();
+  solver::PoissonSystem system(mesh);
+  NetworkChargingBackend be(make("cpu", system), test_spec(/*overlap=*/true));
+
+  const aligned_vector<double> u = make_field(system);
+  aligned_vector<double> w(system.n_local());
+  FpgaTimeline* t = be.mutable_timeline();
+  ASSERT_NE(t, nullptr);
+
+  // No modeled apply time yet: nothing to hide behind, full charge.
+  be.apply(std::span<const double>(u.data(), u.size()),
+           std::span<double>(w.data(), w.size()));
+  EXPECT_DOUBLE_EQ(t->network_halo_seconds, kHaloFull);
+  EXPECT_DOUBLE_EQ(t->network_overlap_saved_seconds, 0.0);
+
+  // With a modeled apply of 4e-5 s and half the elements interior, 2e-5 s
+  // of the halo hides; only the remainder is serialised.
+  t->per_apply_seconds = 4.0e-5;
+  const double budget = 0.5 * 4.0e-5;
+  be.apply(std::span<const double>(u.data(), u.size()),
+           std::span<double>(w.data(), w.size()));
+  EXPECT_DOUBLE_EQ(t->network_halo_seconds, kHaloFull + (kHaloFull - budget));
+  EXPECT_DOUBLE_EQ(t->network_overlap_saved_seconds, budget);
+
+  // The standalone gather-scatter has no interior compute: full charge
+  // even with overlap on.
+  aligned_vector<double> raw = u;
+  be.qqt(std::span<double>(raw.data(), raw.size()));
+  EXPECT_DOUBLE_EQ(t->network_halo_seconds,
+                   kHaloFull + (kHaloFull - budget) + kHaloFull);
+  EXPECT_DOUBLE_EQ(t->network_overlap_saved_seconds, budget);
+}
+
+TEST(NetworkChargingBackend, NumericsPassThroughBitwise) {
+  const sem::Mesh mesh = make_mesh();
+  solver::PoissonSystem system(mesh);
+  std::unique_ptr<Backend> bare = make("cpu", system);
+  NetworkChargingBackend wrapped(make("cpu", system), test_spec(/*overlap=*/true));
+
+  const aligned_vector<double> u = make_field(system);
+  const std::size_t n = u.size();
+  aligned_vector<double> w_bare(n), w_wrapped(n);
+  bare->apply(std::span<const double>(u.data(), n),
+              std::span<double>(w_bare.data(), n));
+  wrapped.apply(std::span<const double>(u.data(), n),
+                std::span<double>(w_wrapped.data(), n));
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(w_wrapped[i], w_bare[i]) << "dof " << i;
+  }
+  EXPECT_EQ(wrapped.dot(std::span<const double>(u.data(), n),
+                        std::span<const double>(w_wrapped.data(), n)),
+            bare->dot(std::span<const double>(u.data(), n),
+                      std::span<const double>(w_bare.data(), n)));
+}
+
+TEST(NetworkChargingBackend, SingleRankChargesNothing) {
+  const sem::Mesh mesh = make_mesh();
+  solver::PoissonSystem system(mesh);
+  NetworkChargeSpec spec;
+  spec.network = arch::NetworkSpec{10.0, 1.0};
+  spec.n_ranks = 1;  // no neighbours, no tree
+  NetworkChargingBackend be(make("cpu", system), spec);
+
+  const aligned_vector<double> u = make_field(system);
+  aligned_vector<double> w(system.n_local());
+  be.apply(std::span<const double>(u.data(), u.size()),
+           std::span<double>(w.data(), w.size()));
+  (void)be.dot(std::span<const double>(u.data(), u.size()),
+               std::span<const double>(u.data(), u.size()));
+  const FpgaTimeline* t = be.timeline();
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->network_halo_exchanges, 0);
+  EXPECT_DOUBLE_EQ(t->network_halo_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(t->network_allreduce_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace semfpga::backend

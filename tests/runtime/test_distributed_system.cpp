@@ -10,8 +10,8 @@
 #include "common/rng.hpp"
 #include "runtime/distributed_cg.hpp"
 #include "runtime/rank_system.hpp"
+#include "runtime/partition.hpp"
 #include "runtime/spmd.hpp"
-#include "solver/partition.hpp"
 
 namespace semfpga::runtime {
 namespace {
@@ -28,12 +28,16 @@ sem::BoxMeshSpec small_spec(int degree, int nelz,
 }
 
 /// Runs `body(rank_system, node_offset)` once per rank over `n_ranks`
-/// z-slabs of `spec`.
+/// z-slabs of `spec`.  Slabs own contiguous global element ranges, so a
+/// single node offset still addresses each rank's slice of global vectors
+/// (the pencil/3D generalization is covered by test_partition_oracle).
 template <class Body>
 void with_rank_systems(const sem::BoxMeshSpec& spec, int n_ranks, Body&& body) {
   const sem::Mesh global = sem::box_mesh(spec);
-  const solver::SlabPartition part = solver::partition_slabs(spec, n_ranks);
-  InProcessFabric fabric(n_ranks, static_cast<std::size_t>(spec.nelz));
+  const BlockPartition part = partition_blocks(spec, n_ranks, PartitionKind::kSlab);
+  InProcessFabric fabric(n_ranks, static_cast<std::size_t>(spec.nelx) *
+                                      static_cast<std::size_t>(spec.nely) *
+                                      static_cast<std::size_t>(spec.nelz));
   const std::size_t ppe = global.points_per_element();
   spmd_run(fabric, 1, [&](const RankEnv& env) {
     RankSystem rs(global, part, env.rank, fabric, env.team_threads);
@@ -128,8 +132,7 @@ TEST(RankSystem, TwoLevelQqtMatchesTheGlobalQqt) {
       std::vector<double> local(u.begin() + static_cast<std::ptrdiff_t>(offset),
                                 u.begin() + static_cast<std::ptrdiff_t>(offset) +
                                     static_cast<std::ptrdiff_t>(rs.n_local()));
-      rs.system().gs().qqt(local);
-      rs.halo().exchange_add(local);
+      rs.qqt(std::span<double>(local.data(), local.size()));
       for (std::size_t p = 0; p < local.size(); ++p) {
         ASSERT_EQ(local[p], want[offset + p])
             << "ranks " << ranks << " rank " << rs.rank() << " dof " << p;
@@ -216,10 +219,10 @@ TEST(RankSystem, DistributedRhsAndDotMatchTheGlobalOnes) {
 
 TEST(RankSystem, HaloDofsMatchThePartitionAccounting) {
   const sem::BoxMeshSpec spec = small_spec(3, 4);
-  const solver::SlabPartition part = solver::partition_slabs(spec, 4);
+  const BlockPartition part = partition_blocks(spec, 4, PartitionKind::kSlab);
   with_rank_systems(spec, 4, [&](RankSystem& rs, std::size_t /*offset*/) {
     EXPECT_EQ(rs.halo().halo_dofs(),
-              part.ranks[static_cast<std::size_t>(rs.rank())].halo_dofs);
+              part.ranks[static_cast<std::size_t>(rs.rank())].halo_doubles);
   });
 }
 

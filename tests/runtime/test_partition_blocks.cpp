@@ -1,0 +1,159 @@
+/// runtime::partition_blocks — the generalized grid partition behind the
+/// SPMD runtime: slab compatibility with solver::partition_slabs, prime
+/// rank counts, single-element-deep axes, and the closed-form halo
+/// accounting against the BlockHalo the runtime actually builds.
+
+#include <numeric>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "runtime/partition.hpp"
+#include "runtime/rank_system.hpp"
+#include "runtime/spmd.hpp"
+#include "solver/partition.hpp"
+
+namespace semfpga::runtime {
+namespace {
+
+sem::BoxMeshSpec spec_of(int degree, int nelx, int nely, int nelz) {
+  sem::BoxMeshSpec spec;
+  spec.degree = degree;
+  spec.nelx = nelx;
+  spec.nely = nely;
+  spec.nelz = nelz;
+  return spec;
+}
+
+std::size_t global_elements(const sem::BoxMeshSpec& spec) {
+  return static_cast<std::size_t>(spec.nelx) * static_cast<std::size_t>(spec.nely) *
+         static_cast<std::size_t>(spec.nelz);
+}
+
+TEST(PartitionBlocks, SlabKindReproducesPartitionSlabs) {
+  for (const auto& [nelz, ranks] : {std::pair{13, 4}, {10, 4}, {6, 3}, {8, 1}}) {
+    const sem::BoxMeshSpec spec = spec_of(3, 5, 4, nelz);
+    const solver::SlabPartition slabs = solver::partition_slabs(spec, ranks);
+    const BlockPartition blocks = partition_blocks(spec, ranks, PartitionKind::kSlab);
+    ASSERT_EQ(blocks.px, 1);
+    ASSERT_EQ(blocks.py, 1);
+    ASSERT_EQ(blocks.pz, ranks);
+    for (int r = 0; r < ranks; ++r) {
+      const auto& s = slabs.ranks[static_cast<std::size_t>(r)];
+      const auto& b = blocks.ranks[static_cast<std::size_t>(r)];
+      ASSERT_EQ(b.z_begin, s.z_begin) << "rank " << r;
+      ASSERT_EQ(b.z_end, s.z_end) << "rank " << r;
+      ASSERT_EQ(b.x_begin, 0);
+      ASSERT_EQ(b.x_end, spec.nelx);
+      ASSERT_EQ(b.y_begin, 0);
+      ASSERT_EQ(b.y_end, spec.nely);
+    }
+  }
+}
+
+TEST(PartitionBlocks, PrimeRankCountsCoverTheBoxDisjointly) {
+  for (const PartitionKind kind : {PartitionKind::kPencil, PartitionKind::kBlock3d}) {
+    for (const int ranks : {3, 5, 7}) {
+      const sem::BoxMeshSpec spec = spec_of(2, 8, 8, 4);
+      const BlockPartition part = partition_blocks(spec, ranks, kind);
+      ASSERT_EQ(part.ranks.size(), static_cast<std::size_t>(ranks));
+      std::int64_t covered = 0;
+      for (const RankBlock& rb : part.ranks) {
+        ASSERT_GT(rb.n_elements, 0) << "empty rank in " << partition_kind_name(kind)
+                                    << " at " << ranks << " ranks";
+        ASSERT_EQ(rb.n_elements,
+                  static_cast<std::int64_t>(rb.x_end - rb.x_begin) *
+                      (rb.y_end - rb.y_begin) * (rb.z_end - rb.z_begin));
+        covered += rb.n_elements;
+      }
+      ASSERT_EQ(covered, static_cast<std::int64_t>(global_elements(spec)));
+    }
+  }
+}
+
+TEST(PartitionBlocks, SingleElementDeepAxesStayUnsplit) {
+  // A 1-element-deep axis can host at most one block layer; the chosen
+  // factorisation must put all ranks on the other axes.
+  const BlockPartition column =
+      partition_blocks(spec_of(3, 1, 1, 8), 4, PartitionKind::kBlock3d);
+  EXPECT_EQ(column.px, 1);
+  EXPECT_EQ(column.py, 1);
+  EXPECT_EQ(column.pz, 4);
+
+  const BlockPartition sheet =
+      partition_blocks(spec_of(3, 1, 4, 2), 2, PartitionKind::kPencil);
+  EXPECT_EQ(sheet.px, 1);
+  EXPECT_EQ(sheet.py, 2);
+}
+
+TEST(PartitionBlocks, RejectsInfeasibleSplits) {
+  // More slab ranks than z element layers cannot factorise.
+  try {
+    (void)partition_blocks(spec_of(3, 2, 2, 4), 5, PartitionKind::kSlab);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot split more ranks than z element"),
+              std::string::npos);
+  }
+  // A prime rank count larger than every axis cannot fit 3D blocks either.
+  EXPECT_THROW((void)partition_blocks(spec_of(2, 2, 2, 2), 11, PartitionKind::kBlock3d),
+               std::invalid_argument);
+  EXPECT_THROW((void)partition_blocks(spec_of(2, 2, 2, 2), 0, PartitionKind::kSlab),
+               std::invalid_argument);
+}
+
+/// The closed-form halo accounting in RankBlock must equal what the
+/// runtime's BlockHalo actually schedules — neighbour count and the summed
+/// message doubles, per rank, for every partition kind.  Prime rank counts
+/// and a single-element-deep axis exercise uneven grids and edge rows.
+TEST(PartitionBlocks, ClosedFormHaloMatchesBlockHaloSchedules) {
+  struct Case {
+    sem::BoxMeshSpec spec;
+    int ranks;
+    PartitionKind kind;
+  };
+  const Case cases[] = {
+      {spec_of(2, 4, 4, 4), 3, PartitionKind::kPencil},
+      {spec_of(2, 4, 4, 4), 8, PartitionKind::kBlock3d},
+      {spec_of(3, 4, 1, 4), 4, PartitionKind::kBlock3d},  // 1-deep y axis
+      {spec_of(2, 5, 3, 2), 5, PartitionKind::kPencil},   // prime, uneven
+      {spec_of(3, 2, 3, 7), 4, PartitionKind::kSlab},     // uneven slabs
+  };
+  for (const Case& c : cases) {
+    const sem::Mesh global = sem::box_mesh(c.spec);
+    const BlockPartition part = partition_blocks(c.spec, c.ranks, c.kind);
+    InProcessFabric fabric(c.ranks, global_elements(c.spec));
+    spmd_run(fabric, 1, [&](const RankEnv& env) {
+      RankSystem rs(global, part, env.rank, fabric, env.team_threads);
+      const RankBlock& rb = part.ranks[static_cast<std::size_t>(env.rank)];
+      EXPECT_EQ(rs.halo().halo_dofs(), rb.halo_doubles)
+          << partition_kind_name(c.kind) << " ranks=" << c.ranks
+          << " rank=" << env.rank;
+      EXPECT_EQ(static_cast<int>(rs.halo().neighbor_ranks().size()), rb.n_neighbors)
+          << partition_kind_name(c.kind) << " ranks=" << c.ranks
+          << " rank=" << env.rank;
+    });
+  }
+}
+
+TEST(PartitionBlocks, InteriorElementsNeverExceedTheBlock) {
+  const BlockPartition part =
+      partition_blocks(spec_of(2, 4, 4, 4), 8, PartitionKind::kBlock3d);
+  for (const RankBlock& rb : part.ranks) {
+    EXPECT_GE(rb.n_interior_elements, 0);
+    EXPECT_LT(rb.n_interior_elements, rb.n_elements);  // every block has surface
+    // 2x2x2 block with three inter-rank faces: exactly one interior element.
+    EXPECT_EQ(rb.n_interior_elements, 1);
+  }
+}
+
+TEST(PartitionBlocks, ParseAndNameRoundTrip) {
+  EXPECT_EQ(parse_partition_kind("slab"), PartitionKind::kSlab);
+  EXPECT_EQ(parse_partition_kind("pencil"), PartitionKind::kPencil);
+  EXPECT_EQ(parse_partition_kind("3d"), PartitionKind::kBlock3d);
+  EXPECT_THROW((void)parse_partition_kind("cube"), std::invalid_argument);
+  EXPECT_STREQ(partition_kind_name(PartitionKind::kPencil), "pencil");
+}
+
+}  // namespace
+}  // namespace semfpga::runtime
